@@ -1,0 +1,87 @@
+// Batched generation through the simulated Argo proxy (paper §2:
+// "Chunks are fed to GPT-4.1 in batches through the Argo-Proxy API").
+// Sweeps batch size and in-flight worker slots against simulated
+// makespan, and shows the retry tax at elevated transient-failure rates
+// — the operational trade-offs of driving a remote LLM from an HPC
+// pipeline.
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "llm/argo_proxy.hpp"
+
+int main() {
+  using namespace mcqa;
+  const auto& ctx = bench::shared_context();
+  bench::print_scale_banner(ctx);
+
+  // Use a slice of the real chunk stream as the request load.
+  std::vector<chunk::Chunk> load(
+      ctx.chunks().begin(),
+      ctx.chunks().begin() + std::min<std::size_t>(512, ctx.chunks().size()));
+
+  std::printf("Batch-size sweep (%zu requests, 4 in-flight slots, "
+              "2%% transient failures):\n\n",
+              load.size());
+  eval::TableWriter batch_table({"Batch size", "Upstream calls", "Retries",
+                                 "Simulated makespan", "Req/s"});
+  for (const std::size_t batch : {1u, 4u, 8u, 16u, 32u, 64u}) {
+    llm::ProxyConfig cfg;
+    cfg.batch_size = batch;
+    const llm::BatchTeacherClient client(ctx.teacher(), cfg);
+    llm::ProxyStats stats;
+    client.generate_mcqs(load, &stats);
+    batch_table.add_row(
+        {std::to_string(batch), std::to_string(stats.batches),
+         std::to_string(stats.retries),
+         eval::fmt_acc(stats.simulated_wall_ms / 1000.0) + " s",
+         eval::fmt_acc(stats.throughput_per_s())});
+  }
+  std::printf("%s\n", batch_table.render().c_str());
+
+  std::printf("Worker-slot sweep (batch 8):\n\n");
+  eval::TableWriter worker_table({"Workers", "Simulated makespan", "Req/s",
+                                  "Parallel efficiency"});
+  double base_wall = 0.0;
+  for (const std::size_t workers : {1u, 2u, 4u, 8u, 16u}) {
+    llm::ProxyConfig cfg;
+    cfg.workers = workers;
+    const llm::BatchTeacherClient client(ctx.teacher(), cfg);
+    llm::ProxyStats stats;
+    client.generate_mcqs(load, &stats);
+    if (workers == 1) base_wall = stats.simulated_wall_ms;
+    const double eff =
+        base_wall / (stats.simulated_wall_ms * static_cast<double>(workers));
+    worker_table.add_row(
+        {std::to_string(workers),
+         eval::fmt_acc(stats.simulated_wall_ms / 1000.0) + " s",
+         eval::fmt_acc(stats.throughput_per_s()),
+         eval::fmt_pct(100.0 * eff - 100.0 + 100.0)});
+  }
+  std::printf("%s\n", worker_table.render().c_str());
+
+  std::printf("Failure-rate sweep (batch 8, 4 workers, 3 retries):\n\n");
+  eval::TableWriter fail_table({"Transient failure rate", "Retries",
+                                "Permanent failures", "Makespan overhead"});
+  double clean_wall = 0.0;
+  for (const double rate : {0.0, 0.02, 0.10, 0.25, 0.50}) {
+    llm::ProxyConfig cfg;
+    cfg.transient_failure_rate = rate;
+    const llm::BatchTeacherClient client(ctx.teacher(), cfg);
+    llm::ProxyStats stats;
+    client.generate_mcqs(load, &stats);
+    if (rate == 0.0) clean_wall = stats.simulated_wall_ms;
+    fail_table.add_row(
+        {eval::fmt_pct(100.0 * rate), std::to_string(stats.retries),
+         std::to_string(stats.permanent_failures),
+         eval::fmt_pct(eval::pct_improvement(stats.simulated_wall_ms,
+                                             clean_wall))});
+  }
+  std::printf("%s\n", fail_table.render().c_str());
+  std::printf(
+      "Reading: per-call overhead dominates at batch 1; batching "
+      "amortizes it, worker slots parallelize it, and the retry tax "
+      "grows super-linearly with the failure rate — the glue economics "
+      "the paper's Parsl deployment manages.\n");
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Chunker ablation (A2 in DESIGN.md): semantic (drift-based) versus
+// fixed-size chunking — chunk statistics, and the downstream effect on
+// RAG-Chunks accuracy for a weak and a strong reader.  The paper chose
+// semantic chunking; this quantifies what that choice buys.
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace mcqa;
+
+  // Build two pipelines identical except for the chunker.
+  core::PipelineConfig semantic_cfg = core::PipelineConfig::paper_scale(0.015);
+  semantic_cfg.semantic_chunking = true;
+  core::PipelineConfig fixed_cfg = semantic_cfg;
+  fixed_cfg.semantic_chunking = false;
+
+  std::printf("building semantic-chunking pipeline...\n");
+  const core::PipelineContext semantic(semantic_cfg);
+  std::printf("building fixed-chunking pipeline...\n\n");
+  const core::PipelineContext fixed(fixed_cfg);
+
+  eval::TableWriter stats(
+      {"Chunker", "Chunks", "Mean words", "Questions", "Acceptance"});
+  for (const auto* ctx : {&semantic, &fixed}) {
+    double words = 0.0;
+    for (const auto& c : ctx->chunks()) {
+      words += static_cast<double>(c.word_count);
+    }
+    stats.add_row(
+        {ctx->config().semantic_chunking ? "semantic" : "fixed",
+         std::to_string(ctx->stats().chunks),
+         eval::fmt_acc(words / static_cast<double>(ctx->stats().chunks)),
+         std::to_string(ctx->benchmark().size()),
+         eval::fmt_pct(100.0 * ctx->stats().funnel.acceptance_rate())});
+  }
+  std::printf("Chunker ablation (A2)\n\n%s\n", stats.render().c_str());
+
+  // Downstream RAG effect: evaluate each pipeline's own benchmark under
+  // RAG-Chunks for two contrasting readers.
+  std::printf("RAG-Chunks accuracy on each pipeline's own benchmark:\n\n");
+  eval::TableWriter acc_table(
+      {"Model", "semantic chunks", "fixed chunks", "delta"});
+  for (const char* name : {"TinyLlama-1.1B-Chat", "SmolLM3-3B",
+                           "Llama-3.1-8B-Instruct"}) {
+    const auto& card = llm::student_card(name);
+    const llm::StudentModel model(card);
+    const eval::EvalHarness sem_harness(semantic.rag());
+    const eval::EvalHarness fix_harness(fixed.rag());
+    const double sem = sem_harness
+                           .evaluate(model, card.spec, semantic.benchmark(),
+                                     rag::Condition::kChunks)
+                           .value();
+    const double fix = fix_harness
+                           .evaluate(model, card.spec, fixed.benchmark(),
+                                     rag::Condition::kChunks)
+                           .value();
+    acc_table.add_row({name, eval::fmt_acc(sem), eval::fmt_acc(fix),
+                       eval::fmt_pct(eval::pct_improvement(sem, fix))});
+  }
+  std::printf("%s\n", acc_table.render().c_str());
+  std::printf(
+      "Semantic chunks keep fact sentences intact (sentence-aligned "
+      "boundaries), so the probed fact survives retrieval more often than "
+      "with fixed word windows that cut mid-sentence.\n");
+  return 0;
+}

@@ -1,0 +1,103 @@
+#pragma once
+// Shared plumbing for the experiment-reproduction benches: the shared
+// pipeline context, sweep runners, and measured-vs-paper table printing.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/pipeline.hpp"
+#include "eval/paper_reference.hpp"
+#include "eval/report.hpp"
+
+namespace mcqa::bench {
+
+/// The context every table/figure bench evaluates against.  Built once
+/// per process at the default reproduction scale.
+inline const core::PipelineContext& shared_context() {
+  return core::PipelineContext::shared();
+}
+
+inline void print_scale_banner(const core::PipelineContext& ctx) {
+  const auto& s = ctx.stats();
+  std::printf(
+      "[reproduction scale %.3f: %zu docs, %zu chunks, %zu questions, "
+      "%zu exam items; paper ran 22,548 docs / 173,318 chunks / 16,680 "
+      "questions]\n\n",
+      ctx.config().corpus.scale, s.documents, s.chunks,
+      ctx.benchmark().size(), ctx.exam_all().size());
+}
+
+/// Run the five-condition sweep for all registered students.
+inline eval::SweepResult run_full_sweep(
+    const core::PipelineContext& ctx,
+    const std::vector<qgen::McqRecord>& records) {
+  const eval::EvalHarness harness(ctx.rag());
+  return harness.sweep(ctx.student_ptrs(), ctx.student_specs(), records,
+                       eval::all_conditions());
+}
+
+/// "measured (paper)" cell text.
+inline std::string cell(double measured, double paper) {
+  return eval::fmt_acc(measured) + " (" + eval::fmt_acc(paper) + ")";
+}
+
+/// Print a Table 3/4-style table: baseline, chunks, best-of-traces.
+inline void print_exam_table(const char* title,
+                             const eval::SweepResult& sweep,
+                             const std::vector<eval::PaperRow3>& paper) {
+  eval::TableWriter table(
+      {"Model", "Baseline", "RAG-Chunks", "RAG-RTs (best)", "best mode"});
+  double dev = 0.0;
+  int cells = 0;
+  for (const auto& row : paper) {
+    const std::string model(row.model);
+    const double base = sweep.at(model, rag::Condition::kBaseline).value();
+    const double chunks = sweep.at(model, rag::Condition::kChunks).value();
+    const auto [best_cond, best_acc] = sweep.best_trace(model);
+    table.add_row({model, cell(base, row.accuracy[0]),
+                   cell(chunks, row.accuracy[1]),
+                   cell(best_acc.value(), row.accuracy[2]),
+                   std::string(rag::condition_name(best_cond))});
+    dev += std::abs(base - row.accuracy[0]) +
+           std::abs(chunks - row.accuracy[1]) +
+           std::abs(best_acc.value() - row.accuracy[2]);
+    cells += 3;
+  }
+  std::printf("%s\nvalues: measured (paper)\n\n%s\nmean |measured-paper| = %.3f\n\n",
+              title, table.render().c_str(), dev / cells);
+}
+
+/// Figure 4/5/6 payload: per-model % improvement of best-RT vs baseline
+/// and vs chunks.
+struct GainSeries {
+  std::vector<std::string> models;
+  std::vector<double> vs_baseline;
+  std::vector<double> vs_chunks;
+};
+
+inline GainSeries compute_gains(const eval::SweepResult& sweep) {
+  GainSeries g;
+  for (const auto& card : llm::student_registry()) {
+    const std::string& model = card.spec.name;
+    const double base = sweep.at(model, rag::Condition::kBaseline).value();
+    const double chunks = sweep.at(model, rag::Condition::kChunks).value();
+    const double best = sweep.best_trace(model).second.value();
+    g.models.push_back(model);
+    g.vs_baseline.push_back(eval::pct_improvement(best, base));
+    g.vs_chunks.push_back(eval::pct_improvement(best, chunks));
+  }
+  return g;
+}
+
+inline void print_gain_figure(const char* title, const GainSeries& g) {
+  const std::vector<eval::FigureSeries> series{
+      {"RT vs Baseline", g.vs_baseline},
+      {"RT vs RAG-Chunks", g.vs_chunks},
+  };
+  std::printf("%s\n", eval::render_grouped_bars(g.models, series, title,
+                                                /*scale=*/4.0)
+                          .c_str());
+}
+
+}  // namespace mcqa::bench

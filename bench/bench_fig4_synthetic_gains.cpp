@@ -1,0 +1,34 @@
+// Figure 4 reproduction: percent accuracy improvement on the synthetic
+// benchmark — reasoning-trace retrieval versus baseline and versus
+// chunk retrieval, per model.
+
+#include <algorithm>
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace mcqa;
+  const auto& ctx = bench::shared_context();
+  bench::print_scale_banner(ctx);
+
+  const eval::SweepResult sweep = bench::run_full_sweep(ctx, ctx.benchmark());
+  const bench::GainSeries gains = bench::compute_gains(sweep);
+  bench::print_gain_figure(
+      "Figure 4: % accuracy improvement, synthetic benchmark "
+      "(RAG-RT best vs Baseline / vs RAG-Chunks)",
+      gains);
+
+  // Paper-side gains for comparison, from Table 2.
+  std::printf("paper reference gains (derived from Table 2):\n");
+  for (const auto& row : eval::paper_table2()) {
+    const double best = std::max(
+        {row.accuracy[2], row.accuracy[3], row.accuracy[4]});
+    std::printf("  %-26s vs baseline %7s   vs chunks %7s\n",
+                std::string(row.model).c_str(),
+                eval::fmt_pct(eval::pct_improvement(best, row.accuracy[0]))
+                    .c_str(),
+                eval::fmt_pct(eval::pct_improvement(best, row.accuracy[1]))
+                    .c_str());
+  }
+  return 0;
+}

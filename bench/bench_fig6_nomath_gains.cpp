@@ -1,0 +1,39 @@
+// Figure 6 reproduction: percent accuracy improvement on the NO-MATH
+// subset of the Astro exam — trace retrieval vs baseline and vs chunks.
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace mcqa;
+  const auto& ctx = bench::shared_context();
+  bench::print_scale_banner(ctx);
+
+  const eval::SweepResult sweep =
+      bench::run_full_sweep(ctx, ctx.exam_no_math());
+  const bench::GainSeries gains = bench::compute_gains(sweep);
+  bench::print_gain_figure(
+      "Figure 6: % accuracy improvement, Astro exam (no-math subset)",
+      gains);
+
+  std::printf("paper reference gains (derived from Table 4):\n");
+  for (const auto& row : eval::paper_table4()) {
+    std::printf(
+        "  %-26s vs baseline %7s   vs chunks %7s\n",
+        std::string(row.model).c_str(),
+        eval::fmt_pct(eval::pct_improvement(row.accuracy[2], row.accuracy[0]))
+            .c_str(),
+        eval::fmt_pct(eval::pct_improvement(row.accuracy[2], row.accuracy[1]))
+            .c_str());
+  }
+
+  // §3.2.2: every model should show positive gains over BOTH conditions.
+  std::size_t positive_both = 0;
+  for (std::size_t i = 0; i < gains.models.size(); ++i) {
+    positive_both +=
+        (gains.vs_baseline[i] > 0.0 && gains.vs_chunks[i] > 0.0) ? 1 : 0;
+  }
+  std::printf("\nshape check: positive gains over both baseline and chunks "
+              "for %zu/8 models (paper: 8/8)\n",
+              positive_both);
+  return 0;
+}

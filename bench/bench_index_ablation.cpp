@@ -1,0 +1,112 @@
+// Index ablation (A1 in DESIGN.md): recall@10 and query throughput for
+// flat / IVF / HNSW indexes over the real chunk-embedding distribution,
+// reproducing the accuracy/speed trade-off the paper delegates to FAISS.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "index/vector_index.hpp"
+#include "util/stopwatch.hpp"
+
+namespace {
+
+using namespace mcqa;
+
+struct AblationData {
+  std::vector<embed::Vector> base;
+  std::vector<embed::Vector> queries;
+};
+
+const AblationData& data() {
+  static const AblationData d = [] {
+    AblationData out;
+    const auto& ctx = bench::shared_context();
+    const auto& store = ctx.chunk_store();
+    const auto& embedder = ctx.embedder();
+    for (std::size_t i = 0; i < store.size(); ++i) {
+      out.base.push_back(embedder.embed(store.text_of(i)));
+    }
+    for (const auto& record : ctx.benchmark()) {
+      out.queries.push_back(embedder.embed(record.stem));
+      if (out.queries.size() >= 64) break;
+    }
+    return out;
+  }();
+  return d;
+}
+
+double mean_recall(const index::VectorIndex& idx, std::size_t k = 10) {
+  double sum = 0.0;
+  for (const auto& q : data().queries) {
+    sum += index::recall_at_k(idx.search(q, k),
+                              index::exact_search(data().base, q, k));
+  }
+  return sum / static_cast<double>(data().queries.size());
+}
+
+template <typename MakeIndex>
+void run_search_bench(benchmark::State& state, MakeIndex make) {
+  const auto idx = make();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        idx->search(data().queries[i % data().queries.size()], 10));
+    ++i;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(i));
+  state.counters["recall@10"] = mean_recall(*idx);
+  state.counters["n"] = static_cast<double>(data().base.size());
+}
+
+void BM_FlatSearch(benchmark::State& state) {
+  run_search_bench(state, [] {
+    auto idx = std::make_unique<index::FlatIndex>(data().base[0].size());
+    for (const auto& v : data().base) idx->add(v);
+    idx->build();
+    return idx;
+  });
+}
+BENCHMARK(BM_FlatSearch);
+
+void BM_IvfSearch(benchmark::State& state) {
+  const auto nprobe = static_cast<std::size_t>(state.range(0));
+  run_search_bench(state, [nprobe] {
+    index::IvfConfig cfg;
+    cfg.nlist = 64;
+    cfg.nprobe = nprobe;
+    auto idx =
+        std::make_unique<index::IvfIndex>(data().base[0].size(), cfg);
+    for (const auto& v : data().base) idx->add(v);
+    idx->build();
+    return idx;
+  });
+}
+BENCHMARK(BM_IvfSearch)->Arg(1)->Arg(4)->Arg(16);
+
+void BM_HnswSearch(benchmark::State& state) {
+  const auto ef = static_cast<std::size_t>(state.range(0));
+  run_search_bench(state, [ef] {
+    index::HnswConfig cfg;
+    cfg.ef_search = ef;
+    auto idx =
+        std::make_unique<index::HnswIndex>(data().base[0].size(), cfg);
+    for (const auto& v : data().base) idx->add(v);
+    return idx;
+  });
+}
+BENCHMARK(BM_HnswSearch)->Arg(16)->Arg(64)->Arg(128);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::printf(
+      "Index ablation (A1): recall@10 vs throughput over %zu chunk "
+      "embeddings — the FAISS-style accuracy/speed trade-off.\n\n",
+      data().base.size());
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

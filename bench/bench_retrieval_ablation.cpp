@@ -1,0 +1,106 @@
+// Retrieval ablation (A3 in DESIGN.md): sensitivity of the headline
+// result to retrieval depth k, per-mode trace sensitivity, and an
+// independent statistical cross-check with the n-gram LM backend.
+
+#include <cstdio>
+
+#include <algorithm>
+
+#include "bench_common.hpp"
+#include "llm/ngram_lm.hpp"
+
+int main() {
+  using namespace mcqa;
+  const auto& ctx = bench::shared_context();
+  bench::print_scale_banner(ctx);
+
+  const auto& card = llm::student_card("SmolLM3-3B");
+  const llm::StudentModel model(card);
+
+  // --- retrieval depth sweep -------------------------------------------------
+  std::printf("Retrieval depth sweep (SmolLM3-3B, synthetic benchmark):\n\n");
+  eval::TableWriter depth({"k (chunks/traces)", "RAG-Chunks",
+                           "RAG-RT-Focused"});
+  for (const std::size_t k : {1u, 3u, 5u, 10u}) {
+    rag::RagConfig cfg;
+    cfg.top_k_chunks = k;
+    cfg.top_k_traces = k;
+    rag::RetrievalStores stores;
+    stores.chunks = &ctx.chunk_store();
+    for (int m = 0; m < trace::kTraceModeCount; ++m) {
+      stores.traces[static_cast<std::size_t>(m)] =
+          &ctx.trace_store(static_cast<trace::TraceMode>(m));
+    }
+    const rag::RagPipeline rag(ctx.kb(), ctx.matcher(), stores, cfg);
+    const eval::EvalHarness harness(rag);
+    const double chunks = harness
+                              .evaluate(model, card.spec, ctx.benchmark(),
+                                        rag::Condition::kChunks)
+                              .value();
+    const double traces = harness
+                              .evaluate(model, card.spec, ctx.benchmark(),
+                                        rag::Condition::kTraceFocused)
+                              .value();
+    depth.add_row({std::to_string(k), eval::fmt_acc(chunks),
+                   eval::fmt_acc(traces)});
+  }
+  std::printf("%s\n", depth.render().c_str());
+
+  // --- trace-mode sensitivity across all models ---------------------------------
+  std::printf("Trace-mode spread per model (synthetic benchmark):\n\n");
+  const eval::SweepResult sweep = bench::run_full_sweep(ctx, ctx.benchmark());
+  eval::TableWriter spread(
+      {"Model", "Detail", "Focused", "Efficient", "max-min"});
+  for (const auto& c : llm::student_registry()) {
+    const double d =
+        sweep.at(c.spec.name, rag::Condition::kTraceDetailed).value();
+    const double f =
+        sweep.at(c.spec.name, rag::Condition::kTraceFocused).value();
+    const double e =
+        sweep.at(c.spec.name, rag::Condition::kTraceEfficient).value();
+    spread.add_row({c.spec.name, eval::fmt_acc(d), eval::fmt_acc(f),
+                    eval::fmt_acc(e),
+                    eval::fmt_acc(std::max({d, f, e}) - std::min({d, f, e}))});
+  }
+  std::printf("%s", spread.render().c_str());
+  std::printf(
+      "paper (section 3.1.3): all three modes land close together; the "
+      "spread should stay within a few points except for the smallest "
+      "model, which loses ground on terse `efficient` rationales.\n\n");
+
+  // --- statistical cross-check: n-gram LM scores options by likelihood ----------
+  std::printf("N-gram LM cross-check (likelihood-ranked answering):\n\n");
+  std::string train_text;
+  for (const auto& doc : ctx.parsed()) {
+    train_text += doc.body_text();
+    train_text += '\n';
+    if (train_text.size() > 2'000'000) break;
+  }
+  llm::NgramLmConfig lm_cfg;
+  lm_cfg.bpe_vocab = 1500;
+  lm_cfg.name = "ngram-trigram";
+  const llm::NgramLm lm = llm::NgramLm::train(train_text, lm_cfg);
+
+  const eval::EvalHarness harness(ctx.rag());
+  const llm::ModelSpec lm_spec{"ngram-trigram", "in-tree", 0.001, 2026, 8192};
+  std::vector<qgen::McqRecord> subset(ctx.benchmark().begin(),
+                                      ctx.benchmark().begin() +
+                                          std::min<std::size_t>(
+                                              150, ctx.benchmark().size()));
+  const double lm_base =
+      harness.evaluate(lm, lm_spec, subset, rag::Condition::kBaseline).value();
+  const double lm_traces =
+      harness.evaluate(lm, lm_spec, subset, rag::Condition::kTraceFocused)
+          .value();
+  std::printf("  trained on %zu KB of parsed corpus, vocab %zu, %zu trigrams\n",
+              train_text.size() / 1024, lm.vocab_size(), lm.trigram_count());
+  std::printf("  baseline accuracy     : %.3f (chance = %.3f on 7 options)\n",
+              lm_base, 1.0 / 7.0);
+  std::printf("  RAG-RT-Focused        : %.3f\n", lm_traces);
+  std::printf(
+      "  A pure likelihood ranker, with no mechanistic simulation at all, "
+      "%s from trace context — independent evidence the retrieval channel "
+      "carries answer-relevant signal.\n",
+      lm_traces > lm_base ? "also gains" : "does not gain");
+  return 0;
+}

@@ -1,0 +1,106 @@
+// Domain-adaptation walkthrough: the paper's core story for one small
+// model.  Shows a benchmark question, the retrieved contexts under each
+// condition, the model's answers, and the judge's grading — then the
+// accuracy trajectory Baseline -> RAG-Chunks -> RAG-Traces.
+//
+//   ./build/examples/domain_adaptation [model-name] [scale]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/pipeline.hpp"
+#include "eval/judge.hpp"
+#include "eval/report.hpp"
+
+namespace {
+
+void show_condition(const mcqa::core::PipelineContext& ctx,
+                    const mcqa::llm::StudentModel& model,
+                    const mcqa::qgen::McqRecord& record,
+                    mcqa::rag::Condition condition) {
+  using namespace mcqa;
+  const eval::Judge judge;
+  const llm::McqTask task =
+      ctx.rag().prepare(record, condition, model.card().spec);
+  const llm::AnswerResult answer = model.answer(task);
+  const trace::GradingResult grading = judge.grade(task, answer.text);
+
+  std::printf("--- %s ---\n",
+              std::string(rag::condition_name(condition)).c_str());
+  if (!task.context.empty()) {
+    std::string preview = task.context.substr(0, 220);
+    for (auto& c : preview) {
+      if (c == '\n') c = ' ';
+    }
+    std::printf("retrieved context: \"%s...\"\n", preview.c_str());
+  }
+  std::printf("model answer     : %s\n", answer.text.c_str());
+  std::printf("judge            : %s (extracted option %d, key %d)\n\n",
+              grading.is_correct ? "CORRECT" : "incorrect",
+              grading.extracted_option_number, grading.correct_option_number);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace mcqa;
+  const std::string model_name = argc > 1 ? argv[1] : "TinyLlama-1.1B-Chat";
+  const double scale = argc > 2 ? std::atof(argv[2]) : 0.01;
+
+  const core::PipelineContext ctx(core::PipelineConfig::paper_scale(scale));
+  const auto& card = llm::student_card(model_name);
+  const llm::StudentModel model(card);
+
+  std::printf("Domain adaptation walkthrough: %s (%.1fB params, %zu-token "
+              "window)\n\n",
+              card.spec.name.c_str(), card.spec.params_billions,
+              card.spec.context_window);
+
+  // Pick a question the model gets wrong at baseline but right with
+  // traces — the paper's motivating case.
+  const eval::Judge judge;
+  const qgen::McqRecord* showcase = nullptr;
+  for (const auto& record : ctx.benchmark()) {
+    const llm::McqTask base_task = record.to_task();
+    const bool base_ok =
+        judge.grade(base_task, model.answer(base_task).text).is_correct;
+    if (base_ok) continue;
+    const llm::McqTask rt_task = ctx.rag().prepare(
+        record, rag::Condition::kTraceFocused, card.spec);
+    if (judge.grade(rt_task, model.answer(rt_task).text).is_correct) {
+      showcase = &record;
+      break;
+    }
+  }
+
+  if (showcase != nullptr) {
+    std::printf("question: %s\n\n", showcase->question.c_str());
+    show_condition(ctx, model, *showcase, rag::Condition::kBaseline);
+    show_condition(ctx, model, *showcase, rag::Condition::kChunks);
+    show_condition(ctx, model, *showcase, rag::Condition::kTraceFocused);
+  }
+
+  // Full trajectory on both evaluation sets.
+  const eval::EvalHarness harness(ctx.rag());
+  eval::TableWriter table({"Evaluation set", "Baseline", "RAG-Chunks",
+                           "RT-Detail", "RT-Focused", "RT-Efficient"});
+  for (const auto& [name, records] :
+       {std::pair<const char*, const std::vector<qgen::McqRecord>*>{
+            "synthetic benchmark", &ctx.benchmark()},
+        {"Astro exam (all)", &ctx.exam_all()},
+        {"Astro exam (no-math)", &ctx.exam_no_math()}}) {
+    std::vector<std::string> row{name};
+    for (const auto c : eval::all_conditions()) {
+      row.push_back(eval::fmt_acc(
+          harness.evaluate(model, card.spec, *records, c).value()));
+    }
+    table.add_row(std::move(row));
+  }
+  std::printf("accuracy trajectory for %s:\n\n%s\n", card.spec.name.c_str(),
+              table.render().c_str());
+  std::printf(
+      "The paper's thesis in one table: distilled reasoning traces from a "
+      "frontier model adapt a small model to the domain better than "
+      "retrieving the literature itself.\n");
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Quickstart: build the full pipeline at a small scale, print the
+// artifact funnel, and evaluate two models under all five conditions.
+//
+//   ./build/examples/quickstart [scale]
+//
+// Scale 0.01 (~225 docs) runs in a few seconds.
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/pipeline.hpp"
+#include "eval/report.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mcqa;
+
+  const double scale = argc > 1 ? std::atof(argv[1]) : 0.01;
+  std::printf("Building pipeline at scale %.3f of the paper's corpus...\n",
+              scale);
+
+  const core::PipelineContext ctx(core::PipelineConfig::paper_scale(scale));
+  const core::PipelineStats& stats = ctx.stats();
+
+  std::printf("\n=== Pipeline funnel ===\n");
+  std::printf("documents          : %zu (%zu parse failures)\n",
+              stats.documents, stats.parse_failures);
+  std::printf("chunks             : %zu\n", stats.chunks);
+  std::printf("MCQ candidates     : %zu\n", stats.funnel.candidates);
+  std::printf("accepted questions : %zu (%.1f%% of chunks)\n",
+              stats.funnel.accepted, 100.0 * stats.funnel.acceptance_rate());
+  std::printf("traces per mode    : %zu\n", stats.traces_per_mode);
+  std::printf("chunk embeddings   : %.2f MB fp16\n",
+              static_cast<double>(stats.embedding_bytes) / 1048576.0);
+  std::printf("exam items         : %zu usable, %zu no-math\n",
+              ctx.exam_all().size(), ctx.exam_no_math().size());
+  std::printf("build time         : %.2fs\n", stats.build_seconds);
+
+  // Evaluate a small and a large student on the synthetic benchmark.
+  const eval::EvalHarness harness(ctx.rag());
+  const auto conditions = eval::all_conditions();
+
+  eval::TableWriter table({"Model", "Baseline", "RAG-Chunks", "RT-Detail",
+                           "RT-Focused", "RT-Efficient"});
+  for (const char* name : {"TinyLlama-1.1B-Chat", "Llama-3.1-8B-Instruct"}) {
+    const auto& card = llm::student_card(name);
+    const llm::StudentModel model(card);
+    std::vector<std::string> row{card.spec.name};
+    for (const auto c : conditions) {
+      const eval::Accuracy acc =
+          harness.evaluate(model, card.spec, ctx.benchmark(), c);
+      row.push_back(eval::fmt_acc(acc.value()));
+    }
+    table.add_row(std::move(row));
+  }
+  std::printf("\n=== Synthetic benchmark (sample of models) ===\n%s",
+              table.render().c_str());
+
+  std::printf(
+      "\nReasoning-trace retrieval should dominate chunks, which should\n"
+      "dominate baseline — the paper's headline ordering.\n");
+  return 0;
+}

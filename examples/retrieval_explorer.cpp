@@ -1,0 +1,93 @@
+// Retrieval explorer: inspect what the RAG layer hands the students.
+//
+//   ./build/examples/retrieval_explorer [scale]
+//
+// For every condition it reports, over the synthetic benchmark and the
+// Astro exam: how often the probed fact survives into the prompt, its
+// mean saliency, how often traces dismiss wrong options, and how often
+// the context lends false support to a distractor.  This is the
+// observability tool for calibrating the simulation against the paper.
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/pipeline.hpp"
+
+namespace {
+
+struct ConditionDiag {
+  std::size_t n = 0;
+  std::size_t has_fact = 0;
+  double saliency_sum = 0.0;
+  std::size_t has_elim = 0;
+  std::size_t has_mislead = 0;
+  std::size_t empty_context = 0;
+};
+
+ConditionDiag probe(const mcqa::core::PipelineContext& ctx,
+                    const std::vector<mcqa::qgen::McqRecord>& records,
+                    mcqa::rag::Condition condition,
+                    const mcqa::llm::ModelSpec& spec) {
+  ConditionDiag d;
+  for (const auto& rec : records) {
+    const auto task = ctx.rag().prepare(rec, condition, spec);
+    ++d.n;
+    if (task.context.empty()) ++d.empty_context;
+    if (task.context_has_fact) {
+      ++d.has_fact;
+      d.saliency_sum += task.context_saliency;
+    }
+    if (task.context_has_elimination) ++d.has_elim;
+    if (!task.context_misleading_options.empty()) ++d.has_mislead;
+  }
+  return d;
+}
+
+void report(const char* title, const ConditionDiag& d) {
+  std::printf(
+      "  %-18s n=%-5zu fact-in-ctx=%5.1f%%  mean-sal=%.3f  elim=%5.1f%%  "
+      "mislead=%5.1f%%  empty=%4.1f%%\n",
+      title, d.n, 100.0 * static_cast<double>(d.has_fact) / d.n,
+      d.has_fact ? d.saliency_sum / static_cast<double>(d.has_fact) : 0.0,
+      100.0 * static_cast<double>(d.has_elim) / d.n,
+      100.0 * static_cast<double>(d.has_mislead) / d.n,
+      100.0 * static_cast<double>(d.empty_context) / d.n);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace mcqa;
+  const double scale = argc > 1 ? std::atof(argv[1]) : 0.01;
+  const core::PipelineContext ctx(core::PipelineConfig::paper_scale(scale));
+
+  // Use a mid-size spec (8K window) and the smallest window for contrast.
+  const llm::ModelSpec big = llm::student_card("Llama-3.1-8B-Instruct").spec;
+  const llm::ModelSpec small = llm::student_card("OLMo-7B").spec;
+
+  const rag::Condition conds[] = {
+      rag::Condition::kChunks, rag::Condition::kTraceDetailed,
+      rag::Condition::kTraceFocused, rag::Condition::kTraceEfficient};
+  const char* cond_names[] = {"chunks", "rt-detail", "rt-focused",
+                              "rt-efficient"};
+
+  std::printf("=== Synthetic benchmark (%zu records), 32K window ===\n",
+              ctx.benchmark().size());
+  for (int c = 0; c < 4; ++c) {
+    report(cond_names[c], probe(ctx, ctx.benchmark(), conds[c], big));
+  }
+  std::printf("=== Synthetic benchmark, 2K window ===\n");
+  for (int c = 0; c < 4; ++c) {
+    report(cond_names[c], probe(ctx, ctx.benchmark(), conds[c], small));
+  }
+  std::printf("=== Astro exam all (%zu records), 32K window ===\n",
+              ctx.exam_all().size());
+  for (int c = 0; c < 4; ++c) {
+    report(cond_names[c], probe(ctx, ctx.exam_all(), conds[c], big));
+  }
+  std::printf("=== Astro exam all, 2K window ===\n");
+  for (int c = 0; c < 4; ++c) {
+    report(cond_names[c], probe(ctx, ctx.exam_all(), conds[c], small));
+  }
+  return 0;
+}

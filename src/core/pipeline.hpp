@@ -1,0 +1,137 @@
+#pragma once
+// End-to-end pipeline orchestration (Fig. 1 of the paper):
+//
+//   corpus synthesis -> adaptive parsing -> semantic chunking ->
+//   FP16 embedding + vector store -> MCQ generation + quality filter ->
+//   reasoning-trace distillation (3 modes, 3 stores) ->
+//   Astro-exam synthesis -> evaluation-ready retrieval pipeline.
+//
+// PipelineContext owns every artifact and is non-movable so internal
+// references stay valid; build it once per process (it is the expensive
+// step) and share across benches/tests.
+
+#include <array>
+#include <memory>
+#include <unordered_set>
+#include <vector>
+
+#include "chunk/chunker.hpp"
+#include "corpus/corpus_builder.hpp"
+#include "corpus/fact_matcher.hpp"
+#include "corpus/knowledge_base.hpp"
+#include "embed/hashed_embedder.hpp"
+#include "eval/harness.hpp"
+#include "exam/astro_exam.hpp"
+#include "index/vector_store.hpp"
+#include "llm/student_model.hpp"
+#include "llm/teacher_model.hpp"
+#include "parse/adaptive.hpp"
+#include "qgen/benchmark_builder.hpp"
+#include "rag/rag_pipeline.hpp"
+#include "trace/trace_generator.hpp"
+#include "trace/trace_grading.hpp"
+
+namespace mcqa::core {
+
+struct PipelineConfig {
+  corpus::KbConfig kb;
+  corpus::CorpusConfig corpus;
+  parse::AdaptiveConfig parser;
+  chunk::ChunkerConfig chunker;
+  bool semantic_chunking = true;  ///< false = fixed-size baseline (A2)
+  qgen::BuilderConfig builder;
+  trace::TraceGenConfig tracegen;
+  exam::ExamConfig exam;
+  rag::RagConfig rag;
+  index::IndexKind index_kind = index::IndexKind::kFlat;
+  llm::SimulationCoefficients sim;
+  std::size_t threads = 0;
+
+  /// The default configuration used by all paper-reproduction benches:
+  /// 1/40-scale corpus, flat index, semantic chunking.
+  static PipelineConfig paper_scale(double scale = 0.025);
+};
+
+struct PipelineStats {
+  std::size_t documents = 0;
+  std::size_t parse_failures = 0;
+  parse::RoutingStats routing;
+  std::size_t chunks = 0;
+  qgen::FunnelStats funnel;
+  std::size_t traces_per_mode = 0;
+  double trace_grading_accuracy = 0.0;  ///< teacher self-grading pass rate
+  std::size_t embedding_bytes = 0;  ///< chunk store, FP16 at rest
+  double build_seconds = 0.0;
+};
+
+class PipelineContext {
+ public:
+  explicit PipelineContext(const PipelineConfig& config);
+
+  PipelineContext(const PipelineContext&) = delete;
+  PipelineContext& operator=(const PipelineContext&) = delete;
+
+  const PipelineConfig& config() const { return config_; }
+  const PipelineStats& stats() const { return stats_; }
+
+  const corpus::KnowledgeBase& kb() const { return kb_; }
+  const corpus::FactMatcher& matcher() const { return matcher_; }
+  const corpus::SyntheticCorpus& corpus() const { return corpus_; }
+  const std::vector<parse::ParsedDocument>& parsed() const { return parsed_; }
+  const std::vector<chunk::Chunk>& chunks() const { return chunks_; }
+  const embed::HashedNGramEmbedder& embedder() const { return embedder_; }
+  const index::VectorStore& chunk_store() const { return *chunk_store_; }
+  const index::VectorStore& trace_store(trace::TraceMode mode) const {
+    return *trace_stores_[static_cast<std::size_t>(mode)];
+  }
+  const llm::TeacherModel& teacher() const { return *teacher_; }
+  const std::vector<qgen::McqRecord>& benchmark() const { return benchmark_; }
+  const std::vector<trace::TraceRecord>& traces(trace::TraceMode mode) const {
+    return traces_[static_cast<std::size_t>(mode)];
+  }
+  const exam::Exam& astro_exam() const { return exam_; }
+  const std::vector<qgen::McqRecord>& exam_all() const { return exam_all_; }
+  const std::vector<qgen::McqRecord>& exam_no_math() const {
+    return exam_no_math_;
+  }
+  const std::unordered_set<corpus::FactId>& covered_facts() const {
+    return covered_facts_;
+  }
+  const rag::RagPipeline& rag() const { return *rag_; }
+
+  /// The eight simulated students (registry order), plus their specs.
+  const std::vector<std::unique_ptr<llm::StudentModel>>& students() const {
+    return students_;
+  }
+  std::vector<const llm::LanguageModel*> student_ptrs() const;
+  std::vector<llm::ModelSpec> student_specs() const;
+
+  /// Process-wide shared context at the default paper scale; built on
+  /// first use.  Benches share it to avoid rebuilding per binary run.
+  static const PipelineContext& shared();
+
+ private:
+  PipelineConfig config_;
+  PipelineStats stats_;
+
+  corpus::KnowledgeBase kb_;
+  corpus::FactMatcher matcher_;
+  corpus::SyntheticCorpus corpus_;
+  std::vector<parse::ParsedDocument> parsed_;
+  std::vector<chunk::Chunk> chunks_;
+  embed::HashedNGramEmbedder embedder_;
+  std::unique_ptr<index::VectorStore> chunk_store_;
+  std::unique_ptr<llm::TeacherModel> teacher_;
+  std::vector<qgen::McqRecord> benchmark_;
+  std::array<std::vector<trace::TraceRecord>, trace::kTraceModeCount> traces_;
+  std::array<std::unique_ptr<index::VectorStore>, trace::kTraceModeCount>
+      trace_stores_;
+  std::unordered_set<corpus::FactId> covered_facts_;
+  exam::Exam exam_;
+  std::vector<qgen::McqRecord> exam_all_;
+  std::vector<qgen::McqRecord> exam_no_math_;
+  std::unique_ptr<rag::RagPipeline> rag_;
+  std::vector<std::unique_ptr<llm::StudentModel>> students_;
+};
+
+}  // namespace mcqa::core

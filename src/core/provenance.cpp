@@ -1,0 +1,69 @@
+#include "core/provenance.hpp"
+
+namespace mcqa::core {
+
+ProvenanceIndex::ProvenanceIndex(const PipelineContext& ctx) : ctx_(ctx) {
+  for (const auto& c : ctx.chunks()) {
+    chunk_by_id_.emplace(c.chunk_id, &c);
+  }
+  for (const auto& d : ctx.parsed()) {
+    doc_by_id_.emplace(d.doc_id, &d);
+  }
+  for (const auto& r : ctx.corpus().documents) {
+    raw_by_id_.emplace(r.doc_id, &r);
+  }
+  for (const auto& record : ctx.benchmark()) {
+    by_record_.emplace(record.record_id, &record);
+    by_fact_[record.fact].push_back(&record);
+    const auto chunk_it = chunk_by_id_.find(record.chunk_id);
+    if (chunk_it != chunk_by_id_.end()) {
+      by_doc_[chunk_it->second->doc_id].push_back(&record);
+    }
+  }
+}
+
+std::optional<Lineage> ProvenanceIndex::lookup(
+    std::string_view record_id) const {
+  const auto rec_it = by_record_.find(std::string(record_id));
+  if (rec_it == by_record_.end()) return std::nullopt;
+
+  Lineage lineage;
+  lineage.record = rec_it->second;
+
+  const auto chunk_it = chunk_by_id_.find(lineage.record->chunk_id);
+  if (chunk_it != chunk_by_id_.end()) {
+    lineage.chunk = chunk_it->second;
+    lineage.chunk_facts = ctx_.matcher().match(lineage.chunk->text);
+
+    const auto doc_it = doc_by_id_.find(lineage.chunk->doc_id);
+    if (doc_it != doc_by_id_.end()) lineage.document = doc_it->second;
+    const auto raw_it = raw_by_id_.find(lineage.chunk->doc_id);
+    if (raw_it != raw_by_id_.end()) lineage.raw = raw_it->second;
+
+    const auto siblings_it = by_doc_.find(lineage.chunk->doc_id);
+    if (siblings_it != by_doc_.end()) {
+      for (const auto* sibling : siblings_it->second) {
+        if (sibling != lineage.record) {
+          lineage.sibling_questions.push_back(sibling);
+        }
+      }
+    }
+  }
+  return lineage;
+}
+
+std::vector<const qgen::McqRecord*> ProvenanceIndex::questions_probing(
+    corpus::FactId fact) const {
+  const auto it = by_fact_.find(fact);
+  return it == by_fact_.end() ? std::vector<const qgen::McqRecord*>{}
+                              : it->second;
+}
+
+std::vector<const qgen::McqRecord*> ProvenanceIndex::questions_from_document(
+    std::string_view doc_id) const {
+  const auto it = by_doc_.find(std::string(doc_id));
+  return it == by_doc_.end() ? std::vector<const qgen::McqRecord*>{}
+                             : it->second;
+}
+
+}  // namespace mcqa::core

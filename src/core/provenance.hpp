@@ -1,0 +1,56 @@
+#pragma once
+// Provenance index: the paper's "provenance links to the source
+// literature" made queryable.  Every benchmark question traces back
+// through its chunk_id to the source chunk, the parsed document, the
+// original raw bytes, and the ground-truth facts it realizes — the
+// lineage the Fig. 2 schema promises (chunk_id + path + text).
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/pipeline.hpp"
+
+namespace mcqa::core {
+
+struct Lineage {
+  const qgen::McqRecord* record = nullptr;
+  const chunk::Chunk* chunk = nullptr;               ///< source chunk
+  const parse::ParsedDocument* document = nullptr;   ///< parsed source doc
+  const corpus::RawDocument* raw = nullptr;          ///< original bytes
+  std::vector<corpus::FactId> chunk_facts;           ///< facts in the chunk
+  /// Every other accepted question generated from the same document.
+  std::vector<const qgen::McqRecord*> sibling_questions;
+};
+
+class ProvenanceIndex {
+ public:
+  explicit ProvenanceIndex(const PipelineContext& ctx);
+
+  /// Full lineage for a benchmark record id; nullopt when unknown.
+  std::optional<Lineage> lookup(std::string_view record_id) const;
+
+  /// All questions whose source chunk contains `fact`.
+  std::vector<const qgen::McqRecord*> questions_probing(
+      corpus::FactId fact) const;
+
+  /// All questions derived from one document.
+  std::vector<const qgen::McqRecord*> questions_from_document(
+      std::string_view doc_id) const;
+
+  std::size_t size() const { return by_record_.size(); }
+
+ private:
+  const PipelineContext& ctx_;
+  std::unordered_map<std::string, const qgen::McqRecord*> by_record_;
+  std::unordered_map<std::string, const chunk::Chunk*> chunk_by_id_;
+  std::unordered_map<std::string, const parse::ParsedDocument*> doc_by_id_;
+  std::unordered_map<std::string, const corpus::RawDocument*> raw_by_id_;
+  std::unordered_map<corpus::FactId, std::vector<const qgen::McqRecord*>>
+      by_fact_;
+  std::unordered_map<std::string, std::vector<const qgen::McqRecord*>>
+      by_doc_;
+};
+
+}  // namespace mcqa::core

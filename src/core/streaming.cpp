@@ -1,0 +1,53 @@
+#include "core/streaming.hpp"
+
+#include <atomic>
+#include <optional>
+
+#include "parallel/pipeline.hpp"
+
+namespace mcqa::core {
+
+StreamingResult run_streaming_ingest(
+    const std::vector<corpus::RawDocument>& documents,
+    const embed::Embedder& embedder, const StreamingConfig& config) {
+  StreamingResult result;
+
+  // Stage 1: parse.  One-to-(zero-or-one): failures produce no output.
+  const parse::AdaptiveParser parser(config.parser);
+  std::atomic<std::size_t> failures{0};
+  result.documents = parallel::run_stage<corpus::RawDocument,
+                                         parse::ParsedDocument>(
+      documents,
+      [&](const corpus::RawDocument& raw) {
+        std::vector<parse::ParsedDocument> out;
+        parse::ParseOutcome outcome = parser.parse(raw.bytes);
+        if (!outcome.ok) {
+          failures.fetch_add(1, std::memory_order_relaxed);
+          return out;
+        }
+        if (outcome.document.doc_id.empty()) {
+          outcome.document.doc_id = raw.doc_id;
+        }
+        out.push_back(std::move(outcome.document));
+        return out;
+      },
+      config.parse_workers);
+  result.parse_failures = failures.load();
+
+  // Stage 2: chunk.  One-to-many, input-major order preserved.
+  const chunk::SemanticChunker chunker(embedder, config.chunker);
+  result.chunks = parallel::run_stage<parse::ParsedDocument, chunk::Chunk>(
+      result.documents,
+      [&](const parse::ParsedDocument& doc) { return chunker.chunk(doc); },
+      config.chunk_workers);
+
+  // Stage 3: embed.  One-to-one.
+  result.embeddings = parallel::run_map_stage<chunk::Chunk, embed::Vector>(
+      result.chunks,
+      [&](const chunk::Chunk& c) { return embedder.embed(c.text); },
+      config.embed_workers);
+
+  return result;
+}
+
+}  // namespace mcqa::core

@@ -1,0 +1,42 @@
+#pragma once
+// Streaming ingest: the Parsl-style dataflow form of the pipeline's
+// front half (parse -> chunk -> embed), built on parallel::run_stage
+// with per-stage worker counts and bounded queues for backpressure.
+//
+// The batch PipelineContext materializes each stage before starting the
+// next; the streaming form lets document i+1 parse while document i is
+// still chunking — the shape the paper runs across ALCF nodes.  Both
+// forms produce byte-identical artifacts (order is restored by sequence
+// number), which the tests assert.
+
+#include <vector>
+
+#include "chunk/chunker.hpp"
+#include "corpus/corpus_builder.hpp"
+#include "embed/embedder.hpp"
+#include "parse/adaptive.hpp"
+
+namespace mcqa::core {
+
+struct StreamingConfig {
+  std::size_t parse_workers = 2;
+  std::size_t chunk_workers = 2;
+  std::size_t embed_workers = 2;
+  parse::AdaptiveConfig parser;
+  chunk::ChunkerConfig chunker;
+};
+
+struct StreamingResult {
+  std::vector<parse::ParsedDocument> documents;  ///< successfully parsed
+  std::size_t parse_failures = 0;
+  std::vector<chunk::Chunk> chunks;
+  /// Embedding per chunk, aligned with `chunks`.
+  std::vector<embed::Vector> embeddings;
+};
+
+/// Run the streaming front half over a document batch.
+StreamingResult run_streaming_ingest(
+    const std::vector<corpus::RawDocument>& documents,
+    const embed::Embedder& embedder, const StreamingConfig& config = {});
+
+}  // namespace mcqa::core

@@ -1,0 +1,94 @@
+#include "corpus/corpus_builder.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "parallel/thread_pool.hpp"
+
+namespace mcqa::corpus {
+
+std::string_view doc_format_name(DocFormat f) {
+  switch (f) {
+    case DocFormat::kSpdf: return "spdf";
+    case DocFormat::kMarkdown: return "markdown";
+    case DocFormat::kPlainText: return "text";
+  }
+  return "unknown";
+}
+
+std::size_t CorpusConfig::paper_count() const {
+  return std::max<std::size_t>(
+      1, static_cast<std::size_t>(
+             std::llround(scale * static_cast<double>(kPaperCountFullScale))));
+}
+
+std::size_t CorpusConfig::abstract_count() const {
+  return std::max<std::size_t>(
+      1, static_cast<std::size_t>(std::llround(
+             scale * static_cast<double>(kAbstractCountFullScale))));
+}
+
+const PaperSpec* SyntheticCorpus::spec_for(std::string_view doc_id) const {
+  for (const auto& spec : specs) {
+    if (spec.doc_id == doc_id) return &spec;
+  }
+  return nullptr;
+}
+
+SyntheticCorpus build_corpus(const KnowledgeBase& kb,
+                             const CorpusConfig& config, std::size_t threads) {
+  const std::size_t n_papers = config.paper_count();
+  const std::size_t n_abstracts = config.abstract_count();
+  const std::size_t total = n_papers + n_abstracts;
+
+  SyntheticCorpus corpus;
+  corpus.documents.resize(total);
+  corpus.specs.resize(total);
+
+  const PaperGenerator generator(kb, config.paper_gen);
+  const util::Rng root(config.seed);
+
+  parallel::ThreadPool pool(threads);
+  parallel::parallel_for(pool, 0, total, [&](std::size_t i) {
+    const bool is_paper = i < n_papers;
+    const std::size_t index = is_paper ? i : i - n_papers;
+    const DocKind kind = is_paper ? DocKind::kFullPaper : DocKind::kAbstract;
+
+    // Fork per-document streams keyed by identity, not loop order.
+    util::Rng doc_rng = root.fork((is_paper ? 0x10000000ULL : 0x20000000ULL) +
+                                  index);
+    PaperSpec spec = generator.generate(index, kind, doc_rng.fork("content"));
+
+    RawDocument doc;
+    doc.doc_id = spec.doc_id;
+    doc.kind = kind;
+
+    util::Rng fmt_rng = doc_rng.fork("format");
+    const double fmt_draw = fmt_rng.uniform();
+    if (is_paper && fmt_draw < config.markdown_fraction) {
+      doc.format = DocFormat::kMarkdown;
+      doc.bytes = write_markdown(spec);
+    } else if (is_paper &&
+               fmt_draw < config.markdown_fraction + config.text_fraction) {
+      doc.format = DocFormat::kPlainText;
+      doc.bytes = write_text(spec);
+    } else {
+      doc.format = DocFormat::kSpdf;
+      const double difficulty = fmt_rng.uniform();
+      SpdfNoise noise = SpdfNoise::clean();
+      if (difficulty < config.hard_fraction) {
+        noise = SpdfNoise::hard();
+      } else if (difficulty < config.hard_fraction + config.moderate_fraction) {
+        noise = SpdfNoise::moderate();
+      }
+      doc.bytes = write_spdf(spec, noise, doc_rng.fork("render"));
+    }
+
+    corpus.documents[i] = std::move(doc);
+    corpus.specs[i] = std::move(spec);
+  });
+
+  return corpus;
+}
+
+}  // namespace mcqa::corpus

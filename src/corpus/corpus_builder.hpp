@@ -1,0 +1,67 @@
+#pragma once
+// Whole-corpus synthesis: the reproduction's stand-in for the Semantic
+// Scholar download stage.
+//
+// Produces raw document byte streams (SPDF / Markdown / plain text) plus
+// the ground-truth PaperSpecs.  The paper's case study used 14,115
+// full-text papers and 8,433 abstracts; the builder takes a scale factor
+// so benches can run a proportionally shrunken corpus with the same
+// paper:abstract ratio.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "corpus/knowledge_base.hpp"
+#include "corpus/paper_generator.hpp"
+#include "corpus/spdf.hpp"
+
+namespace mcqa::corpus {
+
+enum class DocFormat { kSpdf, kMarkdown, kPlainText };
+
+std::string_view doc_format_name(DocFormat f);
+
+struct RawDocument {
+  std::string doc_id;
+  DocFormat format = DocFormat::kSpdf;
+  DocKind kind = DocKind::kFullPaper;
+  std::string bytes;
+};
+
+struct CorpusConfig {
+  /// Paper-scale counts at scale = 1.0.
+  static constexpr std::size_t kPaperCountFullScale = 14115;
+  static constexpr std::size_t kAbstractCountFullScale = 8433;
+
+  double scale = 0.025;  ///< fraction of the paper's corpus size
+  std::uint64_t seed = 20250706;
+  PaperGenConfig paper_gen;
+  /// Mix of parse difficulty across documents (must sum to <= 1; the
+  /// remainder is "clean").
+  double moderate_fraction = 0.45;
+  double hard_fraction = 0.15;
+  /// Fraction of full papers delivered as Markdown / plain text instead
+  /// of SPDF (the framework accepts all three, per the paper).
+  double markdown_fraction = 0.08;
+  double text_fraction = 0.05;
+
+  std::size_t paper_count() const;
+  std::size_t abstract_count() const;
+};
+
+struct SyntheticCorpus {
+  std::vector<RawDocument> documents;
+  std::vector<PaperSpec> specs;  ///< aligned with `documents`
+
+  const PaperSpec* spec_for(std::string_view doc_id) const;
+};
+
+/// Build the corpus.  Deterministic in config.seed; each document's
+/// generation forks an independent RNG stream keyed by its id so the
+/// result is identical regardless of generation order or thread count.
+SyntheticCorpus build_corpus(const KnowledgeBase& kb,
+                             const CorpusConfig& config,
+                             std::size_t threads = 0);
+
+}  // namespace mcqa::corpus

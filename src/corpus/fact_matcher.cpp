@@ -1,0 +1,86 @@
+#include "corpus/fact_matcher.hpp"
+
+#include "corpus/realization.hpp"
+#include "text/normalize.hpp"
+
+namespace mcqa::corpus {
+
+namespace {
+
+/// Word-boundary-ish substring search over normalized text.
+bool contains_phrase(std::string_view haystack, std::string_view phrase) {
+  if (phrase.empty()) return false;
+  std::size_t pos = 0;
+  while ((pos = haystack.find(phrase, pos)) != std::string_view::npos) {
+    const bool left_ok = pos == 0 || haystack[pos - 1] == ' ';
+    const std::size_t end = pos + phrase.size();
+    const bool right_ok = end == haystack.size() || haystack[end] == ' ';
+    if (left_ok && right_ok) return true;
+    ++pos;
+  }
+  return false;
+}
+
+}  // namespace
+
+FactMatcher::FactMatcher(const KnowledgeBase& kb) : kb_(kb) {
+  entity_norm_.reserve(kb.entities().size());
+  for (const auto& e : kb.entities()) {
+    entity_norm_.push_back(text::normalize_for_matching(e.name));
+  }
+}
+
+bool FactMatcher::fact_in_normalized(std::string_view normalized,
+                                     const Fact& fact) const {
+  const std::string& subj = entity_norm_[fact.subject];
+  if (!contains_phrase(normalized, subj)) return false;
+
+  if (fact.relation == RelationKind::kHalfLife) {
+    // Subject + the phrase "half-life" + the numeric value.
+    if (normalized.find("half-life") == std::string_view::npos &&
+        normalized.find("half life") == std::string_view::npos) {
+      return false;
+    }
+    const std::string value_norm =
+        text::normalize_for_matching(format_quantity(fact.value, fact.unit));
+    return contains_phrase(normalized, value_norm);
+  }
+
+  const std::string& obj = entity_norm_[fact.object];
+  if (!contains_phrase(normalized, obj)) return false;
+
+  if (fact.relation == RelationKind::kHasQuantity) {
+    const std::string value_norm =
+        text::normalize_for_matching(format_quantity(fact.value, fact.unit));
+    return contains_phrase(normalized, value_norm);
+  }
+
+  // Relational fact: require a cue word from the verb phrase so that a
+  // chunk merely mentioning both entities in unrelated sentences doesn't
+  // count as carrying the relation.
+  const std::string verb_norm =
+      text::normalize_for_matching(relation_verb(fact.relation));
+  // First word of the verb phrase is the discriminative cue
+  // ("activates", "inhibits", "radiosensitizes", ...).
+  const std::size_t space = verb_norm.find(' ');
+  const std::string_view cue =
+      space == std::string::npos ? std::string_view(verb_norm)
+                                 : std::string_view(verb_norm).substr(0, space);
+  return normalized.find(cue) != std::string_view::npos;
+}
+
+std::vector<FactId> FactMatcher::match(std::string_view txt) const {
+  const std::string normalized = text::normalize_for_matching(txt);
+  std::vector<FactId> out;
+  for (const auto& fact : kb_.facts()) {
+    if (fact_in_normalized(normalized, fact)) out.push_back(fact.id);
+  }
+  return out;
+}
+
+bool FactMatcher::contains(std::string_view txt, FactId fact) const {
+  const std::string normalized = text::normalize_for_matching(txt);
+  return fact_in_normalized(normalized, kb_.fact(fact));
+}
+
+}  // namespace mcqa::corpus

@@ -1,0 +1,36 @@
+#pragma once
+// Fact detection in free text.
+//
+// After parsing and chunking, chunk text is all that survives; the
+// evaluation needs to know which ground-truth facts a chunk (or a
+// reasoning trace) still carries.  A fact counts as present when its
+// subject surface form, its relation cue, and its object surface form
+// (or numeric payload) co-occur in the normalized text.  This tolerates
+// parser noise — a dropped ligature breaks a name and correctly
+// registers as knowledge lost.
+
+#include <string_view>
+#include <vector>
+
+#include "corpus/knowledge_base.hpp"
+
+namespace mcqa::corpus {
+
+class FactMatcher {
+ public:
+  explicit FactMatcher(const KnowledgeBase& kb);
+
+  /// All facts detected in `text` (any casing/punctuation).
+  std::vector<FactId> match(std::string_view text) const;
+
+  /// Is this one fact present in `text`?
+  bool contains(std::string_view text, FactId fact) const;
+
+ private:
+  bool fact_in_normalized(std::string_view normalized, const Fact& fact) const;
+
+  const KnowledgeBase& kb_;
+  std::vector<std::string> entity_norm_;  ///< normalized entity names
+};
+
+}  // namespace mcqa::corpus

@@ -1,0 +1,257 @@
+#include "corpus/knowledge_base.hpp"
+
+#include <algorithm>
+#include <array>
+#include <stdexcept>
+
+#include "util/hash.hpp"
+
+namespace mcqa::corpus {
+
+std::string_view relation_name(RelationKind r) {
+  switch (r) {
+    case RelationKind::kActivates: return "activates";
+    case RelationKind::kInhibits: return "inhibits";
+    case RelationKind::kPhosphorylates: return "phosphorylates";
+    case RelationKind::kStabilizes: return "stabilizes";
+    case RelationKind::kIsRequiredFor: return "is_required_for";
+    case RelationKind::kSensitizes: return "sensitizes";
+    case RelationKind::kProtects: return "protects";
+    case RelationKind::kInduces: return "induces";
+    case RelationKind::kPredominantIn: return "predominant_in";
+    case RelationKind::kHasQuantity: return "has_quantity";
+    case RelationKind::kHalfLife: return "half_life";
+  }
+  return "unknown";
+}
+
+std::string_view relation_verb(RelationKind r) {
+  switch (r) {
+    case RelationKind::kActivates: return "activates";
+    case RelationKind::kInhibits: return "inhibits";
+    case RelationKind::kPhosphorylates: return "phosphorylates";
+    case RelationKind::kStabilizes: return "stabilizes";
+    case RelationKind::kIsRequiredFor: return "is required for";
+    case RelationKind::kSensitizes: return "radiosensitizes";
+    case RelationKind::kProtects: return "protects";
+    case RelationKind::kInduces: return "preferentially induces";
+    case RelationKind::kPredominantIn: return "predominates in";
+    case RelationKind::kHasQuantity: return "is characterized by";
+    case RelationKind::kHalfLife: return "has a physical half-life of";
+  }
+  return "relates to";
+}
+
+namespace {
+
+std::uint64_t relation_key(EntityId s, RelationKind r, EntityId o) {
+  return (static_cast<std::uint64_t>(s) << 40) |
+         (static_cast<std::uint64_t>(r) << 32) | o;
+}
+
+/// Valid (subject kind, object kind) signature per relation.
+struct RelationSignature {
+  RelationKind relation;
+  EntityKind subject_kind;
+  EntityKind object_kind;
+  double weight;  ///< sampling weight within a topic
+};
+
+const std::array<RelationSignature, 14>& signatures() {
+  static const std::array<RelationSignature, 14> kSigs = {{
+      {RelationKind::kActivates, EntityKind::kGene, EntityKind::kGene, 1.2},
+      {RelationKind::kActivates, EntityKind::kGene, EntityKind::kProcess, 1.0},
+      {RelationKind::kInhibits, EntityKind::kGene, EntityKind::kGene, 1.0},
+      {RelationKind::kInhibits, EntityKind::kAgent, EntityKind::kGene, 1.0},
+      {RelationKind::kInhibits, EntityKind::kAgent, EntityKind::kProcess, 0.7},
+      {RelationKind::kPhosphorylates, EntityKind::kGene, EntityKind::kGene, 1.0},
+      {RelationKind::kStabilizes, EntityKind::kGene, EntityKind::kGene, 0.6},
+      {RelationKind::kIsRequiredFor, EntityKind::kGene, EntityKind::kProcess, 1.2},
+      {RelationKind::kSensitizes, EntityKind::kAgent, EntityKind::kCellType, 0.9},
+      {RelationKind::kProtects, EntityKind::kAgent, EntityKind::kCellType, 0.7},
+      {RelationKind::kInduces, EntityKind::kModality, EntityKind::kProcess, 0.9},
+      {RelationKind::kPredominantIn, EntityKind::kProcess, EntityKind::kCellType, 0.7},
+      {RelationKind::kHasQuantity, EntityKind::kModality, EntityKind::kQuantity, 0.8},
+      {RelationKind::kHasQuantity, EntityKind::kCellType, EntityKind::kQuantity, 0.8},
+  }};
+  return kSigs;
+}
+
+double quantity_value_for(std::string_view quantity_name, util::Rng& rng) {
+  // Plausible value ranges for the named radiobiology quantities.
+  if (quantity_name.find("alpha/beta") != std::string_view::npos) {
+    return rng.chance(0.5) ? rng.uniform(1.5, 4.5)     // late-responding
+                           : rng.uniform(8.0, 12.0);   // early-responding
+  }
+  if (quantity_name.find("oxygen enhancement") != std::string_view::npos) {
+    return rng.uniform(1.2, 3.2);
+  }
+  if (quantity_name.find("biological effectiveness") != std::string_view::npos) {
+    return rng.uniform(1.0, 3.8);
+  }
+  if (quantity_name.find("surviving fraction") != std::string_view::npos) {
+    return rng.uniform(0.2, 0.8);
+  }
+  if (quantity_name.find("energy transfer") != std::string_view::npos) {
+    return rng.uniform(0.2, 180.0);
+  }
+  return rng.uniform(0.5, 5.0);
+}
+
+std::string quantity_unit_for(std::string_view quantity_name) {
+  if (quantity_name.find("alpha/beta") != std::string_view::npos) return "Gy";
+  if (quantity_name.find("effective dose") != std::string_view::npos) return "Gy";
+  if (quantity_name.find("energy transfer") != std::string_view::npos) {
+    return "keV/um";
+  }
+  if (quantity_name.find("inactivation dose") != std::string_view::npos) {
+    return "Gy";
+  }
+  return "";  // dimensionless ratios
+}
+
+}  // namespace
+
+const std::vector<EntityId>& KnowledgeBase::entities_of_kind(
+    EntityKind kind) const {
+  return by_kind_.at(static_cast<std::size_t>(kind));
+}
+
+bool KnowledgeBase::relation_holds(EntityId subject, RelationKind relation,
+                                   EntityId object) const {
+  return relation_set_.contains(relation_key(subject, relation, object));
+}
+
+std::vector<FactId> KnowledgeBase::facts_mentioning(EntityId id) const {
+  if (id >= facts_by_entity_.size()) return {};
+  return facts_by_entity_[id];
+}
+
+std::optional<EntityId> KnowledgeBase::find_entity(
+    std::string_view name) const {
+  const auto it = by_name_.find(std::string(name));
+  if (it == by_name_.end()) return std::nullopt;
+  return it->second;
+}
+
+KnowledgeBase KnowledgeBase::generate(const KbConfig& config) {
+  KnowledgeBase kb;
+  util::Rng rng(config.seed, 0x9d2c5680u);
+
+  // --- Entities: the full term banks, every kind. -------------------------
+  kb.by_kind_.resize(kEntityKindCount);
+  for (int k = 0; k < kEntityKindCount; ++k) {
+    const auto kind = static_cast<EntityKind>(k);
+    for (const auto name : term_bank(kind)) {
+      Entity e;
+      e.id = static_cast<EntityId>(kb.entities_.size());
+      e.kind = kind;
+      e.name = std::string(name);
+      kb.by_kind_[static_cast<std::size_t>(k)].push_back(e.id);
+      kb.by_name_.emplace(e.name, e.id);
+      kb.entities_.push_back(std::move(e));
+    }
+  }
+  kb.facts_by_entity_.resize(kb.entities_.size());
+
+  // --- Topics ----------------------------------------------------------------
+  const auto& topic_names = topic_bank();
+  for (std::size_t t = 0; t < topic_names.size(); ++t) {
+    Topic topic;
+    topic.id = static_cast<TopicId>(t);
+    topic.name = std::string(topic_names[t]);
+    kb.topics_.push_back(std::move(topic));
+  }
+
+  const auto add_fact = [&kb](Fact f) -> bool {
+    const std::uint64_t key = relation_key(f.subject, f.relation, f.object);
+    if (kb.relation_set_.contains(key)) return false;
+    f.id = static_cast<FactId>(kb.facts_.size());
+    kb.relation_set_.insert(key);
+    kb.topics_[f.topic].facts.push_back(f.id);
+    kb.facts_by_entity_[f.subject].push_back(f.id);
+    if (f.object < kb.facts_by_entity_.size() && f.object != f.subject &&
+        f.relation != RelationKind::kHalfLife) {
+      kb.facts_by_entity_[f.object].push_back(f.id);
+    }
+    kb.facts_.push_back(std::move(f));
+    return true;
+  };
+
+  // --- Relational facts per topic -------------------------------------------
+  std::vector<double> sig_weights;
+  for (const auto& sig : signatures()) sig_weights.push_back(sig.weight);
+
+  for (auto& topic : kb.topics_) {
+    util::Rng topic_rng = rng.fork(topic.name);
+    std::size_t produced = 0;
+    std::size_t attempts = 0;
+    const std::size_t budget = config.facts_per_topic;
+    while (produced < budget && attempts < budget * 30) {
+      ++attempts;
+      const std::size_t si = topic_rng.weighted_pick(sig_weights);
+      const auto& sig = signatures()[si];
+      const auto& subjects = kb.entities_of_kind(sig.subject_kind);
+      const auto& objects = kb.entities_of_kind(sig.object_kind);
+      if (subjects.empty() || objects.empty()) continue;
+      // Zipf-skewed entity choice: a few hub entities (TP53, apoptosis)
+      // participate in many facts, as in real literature.
+      const EntityId subj =
+          subjects[topic_rng.zipf(subjects.size(), 1.15)];
+      const EntityId obj = objects[topic_rng.zipf(objects.size(), 1.15)];
+      if (subj == obj) continue;
+
+      Fact f;
+      f.topic = topic.id;
+      f.relation = sig.relation;
+      f.subject = subj;
+      f.object = obj;
+      f.importance = topic_rng.uniform(0.05, 1.0);
+      if (sig.relation == RelationKind::kHasQuantity) {
+        const auto& qname = kb.entity(obj).name;
+        f.value = quantity_value_for(qname, topic_rng);
+        f.unit = quantity_unit_for(qname);
+        f.quantitative = true;
+        // Value-recall questions are not "math"; only a subset spawn
+        // computation-style questions (handled below for isotopes, and
+        // via math_fraction here for dose quantities).
+        f.math = topic_rng.chance(config.math_fraction * 0.5);
+      }
+      produced += add_fact(std::move(f)) ? 1 : 0;
+    }
+  }
+
+  // --- Isotope half-life facts (the arithmetic question source) -------------
+  {
+    // Attach them to the brachytherapy/radionuclide topic when present.
+    TopicId iso_topic = 0;
+    for (const auto& t : kb.topics_) {
+      if (t.name.find("radionuclide") != std::string::npos) iso_topic = t.id;
+    }
+    const auto& isotopes = kb.entities_of_kind(EntityKind::kIsotope);
+    const auto& half_lives = isotope_half_life_days();
+    util::Rng iso_rng = rng.fork("isotopes");
+    for (std::size_t i = 0; i < isotopes.size(); ++i) {
+      Fact f;
+      f.topic = iso_topic;
+      f.relation = RelationKind::kHalfLife;
+      f.subject = isotopes[i];
+      f.object = isotopes[i];  // self; object unused
+      f.value = i < half_lives.size() ? half_lives[i] : 10.0;
+      f.unit = "days";
+      f.quantitative = true;
+      f.math = iso_rng.chance(config.math_fraction * 2.0 > 1.0
+                                  ? 0.9
+                                  : config.math_fraction * 2.0);
+      f.importance = iso_rng.uniform(0.3, 1.0);
+      add_fact(std::move(f));
+    }
+  }
+
+  if (kb.facts_.empty()) {
+    throw std::runtime_error("KnowledgeBase::generate produced no facts");
+  }
+  return kb;
+}
+
+}  // namespace mcqa::corpus

@@ -1,0 +1,117 @@
+#pragma once
+// Ground-truth domain knowledge base.
+//
+// The reproduction's central substitution: instead of 22,548 real
+// radiation/cancer-biology documents whose fact content is unknown, we
+// synthesize documents from a knowledge base with *known* fact
+// inventory.  Every downstream behaviour the paper measures — can a
+// model answer from parametric knowledge, does a retrieved chunk contain
+// the needed fact, does a distilled reasoning trace transfer it — becomes
+// exactly measurable because facts are first-class objects with ids.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "corpus/term_banks.hpp"
+#include "util/rng.hpp"
+
+namespace mcqa::corpus {
+
+using EntityId = std::uint32_t;
+using FactId = std::uint32_t;
+using TopicId = std::uint32_t;
+
+struct Entity {
+  EntityId id = 0;
+  EntityKind kind = EntityKind::kGene;
+  std::string name;
+};
+
+enum class RelationKind {
+  kActivates,       // gene -> gene/process
+  kInhibits,        // gene/agent -> gene/process
+  kPhosphorylates,  // gene -> gene
+  kStabilizes,      // gene -> gene
+  kIsRequiredFor,   // gene -> process
+  kSensitizes,      // agent -> cell type (to radiation)
+  kProtects,        // agent -> cell type
+  kInduces,         // modality -> process
+  kPredominantIn,   // process -> cell type
+  kHasQuantity,     // modality/cell type -> quantity, with numeric value
+  kHalfLife,        // isotope -> numeric value (days)
+};
+
+constexpr int kRelationKindCount = 11;
+
+std::string_view relation_name(RelationKind r);
+
+/// Verb phrase used when realizing the relation in prose.
+std::string_view relation_verb(RelationKind r);
+
+struct Fact {
+  FactId id = 0;
+  TopicId topic = 0;
+  RelationKind relation = RelationKind::kActivates;
+  EntityId subject = 0;
+  EntityId object = 0;      ///< unused for kHalfLife
+  double value = 0.0;       ///< numeric payload for quantitative relations
+  std::string unit;         ///< e.g. "Gy", "days"
+  bool quantitative = false;  ///< has a numeric payload
+  bool math = false;        ///< derived questions need arithmetic
+  double importance = 0.5;  ///< [0,1]: corpus frequency & prior-knowledge weight
+};
+
+struct Topic {
+  TopicId id = 0;
+  std::string name;
+  std::vector<FactId> facts;
+};
+
+struct KbConfig {
+  std::size_t facts_per_topic = 48;
+  std::uint64_t seed = 17;
+  /// Fraction of quantitative facts flagged `math` (decay/BED arithmetic).
+  double math_fraction = 0.45;
+};
+
+class KnowledgeBase {
+ public:
+  static KnowledgeBase generate(const KbConfig& config);
+
+  const std::vector<Entity>& entities() const { return entities_; }
+  const std::vector<Fact>& facts() const { return facts_; }
+  const std::vector<Topic>& topics() const { return topics_; }
+
+  const Entity& entity(EntityId id) const { return entities_.at(id); }
+  const Fact& fact(FactId id) const { return facts_.at(id); }
+  const Topic& topic(TopicId id) const { return topics_.at(id); }
+
+  /// All entity ids of one kind (stable order).
+  const std::vector<EntityId>& entities_of_kind(EntityKind kind) const;
+
+  /// Does some fact assert (subject, relation, object)?  Distractor
+  /// generation uses this to guarantee distractors are actually false.
+  bool relation_holds(EntityId subject, RelationKind relation,
+                      EntityId object) const;
+
+  /// Facts whose subject or object is `id`.
+  std::vector<FactId> facts_mentioning(EntityId id) const;
+
+  /// Entity lookup by exact name; nullopt when absent.
+  std::optional<EntityId> find_entity(std::string_view name) const;
+
+ private:
+  std::vector<Entity> entities_;
+  std::vector<Fact> facts_;
+  std::vector<Topic> topics_;
+  std::vector<std::vector<EntityId>> by_kind_;
+  std::unordered_set<std::uint64_t> relation_set_;
+  std::unordered_map<std::string, EntityId> by_name_;
+  std::vector<std::vector<FactId>> facts_by_entity_;
+};
+
+}  // namespace mcqa::corpus

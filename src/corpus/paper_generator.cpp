@@ -1,0 +1,187 @@
+#include "corpus/paper_generator.hpp"
+
+#include <algorithm>
+
+#include "corpus/realization.hpp"
+
+namespace mcqa::corpus {
+
+std::string PaperSpec::plain_text() const {
+  std::string out = title;
+  out += "\n\n";
+  for (const auto& section : sections) {
+    if (!section.heading.empty()) {
+      out += section.heading;
+      out += "\n\n";
+    }
+    for (const auto& s : section.sentences) {
+      out += s.text;
+      out += ' ';
+    }
+    if (!section.sentences.empty()) {
+      out.back() = '\n';
+      out += '\n';
+    }
+  }
+  return out;
+}
+
+std::vector<FactId> PaperGenerator::sample_facts(
+    const std::vector<TopicId>& topics, std::size_t count,
+    util::Rng& rng) const {
+  // Importance-weighted sampling without replacement across the paper's
+  // topics: high-importance facts appear in many papers (hub facts),
+  // low-importance ones are rare — the long tail retrieval must cover.
+  std::vector<FactId> pool;
+  std::vector<double> weights;
+  for (const TopicId t : topics) {
+    for (const FactId f : kb_.topic(t).facts) {
+      pool.push_back(f);
+      weights.push_back(0.05 + kb_.fact(f).importance);
+    }
+  }
+  std::vector<FactId> out;
+  while (out.size() < count && !pool.empty()) {
+    const std::size_t pick = rng.weighted_pick(weights);
+    if (pick >= pool.size()) break;
+    out.push_back(pool[pick]);
+    pool.erase(pool.begin() + static_cast<std::ptrdiff_t>(pick));
+    weights.erase(weights.begin() + static_cast<std::ptrdiff_t>(pick));
+  }
+  return out;
+}
+
+SentenceSpec PaperGenerator::fact_sentence(FactId fid, util::Rng& rng) const {
+  const Fact& fact = kb_.fact(fid);
+  const int variant = static_cast<int>(
+      rng.uniform_int(0, statement_variant_count(fact) - 1));
+  SentenceSpec s;
+  s.text = realize_statement(kb_, fact, variant);
+  s.facts.push_back(fid);
+  return s;
+}
+
+SentenceSpec PaperGenerator::filler_sentence(util::Rng& rng) const {
+  const auto& bank = discourse_bank();
+  SentenceSpec s;
+  s.text = std::string(bank[rng.bounded(static_cast<std::uint32_t>(bank.size()))]);
+  return s;
+}
+
+std::string PaperGenerator::make_title(const std::vector<TopicId>& topics,
+                                       util::Rng& rng) const {
+  static const char* kPrefixes[] = {
+      "Mechanisms of", "New insights into", "A quantitative analysis of",
+      "Modulation of", "Preclinical evaluation of"};
+  const auto& topic_name = kb_.topic(topics.front()).name;
+  std::string title = kPrefixes[rng.bounded(5)];
+  title += " ";
+  title += topic_name;
+  if (topics.size() > 1 && rng.chance(0.5)) {
+    title += " and its interplay with ";
+    title += kb_.topic(topics[1]).name;
+  }
+  return title;
+}
+
+PaperSpec PaperGenerator::generate(std::size_t doc_index, DocKind kind,
+                                   util::Rng rng) const {
+  PaperSpec spec;
+  spec.kind = kind;
+  {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%s_%06zu",
+                  kind == DocKind::kFullPaper ? "paper" : "abstract",
+                  doc_index);
+    spec.doc_id = buf;
+  }
+
+  // 1-3 topics, Zipf over the topic list so some topics dominate the
+  // corpus (matching keyword-crawled literature).
+  const std::size_t topic_count =
+      kind == DocKind::kAbstract ? 1 : 1 + rng.bounded(3);
+  const std::size_t n_topics = kb_.topics().size();
+  while (spec.topics.size() < topic_count) {
+    const TopicId t = static_cast<TopicId>(rng.zipf(n_topics, 1.05));
+    if (std::find(spec.topics.begin(), spec.topics.end(), t) ==
+        spec.topics.end()) {
+      spec.topics.push_back(t);
+    }
+  }
+  spec.title = make_title(spec.topics, rng);
+
+  const double mean_facts = kind == DocKind::kFullPaper
+                                ? config_.facts_per_paper
+                                : config_.facts_per_abstract;
+  const auto fact_count = static_cast<std::size_t>(std::max(
+      1.0, rng.normal(mean_facts, mean_facts * 0.3)));
+  spec.facts = sample_facts(spec.topics, fact_count, rng);
+
+  const auto emit_mixed = [&](SectionSpec& section,
+                              const std::vector<FactId>& facts) {
+    for (const FactId fid : facts) {
+      // Filler before the fact sentence with configurable density.
+      double debt = config_.filler_ratio;
+      while (debt > 0.0 && rng.chance(std::min(1.0, debt))) {
+        section.sentences.push_back(filler_sentence(rng));
+        debt -= 1.0;
+      }
+      section.sentences.push_back(fact_sentence(fid, rng));
+    }
+    if (rng.chance(0.7)) section.sentences.push_back(filler_sentence(rng));
+  };
+
+  if (kind == DocKind::kAbstract) {
+    SectionSpec abstract;
+    abstract.heading = "Abstract";
+    emit_mixed(abstract, spec.facts);
+    spec.sections.push_back(std::move(abstract));
+    return spec;
+  }
+
+  // Full paper: distribute facts across Abstract / Intro / Results /
+  // Discussion; Methods is pure filler.
+  const std::size_t n = spec.facts.size();
+  const std::size_t n_abs = std::max<std::size_t>(1, n / 6);
+  const std::size_t n_intro = std::max<std::size_t>(1, n / 4);
+  const std::size_t n_results = std::max<std::size_t>(1, n / 2);
+
+  auto take = [&](std::size_t& cursor, std::size_t count) {
+    std::vector<FactId> out;
+    for (std::size_t i = 0; i < count && cursor < spec.facts.size();
+         ++i, ++cursor) {
+      out.push_back(spec.facts[cursor]);
+    }
+    return out;
+  };
+
+  std::size_t cursor = 0;
+  struct SectionPlan {
+    const char* heading;
+    std::vector<FactId> facts;
+  };
+  std::vector<SectionPlan> plan;
+  plan.push_back({"Abstract", take(cursor, n_abs)});
+  plan.push_back({"Introduction", take(cursor, n_intro)});
+  plan.push_back({"Materials and Methods", {}});
+  plan.push_back({"Results", take(cursor, n_results)});
+  plan.push_back({"Discussion", take(cursor, spec.facts.size())});
+
+  for (auto& p : plan) {
+    SectionSpec section;
+    section.heading = p.heading;
+    if (p.facts.empty()) {
+      // Methods: 4-8 filler sentences.
+      const std::size_t k = 4 + rng.bounded(5);
+      for (std::size_t i = 0; i < k; ++i) {
+        section.sentences.push_back(filler_sentence(rng));
+      }
+    } else {
+      emit_mixed(section, p.facts);
+    }
+    spec.sections.push_back(std::move(section));
+  }
+  return spec;
+}
+
+}  // namespace mcqa::corpus

@@ -1,0 +1,73 @@
+#pragma once
+// Synthetic scientific paper synthesis from the knowledge base.
+//
+// A paper draws 1-3 topics, realizes a Zipf-weighted sample of their
+// facts into prose, and pads with discourse filler so fact density
+// mirrors real articles (most sentences carry no testable fact).  Every
+// sentence records the fact ids it realizes — the ground truth that the
+// evaluation uses to decide whether a retrieved chunk actually contained
+// the knowledge a question probes.
+
+#include <string>
+#include <vector>
+
+#include "corpus/knowledge_base.hpp"
+#include "util/rng.hpp"
+
+namespace mcqa::corpus {
+
+struct SentenceSpec {
+  std::string text;
+  std::vector<FactId> facts;  ///< facts realized by this sentence (usually 0-1)
+};
+
+struct SectionSpec {
+  std::string heading;
+  std::vector<SentenceSpec> sentences;
+};
+
+enum class DocKind { kFullPaper, kAbstract };
+
+struct PaperSpec {
+  std::string doc_id;       ///< stable id, e.g. "paper_000042"
+  std::string title;
+  DocKind kind = DocKind::kFullPaper;
+  std::vector<TopicId> topics;
+  std::vector<SectionSpec> sections;
+  std::vector<FactId> facts;  ///< all fact ids realized anywhere in the doc
+
+  /// Concatenated plain text (headings + sentences), the reference
+  /// output a perfect parser would recover.
+  std::string plain_text() const;
+};
+
+struct PaperGenConfig {
+  /// Mean number of facts realized in a full paper / an abstract.
+  double facts_per_paper = 14.0;
+  double facts_per_abstract = 3.0;
+  /// Discourse sentences inserted per fact sentence (noise floor).
+  double filler_ratio = 1.6;
+};
+
+class PaperGenerator {
+ public:
+  PaperGenerator(const KnowledgeBase& kb, PaperGenConfig config)
+      : kb_(kb), config_(config) {}
+
+  /// Deterministic for a given (doc_index, seed_rng state).
+  PaperSpec generate(std::size_t doc_index, DocKind kind,
+                     util::Rng rng) const;
+
+ private:
+  std::vector<FactId> sample_facts(const std::vector<TopicId>& topics,
+                                   std::size_t count, util::Rng& rng) const;
+  SentenceSpec fact_sentence(FactId fid, util::Rng& rng) const;
+  SentenceSpec filler_sentence(util::Rng& rng) const;
+  std::string make_title(const std::vector<TopicId>& topics,
+                         util::Rng& rng) const;
+
+  const KnowledgeBase& kb_;
+  PaperGenConfig config_;
+};
+
+}  // namespace mcqa::corpus

@@ -1,0 +1,235 @@
+#include "corpus/realization.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/strings.hpp"
+
+namespace mcqa::corpus {
+
+std::string format_quantity(double value, const std::string& unit) {
+  // Two significant-ish decimals, trimmed.
+  std::string num = util::format_double(value, value < 10.0 ? 2 : 1);
+  while (!num.empty() && num.back() == '0') num.pop_back();
+  if (!num.empty() && num.back() == '.') num.pop_back();
+  if (unit.empty()) return num;
+  return num + " " + unit;
+}
+
+int statement_variant_count(const Fact& fact) {
+  switch (fact.relation) {
+    case RelationKind::kHalfLife: return 3;
+    case RelationKind::kHasQuantity: return 3;
+    default: return 4;
+  }
+}
+
+std::string realize_statement(const KnowledgeBase& kb, const Fact& fact,
+                              int variant) {
+  const std::string& subj = kb.entity(fact.subject).name;
+  const auto verb = std::string(relation_verb(fact.relation));
+
+  if (fact.relation == RelationKind::kHalfLife) {
+    const std::string q = format_quantity(fact.value, fact.unit);
+    switch (variant % 3) {
+      case 0: return "The physical half-life of " + subj + " is " + q + ".";
+      case 1:
+        return "Decay measurements confirm that " + subj +
+               " has a physical half-life of " + q + ".";
+      default:
+        return "Clinical dosimetry for " + subj +
+               " assumes a physical half-life of " + q + ".";
+    }
+  }
+
+  const std::string& obj = kb.entity(fact.object).name;
+
+  if (fact.relation == RelationKind::kHasQuantity) {
+    const std::string q = format_quantity(fact.value, fact.unit);
+    switch (variant % 3) {
+      case 0:
+        return "For " + subj + ", " + obj + " is approximately " + q + ".";
+      case 1:
+        return "Measurements in " + subj + " yield a value of " + q +
+               " for " + obj + ".";
+      default:
+        return "In " + subj + ", " + obj + " was estimated at " + q +
+               " under standard assay conditions.";
+    }
+  }
+
+  switch (variant % 4) {
+    case 0:
+      return subj + " " + verb + " " + obj +
+             " following exposure to ionizing radiation.";
+    case 1:
+      return "Our data indicate that " + subj + " " + verb + " " + obj +
+             " in irradiated cells.";
+    case 2:
+      return "Consistent with prior reports, " + subj + " " + verb + " " +
+             obj + " after radiation exposure.";
+    default:
+      return "Mechanistic experiments establish that " + subj + " " + verb +
+             " " + obj + ".";
+  }
+}
+
+namespace {
+
+/// Distractor entities: same kind as `like`, for which the relation does
+/// NOT hold in the direction asked.
+std::vector<std::string> entity_distractors(const KnowledgeBase& kb,
+                                            const Fact& fact, bool ask_subject,
+                                            util::Rng& rng, std::size_t want) {
+  const EntityId anchor = ask_subject ? fact.subject : fact.object;
+  const EntityKind kind = kb.entity(anchor).kind;
+  std::vector<std::string> out;
+  std::vector<EntityId> pool;
+  for (const EntityId cand : kb.entities_of_kind(kind)) {
+    if (cand == fact.subject || cand == fact.object) continue;
+    const bool holds = ask_subject
+                           ? kb.relation_holds(cand, fact.relation, fact.object)
+                           : kb.relation_holds(fact.subject, fact.relation, cand);
+    if (!holds) pool.push_back(cand);
+  }
+  rng.shuffle(pool);
+  for (const EntityId cand : pool) {
+    if (out.size() >= want) break;
+    out.push_back(kb.entity(cand).name);
+  }
+  return out;
+}
+
+/// Numeric distractors: perturbed but plausible values, all distinct from
+/// the correct rendering.
+std::vector<std::string> numeric_distractors(double correct,
+                                             const std::string& unit,
+                                             util::Rng& rng, std::size_t want) {
+  const std::string correct_str = format_quantity(correct, unit);
+  std::vector<std::string> out;
+  static constexpr double kFactors[] = {0.25, 0.4, 0.5, 1.6, 2.0,
+                                        2.5,  3.0, 4.0, 0.1, 10.0};
+  std::vector<double> factors(std::begin(kFactors), std::end(kFactors));
+  rng.shuffle(factors);
+  for (const double f : factors) {
+    if (out.size() >= want) break;
+    const double v = correct * f * rng.uniform(0.92, 1.08);
+    const std::string s = format_quantity(v, unit);
+    if (s == correct_str) continue;
+    if (std::find(out.begin(), out.end(), s) != out.end()) continue;
+    out.push_back(s);
+  }
+  return out;
+}
+
+std::string capitalize(std::string s) {
+  // Leave mixed-case scientific names alone ("mTOR" must not become
+  // "MTOR"); only promote fully-lowercase starts.
+  if (s.size() >= 2 && s[0] >= 'a' && s[0] <= 'z' &&
+      !(s[1] >= 'A' && s[1] <= 'Z')) {
+    s[0] = static_cast<char>(s[0] - 'a' + 'A');
+  }
+  return s;
+}
+
+}  // namespace
+
+QuestionRealization realize_question(const KnowledgeBase& kb, const Fact& fact,
+                                     util::Rng& rng,
+                                     std::size_t max_distractors) {
+  QuestionRealization q;
+  const std::string& subj = kb.entity(fact.subject).name;
+  const auto verb = std::string(relation_verb(fact.relation));
+
+  if (fact.relation == RelationKind::kHalfLife) {
+    if (fact.math) {
+      // Arithmetic question: radioactive decay over an integer number of
+      // half-lives.  Mirrors the Astro exam's computation items.
+      const int halvings = static_cast<int>(rng.uniform_int(1, 3));
+      const double initial = static_cast<double>(rng.uniform_int(4, 40)) * 10.0;
+      const double elapsed = fact.value * halvings;
+      const double remaining = initial / std::pow(2.0, halvings);
+      q.math = true;
+      q.stem = "A sealed source of " + subj + " has an initial activity of " +
+               format_quantity(initial, "MBq") +
+               ". Given its physical half-life of " +
+               format_quantity(fact.value, fact.unit) +
+               ", approximately what activity remains after " +
+               format_quantity(elapsed, fact.unit) + "?";
+      q.correct = format_quantity(remaining, "MBq");
+      q.distractors = numeric_distractors(remaining, "MBq", rng,
+                                          max_distractors);
+      q.key_principle =
+          "Activity falls by a factor of two for every elapsed physical "
+          "half-life; after n half-lives a fraction 1/2^n remains.";
+    } else {
+      q.math = false;
+      q.stem = "What is the physical half-life of " + subj + "?";
+      q.correct = format_quantity(fact.value, fact.unit);
+      q.distractors =
+          numeric_distractors(fact.value, fact.unit, rng, max_distractors);
+      q.key_principle = "The physical half-life of " + subj + " is " +
+                        format_quantity(fact.value, fact.unit) + ".";
+    }
+    return q;
+  }
+
+  const std::string& obj = kb.entity(fact.object).name;
+
+  if (fact.relation == RelationKind::kHasQuantity) {
+    q.math = fact.math;
+    if (fact.math) {
+      // Simple dose-ratio arithmetic on the quantity.
+      const double scale = static_cast<double>(rng.uniform_int(2, 4));
+      q.stem = "If " + obj + " for " + subj + " is " +
+               format_quantity(fact.value, fact.unit) +
+               ", what value results when it increases by a factor of " +
+               format_quantity(scale, "") + "?";
+      q.correct = format_quantity(fact.value * scale, fact.unit);
+      q.distractors = numeric_distractors(fact.value * scale, fact.unit, rng,
+                                          max_distractors);
+      q.key_principle = "Scaling " + obj +
+                        " multiplies its numeric value by the given factor.";
+    } else {
+      q.stem = "What is the approximate value of " + obj + " for " + subj + "?";
+      q.correct = format_quantity(fact.value, fact.unit);
+      q.distractors =
+          numeric_distractors(fact.value, fact.unit, rng, max_distractors);
+      q.key_principle = capitalize(obj) + " for " + subj +
+                        " is approximately " +
+                        format_quantity(fact.value, fact.unit) + ".";
+    }
+    return q;
+  }
+
+  // Relational fact: ask for the subject or the object.
+  const bool ask_subject = rng.chance(0.55);
+  q.math = false;
+  if (ask_subject) {
+    const std::string_view kind_word = [&] {
+      switch (kb.entity(fact.subject).kind) {
+        case EntityKind::kGene: return std::string_view("factor");
+        case EntityKind::kAgent: return std::string_view("agent");
+        case EntityKind::kModality: return std::string_view("modality");
+        case EntityKind::kProcess: return std::string_view("process");
+        default: return std::string_view("entity");
+      }
+    }();
+    q.stem = "Which " + std::string(kind_word) + " " + verb + " " + obj +
+             " in the setting of ionizing radiation exposure?";
+    q.correct = subj;
+    q.distractors = entity_distractors(kb, fact, /*ask_subject=*/true, rng,
+                                       max_distractors);
+  } else {
+    q.stem = capitalize(subj) + " " + verb +
+             " which of the following after irradiation?";
+    q.correct = obj;
+    q.distractors = entity_distractors(kb, fact, /*ask_subject=*/false, rng,
+                                       max_distractors);
+  }
+  q.key_principle =
+      capitalize(subj) + " " + verb + " " + obj + " after irradiation.";
+  return q;
+}
+
+}  // namespace mcqa::corpus

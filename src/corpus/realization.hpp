@@ -1,0 +1,46 @@
+#pragma once
+// Surface realization: facts -> prose, and facts -> question material.
+//
+// The same fact renders through several sentence templates so the
+// corpus has lexical variety (retrieval must generalize over phrasing),
+// and renders into MCQ stems + option pools for the question generator.
+
+#include <string>
+#include <vector>
+
+#include "corpus/knowledge_base.hpp"
+#include "util/rng.hpp"
+
+namespace mcqa::corpus {
+
+/// Number of distinct sentence templates available for a fact.
+int statement_variant_count(const Fact& fact);
+
+/// Render fact as a declarative sentence.  `variant` selects a template
+/// (mod variant count) so corpora stay deterministic.
+std::string realize_statement(const KnowledgeBase& kb, const Fact& fact,
+                              int variant);
+
+/// Material for building one MCQ from a fact.
+struct QuestionRealization {
+  std::string stem;                    ///< self-contained question text
+  std::string correct;                 ///< correct option text
+  std::vector<std::string> distractors;  ///< false options (>= 6 supplied)
+  bool math = false;                   ///< needs arithmetic, not just recall
+  /// Short statement of the underlying principle; seeds reasoning traces.
+  std::string key_principle;
+};
+
+/// Build question material from a fact.  Samples the asked side
+/// (subject vs object vs value) and distractor pool deterministically
+/// from `rng`.  `max_distractors` bounds pool size (paper uses 6 wrong +
+/// 1 correct = 7 options).
+QuestionRealization realize_question(const KnowledgeBase& kb, const Fact& fact,
+                                     util::Rng& rng,
+                                     std::size_t max_distractors = 6);
+
+/// Render a numeric value the way the corpus prints it (e.g. "2.9 Gy",
+/// "8.02 days").
+std::string format_quantity(double value, const std::string& unit);
+
+}  // namespace mcqa::corpus

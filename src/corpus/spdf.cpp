@@ -1,0 +1,186 @@
+#include "corpus/spdf.hpp"
+
+#include <algorithm>
+
+#include "util/strings.hpp"
+
+namespace mcqa::corpus {
+
+SpdfNoise SpdfNoise::clean() {
+  SpdfNoise n;
+  n.hyphenation = 0.05;
+  n.header_footer = 0.0;
+  n.ligature = 0.0;
+  n.two_column = 0.0;
+  n.truncate = 0.0;
+  return n;
+}
+
+SpdfNoise SpdfNoise::moderate() {
+  SpdfNoise n;
+  n.hyphenation = 0.3;
+  n.header_footer = 0.8;
+  n.ligature = 0.01;
+  n.two_column = 0.0;
+  n.truncate = 0.0;
+  return n;
+}
+
+SpdfNoise SpdfNoise::hard() {
+  SpdfNoise n;
+  n.hyphenation = 0.45;
+  n.header_footer = 1.0;
+  n.ligature = 0.04;
+  n.two_column = 0.35;
+  n.truncate = 0.02;
+  return n;
+}
+
+namespace {
+
+constexpr std::size_t kLineWidth = 78;
+
+/// Wrap a paragraph into lines, optionally hyphenating long words at the
+/// wrap point (the classic PDF extraction hazard).
+std::vector<std::string> wrap_paragraph(const std::string& para,
+                                        double hyphenation, util::Rng& rng) {
+  std::vector<std::string> lines;
+  std::string line;
+  for (const auto word_view : util::split_ws(para)) {
+    std::string word(word_view);
+    if (line.empty()) {
+      line = word;
+      continue;
+    }
+    if (line.size() + 1 + word.size() <= kLineWidth) {
+      line += ' ';
+      line += word;
+      continue;
+    }
+    // Wrap point.  Maybe split the word with a hyphen.
+    if (word.size() > 6 && rng.chance(hyphenation)) {
+      const std::size_t room = kLineWidth > line.size() + 2
+                                   ? kLineWidth - line.size() - 2
+                                   : 0;
+      const std::size_t cut = std::min(word.size() - 3,
+                                       std::max<std::size_t>(3, room));
+      if (cut >= 3 && cut < word.size()) {
+        line += ' ';
+        line += word.substr(0, cut);
+        line += '-';
+        lines.push_back(line);
+        line = word.substr(cut);
+        continue;
+      }
+    }
+    lines.push_back(line);
+    line = word;
+  }
+  if (!line.empty()) lines.push_back(line);
+  return lines;
+}
+
+void corrupt_ligatures(std::string& line, double p, util::Rng& rng) {
+  // Real PDF extractors drop ligature glyphs; emulate by deleting the
+  // "fi"/"fl" pair occasionally.
+  if (p <= 0.0) return;
+  for (std::size_t i = 0; i + 1 < line.size(); ++i) {
+    if (line[i] == 'f' && (line[i + 1] == 'i' || line[i + 1] == 'l') &&
+        rng.chance(p)) {
+      line.erase(i, 2);
+      line.insert(i, 1, '\x01');  // placeholder glyph the parser must handle
+    }
+  }
+}
+
+}  // namespace
+
+std::string write_spdf(const PaperSpec& spec, const SpdfNoise& noise,
+                       util::Rng rng) {
+  std::string out;
+  out += "%SPDF-1.2\n";
+  out += "%%Title: " + spec.title + "\n";
+  out += "%%DocId: " + spec.doc_id + "\n";
+  out += std::string("%%Kind: ") +
+         (spec.kind == DocKind::kFullPaper ? "paper" : "abstract") + "\n";
+
+  // Collect all body lines first so pagination can interleave headers.
+  std::vector<std::string> body;
+  for (const auto& section : spec.sections) {
+    if (!section.heading.empty()) {
+      body.push_back("<<section " + section.heading + ">>");
+    }
+    std::string para;
+    for (const auto& s : section.sentences) {
+      if (!para.empty()) para += ' ';
+      para += s.text;
+    }
+    auto lines = wrap_paragraph(para, noise.hyphenation, rng);
+    for (auto& line : lines) {
+      corrupt_ligatures(line, noise.ligature, rng);
+      body.push_back(std::move(line));
+    }
+    body.emplace_back();  // blank line between sections
+  }
+
+  // Two-column emulation: split a page's lines into halves and
+  // interleave them, the way naive text extraction serializes columns.
+  const bool columns = rng.chance(noise.two_column);
+
+  constexpr std::size_t kLinesPerPage = 48;
+  std::size_t page = 1;
+  std::size_t i = 0;
+  while (i < body.size()) {
+    out += "%%BeginPage " + std::to_string(page) + "\n";
+    if (rng.chance(noise.header_footer)) {
+      out += "~HDR~ J Radiat Cancer Biol " + spec.doc_id + " | page " +
+             std::to_string(page) + "\n";
+    }
+    const std::size_t end = std::min(body.size(), i + kLinesPerPage);
+    if (columns && end - i > 8) {
+      const std::size_t half = (end - i) / 2;
+      for (std::size_t k = 0; k < half; ++k) {
+        out += body[i + k] + "\n";
+        if (i + half + k < end) out += body[i + half + k] + "\n";
+      }
+      if ((end - i) % 2 == 1) out += body[end - 1] + "\n";
+    } else {
+      for (std::size_t k = i; k < end; ++k) out += body[k] + "\n";
+    }
+    if (rng.chance(noise.header_footer * 0.6)) {
+      out += "~FTR~ (c) Synthetic Radiobiology Consortium\n";
+    }
+    out += "%%EndPage\n";
+    i = end;
+    ++page;
+  }
+  out += "%%EOF\n";
+
+  if (rng.chance(noise.truncate)) {
+    // Simulate a corrupt download: cut somewhere in the middle.
+    const std::size_t keep =
+        out.size() / 4 + rng.bounded(static_cast<std::uint32_t>(out.size() / 2));
+    out.resize(keep);
+  }
+  return out;
+}
+
+std::string write_markdown(const PaperSpec& spec) {
+  std::string out = "# " + spec.title + "\n\n";
+  for (const auto& section : spec.sections) {
+    if (!section.heading.empty()) out += "## " + section.heading + "\n\n";
+    for (const auto& s : section.sentences) {
+      out += s.text;
+      out += ' ';
+    }
+    if (!section.sentences.empty()) {
+      out.back() = '\n';
+      out += '\n';
+    }
+  }
+  return out;
+}
+
+std::string write_text(const PaperSpec& spec) { return spec.plain_text(); }
+
+}  // namespace mcqa::corpus

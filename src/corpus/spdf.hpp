@@ -1,0 +1,43 @@
+#pragma once
+// SPDF: the synthetic PDF-like container format.
+//
+// The paper ingests real PDFs through AdaParse.  We cannot ship those,
+// so documents are rendered into SPDF — a structured container with the
+// failure modes that make PDF parsing genuinely hard: line wrapping with
+// hyphenation, running headers/footers interleaved with body text,
+// ligature corruption, two-column interleaving, and outright truncation.
+// The adaptive parser (src/parse) must undo exactly these artifacts,
+// which keeps the AdaParse code path honest.
+
+#include <string>
+
+#include "corpus/paper_generator.hpp"
+#include "util/rng.hpp"
+
+namespace mcqa::corpus {
+
+struct SpdfNoise {
+  double hyphenation = 0.25;   ///< probability a wrapped line hyphenates
+  double header_footer = 0.5;  ///< insert running headers/footers
+  double ligature = 0.0;       ///< per-word probability of fi/fl corruption
+  double two_column = 0.0;     ///< render body in interleaved columns
+  double truncate = 0.0;       ///< probability the byte stream is cut short
+
+  /// Difficulty presets roughly matching AdaParse's easy/medium/hard
+  /// document classes.
+  static SpdfNoise clean();
+  static SpdfNoise moderate();
+  static SpdfNoise hard();
+};
+
+/// Serialize a PaperSpec into SPDF bytes.
+std::string write_spdf(const PaperSpec& spec, const SpdfNoise& noise,
+                       util::Rng rng);
+
+/// Serialize as Markdown ("# title", "## heading" sections).
+std::string write_markdown(const PaperSpec& spec);
+
+/// Serialize as plain text.
+std::string write_text(const PaperSpec& spec);
+
+}  // namespace mcqa::corpus

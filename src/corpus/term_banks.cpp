@@ -1,0 +1,226 @@
+#include "corpus/term_banks.hpp"
+
+namespace mcqa::corpus {
+
+std::string_view entity_kind_name(EntityKind kind) {
+  switch (kind) {
+    case EntityKind::kGene: return "gene";
+    case EntityKind::kProcess: return "process";
+    case EntityKind::kModality: return "modality";
+    case EntityKind::kCellType: return "cell_type";
+    case EntityKind::kAgent: return "agent";
+    case EntityKind::kQuantity: return "quantity";
+    case EntityKind::kIsotope: return "isotope";
+  }
+  return "unknown";
+}
+
+const std::vector<std::string_view>& term_bank(EntityKind kind) {
+  static const std::vector<std::string_view> kGenes = {
+      "TP53",      "ATM",        "ATR",       "BRCA1",     "BRCA2",
+      "RAD51",     "Ku70",       "Ku80",      "DNA-PKcs",  "CHK1",
+      "CHK2",      "p21",        "EGFR",      "HIF-1alpha", "VEGF",
+      "CDK4",      "CDK6",       "MDM2",      "KRAS",      "MYC",
+      "PTEN",      "RB1",        "PARP1",     "53BP1",     "gamma-H2AX",
+      "XRCC1",     "XRCC4",      "LIG4",      "ERCC1",     "MRE11",
+      "NBS1",      "AKT1",       "mTOR",      "NF-kB",     "STAT3",
+      "caspase-3", "caspase-9",  "BAX",       "BCL-2",     "survivin",
+      "ATRIP",     "TOPBP1",     "FANCD2",    "WEE1",      "PLK1",
+      "AURKA",     "SOD2",       "NRF2",      "KEAP1",     "GPX4"};
+  static const std::vector<std::string_view> kProcesses = {
+      "apoptosis",
+      "necrosis",
+      "autophagy",
+      "replicative senescence",
+      "mitotic catastrophe",
+      "homologous recombination",
+      "non-homologous end joining",
+      "base excision repair",
+      "nucleotide excision repair",
+      "mismatch repair",
+      "single-strand annealing",
+      "cell cycle arrest",
+      "the G2/M checkpoint",
+      "the G1/S checkpoint",
+      "the intra-S checkpoint",
+      "angiogenesis",
+      "the hypoxia response",
+      "oxidative stress signaling",
+      "lipid peroxidation",
+      "the bystander effect",
+      "the adaptive response",
+      "tumor reoxygenation",
+      "accelerated repopulation",
+      "cell cycle redistribution",
+      "sublethal damage repair",
+      "potentially lethal damage repair",
+      "immunogenic cell death",
+      "ferroptosis",
+      "chromothripsis",
+      "replication stress"};
+  static const std::vector<std::string_view> kModalities = {
+      "cobalt-60 gamma rays",
+      "6 MV photon beams",
+      "proton beams",
+      "carbon ion beams",
+      "alpha particles",
+      "fast neutrons",
+      "low-dose-rate brachytherapy",
+      "high-dose-rate brachytherapy",
+      "stereotactic body radiotherapy",
+      "FLASH irradiation",
+      "total body irradiation",
+      "intensity-modulated radiotherapy",
+      "boron neutron capture therapy",
+      "targeted radionuclide therapy",
+      "ultraviolet radiation",
+      "diagnostic X-rays"};
+  static const std::vector<std::string_view> kCellTypes = {
+      "primary human fibroblasts",
+      "peripheral blood lymphocytes",
+      "glioblastoma cells",
+      "HeLa cells",
+      "A549 lung carcinoma cells",
+      "MCF-7 breast cancer cells",
+      "tumor endothelial cells",
+      "jejunal crypt cells",
+      "bone marrow stem cells",
+      "oral mucosa keratinocytes",
+      "hippocampal neural progenitors",
+      "cardiomyocytes",
+      "alveolar type II pneumocytes",
+      "colorectal carcinoma organoids",
+      "head and neck squamous carcinoma cells",
+      "prostate adenocarcinoma cells"};
+  static const std::vector<std::string_view> kAgents = {
+      "cisplatin",     "5-fluorouracil", "gemcitabine",  "olaparib",
+      "temozolomide",  "cetuximab",      "nimorazole",   "misonidazole",
+      "amifostine",    "WR-1065",        "caffeine",     "wortmannin",
+      "veliparib",     "AZD6738",        "adavosertib",  "pentoxifylline",
+      "hyperbaric oxygen", "metformin",  "curcumin",     "N-acetylcysteine"};
+  static const std::vector<std::string_view> kQuantities = {
+      "the alpha/beta ratio",
+      "the oxygen enhancement ratio",
+      "the relative biological effectiveness",
+      "the surviving fraction at 2 Gy",
+      "the mean inactivation dose",
+      "the dose-modifying factor",
+      "the therapeutic ratio",
+      "the tumor control probability",
+      "the normal tissue complication probability",
+      "the biologically effective dose",
+      "linear energy transfer",
+      "the dose rate effect factor"};
+  static const std::vector<std::string_view> kIsotopes = {
+      "iodine-131",   "iridium-192", "cesium-137", "cobalt-60",
+      "radium-223",   "lutetium-177", "yttrium-90", "palladium-103",
+      "iodine-125",   "phosphorus-32", "strontium-89", "technetium-99m"};
+
+  switch (kind) {
+    case EntityKind::kGene: return kGenes;
+    case EntityKind::kProcess: return kProcesses;
+    case EntityKind::kModality: return kModalities;
+    case EntityKind::kCellType: return kCellTypes;
+    case EntityKind::kAgent: return kAgents;
+    case EntityKind::kQuantity: return kQuantities;
+    case EntityKind::kIsotope: return kIsotopes;
+  }
+  static const std::vector<std::string_view> kEmpty;
+  return kEmpty;
+}
+
+const std::vector<double>& isotope_half_life_days() {
+  // Aligned with term_bank(kIsotope).  Approximate physical half-lives.
+  static const std::vector<double> kHalfLives = {
+      8.02,     // iodine-131
+      73.8,     // iridium-192
+      11020.0,  // cesium-137 (30.17 y)
+      1925.0,   // cobalt-60 (5.27 y)
+      11.4,     // radium-223
+      6.65,     // lutetium-177
+      2.67,     // yttrium-90
+      17.0,     // palladium-103
+      59.4,     // iodine-125
+      14.3,     // phosphorus-32
+      50.6,     // strontium-89
+      0.25,     // technetium-99m (6.01 h)
+  };
+  return kHalfLives;
+}
+
+const std::vector<std::string_view>& topic_bank() {
+  static const std::vector<std::string_view> kTopics = {
+      "DNA damage response and repair",
+      "cell cycle checkpoints after irradiation",
+      "radiation-induced cell death pathways",
+      "tumor hypoxia and reoxygenation",
+      "radiosensitizers and radioprotectors",
+      "high-LET particle radiobiology",
+      "fractionation and the linear-quadratic model",
+      "normal tissue toxicity and late effects",
+      "radiation carcinogenesis and genomic instability",
+      "brachytherapy and radionuclide therapy",
+      "immune modulation by radiotherapy",
+      "stem cells and tissue regeneration after exposure",
+      "molecular targeting combined with radiation",
+      "radiation biodosimetry and biomarkers",
+      "FLASH and spatially fractionated radiotherapy",
+      "radiation effects on the tumor microenvironment"};
+  return kTopics;
+}
+
+std::string_view sub_domain_of_topic(std::string_view topic_name) {
+  // Physics-flavoured topics.
+  for (const auto key : {"LET", "fractionation", "linear-quadratic",
+                         "FLASH", "biodosimetry"}) {
+    if (topic_name.find(key) != std::string_view::npos) {
+      return "radiation-physics";
+    }
+  }
+  // Clinically-flavoured topics.
+  for (const auto key : {"radiosensitizers", "toxicity", "brachytherapy",
+                         "radionuclide", "immune", "targeting",
+                         "microenvironment"}) {
+    if (topic_name.find(key) != std::string_view::npos) {
+      return "clinical-radiotherapy";
+    }
+  }
+  return "molecular-mechanisms";
+}
+
+const std::vector<std::string_view>& discourse_bank() {
+  static const std::vector<std::string_view> kDiscourse = {
+      "These observations are consistent with earlier reports in "
+      "comparable experimental systems.",
+      "Further mechanistic studies will be required to delineate the "
+      "precise signaling intermediates involved.",
+      "Taken together, the data support a model in which multiple "
+      "pathways converge on a common effector program.",
+      "Experiments were performed in triplicate and repeated on at least "
+      "three independent occasions.",
+      "The clinical implications of these findings remain to be "
+      "established in prospective cohorts.",
+      "Statistical significance was assessed with two-sided tests and a "
+      "type I error rate of five percent.",
+      "Samples were processed within thirty minutes of collection to "
+      "minimize ex vivo artifacts.",
+      "A growing body of literature has addressed this question with "
+      "conflicting conclusions.",
+      "We next asked whether the observed phenotype generalizes across "
+      "cell lineages.",
+      "The limitations of the present study include modest sample size "
+      "and single-institution accrual.",
+      "Dose calculations were verified independently by two medical "
+      "physicists.",
+      "Image analysis was automated with an in-house pipeline to avoid "
+      "observer bias.",
+      "These results extend prior work by isolating the contribution of "
+      "individual pathway components.",
+      "Control cultures were sham-irradiated and handled identically in "
+      "all other respects.",
+      "Future work should examine the durability of the response beyond "
+      "the acute window."};
+  return kDiscourse;
+}
+
+}  // namespace mcqa::corpus

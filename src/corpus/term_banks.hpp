@@ -1,0 +1,49 @@
+#pragma once
+// Domain vocabulary for radiation and cancer biology.
+//
+// The paper's corpus is 22,548 Semantic Scholar documents retrieved with
+// cancer/radiation-biology keywords; ours is synthesized from a knowledge
+// base built over these curated term banks.  The banks are grouped by
+// entity kind so distractor generation can sample plausible same-kind
+// alternatives (the property that makes generated MCQs non-trivial).
+
+#include <string_view>
+#include <vector>
+
+namespace mcqa::corpus {
+
+enum class EntityKind {
+  kGene,          // proteins / genes (TP53, ATM, ...)
+  kProcess,       // biological processes (apoptosis, HR repair, ...)
+  kModality,      // radiation modalities / physics concepts
+  kCellType,      // cell lines and tissues
+  kAgent,         // drugs, sensitizers, protectors
+  kQuantity,      // named quantitative parameters (D0, alpha/beta, ...)
+  kIsotope,       // radioisotopes with decay data
+};
+
+constexpr int kEntityKindCount = 7;
+
+std::string_view entity_kind_name(EntityKind kind);
+
+/// Canonical surface names per kind (stable order).
+const std::vector<std::string_view>& term_bank(EntityKind kind);
+
+/// Topic names for the domain (stable order), e.g. "DNA damage response".
+const std::vector<std::string_view>& topic_bank();
+
+/// Sub-domain label for a topic (paper §5: benchmarks "organized by
+/// sub-domain with metadata linking each question to its source").
+/// One of "molecular-mechanisms", "clinical-radiotherapy",
+/// "radiation-physics".
+std::string_view sub_domain_of_topic(std::string_view topic_name);
+
+/// Discourse fillers used to pad paper sections with realistic prose that
+/// carries no facts (tests that chunk retrieval must find the needle).
+const std::vector<std::string_view>& discourse_bank();
+
+/// Half-life table for kIsotope entries, aligned by index with
+/// term_bank(kIsotope); value in days.
+const std::vector<double>& isotope_half_life_days();
+
+}  // namespace mcqa::corpus

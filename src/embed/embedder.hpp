@@ -1,0 +1,36 @@
+#pragma once
+// Text embedding interface.
+//
+// Stand-in for PubMedBERT (330M parameters in the paper): any
+// implementation maps text to a unit-norm float vector whose cosine
+// similarity tracks topical relatedness.  Retrieval, semantic chunking
+// and the vector indexes are all written against this interface.
+
+#include <string_view>
+#include <vector>
+
+namespace mcqa::embed {
+
+using Vector = std::vector<float>;
+
+class Embedder {
+ public:
+  virtual ~Embedder() = default;
+
+  virtual std::size_t dim() const = 0;
+
+  /// Embed one text span.  Returns an L2-normalized vector of dim().
+  /// Must be thread-safe: pipeline stages embed in parallel.
+  virtual Vector embed(std::string_view text) const = 0;
+};
+
+/// Dot product (== cosine for unit vectors).
+float dot(const Vector& a, const Vector& b);
+
+/// Squared Euclidean distance.
+float l2_sq(const Vector& a, const Vector& b);
+
+/// In-place L2 normalization; zero vectors are left untouched.
+void normalize(Vector& v);
+
+}  // namespace mcqa::embed

@@ -1,0 +1,82 @@
+#include "embed/embedding_store.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <stdexcept>
+
+namespace mcqa::embed {
+
+void EmbeddingStore::add(std::string id, const Vector& v) {
+  if (v.size() != dim_) {
+    throw std::invalid_argument("EmbeddingStore::add: dim mismatch");
+  }
+  ids_.push_back(std::move(id));
+  data_.reserve(data_.size() + dim_);
+  for (const float x : v) data_.push_back(util::float_to_fp16(x));
+}
+
+Vector EmbeddingStore::vector(std::size_t row) const {
+  if (row >= ids_.size()) {
+    throw std::out_of_range("EmbeddingStore::vector: bad row");
+  }
+  Vector out(dim_);
+  const util::fp16_t* src = raw(row);
+  for (std::size_t i = 0; i < dim_; ++i) out[i] = util::fp16_to_float(src[i]);
+  return out;
+}
+
+float EmbeddingStore::quantization_error(const Vector& v) {
+  float worst = 0.0f;
+  for (const float x : v) {
+    const float back = util::fp16_to_float(util::float_to_fp16(x));
+    worst = std::max(worst, std::fabs(back - x));
+  }
+  return worst;
+}
+
+std::string EmbeddingStore::save() const {
+  std::string out = "embst1\n";
+  out += std::to_string(dim_) + " " + std::to_string(ids_.size()) + "\n";
+  for (const auto& id : ids_) out += id + "\n";
+  const std::size_t payload = data_.size() * sizeof(util::fp16_t);
+  const std::size_t header = out.size();
+  out.resize(header + payload);
+  std::memcpy(out.data() + header, data_.data(), payload);
+  return out;
+}
+
+EmbeddingStore EmbeddingStore::load(std::string_view blob) {
+  const auto fail = [](const char* why) -> EmbeddingStore {
+    throw std::runtime_error(std::string("EmbeddingStore::load: ") + why);
+  };
+  std::size_t pos = blob.find('\n');
+  if (pos == std::string_view::npos || blob.substr(0, pos) != "embst1") {
+    return fail("bad magic");
+  }
+  std::size_t line_start = pos + 1;
+  pos = blob.find('\n', line_start);
+  if (pos == std::string_view::npos) return fail("truncated header");
+  const std::string counts(blob.substr(line_start, pos - line_start));
+  std::size_t dim = 0;
+  std::size_t n = 0;
+  if (std::sscanf(counts.c_str(), "%zu %zu", &dim, &n) != 2 || dim == 0) {
+    return fail("bad counts");
+  }
+  EmbeddingStore store(dim);
+  line_start = pos + 1;
+  for (std::size_t i = 0; i < n; ++i) {
+    pos = blob.find('\n', line_start);
+    if (pos == std::string_view::npos) return fail("truncated ids");
+    store.ids_.emplace_back(blob.substr(line_start, pos - line_start));
+    line_start = pos + 1;
+  }
+  const std::size_t payload = n * dim * sizeof(util::fp16_t);
+  if (blob.size() - line_start < payload) return fail("truncated payload");
+  store.data_.resize(n * dim);
+  std::memcpy(store.data_.data(), blob.data() + line_start, payload);
+  return store;
+}
+
+}  // namespace mcqa::embed

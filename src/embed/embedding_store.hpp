@@ -1,0 +1,53 @@
+#pragma once
+// FP16 embedding storage.
+//
+// The paper keeps 173,318 x 768-dim PubMedBERT embeddings in FP16
+// (747 MB) inside FAISS.  Our store applies the same at-rest
+// quantization: vectors are held as binary16 and widened on access.
+// Binary save/load lets pipelines checkpoint the embedding stage.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "embed/embedder.hpp"
+#include "util/fp16.hpp"
+
+namespace mcqa::embed {
+
+class EmbeddingStore {
+ public:
+  explicit EmbeddingStore(std::size_t dim) : dim_(dim) {}
+
+  std::size_t dim() const { return dim_; }
+  std::size_t size() const { return ids_.size(); }
+
+  /// Append a vector under an external id.  Quantizes to FP16.
+  void add(std::string id, const Vector& v);
+
+  const std::string& id(std::size_t row) const { return ids_.at(row); }
+
+  /// Widen row to float (FP16 round-trip applied).
+  Vector vector(std::size_t row) const;
+
+  /// Raw FP16 row access for zero-copy consumers.
+  const util::fp16_t* raw(std::size_t row) const {
+    return data_.data() + row * dim_;
+  }
+
+  /// At-rest bytes (the paper's 747 MB figure at full scale).
+  std::size_t storage_bytes() const { return data_.size() * sizeof(util::fp16_t); }
+
+  /// Max absolute quantization error across a float round-trip of `v`.
+  static float quantization_error(const Vector& v);
+
+  std::string save() const;
+  static EmbeddingStore load(std::string_view blob);
+
+ private:
+  std::size_t dim_;
+  std::vector<std::string> ids_;
+  std::vector<util::fp16_t> data_;  ///< row-major, size() * dim_
+};
+
+}  // namespace mcqa::embed

@@ -1,0 +1,81 @@
+#include "embed/hashed_embedder.hpp"
+
+#include <cmath>
+
+#include "text/normalize.hpp"
+#include "text/tokenizer.hpp"
+#include "util/hash.hpp"
+
+namespace mcqa::embed {
+
+float dot(const Vector& a, const Vector& b) {
+  float s = 0.0f;
+  const std::size_t n = a.size() < b.size() ? a.size() : b.size();
+  for (std::size_t i = 0; i < n; ++i) s += a[i] * b[i];
+  return s;
+}
+
+float l2_sq(const Vector& a, const Vector& b) {
+  float s = 0.0f;
+  const std::size_t n = a.size() < b.size() ? a.size() : b.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const float d = a[i] - b[i];
+    s += d * d;
+  }
+  return s;
+}
+
+void normalize(Vector& v) {
+  double norm_sq = 0.0;
+  for (const float x : v) norm_sq += static_cast<double>(x) * x;
+  if (norm_sq <= 0.0) return;
+  const auto inv = static_cast<float>(1.0 / std::sqrt(norm_sq));
+  for (float& x : v) x *= inv;
+}
+
+HashedNGramEmbedder::HashedNGramEmbedder(HashedEmbedderConfig config)
+    : config_(config) {}
+
+void HashedNGramEmbedder::add_feature(Vector& v, std::string_view feature,
+                                      double weight) const {
+  const std::uint64_t h = util::fnv1a64(feature, config_.seed);
+  const std::size_t bucket = h % config_.dim;
+  // Sign bit from an independent hash region removes the bias a single
+  // hash would introduce (standard signed feature hashing).
+  const float sign = ((h >> 61) & 1) != 0 ? 1.0f : -1.0f;
+  v[bucket] += sign * static_cast<float>(weight);
+}
+
+Vector HashedNGramEmbedder::embed(std::string_view text) const {
+  Vector v(config_.dim, 0.0f);
+  const std::string norm = text::normalize_for_matching(text);
+  if (norm.empty()) return v;
+
+  if (config_.word_unigrams || config_.word_bigrams) {
+    const auto unigrams = text::word_ngrams(norm, 1);
+    if (config_.word_unigrams) {
+      for (const auto& g : unigrams) {
+        // Sublinear weighting: repeated terms shouldn't dominate.
+        add_feature(v, g, config_.unigram_weight);
+      }
+    }
+    if (config_.word_bigrams) {
+      for (const auto& g : text::word_ngrams(norm, 2)) {
+        add_feature(v, g, config_.bigram_weight);
+      }
+    }
+  }
+  if (config_.char_trigrams) {
+    for (std::size_t i = 0; i + 3 <= norm.size(); ++i) {
+      add_feature(v, norm.substr(i, 3), config_.trigram_weight);
+    }
+  }
+  normalize(v);
+  return v;
+}
+
+HashedNGramEmbedder make_biomed_encoder() {
+  return HashedNGramEmbedder(HashedEmbedderConfig{});
+}
+
+}  // namespace mcqa::embed

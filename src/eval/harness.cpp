@@ -1,0 +1,107 @@
+#include "eval/harness.hpp"
+
+#include <atomic>
+#include <cmath>
+#include <stdexcept>
+
+#include "parallel/thread_pool.hpp"
+
+namespace mcqa::eval {
+
+double Accuracy::ci95_halfwidth() const {
+  if (total == 0) return 0.0;
+  const double n = static_cast<double>(total);
+  const double p = value();
+  const double z = 1.96;
+  const double denom = 1.0 + z * z / n;
+  const double half =
+      z * std::sqrt(p * (1.0 - p) / n + z * z / (4.0 * n * n)) / denom;
+  return half;
+}
+
+const Accuracy& SweepResult::at(std::string_view model,
+                                rag::Condition c) const {
+  for (const auto& cell : cells) {
+    if (cell.model == model && cell.condition == c) return cell.accuracy;
+  }
+  throw std::out_of_range("SweepResult::at: no such cell");
+}
+
+std::pair<rag::Condition, Accuracy> SweepResult::best_trace(
+    std::string_view model) const {
+  std::pair<rag::Condition, Accuracy> best{rag::Condition::kTraceDetailed, {}};
+  bool found = false;
+  for (const auto& cell : cells) {
+    if (cell.model != model || !rag::is_trace_condition(cell.condition)) {
+      continue;
+    }
+    if (!found || cell.accuracy.value() > best.second.value()) {
+      best = {cell.condition, cell.accuracy};
+      found = true;
+    }
+  }
+  if (!found) throw std::out_of_range("SweepResult::best_trace: no traces");
+  return best;
+}
+
+EvalHarness::EvalHarness(const rag::RagPipeline& rag, HarnessConfig config)
+    : rag_(rag), config_(config) {}
+
+Accuracy EvalHarness::evaluate(const llm::LanguageModel& model,
+                               const llm::ModelSpec& spec,
+                               const std::vector<qgen::McqRecord>& records,
+                               rag::Condition condition) const {
+  std::atomic<std::size_t> correct{0};
+  std::atomic<std::size_t> unparseable{0};
+
+  parallel::ThreadPool pool(config_.threads);
+  parallel::parallel_for(pool, 0, records.size(), [&](std::size_t i) {
+    const llm::McqTask task = rag_.prepare(records[i], condition, spec);
+    const llm::AnswerResult answer = model.answer(task);
+    const trace::GradingResult grading = judge_.grade(task, answer.text);
+    if (grading.is_correct) correct.fetch_add(1, std::memory_order_relaxed);
+    if (grading.extracted_option_number < 0) {
+      unparseable.fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+
+  Accuracy acc;
+  acc.correct = correct.load();
+  acc.total = records.size();
+  acc.unparseable = unparseable.load();
+  return acc;
+}
+
+SweepResult EvalHarness::sweep(
+    const std::vector<const llm::LanguageModel*>& models,
+    const std::vector<llm::ModelSpec>& specs,
+    const std::vector<qgen::McqRecord>& records,
+    const std::vector<rag::Condition>& conditions) const {
+  if (models.size() != specs.size()) {
+    throw std::invalid_argument("sweep: models/specs size mismatch");
+  }
+  SweepResult out;
+  for (std::size_t m = 0; m < models.size(); ++m) {
+    for (const rag::Condition c : conditions) {
+      CellResult cell;
+      cell.model = std::string(models[m]->name());
+      cell.condition = c;
+      cell.accuracy = evaluate(*models[m], specs[m], records, c);
+      out.cells.push_back(std::move(cell));
+    }
+  }
+  return out;
+}
+
+std::vector<rag::Condition> all_conditions() {
+  return {rag::Condition::kBaseline, rag::Condition::kChunks,
+          rag::Condition::kTraceDetailed, rag::Condition::kTraceFocused,
+          rag::Condition::kTraceEfficient};
+}
+
+std::vector<rag::Condition> trace_conditions() {
+  return {rag::Condition::kTraceDetailed, rag::Condition::kTraceFocused,
+          rag::Condition::kTraceEfficient};
+}
+
+}  // namespace mcqa::eval

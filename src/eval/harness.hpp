@@ -1,0 +1,80 @@
+#pragma once
+// Evaluation harness: model x condition accuracy sweeps (the engine
+// behind Tables 2-4 and Figures 4-6).
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "eval/judge.hpp"
+#include "llm/language_model.hpp"
+#include "llm/model_spec.hpp"
+#include "qgen/mcq_record.hpp"
+#include "rag/rag_pipeline.hpp"
+
+namespace mcqa::eval {
+
+struct Accuracy {
+  std::size_t correct = 0;
+  std::size_t total = 0;
+  std::size_t unparseable = 0;  ///< judge could not extract an option
+
+  double value() const {
+    return total == 0 ? 0.0
+                      : static_cast<double>(correct) /
+                            static_cast<double>(total);
+  }
+
+  /// Wilson 95% confidence half-width.
+  double ci95_halfwidth() const;
+};
+
+struct CellResult {
+  std::string model;
+  rag::Condition condition = rag::Condition::kBaseline;
+  Accuracy accuracy;
+};
+
+struct SweepResult {
+  std::vector<CellResult> cells;
+
+  const Accuracy& at(std::string_view model, rag::Condition c) const;
+  /// Highest-accuracy trace condition for a model ("RAG-RTs (best)").
+  std::pair<rag::Condition, Accuracy> best_trace(std::string_view model) const;
+};
+
+struct HarnessConfig {
+  std::size_t threads = 0;
+};
+
+class EvalHarness {
+ public:
+  EvalHarness(const rag::RagPipeline& rag, HarnessConfig config = {});
+
+  /// Accuracy of one model under one condition over the records.
+  Accuracy evaluate(const llm::LanguageModel& model,
+                    const llm::ModelSpec& spec,
+                    const std::vector<qgen::McqRecord>& records,
+                    rag::Condition condition) const;
+
+  /// Full sweep: every model in `models` under every condition in
+  /// `conditions`.
+  SweepResult sweep(
+      const std::vector<const llm::LanguageModel*>& models,
+      const std::vector<llm::ModelSpec>& specs,
+      const std::vector<qgen::McqRecord>& records,
+      const std::vector<rag::Condition>& conditions) const;
+
+ private:
+  const rag::RagPipeline& rag_;
+  Judge judge_;
+  HarnessConfig config_;
+};
+
+/// All five conditions of Table 2.
+std::vector<rag::Condition> all_conditions();
+/// Baseline / chunks / the three trace modes for exam tables (3 and 4
+/// report best-of-traces).
+std::vector<rag::Condition> trace_conditions();
+
+}  // namespace mcqa::eval

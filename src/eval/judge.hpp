@@ -1,0 +1,38 @@
+#pragma once
+// LLM-judge answer grading (Fig. 1: "an arbitrary LLM judge performs the
+// grading and provides a reasoning").
+//
+// The judge works from the model's *free text only* — never from the
+// simulation-layer chosen index — extracting the referenced option via a
+// cascade: explicit letter/number patterns, exact option-text match,
+// then fuzzy (edit-distance) matching.  Output follows the
+// grading_result block of the paper's Fig. 3 schema.
+
+#include <string>
+#include <vector>
+
+#include "llm/language_model.hpp"
+#include "trace/trace_record.hpp"
+
+namespace mcqa::eval {
+
+class Judge {
+ public:
+  /// min_similarity: fuzzy-match floor for option-text rescue.
+  explicit Judge(double min_similarity = 0.82)
+      : min_similarity_(min_similarity) {}
+
+  /// Extract the 0-based option index referenced by `answer_text`;
+  /// -1 when no option can be identified.
+  int extract_option(const std::string& answer_text,
+                     const std::vector<std::string>& options) const;
+
+  /// Full grading of one answer against the task.
+  trace::GradingResult grade(const llm::McqTask& task,
+                             const std::string& answer_text) const;
+
+ private:
+  double min_similarity_;
+};
+
+}  // namespace mcqa::eval

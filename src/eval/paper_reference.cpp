@@ -1,0 +1,81 @@
+#include "eval/paper_reference.hpp"
+
+#include <stdexcept>
+
+namespace mcqa::eval {
+
+const std::vector<PaperRow2>& paper_table2() {
+  static const std::vector<PaperRow2> kTable = {
+      {"OLMo-7B", {0.380, 0.443, 0.709, 0.736, 0.720}},
+      {"TinyLlama-1.1B-Chat", {0.176, 0.434, 0.710, 0.699, 0.581}},
+      {"Gemma 3 4B-IT", {0.745, 0.837, 0.860, 0.878, 0.873}},
+      {"SmolLM3-3B", {0.471, 0.803, 0.826, 0.854, 0.856}},
+      {"Mistral-7B-Instruct-v0.3", {0.737, 0.839, 0.886, 0.889, 0.882}},
+      {"Llama-3-8B-Instruct", {0.830, 0.864, 0.875, 0.892, 0.897}},
+      {"Llama-3.1-8B-Instruct", {0.819, 0.900, 0.915, 0.902, 0.916}},
+      {"Qwen-1.5-14B-Chat", {0.776, 0.853, 0.913, 0.908, 0.914}},
+  };
+  return kTable;
+}
+
+const std::vector<PaperRow3>& paper_table3() {
+  static const std::vector<PaperRow3> kTable = {
+      {"OLMo-7B", {0.446, 0.269, 0.563}},
+      {"TinyLlama-1.1B-Chat", {0.089, 0.263, 0.319}},
+      {"Gemma 3 4B-IT", {0.484, 0.551, 0.605}},
+      {"SmolLM3-3B", {0.377, 0.706, 0.772}},
+      {"Mistral-7B-Instruct-v0.3", {0.494, 0.542, 0.575}},
+      {"Llama-3-8B-Instruct", {0.665, 0.674, 0.542}},
+      {"Llama-3.1-8B-Instruct", {0.644, 0.704, 0.686}},
+      {"Qwen-1.5-14B-Chat", {0.560, 0.587, 0.602}},
+  };
+  return kTable;
+}
+
+const std::vector<PaperRow3>& paper_table4() {
+  static const std::vector<PaperRow3> kTable = {
+      {"OLMo-7B", {0.471, 0.238, 0.587}},
+      {"TinyLlama-1.1B-Chat", {0.138, 0.259, 0.312}},
+      {"Gemma 3 4B-IT", {0.540, 0.640, 0.804}},
+      {"SmolLM3-3B", {0.466, 0.751, 0.894}},
+      {"Mistral-7B-Instruct-v0.3", {0.598, 0.614, 0.757}},
+      {"Llama-3-8B-Instruct", {0.757, 0.730, 0.804}},
+      {"Llama-3.1-8B-Instruct", {0.762, 0.783, 0.857}},
+      {"Qwen-1.5-14B-Chat", {0.667, 0.667, 0.825}},
+  };
+  return kTable;
+}
+
+namespace {
+template <typename Row>
+const Row& find_row(const std::vector<Row>& rows, std::string_view model) {
+  for (const auto& row : rows) {
+    if (row.model == model) return row;
+  }
+  throw std::out_of_range("paper reference: unknown model " +
+                          std::string(model));
+}
+}  // namespace
+
+const PaperRow2& paper_table2_row(std::string_view model) {
+  return find_row(paper_table2(), model);
+}
+const PaperRow3& paper_table3_row(std::string_view model) {
+  return find_row(paper_table3(), model);
+}
+const PaperRow3& paper_table4_row(std::string_view model) {
+  return find_row(paper_table4(), model);
+}
+
+std::size_t paper_condition_index(rag::Condition c) {
+  switch (c) {
+    case rag::Condition::kBaseline: return 0;
+    case rag::Condition::kChunks: return 1;
+    case rag::Condition::kTraceDetailed: return 2;
+    case rag::Condition::kTraceFocused: return 3;
+    case rag::Condition::kTraceEfficient: return 4;
+  }
+  throw std::out_of_range("unknown condition");
+}
+
+}  // namespace mcqa::eval

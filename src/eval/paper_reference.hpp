@@ -1,0 +1,55 @@
+#pragma once
+// The paper's published numbers (Tables 2-4 and the §2 pipeline funnel),
+// kept in one place so benches print measured-vs-paper columns and the
+// shape tests assert the same orderings the paper reports.
+
+#include <array>
+#include <string_view>
+#include <vector>
+
+#include "rag/rag_pipeline.hpp"
+
+namespace mcqa::eval {
+
+struct PaperRow2 {
+  std::string_view model;
+  /// Baseline, RAG-Chunks, RT-Detail, RT-Focused, RT-Efficient.
+  std::array<double, 5> accuracy;
+};
+
+struct PaperRow3 {
+  std::string_view model;
+  /// Baseline, RAG-Chunks, RAG-RTs (best).
+  std::array<double, 3> accuracy;
+};
+
+/// Table 2: synthetic benchmark (16,680 MCQs).
+const std::vector<PaperRow2>& paper_table2();
+/// Table 3: Astro exam, all 335 usable questions.
+const std::vector<PaperRow3>& paper_table3();
+/// Table 4: Astro exam, 189-question no-math subset.
+const std::vector<PaperRow3>& paper_table4();
+
+/// Lookup helpers; throw std::out_of_range for unknown models.
+const PaperRow2& paper_table2_row(std::string_view model);
+const PaperRow3& paper_table3_row(std::string_view model);
+const PaperRow3& paper_table4_row(std::string_view model);
+
+/// Index into PaperRow2::accuracy for a condition.
+std::size_t paper_condition_index(rag::Condition c);
+
+/// §2 funnel constants at full scale.
+struct PaperFunnel {
+  static constexpr std::size_t kDocuments = 22548;   // 14115 + 8433
+  static constexpr std::size_t kPapers = 14115;
+  static constexpr std::size_t kAbstracts = 8433;
+  static constexpr std::size_t kChunks = 173318;
+  static constexpr std::size_t kCandidates = 173318;
+  static constexpr std::size_t kAccepted = 16680;
+  static constexpr double kEmbeddingMegabytes = 747.0;
+  static constexpr double acceptance_rate() {
+    return static_cast<double>(kAccepted) / static_cast<double>(kChunks);
+  }
+};
+
+}  // namespace mcqa::eval

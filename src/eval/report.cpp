@@ -1,0 +1,109 @@
+#include "eval/report.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace mcqa::eval {
+
+TableWriter::TableWriter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void TableWriter::add_row(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string TableWriter::render() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+    for (const auto& row : rows_) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  const auto emit_row = [&](const std::vector<std::string>& cells,
+                            std::string& out) {
+    out += "|";
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      out += " ";
+      out += cells[c];
+      out.append(widths[c] - cells[c].size(), ' ');
+      out += " |";
+    }
+    out += "\n";
+  };
+  std::string out;
+  emit_row(headers_, out);
+  out += "|";
+  for (const std::size_t w : widths) {
+    out.append(w + 2, '-');
+    out += "|";
+  }
+  out += "\n";
+  for (const auto& row : rows_) emit_row(row, out);
+  return out;
+}
+
+std::string fmt_acc(double v) {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%.3f", v);
+  return buf;
+}
+
+std::string fmt_pct(double v) {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%+.1f%%", v);
+  return buf;
+}
+
+double pct_improvement(double now, double base) {
+  if (base <= 0.0) return 0.0;
+  return (now - base) / base * 100.0;
+}
+
+std::string render_grouped_bars(const std::vector<std::string>& groups,
+                                const std::vector<FigureSeries>& series,
+                                std::string_view title,
+                                double scale_pct_per_char) {
+  std::string out;
+  out += std::string(title) + "\n";
+  out.append(title.size(), '=');
+  out += "\n";
+
+  std::size_t label_width = 0;
+  for (const auto& g : groups) label_width = std::max(label_width, g.size());
+  for (const auto& s : series) label_width = std::max(label_width, s.label.size());
+  label_width += 2;
+
+  constexpr std::size_t kNegRoom = 20;
+  for (std::size_t g = 0; g < groups.size(); ++g) {
+    out += groups[g] + "\n";
+    for (const auto& s : series) {
+      if (g >= s.values.size()) continue;
+      const double v = s.values[g];
+      std::string line = "  " + s.label;
+      line.append(label_width > s.label.size() ? label_width - s.label.size()
+                                               : 1,
+                  ' ');
+      const auto chars = static_cast<std::size_t>(
+          std::min(60.0, std::fabs(v) / scale_pct_per_char));
+      if (v >= 0.0) {
+        line.append(kNegRoom, ' ');
+        line += "|";
+        line.append(chars, '#');
+      } else {
+        line.append(kNegRoom > chars ? kNegRoom - chars : 0, ' ');
+        line.append(chars, '#');
+        line += "|";
+      }
+      char buf[24];
+      std::snprintf(buf, sizeof(buf), " %+.1f%%", v);
+      line += buf;
+      out += line + "\n";
+    }
+  }
+  return out;
+}
+
+}  // namespace mcqa::eval

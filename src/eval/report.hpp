@@ -1,0 +1,43 @@
+#pragma once
+// Report rendering: aligned tables (Tables 1-4) and ASCII grouped-bar
+// figures (Figures 4-6) for bench output, with paper-reference columns
+// alongside measured values.
+
+#include <string>
+#include <vector>
+
+namespace mcqa::eval {
+
+class TableWriter {
+ public:
+  explicit TableWriter(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+  std::string render() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format a proportion as "0.731".
+std::string fmt_acc(double v);
+/// Format a percent improvement as "+31.4%" / "-2.0%".
+std::string fmt_pct(double v);
+
+/// Percent improvement of `now` over `base` (relative), in percent.
+double pct_improvement(double now, double base);
+
+struct FigureSeries {
+  std::string label;  ///< e.g. "vs Baseline"
+  std::vector<double> values;
+};
+
+/// Grouped horizontal bar chart: one group per model, one bar per
+/// series.  Values in percent (improvements); negative bars render left.
+std::string render_grouped_bars(const std::vector<std::string>& groups,
+                                const std::vector<FigureSeries>& series,
+                                std::string_view title,
+                                double scale_pct_per_char = 2.0);
+
+}  // namespace mcqa::eval

@@ -1,0 +1,178 @@
+#include "exam/astro_exam.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "corpus/realization.hpp"
+#include "util/hash.hpp"
+
+namespace mcqa::exam {
+
+std::vector<qgen::McqRecord> Exam::usable() const {
+  std::vector<qgen::McqRecord> out;
+  for (const auto& q : questions) {
+    if (!q.multimodal) out.push_back(q.record);
+  }
+  return out;
+}
+
+std::vector<qgen::McqRecord> Exam::no_math_truth() const {
+  std::vector<qgen::McqRecord> out;
+  for (const auto& q : questions) {
+    if (!q.multimodal && !q.math) out.push_back(q.record);
+  }
+  return out;
+}
+
+AstroExamBuilder::AstroExamBuilder(const corpus::KnowledgeBase& kb,
+                                   ExamConfig config)
+    : kb_(kb), config_(config) {}
+
+Exam AstroExamBuilder::build(
+    const std::unordered_set<corpus::FactId>& covered_facts) const {
+  util::Rng rng(config_.seed);
+
+  // Partition KB facts into the pools the sampler draws from.
+  std::vector<corpus::FactId> covered;
+  std::vector<corpus::FactId> uncovered;
+  std::vector<corpus::FactId> math_capable;
+  for (const auto& f : kb_.facts()) {
+    if (f.math) {
+      math_capable.push_back(f.id);
+    } else if (covered_facts.contains(f.id)) {
+      covered.push_back(f.id);
+    } else {
+      uncovered.push_back(f.id);
+    }
+  }
+
+  Exam exam;
+  const std::size_t usable =
+      config_.total_questions - config_.multimodal_questions;
+  const auto math_target =
+      static_cast<std::size_t>(std::llround(config_.math_fraction *
+                                            static_cast<double>(usable)));
+
+  std::size_t serial = 0;
+  const auto make_question = [&](corpus::FactId fid, bool want_math) {
+    const corpus::Fact& fact = kb_.fact(fid);
+    util::Rng qrng = rng.fork(util::hash_combine(fid, serial));
+    corpus::QuestionRealization real = corpus::realize_question(
+        kb_, fact, qrng, config_.options - 1);
+
+    ExamQuestion q;
+    q.math = real.math;
+    (void)want_math;
+
+    qgen::McqRecord& r = q.record;
+    r.record_id = "astro_" + std::to_string(serial++);
+    r.stem = std::move(real.stem);
+    r.options.push_back(real.correct);
+    for (auto& d : real.distractors) {
+      if (r.options.size() >= config_.options) break;
+      r.options.push_back(std::move(d));
+    }
+    std::vector<std::size_t> order(r.options.size());
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+    qrng.shuffle(order);
+    std::vector<std::string> shuffled(r.options.size());
+    for (std::size_t i = 0; i < order.size(); ++i) {
+      shuffled[i] = std::move(r.options[order[i]]);
+      if (order[i] == 0) r.correct_index = static_cast<int>(i);
+    }
+    r.options = std::move(shuffled);
+    r.answer = r.options[static_cast<std::size_t>(r.correct_index)];
+    r.question = qgen::McqRecord::render_question(r.stem, r.options);
+    r.fact = fid;
+    r.math = q.math;
+    r.fact_importance = fact.importance;
+    r.key_principle = std::move(real.key_principle);
+    r.ambiguity = config_.ambiguity;
+    r.exam_item = true;
+    r.sub_domain = std::string(
+        corpus::sub_domain_of_topic(kb_.topic(fact.topic).name));
+    r.path = "exam/astro_2023_study_guide.pdf";
+    r.chunk_id = "exam";
+    r.type = "multiple-choice";
+    return q;
+  };
+
+  // Math questions first (sampling math-capable facts with replacement;
+  // each draw realizes different numbers).
+  std::size_t math_made = 0;
+  while (math_made < math_target && !math_capable.empty()) {
+    const corpus::FactId fid = math_capable[rng.bounded(
+        static_cast<std::uint32_t>(math_capable.size()))];
+    ExamQuestion q = make_question(fid, /*want_math=*/true);
+    if (!q.math) continue;  // quantity fact realized as recall; resample
+    exam.questions.push_back(std::move(q));
+    ++math_made;
+  }
+
+  // Non-math questions: covered vs uncovered mix, without replacement
+  // until a pool runs dry.
+  util::Rng shuffle_rng = rng.fork("pools");
+  shuffle_rng.shuffle(covered);
+  shuffle_rng.shuffle(uncovered);
+  std::size_t ci = 0;
+  std::size_t ui = 0;
+  while (exam.questions.size() < usable) {
+    const bool pick_covered =
+        (ci < covered.size()) &&
+        (ui >= uncovered.size() || rng.chance(config_.covered_fraction));
+    corpus::FactId fid = 0;
+    if (pick_covered) {
+      fid = covered[ci++];
+    } else if (ui < uncovered.size()) {
+      fid = uncovered[ui++];
+    } else if (ci < covered.size()) {
+      fid = covered[ci++];
+    } else {
+      // Both pools exhausted (tiny KB): reuse covered facts.
+      fid = covered.empty()
+                ? math_capable[rng.bounded(
+                      static_cast<std::uint32_t>(math_capable.size()))]
+                : covered[rng.bounded(
+                      static_cast<std::uint32_t>(covered.size()))];
+    }
+    ExamQuestion q = make_question(fid, /*want_math=*/false);
+    if (q.math && math_made >= math_target) continue;  // keep the ratio
+    if (q.math) ++math_made;
+    exam.questions.push_back(std::move(q));
+  }
+
+  // Interleave math/non-math deterministically, then append the two
+  // multimodal items.
+  shuffle_rng.shuffle(exam.questions);
+  for (std::size_t m = 0; m < config_.multimodal_questions; ++m) {
+    const corpus::FactId fid =
+        kb_.facts()[rng.bounded(static_cast<std::uint32_t>(kb_.facts().size()))]
+            .id;
+    ExamQuestion q = make_question(fid, false);
+    q.multimodal = true;
+    q.record.stem =
+        "Refer to the survival-curve figure shown. " + q.record.stem;
+    q.record.question =
+        qgen::McqRecord::render_question(q.record.stem, q.record.options);
+    exam.questions.push_back(std::move(q));
+  }
+  return exam;
+}
+
+bool MathClassifier::classify(const qgen::McqRecord& record,
+                              bool truth_math) const {
+  util::Rng rng(util::hash_combine(seed_, util::fnv1a64(record.record_id)));
+  return rng.chance(accuracy_) ? truth_math : !truth_math;
+}
+
+std::vector<qgen::McqRecord> MathClassifier::no_math_subset(
+    const Exam& exam) const {
+  std::vector<qgen::McqRecord> out;
+  for (const auto& q : exam.questions) {
+    if (q.multimodal) continue;
+    if (!classify(q.record, q.math)) out.push_back(q.record);
+  }
+  return out;
+}
+
+}  // namespace mcqa::exam

@@ -1,0 +1,176 @@
+// Serialization for the trained IVF and HNSW indexes.  Simple
+// length-prefixed binary sections after a text header; float payloads
+// are memcpy'd (indexes are a cache, not an interchange format — the
+// canonical artifacts are the JSON records).
+
+#include <cstdio>
+#include <cstring>
+#include <stdexcept>
+
+#include "index/vector_index.hpp"
+
+namespace mcqa::index {
+
+namespace {
+
+void put_u64(std::string& out, std::uint64_t v) {
+  char buf[8];
+  std::memcpy(buf, &v, 8);
+  out.append(buf, 8);
+}
+
+std::uint64_t take_u64(std::string_view blob, std::size_t& pos) {
+  if (pos + 8 > blob.size()) {
+    throw std::runtime_error("index load: truncated integer");
+  }
+  std::uint64_t v = 0;
+  std::memcpy(&v, blob.data() + pos, 8);
+  pos += 8;
+  return v;
+}
+
+void put_vec(std::string& out, const embed::Vector& v) {
+  const std::size_t bytes = v.size() * sizeof(float);
+  const std::size_t at = out.size();
+  out.resize(at + bytes);
+  std::memcpy(out.data() + at, v.data(), bytes);
+}
+
+embed::Vector take_vec(std::string_view blob, std::size_t& pos,
+                       std::size_t dim) {
+  const std::size_t bytes = dim * sizeof(float);
+  if (pos + bytes > blob.size()) {
+    throw std::runtime_error("index load: truncated vector");
+  }
+  embed::Vector v(dim);
+  std::memcpy(v.data(), blob.data() + pos, bytes);
+  pos += bytes;
+  return v;
+}
+
+}  // namespace
+
+// --- IVF ---------------------------------------------------------------------
+
+std::string IvfIndex::save() const {
+  if (!built_) {
+    throw std::logic_error("IvfIndex::save: build() the index first");
+  }
+  std::string out = "ivfidx1\n";
+  put_u64(out, dim_);
+  put_u64(out, config_.nprobe);
+  put_u64(out, vectors_.size());
+  for (const auto& v : vectors_) put_vec(out, v);
+  put_u64(out, centroids_.size());
+  for (const auto& c : centroids_) put_vec(out, c);
+  for (const auto& list : lists_) {
+    put_u64(out, list.size());
+    for (const std::size_t row : list) put_u64(out, row);
+  }
+  return out;
+}
+
+IvfIndex IvfIndex::load(std::string_view blob) {
+  constexpr std::string_view kMagic = "ivfidx1\n";
+  if (blob.substr(0, kMagic.size()) != kMagic) {
+    throw std::runtime_error("IvfIndex::load: bad magic");
+  }
+  std::size_t pos = kMagic.size();
+  const std::size_t dim = take_u64(blob, pos);
+  if (dim == 0 || dim > 1u << 20) {
+    throw std::runtime_error("IvfIndex::load: bad dim");
+  }
+  IvfConfig cfg;
+  cfg.nprobe = take_u64(blob, pos);
+  IvfIndex idx(dim, cfg);
+  const std::size_t n = take_u64(blob, pos);
+  idx.vectors_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    idx.vectors_.push_back(take_vec(blob, pos, dim));
+  }
+  const std::size_t k = take_u64(blob, pos);
+  idx.centroids_.reserve(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    idx.centroids_.push_back(take_vec(blob, pos, dim));
+  }
+  idx.lists_.resize(k);
+  for (std::size_t c = 0; c < k; ++c) {
+    const std::size_t len = take_u64(blob, pos);
+    idx.lists_[c].reserve(len);
+    for (std::size_t i = 0; i < len; ++i) {
+      const std::size_t row = take_u64(blob, pos);
+      if (row >= n) throw std::runtime_error("IvfIndex::load: bad row");
+      idx.lists_[c].push_back(row);
+    }
+  }
+  idx.built_ = true;
+  return idx;
+}
+
+// --- HNSW --------------------------------------------------------------------
+
+std::string HnswIndex::save() const {
+  std::string out = "hnswidx1\n";
+  put_u64(out, dim_);
+  put_u64(out, config_.m);
+  put_u64(out, config_.ef_search);
+  put_u64(out, vectors_.size());
+  put_u64(out, entry_point_);
+  put_u64(out, static_cast<std::uint64_t>(max_level_ + 1));
+  for (const auto& v : vectors_) put_vec(out, v);
+  for (const auto& node : nodes_) {
+    put_u64(out, static_cast<std::uint64_t>(node.level));
+    for (const auto& layer : node.links) {
+      put_u64(out, layer.size());
+      for (const std::uint32_t nb : layer) put_u64(out, nb);
+    }
+  }
+  return out;
+}
+
+HnswIndex HnswIndex::load(std::string_view blob) {
+  constexpr std::string_view kMagic = "hnswidx1\n";
+  if (blob.substr(0, kMagic.size()) != kMagic) {
+    throw std::runtime_error("HnswIndex::load: bad magic");
+  }
+  std::size_t pos = kMagic.size();
+  const std::size_t dim = take_u64(blob, pos);
+  if (dim == 0 || dim > 1u << 20) {
+    throw std::runtime_error("HnswIndex::load: bad dim");
+  }
+  HnswConfig cfg;
+  cfg.m = take_u64(blob, pos);
+  cfg.ef_search = take_u64(blob, pos);
+  HnswIndex idx(dim, cfg);
+  const std::size_t n = take_u64(blob, pos);
+  idx.entry_point_ = take_u64(blob, pos);
+  idx.max_level_ = static_cast<int>(take_u64(blob, pos)) - 1;
+  idx.vectors_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    idx.vectors_.push_back(take_vec(blob, pos, dim));
+  }
+  idx.nodes_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    Node& node = idx.nodes_[i];
+    node.level = static_cast<int>(take_u64(blob, pos));
+    if (node.level < 0 || node.level > 64) {
+      throw std::runtime_error("HnswIndex::load: bad level");
+    }
+    node.links.resize(static_cast<std::size_t>(node.level) + 1);
+    for (auto& layer : node.links) {
+      const std::size_t len = take_u64(blob, pos);
+      layer.reserve(len);
+      for (std::size_t j = 0; j < len; ++j) {
+        const std::uint64_t nb = take_u64(blob, pos);
+        if (nb >= n) throw std::runtime_error("HnswIndex::load: bad link");
+        layer.push_back(static_cast<std::uint32_t>(nb));
+      }
+    }
+  }
+  if (n > 0 && idx.entry_point_ >= n) {
+    throw std::runtime_error("HnswIndex::load: bad entry point");
+  }
+  return idx;
+}
+
+}  // namespace mcqa::index

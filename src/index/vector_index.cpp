@@ -1,0 +1,403 @@
+#include "index/vector_index.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <queue>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace mcqa::index {
+
+namespace {
+
+/// Keep the best k results in descending score order (ties by row).
+void sort_and_trim(std::vector<SearchResult>& results, std::size_t k) {
+  std::sort(results.begin(), results.end(),
+            [](const SearchResult& a, const SearchResult& b) {
+              if (a.score != b.score) return a.score > b.score;
+              return a.row < b.row;
+            });
+  if (results.size() > k) results.resize(k);
+}
+
+}  // namespace
+
+// --- FlatIndex ---------------------------------------------------------------
+
+void FlatIndex::add(const embed::Vector& v) {
+  if (v.size() != dim_) throw std::invalid_argument("FlatIndex::add: dim");
+  data_.reserve(data_.size() + dim_);
+  for (const float x : v) data_.push_back(util::float_to_fp16(x));
+  ++rows_;
+}
+
+float FlatIndex::score_row(std::size_t row, const embed::Vector& q) const {
+  const util::fp16_t* src = data_.data() + row * dim_;
+  float s = 0.0f;
+  for (std::size_t i = 0; i < dim_; ++i) {
+    s += util::fp16_to_float(src[i]) * q[i];
+  }
+  return s;
+}
+
+std::vector<SearchResult> FlatIndex::search(const embed::Vector& query,
+                                            std::size_t k) const {
+  std::vector<SearchResult> results;
+  results.reserve(rows_);
+  for (std::size_t row = 0; row < rows_; ++row) {
+    results.push_back({row, score_row(row, query)});
+  }
+  sort_and_trim(results, k);
+  return results;
+}
+
+embed::Vector FlatIndex::vector(std::size_t row) const {
+  embed::Vector out(dim_);
+  const util::fp16_t* src = data_.data() + row * dim_;
+  for (std::size_t i = 0; i < dim_; ++i) out[i] = util::fp16_to_float(src[i]);
+  return out;
+}
+
+std::string FlatIndex::save() const {
+  std::string out = "flatidx1\n";
+  out += std::to_string(dim_) + " " + std::to_string(rows_) + "\n";
+  const std::size_t header = out.size();
+  const std::size_t payload = data_.size() * sizeof(util::fp16_t);
+  out.resize(header + payload);
+  std::memcpy(out.data() + header, data_.data(), payload);
+  return out;
+}
+
+FlatIndex FlatIndex::load(std::string_view blob) {
+  std::size_t pos = blob.find('\n');
+  if (pos == std::string_view::npos || blob.substr(0, pos) != "flatidx1") {
+    throw std::runtime_error("FlatIndex::load: bad magic");
+  }
+  const std::size_t line_start = pos + 1;
+  pos = blob.find('\n', line_start);
+  if (pos == std::string_view::npos) {
+    throw std::runtime_error("FlatIndex::load: truncated");
+  }
+  std::size_t dim = 0;
+  std::size_t rows = 0;
+  const std::string counts(blob.substr(line_start, pos - line_start));
+  if (std::sscanf(counts.c_str(), "%zu %zu", &dim, &rows) != 2 || dim == 0) {
+    throw std::runtime_error("FlatIndex::load: bad counts");
+  }
+  FlatIndex idx(dim);
+  const std::size_t payload = rows * dim * sizeof(util::fp16_t);
+  if (blob.size() - (pos + 1) < payload) {
+    throw std::runtime_error("FlatIndex::load: truncated payload");
+  }
+  idx.data_.resize(rows * dim);
+  std::memcpy(idx.data_.data(), blob.data() + pos + 1, payload);
+  idx.rows_ = rows;
+  return idx;
+}
+
+// --- IvfIndex ----------------------------------------------------------------
+
+IvfIndex::IvfIndex(std::size_t dim, IvfConfig config)
+    : dim_(dim), config_(config) {}
+
+void IvfIndex::add(const embed::Vector& v) {
+  if (v.size() != dim_) throw std::invalid_argument("IvfIndex::add: dim");
+  vectors_.push_back(v);
+  built_ = false;
+}
+
+void IvfIndex::build() {
+  const std::size_t n = vectors_.size();
+  if (n == 0) {
+    built_ = true;
+    return;
+  }
+  const std::size_t k = std::min(config_.nlist, n);
+  util::Rng rng(config_.seed);
+
+  // k-means++ style seeding: first centroid uniform, then distance-biased.
+  centroids_.clear();
+  centroids_.push_back(vectors_[rng.bounded(static_cast<std::uint32_t>(n))]);
+  std::vector<double> d2(n, 0.0);
+  while (centroids_.size() < k) {
+    double total = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      float best = std::numeric_limits<float>::max();
+      for (const auto& c : centroids_) {
+        best = std::min(best, embed::l2_sq(vectors_[i], c));
+      }
+      d2[i] = best;
+      total += best;
+    }
+    if (total <= 0.0) break;
+    const std::size_t pick = rng.weighted_pick(d2);
+    if (pick >= n) break;
+    centroids_.push_back(vectors_[pick]);
+  }
+
+  // Lloyd iterations.
+  std::vector<std::size_t> assignment(n, 0);
+  for (std::size_t iter = 0; iter < config_.train_iters; ++iter) {
+    bool changed = false;
+    for (std::size_t i = 0; i < n; ++i) {
+      float best = -2.0f;
+      std::size_t best_c = 0;
+      for (std::size_t c = 0; c < centroids_.size(); ++c) {
+        const float s = embed::dot(vectors_[i], centroids_[c]);
+        if (s > best) {
+          best = s;
+          best_c = c;
+        }
+      }
+      if (assignment[i] != best_c) {
+        assignment[i] = best_c;
+        changed = true;
+      }
+    }
+    // Recompute centroids (mean, renormalized to the unit sphere).
+    std::vector<embed::Vector> sums(centroids_.size(),
+                                    embed::Vector(dim_, 0.0f));
+    std::vector<std::size_t> counts(centroids_.size(), 0);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t d = 0; d < dim_; ++d) {
+        sums[assignment[i]][d] += vectors_[i][d];
+      }
+      ++counts[assignment[i]];
+    }
+    for (std::size_t c = 0; c < centroids_.size(); ++c) {
+      if (counts[c] == 0) continue;  // keep the stale centroid
+      embed::normalize(sums[c]);
+      centroids_[c] = std::move(sums[c]);
+    }
+    if (!changed) break;
+  }
+
+  // Final assignment into inverted lists.
+  lists_.assign(centroids_.size(), {});
+  for (std::size_t i = 0; i < n; ++i) {
+    float best = -2.0f;
+    std::size_t best_c = 0;
+    for (std::size_t c = 0; c < centroids_.size(); ++c) {
+      const float s = embed::dot(vectors_[i], centroids_[c]);
+      if (s > best) {
+        best = s;
+        best_c = c;
+      }
+    }
+    lists_[best_c].push_back(i);
+  }
+  built_ = true;
+}
+
+std::vector<SearchResult> IvfIndex::search(const embed::Vector& query,
+                                           std::size_t k) const {
+  if (!built_) {
+    throw std::logic_error("IvfIndex::search called before build()");
+  }
+  if (centroids_.empty()) return {};
+
+  // Rank cells by centroid similarity; probe the top nprobe.
+  std::vector<SearchResult> cells;
+  cells.reserve(centroids_.size());
+  for (std::size_t c = 0; c < centroids_.size(); ++c) {
+    cells.push_back({c, embed::dot(query, centroids_[c])});
+  }
+  sort_and_trim(cells, std::min(config_.nprobe, cells.size()));
+
+  std::vector<SearchResult> results;
+  for (const auto& cell : cells) {
+    for (const std::size_t row : lists_[cell.row]) {
+      results.push_back({row, embed::dot(query, vectors_[row])});
+    }
+  }
+  sort_and_trim(results, k);
+  return results;
+}
+
+// --- HnswIndex ---------------------------------------------------------------
+
+HnswIndex::HnswIndex(std::size_t dim, HnswConfig config)
+    : dim_(dim), config_(config), level_rng_(config.seed) {}
+
+float HnswIndex::sim(std::size_t row, const embed::Vector& q) const {
+  return embed::dot(vectors_[row], q);
+}
+
+std::size_t HnswIndex::greedy_descend(const embed::Vector& q,
+                                      std::size_t entry, int from_level,
+                                      int to_level) const {
+  std::size_t current = entry;
+  float current_sim = sim(current, q);
+  for (int layer = from_level; layer > to_level; --layer) {
+    bool improved = true;
+    while (improved) {
+      improved = false;
+      const auto& nbrs = nodes_[current].links[static_cast<std::size_t>(layer)];
+      for (const std::uint32_t nb : nbrs) {
+        const float s = sim(nb, q);
+        if (s > current_sim) {
+          current_sim = s;
+          current = nb;
+          improved = true;
+        }
+      }
+    }
+  }
+  return current;
+}
+
+std::vector<SearchResult> HnswIndex::search_layer(const embed::Vector& q,
+                                                  std::size_t entry,
+                                                  std::size_t ef,
+                                                  int layer) const {
+  // Classic best-first beam with a bounded result heap.
+  struct Cmp {
+    bool operator()(const SearchResult& a, const SearchResult& b) const {
+      return a.score < b.score;  // max-heap on candidates
+    }
+  };
+  struct CmpMin {
+    bool operator()(const SearchResult& a, const SearchResult& b) const {
+      return a.score > b.score;  // min-heap on results
+    }
+  };
+  std::priority_queue<SearchResult, std::vector<SearchResult>, Cmp> candidates;
+  std::priority_queue<SearchResult, std::vector<SearchResult>, CmpMin> best;
+  std::unordered_set<std::size_t> visited;
+
+  const SearchResult start{entry, sim(entry, q)};
+  candidates.push(start);
+  best.push(start);
+  visited.insert(entry);
+
+  while (!candidates.empty()) {
+    const SearchResult cand = candidates.top();
+    candidates.pop();
+    if (best.size() >= ef && cand.score < best.top().score) break;
+    const auto& nbrs =
+        nodes_[cand.row].links[static_cast<std::size_t>(layer)];
+    for (const std::uint32_t nb : nbrs) {
+      if (!visited.insert(nb).second) continue;
+      const SearchResult next{nb, sim(nb, q)};
+      if (best.size() < ef || next.score > best.top().score) {
+        candidates.push(next);
+        best.push(next);
+        if (best.size() > ef) best.pop();
+      }
+    }
+  }
+
+  std::vector<SearchResult> out;
+  out.reserve(best.size());
+  while (!best.empty()) {
+    out.push_back(best.top());
+    best.pop();
+  }
+  std::reverse(out.begin(), out.end());
+  return out;
+}
+
+void HnswIndex::connect(std::size_t row, int layer,
+                        const std::vector<SearchResult>& candidates) {
+  auto& links = nodes_[row].links[static_cast<std::size_t>(layer)];
+  const std::size_t max_links =
+      layer == 0 ? config_.m * 2 : config_.m;
+  for (const auto& cand : candidates) {
+    if (cand.row == row) continue;
+    if (links.size() >= max_links) break;
+    links.push_back(static_cast<std::uint32_t>(cand.row));
+    // Reciprocal edge, pruned to the neighbor's budget by keeping the
+    // strongest connections.
+    auto& back =
+        nodes_[cand.row].links[static_cast<std::size_t>(layer)];
+    back.push_back(static_cast<std::uint32_t>(row));
+    if (back.size() > max_links) {
+      const embed::Vector& pivot = vectors_[cand.row];
+      std::sort(back.begin(), back.end(),
+                [&](std::uint32_t a, std::uint32_t b) {
+                  return embed::dot(vectors_[a], pivot) >
+                         embed::dot(vectors_[b], pivot);
+                });
+      back.resize(max_links);
+    }
+  }
+}
+
+void HnswIndex::add(const embed::Vector& v) {
+  if (v.size() != dim_) throw std::invalid_argument("HnswIndex::add: dim");
+  const std::size_t row = vectors_.size();
+  vectors_.push_back(v);
+
+  // Exponentially distributed level (p = 1/e discipline via uniform).
+  int level = 0;
+  {
+    const double ml = 1.0 / std::log(static_cast<double>(config_.m));
+    const double u = level_rng_.uniform();
+    level = static_cast<int>(-std::log(std::max(u, 1e-12)) * ml);
+    level = std::min(level, 16);
+  }
+
+  Node node;
+  node.level = level;
+  node.links.resize(static_cast<std::size_t>(level) + 1);
+  nodes_.push_back(std::move(node));
+
+  if (row == 0) {
+    entry_point_ = 0;
+    max_level_ = level;
+    return;
+  }
+
+  std::size_t entry = entry_point_;
+  if (level < max_level_) {
+    entry = greedy_descend(v, entry, max_level_, level);
+  }
+  for (int layer = std::min(level, max_level_); layer >= 0; --layer) {
+    auto found = search_layer(v, entry, config_.ef_construction, layer);
+    connect(row, layer, found);
+    if (!found.empty()) entry = found.front().row;
+  }
+  if (level > max_level_) {
+    max_level_ = level;
+    entry_point_ = row;
+  }
+}
+
+std::vector<SearchResult> HnswIndex::search(const embed::Vector& query,
+                                            std::size_t k) const {
+  if (vectors_.empty()) return {};
+  const std::size_t entry =
+      greedy_descend(query, entry_point_, max_level_, 0);
+  auto results =
+      search_layer(query, entry, std::max(config_.ef_search, k), 0);
+  sort_and_trim(results, k);
+  return results;
+}
+
+// --- Ground truth helpers ------------------------------------------------------
+
+std::vector<SearchResult> exact_search(const std::vector<embed::Vector>& data,
+                                       const embed::Vector& query,
+                                       std::size_t k) {
+  std::vector<SearchResult> results;
+  results.reserve(data.size());
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    results.push_back({i, embed::dot(data[i], query)});
+  }
+  sort_and_trim(results, k);
+  return results;
+}
+
+double recall_at_k(const std::vector<SearchResult>& got,
+                   const std::vector<SearchResult>& want) {
+  if (want.empty()) return 1.0;
+  std::unordered_set<std::size_t> want_rows;
+  for (const auto& r : want) want_rows.insert(r.row);
+  std::size_t hits = 0;
+  for (const auto& r : got) hits += want_rows.contains(r.row) ? 1 : 0;
+  return static_cast<double>(hits) / static_cast<double>(want.size());
+}
+
+}  // namespace mcqa::index

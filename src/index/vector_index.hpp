@@ -1,0 +1,176 @@
+#pragma once
+// Vector similarity indexes (FAISS-equivalent substrate).
+//
+// Three implementations with the classic accuracy/speed trade-offs:
+//   FlatIndex  exact brute force over FP16-at-rest vectors
+//   IvfIndex   k-means coarse quantizer + inverted lists, nprobe knob
+//   HnswIndex  navigable small-world graph, efSearch knob
+//
+// All operate on unit-norm vectors with inner-product scoring (cosine).
+// The index ablation bench (A1) sweeps recall@k versus queries/second
+// across the three, reproducing the trade-off the paper delegates to
+// FAISS.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "embed/embedder.hpp"
+#include "util/fp16.hpp"
+#include "util/rng.hpp"
+
+namespace mcqa::index {
+
+struct SearchResult {
+  std::size_t row = 0;
+  float score = 0.0f;  ///< inner product (cosine for unit vectors)
+};
+
+class VectorIndex {
+ public:
+  virtual ~VectorIndex() = default;
+
+  virtual std::string_view name() const = 0;
+  virtual std::size_t dim() const = 0;
+  virtual std::size_t size() const = 0;
+
+  /// Append a vector; rows number 0..n-1 in insertion order.
+  virtual void add(const embed::Vector& v) = 0;
+
+  /// Finalize after adds (train the coarse quantizer, etc.).  Must be
+  /// called before search for IVF; no-op elsewhere.
+  virtual void build() {}
+
+  /// Top-k rows by score, descending; ties broken by row id.
+  virtual std::vector<SearchResult> search(const embed::Vector& query,
+                                           std::size_t k) const = 0;
+};
+
+// --- Flat ------------------------------------------------------------------
+
+class FlatIndex final : public VectorIndex {
+ public:
+  explicit FlatIndex(std::size_t dim) : dim_(dim) {}
+
+  std::string_view name() const override { return "flat"; }
+  std::size_t dim() const override { return dim_; }
+  std::size_t size() const override { return rows_; }
+  void add(const embed::Vector& v) override;
+  std::vector<SearchResult> search(const embed::Vector& query,
+                                   std::size_t k) const override;
+
+  std::string save() const;
+  static FlatIndex load(std::string_view blob);
+
+  /// Widened copy of a stored row (shared with IVF/HNSW via protected
+  /// storage would over-couple; each index owns its vectors).
+  embed::Vector vector(std::size_t row) const;
+
+ private:
+  float score_row(std::size_t row, const embed::Vector& q) const;
+
+  std::size_t dim_;
+  std::size_t rows_ = 0;
+  std::vector<util::fp16_t> data_;
+};
+
+// --- IVF -------------------------------------------------------------------
+
+struct IvfConfig {
+  std::size_t nlist = 64;      ///< number of k-means cells
+  std::size_t nprobe = 8;      ///< cells visited per query
+  std::size_t train_iters = 12;
+  std::uint64_t seed = 99;
+};
+
+class IvfIndex final : public VectorIndex {
+ public:
+  IvfIndex(std::size_t dim, IvfConfig config = {});
+
+  std::string_view name() const override { return "ivf"; }
+  std::size_t dim() const override { return dim_; }
+  std::size_t size() const override { return vectors_.size(); }
+  void add(const embed::Vector& v) override;
+  void build() override;
+  std::vector<SearchResult> search(const embed::Vector& query,
+                                   std::size_t k) const override;
+
+  void set_nprobe(std::size_t nprobe) { config_.nprobe = nprobe; }
+  std::size_t nlist() const { return centroids_.size(); }
+
+  /// Serialize the trained index (vectors + centroids + lists).
+  std::string save() const;
+  static IvfIndex load(std::string_view blob);
+
+ private:
+  std::size_t dim_;
+  IvfConfig config_;
+  bool built_ = false;
+  std::vector<embed::Vector> vectors_;
+  std::vector<embed::Vector> centroids_;
+  std::vector<std::vector<std::size_t>> lists_;  ///< rows per centroid
+};
+
+// --- HNSW ------------------------------------------------------------------
+
+struct HnswConfig {
+  std::size_t m = 12;               ///< links per node per layer
+  std::size_t ef_construction = 80;
+  std::size_t ef_search = 48;
+  std::uint64_t seed = 4242;
+};
+
+class HnswIndex final : public VectorIndex {
+ public:
+  HnswIndex(std::size_t dim, HnswConfig config = {});
+
+  std::string_view name() const override { return "hnsw"; }
+  std::size_t dim() const override { return dim_; }
+  std::size_t size() const override { return vectors_.size(); }
+  void add(const embed::Vector& v) override;
+  std::vector<SearchResult> search(const embed::Vector& query,
+                                   std::size_t k) const override;
+
+  void set_ef_search(std::size_t ef) { config_.ef_search = ef; }
+
+  /// Serialize the graph (vectors + per-layer links + entry point).
+  std::string save() const;
+  static HnswIndex load(std::string_view blob);
+
+ private:
+  struct Node {
+    int level = 0;
+    /// links[layer] = neighbor rows.
+    std::vector<std::vector<std::uint32_t>> links;
+  };
+
+  float sim(std::size_t row, const embed::Vector& q) const;
+  std::size_t greedy_descend(const embed::Vector& q, std::size_t entry,
+                             int from_level, int to_level) const;
+  std::vector<SearchResult> search_layer(const embed::Vector& q,
+                                         std::size_t entry, std::size_t ef,
+                                         int layer) const;
+  void connect(std::size_t row, int layer,
+               const std::vector<SearchResult>& candidates);
+
+  std::size_t dim_;
+  HnswConfig config_;
+  std::vector<embed::Vector> vectors_;
+  std::vector<Node> nodes_;
+  std::size_t entry_point_ = 0;
+  int max_level_ = -1;
+  util::Rng level_rng_;
+};
+
+/// Exact ground truth for recall measurement: brute force over raw
+/// vectors (float precision).
+std::vector<SearchResult> exact_search(const std::vector<embed::Vector>& data,
+                                       const embed::Vector& query,
+                                       std::size_t k);
+
+/// recall@k of `got` against exact `want` (fraction of want rows present).
+double recall_at_k(const std::vector<SearchResult>& got,
+                   const std::vector<SearchResult>& want);
+
+}  // namespace mcqa::index

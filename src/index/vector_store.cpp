@@ -1,0 +1,59 @@
+#include "index/vector_store.hpp"
+
+#include <stdexcept>
+
+namespace mcqa::index {
+
+std::string_view index_kind_name(IndexKind kind) {
+  switch (kind) {
+    case IndexKind::kFlat: return "flat";
+    case IndexKind::kIvf: return "ivf";
+    case IndexKind::kHnsw: return "hnsw";
+  }
+  return "unknown";
+}
+
+namespace {
+std::unique_ptr<VectorIndex> make_index(IndexKind kind, std::size_t dim) {
+  switch (kind) {
+    case IndexKind::kFlat: return std::make_unique<FlatIndex>(dim);
+    case IndexKind::kIvf: return std::make_unique<IvfIndex>(dim);
+    case IndexKind::kHnsw: return std::make_unique<HnswIndex>(dim);
+  }
+  throw std::invalid_argument("unknown IndexKind");
+}
+}  // namespace
+
+VectorStore::VectorStore(const embed::Embedder& embedder, IndexKind kind)
+    : embedder_(embedder), index_(make_index(kind, embedder.dim())) {}
+
+void VectorStore::add(std::string id, std::string text) {
+  index_->add(embedder_.embed(text));
+  ids_.push_back(std::move(id));
+  texts_.push_back(std::move(text));
+  built_ = false;
+}
+
+void VectorStore::build() {
+  index_->build();
+  built_ = true;
+}
+
+std::vector<Hit> VectorStore::query(std::string_view text,
+                                    std::size_t k) const {
+  return query_vector(embedder_.embed(text), k);
+}
+
+std::vector<Hit> VectorStore::query_vector(const embed::Vector& v,
+                                           std::size_t k) const {
+  if (!built_) {
+    throw std::logic_error("VectorStore::query before build()");
+  }
+  std::vector<Hit> hits;
+  for (const auto& r : index_->search(v, k)) {
+    hits.push_back(Hit{ids_[r.row], texts_[r.row], r.score});
+  }
+  return hits;
+}
+
+}  // namespace mcqa::index

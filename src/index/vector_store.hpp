@@ -1,0 +1,61 @@
+#pragma once
+// Vector store: ids + payload text + a similarity index.
+//
+// The paper's retrieval databases — one store of paper-derived chunks,
+// and one store per reasoning-trace mode — are FAISS indexes keyed back
+// to JSON records.  VectorStore is that binding: add(id, text) embeds
+// and indexes; query(text, k) returns the payloads RAG will paste into
+// the prompt.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "embed/embedder.hpp"
+#include "index/vector_index.hpp"
+
+namespace mcqa::index {
+
+enum class IndexKind { kFlat, kIvf, kHnsw };
+
+std::string_view index_kind_name(IndexKind kind);
+
+struct Hit {
+  std::string id;
+  std::string text;
+  float score = 0.0f;
+};
+
+class VectorStore {
+ public:
+  VectorStore(const embed::Embedder& embedder, IndexKind kind = IndexKind::kFlat);
+
+  /// Embed and stage one payload.
+  void add(std::string id, std::string text);
+
+  /// Finalize the underlying index (required before query for IVF).
+  void build();
+
+  std::vector<Hit> query(std::string_view text, std::size_t k) const;
+
+  /// Query with a precomputed embedding.
+  std::vector<Hit> query_vector(const embed::Vector& v, std::size_t k) const;
+
+  std::size_t size() const { return ids_.size(); }
+  const std::string& text_of(std::size_t row) const { return texts_.at(row); }
+  const std::string& id_of(std::size_t row) const { return ids_.at(row); }
+
+  /// FP16-equivalent storage footprint of the embedded vectors.
+  std::size_t embedding_bytes() const {
+    return ids_.size() * embedder_.dim() * 2;
+  }
+
+ private:
+  const embed::Embedder& embedder_;
+  std::unique_ptr<VectorIndex> index_;
+  std::vector<std::string> ids_;
+  std::vector<std::string> texts_;
+  bool built_ = false;
+};
+
+}  // namespace mcqa::index

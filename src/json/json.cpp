@@ -1,0 +1,543 @@
+#include "json/json.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+namespace mcqa::json {
+
+// ---------------------------------------------------------------------------
+// Object
+
+Value& Object::operator[](std::string_view key) {
+  if (auto* v = find(key)) return *v;
+  index_.emplace(std::string(key), items_.size());
+  items_.emplace_back(std::string(key), Value());
+  return items_.back().second;
+}
+
+const Value* Object::find(std::string_view key) const {
+  const auto it = index_.find(key);
+  return it == index_.end() ? nullptr : &items_[it->second].second;
+}
+
+Value* Object::find(std::string_view key) {
+  const auto it = index_.find(key);
+  return it == index_.end() ? nullptr : &items_[it->second].second;
+}
+
+const Value& Object::at(std::string_view key) const {
+  if (const auto* v = find(key)) return *v;
+  throw TypeError("missing object key: " + std::string(key));
+}
+
+bool Object::erase(std::string_view key) {
+  const auto it = index_.find(key);
+  if (it == index_.end()) return false;
+  const std::size_t pos = it->second;
+  items_.erase(items_.begin() + static_cast<std::ptrdiff_t>(pos));
+  index_.erase(it);
+  for (auto& [k, i] : index_) {
+    if (i > pos) --i;
+  }
+  return true;
+}
+
+bool Object::operator==(const Object& other) const {
+  // Order-insensitive comparison: schemas compare by content.
+  if (items_.size() != other.items_.size()) return false;
+  for (const auto& [k, v] : items_) {
+    const Value* ov = other.find(k);
+    if (ov == nullptr || !(*ov == v)) return false;
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Value accessors
+
+namespace {
+[[noreturn]] void type_fail(const char* want, Value::Type got) {
+  static const char* kNames[] = {"null",   "bool",  "int",   "double",
+                                 "string", "array", "object"};
+  throw TypeError(std::string("expected ") + want + ", got " +
+                  kNames[static_cast<int>(got)]);
+}
+}  // namespace
+
+bool Value::as_bool() const {
+  if (const auto* b = std::get_if<bool>(&data_)) return *b;
+  type_fail("bool", type());
+}
+
+std::int64_t Value::as_int() const {
+  if (const auto* i = std::get_if<std::int64_t>(&data_)) return *i;
+  if (const auto* d = std::get_if<double>(&data_)) {
+    if (std::floor(*d) == *d) return static_cast<std::int64_t>(*d);
+  }
+  type_fail("int", type());
+}
+
+double Value::as_double() const {
+  if (const auto* d = std::get_if<double>(&data_)) return *d;
+  if (const auto* i = std::get_if<std::int64_t>(&data_)) {
+    return static_cast<double>(*i);
+  }
+  type_fail("number", type());
+}
+
+const std::string& Value::as_string() const {
+  if (const auto* s = std::get_if<std::string>(&data_)) return *s;
+  type_fail("string", type());
+}
+
+const Array& Value::as_array() const {
+  if (const auto* a = std::get_if<Array>(&data_)) return *a;
+  type_fail("array", type());
+}
+
+Array& Value::as_array() {
+  if (auto* a = std::get_if<Array>(&data_)) return *a;
+  type_fail("array", type());
+}
+
+const Object& Value::as_object() const {
+  if (const auto* o = std::get_if<Object>(&data_)) return *o;
+  type_fail("object", type());
+}
+
+Object& Value::as_object() {
+  if (auto* o = std::get_if<Object>(&data_)) return *o;
+  type_fail("object", type());
+}
+
+bool Value::get_or(std::string_view key, bool fallback) const {
+  if (!is_object()) return fallback;
+  const Value* v = as_object().find(key);
+  return v != nullptr && v->is_bool() ? v->as_bool() : fallback;
+}
+
+std::int64_t Value::get_or(std::string_view key, std::int64_t fallback) const {
+  if (!is_object()) return fallback;
+  const Value* v = as_object().find(key);
+  return v != nullptr && v->is_number() ? v->as_int() : fallback;
+}
+
+double Value::get_or(std::string_view key, double fallback) const {
+  if (!is_object()) return fallback;
+  const Value* v = as_object().find(key);
+  return v != nullptr && v->is_number() ? v->as_double() : fallback;
+}
+
+std::string Value::get_or(std::string_view key,
+                          std::string_view fallback) const {
+  if (!is_object()) return std::string(fallback);
+  const Value* v = as_object().find(key);
+  return v != nullptr && v->is_string() ? v->as_string()
+                                        : std::string(fallback);
+}
+
+const Value& Value::at(std::string_view key) const {
+  return as_object().at(key);
+}
+
+Value& Value::operator[](std::string_view key) {
+  if (is_null()) data_ = Object{};
+  return as_object()[key];
+}
+
+const Value& Value::at(std::size_t i) const {
+  const Array& a = as_array();
+  if (i >= a.size()) {
+    throw TypeError("array index out of range: " + std::to_string(i));
+  }
+  return a[i];
+}
+
+// ---------------------------------------------------------------------------
+// Writer
+
+std::string escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+void write_value(const Value& v, std::string& out, int indent, int depth);
+
+void write_indent(std::string& out, int indent, int depth) {
+  if (indent < 0) return;
+  out += '\n';
+  out.append(static_cast<std::size_t>(indent * depth), ' ');
+}
+
+void write_double(double d, std::string& out) {
+  if (std::isnan(d) || std::isinf(d)) {
+    out += "null";  // JSON has no nan/inf; record schemas never emit them
+    return;
+  }
+  // Keep the value typed as a double across a round trip: an integral
+  // double must not serialize to an integer literal.
+  const auto emit = [&out](const char* repr) {
+    std::string s(repr);
+    if (s.find_first_of(".eE") == std::string::npos) s += ".0";
+    out += s;
+  };
+  // Shortest representation that round-trips.
+  for (int prec = 1; prec < 17; ++prec) {
+    char probe[32];
+    std::snprintf(probe, sizeof(probe), "%.*g", prec, d);
+    double back = 0.0;
+    std::sscanf(probe, "%lf", &back);
+    if (back == d) {
+      emit(probe);
+      return;
+    }
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", d);
+  emit(buf);
+}
+
+void write_value(const Value& v, std::string& out, int indent, int depth) {
+  switch (v.type()) {
+    case Value::Type::kNull: out += "null"; break;
+    case Value::Type::kBool: out += v.as_bool() ? "true" : "false"; break;
+    case Value::Type::kInt: out += std::to_string(v.as_int()); break;
+    case Value::Type::kDouble: write_double(v.as_double(), out); break;
+    case Value::Type::kString:
+      out += '"';
+      out += escape(v.as_string());
+      out += '"';
+      break;
+    case Value::Type::kArray: {
+      const Array& a = v.as_array();
+      if (a.empty()) {
+        out += "[]";
+        break;
+      }
+      out += '[';
+      for (std::size_t i = 0; i < a.size(); ++i) {
+        if (i != 0) out += ',';
+        write_indent(out, indent, depth + 1);
+        write_value(a[i], out, indent, depth + 1);
+      }
+      write_indent(out, indent, depth);
+      out += ']';
+      break;
+    }
+    case Value::Type::kObject: {
+      const Object& o = v.as_object();
+      if (o.empty()) {
+        out += "{}";
+        break;
+      }
+      out += '{';
+      bool first = true;
+      for (const auto& [k, val] : o) {
+        if (!first) out += ',';
+        first = false;
+        write_indent(out, indent, depth + 1);
+        out += '"';
+        out += escape(k);
+        out += "\":";
+        if (indent >= 0) out += ' ';
+        write_value(val, out, indent, depth + 1);
+      }
+      write_indent(out, indent, depth);
+      out += '}';
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+std::string Value::dump(int indent) const {
+  std::string out;
+  write_value(*this, out, indent, 0);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Value parse_document() {
+    skip_ws();
+    Value v = parse_value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing characters after document");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& why) const {
+    throw ParseError(why, pos_);
+  }
+
+  char peek() const {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  char take() {
+    const char c = peek();
+    ++pos_;
+    return c;
+  }
+
+  bool eat(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  void expect(char c) {
+    if (!eat(c)) fail(std::string("expected '") + c + "'");
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  Value parse_value() {
+    switch (peek()) {
+      case '{': return parse_object();
+      case '[': return parse_array();
+      case '"': return Value(parse_string());
+      case 't': parse_literal("true"); return Value(true);
+      case 'f': parse_literal("false"); return Value(false);
+      case 'n': parse_literal("null"); return Value(nullptr);
+      default: return parse_number();
+    }
+  }
+
+  void parse_literal(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) != lit) {
+      fail("invalid literal");
+    }
+    pos_ += lit.size();
+  }
+
+  Value parse_object() {
+    expect('{');
+    Object obj;
+    skip_ws();
+    if (eat('}')) return Value(std::move(obj));
+    for (;;) {
+      skip_ws();
+      std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      skip_ws();
+      if (obj.contains(key)) fail("duplicate object key: " + key);
+      obj[key] = parse_value();
+      skip_ws();
+      if (eat(',')) continue;
+      expect('}');
+      return Value(std::move(obj));
+    }
+  }
+
+  Value parse_array() {
+    expect('[');
+    Array arr;
+    skip_ws();
+    if (eat(']')) return Value(std::move(arr));
+    for (;;) {
+      skip_ws();
+      arr.push_back(parse_value());
+      skip_ws();
+      if (eat(',')) continue;
+      expect(']');
+      return Value(std::move(arr));
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    for (;;) {
+      const char c = take();
+      if (c == '"') return out;
+      if (c == '\\') {
+        const char esc = take();
+        switch (esc) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'u': {
+            unsigned cp = parse_hex4();
+            if (cp >= 0xd800 && cp <= 0xdbff) {
+              // Surrogate pair.
+              if (!(eat('\\') && eat('u'))) fail("unpaired surrogate");
+              const unsigned lo = parse_hex4();
+              if (lo < 0xdc00 || lo > 0xdfff) fail("invalid low surrogate");
+              cp = 0x10000 + ((cp - 0xd800) << 10) + (lo - 0xdc00);
+            }
+            append_utf8(out, cp);
+            break;
+          }
+          default: fail("invalid escape");
+        }
+      } else if (static_cast<unsigned char>(c) < 0x20) {
+        fail("raw control character in string");
+      } else {
+        out += c;
+      }
+    }
+  }
+
+  unsigned parse_hex4() {
+    unsigned v = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = take();
+      v <<= 4;
+      if (c >= '0' && c <= '9') v |= static_cast<unsigned>(c - '0');
+      else if (c >= 'a' && c <= 'f') v |= static_cast<unsigned>(c - 'a' + 10);
+      else if (c >= 'A' && c <= 'F') v |= static_cast<unsigned>(c - 'A' + 10);
+      else fail("invalid \\u escape");
+    }
+    return v;
+  }
+
+  static void append_utf8(std::string& out, unsigned cp) {
+    if (cp < 0x80) {
+      out += static_cast<char>(cp);
+    } else if (cp < 0x800) {
+      out += static_cast<char>(0xc0 | (cp >> 6));
+      out += static_cast<char>(0x80 | (cp & 0x3f));
+    } else if (cp < 0x10000) {
+      out += static_cast<char>(0xe0 | (cp >> 12));
+      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3f));
+      out += static_cast<char>(0x80 | (cp & 0x3f));
+    } else {
+      out += static_cast<char>(0xf0 | (cp >> 18));
+      out += static_cast<char>(0x80 | ((cp >> 12) & 0x3f));
+      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3f));
+      out += static_cast<char>(0x80 | (cp & 0x3f));
+    }
+  }
+
+  Value parse_number() {
+    const std::size_t start = pos_;
+    if (eat('-')) {
+    }
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0)) {
+      ++pos_;
+    }
+    bool is_double = false;
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      is_double = true;
+      ++pos_;
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0) {
+        ++pos_;
+      }
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      is_double = true;
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0) {
+        ++pos_;
+      }
+    }
+    const std::string_view tok = text_.substr(start, pos_ - start);
+    if (tok.empty() || tok == "-") fail("invalid number");
+    if (!is_double) {
+      std::int64_t iv = 0;
+      const auto [p, ec] =
+          std::from_chars(tok.data(), tok.data() + tok.size(), iv);
+      if (ec == std::errc() && p == tok.data() + tok.size()) return Value(iv);
+      // fall through to double on overflow
+    }
+    double dv = 0.0;
+    const std::string buf(tok);
+    if (std::sscanf(buf.c_str(), "%lf", &dv) != 1) fail("invalid number");
+    return Value(dv);
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Value Value::parse(std::string_view text) { return Parser(text).parse_document(); }
+
+std::vector<Value> parse_jsonl(std::string_view text) {
+  std::vector<Value> out;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t nl = text.find('\n', pos);
+    if (nl == std::string_view::npos) nl = text.size();
+    const std::string_view line = text.substr(pos, nl - pos);
+    pos = nl + 1;
+    // Skip blank lines (trailing newline, accidental gaps).
+    bool blank = true;
+    for (const char c : line) {
+      if (c != ' ' && c != '\t' && c != '\r') {
+        blank = false;
+        break;
+      }
+    }
+    if (!blank) out.push_back(Value::parse(line));
+  }
+  return out;
+}
+
+std::string dump_jsonl(const std::vector<Value>& docs) {
+  std::string out;
+  for (const auto& doc : docs) {
+    out += doc.dump();
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace mcqa::json

@@ -1,0 +1,156 @@
+#pragma once
+// Self-contained JSON value model, parser and writer.
+//
+// The paper's pipeline stores every artifact as JSON: parsed-document
+// records (AdaParse output), MCQA records (Fig. 2 schema) and
+// reasoning-trace records (Fig. 3 schema).  We implement JSON in-tree so
+// the library has zero external dependencies beyond gtest/benchmark.
+//
+// Objects preserve insertion order so serialized records diff cleanly
+// and match the field order of the paper's schemas.
+
+#include <cstdint>
+#include <initializer_list>
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+#include <vector>
+
+namespace mcqa::json {
+
+class Value;
+
+using Array = std::vector<Value>;
+
+/// Insertion-ordered object: vector of pairs with an index for O(log n)
+/// key lookup.  Key duplication is rejected at insert time.
+class Object {
+ public:
+  Value& operator[](std::string_view key);
+  const Value* find(std::string_view key) const;
+  Value* find(std::string_view key);
+  const Value& at(std::string_view key) const;
+  bool contains(std::string_view key) const { return find(key) != nullptr; }
+  bool erase(std::string_view key);
+
+  std::size_t size() const { return items_.size(); }
+  bool empty() const { return items_.empty(); }
+
+  auto begin() const { return items_.begin(); }
+  auto end() const { return items_.end(); }
+  auto begin() { return items_.begin(); }
+  auto end() { return items_.end(); }
+
+  bool operator==(const Object& other) const;
+
+ private:
+  std::vector<std::pair<std::string, Value>> items_;
+  std::map<std::string, std::size_t, std::less<>> index_;
+};
+
+class TypeError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+class ParseError : public std::runtime_error {
+ public:
+  ParseError(const std::string& what, std::size_t offset)
+      : std::runtime_error(what + " at offset " + std::to_string(offset)),
+        offset_(offset) {}
+  std::size_t offset() const { return offset_; }
+
+ private:
+  std::size_t offset_;
+};
+
+class Value {
+ public:
+  enum class Type { kNull, kBool, kInt, kDouble, kString, kArray, kObject };
+
+  Value() : data_(nullptr) {}
+  Value(std::nullptr_t) : data_(nullptr) {}
+  Value(bool b) : data_(b) {}
+  Value(int i) : data_(static_cast<std::int64_t>(i)) {}
+  Value(unsigned i) : data_(static_cast<std::int64_t>(i)) {}
+  Value(std::int64_t i) : data_(i) {}
+  Value(std::uint64_t i) : data_(static_cast<std::int64_t>(i)) {}
+  Value(double d) : data_(d) {}
+  Value(const char* s) : data_(std::string(s)) {}
+  Value(std::string s) : data_(std::move(s)) {}
+  Value(std::string_view s) : data_(std::string(s)) {}
+  Value(Array a) : data_(std::move(a)) {}
+  Value(Object o) : data_(std::move(o)) {}
+
+  Type type() const { return static_cast<Type>(data_.index()); }
+  bool is_null() const { return type() == Type::kNull; }
+  bool is_bool() const { return type() == Type::kBool; }
+  bool is_int() const { return type() == Type::kInt; }
+  bool is_double() const { return type() == Type::kDouble; }
+  bool is_number() const { return is_int() || is_double(); }
+  bool is_string() const { return type() == Type::kString; }
+  bool is_array() const { return type() == Type::kArray; }
+  bool is_object() const { return type() == Type::kObject; }
+
+  bool as_bool() const;
+  std::int64_t as_int() const;
+  double as_double() const;  ///< widens ints
+  const std::string& as_string() const;
+  const Array& as_array() const;
+  Array& as_array();
+  const Object& as_object() const;
+  Object& as_object();
+
+  /// Convenience with-default accessors for optional schema fields.
+  bool get_or(std::string_view key, bool fallback) const;
+  std::int64_t get_or(std::string_view key, std::int64_t fallback) const;
+  double get_or(std::string_view key, double fallback) const;
+  std::string get_or(std::string_view key, std::string_view fallback) const;
+  /// Disambiguation: without this, a string-literal fallback would bind
+  /// to the bool overload (pointer-to-bool is a standard conversion).
+  std::string get_or(std::string_view key, const char* fallback) const {
+    return get_or(key, std::string_view(fallback));
+  }
+
+  /// Object field access; throws TypeError when not an object or missing.
+  const Value& at(std::string_view key) const;
+  Value& operator[](std::string_view key);
+
+  /// Array element access.
+  const Value& at(std::size_t i) const;
+
+  bool operator==(const Value& other) const { return data_ == other.data_; }
+
+  /// Serialize.  indent < 0 means compact single-line output.
+  std::string dump(int indent = -1) const;
+
+  /// Parse a complete JSON document; trailing garbage is an error.
+  static Value parse(std::string_view text);
+
+  /// Build helpers for terse record-construction code.
+  static Value array(std::initializer_list<Value> items) {
+    return Value(Array(items));
+  }
+  static Value object() { return Value(Object{}); }
+
+ private:
+  std::variant<std::nullptr_t, bool, std::int64_t, double, std::string, Array,
+               Object>
+      data_;
+};
+
+/// Escape a string for embedding in JSON output (without quotes).
+std::string escape(std::string_view s);
+
+/// Parse a JSON-Lines blob: one document per non-empty line.  Used for
+/// the pipeline's .jsonl artifact files.
+std::vector<Value> parse_jsonl(std::string_view text);
+
+/// Serialize one document per line.
+std::string dump_jsonl(const std::vector<Value>& docs);
+
+}  // namespace mcqa::json

@@ -1,0 +1,86 @@
+#include "llm/argo_proxy.hpp"
+
+#include <algorithm>
+
+#include "util/hash.hpp"
+#include "util/rng.hpp"
+
+namespace mcqa::llm {
+
+BatchTeacherClient::BatchTeacherClient(const TeacherModel& teacher,
+                                       ProxyConfig config)
+    : teacher_(teacher), config_(config) {}
+
+bool BatchTeacherClient::attempt_fails(std::string_view id,
+                                       std::size_t attempt) const {
+  util::Rng probe(util::hash_combine(config_.seed, util::fnv1a64(id)),
+                  attempt * 2 + 1);
+  return probe.uniform() < config_.transient_failure_rate;
+}
+
+std::vector<std::optional<McqDraft>> BatchTeacherClient::generate_mcqs(
+    const std::vector<chunk::Chunk>& chunks, ProxyStats* stats) const {
+  std::vector<std::optional<McqDraft>> out(chunks.size());
+  ProxyStats local;
+  local.requests = chunks.size();
+
+  // Simulated slot clocks: batch b is assigned to the earliest-free
+  // worker slot (list scheduling — the same discipline a real async
+  // client with N in-flight calls follows).
+  std::vector<double> slot_free_ms(std::max<std::size_t>(1, config_.workers),
+                                   0.0);
+
+  const std::size_t batch =
+      std::max<std::size_t>(1, config_.batch_size);
+  for (std::size_t start = 0; start < chunks.size(); start += batch) {
+    const std::size_t end = std::min(chunks.size(), start + batch);
+    ++local.batches;
+
+    // Per-batch simulated duration: call overhead + per-item work +
+    // retry tax for the items that fail transiently.
+    double batch_ms = config_.per_call_overhead_ms +
+                      static_cast<double>(end - start) *
+                          config_.per_item_cost_ms;
+
+    for (std::size_t i = start; i < end; ++i) {
+      const std::string& id = chunks[i].chunk_id;
+      bool done = false;
+      for (std::size_t attempt = 0; attempt <= config_.max_retries;
+           ++attempt) {
+        ++local.attempts;
+        if (attempt_fails(id, attempt)) {
+          ++local.retries;
+          // Failed attempt: pay the backoff plus a re-issued single-item
+          // call.
+          batch_ms += config_.backoff_base_ms *
+                          static_cast<double>(1u << std::min<std::size_t>(
+                                                  attempt, 10)) +
+                      config_.per_call_overhead_ms +
+                      config_.per_item_cost_ms;
+          continue;
+        }
+        out[i] = teacher_.generate_mcq(chunks[i]);
+        done = true;
+        break;
+      }
+      if (!done) {
+        ++local.permanent_failures;
+        // retries counted one extra above on the final failing attempt;
+        // the last attempt was a failure, not a retry.
+        --local.retries;
+      }
+    }
+
+    // Assign to the earliest-free worker.
+    auto slot = std::min_element(slot_free_ms.begin(), slot_free_ms.end());
+    *slot += batch_ms;
+    local.simulated_compute_ms += batch_ms;
+  }
+  local.simulated_wall_ms =
+      *std::max_element(slot_free_ms.begin(), slot_free_ms.end());
+
+  if (stats != nullptr) *stats = local;
+  return out;
+}
+
+}  // namespace mcqa::llm

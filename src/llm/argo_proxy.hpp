@@ -1,0 +1,78 @@
+#pragma once
+// Argo-Proxy batch client simulation.
+//
+// The paper feeds chunks "to GPT-4.1 in batches through the Argo-Proxy
+// API" — the operational glue of any remote-LLM pipeline: request
+// batching to amortize per-call overhead, concurrent in-flight slots,
+// transient failures, and retry with exponential backoff.  We reproduce
+// that layer against the local oracle with a *simulated clock*: latency
+// and failure are deterministic functions of request identity, so the
+// batching/backoff logic is fully testable without wall-clock sleeps.
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "chunk/chunker.hpp"
+#include "llm/teacher_model.hpp"
+
+namespace mcqa::llm {
+
+struct ProxyConfig {
+  std::size_t batch_size = 8;   ///< requests per upstream call
+  std::size_t workers = 4;      ///< concurrent in-flight batches
+  std::size_t max_retries = 3;  ///< per request, after the first attempt
+  /// Probability a request attempt fails transiently (rate-limit, node
+  /// drain, ...).  Hash-resolved per (request id, attempt): deterministic.
+  double transient_failure_rate = 0.02;
+
+  // Simulated latency model (milliseconds): a batch costs
+  // per_call_overhead + items * per_item_cost.
+  double per_call_overhead_ms = 250.0;
+  double per_item_cost_ms = 40.0;
+  /// Backoff before retry attempt k: base * 2^(k-1).
+  double backoff_base_ms = 100.0;
+
+  std::uint64_t seed = 0xa4905u;
+};
+
+struct ProxyStats {
+  std::size_t requests = 0;
+  std::size_t batches = 0;          ///< upstream calls issued
+  std::size_t attempts = 0;         ///< per-request attempts (incl. retries)
+  std::size_t retries = 0;
+  std::size_t permanent_failures = 0;  ///< retries exhausted
+  /// Simulated makespan: critical-path time with `workers` slots.
+  double simulated_wall_ms = 0.0;
+  /// Total simulated compute across all calls (sum, not makespan).
+  double simulated_compute_ms = 0.0;
+
+  double throughput_per_s() const {
+    return simulated_wall_ms > 0.0
+               ? requests * 1000.0 / simulated_wall_ms
+               : 0.0;
+  }
+};
+
+/// Batched MCQ generation through the simulated proxy.
+class BatchTeacherClient {
+ public:
+  BatchTeacherClient(const TeacherModel& teacher, ProxyConfig config = {});
+
+  /// Generate one candidate per chunk.  Output is aligned with the
+  /// input; a slot is nullopt when the chunk carried no fact OR the
+  /// request permanently failed.  Deterministic in config.seed.
+  std::vector<std::optional<McqDraft>> generate_mcqs(
+      const std::vector<chunk::Chunk>& chunks,
+      ProxyStats* stats = nullptr) const;
+
+  /// Does attempt `attempt` (0-based) of request `id` fail transiently?
+  bool attempt_fails(std::string_view id, std::size_t attempt) const;
+
+ private:
+  const TeacherModel& teacher_;
+  ProxyConfig config_;
+};
+
+}  // namespace mcqa::llm

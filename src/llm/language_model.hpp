@@ -1,0 +1,76 @@
+#pragma once
+// Language-model interface for MCQA answering.
+//
+// The evaluation harness treats every model as: (task with optional
+// retrieved context) -> free-text answer.  Simulated students, the
+// n-gram statistical backend and the oracle teacher all implement this.
+//
+// An McqTask carries two layers:
+//   * the PROMPT layer (stem, options, context) — what a real model
+//     would see;
+//   * the SIMULATION layer (probed fact, correct index, context
+//     diagnostics) — ground truth the mechanistic student uses to decide
+//     whether it "knows"/"extracts" the answer.  A real inference
+//     backend (e.g. llama.cpp) would simply ignore this layer.
+
+#include <string>
+#include <vector>
+
+#include "corpus/knowledge_base.hpp"
+
+namespace mcqa::llm {
+
+struct McqTask {
+  // --- prompt layer ---
+  std::string id;                    ///< stable task id
+  std::string stem;
+  std::vector<std::string> options;  ///< display order
+  std::string context;               ///< retrieved context ("" = baseline)
+
+  // --- simulation layer ---
+  int correct_index = -1;
+  corpus::FactId fact = 0;
+  bool has_fact = false;      ///< probed fact exists in the KB
+  bool math = false;          ///< needs arithmetic beyond recall
+  double fact_importance = 0.5;
+
+  /// Probability this item is ambiguous/flawed (automated benchmarks
+  /// carry noise; expert exams much less).  Hash-resolved per item.
+  double ambiguity = 0.0;
+  /// Expert-exam item (engages profile.exam_familiarity).
+  bool exam_item = false;
+
+  // Context diagnostics (filled by the RAG assembler; all false/0 for
+  // baseline):
+  bool context_is_trace = false;      ///< retrieved from a trace store
+  bool context_is_terse = false;      ///< efficient-mode trace context
+  bool context_has_fact = false;      ///< probed fact present after truncation
+  double context_saliency = 0.0;      ///< fact tokens / context tokens, [0,1]
+  bool context_has_elimination = false;  ///< trace dismisses wrong options
+  bool context_has_worked_math = false;  ///< trace shows the computation
+  /// Options (by index) that near-miss facts in the context lend false
+  /// support to; misleading-retrieval hazard.
+  std::vector<int> context_misleading_options;
+  /// 1.0 when a misleading option is anchored to the question's subject
+  /// matter in one sentence; lower for diffuse (weak) support.
+  double context_mislead_strength = 0.0;
+};
+
+struct AnswerResult {
+  std::string text;       ///< free-text answer, graded by the judge
+  int chosen_index = -1;  ///< model's internal pick; -1 = garbled/refused
+  double confidence = 0.0;
+};
+
+class LanguageModel {
+ public:
+  virtual ~LanguageModel() = default;
+
+  virtual std::string_view name() const = 0;
+
+  /// Answer one task.  Must be deterministic in (model, task.id) and
+  /// thread-safe.
+  virtual AnswerResult answer(const McqTask& task) const = 0;
+};
+
+}  // namespace mcqa::llm

@@ -1,0 +1,40 @@
+#include "llm/model_spec.hpp"
+
+#include <stdexcept>
+
+namespace mcqa::llm {
+
+const std::vector<ModelCard>& student_registry() {
+  // Table 1 specs verbatim; profiles calibrated against Tables 2-4.
+  // Field order: knowledge, extraction, elimination, chunk_distraction,
+  // trace_math_confusion, arithmetic, abstraction, transfer,
+  // format_reliability, trace_elimination_boost, exam_familiarity.
+  static const std::vector<ModelCard> kRegistry = {
+      {{"OLMo-7B", "Allen Institute", 7.0, 2024, 2048},
+       {0.255, 0.62, 0.15, 0.95, 0.10, 0.45, 0.92, 0.50, 0.93, 0.40, +0.12}},
+      {{"TinyLlama-1.1B-Chat", "TinyLlama Team", 1.1, 2024, 2048},
+       {0.07, 0.95, 0.05, 0.15, 0.00, 0.02, 0.78, 0.35, 0.80, 0.50, -0.07}},
+      {{"Gemma 3 4B-IT", "Google", 4.0, 2025, 128000},
+       {0.72, 0.88, 0.45, 0.30, 0.40, 0.45, 1.00, 0.95, 0.98, 0.45, -0.30}},
+      {{"SmolLM3-3B", "HuggingFace", 3.0, 2025, 32768},
+       {0.36, 0.96, 0.30, 0.08, 0.05, 0.55, 1.00, 1.00, 0.96, 0.50, 0.00}},
+      {{"Mistral-7B-Instruct-v0.3", "Mistral AI", 7.0, 2024, 4096},
+       {0.71, 0.88, 0.45, 0.15, 0.30, 0.45, 0.98, 0.55, 0.98, 0.40, -0.22}},
+      {{"Llama-3-8B-Instruct", "Meta", 8.0, 2024, 8192},
+       {0.85, 0.86, 0.50, 0.30, 0.85, 0.55, 0.97, 0.85, 0.99, 0.35, -0.15}},
+      {{"Llama-3.1-8B-Instruct", "Meta", 8.0, 2024, 32768},
+       {0.83, 0.92, 0.52, 0.08, 0.35, 0.55, 1.00, 0.95, 0.99, 0.45, -0.14}},
+      {{"Qwen-1.5-14B-Chat", "Alibaba", 14.0, 2024, 32768},
+       {0.77, 0.90, 0.50, 0.12, 0.45, 0.50, 1.00, 0.90, 0.98, 0.45, -0.26}},
+  };
+  return kRegistry;
+}
+
+const ModelCard& student_card(std::string_view name) {
+  for (const auto& card : student_registry()) {
+    if (card.spec.name == name) return card;
+  }
+  throw std::out_of_range("unknown student model: " + std::string(name));
+}
+
+}  // namespace mcqa::llm

@@ -1,0 +1,167 @@
+#include "llm/ngram_lm.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/hash.hpp"
+
+namespace mcqa::llm {
+
+namespace {
+
+std::uint64_t key2(std::uint32_t a, std::uint32_t b) {
+  return (static_cast<std::uint64_t>(a) << 32) | b;
+}
+
+std::uint64_t key3(std::uint32_t a, std::uint32_t b, std::uint32_t c) {
+  // 21 bits per id is ample for our vocab budgets.
+  return (static_cast<std::uint64_t>(a & 0x1fffff) << 42) |
+         (static_cast<std::uint64_t>(b & 0x1fffff) << 21) |
+         (c & 0x1fffff);
+}
+
+constexpr std::uint32_t kBos = 0xffffffffu;  // sentinel, never a real id
+
+}  // namespace
+
+NgramLm NgramLm::train(std::string_view corpus_text, NgramLmConfig config) {
+  NgramLm lm;
+  lm.config_ = config;
+
+  // "Smaller model" == less pretraining text: keep a prefix of the
+  // corpus proportional to corpus_fraction.
+  const std::size_t keep = static_cast<std::size_t>(
+      static_cast<double>(corpus_text.size()) *
+      std::clamp(config.corpus_fraction, 0.0, 1.0));
+  const std::string_view train_view = corpus_text.substr(0, keep);
+
+  lm.bpe_ = text::BpeTokenizer::train(train_view, config.bpe_vocab);
+  const std::vector<std::uint32_t> stream = lm.bpe_.encode(train_view);
+  lm.total_tokens_ = stream.size();
+
+  std::uint32_t w2 = kBos;
+  std::uint32_t w1 = kBos;
+  for (const std::uint32_t w0 : stream) {
+    ++lm.unigrams_[w0];
+    ++lm.bigrams_[key2(w1, w0)];
+    ++lm.trigrams_[key3(w2, w1, w0)];
+    w2 = w1;
+    w1 = w0;
+  }
+  return lm;
+}
+
+double NgramLm::token_log_prob(std::uint32_t w2, std::uint32_t w1,
+                               std::uint32_t w0) const {
+  const double v = static_cast<double>(std::max<std::size_t>(bpe_.vocab_size(), 1));
+  const double uni_den = static_cast<double>(total_tokens_) + v;
+
+  const auto uni_it = unigrams_.find(w0);
+  const double uni_count = uni_it == unigrams_.end()
+                               ? 0.0
+                               : static_cast<double>(uni_it->second);
+  const double p_uni = (uni_count + 1.0) / uni_den;
+
+  // Interpolated absolute discounting: trigram backs off to bigram backs
+  // off to (add-one) unigram.
+  const auto ctx2_it = bigrams_.find(key2(w2, w1));
+  double p_bi = p_uni;
+  const auto uni_ctx_it = unigrams_.find(w1);
+  if (uni_ctx_it != unigrams_.end() && uni_ctx_it->second > 0) {
+    const double den = static_cast<double>(uni_ctx_it->second);
+    const auto bi_it = bigrams_.find(key2(w1, w0));
+    const double num = bi_it == bigrams_.end()
+                           ? 0.0
+                           : std::max(0.0, static_cast<double>(bi_it->second) -
+                                               config_.discount);
+    p_bi = num / den + config_.discount / den * p_uni * v * 0.05 + 1e-9;
+    p_bi = std::max(p_bi, 0.2 * p_uni);
+  }
+
+  double p_tri = p_bi;
+  if (ctx2_it != bigrams_.end() && ctx2_it->second > 0) {
+    const double den = static_cast<double>(ctx2_it->second);
+    const auto tri_it = trigrams_.find(key3(w2, w1, w0));
+    const double num = tri_it == trigrams_.end()
+                           ? 0.0
+                           : std::max(0.0, static_cast<double>(tri_it->second) -
+                                               config_.discount);
+    p_tri = num / den + 1e-9;
+    p_tri = std::max(p_tri, 0.3 * p_bi);
+  }
+  return std::log(std::max(p_tri, 1e-12));
+}
+
+double NgramLm::log_prob(std::string_view txt) const {
+  const auto ids = bpe_.encode(txt);
+  if (ids.empty()) return -30.0;
+  double total = 0.0;
+  std::uint32_t w2 = kBos;
+  std::uint32_t w1 = kBos;
+  for (const std::uint32_t w0 : ids) {
+    total += token_log_prob(w2, w1, w0);
+    w2 = w1;
+    w1 = w0;
+  }
+  return total / static_cast<double>(ids.size());
+}
+
+double NgramLm::continuation_log_prob(std::string_view prefix,
+                                      std::string_view continuation) const {
+  const auto prefix_ids = bpe_.encode(prefix);
+  const auto cont_ids = bpe_.encode(continuation);
+  if (cont_ids.empty()) return -30.0;
+  std::uint32_t w2 = kBos;
+  std::uint32_t w1 = kBos;
+  if (prefix_ids.size() >= 2) {
+    w2 = prefix_ids[prefix_ids.size() - 2];
+    w1 = prefix_ids[prefix_ids.size() - 1];
+  } else if (prefix_ids.size() == 1) {
+    w1 = prefix_ids[0];
+  }
+  double total = 0.0;
+  for (const std::uint32_t w0 : cont_ids) {
+    total += token_log_prob(w2, w1, w0);
+    w2 = w1;
+    w1 = w0;
+  }
+  return total / static_cast<double>(cont_ids.size());
+}
+
+AnswerResult NgramLm::answer(const McqTask& task) const {
+  AnswerResult out;
+  if (task.options.empty()) {
+    out.text = "(no options)";
+    return out;
+  }
+  std::string prompt;
+  if (!task.context.empty()) {
+    prompt += task.context;
+    prompt += "\n";
+  }
+  prompt += task.stem;
+  prompt += " The answer is ";
+
+  double best = -1e18;
+  int best_idx = 0;
+  std::vector<double> scores(task.options.size());
+  for (std::size_t i = 0; i < task.options.size(); ++i) {
+    const double s = continuation_log_prob(prompt, task.options[i]);
+    scores[i] = s;
+    if (s > best) {
+      best = s;
+      best_idx = static_cast<int>(i);
+    }
+  }
+  out.chosen_index = best_idx;
+  // Softmax-ish confidence over the per-token scores.
+  double denom = 0.0;
+  for (const double s : scores) denom += std::exp(s - best);
+  out.confidence = denom > 0.0 ? 1.0 / denom : 0.0;
+  out.text = "Answer: (" + std::string(1, static_cast<char>('A' + best_idx)) +
+             ") " + task.options[static_cast<std::size_t>(best_idx)] +
+             ". (likelihood-ranked)";
+  return out;
+}
+
+}  // namespace mcqa::llm

@@ -1,0 +1,67 @@
+#pragma once
+// Statistical language-model backend.
+//
+// An interpolated Kneser-Ney-flavoured trigram LM over BPE subwords,
+// trained on a configurable fraction of the synthetic corpus.  It is
+// the repository's *non-mechanistic* student: it answers MCQs by
+// log-likelihood scoring of each option continuation, the way llama.cpp
+// scores choices for the paper's models.  Scaling the training fraction
+// stands in for parameter count, giving an independent sanity check
+// that RAG context measurably shifts option likelihoods (ablation bench
+// A3 reports it).
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "llm/language_model.hpp"
+#include "text/bpe.hpp"
+
+namespace mcqa::llm {
+
+struct NgramLmConfig {
+  std::size_t bpe_vocab = 1200;
+  double corpus_fraction = 1.0;  ///< fraction of training text consumed
+  double discount = 0.4;         ///< absolute discounting mass
+  std::uint64_t seed = 7;
+  std::string name = "ngram-lm";
+};
+
+class NgramLm final : public LanguageModel {
+ public:
+  /// Train on raw text (already concatenated corpus).
+  static NgramLm train(std::string_view corpus_text, NgramLmConfig config);
+
+  std::string_view name() const override { return config_.name; }
+
+  /// Average per-token log probability of `text`.
+  double log_prob(std::string_view text) const;
+
+  /// Conditional score of `continuation` after `prefix` (total log prob
+  /// of the continuation tokens given the running context).
+  double continuation_log_prob(std::string_view prefix,
+                               std::string_view continuation) const;
+
+  /// MCQA via likelihood ranking: argmax over options of
+  /// log P(option | context + stem).
+  AnswerResult answer(const McqTask& task) const override;
+
+  std::size_t vocab_size() const { return bpe_.vocab_size(); }
+  std::size_t trigram_count() const { return trigrams_.size(); }
+
+ private:
+  NgramLm() = default;
+
+  double token_log_prob(std::uint32_t w2, std::uint32_t w1,
+                        std::uint32_t w0) const;
+
+  NgramLmConfig config_;
+  text::BpeTokenizer bpe_;
+  std::unordered_map<std::uint64_t, std::uint32_t> trigrams_;
+  std::unordered_map<std::uint64_t, std::uint32_t> bigrams_;
+  std::unordered_map<std::uint32_t, std::uint32_t> unigrams_;
+  std::uint64_t total_tokens_ = 0;
+};
+
+}  // namespace mcqa::llm

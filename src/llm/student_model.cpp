@@ -1,0 +1,267 @@
+#include "llm/student_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/hash.hpp"
+
+namespace mcqa::llm {
+
+namespace {
+
+double clamp01(double x) { return std::clamp(x, 0.0, 1.0); }
+
+const char* kOptionLetters = "ABCDEFGHIJ";
+
+}  // namespace
+
+StudentModel::StudentModel(const ModelCard& card, SimulationCoefficients coeffs,
+                           std::uint64_t seed)
+    : card_(card), coeffs_(coeffs), seed_(seed) {}
+
+bool StudentModel::knows_fact(corpus::FactId fact, double importance,
+                              bool exam_item) const {
+  const double p = clamp01(card_.profile.knowledge +
+                           (exam_item ? card_.profile.exam_familiarity : 0.0) +
+                           coeffs_.importance_tilt *
+                               (importance - coeffs_.importance_center));
+  // Stable hash-threshold membership: forking an RNG keyed by (model,
+  // fact) and taking one uniform draw gives a fixed pseudo-random number
+  // per pair, so knowledge is a consistent set rather than a coin
+  // flipped per question.
+  util::Rng probe(util::hash_combine(util::fnv1a64(card_.spec.name),
+                                     util::fnv1a64(std::uint64_t{fact})),
+                  seed_);
+  return probe.uniform() < p;
+}
+
+AnswerResult StudentModel::emit(const McqTask& task, int choice,
+                                double confidence, std::string_view rationale,
+                                util::Rng& rng) const {
+  AnswerResult out;
+  out.chosen_index = choice;
+  out.confidence = confidence;
+
+  if (choice < 0 || choice >= static_cast<int>(task.options.size())) {
+    out.text = "I am not able to determine the answer from the information "
+               "provided.";
+    out.chosen_index = -1;
+    return out;
+  }
+
+  // Format discipline: strong models answer in a clean, judge-friendly
+  // pattern; weak models sometimes ramble without naming an option.
+  if (!rng.chance(card_.profile.format_reliability)) {
+    // Degraded output: mentions the option text mid-sentence without a
+    // letter, or trails off.  The judge may still rescue the former.
+    if (rng.chance(0.5)) {
+      out.text = std::string("Well, considering the question, ") +
+                 std::string(rationale) +
+                 " it could relate to " + task.options[static_cast<std::size_t>(
+                     choice)] +
+                 " though other mechanisms are plausible in this setting.";
+    } else {
+      out.text =
+          "The question concerns radiobiology. There are several options and "
+          "the mechanisms are complex; more context would be needed.";
+      out.chosen_index = -1;
+    }
+    return out;
+  }
+
+  out.text = std::string("Answer: (") +
+             kOptionLetters[choice] + ") " +
+             task.options[static_cast<std::size_t>(choice)] + ". " +
+             std::string(rationale);
+  return out;
+}
+
+int StudentModel::eliminate_and_guess(const McqTask& task,
+                                      util::Rng& rng) const {
+  const int n = static_cast<int>(task.options.size());
+  if (n == 0) return -1;
+
+  // Elimination power: base skill, plus the distilled dismissals when a
+  // reasoning trace covering this question's options is in context.
+  double elim = card_.profile.elimination;
+  if (task.context_has_elimination) {
+    // Terse rationales ("most options are inconsistent with this
+    // principle") only transfer elimination power to readers that can
+    // unpack them.
+    const double boost = task.context_is_terse
+                             ? card_.profile.trace_elimination_boost *
+                                   card_.profile.abstraction
+                             : card_.profile.trace_elimination_boost;
+    elim = std::min(0.85, elim + boost);
+  }
+
+  // Each wrong option is independently discarded with prob `elim`.  The
+  // correct option usually survives (distractors are constructed to be
+  // recognizably implausible, not trick items), but the weakest models
+  // sometimes talk themselves out of it — which is how sub-random exam
+  // scores happen.
+  const double correct_survives =
+      clamp01(0.62 + elim + card_.profile.knowledge);
+  std::vector<int> alive;
+  for (int i = 0; i < n; ++i) {
+    if (i == task.correct_index) {
+      if (rng.chance(correct_survives)) alive.push_back(i);
+    } else if (!rng.chance(elim)) {
+      alive.push_back(i);
+    }
+  }
+  if (alive.empty()) return task.correct_index;
+  return alive[rng.bounded(static_cast<std::uint32_t>(alive.size()))];
+}
+
+int StudentModel::random_wrong(const McqTask& task, util::Rng& rng) const {
+  const int n = static_cast<int>(task.options.size());
+  if (n <= 1) return 0;
+  for (;;) {
+    const int pick = static_cast<int>(rng.bounded(static_cast<std::uint32_t>(n)));
+    if (pick != task.correct_index) return pick;
+  }
+}
+
+AnswerResult StudentModel::answer(const McqTask& task) const {
+  util::Rng rng(util::hash_combine(util::fnv1a64(card_.spec.name),
+                                   util::fnv1a64(task.id)),
+                seed_ ^ 0x5bd1e995u);
+
+  const StudentProfile& p = card_.profile;
+  const double transfer = task.exam_item ? p.transfer : 1.0;
+
+  // --- Item ambiguity: a flawed auto-generated question has no reliably
+  // keyed answer; every model coin-flips between the key and the most
+  // confusable alternative.  Resolved per ITEM (hash of task id only) so
+  // the same items are flawed for every model.
+  {
+    util::Rng item_rng(util::fnv1a64(task.id), 0x11d5u);
+    if (item_rng.uniform() < task.ambiguity) {
+      const bool lands_on_key = rng.chance(0.5);
+      return emit(task,
+                  lands_on_key ? task.correct_index : random_wrong(task, rng),
+                  0.5, "The options are closely matched here.", rng);
+    }
+  }
+
+  // --- Misleading retrieval hazard (document text lending false support
+  // to a distractor).  Applies to chunk contexts; trace contexts carry a
+  // much weaker version of this hazard (they are single-principle
+  // statements, not entity-dense passages).
+  bool misled = false;
+  if (!task.context_misleading_options.empty()) {
+    const double sus = task.context_is_trace ? p.chunk_distraction * 0.3
+                                             : p.chunk_distraction;
+    misled = rng.chance(clamp01(sus * coeffs_.mislead_scale *
+                                task.context_mislead_strength));
+  }
+
+  // --- Math tasks --------------------------------------------------------
+  if (task.math) {
+    // Stale-arithmetic confusion: a retrieved trace that worked through
+    // *different numbers* invites copying its magnitude.
+    if (task.context_is_trace && !task.context.empty() &&
+        rng.chance(p.trace_math_confusion)) {
+      return emit(task, random_wrong(task, rng), 0.5,
+                  "Following the computation in the retrieved reasoning.",
+                  rng);
+    }
+    double p_compute = p.arithmetic;
+    if (task.context_has_worked_math) {
+      // A worked decay computation in context can be pattern-matched even
+      // by models with no native arithmetic (substitute the new numbers
+      // into the shown steps) — hence the reading-skill floor.
+      p_compute = clamp01(std::max(p_compute * coeffs_.worked_math_boost + 0.05,
+                                   0.35 * p.extraction));
+    }
+    // Needs the underlying quantity too: from context or memory.
+    const bool have_quantity =
+        (task.context_has_fact &&
+         rng.chance(clamp01(p.extraction * transfer))) ||
+        (task.has_fact && knows_fact(task.fact, task.fact_importance, task.exam_item));
+    if (have_quantity && rng.chance(p_compute)) {
+      return emit(task, task.correct_index, 0.8,
+                  "Working through the decay arithmetic step by step gives "
+                  "this value.",
+                  rng);
+    }
+    if (misled) {
+      const int pick = task.context_misleading_options[rng.bounded(
+          static_cast<std::uint32_t>(task.context_misleading_options.size()))];
+      return emit(task, pick, 0.4,
+                  "The retrieved material points to this value.", rng);
+    }
+    // Failed computation: weak models often garble numeric answers
+    // entirely rather than guessing an option cleanly.
+    if (!rng.chance(clamp01(p.arithmetic + 0.35))) {
+      AnswerResult garbled;
+      garbled.chosen_index = -1;
+      garbled.confidence = 0.1;
+      garbled.text =
+          "Computing the remaining activity requires applying the decay "
+          "equation; the value would be approximately... the calculation is "
+          "involved and I cannot complete it reliably.";
+      return garbled;
+    }
+    return emit(task, eliminate_and_guess(task, rng), 0.25,
+                "Estimating among the plausible magnitudes.", rng);
+  }
+
+  // --- Misleading support can pre-empt extraction for weak readers: a
+  // model that cannot reliably tell the load-bearing passage from a
+  // near-miss one answers from whichever it latched onto first.
+  if (misled &&
+      rng.chance(clamp01(1.0 - p.extraction * transfer))) {
+    const int pick = task.context_misleading_options[rng.bounded(
+        static_cast<std::uint32_t>(task.context_misleading_options.size()))];
+    if (pick != task.correct_index) {
+      return emit(task, pick, 0.5,
+                  "The retrieved passage emphasizes this factor.", rng);
+    }
+  }
+
+  // --- Context extraction path -------------------------------------------
+  if (task.context_has_fact) {
+    double p_extract =
+        p.extraction * (coeffs_.saliency_floor +
+                        (1.0 - coeffs_.saliency_floor) *
+                            std::sqrt(std::max(0.0, task.context_saliency)));
+    // Terse (efficient-mode) rationales demand more from the reader.
+    if (task.context_is_terse) p_extract *= p.abstraction;
+    // Cross-phrasing transfer penalty on expert-exam items.
+    p_extract *= transfer;
+    if (rng.chance(clamp01(p_extract)) &&
+        rng.chance(coeffs_.extract_fidelity)) {
+      return emit(task, task.correct_index, 0.9,
+                  "The retrieved context states this relationship directly.",
+                  rng);
+    }
+  }
+
+  // --- Misleading context can fire before parametric recall when the
+  // model trusts retrieval over its own knowledge.
+  if (misled) {
+    const int pick = task.context_misleading_options[rng.bounded(
+        static_cast<std::uint32_t>(task.context_misleading_options.size()))];
+    if (pick != task.correct_index) {
+      return emit(task, pick, 0.55,
+                  "The retrieved passage emphasizes this factor.", rng);
+    }
+  }
+
+  // --- Parametric knowledge ------------------------------------------------
+  if (task.has_fact && knows_fact(task.fact, task.fact_importance, task.exam_item) &&
+      rng.chance(coeffs_.recall_fidelity)) {
+    return emit(task, task.correct_index, 0.85,
+                "This is an established relationship in the radiobiology "
+                "literature.",
+                rng);
+  }
+
+  // --- Eliminate and guess --------------------------------------------------
+  return emit(task, eliminate_and_guess(task, rng), 0.3,
+              "Choosing the most plausible remaining option.", rng);
+}
+
+}  // namespace mcqa::llm

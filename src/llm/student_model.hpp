@@ -1,0 +1,79 @@
+#pragma once
+// Mechanistic simulated student (the SLM under evaluation).
+//
+// Decision procedure per task, mirroring how the paper explains its
+// results (§3):
+//
+//   1. math tasks require an arithmetic step; worked computations in a
+//      retrieved trace raise the success odds, raw context does not;
+//   2. if the retrieved context still contains the probed fact after
+//      window truncation, the model tries to extract it — success rises
+//      with reading skill and with the fact's saliency in the context
+//      (traces are short and fact-dense, chunks bury the needle);
+//   3. otherwise the model consults parametric knowledge: it knows a
+//      stable, importance-skewed subset of KB facts;
+//   4. otherwise it eliminates implausible distractors (trace-derived
+//      dismissals eliminate more) and guesses among the rest;
+//   5. near-miss facts in the context can mislead the model onto a
+//      supported-but-wrong option (the Astro RAG-Chunks regressions);
+//   6. weak models sometimes emit unparseable answers, graded wrong.
+//
+// All randomness forks from (model name, task id): per-task results are
+// reproducible and independent of evaluation order.
+
+#include "llm/language_model.hpp"
+#include "llm/model_spec.hpp"
+#include "util/rng.hpp"
+
+namespace mcqa::llm {
+
+/// Global coefficients of the simulation, shared by all students.
+/// Centralized so calibration touches one struct.
+struct SimulationCoefficients {
+  /// P(know) = clamp01(knowledge + tilt * (importance - center)).  The
+  /// center sits at the mean importance of *accepted benchmark facts*
+  /// (the quality filter skews toward important facts), so per-model
+  /// `knowledge` values read directly as expected benchmark P(know).
+  double importance_tilt = 0.35;
+  double importance_center = 0.75;
+  /// P(extract | fact in ctx) = extraction * (floor + (1-floor)*sqrt(sal)).
+  double saliency_floor = 0.65;
+  /// Correctness when answering from parametric knowledge.
+  double recall_fidelity = 0.96;
+  /// Correctness when answering from successfully extracted context.
+  double extract_fidelity = 0.97;
+  /// Arithmetic multiplier when a worked computation is in context.
+  double worked_math_boost = 1.6;
+  /// P(mislead) scales with this when context carries near-miss support.
+  double mislead_scale = 1.0;
+};
+
+class StudentModel final : public LanguageModel {
+ public:
+  explicit StudentModel(const ModelCard& card,
+                        SimulationCoefficients coeffs = {},
+                        std::uint64_t seed = 0xabcdef12u);
+
+  std::string_view name() const override { return card_.spec.name; }
+  const ModelCard& card() const { return card_; }
+
+  AnswerResult answer(const McqTask& task) const override;
+
+  /// Does this model hold `fact` in parametric memory?  Stable across
+  /// tasks (the same fact is consistently known or not known).
+  /// `exam_item` engages the profile's exam_familiarity shift.
+  bool knows_fact(corpus::FactId fact, double importance,
+                  bool exam_item = false) const;
+
+ private:
+  AnswerResult emit(const McqTask& task, int choice, double confidence,
+                    std::string_view rationale, util::Rng& rng) const;
+  int eliminate_and_guess(const McqTask& task, util::Rng& rng) const;
+  int random_wrong(const McqTask& task, util::Rng& rng) const;
+
+  ModelCard card_;
+  SimulationCoefficients coeffs_;
+  std::uint64_t seed_;
+};
+
+}  // namespace mcqa::llm

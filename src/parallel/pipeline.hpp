@@ -1,0 +1,96 @@
+#pragma once
+// Staged streaming pipeline.
+//
+// Mirrors the paper's Parsl dataflow: documents stream through
+// parse -> chunk -> embed -> generate stages, each stage running with
+// its own worker count, connected by bounded queues for backpressure.
+// Output order is restored by sequence number so downstream artifacts
+// (chunk ids, question ids) are independent of scheduling.
+
+#include <algorithm>
+#include <atomic>
+#include <cstddef>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "parallel/bounded_queue.hpp"
+
+namespace mcqa::parallel {
+
+template <typename T>
+struct Sequenced {
+  std::size_t seq = 0;
+  T value{};
+};
+
+/// Run `stage` over every input with `workers` threads, producing outputs
+/// in input order.  One-to-many stages return a vector per input; the
+/// flattened outputs keep input-major order.
+template <typename In, typename Out>
+std::vector<Out> run_stage(const std::vector<In>& inputs,
+                           const std::function<std::vector<Out>(const In&)>& stage,
+                           std::size_t workers,
+                           std::size_t queue_capacity = 256) {
+  if (workers == 0) workers = 1;
+  BoundedQueue<Sequenced<const In*>> in_q(queue_capacity);
+  std::mutex out_mutex;
+  std::map<std::size_t, std::vector<Out>> out_by_seq;
+
+  std::vector<std::thread> threads;
+  threads.reserve(workers);
+  for (std::size_t w = 0; w < workers; ++w) {
+    threads.emplace_back([&] {
+      for (;;) {
+        auto item = in_q.pop();
+        if (!item) return;
+        std::vector<Out> produced = stage(*item->value);
+        std::lock_guard<std::mutex> lock(out_mutex);
+        out_by_seq.emplace(item->seq, std::move(produced));
+      }
+    });
+  }
+
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    in_q.push(Sequenced<const In*>{i, &inputs[i]});
+  }
+  in_q.close();
+  for (auto& t : threads) t.join();
+
+  std::vector<Out> out;
+  for (auto& [seq, items] : out_by_seq) {
+    for (auto& item : items) out.push_back(std::move(item));
+  }
+  return out;
+}
+
+/// Convenience wrapper for one-to-one stages.
+template <typename In, typename Out>
+std::vector<Out> run_map_stage(const std::vector<In>& inputs,
+                               const std::function<Out(const In&)>& fn,
+                               std::size_t workers) {
+  return run_stage<In, Out>(
+      inputs,
+      [&fn](const In& in) {
+        std::vector<Out> one;
+        one.push_back(fn(in));
+        return one;
+      },
+      workers);
+}
+
+/// Throughput record for the scaling bench.
+struct StageStats {
+  std::string name;
+  std::size_t items_in = 0;
+  std::size_t items_out = 0;
+  double seconds = 0.0;
+  double items_per_second() const {
+    return seconds > 0.0 ? static_cast<double>(items_in) / seconds : 0.0;
+  }
+};
+
+}  // namespace mcqa::parallel

@@ -1,0 +1,72 @@
+#include "parse/adaptive.hpp"
+
+namespace mcqa::parse {
+
+void RoutingStats::merge(const RoutingStats& other) {
+  total += other.total;
+  fast_routed += other.fast_routed;
+  escalated += other.escalated;
+  accurate_routed += other.accurate_routed;
+  failed += other.failed;
+  non_spdf += other.non_spdf;
+  compute_cost += other.compute_cost;
+  always_accurate_cost += other.always_accurate_cost;
+}
+
+double RoutingStats::compute_saving() const {
+  if (always_accurate_cost <= 0.0) return 0.0;
+  return 1.0 - compute_cost / always_accurate_cost;
+}
+
+AdaptiveParser::AdaptiveParser(AdaptiveConfig config) : config_(config) {}
+
+ParseOutcome AdaptiveParser::parse(std::string_view bytes) const {
+  ParseOutcome out;
+
+  try {
+    if (markdown_.accepts(bytes)) {
+      out.document = markdown_.parse(bytes);
+      out.route = "markdown";
+      out.compute_cost = markdown_.cost();
+    } else if (fast_.accepts(bytes)) {
+      const DifficultyFeatures features = extract_difficulty_features(bytes);
+      out.predicted_fast_success = predict_fast_parser_success(features);
+
+      if (out.predicted_fast_success >= config_.route_threshold) {
+        out.document = fast_.parse(bytes);
+        out.compute_cost = fast_.cost();
+        out.document.quality = quality_score(out.document);
+        if (out.document.quality >= config_.accept_threshold) {
+          out.route = "fast";
+        } else {
+          // Escalate: pay for the accurate pass too.
+          out.document = accurate_.parse(bytes);
+          out.compute_cost += accurate_.cost();
+          out.route = "fast->accurate";
+        }
+      } else {
+        out.document = accurate_.parse(bytes);
+        out.compute_cost = accurate_.cost();
+        out.route = "accurate";
+      }
+    } else if (text_.accepts(bytes)) {
+      out.document = text_.parse(bytes);
+      out.route = "text";
+      out.compute_cost = text_.cost();
+    } else {
+      out.error = "unrecognized or empty document";
+      out.route = "none";
+      return out;
+    }
+  } catch (const ParseFailure& e) {
+    out.error = e.what();
+    out.route = out.route.empty() ? "failed" : out.route + "->failed";
+    return out;
+  }
+
+  out.document.quality = quality_score(out.document);
+  out.ok = true;
+  return out;
+}
+
+}  // namespace mcqa::parse

@@ -1,0 +1,73 @@
+#pragma once
+// Adaptive parser dispatch (AdaParse-equivalent).
+//
+// Routing policy per document:
+//   1. detect format (SPDF / Markdown / plain text);
+//   2. for SPDF, predict fast-parser success from sampled raw bytes;
+//      route to the fast strategy when the prediction clears
+//      `route_threshold`, else straight to the accurate strategy;
+//   3. score the parsed text; if it misses `accept_threshold` and a
+//      stronger strategy remains, escalate and re-parse;
+//   4. on hard failure (truncated/corrupt), record an error outcome —
+//      the pipeline drops the document but keeps the ledger entry.
+//
+// The dispatcher also keeps aggregate routing statistics, which the
+// throughput bench reports (fraction fast-routed, escalation rate,
+// estimated compute saved versus always-accurate).
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "parse/parsers.hpp"
+#include "parse/quality.hpp"
+
+namespace mcqa::parse {
+
+struct AdaptiveConfig {
+  double route_threshold = 0.5;   ///< fast-parser success prob needed
+  double accept_threshold = 0.8;  ///< min quality to accept a parse
+};
+
+struct ParseOutcome {
+  bool ok = false;
+  ParsedDocument document;  ///< valid when ok
+  std::string error;        ///< set when !ok
+  std::string route;        ///< "fast", "accurate", "fast->accurate", ...
+  double predicted_fast_success = 0.0;
+  double compute_cost = 0.0;  ///< sum of strategy costs actually paid
+};
+
+struct RoutingStats {
+  std::size_t total = 0;
+  std::size_t fast_routed = 0;
+  std::size_t escalated = 0;
+  std::size_t accurate_routed = 0;
+  std::size_t failed = 0;
+  std::size_t non_spdf = 0;
+  double compute_cost = 0.0;
+  double always_accurate_cost = 0.0;  ///< counterfactual
+
+  void merge(const RoutingStats& other);
+  double compute_saving() const;
+};
+
+class AdaptiveParser {
+ public:
+  explicit AdaptiveParser(AdaptiveConfig config = {});
+
+  /// Parse one raw document.  Thread-safe (const).
+  ParseOutcome parse(std::string_view bytes) const;
+
+  const AdaptiveConfig& config() const { return config_; }
+
+ private:
+  AdaptiveConfig config_;
+  FastSpdfParser fast_;
+  AccurateSpdfParser accurate_;
+  MarkdownParser markdown_;
+  PlainTextParser text_;
+};
+
+}  // namespace mcqa::parse

@@ -1,0 +1,56 @@
+#include "parse/document.hpp"
+
+namespace mcqa::parse {
+
+std::string ParsedDocument::body_text() const {
+  std::string out;
+  for (const auto& s : sections) {
+    if (!out.empty()) out += "\n\n";
+    out += s.text;
+  }
+  return out;
+}
+
+json::Value ParsedDocument::to_json() const {
+  json::Value v = json::Value::object();
+  v["doc_id"] = doc_id;
+  v["title"] = title;
+  v["kind"] = kind;
+  json::Array sects;
+  for (const auto& s : sections) {
+    json::Value sv = json::Value::object();
+    sv["heading"] = s.heading;
+    sv["text"] = s.text;
+    sects.push_back(std::move(sv));
+  }
+  v["sections"] = json::Value(std::move(sects));
+  json::Value meta = json::Value::object();
+  meta["parser"] = parser_used;
+  meta["quality"] = quality;
+  meta["pages"] = pages;
+  v["metadata"] = std::move(meta);
+  return v;
+}
+
+ParsedDocument ParsedDocument::from_json(const json::Value& v) {
+  ParsedDocument d;
+  d.doc_id = v.get_or("doc_id", "");
+  d.title = v.get_or("title", "");
+  d.kind = v.get_or("kind", "unknown");
+  if (const auto* sects = v.as_object().find("sections")) {
+    for (const auto& sv : sects->as_array()) {
+      ParsedSection s;
+      s.heading = sv.get_or("heading", "");
+      s.text = sv.get_or("text", "");
+      d.sections.push_back(std::move(s));
+    }
+  }
+  if (const auto* meta = v.as_object().find("metadata")) {
+    d.parser_used = meta->get_or("parser", "");
+    d.quality = meta->get_or("quality", 0.0);
+    d.pages = static_cast<std::size_t>(meta->get_or("pages", std::int64_t{0}));
+  }
+  return d;
+}
+
+}  // namespace mcqa::parse

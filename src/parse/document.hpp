@@ -1,0 +1,34 @@
+#pragma once
+// Parsed-document model: what the parsing stage hands to chunking.
+
+#include <string>
+#include <vector>
+
+#include "json/json.hpp"
+
+namespace mcqa::parse {
+
+struct ParsedSection {
+  std::string heading;
+  std::string text;
+};
+
+struct ParsedDocument {
+  std::string doc_id;
+  std::string title;
+  std::string kind;  ///< "paper" | "abstract" | "unknown"
+  std::vector<ParsedSection> sections;
+
+  std::string parser_used;  ///< which strategy produced this
+  double quality = 0.0;     ///< post-parse quality score in [0,1]
+  std::size_t pages = 0;
+
+  /// Body text: sections joined with blank lines (no headings).
+  std::string body_text() const;
+
+  /// AdaParse-style JSON record (text + metadata).
+  json::Value to_json() const;
+  static ParsedDocument from_json(const json::Value& v);
+};
+
+}  // namespace mcqa::parse

@@ -1,0 +1,253 @@
+#include "parse/parsers.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+#include "util/strings.hpp"
+
+namespace mcqa::parse {
+
+namespace {
+
+bool is_header_footer(std::string_view line) {
+  return util::starts_with(line, "~HDR~") || util::starts_with(line, "~FTR~");
+}
+
+/// Assemble sections from scan lines using a cleanup functor applied per
+/// body line (may drop a line by returning false).
+template <typename LineFilter>
+ParsedDocument assemble(const SpdfScan& scan, LineFilter filter,
+                        bool dehyphenate) {
+  ParsedDocument doc;
+  doc.doc_id = scan.doc_id;
+  doc.title = scan.title;
+  doc.kind = scan.kind.empty() ? "unknown" : scan.kind;
+  doc.pages = scan.pages;
+
+  // Map line index -> heading starting there.
+  std::size_t next_heading = 0;
+  ParsedSection current;
+  const auto flush = [&doc, &current]() {
+    if (!current.text.empty() || !current.heading.empty()) {
+      // Trim the trailing space left by concatenation.
+      while (!current.text.empty() && current.text.back() == ' ') {
+        current.text.pop_back();
+      }
+      doc.sections.push_back(std::move(current));
+      current = ParsedSection{};
+    }
+  };
+
+  bool pending_hyphen = false;
+  std::string hyphen_carry;
+
+  for (std::size_t i = 0; i < scan.lines.size(); ++i) {
+    while (next_heading < scan.headings.size() &&
+           scan.headings[next_heading].first == i) {
+      flush();
+      current.heading = scan.headings[next_heading].second;
+      ++next_heading;
+    }
+    std::string line = scan.lines[i];
+    if (!filter(line)) continue;
+    if (line.empty()) continue;
+
+    if (pending_hyphen) {
+      // Join the carried prefix with this line's first word.
+      const auto first_space = line.find(' ');
+      const std::string head = line.substr(0, first_space);
+      current.text += hyphen_carry + head;
+      current.text += ' ';
+      line = first_space == std::string::npos ? std::string()
+                                              : line.substr(first_space + 1);
+      pending_hyphen = false;
+      hyphen_carry.clear();
+      if (line.empty()) continue;
+    }
+
+    if (dehyphenate && line.size() > 1 && line.back() == '-' &&
+        std::isalpha(static_cast<unsigned char>(line[line.size() - 2]))) {
+      // Word split across lines: carry the fragment (without '-') into
+      // the next line.
+      const auto last_space = line.rfind(' ');
+      const std::size_t frag_begin =
+          last_space == std::string::npos ? 0 : last_space + 1;
+      hyphen_carry = line.substr(frag_begin, line.size() - 1 - frag_begin);
+      line.resize(frag_begin);
+      pending_hyphen = true;
+      if (line.empty()) continue;
+    }
+
+    current.text += line;
+    current.text += ' ';
+  }
+  if (pending_hyphen) {
+    current.text += hyphen_carry;
+    current.text += ' ';
+  }
+  flush();
+  return doc;
+}
+
+}  // namespace
+
+SpdfScan scan_spdf(std::string_view bytes) {
+  if (!util::starts_with(bytes, "%SPDF-")) {
+    throw ParseFailure("not an SPDF stream");
+  }
+  SpdfScan scan;
+  bool in_page = false;
+  for (const auto raw_line : util::split(bytes, '\n')) {
+    const std::string_view line = raw_line;
+    if (util::starts_with(line, "%SPDF-")) continue;
+    if (util::starts_with(line, "%%Title: ")) {
+      scan.title = std::string(line.substr(9));
+    } else if (util::starts_with(line, "%%DocId: ")) {
+      scan.doc_id = std::string(line.substr(9));
+    } else if (util::starts_with(line, "%%Kind: ")) {
+      scan.kind = std::string(line.substr(8));
+    } else if (util::starts_with(line, "%%BeginPage")) {
+      in_page = true;
+      ++scan.pages;
+    } else if (util::starts_with(line, "%%EndPage")) {
+      in_page = false;
+    } else if (util::starts_with(line, "%%EOF")) {
+      scan.saw_eof = true;
+    } else if (in_page) {
+      if (util::starts_with(line, "<<section ") && util::ends_with(line, ">>")) {
+        scan.headings.emplace_back(
+            scan.lines.size(),
+            std::string(line.substr(10, line.size() - 12)));
+      } else {
+        scan.lines.emplace_back(line);
+      }
+    }
+  }
+  if (scan.pages == 0) throw ParseFailure("SPDF stream has no pages");
+  return scan;
+}
+
+// --- FastSpdfParser ---------------------------------------------------------
+
+bool FastSpdfParser::accepts(std::string_view bytes) const {
+  return util::starts_with(bytes, "%SPDF-");
+}
+
+ParsedDocument FastSpdfParser::parse(std::string_view bytes) const {
+  const SpdfScan scan = scan_spdf(bytes);
+  // Fast path: keep every body line verbatim — headers, hyphens and
+  // ligature placeholders all leak into the text.
+  ParsedDocument doc = assemble(
+      scan, [](std::string&) { return true; }, /*dehyphenate=*/false);
+  doc.parser_used = std::string(name());
+  return doc;
+}
+
+// --- AccurateSpdfParser -----------------------------------------------------
+
+bool AccurateSpdfParser::accepts(std::string_view bytes) const {
+  return util::starts_with(bytes, "%SPDF-");
+}
+
+ParsedDocument AccurateSpdfParser::parse(std::string_view bytes) const {
+  const SpdfScan scan = scan_spdf(bytes);
+  ParsedDocument doc = assemble(
+      scan,
+      [](std::string& line) {
+        if (is_header_footer(line)) return false;
+        // Ligature placeholder repair: '\x01' stood for a dropped fi/fl
+        // glyph; "fi" is by far the most frequent in scientific English,
+        // so restore that (occasionally wrong, as in real OCR cleanup).
+        std::size_t pos = 0;
+        while ((pos = line.find('\x01', pos)) != std::string::npos) {
+          line.replace(pos, 1, "fi");
+          pos += 2;
+        }
+        return true;
+      },
+      /*dehyphenate=*/true);
+  doc.parser_used = std::string(name());
+  return doc;
+}
+
+// --- MarkdownParser ---------------------------------------------------------
+
+bool MarkdownParser::accepts(std::string_view bytes) const {
+  return util::starts_with(bytes, "# ");
+}
+
+ParsedDocument MarkdownParser::parse(std::string_view bytes) const {
+  if (!accepts(bytes)) throw ParseFailure("not a Markdown document");
+  ParsedDocument doc;
+  doc.kind = "unknown";
+  doc.pages = 1;
+  ParsedSection current;
+  bool have_section = false;
+  for (const auto line_view : util::split(bytes, '\n')) {
+    const std::string_view line = util::trim(line_view);
+    if (line.empty()) continue;
+    if (util::starts_with(line, "# ")) {
+      doc.title = std::string(line.substr(2));
+    } else if (util::starts_with(line, "## ")) {
+      if (have_section) doc.sections.push_back(std::move(current));
+      current = ParsedSection{};
+      current.heading = std::string(line.substr(3));
+      have_section = true;
+    } else {
+      if (!current.text.empty()) current.text += ' ';
+      current.text += std::string(line);
+      have_section = true;
+    }
+  }
+  if (have_section) doc.sections.push_back(std::move(current));
+  doc.parser_used = std::string(name());
+  return doc;
+}
+
+// --- PlainTextParser --------------------------------------------------------
+
+bool PlainTextParser::accepts(std::string_view bytes) const {
+  return !bytes.empty();
+}
+
+ParsedDocument PlainTextParser::parse(std::string_view bytes) const {
+  if (bytes.empty()) throw ParseFailure("empty document");
+  ParsedDocument doc;
+  doc.kind = "unknown";
+  doc.pages = 1;
+  // First line is the title; paragraphs (blank-line separated) become
+  // sections.
+  const auto lines = util::split(bytes, '\n');
+  std::size_t i = 0;
+  while (i < lines.size() && util::trim(lines[i]).empty()) ++i;
+  if (i < lines.size()) {
+    doc.title = std::string(util::trim(lines[i]));
+    ++i;
+  }
+  ParsedSection current;
+  for (; i < lines.size(); ++i) {
+    const std::string_view line = util::trim(lines[i]);
+    if (line.empty()) {
+      if (!current.text.empty()) {
+        doc.sections.push_back(std::move(current));
+        current = ParsedSection{};
+      }
+      continue;
+    }
+    // A short line with no terminal punctuation acts as a heading.
+    if (line.size() < 60 && current.text.empty() &&
+        !line.empty() && line.back() != '.' && line.back() != '?') {
+      current.heading = std::string(line);
+      continue;
+    }
+    if (!current.text.empty()) current.text += ' ';
+    current.text += std::string(line);
+  }
+  if (!current.text.empty() || !current.heading.empty()) {
+    doc.sections.push_back(std::move(current));
+  }
+  doc.parser_used = std::string(name());
+  return doc;
+}
+
+}  // namespace mcqa::parse

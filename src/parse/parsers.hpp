@@ -1,0 +1,99 @@
+#pragma once
+// Parser strategies.
+//
+// AdaParse's core idea is a portfolio of extractors with very different
+// cost/quality trade-offs, routed per document.  We reproduce the
+// portfolio over SPDF/Markdown/plain-text inputs:
+//
+//   FastSpdfParser      cheap; strips container markup only, leaves
+//                       hyphenation, running headers and ligature damage
+//                       in the text (like pypdf on a hard PDF)
+//   AccurateSpdfParser  expensive; dehyphenates wrapped words, removes
+//                       headers/footers, repairs ligature placeholders
+//                       (like Nougat/GROBID-class extractors)
+//   MarkdownParser      structured, lossless
+//   PlainTextParser     trivial
+//
+// Strategies throw ParseFailure on malformed input; the adaptive
+// dispatcher catches and falls back.
+
+#include <memory>
+#include <stdexcept>
+#include <string_view>
+#include <vector>
+
+#include "parse/document.hpp"
+
+namespace mcqa::parse {
+
+class ParseFailure : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+class ParserStrategy {
+ public:
+  virtual ~ParserStrategy() = default;
+
+  virtual std::string_view name() const = 0;
+
+  /// Relative compute cost (1.0 == fast parser); the dispatcher's
+  /// cost-aware routing and the throughput bench both use this.
+  virtual double cost() const = 0;
+
+  /// Can this strategy plausibly handle these bytes?
+  virtual bool accepts(std::string_view bytes) const = 0;
+
+  virtual ParsedDocument parse(std::string_view bytes) const = 0;
+};
+
+class FastSpdfParser final : public ParserStrategy {
+ public:
+  std::string_view name() const override { return "spdf-fast"; }
+  double cost() const override { return 1.0; }
+  bool accepts(std::string_view bytes) const override;
+  ParsedDocument parse(std::string_view bytes) const override;
+};
+
+class AccurateSpdfParser final : public ParserStrategy {
+ public:
+  std::string_view name() const override { return "spdf-accurate"; }
+  double cost() const override { return 8.0; }
+  bool accepts(std::string_view bytes) const override;
+  ParsedDocument parse(std::string_view bytes) const override;
+};
+
+class MarkdownParser final : public ParserStrategy {
+ public:
+  std::string_view name() const override { return "markdown"; }
+  double cost() const override { return 0.5; }
+  bool accepts(std::string_view bytes) const override;
+  ParsedDocument parse(std::string_view bytes) const override;
+};
+
+class PlainTextParser final : public ParserStrategy {
+ public:
+  std::string_view name() const override { return "text"; }
+  double cost() const override { return 0.2; }
+  bool accepts(std::string_view bytes) const override;
+  ParsedDocument parse(std::string_view bytes) const override;
+};
+
+/// Shared SPDF scanning used by both SPDF strategies.
+struct SpdfScan {
+  std::string title;
+  std::string doc_id;
+  std::string kind;
+  std::size_t pages = 0;
+  bool saw_eof = false;
+  /// Raw body lines in order (markup lines removed, page structure
+  /// flattened).  Header/footer lines are included; cleanup is the
+  /// strategy's job.
+  std::vector<std::string> lines;
+  /// Section heading markers, as (line index, heading) pairs.
+  std::vector<std::pair<std::size_t, std::string>> headings;
+};
+
+SpdfScan scan_spdf(std::string_view bytes);
+
+}  // namespace mcqa::parse

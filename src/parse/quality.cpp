@@ -1,0 +1,103 @@
+#include "parse/quality.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/strings.hpp"
+
+namespace mcqa::parse {
+
+DifficultyFeatures extract_difficulty_features(std::string_view bytes,
+                                               std::size_t max_lines) {
+  DifficultyFeatures f;
+  f.truncated = bytes.find("%%EOF") == std::string_view::npos;
+
+  std::size_t body_lines = 0;
+  std::size_t hyphen_lines = 0;
+  std::size_t marker_lines = 0;
+  std::size_t placeholders = 0;
+  std::size_t scanned_bytes = 0;
+
+  std::size_t pos = 0;
+  while (pos < bytes.size() && body_lines < max_lines) {
+    std::size_t nl = bytes.find('\n', pos);
+    if (nl == std::string_view::npos) nl = bytes.size();
+    const std::string_view line = bytes.substr(pos, nl - pos);
+    pos = nl + 1;
+    scanned_bytes += line.size();
+    if (line.empty() || line[0] == '%' ||
+        util::starts_with(line, "<<section")) {
+      continue;
+    }
+    ++body_lines;
+    if (!line.empty() && line.back() == '-') ++hyphen_lines;
+    if (util::starts_with(line, "~HDR~") || util::starts_with(line, "~FTR~")) {
+      ++marker_lines;
+    }
+    placeholders += static_cast<std::size_t>(
+        std::count(line.begin(), line.end(), '\x01'));
+  }
+
+  f.sampled_lines = body_lines;
+  if (body_lines > 0) {
+    f.hyphen_line_rate =
+        static_cast<double>(hyphen_lines) / static_cast<double>(body_lines);
+    f.marker_rate =
+        static_cast<double>(marker_lines) / static_cast<double>(body_lines);
+  }
+  if (scanned_bytes > 0) {
+    f.placeholder_rate = static_cast<double>(placeholders) * 1024.0 /
+                         static_cast<double>(scanned_bytes);
+  }
+  return f;
+}
+
+double predict_fast_parser_success(const DifficultyFeatures& f) {
+  // Hand-calibrated logistic: clean docs score ~0.95, moderate ~0.4,
+  // hard ~0.05.  Truncation is an immediate near-zero.
+  if (f.truncated) return 0.02;
+  const double z = 3.0 - 14.0 * f.hyphen_line_rate - 22.0 * f.marker_rate -
+                   9.0 * f.placeholder_rate;
+  return 1.0 / (1.0 + std::exp(-z));
+}
+
+double quality_score(const ParsedDocument& doc) {
+  const std::string body = doc.body_text();
+  if (body.empty()) return 0.0;
+
+  std::size_t placeholders = 0;
+  std::size_t marker_hits = 0;
+  std::size_t midword_hyphen_space = 0;
+
+  for (std::size_t i = 0; i < body.size(); ++i) {
+    if (body[i] == '\x01') ++placeholders;
+    // "dam- age": a hyphen followed by a space inside a sentence is the
+    // footprint of unrepaired line-wrap hyphenation.
+    if (body[i] == '-' && i + 1 < body.size() && body[i + 1] == ' ' && i > 0 &&
+        std::isalpha(static_cast<unsigned char>(body[i - 1]))) {
+      ++midword_hyphen_space;
+    }
+  }
+  std::size_t search = 0;
+  while ((search = body.find("~HDR~", search)) != std::string::npos) {
+    ++marker_hits;
+    search += 5;
+  }
+  search = 0;
+  while ((search = body.find("~FTR~", search)) != std::string::npos) {
+    ++marker_hits;
+    search += 5;
+  }
+
+  const double kb = static_cast<double>(body.size()) / 1024.0;
+  const double damage = (static_cast<double>(placeholders) * 3.0 +
+                         static_cast<double>(marker_hits) * 6.0 +
+                         static_cast<double>(midword_hyphen_space) * 1.5) /
+                        std::max(0.25, kb);
+  // Structural sanity: a parsed paper should have sections.
+  const double structure_bonus = doc.sections.empty() ? -0.3 : 0.0;
+  const double score = 1.0 / (1.0 + 0.35 * damage) + structure_bonus;
+  return std::clamp(score, 0.0, 1.0);
+}
+
+}  // namespace mcqa::parse

@@ -1,0 +1,37 @@
+#pragma once
+// Parse-quality estimation: the "Ada" in AdaParse.
+//
+// Two models:
+//  * DifficultyPredictor inspects raw bytes cheaply (sampled lines) and
+//    predicts whether the fast parser will produce acceptable text —
+//    this is what lets the dispatcher send most documents down the cheap
+//    path and reserve the expensive extractor for hard ones.
+//  * quality_score inspects *parsed* text and measures residual damage
+//    (ligature placeholders, mid-word hyphens, header residue, token
+//    shape), yielding the accept/retry signal.
+
+#include <string_view>
+
+#include "parse/document.hpp"
+
+namespace mcqa::parse {
+
+struct DifficultyFeatures {
+  double hyphen_line_rate = 0.0;   ///< lines ending in '-'
+  double marker_rate = 0.0;        ///< ~HDR~/~FTR~ lines per body line
+  double placeholder_rate = 0.0;   ///< '\x01' glyphs per KB
+  bool truncated = false;          ///< missing %%EOF
+  std::size_t sampled_lines = 0;
+};
+
+DifficultyFeatures extract_difficulty_features(std::string_view bytes,
+                                               std::size_t max_lines = 200);
+
+/// Predicted probability that the *fast* parser's output will pass the
+/// quality threshold.  Logistic over the features above.
+double predict_fast_parser_success(const DifficultyFeatures& f);
+
+/// Post-parse quality of extracted text in [0, 1].
+double quality_score(const ParsedDocument& doc);
+
+}  // namespace mcqa::parse

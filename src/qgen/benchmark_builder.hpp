@@ -1,0 +1,55 @@
+#pragma once
+// Benchmark construction: chunks -> candidate MCQs -> quality filter.
+//
+// One candidate per chunk (the paper generates 173,318 candidates from
+// 173,318 chunks), then the two LLM checks gate acceptance:
+// relevance >= threshold AND quality >= threshold keeps a record.  The
+// paper's funnel lands at 16,680 accepted (~9.6%).
+
+#include <cstddef>
+#include <vector>
+
+#include "chunk/chunker.hpp"
+#include "llm/teacher_model.hpp"
+#include "qgen/mcq_record.hpp"
+
+namespace mcqa::qgen {
+
+struct BuilderConfig {
+  double quality_threshold = 7.0;    ///< the paper's published filter
+  double relevance_threshold = 5.0;  ///< relevance gate
+  /// Residual flaw probability of accepted items (what the 1-10 filter
+  /// cannot see); propagated into each record.
+  double residual_ambiguity = 0.10;
+  std::size_t threads = 0;           ///< 0 = hardware concurrency
+};
+
+struct FunnelStats {
+  std::size_t chunks = 0;
+  std::size_t candidates = 0;       ///< drafts the teacher produced
+  std::size_t rejected_no_fact = 0; ///< chunk carried nothing testable
+  std::size_t rejected_quality = 0;
+  std::size_t rejected_relevance = 0;
+  std::size_t accepted = 0;
+
+  double acceptance_rate() const {
+    return chunks == 0 ? 0.0
+                       : static_cast<double>(accepted) /
+                             static_cast<double>(chunks);
+  }
+};
+
+class BenchmarkBuilder {
+ public:
+  BenchmarkBuilder(const llm::TeacherModel& teacher, BuilderConfig config = {});
+
+  /// Build the benchmark from chunks.  Deterministic, order-stable.
+  std::vector<McqRecord> build(const std::vector<chunk::Chunk>& chunks,
+                               FunnelStats* stats = nullptr) const;
+
+ private:
+  const llm::TeacherModel& teacher_;
+  BuilderConfig config_;
+};
+
+}  // namespace mcqa::qgen

@@ -1,0 +1,109 @@
+#include "qgen/mcq_record.hpp"
+
+namespace mcqa::qgen {
+
+std::string McqRecord::render_question(
+    const std::string& stem, const std::vector<std::string>& options) {
+  std::string out = stem;
+  out += "\n";
+  for (std::size_t i = 0; i < options.size(); ++i) {
+    out += "\n" + std::to_string(i + 1) + ". " + options[i];
+  }
+  return out;
+}
+
+json::Value McqRecord::to_json() const {
+  json::Value v = json::Value::object();
+  v["question"] = question;
+  v["answer"] = answer;
+  v["text"] = text;
+  v["type"] = type;
+  v["chunk_id"] = chunk_id;
+  v["cleaning_version"] = cleaning_version;
+  v["path"] = path;
+
+  json::Value rel = json::Value::object();
+  rel["score"] = relevance_score;
+  rel["type"] = relevance_type;
+  rel["reasoning"] = relevance_reasoning;
+  v["relevance_check"] = std::move(rel);
+
+  json::Value qual = json::Value::object();
+  qual["score"] = quality_score;
+  qual["critique"] = quality_critique;
+  qual["raw_output"] = quality_raw_output;
+  v["quality_check"] = std::move(qual);
+
+  json::Value meta = json::Value::object();
+  meta["record_id"] = record_id;
+  meta["stem"] = stem;
+  json::Array opts;
+  for (const auto& o : options) opts.emplace_back(o);
+  meta["options"] = json::Value(std::move(opts));
+  meta["correct_index"] = correct_index;
+  meta["fact"] = static_cast<std::int64_t>(fact);
+  meta["math"] = math;
+  meta["fact_importance"] = fact_importance;
+  meta["key_principle"] = key_principle;
+  meta["ambiguity"] = ambiguity;
+  meta["exam_item"] = exam_item;
+  meta["sub_domain"] = sub_domain;
+  v["eval_metadata"] = std::move(meta);
+  return v;
+}
+
+McqRecord McqRecord::from_json(const json::Value& v) {
+  McqRecord r;
+  r.question = v.get_or("question", "");
+  r.answer = v.get_or("answer", "");
+  r.text = v.get_or("text", "");
+  r.type = v.get_or("type", "multiple-choice");
+  r.chunk_id = v.get_or("chunk_id", "");
+  r.cleaning_version = v.get_or("cleaning_version", "1.0");
+  r.path = v.get_or("path", "");
+
+  if (const auto* rel = v.as_object().find("relevance_check")) {
+    r.relevance_score = rel->get_or("score", 0.0);
+    r.relevance_type = rel->get_or("type", "domain");
+    r.relevance_reasoning = rel->get_or("reasoning", "");
+  }
+  if (const auto* qual = v.as_object().find("quality_check")) {
+    r.quality_score = qual->get_or("score", 0.0);
+    r.quality_critique = qual->get_or("critique", "");
+    r.quality_raw_output = qual->get_or("raw_output", "");
+  }
+  if (const auto* meta = v.as_object().find("eval_metadata")) {
+    r.record_id = meta->get_or("record_id", "");
+    r.stem = meta->get_or("stem", "");
+    if (const auto* opts = meta->as_object().find("options")) {
+      for (const auto& o : opts->as_array()) r.options.push_back(o.as_string());
+    }
+    r.correct_index =
+        static_cast<int>(meta->get_or("correct_index", std::int64_t{-1}));
+    r.fact = static_cast<corpus::FactId>(meta->get_or("fact", std::int64_t{0}));
+    r.math = meta->get_or("math", false);
+    r.fact_importance = meta->get_or("fact_importance", 0.5);
+    r.key_principle = meta->get_or("key_principle", "");
+    r.ambiguity = meta->get_or("ambiguity", 0.0);
+    r.exam_item = meta->get_or("exam_item", false);
+    r.sub_domain = meta->get_or("sub_domain", "");
+  }
+  return r;
+}
+
+llm::McqTask McqRecord::to_task() const {
+  llm::McqTask task;
+  task.id = record_id;
+  task.stem = stem;
+  task.options = options;
+  task.correct_index = correct_index;
+  task.fact = fact;
+  task.has_fact = true;
+  task.math = math;
+  task.fact_importance = fact_importance;
+  task.ambiguity = ambiguity;
+  task.exam_item = exam_item;
+  return task;
+}
+
+}  // namespace mcqa::qgen

@@ -1,0 +1,65 @@
+#pragma once
+// MCQA record: the paper's Fig. 2 JSON schema, plus the simulation-layer
+// fields our evaluation needs (probed fact id, correct index, math flag).
+
+#include <string>
+#include <vector>
+
+#include "corpus/knowledge_base.hpp"
+#include "json/json.hpp"
+#include "llm/language_model.hpp"
+
+namespace mcqa::qgen {
+
+struct McqRecord {
+  // --- Fig. 2 schema fields -------------------------------------------------
+  std::string question;  ///< context + stem + numbered choices
+  std::string answer;    ///< restated correct option
+  std::string text;      ///< source chunk text
+  std::string type = "multiple-choice";
+  std::string chunk_id;  ///< filehash_index provenance
+  std::string cleaning_version = "1.0";
+  std::string path;      ///< source file path
+
+  double relevance_score = 0.0;
+  std::string relevance_type = "domain";
+  std::string relevance_reasoning;
+
+  double quality_score = 0.0;
+  std::string quality_critique;
+  std::string quality_raw_output;
+
+  // --- working / simulation-layer fields ------------------------------------
+  std::string record_id;  ///< stable id, e.g. "q_<chunkid>"
+  std::string stem;
+  std::vector<std::string> options;
+  int correct_index = -1;
+  corpus::FactId fact = 0;
+  bool math = false;
+  double fact_importance = 0.5;
+  std::string key_principle;
+  /// Item-level flaw probability: automated generation leaves residual
+  /// ambiguity that the quality filter cannot fully remove; expert exams
+  /// carry far less.
+  double ambiguity = 0.0;
+  /// True for expert-exam items (Astro) as opposed to generated ones.
+  bool exam_item = false;
+  /// Sub-domain organization (paper §5), derived from the probed fact's
+  /// topic: molecular-mechanisms / clinical-radiotherapy /
+  /// radiation-physics.
+  std::string sub_domain;
+
+  /// Fig. 2-faithful serialization (simulation fields nested under
+  /// "eval_metadata" so the public schema stays recognizable).
+  json::Value to_json() const;
+  static McqRecord from_json(const json::Value& v);
+
+  /// Render the "question" field from stem + numbered options.
+  static std::string render_question(const std::string& stem,
+                                     const std::vector<std::string>& options);
+
+  /// Baseline (no retrieval) evaluation task for this record.
+  llm::McqTask to_task() const;
+};
+
+}  // namespace mcqa::qgen

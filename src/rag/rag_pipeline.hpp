@@ -1,0 +1,99 @@
+#pragma once
+// Retrieval-augmented generation pipeline.
+//
+// Implements the paper's three evaluation conditions (§2.2):
+//   Baseline    — the bare question;
+//   RAG-Chunks  — top-k semantic chunks from the paper-derived store;
+//   RAG-Traces  — top-k reasoning traces from one of the three
+//                 mode-specific stores (detailed / focused / efficient).
+//
+// The assembler budgets retrieved text against the model's context
+// window (Table 1) with room reserved for the question and the answer,
+// truncating at word granularity — this is where 2K-window models lose
+// chunk content that 32K-window models keep.
+//
+// After assembly it annotates the task with the simulation-layer
+// diagnostics (is the probed fact still present, how salient is it, do
+// the traces dismiss wrong options, which wrong options does the
+// context lend false support to).  Annotation is pure text analysis
+// against the ground-truth KB.
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "corpus/fact_matcher.hpp"
+#include "corpus/knowledge_base.hpp"
+#include "index/vector_store.hpp"
+#include "llm/language_model.hpp"
+#include "llm/model_spec.hpp"
+#include "qgen/mcq_record.hpp"
+#include "trace/trace_record.hpp"
+
+namespace mcqa::rag {
+
+enum class Condition {
+  kBaseline,
+  kChunks,
+  kTraceDetailed,
+  kTraceFocused,
+  kTraceEfficient,
+};
+constexpr int kConditionCount = 5;
+
+std::string_view condition_name(Condition c);
+bool is_trace_condition(Condition c);
+
+struct RagConfig {
+  /// Retrieval depth per store.  Chunks benefit from a deeper cut (the
+  /// needle is often not the top hit); traces are near-duplicates of
+  /// their question, so a shallow cut is cleaner.
+  std::size_t top_k_chunks = 10;
+  std::size_t top_k_traces = 3;
+  /// Tokens reserved for the question+options and the generated answer
+  /// when budgeting context into the window.
+  std::size_t reserve_tokens = 384;
+
+  std::size_t top_k_for(Condition c) const {
+    return c == Condition::kChunks ? top_k_chunks : top_k_traces;
+  }
+};
+
+/// Bundle of retrieval databases for one experiment.
+struct RetrievalStores {
+  const index::VectorStore* chunks = nullptr;
+  /// Indexed by TraceMode.
+  std::array<const index::VectorStore*, trace::kTraceModeCount> traces{};
+
+  const index::VectorStore* store_for(Condition c) const;
+};
+
+class RagPipeline {
+ public:
+  RagPipeline(const corpus::KnowledgeBase& kb,
+              const corpus::FactMatcher& matcher, RetrievalStores stores,
+              RagConfig config = {});
+
+  /// Build the evaluation task for (record, condition, model): retrieve,
+  /// budget into the window, annotate diagnostics.
+  llm::McqTask prepare(const qgen::McqRecord& record, Condition condition,
+                       const llm::ModelSpec& spec) const;
+
+  const RagConfig& config() const { return config_; }
+
+ private:
+  std::string assemble_context(const std::vector<index::Hit>& hits,
+                               const llm::McqTask& task,
+                               const llm::ModelSpec& spec,
+                               std::vector<std::string>* kept_ids) const;
+  void annotate(llm::McqTask& task, const qgen::McqRecord& record,
+                Condition condition,
+                const std::vector<std::string>& kept_ids) const;
+
+  const corpus::KnowledgeBase& kb_;
+  const corpus::FactMatcher& matcher_;
+  RetrievalStores stores_;
+  RagConfig config_;
+};
+
+}  // namespace mcqa::rag

@@ -1,0 +1,213 @@
+#include "text/bpe.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <sstream>
+
+#include "text/normalize.hpp"
+#include "util/strings.hpp"
+
+namespace mcqa::text {
+
+namespace {
+
+constexpr std::string_view kEndOfWord = "</w>";
+constexpr std::string_view kUnk = "<unk>";
+
+/// Split normalized text into words (space-delimited).
+std::vector<std::string> words_of(std::string_view normalized) {
+  std::vector<std::string> out;
+  for (const auto w : util::split(normalized, ' ')) {
+    if (!w.empty()) out.emplace_back(w);
+  }
+  return out;
+}
+
+}  // namespace
+
+BpeTokenizer BpeTokenizer::train(std::string_view corpus,
+                                 std::size_t vocab_budget) {
+  BpeTokenizer t;
+
+  // Word-type frequency table over the normalized corpus.
+  const std::string normalized = normalize_ws(corpus);
+  std::unordered_map<std::string, std::size_t> word_freq;
+  for (auto& w : words_of(normalized)) ++word_freq[w];
+
+  // Each word type starts as a sequence of single characters + </w>.
+  struct WordEntry {
+    std::vector<std::string> symbols;
+    std::size_t freq;
+  };
+  std::vector<WordEntry> entries;
+  entries.reserve(word_freq.size());
+  for (const auto& [w, f] : word_freq) {
+    WordEntry e;
+    e.freq = f;
+    for (const char c : w) e.symbols.emplace_back(1, c);
+    e.symbols.emplace_back(kEndOfWord);
+    entries.push_back(std::move(e));
+  }
+  // Deterministic processing order regardless of hash-map iteration.
+  std::sort(entries.begin(), entries.end(),
+            [](const WordEntry& a, const WordEntry& b) {
+              if (a.freq != b.freq) return a.freq > b.freq;
+              return a.symbols < b.symbols;
+            });
+
+  // Seed vocabulary: <unk> + all single characters observed + </w>.
+  const auto add_token = [&t](const std::string& tok) {
+    if (t.ids_.contains(tok)) return;
+    t.ids_.emplace(tok, static_cast<std::uint32_t>(t.vocab_.size()));
+    t.vocab_.push_back(tok);
+  };
+  add_token(std::string(kUnk));
+  t.unk_id_ = 0;
+  add_token(std::string(kEndOfWord));
+  for (const auto& e : entries) {
+    for (const auto& s : e.symbols) add_token(s);
+  }
+
+  // Greedy merge loop.
+  while (t.vocab_.size() < vocab_budget) {
+    // Count adjacent pairs weighted by word frequency.
+    std::map<std::pair<std::string, std::string>, std::size_t> pair_freq;
+    for (const auto& e : entries) {
+      for (std::size_t i = 0; i + 1 < e.symbols.size(); ++i) {
+        pair_freq[{e.symbols[i], e.symbols[i + 1]}] += e.freq;
+      }
+    }
+    if (pair_freq.empty()) break;
+    // Best pair: max frequency; std::map order breaks ties lexicographically
+    // so the result is deterministic.
+    auto best = pair_freq.begin();
+    for (auto it = pair_freq.begin(); it != pair_freq.end(); ++it) {
+      if (it->second > best->second) best = it;
+    }
+    if (best->second < 2) break;  // nothing left worth merging
+
+    const auto [left, right] = best->first;
+    const std::string merged = left + right;
+    t.merge_ranks_.emplace(best->first, t.merge_ranks_.size());
+    add_token(merged);
+
+    // Apply the merge to every word type.
+    for (auto& e : entries) {
+      std::vector<std::string> next;
+      next.reserve(e.symbols.size());
+      std::size_t i = 0;
+      while (i < e.symbols.size()) {
+        if (i + 1 < e.symbols.size() && e.symbols[i] == left &&
+            e.symbols[i + 1] == right) {
+          next.push_back(merged);
+          i += 2;
+        } else {
+          next.push_back(e.symbols[i]);
+          ++i;
+        }
+      }
+      e.symbols = std::move(next);
+    }
+  }
+  return t;
+}
+
+std::vector<std::string> BpeTokenizer::apply_merges(
+    std::string_view word) const {
+  std::vector<std::string> symbols;
+  symbols.reserve(word.size() + 1);
+  for (const char c : word) symbols.emplace_back(1, c);
+  symbols.emplace_back(kEndOfWord);
+
+  // Repeatedly apply the lowest-rank eligible merge (standard BPE encode).
+  for (;;) {
+    std::size_t best_rank = merge_ranks_.size();
+    std::size_t best_pos = symbols.size();
+    for (std::size_t i = 0; i + 1 < symbols.size(); ++i) {
+      const auto it = merge_ranks_.find({symbols[i], symbols[i + 1]});
+      if (it != merge_ranks_.end() && it->second < best_rank) {
+        best_rank = it->second;
+        best_pos = i;
+      }
+    }
+    if (best_pos == symbols.size()) break;
+    symbols[best_pos] += symbols[best_pos + 1];
+    symbols.erase(symbols.begin() + static_cast<std::ptrdiff_t>(best_pos) + 1);
+  }
+  return symbols;
+}
+
+std::vector<std::uint32_t> BpeTokenizer::encode(std::string_view text) const {
+  std::vector<std::uint32_t> out;
+  const std::string normalized = normalize_ws(text);
+  for (const auto& word : words_of(normalized)) {
+    for (const auto& sym : apply_merges(word)) {
+      const auto it = ids_.find(sym);
+      out.push_back(it != ids_.end() ? it->second : unk_id_);
+    }
+  }
+  return out;
+}
+
+std::string BpeTokenizer::decode(const std::vector<std::uint32_t>& ids) const {
+  std::string out;
+  for (const std::uint32_t id : ids) {
+    if (id >= vocab_.size()) continue;
+    const std::string& tok = vocab_[id];
+    if (tok == kEndOfWord) {
+      out += ' ';
+    } else if (util::ends_with(tok, kEndOfWord)) {
+      out += tok.substr(0, tok.size() - kEndOfWord.size());
+      out += ' ';
+    } else if (tok != kUnk) {
+      out += tok;
+    }
+  }
+  while (!out.empty() && out.back() == ' ') out.pop_back();
+  return out;
+}
+
+std::string BpeTokenizer::save() const {
+  std::ostringstream os;
+  os << "bpe-v1\n" << vocab_.size() << "\n";
+  for (const auto& tok : vocab_) os << tok << "\n";
+  os << merge_ranks_.size() << "\n";
+  // Persist in rank order so load() reconstructs identical ranks.
+  std::vector<std::pair<std::string, std::string>> by_rank(merge_ranks_.size());
+  for (const auto& [pair, rank] : merge_ranks_) by_rank[rank] = pair;
+  for (const auto& [l, r] : by_rank) os << l << "\t" << r << "\n";
+  return os.str();
+}
+
+BpeTokenizer BpeTokenizer::load(std::string_view blob) {
+  BpeTokenizer t;
+  std::istringstream is{std::string(blob)};
+  std::string line;
+  if (!std::getline(is, line) || line != "bpe-v1") {
+    throw std::runtime_error("BpeTokenizer::load: bad magic");
+  }
+  std::size_t vocab_n = 0;
+  is >> vocab_n;
+  is.ignore();
+  for (std::size_t i = 0; i < vocab_n; ++i) {
+    std::getline(is, line);
+    t.ids_.emplace(line, static_cast<std::uint32_t>(t.vocab_.size()));
+    t.vocab_.push_back(line);
+  }
+  std::size_t merge_n = 0;
+  is >> merge_n;
+  is.ignore();
+  for (std::size_t i = 0; i < merge_n; ++i) {
+    std::getline(is, line);
+    const auto tab = line.find('\t');
+    if (tab == std::string::npos) {
+      throw std::runtime_error("BpeTokenizer::load: bad merge line");
+    }
+    t.merge_ranks_.emplace(
+        std::make_pair(line.substr(0, tab), line.substr(tab + 1)), i);
+  }
+  t.unk_id_ = 0;
+  return t;
+}
+
+}  // namespace mcqa::text

@@ -1,0 +1,55 @@
+#pragma once
+// Trainable byte-pair encoding tokenizer.
+//
+// The n-gram student-model backend (llm/ngram_lm) scores option text by
+// log-likelihood over a subword stream; BPE gives it a vocabulary that
+// adapts to the synthetic domain corpus the same way SentencePiece
+// adapts to a pretraining corpus.  Training is the classic greedy
+// highest-frequency-pair merge loop over word types.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace mcqa::text {
+
+class BpeTokenizer {
+ public:
+  /// Train on raw text.  `vocab_budget` bounds merges + byte alphabet.
+  static BpeTokenizer train(std::string_view corpus, std::size_t vocab_budget);
+
+  /// Encode into token ids.
+  std::vector<std::uint32_t> encode(std::string_view text) const;
+
+  /// Decode ids back to text (inverse of encode up to normalization).
+  std::string decode(const std::vector<std::uint32_t>& ids) const;
+
+  /// Token string for an id.
+  const std::string& token(std::uint32_t id) const { return vocab_.at(id); }
+
+  std::size_t vocab_size() const { return vocab_.size(); }
+  std::size_t merge_count() const { return merge_ranks_.size(); }
+
+  /// Serialize / restore (JSON-free compact text format).
+  std::string save() const;
+  static BpeTokenizer load(std::string_view blob);
+
+  /// Default-constructed tokenizer: empty vocabulary, everything maps to
+  /// <unk>.  Valid target for assignment from train()/load().
+  BpeTokenizer() = default;
+
+ private:
+  /// Apply trained merges to one word (space-free unit).
+  std::vector<std::string> apply_merges(std::string_view word) const;
+
+  std::vector<std::string> vocab_;                       // id -> token
+  std::unordered_map<std::string, std::uint32_t> ids_;   // token -> id
+  // (left, right) -> merge rank; lower rank merges first.
+  std::map<std::pair<std::string, std::string>, std::size_t> merge_ranks_;
+  std::uint32_t unk_id_ = 0;
+};
+
+}  // namespace mcqa::text

@@ -1,0 +1,58 @@
+#include "text/normalize.hpp"
+
+#include <cctype>
+
+namespace mcqa::text {
+
+std::string normalize_ws(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  bool in_space = true;  // leading whitespace is dropped
+  for (const char c : s) {
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      if (!in_space) out += ' ';
+      in_space = true;
+    } else {
+      out += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+      in_space = false;
+    }
+  }
+  while (!out.empty() && out.back() == ' ') out.pop_back();
+  return out;
+}
+
+std::string normalize_for_matching(std::string_view s) {
+  const std::string lowered = normalize_ws(s);
+  std::string out;
+  out.reserve(lowered.size());
+  for (std::size_t i = 0; i < lowered.size(); ++i) {
+    const char c = lowered[i];
+    if (std::isalnum(static_cast<unsigned char>(c)) || c == ' ') {
+      out += c;
+    } else if ((c == '-' || c == '.') && i > 0 && i + 1 < lowered.size() &&
+               std::isalnum(static_cast<unsigned char>(lowered[i - 1])) &&
+               std::isalnum(static_cast<unsigned char>(lowered[i + 1]))) {
+      out += c;  // intra-word: cobalt-60, 2.5
+    }
+    // other punctuation dropped
+  }
+  // Collapse possible double spaces introduced by dropped punctuation.
+  std::string collapsed;
+  collapsed.reserve(out.size());
+  bool in_space = true;
+  for (const char c : out) {
+    if (c == ' ') {
+      if (!in_space) collapsed += ' ';
+      in_space = true;
+    } else {
+      collapsed += c;
+      in_space = false;
+    }
+  }
+  while (!collapsed.empty() && collapsed.back() == ' ') collapsed.pop_back();
+  return collapsed;
+}
+
+bool is_sentence_terminator(char c) { return c == '.' || c == '!' || c == '?'; }
+
+}  // namespace mcqa::text

@@ -1,0 +1,19 @@
+#pragma once
+// Text normalization used before tokenization / embedding.
+
+#include <string>
+#include <string_view>
+
+namespace mcqa::text {
+
+/// Lowercase ASCII, collapse whitespace runs to single spaces, trim.
+std::string normalize_ws(std::string_view s);
+
+/// normalize_ws + strip punctuation except intra-word hyphens/digits
+/// (keeps "p53", "cobalt-60", "2.5").
+std::string normalize_for_matching(std::string_view s);
+
+/// True if the character ends a sentence candidate.
+bool is_sentence_terminator(char c);
+
+}  // namespace mcqa::text

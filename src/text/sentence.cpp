@@ -1,0 +1,93 @@
+#include "text/sentence.hpp"
+
+#include <array>
+#include <cctype>
+
+#include "text/normalize.hpp"
+#include "util/strings.hpp"
+
+namespace mcqa::text {
+
+namespace {
+
+constexpr std::array<std::string_view, 15> kAbbreviations = {
+    "et al", "al", "fig", "figs", "eq", "eqs", "e.g", "i.e", "cf", "vs",
+    "dr", "no", "ref", "refs", "approx"};
+
+/// Does the text ending at position `dot` (exclusive of the '.') look
+/// like a known abbreviation?
+bool ends_with_abbreviation(std::string_view s, std::size_t dot) {
+  // Extract the word before the dot.
+  std::size_t start = dot;
+  while (start > 0) {
+    const char c = s[start - 1];
+    if (std::isalnum(static_cast<unsigned char>(c)) || c == '.') {
+      --start;
+    } else {
+      break;
+    }
+  }
+  if (start == dot) return false;
+  const std::string word = util::to_lower(s.substr(start, dot - start));
+  for (const auto abbr : kAbbreviations) {
+    if (word == abbr) return true;
+  }
+  // Single-letter initials ("J. Smith").
+  if (word.size() == 1 && std::isalpha(static_cast<unsigned char>(word[0]))) {
+    return true;
+  }
+  return false;
+}
+
+bool is_decimal_point(std::string_view s, std::size_t dot) {
+  return dot > 0 && dot + 1 < s.size() &&
+         std::isdigit(static_cast<unsigned char>(s[dot - 1])) &&
+         std::isdigit(static_cast<unsigned char>(s[dot + 1]));
+}
+
+}  // namespace
+
+std::vector<Sentence> split_sentences(std::string_view s) {
+  std::vector<Sentence> out;
+  std::size_t start = 0;
+
+  const auto flush = [&](std::size_t end_pos) {
+    // Trim the candidate [start, end_pos).
+    std::size_t b = start;
+    std::size_t e = end_pos;
+    while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+    while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+    if (e > b) {
+      out.push_back(Sentence{std::string(s.substr(b, e - b)), b, e});
+    }
+    start = end_pos;
+  };
+
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    const char c = s[i];
+    if (c == '\n' && i + 1 < s.size() && s[i + 1] == '\n') {
+      flush(i);  // paragraph break always ends a sentence
+      continue;
+    }
+    if (!is_sentence_terminator(c)) continue;
+    if (c == '.' && (is_decimal_point(s, i) || ends_with_abbreviation(s, i))) {
+      continue;
+    }
+    // Consume trailing terminators / closing quotes.
+    std::size_t j = i + 1;
+    while (j < s.size() && (is_sentence_terminator(s[j]) || s[j] == '"' ||
+                            s[j] == ')' || s[j] == '\'')) {
+      ++j;
+    }
+    // Require end-of-text or whitespace next; otherwise it's mid-token.
+    if (j < s.size() && !std::isspace(static_cast<unsigned char>(s[j]))) {
+      continue;
+    }
+    flush(j);
+    i = j > 0 ? j - 1 : 0;
+  }
+  flush(s.size());
+  return out;
+}
+
+}  // namespace mcqa::text

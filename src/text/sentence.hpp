@@ -1,0 +1,24 @@
+#pragma once
+// Sentence segmentation.
+//
+// The semantic chunker operates on sentences; segmentation quality feeds
+// directly into chunk coherence.  We use a rule-based splitter with an
+// abbreviation guard list tuned for scientific prose ("et al.", "Fig.",
+// "e.g.", initials, decimal numbers).
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mcqa::text {
+
+struct Sentence {
+  std::string text;       ///< trimmed sentence text
+  std::size_t begin = 0;  ///< byte offset into the source
+  std::size_t end = 0;    ///< one past the last byte
+};
+
+/// Split `s` into sentences.  Offsets refer to `s`.
+std::vector<Sentence> split_sentences(std::string_view s);
+
+}  // namespace mcqa::text

@@ -1,0 +1,82 @@
+#include "text/tokenizer.hpp"
+
+#include <cctype>
+
+namespace mcqa::text {
+
+namespace {
+bool is_word_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+}  // namespace
+
+std::vector<Token> word_tokenize(std::string_view s) {
+  std::vector<Token> out;
+  std::size_t i = 0;
+  while (i < s.size()) {
+    const char c = s[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    const std::size_t start = i;
+    if (is_word_char(c)) {
+      while (i < s.size() && (is_word_char(s[i]) ||
+                              // keep intra-word hyphens and decimal points
+                              ((s[i] == '-' || s[i] == '.') && i + 1 < s.size() &&
+                               is_word_char(s[i + 1]) && i > start))) {
+        ++i;
+      }
+    } else {
+      ++i;  // single punctuation token
+    }
+    out.push_back(Token{std::string(s.substr(start, i - start)), start, i});
+  }
+  return out;
+}
+
+std::size_t count_words(std::string_view s) {
+  std::size_t count = 0;
+  bool in_word = false;
+  for (const char c : s) {
+    const bool w = !std::isspace(static_cast<unsigned char>(c));
+    if (w && !in_word) ++count;
+    in_word = w;
+  }
+  return count;
+}
+
+std::size_t approx_llm_tokens(std::string_view s) {
+  // ~1.33 subword tokens per whitespace-delimited word is a good fit for
+  // scientific English across GPT-2/Llama-family tokenizers.
+  const std::size_t words = count_words(s);
+  return words + (words / 3) + 1;
+}
+
+std::vector<std::string> word_ngrams(std::string_view normalized, int n) {
+  std::vector<std::string> out;
+  if (n <= 0) return out;
+  std::vector<std::string_view> words;
+  {
+    std::size_t i = 0;
+    while (i < normalized.size()) {
+      while (i < normalized.size() && normalized[i] == ' ') ++i;
+      const std::size_t start = i;
+      while (i < normalized.size() && normalized[i] != ' ') ++i;
+      if (i > start) words.push_back(normalized.substr(start, i - start));
+    }
+  }
+  if (words.size() < static_cast<std::size_t>(n)) return out;
+  out.reserve(words.size() - static_cast<std::size_t>(n) + 1);
+  for (std::size_t i = 0; i + static_cast<std::size_t>(n) <= words.size(); ++i) {
+    std::string gram;
+    for (int j = 0; j < n; ++j) {
+      if (j != 0) gram += ' ';
+      gram += words[i + static_cast<std::size_t>(j)];
+    }
+    out.push_back(std::move(gram));
+  }
+  return out;
+}
+
+}  // namespace mcqa::text

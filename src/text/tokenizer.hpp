@@ -1,0 +1,35 @@
+#pragma once
+// Word-level tokenization and token counting.
+//
+// Context windows in Table 1 are measured in tokens; the RAG prompt
+// assembler budgets retrieved context against each model's window using
+// these counts.  We approximate subword token counts from word tokens
+// with a calibrated inflation factor (real tokenizers emit ~1.3 subwords
+// per English word); the BPE tokenizer (bpe.hpp) provides exact counts
+// where a trained vocabulary exists.
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mcqa::text {
+
+struct Token {
+  std::string text;
+  std::size_t begin = 0;
+  std::size_t end = 0;
+};
+
+/// Split into word/number/punctuation tokens.
+std::vector<Token> word_tokenize(std::string_view s);
+
+/// Just the count, without materializing tokens.
+std::size_t count_words(std::string_view s);
+
+/// Approximate LLM (subword) token count for budgeting.
+std::size_t approx_llm_tokens(std::string_view s);
+
+/// Word n-grams (normalized) for embedding features.
+std::vector<std::string> word_ngrams(std::string_view normalized, int n);
+
+}  // namespace mcqa::text

@@ -1,0 +1,56 @@
+#include "text/vocab.hpp"
+
+#include <cmath>
+
+#include "util/strings.hpp"
+
+namespace mcqa::text {
+
+Vocabulary::Vocabulary() {
+  words_.emplace_back("<unk>");
+  freq_.push_back(0);
+  ids_.emplace("<unk>", kUnknown);
+}
+
+void Vocabulary::add_text(std::string_view normalized) {
+  for (const auto w : util::split(normalized, ' ')) {
+    if (w.empty()) continue;
+    const std::uint32_t wid = intern(w);
+    ++freq_[wid];
+    ++total_;
+  }
+}
+
+std::uint32_t Vocabulary::id(std::string_view word) const {
+  const auto it = ids_.find(std::string(word));
+  return it == ids_.end() ? kUnknown : it->second;
+}
+
+std::uint32_t Vocabulary::intern(std::string_view word) {
+  const auto [it, inserted] =
+      ids_.emplace(std::string(word), static_cast<std::uint32_t>(words_.size()));
+  if (inserted) {
+    words_.emplace_back(word);
+    freq_.push_back(0);
+  }
+  return it->second;
+}
+
+double Vocabulary::idf(std::uint32_t wid) const {
+  if (wid >= freq_.size() || total_ == 0) return 0.0;
+  const double n = static_cast<double>(total_);
+  const double df = static_cast<double>(freq_[wid]) + 1.0;
+  const double v = std::log(n / df);
+  return v > 0.0 ? v : 0.0;
+}
+
+std::vector<std::uint32_t> Vocabulary::encode(
+    std::string_view normalized) const {
+  std::vector<std::uint32_t> out;
+  for (const auto w : util::split(normalized, ' ')) {
+    if (!w.empty()) out.push_back(id(w));
+  }
+  return out;
+}
+
+}  // namespace mcqa::text

@@ -1,0 +1,47 @@
+#pragma once
+// Word vocabulary with frequency counts.  Shared by the embedder (IDF
+// weighting) and the n-gram language model.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace mcqa::text {
+
+class Vocabulary {
+ public:
+  static constexpr std::uint32_t kUnknown = 0;
+
+  Vocabulary();
+
+  /// Add every word of (already normalized, space-delimited) text.
+  void add_text(std::string_view normalized);
+
+  /// Lookup; returns kUnknown when absent.
+  std::uint32_t id(std::string_view word) const;
+
+  /// Insert-or-lookup.
+  std::uint32_t intern(std::string_view word);
+
+  const std::string& word(std::uint32_t id) const { return words_.at(id); }
+  std::size_t frequency(std::uint32_t id) const { return freq_.at(id); }
+  std::size_t size() const { return words_.size(); }
+  std::size_t total_count() const { return total_; }
+
+  /// log(N / df) style inverse document frequency proxy using corpus
+  /// term counts; smooth and never negative.
+  double idf(std::uint32_t id) const;
+
+  /// Encode normalized text to ids (unknowns map to kUnknown).
+  std::vector<std::uint32_t> encode(std::string_view normalized) const;
+
+ private:
+  std::vector<std::string> words_;
+  std::vector<std::size_t> freq_;
+  std::unordered_map<std::string, std::uint32_t> ids_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace mcqa::text

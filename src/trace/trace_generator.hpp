@@ -1,0 +1,34 @@
+#pragma once
+// Reasoning-trace distillation: the teacher answers every benchmark
+// question in all three modes, prediction withheld from retrieval text.
+
+#include <vector>
+
+#include "llm/teacher_model.hpp"
+#include "qgen/mcq_record.hpp"
+#include "trace/trace_record.hpp"
+
+namespace mcqa::trace {
+
+struct TraceGenConfig {
+  std::size_t threads = 0;
+  std::uint64_t seed = 0x7ace5eedu;
+};
+
+class TraceGenerator {
+ public:
+  TraceGenerator(const llm::TeacherModel& teacher, TraceGenConfig config = {});
+
+  /// One trace for one record in one mode.
+  TraceRecord generate(const qgen::McqRecord& record, TraceMode mode) const;
+
+  /// All records, one mode (parallel, order-stable).
+  std::vector<TraceRecord> generate_all(
+      const std::vector<qgen::McqRecord>& records, TraceMode mode) const;
+
+ private:
+  const llm::TeacherModel& teacher_;
+  TraceGenConfig config_;
+};
+
+}  // namespace mcqa::trace

@@ -1,0 +1,67 @@
+#include "trace/trace_grading.hpp"
+
+#include <algorithm>
+
+#include "text/normalize.hpp"
+#include "util/strings.hpp"
+
+namespace mcqa::trace {
+
+void grade_trace(TraceRecord& trace) {
+  GradingResult g;
+  g.correct_option_number = trace.correct_answer_index + 1;
+
+  // Match the predicted answer text back to an option (the judge's
+  // option-matching discipline, applied to the teacher's own output).
+  const std::string pred_norm =
+      text::normalize_for_matching(trace.prediction.predicted_answer);
+  int extracted = -1;
+  double best_sim = 0.80;
+  for (std::size_t i = 0; i < trace.options.size(); ++i) {
+    const std::string opt_norm =
+        text::normalize_for_matching(trace.options[i]);
+    if (opt_norm.empty()) continue;
+    if (opt_norm == pred_norm) {
+      extracted = static_cast<int>(i);
+      break;
+    }
+    const double sim = util::string_similarity(opt_norm, pred_norm);
+    if (sim > best_sim) {
+      best_sim = sim;
+      extracted = static_cast<int>(i);
+    }
+  }
+
+  g.extracted_option_number = extracted >= 0 ? extracted + 1 : -1;
+  g.is_correct = extracted == trace.correct_answer_index;
+  g.confidence = extracted >= 0 ? 0.95 : 0.2;
+  g.reasoning = g.is_correct
+                    ? "prediction matches the keyed option"
+                    : (extracted < 0
+                           ? "prediction could not be matched to an option"
+                           : "prediction names a different option");
+  trace.grading = g;
+  trace.has_grading = true;
+}
+
+TraceGradingStats grade_all(std::vector<TraceRecord>& traces) {
+  TraceGradingStats stats;
+  for (auto& t : traces) {
+    grade_trace(t);
+    ++stats.graded;
+    stats.correct += t.grading.is_correct ? 1 : 0;
+  }
+  return stats;
+}
+
+std::size_t filter_incorrect(std::vector<TraceRecord>& traces) {
+  const std::size_t before = traces.size();
+  traces.erase(std::remove_if(traces.begin(), traces.end(),
+                              [](const TraceRecord& t) {
+                                return t.has_grading && !t.grading.is_correct;
+                              }),
+               traces.end());
+  return before - traces.size();
+}
+
+}  // namespace mcqa::trace

@@ -1,0 +1,36 @@
+#pragma once
+// Trace grading: fill the optional grading_result block of the Fig. 3
+// schema by judging the teacher's prediction for every trace (the
+// paper's workflow grades traces so low-quality reasoning can be
+// filtered before it enters a retrieval store).
+
+#include <vector>
+
+#include "qgen/mcq_record.hpp"
+#include "trace/trace_record.hpp"
+
+namespace mcqa::trace {
+
+struct TraceGradingStats {
+  std::size_t graded = 0;
+  std::size_t correct = 0;
+  double accuracy() const {
+    return graded == 0 ? 0.0
+                       : static_cast<double>(correct) /
+                             static_cast<double>(graded);
+  }
+};
+
+/// Grade one trace's prediction against its keyed answer; fills
+/// `grading_result` in place.
+void grade_trace(TraceRecord& trace);
+
+/// Grade every trace (in place); returns aggregate stats.
+TraceGradingStats grade_all(std::vector<TraceRecord>& traces);
+
+/// Drop traces whose prediction was graded incorrect (quality gate on
+/// the retrieval store: a wrong chain of reasoning should not be
+/// retrievable).  Returns the removed count.
+std::size_t filter_incorrect(std::vector<TraceRecord>& traces);
+
+}  // namespace mcqa::trace

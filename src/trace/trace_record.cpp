@@ -1,0 +1,203 @@
+#include "trace/trace_record.hpp"
+
+#include <stdexcept>
+
+namespace mcqa::trace {
+
+std::string_view trace_mode_name(TraceMode mode) {
+  switch (mode) {
+    case TraceMode::kDetailed: return "detailed";
+    case TraceMode::kFocused: return "focused";
+    case TraceMode::kEfficient: return "efficient";
+  }
+  return "unknown";
+}
+
+TraceMode trace_mode_from_name(std::string_view name) {
+  if (name == "detailed") return TraceMode::kDetailed;
+  if (name == "focused") return TraceMode::kFocused;
+  if (name == "efficient") return TraceMode::kEfficient;
+  throw std::invalid_argument("unknown trace mode: " + std::string(name));
+}
+
+namespace {
+
+json::Value prediction_to_json(const Prediction& p) {
+  json::Value v = json::Value::object();
+  v["predicted_answer"] = p.predicted_answer;
+  v["prediction_reasoning"] = p.prediction_reasoning;
+  v["confidence_level"] = p.confidence_level;
+  v["confidence_explanation"] = p.confidence_explanation;
+  return v;
+}
+
+Prediction prediction_from_json(const json::Value& v) {
+  Prediction p;
+  p.predicted_answer = v.get_or("predicted_answer", "");
+  p.prediction_reasoning = v.get_or("prediction_reasoning", "");
+  p.confidence_level = v.get_or("confidence_level", "");
+  p.confidence_explanation = v.get_or("confidence_explanation", "");
+  return p;
+}
+
+json::Array strings_to_json(const std::vector<std::string>& xs) {
+  json::Array arr;
+  for (const auto& x : xs) arr.emplace_back(x);
+  return arr;
+}
+
+std::vector<std::string> strings_from_json(const json::Value* v) {
+  std::vector<std::string> out;
+  if (v == nullptr || !v->is_array()) return out;
+  for (const auto& x : v->as_array()) out.push_back(x.as_string());
+  return out;
+}
+
+}  // namespace
+
+json::Value TraceRecord::to_json() const {
+  json::Value v = json::Value::object();
+  v["trace_id"] = trace_id;
+  v["question"] = question;
+  v["context"] = context;
+  v["options"] = json::Value(strings_to_json(options));
+  v["correct_answer_index"] = correct_answer_index;
+  v["correct_answer"] = correct_answer;
+  v["source_record_id"] = source_record_id;
+
+  json::Value reasoning = json::Value::object();
+  reasoning["mode"] = std::string(trace_mode_name(mode));
+  switch (mode) {
+    case TraceMode::kDetailed: {
+      json::Value tp = json::Value::object();
+      for (std::size_t i = 0; i < thought_process.size(); ++i) {
+        tp["option_" + std::to_string(i + 1)] = thought_process[i];
+      }
+      reasoning["thought_process"] = std::move(tp);
+      reasoning["prediction"] = prediction_to_json(prediction);
+      reasoning["scientific_conclusion"] = scientific_conclusion;
+      break;
+    }
+    case TraceMode::kFocused: {
+      reasoning["key_principle"] = key_principle;
+      json::Value qe = json::Value::object();
+      qe["dismissed_options"] = json::Value(strings_to_json(dismissed_options));
+      qe["reasoning"] = quick_elimination_reasoning;
+      reasoning["quick_elimination"] = std::move(qe);
+      json::Value fa = json::Value::object();
+      fa["viable_options"] = json::Value(strings_to_json(viable_options));
+      fa["detailed_reasoning"] = focused_detailed_reasoning;
+      reasoning["focused_analysis"] = std::move(fa);
+      reasoning["prediction"] = prediction_to_json(prediction);
+      reasoning["scientific_conclusion"] = scientific_conclusion;
+      break;
+    }
+    case TraceMode::kEfficient: {
+      reasoning["quick_analysis"] = quick_analysis;
+      reasoning["elimination"] = elimination;
+      reasoning["prediction"] = prediction_to_json(prediction);
+      break;
+    }
+  }
+  v["reasoning"] = std::move(reasoning);
+
+  if (has_grading) {
+    json::Value g = json::Value::object();
+    g["is_correct"] = grading.is_correct;
+    g["confidence"] = grading.confidence;
+    g["reasoning"] = grading.reasoning;
+    g["extracted_option_number"] = grading.extracted_option_number;
+    g["correct_option_number"] = grading.correct_option_number;
+    v["grading_result"] = std::move(g);
+  }
+  return v;
+}
+
+TraceRecord TraceRecord::from_json(const json::Value& v) {
+  TraceRecord t;
+  t.trace_id = v.get_or("trace_id", "");
+  t.question = v.get_or("question", "");
+  t.context = v.get_or("context", "");
+  t.options = strings_from_json(v.as_object().find("options"));
+  t.correct_answer_index =
+      static_cast<int>(v.get_or("correct_answer_index", std::int64_t{-1}));
+  t.correct_answer = v.get_or("correct_answer", "");
+  t.source_record_id = v.get_or("source_record_id", "");
+
+  if (const auto* reasoning = v.as_object().find("reasoning")) {
+    t.mode = trace_mode_from_name(reasoning->get_or("mode", "detailed"));
+    if (const auto* tp = reasoning->as_object().find("thought_process")) {
+      for (std::size_t i = 1;; ++i) {
+        const auto* opt = tp->as_object().find("option_" + std::to_string(i));
+        if (opt == nullptr) break;
+        t.thought_process.push_back(opt->as_string());
+      }
+    }
+    t.scientific_conclusion = reasoning->get_or("scientific_conclusion", "");
+    t.key_principle = reasoning->get_or("key_principle", "");
+    if (const auto* qe = reasoning->as_object().find("quick_elimination")) {
+      t.dismissed_options =
+          strings_from_json(qe->as_object().find("dismissed_options"));
+      t.quick_elimination_reasoning = qe->get_or("reasoning", "");
+    }
+    if (const auto* fa = reasoning->as_object().find("focused_analysis")) {
+      t.viable_options =
+          strings_from_json(fa->as_object().find("viable_options"));
+      t.focused_detailed_reasoning = fa->get_or("detailed_reasoning", "");
+    }
+    t.quick_analysis = reasoning->get_or("quick_analysis", "");
+    t.elimination = reasoning->get_or("elimination", "");
+    if (const auto* pred = reasoning->as_object().find("prediction")) {
+      t.prediction = prediction_from_json(*pred);
+    }
+  }
+
+  if (const auto* g = v.as_object().find("grading_result")) {
+    t.has_grading = true;
+    t.grading.is_correct = g->get_or("is_correct", false);
+    t.grading.confidence = g->get_or("confidence", 0.0);
+    t.grading.reasoning = g->get_or("reasoning", "");
+    t.grading.extracted_option_number =
+        static_cast<int>(g->get_or("extracted_option_number", std::int64_t{-1}));
+    t.grading.correct_option_number =
+        static_cast<int>(g->get_or("correct_option_number", std::int64_t{-1}));
+  }
+  return t;
+}
+
+std::string TraceRecord::retrieval_text() const {
+  // Everything reasoning-bearing, nothing answer-bearing: the question
+  // restated plus the mode's analysis sections.  The prediction block,
+  // correct_answer and correct_answer_index never appear here.
+  std::string out = question;
+  out += "\n";
+  switch (mode) {
+    case TraceMode::kDetailed:
+      for (std::size_t i = 0; i < thought_process.size(); ++i) {
+        out += "Option " + std::to_string(i + 1) + ": " + thought_process[i] +
+               "\n";
+      }
+      out += scientific_conclusion;
+      break;
+    case TraceMode::kFocused:
+      out += "Key principle: " + key_principle + "\n";
+      if (!dismissed_options.empty()) {
+        out += "Quickly dismissed: ";
+        for (std::size_t i = 0; i < dismissed_options.size(); ++i) {
+          if (i != 0) out += "; ";
+          out += dismissed_options[i];
+        }
+        out += ". " + quick_elimination_reasoning + "\n";
+      }
+      out += focused_detailed_reasoning + "\n";
+      out += scientific_conclusion;
+      break;
+    case TraceMode::kEfficient:
+      out += quick_analysis + "\n";
+      out += elimination;
+      break;
+  }
+  return out;
+}
+
+}  // namespace mcqa::trace

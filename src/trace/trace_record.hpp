@@ -1,0 +1,81 @@
+#pragma once
+// Reasoning-trace record: the paper's Fig. 3 JSON schema.
+//
+// Three modes are generated simultaneously for every benchmark question
+// and stored in *separate* retrieval databases:
+//   detailed  — option-by-option thought process
+//   focused   — key principle + quick elimination + focused analysis
+//   efficient — compact high-level analysis
+// The prediction block exists in the record but is EXCLUDED from the
+// retrieval text (the paper withholds final answers to prevent leakage).
+
+#include <string>
+#include <vector>
+
+#include "json/json.hpp"
+
+namespace mcqa::trace {
+
+enum class TraceMode { kDetailed, kFocused, kEfficient };
+constexpr int kTraceModeCount = 3;
+
+std::string_view trace_mode_name(TraceMode mode);
+TraceMode trace_mode_from_name(std::string_view name);
+
+struct Prediction {
+  std::string predicted_answer;
+  std::string prediction_reasoning;
+  std::string confidence_level;  ///< "high" | "medium" | "low"
+  std::string confidence_explanation;
+};
+
+struct GradingResult {
+  bool is_correct = false;
+  double confidence = 0.0;
+  std::string reasoning;
+  int extracted_option_number = -1;  ///< 1-based, per the schema
+  int correct_option_number = -1;
+};
+
+struct TraceRecord {
+  // Common header (Fig. 3).
+  std::string trace_id;
+  std::string question;  ///< full stem (choices embedded allowed)
+  std::string context;   ///< optional source chunk
+  std::vector<std::string> options;
+  int correct_answer_index = -1;  ///< 0-based integer per the schema
+  std::string correct_answer;
+
+  TraceMode mode = TraceMode::kDetailed;
+
+  // detailed
+  std::vector<std::string> thought_process;  ///< option_1..N analyses
+  std::string scientific_conclusion;
+
+  // focused
+  std::string key_principle;
+  std::vector<std::string> dismissed_options;
+  std::string quick_elimination_reasoning;
+  std::vector<std::string> viable_options;
+  std::string focused_detailed_reasoning;
+
+  // efficient
+  std::string quick_analysis;
+  std::string elimination;
+
+  Prediction prediction;
+  bool has_grading = false;
+  GradingResult grading;
+
+  /// Source question's record id (provenance back to Fig. 2 records).
+  std::string source_record_id;
+
+  json::Value to_json() const;
+  static TraceRecord from_json(const json::Value& v);
+
+  /// The text stored in the retrieval database: all reasoning content
+  /// for the mode, with the prediction/answer withheld.
+  std::string retrieval_text() const;
+};
+
+}  // namespace mcqa::trace

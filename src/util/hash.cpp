@@ -1,0 +1,17 @@
+#include "util/hash.hpp"
+
+namespace mcqa::util {
+
+std::string hex_digest(std::uint64_t h, int width) {
+  static const char* kHex = "0123456789abcdef";
+  if (width < 1) width = 1;
+  if (width > 16) width = 16;
+  std::string out(static_cast<std::size_t>(width), '0');
+  for (int i = width - 1; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = kHex[h & 0xf];
+    h >>= 4;
+  }
+  return out;
+}
+
+}  // namespace mcqa::util

@@ -1,0 +1,46 @@
+#pragma once
+// Stable, platform-independent hashing.
+//
+// std::hash is implementation-defined, so anything that must be
+// reproducible across runs and toolchains (document ids, embedding
+// feature hashing, RNG forking) goes through these FNV-1a variants.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace mcqa::util {
+
+constexpr std::uint64_t kFnvOffset64 = 0xcbf29ce484222325ULL;
+constexpr std::uint64_t kFnvPrime64 = 0x100000001b3ULL;
+
+constexpr std::uint64_t fnv1a64(std::string_view s,
+                                std::uint64_t seed = kFnvOffset64) noexcept {
+  std::uint64_t h = seed;
+  for (const char c : s) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= kFnvPrime64;
+  }
+  return h;
+}
+
+constexpr std::uint64_t fnv1a64(std::uint64_t v,
+                                std::uint64_t seed = kFnvOffset64) noexcept {
+  std::uint64_t h = seed;
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (i * 8)) & 0xffu;
+    h *= kFnvPrime64;
+  }
+  return h;
+}
+
+/// boost-style combiner on top of FNV words.
+constexpr std::uint64_t hash_combine(std::uint64_t a, std::uint64_t b) noexcept {
+  return a ^ (b + 0x9e3779b97f4a7c15ULL + (a << 12) + (a >> 4));
+}
+
+/// Short stable hex digest, used for chunk_id provenance ("filehash_index"
+/// in the paper's Fig. 2 schema).
+std::string hex_digest(std::uint64_t h, int width = 12);
+
+}  // namespace mcqa::util

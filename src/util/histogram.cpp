@@ -1,0 +1,99 @@
+#include "util/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace mcqa::util {
+
+void SummaryStats::add(double x) {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  sum_ += x;
+  sum_sq_ += x * x;
+}
+
+void SummaryStats::merge(const SummaryStats& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  count_ += other.count_;
+  sum_ += other.sum_;
+  sum_sq_ += other.sum_sq_;
+}
+
+double SummaryStats::mean() const {
+  return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+}
+
+double SummaryStats::variance() const {
+  if (count_ == 0) return 0.0;
+  const double m = mean();
+  const double v = sum_sq_ / static_cast<double>(count_) - m * m;
+  return v > 0.0 ? v : 0.0;
+}
+
+double SummaryStats::stddev() const { return std::sqrt(variance()); }
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0) {
+  if (bins == 0) throw std::invalid_argument("Histogram: bins must be > 0");
+  if (!(hi > lo)) throw std::invalid_argument("Histogram: hi must be > lo");
+}
+
+void Histogram::add(double x) {
+  stats_.add(x);
+  ++total_;
+  const double t = (x - lo_) / (hi_ - lo_);
+  auto bin = static_cast<std::ptrdiff_t>(t * static_cast<double>(counts_.size()));
+  bin = std::clamp<std::ptrdiff_t>(bin, 0,
+                                   static_cast<std::ptrdiff_t>(counts_.size()) - 1);
+  ++counts_[static_cast<std::size_t>(bin)];
+}
+
+double Histogram::quantile(double q) const {
+  if (total_ == 0) return lo_;
+  q = std::clamp(q, 0.0, 1.0);
+  const auto target = static_cast<std::size_t>(
+      q * static_cast<double>(total_ - 1));
+  std::size_t seen = 0;
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    seen += counts_[b];
+    if (seen > target) {
+      const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+      return lo_ + (static_cast<double>(b) + 0.5) * width;
+    }
+  }
+  return hi_;
+}
+
+std::string Histogram::render(std::size_t width) const {
+  std::size_t peak = 0;
+  for (const std::size_t c : counts_) peak = std::max(peak, c);
+  if (peak == 0) return "(empty histogram)\n";
+  std::string out;
+  const double bin_width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    const double left = lo_ + static_cast<double>(b) * bin_width;
+    char label[48];
+    std::snprintf(label, sizeof(label), "%10.2f | ", left);
+    out += label;
+    const auto bar = static_cast<std::size_t>(
+        static_cast<double>(counts_[b]) / static_cast<double>(peak) *
+        static_cast<double>(width));
+    out.append(bar, '#');
+    out += " (" + std::to_string(counts_[b]) + ")\n";
+  }
+  return out;
+}
+
+}  // namespace mcqa::util

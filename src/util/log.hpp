@@ -1,0 +1,50 @@
+#pragma once
+// Minimal leveled logger.  Thread-safe; a single global sink writes
+// whole lines so parallel pipeline stages never interleave mid-line.
+
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace mcqa::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global threshold; messages below it are dropped before formatting.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Emit one line (thread-safe).  Prefer the LOG_* macros below.
+void log_line(LogLevel level, std::string_view module, std::string_view msg);
+
+namespace detail {
+class LogStream {
+ public:
+  LogStream(LogLevel level, std::string_view module)
+      : level_(level), module_(module) {}
+  ~LogStream() { log_line(level_, module_, os_.str()); }
+  template <typename T>
+  LogStream& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::string module_;
+  std::ostringstream os_;
+};
+}  // namespace detail
+
+}  // namespace mcqa::util
+
+#define MCQA_LOG(level, module)                                      \
+  if (static_cast<int>(level) < static_cast<int>(::mcqa::util::log_level())) \
+    ;                                                                \
+  else                                                               \
+    ::mcqa::util::detail::LogStream(level, module)
+
+#define MCQA_DEBUG(module) MCQA_LOG(::mcqa::util::LogLevel::kDebug, module)
+#define MCQA_INFO(module) MCQA_LOG(::mcqa::util::LogLevel::kInfo, module)
+#define MCQA_WARN(module) MCQA_LOG(::mcqa::util::LogLevel::kWarn, module)
+#define MCQA_ERROR(module) MCQA_LOG(::mcqa::util::LogLevel::kError, module)

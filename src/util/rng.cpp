@@ -1,0 +1,75 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "util/hash.hpp"
+
+namespace mcqa::util {
+
+double Rng::normal(double mean, double stddev) noexcept {
+  // Box-Muller; draws two uniforms per call and discards the cosine twin
+  // so the generator state advances a fixed amount per call (cheaper to
+  // reason about reproducibility than caching the spare).
+  double u1 = uniform();
+  const double u2 = uniform();
+  if (u1 <= 0.0) u1 = 0x1.0p-40;  // avoid log(0)
+  const double mag = std::sqrt(-2.0 * std::log(u1));
+  return mean + stddev * mag * std::cos(2.0 * std::numbers::pi * u2);
+}
+
+std::size_t Rng::zipf(std::size_t n, double s) noexcept {
+  if (n <= 1) return 0;
+  if (s <= 1.0) s = 1.0 + 1e-6;  // Devroye's sampler needs s > 1
+  // Devroye's rejection sampler (Non-Uniform Random Variate Generation,
+  // ch. X.6).  Expected O(1) draws per sample regardless of n.
+  const double b = std::pow(2.0, s - 1.0);
+  const double nd = static_cast<double>(n);
+  for (;;) {
+    const double u = uniform();
+    const double v = uniform();
+    const double x = std::floor(std::pow(1.0 - u, -1.0 / (s - 1.0)));
+    if (x < 1.0 || x > nd) continue;
+    const double t = std::pow(1.0 + 1.0 / x, s - 1.0);
+    if (v * x * (t - 1.0) / (b - 1.0) <= t / b) {
+      return static_cast<std::size_t>(x) - 1;
+    }
+  }
+}
+
+Rng Rng::fork(std::string_view salt) const noexcept {
+  return fork(fnv1a64(salt));
+}
+
+std::vector<std::size_t> Rng::sample_indices(std::size_t n, std::size_t k) noexcept {
+  if (k > n) k = n;
+  std::vector<std::size_t> out;
+  out.reserve(k);
+  if (k == 0) return out;
+  // Partial Fisher-Yates over an index vector; O(n) memory but simple and
+  // exact.  n in this codebase is at most a few hundred thousand.
+  std::vector<std::size_t> idx(n);
+  for (std::size_t i = 0; i < n; ++i) idx[i] = i;
+  for (std::size_t i = 0; i < k; ++i) {
+    const std::size_t j =
+        i + bounded(static_cast<std::uint32_t>(n - i));
+    std::swap(idx[i], idx[j]);
+    out.push_back(idx[i]);
+  }
+  return out;
+}
+
+std::size_t Rng::weighted_pick(const std::vector<double>& weights) noexcept {
+  double total = 0.0;
+  for (const double w : weights) total += (w > 0.0 ? w : 0.0);
+  if (total <= 0.0) return weights.size();
+  double target = uniform() * total;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    const double w = weights[i] > 0.0 ? weights[i] : 0.0;
+    if (target < w) return i;
+    target -= w;
+  }
+  return weights.size() - 1;
+}
+
+}  // namespace mcqa::util

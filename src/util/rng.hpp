@@ -1,0 +1,137 @@
+#pragma once
+// Deterministic pseudo-random number generation for the whole pipeline.
+//
+// Every stochastic component in the library (corpus synthesis, question
+// generation, student-model sampling, index construction) draws from an
+// explicitly seeded Rng so that a given ExperimentConfig reproduces the
+// same benchmark bit-for-bit on any platform.  We use PCG32 (O'Neill,
+// 2014) rather than std::mt19937 because its output is identical across
+// standard library implementations and it is cheap to fork into
+// independent streams — forkability is what lets parallel pipeline
+// stages stay deterministic regardless of scheduling order.
+
+#include <cstdint>
+#include <limits>
+#include <string_view>
+#include <vector>
+
+namespace mcqa::util {
+
+/// splitmix64: used to expand a single user seed into stream seeds.
+constexpr std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// PCG32 generator: 64-bit state, 32-bit output, 2^63 selectable streams.
+class Rng {
+ public:
+  using result_type = std::uint32_t;
+
+  constexpr explicit Rng(std::uint64_t seed = 0x853c49e6748fea9bULL,
+                         std::uint64_t stream = 0xda3e39cb94b95bdbULL) noexcept
+      : state_(0), inc_((stream << 1u) | 1u) {
+    next();
+    state_ += seed;
+    next();
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  constexpr result_type operator()() noexcept { return next(); }
+
+  /// Uniform in [0, bound) without modulo bias (Lemire's method would be
+  /// faster; rejection keeps it obviously correct).
+  constexpr std::uint32_t bounded(std::uint32_t bound) noexcept {
+    if (bound <= 1) return 0;
+    const std::uint32_t threshold = (0u - bound) % bound;
+    for (;;) {
+      const std::uint32_t r = next();
+      if (r >= threshold) return r % bound;
+    }
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  constexpr std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) noexcept {
+    if (hi <= lo) return lo;
+    const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+    // Compose two 32-bit draws when the span exceeds 32 bits.
+    if (span <= std::numeric_limits<std::uint32_t>::max()) {
+      return lo + static_cast<std::int64_t>(bounded(static_cast<std::uint32_t>(span)));
+    }
+    const std::uint64_t r = (static_cast<std::uint64_t>(next()) << 32) | next();
+    return lo + static_cast<std::int64_t>(r % span);
+  }
+
+  /// Uniform double in [0, 1).
+  constexpr double uniform() noexcept {
+    return static_cast<double>(next()) * 0x1.0p-32;
+  }
+
+  /// Uniform double in [lo, hi).
+  constexpr double uniform(double lo, double hi) noexcept {
+    return lo + (hi - lo) * uniform();
+  }
+
+  /// Bernoulli draw.
+  constexpr bool chance(double p) noexcept { return uniform() < p; }
+
+  /// Standard normal via Box-Muller (polar-free variant; two uniforms).
+  double normal(double mean = 0.0, double stddev = 1.0) noexcept;
+
+  /// Zipf-distributed rank in [0, n) with exponent s.  Scientific topic
+  /// and entity frequencies are heavy-tailed; the corpus generator uses
+  /// this to mimic the skew of real literature.
+  std::size_t zipf(std::size_t n, double s = 1.1) noexcept;
+
+  /// Fork an independent stream keyed by `salt`.  Children are
+  /// statistically independent of the parent and of each other, which
+  /// makes per-item generators order-independent under parallelism.
+  constexpr Rng fork(std::uint64_t salt) const noexcept {
+    std::uint64_t s = state_ ^ (salt * 0x9e3779b97f4a7c15ULL);
+    const std::uint64_t seed = splitmix64(s);
+    const std::uint64_t stream = splitmix64(s);
+    return Rng(seed, stream);
+  }
+
+  /// Fork keyed by a string (e.g. a document id).
+  Rng fork(std::string_view salt) const noexcept;
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) noexcept {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      const std::size_t j = bounded(static_cast<std::uint32_t>(i));
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Sample k distinct indices from [0, n) (k <= n), in random order.
+  std::vector<std::size_t> sample_indices(std::size_t n, std::size_t k) noexcept;
+
+  /// Pick an index according to non-negative weights; returns n if all
+  /// weights are zero or the vector is empty.
+  std::size_t weighted_pick(const std::vector<double>& weights) noexcept;
+
+ private:
+  constexpr std::uint32_t next() noexcept {
+    const std::uint64_t old = state_;
+    state_ = old * 6364136223846793005ULL + inc_;
+    const auto xorshifted =
+        static_cast<std::uint32_t>(((old >> 18u) ^ old) >> 27u);
+    const auto rot = static_cast<std::uint32_t>(old >> 59u);
+    return (xorshifted >> rot) | (xorshifted << ((0u - rot) & 31u));
+  }
+
+  std::uint64_t state_;
+  std::uint64_t inc_;
+};
+
+}  // namespace mcqa::util

@@ -1,0 +1,26 @@
+#pragma once
+// Wall-clock stopwatch for throughput reporting in benches and the
+// scaling experiment.  Not used anywhere determinism matters.
+
+#include <chrono>
+
+namespace mcqa::util {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void reset() { start_ = Clock::now(); }
+
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double millis() const { return seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace mcqa::util

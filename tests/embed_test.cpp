@@ -1,0 +1,170 @@
+// Unit tests for the embedding substrate.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "embed/embedding_store.hpp"
+#include "embed/hashed_embedder.hpp"
+
+namespace mcqa::embed {
+namespace {
+
+TEST(VectorOps, DotAndNormalize) {
+  Vector a{3.0f, 4.0f};
+  normalize(a);
+  EXPECT_NEAR(std::sqrt(dot(a, a)), 1.0f, 1e-6f);
+  Vector zero{0.0f, 0.0f};
+  normalize(zero);  // must not produce NaN
+  EXPECT_EQ(zero[0], 0.0f);
+}
+
+TEST(VectorOps, L2Sq) {
+  const Vector a{1.0f, 0.0f};
+  const Vector b{0.0f, 1.0f};
+  EXPECT_FLOAT_EQ(l2_sq(a, b), 2.0f);
+  EXPECT_FLOAT_EQ(l2_sq(a, a), 0.0f);
+}
+
+TEST(HashedEmbedder, UnitNormOutput) {
+  const HashedNGramEmbedder emb;
+  const Vector v = emb.embed("ionizing radiation induces DNA damage");
+  EXPECT_EQ(v.size(), emb.dim());
+  EXPECT_NEAR(dot(v, v), 1.0f, 1e-5f);
+}
+
+TEST(HashedEmbedder, EmptyTextGivesZeroVector) {
+  const HashedNGramEmbedder emb;
+  const Vector v = emb.embed("");
+  for (const float x : v) EXPECT_EQ(x, 0.0f);
+}
+
+TEST(HashedEmbedder, Deterministic) {
+  const HashedNGramEmbedder emb;
+  EXPECT_EQ(emb.embed("TP53 activates apoptosis"),
+            emb.embed("TP53 activates apoptosis"));
+}
+
+TEST(HashedEmbedder, CaseAndPunctuationInvariant) {
+  const HashedNGramEmbedder emb;
+  const Vector a = emb.embed("TP53 activates apoptosis.");
+  const Vector b = emb.embed("tp53 ACTIVATES apoptosis");
+  EXPECT_NEAR(dot(a, b), 1.0f, 1e-5f);
+}
+
+TEST(HashedEmbedder, SimilarTextsScoreHigherThanDissimilar) {
+  const HashedNGramEmbedder emb;
+  const Vector q = emb.embed(
+      "Which factor activates apoptosis after ionizing radiation?");
+  const Vector relevant = emb.embed(
+      "Our data indicate that TP53 activates apoptosis in irradiated cells.");
+  const Vector unrelated = emb.embed(
+      "Samples were processed within thirty minutes of collection.");
+  EXPECT_GT(dot(q, relevant), dot(q, unrelated) + 0.1f);
+}
+
+TEST(HashedEmbedder, SeedChangesEmbedding) {
+  HashedEmbedderConfig c1;
+  HashedEmbedderConfig c2;
+  c2.seed = c1.seed + 1;
+  const HashedNGramEmbedder e1(c1);
+  const HashedNGramEmbedder e2(c2);
+  const Vector a = e1.embed("proton beams");
+  const Vector b = e2.embed("proton beams");
+  EXPECT_LT(std::fabs(dot(a, b)), 0.9f);
+}
+
+TEST(HashedEmbedder, DimensionConfigurable) {
+  HashedEmbedderConfig cfg;
+  cfg.dim = 64;
+  const HashedNGramEmbedder emb(cfg);
+  EXPECT_EQ(emb.embed("x y z").size(), 64u);
+}
+
+class EmbedderSimilarityOrder
+    : public ::testing::TestWithParam<std::tuple<const char*, const char*>> {};
+
+TEST_P(EmbedderSimilarityOrder, ParaphraseBeatsRandomPair) {
+  const HashedNGramEmbedder emb;
+  const auto [text, paraphrase] = GetParam();
+  const Vector a = emb.embed(text);
+  const Vector b = emb.embed(paraphrase);
+  const Vector noise = emb.embed(
+      "statistical significance was assessed with two-sided tests");
+  EXPECT_GT(dot(a, b), dot(a, noise));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Pairs, EmbedderSimilarityOrder,
+    ::testing::Values(
+        std::make_tuple("cisplatin radiosensitizes HeLa cells",
+                        "HeLa cells are radiosensitized by cisplatin"),
+        std::make_tuple("the half-life of iodine-131 is 8 days",
+                        "iodine-131 has a physical half-life of 8.02 days"),
+        std::make_tuple("homologous recombination repairs strand breaks",
+                        "strand breaks are repaired by homologous "
+                        "recombination")));
+
+TEST(EmbeddingStore, AddAndRetrieve) {
+  const HashedNGramEmbedder emb;
+  EmbeddingStore store(emb.dim());
+  const Vector v = emb.embed("alpha particles");
+  store.add("chunk_1", v);
+  EXPECT_EQ(store.size(), 1u);
+  EXPECT_EQ(store.id(0), "chunk_1");
+  const Vector back = store.vector(0);
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    EXPECT_NEAR(back[i], v[i], 2e-3f);
+  }
+}
+
+TEST(EmbeddingStore, DimMismatchRejected) {
+  EmbeddingStore store(16);
+  EXPECT_THROW(store.add("x", Vector(8, 0.0f)), std::invalid_argument);
+}
+
+TEST(EmbeddingStore, OutOfRangeRowThrows) {
+  EmbeddingStore store(4);
+  EXPECT_THROW(store.vector(0), std::out_of_range);
+}
+
+TEST(EmbeddingStore, StorageBytesAreFp16) {
+  EmbeddingStore store(256);
+  store.add("a", Vector(256, 0.5f));
+  store.add("b", Vector(256, 0.25f));
+  EXPECT_EQ(store.storage_bytes(), 2u * 256u * 2u);
+}
+
+TEST(EmbeddingStore, SaveLoadRoundTrip) {
+  const HashedNGramEmbedder emb;
+  EmbeddingStore store(emb.dim());
+  store.add("first", emb.embed("dose fractionation"));
+  store.add("second", emb.embed("tumor hypoxia"));
+  const EmbeddingStore loaded = EmbeddingStore::load(store.save());
+  ASSERT_EQ(loaded.size(), 2u);
+  EXPECT_EQ(loaded.id(1), "second");
+  EXPECT_EQ(loaded.vector(0), store.vector(0));
+}
+
+TEST(EmbeddingStore, LoadRejectsCorruptBlobs) {
+  EXPECT_THROW(EmbeddingStore::load("garbage"), std::runtime_error);
+  EXPECT_THROW(EmbeddingStore::load("embst1\n4 2\nonly_one_id\n"),
+               std::runtime_error);
+  // Truncated payload.
+  const HashedNGramEmbedder emb;
+  EmbeddingStore store(emb.dim());
+  store.add("x", emb.embed("text"));
+  std::string blob = store.save();
+  blob.resize(blob.size() - 10);
+  EXPECT_THROW(EmbeddingStore::load(blob), std::runtime_error);
+}
+
+TEST(EmbeddingStore, QuantizationErrorBounded) {
+  const HashedNGramEmbedder emb;
+  const Vector v = emb.embed("relative biological effectiveness of carbon");
+  // Unit-norm components are < 1; fp16 error there is < 2^-11.
+  EXPECT_LT(EmbeddingStore::quantization_error(v), 0x1.0p-10f);
+}
+
+}  // namespace
+}  // namespace mcqa::embed

@@ -1,0 +1,157 @@
+// Unit tests for the Astro exam synthesis and the math classifier.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "exam/astro_exam.hpp"
+
+namespace mcqa::exam {
+namespace {
+
+const corpus::KnowledgeBase& test_kb() {
+  static const corpus::KnowledgeBase kb = corpus::KnowledgeBase::generate(
+      corpus::KbConfig{.facts_per_topic = 20, .seed = 61, .math_fraction = 0.45});
+  return kb;
+}
+
+std::unordered_set<corpus::FactId> half_covered() {
+  std::unordered_set<corpus::FactId> covered;
+  for (const auto& f : test_kb().facts()) {
+    if (f.id % 2 == 0) covered.insert(f.id);
+  }
+  return covered;
+}
+
+const Exam& test_exam() {
+  static const Exam exam = [] {
+    const AstroExamBuilder builder(test_kb());
+    return builder.build(half_covered());
+  }();
+  return exam;
+}
+
+TEST(AstroExam, PaperCounts) {
+  const Exam& exam = test_exam();
+  EXPECT_EQ(exam.questions.size(), 337u);
+  std::size_t multimodal = 0;
+  for (const auto& q : exam.questions) multimodal += q.multimodal ? 1 : 0;
+  EXPECT_EQ(multimodal, 2u);
+  EXPECT_EQ(exam.usable().size(), 335u);
+}
+
+TEST(AstroExam, MathFractionNearTarget) {
+  const Exam& exam = test_exam();
+  std::size_t math = 0;
+  std::size_t usable = 0;
+  for (const auto& q : exam.questions) {
+    if (q.multimodal) continue;
+    ++usable;
+    math += q.math ? 1 : 0;
+  }
+  const double fraction = static_cast<double>(math) / usable;
+  EXPECT_NEAR(fraction, 0.436, 0.05);
+  // Paper: 189 of 335 are no-math.
+  EXPECT_NEAR(static_cast<double>(exam.no_math_truth().size()), 189.0, 20.0);
+}
+
+TEST(AstroExam, FiveOptionsPerQuestion) {
+  for (const auto& q : test_exam().questions) {
+    EXPECT_GE(q.record.options.size(), 4u);
+    EXPECT_LE(q.record.options.size(), 5u);
+    ASSERT_GE(q.record.correct_index, 0);
+    ASSERT_LT(q.record.correct_index,
+              static_cast<int>(q.record.options.size()));
+    EXPECT_EQ(q.record.answer,
+              q.record.options[static_cast<std::size_t>(
+                  q.record.correct_index)]);
+  }
+}
+
+TEST(AstroExam, RecordsFlaggedAsExamItems) {
+  for (const auto& q : test_exam().questions) {
+    EXPECT_TRUE(q.record.exam_item);
+    EXPECT_GT(q.record.ambiguity, 0.0);
+    EXPECT_LT(q.record.ambiguity, 0.1);  // expert exams are mostly clean
+    EXPECT_EQ(q.record.path, "exam/astro_2023_study_guide.pdf");
+  }
+}
+
+TEST(AstroExam, UniqueRecordIds) {
+  std::set<std::string> ids;
+  for (const auto& q : test_exam().questions) {
+    EXPECT_TRUE(ids.insert(q.record.record_id).second);
+  }
+}
+
+TEST(AstroExam, MathFlagsConsistent) {
+  for (const auto& q : test_exam().questions) {
+    EXPECT_EQ(q.math, q.record.math);
+  }
+}
+
+TEST(AstroExam, MultimodalStemsMentionVisuals) {
+  for (const auto& q : test_exam().questions) {
+    if (!q.multimodal) continue;
+    EXPECT_NE(q.record.stem.find("figure"), std::string::npos);
+  }
+}
+
+TEST(AstroExam, DeterministicAcrossBuilds) {
+  const AstroExamBuilder builder(test_kb());
+  const Exam a = builder.build(half_covered());
+  const Exam b = builder.build(half_covered());
+  ASSERT_EQ(a.questions.size(), b.questions.size());
+  for (std::size_t i = 0; i < a.questions.size(); ++i) {
+    EXPECT_EQ(a.questions[i].record.question, b.questions[i].record.question);
+    EXPECT_EQ(a.questions[i].record.correct_index,
+              b.questions[i].record.correct_index);
+  }
+}
+
+TEST(AstroExam, MixesCoveredAndUncoveredFacts) {
+  const auto covered = half_covered();
+  std::size_t covered_count = 0;
+  std::size_t uncovered_count = 0;
+  for (const auto& q : test_exam().questions) {
+    if (q.math || q.multimodal) continue;
+    (covered.contains(q.record.fact) ? covered_count : uncovered_count)++;
+  }
+  EXPECT_GT(covered_count, 0u);
+  EXPECT_GT(uncovered_count, 0u);
+  // covered_fraction default is 0.9: covered should dominate.
+  EXPECT_GT(covered_count, uncovered_count);
+}
+
+TEST(MathClassifier, PerfectAccuracyMatchesTruth) {
+  const MathClassifier perfect(1.0);
+  const Exam& exam = test_exam();
+  EXPECT_EQ(perfect.no_math_subset(exam).size(), exam.no_math_truth().size());
+}
+
+TEST(MathClassifier, NoisyClassifierApproximatesTruth) {
+  const MathClassifier noisy(0.95);
+  const Exam& exam = test_exam();
+  const auto subset = noisy.no_math_subset(exam);
+  const auto truth = exam.no_math_truth();
+  const double diff = std::fabs(static_cast<double>(subset.size()) -
+                                static_cast<double>(truth.size()));
+  EXPECT_LT(diff, 40.0);
+  EXPECT_NE(subset.size(), 0u);
+}
+
+TEST(MathClassifier, Deterministic) {
+  const MathClassifier c(0.9);
+  const auto& record = test_exam().questions.front().record;
+  EXPECT_EQ(c.classify(record, true), c.classify(record, true));
+}
+
+TEST(MathClassifier, ZeroAccuracyInverts) {
+  const MathClassifier inverted(0.0);
+  const auto& q = test_exam().questions.front();
+  EXPECT_EQ(inverted.classify(q.record, q.math), !q.math);
+}
+
+}  // namespace
+}  // namespace mcqa::exam

@@ -1,0 +1,219 @@
+// Tests for the extension features: IVF/HNSW serialization, trace
+// grading, JSONL helpers, CLI-facing artifact round trips.
+
+#include <gtest/gtest.h>
+
+#include "index/vector_index.hpp"
+#include "json/json.hpp"
+#include "qgen/mcq_record.hpp"
+#include "trace/trace_grading.hpp"
+#include "trace/trace_record.hpp"
+#include "util/rng.hpp"
+
+namespace mcqa {
+namespace {
+
+std::vector<embed::Vector> random_unit_vectors(std::size_t n, std::size_t dim,
+                                               std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<embed::Vector> out;
+  for (std::size_t i = 0; i < n; ++i) {
+    embed::Vector v(dim);
+    for (auto& x : v) x = static_cast<float>(rng.normal());
+    embed::normalize(v);
+    out.push_back(std::move(v));
+  }
+  return out;
+}
+
+// --- index serialization --------------------------------------------------------
+
+TEST(IvfIo, SaveLoadPreservesSearchResults) {
+  constexpr std::size_t kDim = 16;
+  const auto data = random_unit_vectors(400, kDim, 71);
+  index::IvfConfig cfg;
+  cfg.nlist = 16;
+  cfg.nprobe = 4;
+  index::IvfIndex idx(kDim, cfg);
+  for (const auto& v : data) idx.add(v);
+  idx.build();
+
+  const index::IvfIndex loaded = index::IvfIndex::load(idx.save());
+  EXPECT_EQ(loaded.size(), idx.size());
+  EXPECT_EQ(loaded.nlist(), idx.nlist());
+  const auto q = random_unit_vectors(1, kDim, 72)[0];
+  const auto a = idx.search(q, 8);
+  const auto b = loaded.search(q, 8);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].row, b[i].row);
+    EXPECT_FLOAT_EQ(a[i].score, b[i].score);
+  }
+}
+
+TEST(IvfIo, SaveBeforeBuildThrows) {
+  index::IvfIndex idx(8);
+  idx.add(embed::Vector(8, 0.5f));
+  EXPECT_THROW(idx.save(), std::logic_error);
+}
+
+TEST(IvfIo, LoadRejectsGarbage) {
+  EXPECT_THROW(index::IvfIndex::load("garbage"), std::runtime_error);
+  EXPECT_THROW(index::IvfIndex::load("ivfidx1\nshort"), std::runtime_error);
+}
+
+TEST(HnswIo, SaveLoadPreservesSearchResults) {
+  constexpr std::size_t kDim = 16;
+  const auto data = random_unit_vectors(400, kDim, 73);
+  index::HnswIndex idx(kDim);
+  for (const auto& v : data) idx.add(v);
+
+  const index::HnswIndex loaded = index::HnswIndex::load(idx.save());
+  EXPECT_EQ(loaded.size(), idx.size());
+  const auto q = random_unit_vectors(1, kDim, 74)[0];
+  const auto a = idx.search(q, 8);
+  const auto b = loaded.search(q, 8);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].row, b[i].row);
+  }
+}
+
+TEST(HnswIo, EmptyIndexRoundTrips) {
+  index::HnswIndex idx(8);
+  const index::HnswIndex loaded = index::HnswIndex::load(idx.save());
+  EXPECT_EQ(loaded.size(), 0u);
+  EXPECT_TRUE(loaded.search(embed::Vector(8, 0.1f), 3).empty());
+}
+
+TEST(HnswIo, LoadRejectsCorruptLinks) {
+  index::HnswIndex idx(4);
+  idx.add(embed::Vector{1.0f, 0.0f, 0.0f, 0.0f});
+  idx.add(embed::Vector{0.0f, 1.0f, 0.0f, 0.0f});
+  std::string blob = idx.save();
+  // Flip every byte of the tail section to produce invalid structure.
+  for (std::size_t i = blob.size() - 8; i < blob.size(); ++i) {
+    blob[i] = static_cast<char>(0xff);
+  }
+  EXPECT_THROW(index::HnswIndex::load(blob), std::runtime_error);
+}
+
+// --- trace grading ----------------------------------------------------------------
+
+trace::TraceRecord graded_fixture(const std::string& predicted) {
+  trace::TraceRecord t;
+  t.trace_id = "t_test";
+  t.question = "Which agent?";
+  t.options = {"cisplatin", "amifostine", "caffeine"};
+  t.correct_answer_index = 0;
+  t.correct_answer = "cisplatin";
+  t.mode = trace::TraceMode::kEfficient;
+  t.prediction.predicted_answer = predicted;
+  return t;
+}
+
+TEST(TraceGrading, CorrectPredictionGraded) {
+  trace::TraceRecord t = graded_fixture("cisplatin");
+  trace::grade_trace(t);
+  ASSERT_TRUE(t.has_grading);
+  EXPECT_TRUE(t.grading.is_correct);
+  EXPECT_EQ(t.grading.extracted_option_number, 1);
+  EXPECT_EQ(t.grading.correct_option_number, 1);
+}
+
+TEST(TraceGrading, WrongPredictionGraded) {
+  trace::TraceRecord t = graded_fixture("caffeine");
+  trace::grade_trace(t);
+  EXPECT_FALSE(t.grading.is_correct);
+  EXPECT_EQ(t.grading.extracted_option_number, 3);
+}
+
+TEST(TraceGrading, FuzzyPredictionMatches) {
+  trace::TraceRecord t = graded_fixture("Cisplatin.");
+  trace::grade_trace(t);
+  EXPECT_TRUE(t.grading.is_correct);
+}
+
+TEST(TraceGrading, UnmatchablePrediction) {
+  trace::TraceRecord t = graded_fixture("something entirely different");
+  trace::grade_trace(t);
+  EXPECT_FALSE(t.grading.is_correct);
+  EXPECT_EQ(t.grading.extracted_option_number, -1);
+}
+
+TEST(TraceGrading, GradeAllAndFilter) {
+  std::vector<trace::TraceRecord> traces;
+  traces.push_back(graded_fixture("cisplatin"));
+  traces.push_back(graded_fixture("caffeine"));
+  traces.push_back(graded_fixture("cisplatin"));
+  const trace::TraceGradingStats stats = trace::grade_all(traces);
+  EXPECT_EQ(stats.graded, 3u);
+  EXPECT_EQ(stats.correct, 2u);
+  EXPECT_NEAR(stats.accuracy(), 2.0 / 3.0, 1e-12);
+  EXPECT_EQ(trace::filter_incorrect(traces), 1u);
+  EXPECT_EQ(traces.size(), 2u);
+  for (const auto& t : traces) EXPECT_TRUE(t.grading.is_correct);
+}
+
+TEST(TraceGrading, FilterLeavesUngradedAlone) {
+  std::vector<trace::TraceRecord> traces;
+  traces.push_back(graded_fixture("caffeine"));  // ungraded
+  EXPECT_EQ(trace::filter_incorrect(traces), 0u);
+  EXPECT_EQ(traces.size(), 1u);
+}
+
+// --- JSONL ------------------------------------------------------------------------
+
+TEST(Jsonl, RoundTrip) {
+  std::vector<json::Value> docs;
+  for (int i = 0; i < 5; ++i) {
+    json::Value v = json::Value::object();
+    v["i"] = i;
+    v["text"] = "line " + std::to_string(i);
+    docs.push_back(std::move(v));
+  }
+  const std::string blob = json::dump_jsonl(docs);
+  const auto back = json::parse_jsonl(blob);
+  ASSERT_EQ(back.size(), docs.size());
+  for (std::size_t i = 0; i < docs.size(); ++i) {
+    EXPECT_TRUE(back[i] == docs[i]);
+  }
+}
+
+TEST(Jsonl, SkipsBlankLines) {
+  const auto docs = json::parse_jsonl("{\"a\":1}\n\n  \n{\"b\":2}\n");
+  ASSERT_EQ(docs.size(), 2u);
+  EXPECT_EQ(docs[1].at("b").as_int(), 2);
+}
+
+TEST(Jsonl, EmptyInput) {
+  EXPECT_TRUE(json::parse_jsonl("").empty());
+  EXPECT_TRUE(json::parse_jsonl("\n\n").empty());
+}
+
+TEST(Jsonl, BadLineThrows) {
+  EXPECT_THROW(json::parse_jsonl("{\"ok\":1}\nnot json\n"), json::ParseError);
+}
+
+TEST(Jsonl, McqRecordArtifactRoundTrip) {
+  // The exact artifact flow the CLI uses: records -> jsonl -> records.
+  std::vector<json::Value> docs;
+  for (int i = 0; i < 3; ++i) {
+    qgen::McqRecord r;
+    r.record_id = "q_" + std::to_string(i);
+    r.stem = "Stem " + std::to_string(i) + "?";
+    r.options = {"a", "b", "c"};
+    r.correct_index = i % 3;
+    r.answer = r.options[static_cast<std::size_t>(r.correct_index)];
+    r.question = qgen::McqRecord::render_question(r.stem, r.options);
+    docs.push_back(r.to_json());
+  }
+  const auto back = json::parse_jsonl(json::dump_jsonl(docs));
+  ASSERT_EQ(back.size(), 3u);
+  const qgen::McqRecord r1 = qgen::McqRecord::from_json(back[1]);
+  EXPECT_EQ(r1.record_id, "q_1");
+  EXPECT_EQ(r1.correct_index, 1);
+}
+
+}  // namespace
+}  // namespace mcqa

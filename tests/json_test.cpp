@@ -1,0 +1,211 @@
+// Unit tests for the in-tree JSON value model, parser and writer.
+
+#include <gtest/gtest.h>
+
+#include "json/json.hpp"
+
+namespace mcqa::json {
+namespace {
+
+TEST(JsonValue, TypePredicates) {
+  EXPECT_TRUE(Value().is_null());
+  EXPECT_TRUE(Value(true).is_bool());
+  EXPECT_TRUE(Value(3).is_int());
+  EXPECT_TRUE(Value(3.5).is_double());
+  EXPECT_TRUE(Value(3).is_number());
+  EXPECT_TRUE(Value("x").is_string());
+  EXPECT_TRUE(Value(Array{}).is_array());
+  EXPECT_TRUE(Value(Object{}).is_object());
+}
+
+TEST(JsonValue, AccessorsWidenInts) {
+  EXPECT_DOUBLE_EQ(Value(3).as_double(), 3.0);
+  EXPECT_EQ(Value(3.0).as_int(), 3);
+  EXPECT_THROW(Value(3.5).as_int(), TypeError);
+  EXPECT_THROW(Value("x").as_double(), TypeError);
+}
+
+TEST(JsonValue, ObjectInsertionOrderPreserved) {
+  Value v = Value::object();
+  v["zebra"] = 1;
+  v["apple"] = 2;
+  v["mid"] = 3;
+  const std::string out = v.dump();
+  const auto z = out.find("zebra");
+  const auto a = out.find("apple");
+  const auto m = out.find("mid");
+  EXPECT_LT(z, a);
+  EXPECT_LT(a, m);
+}
+
+TEST(JsonValue, ObjectFindAndErase) {
+  Object o;
+  o["a"] = 1;
+  o["b"] = 2;
+  o["c"] = 3;
+  EXPECT_TRUE(o.contains("b"));
+  EXPECT_TRUE(o.erase("b"));
+  EXPECT_FALSE(o.contains("b"));
+  EXPECT_FALSE(o.erase("b"));
+  // Index integrity after erase.
+  EXPECT_EQ(o.at("c").as_int(), 3);
+  EXPECT_EQ(o.size(), 2u);
+}
+
+TEST(JsonValue, ObjectEqualityOrderInsensitive) {
+  Object a;
+  a["x"] = 1;
+  a["y"] = 2;
+  Object b;
+  b["y"] = 2;
+  b["x"] = 1;
+  EXPECT_TRUE(a == b);
+}
+
+TEST(JsonValue, GetOrDefaults) {
+  Value v = Value::object();
+  v["present"] = "yes";
+  v["num"] = 4;
+  v["flag"] = true;
+  EXPECT_EQ(v.get_or("present", "no"), "yes");
+  EXPECT_EQ(v.get_or("absent", "no"), "no");
+  EXPECT_EQ(v.get_or("num", std::int64_t{0}), 4);
+  EXPECT_EQ(v.get_or("absent", std::int64_t{7}), 7);
+  EXPECT_TRUE(v.get_or("flag", false));
+  EXPECT_DOUBLE_EQ(v.get_or("absent", 2.5), 2.5);
+  // Type mismatch falls back too.
+  EXPECT_EQ(v.get_or("num", "fallback"), "fallback");
+}
+
+TEST(JsonParse, Scalars) {
+  EXPECT_TRUE(Value::parse("null").is_null());
+  EXPECT_EQ(Value::parse("true").as_bool(), true);
+  EXPECT_EQ(Value::parse("false").as_bool(), false);
+  EXPECT_EQ(Value::parse("42").as_int(), 42);
+  EXPECT_EQ(Value::parse("-17").as_int(), -17);
+  EXPECT_DOUBLE_EQ(Value::parse("3.25").as_double(), 3.25);
+  EXPECT_DOUBLE_EQ(Value::parse("1e3").as_double(), 1000.0);
+  EXPECT_DOUBLE_EQ(Value::parse("-2.5E-2").as_double(), -0.025);
+  EXPECT_EQ(Value::parse("\"hi\"").as_string(), "hi");
+}
+
+TEST(JsonParse, NestedStructure) {
+  const Value v = Value::parse(R"({"a": [1, 2, {"b": null}], "c": "d"})");
+  EXPECT_EQ(v.at("a").as_array().size(), 3u);
+  EXPECT_TRUE(v.at("a").at(2).at("b").is_null());
+  EXPECT_EQ(v.at("c").as_string(), "d");
+}
+
+TEST(JsonParse, StringEscapes) {
+  const Value v = Value::parse(R"("a\nb\t\"q\"\\x\/")");
+  EXPECT_EQ(v.as_string(), "a\nb\t\"q\"\\x/");
+}
+
+TEST(JsonParse, UnicodeEscapes) {
+  EXPECT_EQ(Value::parse(R"("A")").as_string(), "A");
+  // 2-byte UTF-8.
+  EXPECT_EQ(Value::parse(R"("é")").as_string(), "\xc3\xa9");
+  // Surrogate pair -> 4-byte UTF-8 (U+1F600).
+  EXPECT_EQ(Value::parse(R"("😀")").as_string(),
+            "\xf0\x9f\x98\x80");
+}
+
+TEST(JsonParse, Whitespace) {
+  const Value v = Value::parse("  {\n \"a\" :\t[ ]\r\n}  ");
+  EXPECT_TRUE(v.at("a").as_array().empty());
+}
+
+TEST(JsonParse, Errors) {
+  EXPECT_THROW(Value::parse(""), ParseError);
+  EXPECT_THROW(Value::parse("{"), ParseError);
+  EXPECT_THROW(Value::parse("[1,]"), ParseError);
+  EXPECT_THROW(Value::parse("tru"), ParseError);
+  EXPECT_THROW(Value::parse("\"unterminated"), ParseError);
+  EXPECT_THROW(Value::parse("1 2"), ParseError);  // trailing garbage
+  EXPECT_THROW(Value::parse("{\"a\":1,\"a\":2}"), ParseError);  // dup key
+  EXPECT_THROW(Value::parse("\"bad\\q\""), ParseError);
+  EXPECT_THROW(Value::parse("-"), ParseError);
+  EXPECT_THROW(Value::parse("\"\x01\""), ParseError);  // raw control char
+}
+
+TEST(JsonParse, ErrorCarriesOffset) {
+  try {
+    Value::parse("[1, 2, oops]");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_GT(e.offset(), 0u);
+  }
+}
+
+TEST(JsonDump, CompactAndPretty) {
+  Value v = Value::object();
+  v["a"] = Value::array({1, 2});
+  EXPECT_EQ(v.dump(), R"({"a":[1,2]})");
+  const std::string pretty = v.dump(2);
+  EXPECT_NE(pretty.find("\n"), std::string::npos);
+  EXPECT_NE(pretty.find("  \"a\""), std::string::npos);
+}
+
+TEST(JsonDump, EscapesControlCharacters) {
+  const Value v(std::string("a\x01" "b\nc"));
+  const std::string out = v.dump();
+  EXPECT_NE(out.find("\\u0001"), std::string::npos);
+  EXPECT_NE(out.find("\\n"), std::string::npos);
+}
+
+TEST(JsonDump, NanAndInfBecomeNull) {
+  EXPECT_EQ(Value(std::numeric_limits<double>::quiet_NaN()).dump(), "null");
+  EXPECT_EQ(Value(std::numeric_limits<double>::infinity()).dump(), "null");
+}
+
+class JsonRoundTrip : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(JsonRoundTrip, ParseDumpParseIsIdentity) {
+  const Value v1 = Value::parse(GetParam());
+  const Value v2 = Value::parse(v1.dump());
+  EXPECT_TRUE(v1 == v2) << GetParam();
+  // Pretty printing round-trips too.
+  const Value v3 = Value::parse(v1.dump(2));
+  EXPECT_TRUE(v1 == v3);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Documents, JsonRoundTrip,
+    ::testing::Values(
+        "null", "true", "0", "-1", "3.5", "\"s\"", "[]", "{}",
+        R"([1, "two", 3.0, false, null])",
+        R"({"nested": {"deep": {"deeper": [1, [2, [3]]]}}})",
+        R"({"question": "What is p53?", "options": ["a", "b"], "idx": 2})",
+        R"({"unicode": "éß", "esc": "line\nbreak"})",
+        R"({"big": 9007199254740993, "neg": -9007199254740993})",
+        R"({"sci": 6.022e23, "tiny": 1.6e-19})"));
+
+TEST(JsonRoundTripDoubles, ShortestRepresentation) {
+  // 0.1 must round-trip exactly through the trimmed writer.
+  const Value v = Value::parse("0.1");
+  EXPECT_DOUBLE_EQ(Value::parse(v.dump()).as_double(), 0.1);
+}
+
+TEST(JsonValue, DeepNestingParses) {
+  std::string deep;
+  for (int i = 0; i < 200; ++i) deep += "[";
+  deep += "1";
+  for (int i = 0; i < 200; ++i) deep += "]";
+  const Value v = Value::parse(deep);
+  const Value* cur = &v;
+  for (int i = 0; i < 200; ++i) cur = &cur->at(std::size_t{0});
+  EXPECT_EQ(cur->as_int(), 1);
+}
+
+TEST(JsonValue, ArrayIndexOutOfRange) {
+  const Value v = Value::parse("[1]");
+  EXPECT_THROW(v.at(std::size_t{5}), TypeError);
+}
+
+TEST(JsonValue, MissingKeyThrows) {
+  const Value v = Value::parse("{}");
+  EXPECT_THROW(v.at("nope"), TypeError);
+}
+
+}  // namespace
+}  // namespace mcqa::json

@@ -1,0 +1,427 @@
+// Unit tests for the model layer: registry, student mechanics, teacher
+// oracle, n-gram backend.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "chunk/chunker.hpp"
+#include "corpus/fact_matcher.hpp"
+#include "corpus/realization.hpp"
+#include "llm/model_spec.hpp"
+#include "llm/ngram_lm.hpp"
+#include "llm/student_model.hpp"
+#include "llm/teacher_model.hpp"
+
+namespace mcqa::llm {
+namespace {
+
+const corpus::KnowledgeBase& test_kb() {
+  static const corpus::KnowledgeBase kb = corpus::KnowledgeBase::generate(
+      corpus::KbConfig{.facts_per_topic = 14, .seed = 21, .math_fraction = 0.4});
+  return kb;
+}
+
+const corpus::FactMatcher& test_matcher() {
+  static const corpus::FactMatcher matcher(test_kb());
+  return matcher;
+}
+
+chunk::Chunk fact_chunk(corpus::FactId fid) {
+  chunk::Chunk c;
+  c.chunk_id = "testchunk_" + std::to_string(fid);
+  c.doc_id = "doc";
+  c.path = "corpus/doc.spdf";
+  c.text = "Irradiated cultures were assayed in triplicate. " +
+           corpus::realize_statement(test_kb(), test_kb().fact(fid), 0) +
+           " Additional observations were recorded for completeness.";
+  c.word_count = 30;
+  return c;
+}
+
+McqTask simple_task(int correct = 1, std::size_t options = 7) {
+  McqTask task;
+  task.id = "task_1";
+  task.stem = "Which factor activates apoptosis after irradiation?";
+  for (std::size_t i = 0; i < options; ++i) {
+    task.options.push_back("option " + std::to_string(i));
+  }
+  task.correct_index = correct;
+  task.fact = test_kb().facts().front().id;
+  task.has_fact = true;
+  task.fact_importance = 0.8;
+  return task;
+}
+
+// --- registry / Table 1 -----------------------------------------------------------
+
+TEST(Registry, HasEightModelsInPaperOrder) {
+  const auto& reg = student_registry();
+  ASSERT_EQ(reg.size(), 8u);
+  EXPECT_EQ(reg[0].spec.name, "OLMo-7B");
+  EXPECT_EQ(reg[1].spec.name, "TinyLlama-1.1B-Chat");
+  EXPECT_EQ(reg[7].spec.name, "Qwen-1.5-14B-Chat");
+}
+
+TEST(Registry, Table1SpecsMatchPaper) {
+  EXPECT_EQ(student_card("OLMo-7B").spec.context_window, 2048u);
+  EXPECT_EQ(student_card("TinyLlama-1.1B-Chat").spec.params_billions, 1.1);
+  EXPECT_EQ(student_card("Gemma 3 4B-IT").spec.context_window, 128000u);
+  EXPECT_EQ(student_card("Gemma 3 4B-IT").spec.release_year, 2025);
+  EXPECT_EQ(student_card("SmolLM3-3B").spec.context_window, 32768u);
+  EXPECT_EQ(student_card("Mistral-7B-Instruct-v0.3").spec.context_window,
+            4096u);
+  EXPECT_EQ(student_card("Llama-3-8B-Instruct").spec.context_window, 8192u);
+  EXPECT_EQ(student_card("Llama-3.1-8B-Instruct").spec.context_window,
+            32768u);
+  EXPECT_EQ(student_card("Qwen-1.5-14B-Chat").spec.params_billions, 14.0);
+}
+
+TEST(Registry, UnknownModelThrows) {
+  EXPECT_THROW(student_card("GPT-7"), std::out_of_range);
+}
+
+TEST(Registry, ProfilesInValidRanges) {
+  for (const auto& card : student_registry()) {
+    const StudentProfile& p = card.profile;
+    for (const double v :
+         {p.knowledge, p.extraction, p.elimination, p.chunk_distraction,
+          p.trace_math_confusion, p.arithmetic, p.abstraction, p.transfer,
+          p.format_reliability, p.trace_elimination_boost}) {
+      EXPECT_GE(v, 0.0);
+      EXPECT_LE(v, 1.0);
+    }
+    EXPECT_GE(p.exam_familiarity, -1.0);
+    EXPECT_LE(p.exam_familiarity, 1.0);
+  }
+}
+
+// --- student model ------------------------------------------------------------------
+
+TEST(Student, DeterministicAnswers) {
+  const StudentModel model(student_card("Mistral-7B-Instruct-v0.3"));
+  const McqTask task = simple_task();
+  const AnswerResult a = model.answer(task);
+  const AnswerResult b = model.answer(task);
+  EXPECT_EQ(a.text, b.text);
+  EXPECT_EQ(a.chosen_index, b.chosen_index);
+}
+
+TEST(Student, DifferentTasksDifferentStreams) {
+  const StudentModel model(student_card("OLMo-7B"));
+  McqTask t1 = simple_task();
+  McqTask t2 = simple_task();
+  t2.id = "task_2";
+  // Not asserting inequality of answers (could legitimately match), but
+  // the decision stream must be keyed by id: run many ids and expect
+  // variation in chosen options.
+  std::set<int> chosen;
+  for (int i = 0; i < 40; ++i) {
+    McqTask t = simple_task();
+    t.id = "task_" + std::to_string(i);
+    t.has_fact = false;  // force guessing
+    chosen.insert(model.answer(t).chosen_index);
+  }
+  EXPECT_GT(chosen.size(), 2u);
+}
+
+TEST(Student, KnowsFactIsStable) {
+  const StudentModel model(student_card("Llama-3-8B-Instruct"));
+  for (const auto& f : test_kb().facts()) {
+    EXPECT_EQ(model.knows_fact(f.id, f.importance),
+              model.knows_fact(f.id, f.importance));
+  }
+}
+
+TEST(Student, KnowledgeScalesWithProfile) {
+  // Count known facts for a weak vs a strong model.
+  const StudentModel weak(student_card("TinyLlama-1.1B-Chat"));
+  const StudentModel strong(student_card("Llama-3-8B-Instruct"));
+  std::size_t weak_known = 0;
+  std::size_t strong_known = 0;
+  for (const auto& f : test_kb().facts()) {
+    weak_known += weak.knows_fact(f.id, f.importance) ? 1 : 0;
+    strong_known += strong.knows_fact(f.id, f.importance) ? 1 : 0;
+  }
+  EXPECT_GT(strong_known, weak_known * 3);
+}
+
+TEST(Student, ExamFamiliarityShiftsKnowledge) {
+  const StudentModel model(student_card("Gemma 3 4B-IT"));  // familiarity < 0
+  std::size_t base = 0;
+  std::size_t exam = 0;
+  for (const auto& f : test_kb().facts()) {
+    base += model.knows_fact(f.id, f.importance, false) ? 1 : 0;
+    exam += model.knows_fact(f.id, f.importance, true) ? 1 : 0;
+  }
+  EXPECT_LT(exam, base);
+}
+
+TEST(Student, ExtractsFromHighSaliencyContext) {
+  const StudentModel model(student_card("Llama-3.1-8B-Instruct"));
+  std::size_t correct = 0;
+  const int trials = 200;
+  for (int i = 0; i < trials; ++i) {
+    McqTask task = simple_task();
+    task.id = "ctx_" + std::to_string(i);
+    task.fact = test_kb().facts()[static_cast<std::size_t>(i) %
+                                  test_kb().facts().size()]
+                    .id;
+    task.context = "relevant context";
+    task.context_has_fact = true;
+    task.context_saliency = 0.9;
+    const AnswerResult r = model.answer(task);
+    correct += (r.chosen_index == task.correct_index) ? 1 : 0;
+  }
+  EXPECT_GT(correct, trials * 3 / 4);
+}
+
+TEST(Student, MisleadingContextHurtsSusceptibleModel) {
+  const auto run = [&](const char* name) {
+    const StudentModel model(student_card(name));
+    std::size_t misled_picks = 0;
+    const int trials = 300;
+    for (int i = 0; i < trials; ++i) {
+      McqTask task = simple_task();
+      task.id = "mis_" + std::to_string(i);
+      task.has_fact = false;  // nothing to recall
+      task.context = "near-miss context";
+      task.context_misleading_options = {3};
+      task.context_mislead_strength = 1.0;
+      const AnswerResult r = model.answer(task);
+      misled_picks += (r.chosen_index == 3) ? 1 : 0;
+    }
+    return misled_picks;
+  };
+  // OLMo (chunk_distraction 0.95) vs SmolLM3 (0.08).
+  EXPECT_GT(run("OLMo-7B"), run("SmolLM3-3B") * 3);
+}
+
+TEST(Student, MathWithoutSkillFails) {
+  const StudentModel model(student_card("TinyLlama-1.1B-Chat"));
+  std::size_t correct = 0;
+  for (int i = 0; i < 200; ++i) {
+    McqTask task = simple_task();
+    task.id = "math_" + std::to_string(i);
+    task.math = true;
+    correct += (model.answer(task).chosen_index == task.correct_index) ? 1 : 0;
+  }
+  EXPECT_LT(correct, 60u);
+}
+
+TEST(Student, WorkedMathInContextHelps) {
+  const StudentModel model(student_card("SmolLM3-3B"));
+  const auto accuracy = [&](bool worked) {
+    std::size_t correct = 0;
+    const int trials = 300;
+    for (int i = 0; i < trials; ++i) {
+      McqTask task = simple_task();
+      task.id = (worked ? "w_" : "nw_") + std::to_string(i);
+      task.math = true;
+      task.context = "trace context";
+      task.context_is_trace = true;
+      task.context_has_fact = true;
+      task.context_saliency = 0.5;
+      task.context_has_worked_math = worked;
+      correct +=
+          (model.answer(task).chosen_index == task.correct_index) ? 1 : 0;
+    }
+    return correct;
+  };
+  EXPECT_GT(accuracy(true), accuracy(false) + 30);
+}
+
+TEST(Student, TraceMathConfusionCopiesStaleArithmetic) {
+  const StudentModel model(student_card("Llama-3-8B-Instruct"));  // 0.85
+  std::size_t wrong = 0;
+  const int trials = 300;
+  for (int i = 0; i < trials; ++i) {
+    McqTask task = simple_task();
+    task.id = "stale_" + std::to_string(i);
+    task.math = true;
+    task.context = "retrieved trace for other numbers";
+    task.context_is_trace = true;
+    const AnswerResult r = model.answer(task);
+    wrong += (r.chosen_index >= 0 && r.chosen_index != task.correct_index)
+                 ? 1
+                 : 0;
+  }
+  EXPECT_GT(wrong, trials / 2);
+}
+
+TEST(Student, AmbiguousItemsCapEveryone) {
+  const StudentModel model(student_card("Llama-3.1-8B-Instruct"));
+  std::size_t correct = 0;
+  const int trials = 400;
+  for (int i = 0; i < trials; ++i) {
+    McqTask task = simple_task();
+    task.id = "amb_" + std::to_string(i);
+    task.ambiguity = 1.0;  // every item flawed
+    correct += (model.answer(task).chosen_index == task.correct_index) ? 1 : 0;
+  }
+  // Flawed items coin-flip: far below this model's normal ceiling.
+  EXPECT_NEAR(static_cast<double>(correct) / trials, 0.5, 0.1);
+}
+
+TEST(Student, EmptyOptionsHandled) {
+  const StudentModel model(student_card("OLMo-7B"));
+  McqTask task;
+  task.id = "empty";
+  const AnswerResult r = model.answer(task);
+  EXPECT_EQ(r.chosen_index, -1);
+  EXPECT_FALSE(r.text.empty());
+}
+
+// --- teacher oracle --------------------------------------------------------------------
+
+TEST(Teacher, GeneratesValidMcqFromFactChunk) {
+  const TeacherModel teacher(test_kb(), test_matcher());
+  const auto draft = teacher.generate_mcq(fact_chunk(test_kb().facts()[3].id));
+  ASSERT_TRUE(draft.has_value());
+  EXPECT_GE(draft->options.size(), 4u);
+  ASSERT_GE(draft->correct_index, 0);
+  ASSERT_LT(draft->correct_index, static_cast<int>(draft->options.size()));
+  std::set<std::string> unique(draft->options.begin(), draft->options.end());
+  EXPECT_EQ(unique.size(), draft->options.size());
+  EXPECT_FALSE(draft->stem.empty());
+  EXPECT_FALSE(draft->key_principle.empty());
+}
+
+TEST(Teacher, SevenOptionsWhenPoolAllows) {
+  const TeacherModel teacher(test_kb(), test_matcher());
+  std::size_t seven = 0;
+  std::size_t total = 0;
+  for (const auto& f : test_kb().facts()) {
+    const auto draft = teacher.generate_mcq(fact_chunk(f.id));
+    if (!draft.has_value()) continue;
+    ++total;
+    seven += draft->options.size() == 7 ? 1 : 0;
+  }
+  ASSERT_GT(total, 0u);
+  EXPECT_GT(seven * 10, total * 7);  // >70% have the full 7 options
+}
+
+TEST(Teacher, NoMcqFromFillerChunk) {
+  const TeacherModel teacher(test_kb(), test_matcher());
+  chunk::Chunk filler;
+  filler.chunk_id = "filler_1";
+  filler.text =
+      "Experiments were performed in triplicate and repeated on three "
+      "independent occasions. Statistical significance was assessed.";
+  EXPECT_FALSE(teacher.generate_mcq(filler).has_value());
+}
+
+TEST(Teacher, QualityScoresBounded) {
+  const TeacherModel teacher(test_kb(), test_matcher());
+  for (const auto& f : test_kb().facts()) {
+    const chunk::Chunk c = fact_chunk(f.id);
+    const auto draft = teacher.generate_mcq(c);
+    if (!draft.has_value()) continue;
+    const ScoreCheck q = teacher.quality_check(*draft, c);
+    EXPECT_GE(q.score, 1.0);
+    EXPECT_LE(q.score, 10.0);
+  }
+}
+
+TEST(Teacher, RelevanceSeparatesFactFromFiller) {
+  const TeacherModel teacher(test_kb(), test_matcher());
+  const chunk::Chunk factual = fact_chunk(test_kb().facts()[5].id);
+  chunk::Chunk filler;
+  filler.chunk_id = "filler_2";
+  filler.text = "Control cultures were sham-irradiated and handled "
+                "identically in all other respects.";
+  EXPECT_GT(teacher.relevance_check(factual).score,
+            teacher.relevance_check(filler).score);
+}
+
+TEST(Teacher, DamagedSourceLowersQuality) {
+  const TeacherModel teacher(test_kb(), test_matcher());
+  const chunk::Chunk clean = fact_chunk(test_kb().facts()[1].id);
+  chunk::Chunk damaged = clean;
+  damaged.text += " ~HDR~ leftover header";
+  const auto draft = teacher.generate_mcq(clean);
+  ASSERT_TRUE(draft.has_value());
+  EXPECT_GT(teacher.quality_check(*draft, clean).score,
+            teacher.quality_check(*draft, damaged).score);
+}
+
+TEST(Teacher, AnswersNearCeiling) {
+  const TeacherModel teacher(test_kb(), test_matcher());
+  std::size_t correct = 0;
+  const int trials = 200;
+  for (int i = 0; i < trials; ++i) {
+    McqTask task = simple_task();
+    task.id = "teacher_" + std::to_string(i);
+    correct += (teacher.answer(task).chosen_index == task.correct_index) ? 1 : 0;
+  }
+  EXPECT_GT(correct, trials * 9 / 10);
+}
+
+TEST(Teacher, ExplainFactMentionsSubject) {
+  const TeacherModel teacher(test_kb(), test_matcher());
+  const auto& f = test_kb().facts()[2];
+  const std::string expl = teacher.explain_fact(f.id);
+  EXPECT_NE(expl.find(test_kb().entity(f.subject).name), std::string::npos);
+}
+
+// --- n-gram backend ---------------------------------------------------------------------
+
+std::string training_text() {
+  std::string text;
+  const auto& kb = test_kb();
+  for (const auto& f : kb.facts()) {
+    for (int v = 0; v < corpus::statement_variant_count(f); ++v) {
+      text += corpus::realize_statement(kb, f, v);
+      text += ' ';
+    }
+  }
+  return text;
+}
+
+TEST(NgramLm, TrainsAndScores) {
+  const NgramLm lm = NgramLm::train(training_text(), NgramLmConfig{});
+  EXPECT_GT(lm.vocab_size(), 50u);
+  EXPECT_GT(lm.trigram_count(), 100u);
+  // In-domain text scores higher than shuffled noise.
+  const double in_domain =
+      lm.log_prob("radiation exposure activates apoptosis");
+  const double noise = lm.log_prob("zqx vbn wkj pqr xyz");
+  EXPECT_GT(in_domain, noise);
+}
+
+TEST(NgramLm, SmallerCorpusFractionWeakerModel) {
+  const std::string text = training_text();
+  NgramLmConfig big_cfg;
+  NgramLmConfig small_cfg;
+  small_cfg.corpus_fraction = 0.05;
+  const NgramLm big = NgramLm::train(text, big_cfg);
+  const NgramLm small = NgramLm::train(text, small_cfg);
+  EXPECT_GT(big.trigram_count(), small.trigram_count());
+}
+
+TEST(NgramLm, AnswerPicksSeenContinuation) {
+  // Train heavily on one association; the LM should rank it.
+  std::string text;
+  for (int i = 0; i < 60; ++i) {
+    text += "the correct treatment is cisplatin for this disease. ";
+  }
+  text += "other words appear here too for vocabulary coverage. ";
+  const NgramLm lm = NgramLm::train(text, NgramLmConfig{});
+  McqTask task;
+  task.id = "lm_task";
+  task.stem = "the correct treatment is";
+  task.options = {"wortmannin", "cisplatin", "caffeine"};
+  task.correct_index = 1;
+  const AnswerResult r = lm.answer(task);
+  EXPECT_EQ(r.chosen_index, 1);
+}
+
+TEST(NgramLm, EmptyOptionsHandled) {
+  const NgramLm lm = NgramLm::train("tiny corpus", NgramLmConfig{});
+  McqTask task;
+  task.id = "none";
+  EXPECT_EQ(lm.answer(task).chosen_index, -1);
+}
+
+}  // namespace
+}  // namespace mcqa::llm

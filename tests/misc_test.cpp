@@ -1,0 +1,101 @@
+// Remaining small-surface tests: logging, stopwatch, report edge cases,
+// registry-wide consistency checks.
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "eval/report.hpp"
+#include "llm/model_spec.hpp"
+#include "util/log.hpp"
+#include "util/stopwatch.hpp"
+
+namespace mcqa {
+namespace {
+
+TEST(Log, LevelThresholding) {
+  const util::LogLevel before = util::log_level();
+  util::set_log_level(util::LogLevel::kError);
+  EXPECT_EQ(util::log_level(), util::LogLevel::kError);
+  // Below-threshold emission must be a cheap no-op (no crash, no output
+  // assertion possible here, but the call path is exercised).
+  MCQA_DEBUG("test") << "dropped";
+  MCQA_INFO("test") << "dropped";
+  util::set_log_level(util::LogLevel::kOff);
+  MCQA_ERROR("test") << "also dropped at kOff";
+  util::set_log_level(before);
+}
+
+TEST(Log, ConcurrentEmissionIsSafe) {
+  const util::LogLevel before = util::log_level();
+  util::set_log_level(util::LogLevel::kOff);  // exercise path, mute sink
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([] {
+      for (int i = 0; i < 100; ++i) {
+        util::log_line(util::LogLevel::kInfo, "thread", "message");
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  util::set_log_level(before);
+}
+
+TEST(Stopwatch, MeasuresElapsedTime) {
+  util::Stopwatch watch;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_GE(watch.millis(), 15.0);
+  EXPECT_LT(watch.seconds(), 5.0);
+  watch.reset();
+  EXPECT_LT(watch.millis(), 15.0);
+}
+
+TEST(Report, EmptyTableRenders) {
+  eval::TableWriter t({"A"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("| A"), std::string::npos);
+}
+
+TEST(Report, GroupedBarsEmptySeries) {
+  const std::string out =
+      eval::render_grouped_bars({}, {}, "Empty figure");
+  EXPECT_NE(out.find("Empty figure"), std::string::npos);
+}
+
+TEST(Report, GroupedBarsClampsExtremeValues) {
+  const std::vector<eval::FigureSeries> series{{"s", {100000.0}}};
+  const std::string out =
+      eval::render_grouped_bars({"m"}, series, "Clamped", 2.0);
+  // Bar length is clamped; the label still shows the real value.
+  EXPECT_NE(out.find("+100000.0%"), std::string::npos);
+  EXPECT_LT(out.size(), 400u);
+}
+
+TEST(Registry, ParamsCoverPaperRange) {
+  // Paper: "1.1B-14B parameters".
+  double lo = 1e9;
+  double hi = 0.0;
+  for (const auto& card : llm::student_registry()) {
+    lo = std::min(lo, card.spec.params_billions);
+    hi = std::max(hi, card.spec.params_billions);
+  }
+  EXPECT_DOUBLE_EQ(lo, 1.1);
+  EXPECT_DOUBLE_EQ(hi, 14.0);
+}
+
+TEST(Registry, SmallWindowsMatchPaperDiscussion) {
+  // OLMo and TinyLlama are the paper's 2K-window models.
+  std::size_t small_windows = 0;
+  for (const auto& card : llm::student_registry()) {
+    small_windows += card.spec.context_window == 2048 ? 1 : 0;
+  }
+  EXPECT_EQ(small_windows, 2u);
+}
+
+TEST(Registry, Gpt4ReferenceIsPlausibleAccuracy) {
+  EXPECT_GT(llm::kGpt4AstroReference, 0.5);
+  EXPECT_LT(llm::kGpt4AstroReference, 1.0);
+}
+
+}  // namespace
+}  // namespace mcqa

@@ -1,0 +1,227 @@
+// Unit tests for the parallel substrate: thread pool, bounded queue,
+// staged pipeline.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+
+#include "parallel/bounded_queue.hpp"
+#include "parallel/pipeline.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace mcqa::parallel {
+namespace {
+
+TEST(ThreadPool, SubmitReturnsResult) {
+  ThreadPool pool(4);
+  auto fut = pool.submit([] { return 6 * 7; });
+  EXPECT_EQ(fut.get(), 42);
+}
+
+TEST(ThreadPool, SubmitWithArguments) {
+  ThreadPool pool(2);
+  auto fut = pool.submit([](int a, int b) { return a + b; }, 20, 22);
+  EXPECT_EQ(fut.get(), 42);
+}
+
+TEST(ThreadPool, ExceptionPropagatesThroughFuture) {
+  ThreadPool pool(2);
+  auto fut = pool.submit([]() -> int { throw std::runtime_error("boom"); });
+  EXPECT_THROW(fut.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, WaitIdleDrainsAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 1000; ++i) {
+    pool.enqueue([&count] { count.fetch_add(1); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 1000);
+}
+
+TEST(ThreadPool, NestedEnqueueCounted) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 50; ++i) {
+    pool.enqueue([&] {
+      count.fetch_add(1);
+      pool.enqueue([&count] { count.fetch_add(1); });
+    });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, SingleThreadPoolWorks) {
+  ThreadPool pool(1);
+  std::atomic<int> count{0};
+  parallel_for(pool, 0, 100, [&](std::size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, ZeroThreadCountDefaultsToHardware) {
+  ThreadPool pool(0);
+  EXPECT_GE(pool.thread_count(), 1u);
+}
+
+TEST(ParallelFor, CoversExactRange) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(500);
+  parallel_for(pool, 0, hits.size(),
+               [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelFor, EmptyRangeIsNoop) {
+  ThreadPool pool(2);
+  bool ran = false;
+  parallel_for(pool, 5, 5, [&](std::size_t) { ran = true; });
+  parallel_for(pool, 7, 3, [&](std::size_t) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+TEST(ParallelFor, PropagatesBodyException) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      parallel_for(pool, 0, 100,
+                   [](std::size_t i) {
+                     if (i == 37) throw std::logic_error("bad index");
+                   },
+                   /*grain=*/1),
+      std::logic_error);
+}
+
+TEST(ParallelMap, PreservesOrder) {
+  ThreadPool pool(4);
+  std::vector<int> in(200);
+  std::iota(in.begin(), in.end(), 0);
+  const auto out = parallel_map(pool, in, [](const int& x) { return x * x; });
+  ASSERT_EQ(out.size(), in.size());
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    EXPECT_EQ(out[i], static_cast<int>(i * i));
+  }
+}
+
+TEST(BoundedQueue, FifoOrder) {
+  BoundedQueue<int> q(16);
+  for (int i = 0; i < 10; ++i) q.push(i);
+  for (int i = 0; i < 10; ++i) {
+    const auto v = q.pop();
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, i);
+  }
+}
+
+TEST(BoundedQueue, PopAfterCloseDrainsThenEnds) {
+  BoundedQueue<int> q(4);
+  q.push(1);
+  q.push(2);
+  q.close();
+  EXPECT_EQ(q.pop(), 1);
+  EXPECT_EQ(q.pop(), 2);
+  EXPECT_FALSE(q.pop().has_value());
+}
+
+TEST(BoundedQueue, PushAfterCloseRejected) {
+  BoundedQueue<int> q(4);
+  q.close();
+  EXPECT_FALSE(q.push(1));
+  EXPECT_TRUE(q.closed());
+}
+
+TEST(BoundedQueue, TryPopNonBlocking) {
+  BoundedQueue<int> q(4);
+  EXPECT_FALSE(q.try_pop().has_value());
+  q.push(5);
+  EXPECT_EQ(q.try_pop(), 5);
+}
+
+TEST(BoundedQueue, BackpressureBlocksUntilConsumed) {
+  BoundedQueue<int> q(2);
+  q.push(1);
+  q.push(2);
+  std::atomic<bool> third_pushed{false};
+  std::thread producer([&] {
+    q.push(3);  // blocks until a pop frees capacity
+    third_pushed.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(third_pushed.load());
+  EXPECT_EQ(q.pop(), 1);
+  producer.join();
+  EXPECT_TRUE(third_pushed.load());
+}
+
+TEST(BoundedQueue, ManyProducersManyConsumers) {
+  BoundedQueue<int> q(8);
+  constexpr int kPerProducer = 500;
+  constexpr int kProducers = 4;
+  std::atomic<long> sum{0};
+  std::vector<std::thread> threads;
+  for (int p = 0; p < kProducers; ++p) {
+    threads.emplace_back([&q] {
+      for (int i = 1; i <= kPerProducer; ++i) q.push(i);
+    });
+  }
+  std::vector<std::thread> consumers;
+  for (int c = 0; c < 3; ++c) {
+    consumers.emplace_back([&] {
+      while (auto v = q.pop()) sum.fetch_add(*v);
+    });
+  }
+  for (auto& t : threads) t.join();
+  q.close();
+  for (auto& t : consumers) t.join();
+  EXPECT_EQ(sum.load(),
+            static_cast<long>(kProducers) * kPerProducer * (kPerProducer + 1) / 2);
+}
+
+TEST(RunStage, OrderStableOneToMany) {
+  std::vector<int> inputs{1, 2, 3, 4, 5};
+  const auto out = run_stage<int, int>(
+      inputs,
+      [](const int& x) { return std::vector<int>{x * 10, x * 10 + 1}; },
+      /*workers=*/4);
+  ASSERT_EQ(out.size(), 10u);
+  // Input-major order regardless of worker scheduling.
+  EXPECT_EQ(out[0], 10);
+  EXPECT_EQ(out[1], 11);
+  EXPECT_EQ(out[8], 50);
+  EXPECT_EQ(out[9], 51);
+}
+
+TEST(RunStage, EmptyOutputsAllowed) {
+  std::vector<int> inputs{1, 2, 3};
+  const auto out = run_stage<int, int>(
+      inputs,
+      [](const int& x) {
+        return x == 2 ? std::vector<int>{} : std::vector<int>{x};
+      },
+      2);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0], 1);
+  EXPECT_EQ(out[1], 3);
+}
+
+TEST(RunMapStage, OneToOne) {
+  std::vector<std::string> inputs{"a", "bb", "ccc"};
+  const auto out = run_map_stage<std::string, std::size_t>(
+      inputs, [](const std::string& s) { return s.size(); }, 3);
+  EXPECT_EQ(out, (std::vector<std::size_t>{1, 2, 3}));
+}
+
+TEST(StageStats, Throughput) {
+  StageStats s;
+  s.items_in = 100;
+  s.seconds = 2.0;
+  EXPECT_DOUBLE_EQ(s.items_per_second(), 50.0);
+  s.seconds = 0.0;
+  EXPECT_DOUBLE_EQ(s.items_per_second(), 0.0);
+}
+
+}  // namespace
+}  // namespace mcqa::parallel

@@ -1,0 +1,296 @@
+// Unit tests for the adaptive parsing substrate (AdaParse-equivalent).
+
+#include <gtest/gtest.h>
+
+#include "corpus/paper_generator.hpp"
+#include "corpus/spdf.hpp"
+#include "parse/adaptive.hpp"
+#include "parse/parsers.hpp"
+#include "parse/quality.hpp"
+
+namespace mcqa::parse {
+namespace {
+
+corpus::PaperSpec sample_spec(std::uint64_t seed = 42) {
+  static const corpus::KnowledgeBase kb = corpus::KnowledgeBase::generate(
+      corpus::KbConfig{.facts_per_topic = 10, .seed = 3, .math_fraction = 0.4});
+  const corpus::PaperGenerator gen(kb, corpus::PaperGenConfig{});
+  return gen.generate(0, corpus::DocKind::kFullPaper, util::Rng(seed));
+}
+
+// --- SPDF scanning ------------------------------------------------------------
+
+TEST(SpdfScan, ExtractsHeaderMetadata) {
+  const corpus::PaperSpec spec = sample_spec();
+  const std::string bytes =
+      write_spdf(spec, corpus::SpdfNoise::clean(), util::Rng(1));
+  const SpdfScan scan = scan_spdf(bytes);
+  EXPECT_EQ(scan.doc_id, spec.doc_id);
+  EXPECT_EQ(scan.title, spec.title);
+  EXPECT_EQ(scan.kind, "paper");
+  EXPECT_GT(scan.pages, 0u);
+  EXPECT_TRUE(scan.saw_eof);
+  EXPECT_FALSE(scan.headings.empty());
+}
+
+TEST(SpdfScan, RejectsNonSpdf) {
+  EXPECT_THROW(scan_spdf("plain text"), ParseFailure);
+  EXPECT_THROW(scan_spdf(""), ParseFailure);
+}
+
+TEST(SpdfScan, RejectsPagelessStream) {
+  EXPECT_THROW(scan_spdf("%SPDF-1.2\n%%Title: x\n%%EOF\n"), ParseFailure);
+}
+
+// --- strategies -----------------------------------------------------------------
+
+TEST(FastParser, LeavesArtifactsInHardDocs) {
+  const corpus::PaperSpec spec = sample_spec();
+  const std::string bytes =
+      write_spdf(spec, corpus::SpdfNoise::hard(), util::Rng(2));
+  const FastSpdfParser fast;
+  const ParsedDocument doc = fast.parse(bytes);
+  // Hard docs always carry headers; fast keeps them in the body.
+  EXPECT_NE(doc.body_text().find("~HDR~"), std::string::npos);
+}
+
+TEST(AccurateParser, RemovesHeadersAndFooters) {
+  const corpus::PaperSpec spec = sample_spec();
+  const std::string bytes =
+      write_spdf(spec, corpus::SpdfNoise::hard(), util::Rng(2));
+  const AccurateSpdfParser accurate;
+  const ParsedDocument doc = accurate.parse(bytes);
+  EXPECT_EQ(doc.body_text().find("~HDR~"), std::string::npos);
+  EXPECT_EQ(doc.body_text().find("~FTR~"), std::string::npos);
+}
+
+TEST(AccurateParser, DehyphenatesWrappedWords) {
+  // Build a synthetic page with a known hyphenation split.
+  const std::string bytes =
+      "%SPDF-1.2\n%%Title: t\n%%DocId: d\n%%Kind: paper\n"
+      "%%BeginPage 1\n"
+      "<<section Results>>\n"
+      "The radio-\n"
+      "therapy schedule was hypofraction-\n"
+      "ated in all arms.\n"
+      "%%EndPage\n%%EOF\n";
+  const AccurateSpdfParser accurate;
+  const ParsedDocument doc = accurate.parse(bytes);
+  const std::string body = doc.body_text();
+  EXPECT_NE(body.find("radiotherapy"), std::string::npos) << body;
+  EXPECT_NE(body.find("hypofractionated"), std::string::npos) << body;
+}
+
+TEST(AccurateParser, RepairsLigaturePlaceholders) {
+  const std::string bytes =
+      "%SPDF-1.2\n%%Title: t\n%%DocId: d\n%%Kind: paper\n"
+      "%%BeginPage 1\n"
+      "signi\x01" "cant e\x01" "ects were observed\n"
+      "%%EndPage\n%%EOF\n";
+  const AccurateSpdfParser accurate;
+  const ParsedDocument doc = accurate.parse(bytes);
+  EXPECT_NE(doc.body_text().find("significant"), std::string::npos);
+  EXPECT_EQ(doc.body_text().find('\x01'), std::string::npos);
+}
+
+TEST(AccurateParser, ReconstructsSectionStructure) {
+  const corpus::PaperSpec spec = sample_spec();
+  const std::string bytes =
+      write_spdf(spec, corpus::SpdfNoise::clean(), util::Rng(3));
+  const AccurateSpdfParser accurate;
+  const ParsedDocument doc = accurate.parse(bytes);
+  ASSERT_EQ(doc.sections.size(), spec.sections.size());
+  for (std::size_t i = 0; i < doc.sections.size(); ++i) {
+    EXPECT_EQ(doc.sections[i].heading, spec.sections[i].heading);
+  }
+}
+
+TEST(AccurateParser, RecoversCleanTextVerbatim) {
+  const corpus::PaperSpec spec = sample_spec();
+  corpus::SpdfNoise no_noise = corpus::SpdfNoise::clean();
+  no_noise.hyphenation = 0.0;
+  const std::string bytes = write_spdf(spec, no_noise, util::Rng(4));
+  const AccurateSpdfParser accurate;
+  const ParsedDocument doc = accurate.parse(bytes);
+  // Every original sentence should appear verbatim in the parsed body.
+  const std::string body = doc.body_text();
+  for (const auto& section : spec.sections) {
+    for (const auto& s : section.sentences) {
+      EXPECT_NE(body.find(s.text), std::string::npos)
+          << "missing: " << s.text;
+    }
+  }
+}
+
+TEST(MarkdownParser, ParsesTitleAndSections) {
+  const corpus::PaperSpec spec = sample_spec();
+  const std::string md = write_markdown(spec);
+  const MarkdownParser parser;
+  ASSERT_TRUE(parser.accepts(md));
+  const ParsedDocument doc = parser.parse(md);
+  EXPECT_EQ(doc.title, spec.title);
+  ASSERT_EQ(doc.sections.size(), spec.sections.size());
+}
+
+TEST(MarkdownParser, RejectsNonMarkdown) {
+  const MarkdownParser parser;
+  EXPECT_FALSE(parser.accepts("%SPDF-1.2\n..."));
+  EXPECT_THROW(parser.parse("no heading"), ParseFailure);
+}
+
+TEST(PlainTextParser, TitleAndParagraphs) {
+  const PlainTextParser parser;
+  const ParsedDocument doc = parser.parse(
+      "My Title\n\nFirst paragraph sentence. More text.\n\n"
+      "Second paragraph here.");
+  EXPECT_EQ(doc.title, "My Title");
+  EXPECT_EQ(doc.sections.size(), 2u);
+}
+
+TEST(PlainTextParser, EmptyFails) {
+  const PlainTextParser parser;
+  EXPECT_THROW(parser.parse(""), ParseFailure);
+}
+
+// --- quality ----------------------------------------------------------------------
+
+TEST(Quality, DifficultyFeaturesSeparateNoiseLevels) {
+  const corpus::PaperSpec spec = sample_spec();
+  const std::string clean =
+      write_spdf(spec, corpus::SpdfNoise::clean(), util::Rng(5));
+  const std::string hard =
+      write_spdf(spec, corpus::SpdfNoise::hard(), util::Rng(5));
+  const auto f_clean = extract_difficulty_features(clean);
+  const auto f_hard = extract_difficulty_features(hard);
+  EXPECT_GT(predict_fast_parser_success(f_clean),
+            predict_fast_parser_success(f_hard));
+}
+
+TEST(Quality, TruncatedStreamPredictsFailure) {
+  DifficultyFeatures f;
+  f.truncated = true;
+  EXPECT_LT(predict_fast_parser_success(f), 0.1);
+}
+
+TEST(Quality, ScoreOrdersFastVsAccurateOnHardDoc) {
+  const corpus::PaperSpec spec = sample_spec();
+  const std::string bytes =
+      write_spdf(spec, corpus::SpdfNoise::hard(), util::Rng(6));
+  const FastSpdfParser fast;
+  const AccurateSpdfParser accurate;
+  const double q_fast = quality_score(fast.parse(bytes));
+  const double q_acc = quality_score(accurate.parse(bytes));
+  EXPECT_GT(q_acc, q_fast);
+  EXPECT_GE(q_fast, 0.0);
+  EXPECT_LE(q_acc, 1.0);
+}
+
+TEST(Quality, EmptyDocumentScoresZero) {
+  ParsedDocument empty;
+  EXPECT_DOUBLE_EQ(quality_score(empty), 0.0);
+}
+
+// --- adaptive dispatch ----------------------------------------------------------------
+
+TEST(Adaptive, RoutesCleanToFast) {
+  const corpus::PaperSpec spec = sample_spec();
+  corpus::SpdfNoise clean = corpus::SpdfNoise::clean();
+  clean.hyphenation = 0.0;
+  const std::string bytes = write_spdf(spec, clean, util::Rng(7));
+  const AdaptiveParser parser;
+  const ParseOutcome outcome = parser.parse(bytes);
+  ASSERT_TRUE(outcome.ok);
+  EXPECT_EQ(outcome.route, "fast");
+  EXPECT_DOUBLE_EQ(outcome.compute_cost, 1.0);
+}
+
+TEST(Adaptive, RoutesHardToAccurate) {
+  const corpus::PaperSpec spec = sample_spec();
+  const std::string bytes =
+      write_spdf(spec, corpus::SpdfNoise::hard(), util::Rng(8));
+  const AdaptiveParser parser;
+  const ParseOutcome outcome = parser.parse(bytes);
+  ASSERT_TRUE(outcome.ok);
+  EXPECT_EQ(outcome.route, "accurate");
+  EXPECT_LT(outcome.predicted_fast_success, 0.5);
+}
+
+TEST(Adaptive, MarkdownAndTextRouted) {
+  const corpus::PaperSpec spec = sample_spec();
+  const AdaptiveParser parser;
+  const ParseOutcome md = parser.parse(write_markdown(spec));
+  EXPECT_TRUE(md.ok);
+  EXPECT_EQ(md.route, "markdown");
+  const ParseOutcome txt = parser.parse(write_text(spec));
+  EXPECT_TRUE(txt.ok);
+  EXPECT_EQ(txt.route, "text");
+}
+
+TEST(Adaptive, CorruptStreamFailsGracefully) {
+  const AdaptiveParser parser;
+  const ParseOutcome outcome = parser.parse("%SPDF-1.2\n%%Title: x\n");
+  EXPECT_FALSE(outcome.ok);
+  EXPECT_FALSE(outcome.error.empty());
+}
+
+TEST(Adaptive, EmptyInputFails) {
+  const AdaptiveParser parser;
+  const ParseOutcome outcome = parser.parse("");
+  EXPECT_FALSE(outcome.ok);
+}
+
+TEST(Adaptive, EscalationPaysBothCosts) {
+  // Force escalation: route threshold 0 sends everything to fast first,
+  // accept threshold 1.0 rejects any fast parse of a noisy doc.
+  const corpus::PaperSpec spec = sample_spec();
+  const std::string bytes =
+      write_spdf(spec, corpus::SpdfNoise::hard(), util::Rng(9));
+  AdaptiveConfig cfg;
+  cfg.route_threshold = 0.0;
+  cfg.accept_threshold = 1.0;
+  const AdaptiveParser parser(cfg);
+  const ParseOutcome outcome = parser.parse(bytes);
+  ASSERT_TRUE(outcome.ok);
+  EXPECT_EQ(outcome.route, "fast->accurate");
+  EXPECT_DOUBLE_EQ(outcome.compute_cost, 9.0);  // 1 + 8
+}
+
+TEST(RoutingStats, MergeAndSaving) {
+  RoutingStats a;
+  a.total = 10;
+  a.compute_cost = 20.0;
+  a.always_accurate_cost = 80.0;
+  RoutingStats b;
+  b.total = 5;
+  b.compute_cost = 40.0;
+  b.always_accurate_cost = 40.0;
+  a.merge(b);
+  EXPECT_EQ(a.total, 15u);
+  EXPECT_DOUBLE_EQ(a.compute_saving(), 0.5);
+}
+
+// --- document JSON ----------------------------------------------------------------------
+
+TEST(ParsedDocument, JsonRoundTrip) {
+  ParsedDocument doc;
+  doc.doc_id = "paper_000001";
+  doc.title = "A title";
+  doc.kind = "paper";
+  doc.sections.push_back({"Abstract", "Some text."});
+  doc.sections.push_back({"Results", "More text."});
+  doc.parser_used = "spdf-accurate";
+  doc.quality = 0.93;
+  doc.pages = 4;
+
+  const ParsedDocument back = ParsedDocument::from_json(doc.to_json());
+  EXPECT_EQ(back.doc_id, doc.doc_id);
+  EXPECT_EQ(back.title, doc.title);
+  ASSERT_EQ(back.sections.size(), 2u);
+  EXPECT_EQ(back.sections[1].text, "More text.");
+  EXPECT_EQ(back.parser_used, doc.parser_used);
+  EXPECT_DOUBLE_EQ(back.quality, doc.quality);
+  EXPECT_EQ(back.pages, doc.pages);
+}
+
+}  // namespace
+}  // namespace mcqa::parse

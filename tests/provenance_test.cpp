@@ -1,0 +1,87 @@
+// Tests for the provenance index (question -> chunk -> document -> raw
+// bytes lineage).
+
+#include <gtest/gtest.h>
+
+#include "core/pipeline.hpp"
+#include "core/provenance.hpp"
+
+namespace mcqa::core {
+namespace {
+
+const PipelineContext& ctx() {
+  static const PipelineContext context(PipelineConfig::paper_scale(0.006));
+  return context;
+}
+
+const ProvenanceIndex& index() {
+  static const ProvenanceIndex idx(ctx());
+  return idx;
+}
+
+TEST(Provenance, EveryBenchmarkRecordHasFullLineage) {
+  for (const auto& record : ctx().benchmark()) {
+    const auto lineage = index().lookup(record.record_id);
+    ASSERT_TRUE(lineage.has_value()) << record.record_id;
+    EXPECT_EQ(lineage->record, &record);
+    ASSERT_NE(lineage->chunk, nullptr) << record.record_id;
+    EXPECT_EQ(lineage->chunk->chunk_id, record.chunk_id);
+    ASSERT_NE(lineage->document, nullptr);
+    EXPECT_EQ(lineage->document->doc_id, lineage->chunk->doc_id);
+    ASSERT_NE(lineage->raw, nullptr);
+    EXPECT_EQ(lineage->raw->doc_id, lineage->chunk->doc_id);
+  }
+}
+
+TEST(Provenance, ProbedFactIsAmongChunkFacts) {
+  for (const auto& record : ctx().benchmark()) {
+    const auto lineage = index().lookup(record.record_id);
+    ASSERT_TRUE(lineage.has_value());
+    EXPECT_NE(std::find(lineage->chunk_facts.begin(),
+                        lineage->chunk_facts.end(), record.fact),
+              lineage->chunk_facts.end())
+        << record.record_id;
+  }
+}
+
+TEST(Provenance, UnknownRecordReturnsNullopt) {
+  EXPECT_FALSE(index().lookup("q_nonexistent_99").has_value());
+}
+
+TEST(Provenance, QuestionsProbingFactAreConsistent) {
+  for (const auto& record : ctx().benchmark()) {
+    const auto probing = index().questions_probing(record.fact);
+    EXPECT_NE(std::find(probing.begin(), probing.end(), &record),
+              probing.end());
+    for (const auto* q : probing) EXPECT_EQ(q->fact, record.fact);
+  }
+}
+
+TEST(Provenance, SiblingsShareDocumentAndExcludeSelf) {
+  for (const auto& record : ctx().benchmark()) {
+    const auto lineage = index().lookup(record.record_id);
+    ASSERT_TRUE(lineage.has_value());
+    for (const auto* sibling : lineage->sibling_questions) {
+      EXPECT_NE(sibling, lineage->record);
+      const auto sib_lineage = index().lookup(sibling->record_id);
+      ASSERT_TRUE(sib_lineage.has_value());
+      EXPECT_EQ(sib_lineage->chunk->doc_id, lineage->chunk->doc_id);
+    }
+  }
+}
+
+TEST(Provenance, QuestionsFromDocumentMatchSiblingCounts) {
+  const auto& first = ctx().benchmark().front();
+  const auto lineage = index().lookup(first.record_id);
+  ASSERT_TRUE(lineage.has_value());
+  const auto from_doc =
+      index().questions_from_document(lineage->chunk->doc_id);
+  EXPECT_EQ(from_doc.size(), lineage->sibling_questions.size() + 1);
+}
+
+TEST(Provenance, SizeMatchesBenchmark) {
+  EXPECT_EQ(index().size(), ctx().benchmark().size());
+}
+
+}  // namespace
+}  // namespace mcqa::core

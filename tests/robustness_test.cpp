@@ -1,0 +1,210 @@
+// Failure injection and fuzz-style robustness tests: the pipeline's
+// ingestion surfaces must never crash on malformed input — corrupt SPDF
+// streams, truncated artifacts, garbage model output — and fp16
+// conversion must be exact over its entire 16-bit domain.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "corpus/paper_generator.hpp"
+#include "corpus/spdf.hpp"
+#include "eval/judge.hpp"
+#include "json/json.hpp"
+#include "parse/adaptive.hpp"
+#include "util/fp16.hpp"
+#include "util/rng.hpp"
+
+namespace mcqa {
+namespace {
+
+// --- fp16 exhaustive ----------------------------------------------------------
+
+TEST(Fp16Exhaustive, EveryHalfValueRoundTripsThroughFloat) {
+  // half -> float -> half must be the identity for every one of the
+  // 65,536 bit patterns (float superset property), modulo NaN payloads
+  // collapsing to a canonical quiet NaN.
+  for (std::uint32_t bits = 0; bits <= 0xffff; ++bits) {
+    const auto h = static_cast<util::fp16_t>(bits);
+    const float f = util::fp16_to_float(h);
+    const util::fp16_t back = util::float_to_fp16(f);
+    if (std::isnan(f)) {
+      const float back_f = util::fp16_to_float(back);
+      EXPECT_TRUE(std::isnan(back_f)) << "bits=" << bits;
+    } else {
+      EXPECT_EQ(back, h) << "bits=" << bits << " f=" << f;
+    }
+  }
+}
+
+TEST(Fp16Exhaustive, MonotonicOnPositives) {
+  // Conversion to float preserves ordering of positive halves.
+  float prev = -1.0f;
+  for (std::uint32_t bits = 0; bits < 0x7c00; ++bits) {  // finite positives
+    const float f = util::fp16_to_float(static_cast<util::fp16_t>(bits));
+    EXPECT_GT(f, prev) << "bits=" << bits;
+    prev = f;
+  }
+}
+
+// --- SPDF fuzzing ----------------------------------------------------------------
+
+corpus::PaperSpec fuzz_spec() {
+  static const corpus::KnowledgeBase kb = corpus::KnowledgeBase::generate(
+      corpus::KbConfig{.facts_per_topic = 8, .seed = 77, .math_fraction = 0.4});
+  const corpus::PaperGenerator gen(kb, corpus::PaperGenConfig{});
+  return gen.generate(0, corpus::DocKind::kFullPaper, util::Rng(88));
+}
+
+TEST(ParserFuzz, RandomTruncationNeverCrashes) {
+  const std::string bytes =
+      write_spdf(fuzz_spec(), corpus::SpdfNoise::moderate(), util::Rng(1));
+  const parse::AdaptiveParser parser;
+  util::Rng rng(2);
+  for (int i = 0; i < 200; ++i) {
+    const std::size_t cut =
+        rng.bounded(static_cast<std::uint32_t>(bytes.size() + 1));
+    const parse::ParseOutcome outcome =
+        parser.parse(std::string_view(bytes).substr(0, cut));
+    // Must terminate with either a document or an error — both fine.
+    if (!outcome.ok) {
+      EXPECT_FALSE(outcome.error.empty());
+    }
+  }
+}
+
+TEST(ParserFuzz, RandomByteFlipsNeverCrash) {
+  const std::string original =
+      write_spdf(fuzz_spec(), corpus::SpdfNoise::moderate(), util::Rng(3));
+  const parse::AdaptiveParser parser;
+  util::Rng rng(4);
+  for (int trial = 0; trial < 100; ++trial) {
+    std::string bytes = original;
+    const int flips = 1 + static_cast<int>(rng.bounded(16));
+    for (int f = 0; f < flips; ++f) {
+      const std::size_t pos =
+          rng.bounded(static_cast<std::uint32_t>(bytes.size()));
+      bytes[pos] = static_cast<char>(rng.bounded(256));
+    }
+    const parse::ParseOutcome outcome = parser.parse(bytes);
+    if (outcome.ok) {
+      // Whatever survives must still carry a sane quality score.
+      EXPECT_GE(outcome.document.quality, 0.0);
+      EXPECT_LE(outcome.document.quality, 1.0);
+    }
+  }
+}
+
+TEST(ParserFuzz, RandomGarbageInput) {
+  const parse::AdaptiveParser parser;
+  util::Rng rng(5);
+  for (int trial = 0; trial < 100; ++trial) {
+    std::string garbage(rng.bounded(2048), '\0');
+    for (auto& c : garbage) c = static_cast<char>(rng.bounded(256));
+    const parse::ParseOutcome outcome = parser.parse(garbage);
+    // Any byte soup that doesn't start with a known magic must either be
+    // handled by the plain-text fallback or rejected cleanly.
+    if (!outcome.ok) {
+      EXPECT_FALSE(outcome.error.empty());
+    }
+  }
+}
+
+// --- JSON parser fuzzing ------------------------------------------------------------
+
+TEST(JsonFuzz, MutatedDocumentsParseOrThrow) {
+  const std::string base =
+      R"({"question":"What?","options":["a","b"],"nested":{"x":[1,2.5,null,true]}})";
+  util::Rng rng(6);
+  for (int trial = 0; trial < 500; ++trial) {
+    std::string text = base;
+    const int edits = 1 + static_cast<int>(rng.bounded(6));
+    for (int e = 0; e < edits; ++e) {
+      const std::size_t pos =
+          rng.bounded(static_cast<std::uint32_t>(text.size()));
+      switch (rng.bounded(3)) {
+        case 0: text[pos] = static_cast<char>(rng.bounded(128)); break;
+        case 1: text.erase(pos, 1); break;
+        default:
+          text.insert(pos, 1, static_cast<char>(rng.bounded(128)));
+      }
+    }
+    try {
+      const json::Value v = json::Value::parse(text);
+      // Parsed: dumping must not throw, and must re-parse.
+      const json::Value again = json::Value::parse(v.dump());
+      EXPECT_TRUE(v == again);
+    } catch (const json::ParseError&) {
+      // rejected cleanly — fine
+    }
+  }
+}
+
+// --- judge fuzzing --------------------------------------------------------------------
+
+TEST(JudgeFuzz, ArbitraryAnswerTextNeverCrashes) {
+  const eval::Judge judge;
+  const std::vector<std::string> options{"cisplatin", "8 days", "the G2/M "
+                                         "checkpoint"};
+  util::Rng rng(7);
+  for (int trial = 0; trial < 500; ++trial) {
+    std::string text(rng.bounded(300), ' ');
+    for (auto& c : text) {
+      c = static_cast<char>(32 + rng.bounded(95));  // printable ASCII
+    }
+    const int got = judge.extract_option(text, options);
+    EXPECT_GE(got, -1);
+    EXPECT_LT(got, static_cast<int>(options.size()));
+  }
+}
+
+TEST(JudgeFuzz, NewlinesAndBinaryInAnswers) {
+  const eval::Judge judge;
+  const std::vector<std::string> options{"alpha", "beta"};
+  EXPECT_NO_THROW(judge.extract_option(std::string("\n\n\x01\x02\xff"),
+                                       options));
+  EXPECT_NO_THROW(judge.extract_option(std::string(10000, 'a'), options));
+}
+
+// --- pathological documents -----------------------------------------------------------
+
+TEST(Pathological, HugeSingleLineSpdf) {
+  std::string bytes = "%SPDF-1.2\n%%Title: t\n%%DocId: d\n%%Kind: paper\n"
+                      "%%BeginPage 1\n";
+  bytes += std::string(200000, 'x');
+  bytes += "\n%%EndPage\n%%EOF\n";
+  const parse::AdaptiveParser parser;
+  const parse::ParseOutcome outcome = parser.parse(bytes);
+  EXPECT_TRUE(outcome.ok);
+}
+
+TEST(Pathological, ThousandsOfEmptyPages) {
+  std::string bytes = "%SPDF-1.2\n%%Title: t\n%%DocId: d\n%%Kind: paper\n";
+  for (int p = 1; p <= 2000; ++p) {
+    bytes += "%%BeginPage " + std::to_string(p) + "\n%%EndPage\n";
+  }
+  bytes += "%%EOF\n";
+  const parse::AdaptiveParser parser;
+  const parse::ParseOutcome outcome = parser.parse(bytes);
+  ASSERT_TRUE(outcome.ok);
+  EXPECT_EQ(outcome.document.pages, 2000u);
+  EXPECT_TRUE(outcome.document.body_text().empty());
+}
+
+TEST(Pathological, DeeplyNestedJsonRejectedOrParsed) {
+  // 100k-deep nesting: must either parse or throw, never overflow
+  // unchecked.  (Recursion depth ~100k is too deep for default stacks,
+  // so the parser is expected to throw or the test environment's stack
+  // to hold — keep depth moderate to assert graceful handling.)
+  std::string deep;
+  for (int i = 0; i < 2000; ++i) deep += "[";
+  deep += "0";
+  for (int i = 0; i < 2000; ++i) deep += "]";
+  EXPECT_NO_THROW({
+    const json::Value v = json::Value::parse(deep);
+    (void)v;
+  });
+}
+
+}  // namespace
+}  // namespace mcqa

@@ -1,0 +1,256 @@
+// Unit tests for text processing: normalization, sentence splitting,
+// tokenization, BPE, vocabulary.
+
+#include <gtest/gtest.h>
+
+#include "text/bpe.hpp"
+#include "text/normalize.hpp"
+#include "text/sentence.hpp"
+#include "text/tokenizer.hpp"
+#include "text/vocab.hpp"
+
+namespace mcqa::text {
+namespace {
+
+// --- normalize ---------------------------------------------------------------
+
+TEST(Normalize, CollapsesWhitespaceAndLowercases) {
+  EXPECT_EQ(normalize_ws("  Hello   World\t\nAgain  "), "hello world again");
+  EXPECT_EQ(normalize_ws(""), "");
+  EXPECT_EQ(normalize_ws("   "), "");
+}
+
+TEST(NormalizeForMatching, KeepsIntraWordMarks) {
+  EXPECT_EQ(normalize_for_matching("Cobalt-60 gamma rays!"),
+            "cobalt-60 gamma rays");
+  EXPECT_EQ(normalize_for_matching("dose of 2.5 Gy."), "dose of 2.5 gy");
+  EXPECT_EQ(normalize_for_matching("p53, ATM; and (RAD51)"),
+            "p53 atm and rad51");
+}
+
+TEST(NormalizeForMatching, DropsDanglingPunctuation) {
+  EXPECT_EQ(normalize_for_matching("end- of line"), "end of line");
+  EXPECT_EQ(normalize_for_matching("...leading"), "leading");
+}
+
+// --- sentences ----------------------------------------------------------------
+
+TEST(Sentences, BasicSplit) {
+  const auto s = split_sentences("First one. Second one! Third?");
+  ASSERT_EQ(s.size(), 3u);
+  EXPECT_EQ(s[0].text, "First one.");
+  EXPECT_EQ(s[1].text, "Second one!");
+  EXPECT_EQ(s[2].text, "Third?");
+}
+
+TEST(Sentences, OffsetsPointIntoSource) {
+  const std::string src = "Alpha beta. Gamma delta.";
+  const auto s = split_sentences(src);
+  ASSERT_EQ(s.size(), 2u);
+  EXPECT_EQ(src.substr(s[1].begin, s[1].end - s[1].begin), "Gamma delta.");
+}
+
+TEST(Sentences, AbbreviationsDontSplit) {
+  const auto s = split_sentences(
+      "As shown by Smith et al. the effect persists. See Fig. 3 for details.");
+  ASSERT_EQ(s.size(), 2u);
+  EXPECT_NE(s[0].text.find("et al."), std::string::npos);
+}
+
+TEST(Sentences, DecimalNumbersDontSplit) {
+  const auto s = split_sentences("The dose was 2.5 Gy. Cells died.");
+  ASSERT_EQ(s.size(), 2u);
+  EXPECT_EQ(s[0].text, "The dose was 2.5 Gy.");
+}
+
+TEST(Sentences, InitialsDontSplit) {
+  const auto s = split_sentences("Reported by J. Smith. Confirmed later.");
+  ASSERT_EQ(s.size(), 2u);
+}
+
+TEST(Sentences, ParagraphBreakEndsSentence) {
+  const auto s = split_sentences("No terminator here\n\nNext paragraph.");
+  ASSERT_EQ(s.size(), 2u);
+  EXPECT_EQ(s[0].text, "No terminator here");
+}
+
+TEST(Sentences, TrailingTextWithoutTerminator) {
+  const auto s = split_sentences("Complete. incomplete trailing text");
+  ASSERT_EQ(s.size(), 2u);
+  EXPECT_EQ(s[1].text, "incomplete trailing text");
+}
+
+TEST(Sentences, EmptyAndWhitespaceOnly) {
+  EXPECT_TRUE(split_sentences("").empty());
+  EXPECT_TRUE(split_sentences("   \n\t ").empty());
+}
+
+TEST(Sentences, ClosingQuotesAndParens) {
+  const auto s = split_sentences("He said \"stop.\" Then left.");
+  ASSERT_EQ(s.size(), 2u);
+}
+
+// --- tokenizer ------------------------------------------------------------------
+
+TEST(Tokenizer, WordsAndPunctuation) {
+  const auto toks = word_tokenize("TP53 activates apoptosis, strongly.");
+  ASSERT_EQ(toks.size(), 6u);
+  EXPECT_EQ(toks[0].text, "TP53");
+  EXPECT_EQ(toks[3].text, ",");
+  EXPECT_EQ(toks[5].text, ".");
+}
+
+TEST(Tokenizer, KeepsHyphenatedAndDecimal) {
+  const auto toks = word_tokenize("cobalt-60 at 2.5 Gy");
+  ASSERT_EQ(toks.size(), 4u);
+  EXPECT_EQ(toks[0].text, "cobalt-60");
+  EXPECT_EQ(toks[2].text, "2.5");
+}
+
+TEST(Tokenizer, OffsetsMatchSource) {
+  const std::string src = "ab cd";
+  const auto toks = word_tokenize(src);
+  ASSERT_EQ(toks.size(), 2u);
+  EXPECT_EQ(src.substr(toks[1].begin, toks[1].end - toks[1].begin), "cd");
+}
+
+TEST(Tokenizer, CountWords) {
+  EXPECT_EQ(count_words(""), 0u);
+  EXPECT_EQ(count_words("one"), 1u);
+  EXPECT_EQ(count_words("  one   two three  "), 3u);
+}
+
+TEST(Tokenizer, ApproxLlmTokensInflates) {
+  const std::size_t words = 30;
+  std::string text;
+  for (std::size_t i = 0; i < words; ++i) text += "word ";
+  const std::size_t toks = approx_llm_tokens(text);
+  EXPECT_GT(toks, words);
+  EXPECT_LT(toks, words * 2);
+}
+
+TEST(Tokenizer, WordNgrams) {
+  const auto unigrams = word_ngrams("a b c", 1);
+  EXPECT_EQ(unigrams, (std::vector<std::string>{"a", "b", "c"}));
+  const auto bigrams = word_ngrams("a b c", 2);
+  EXPECT_EQ(bigrams, (std::vector<std::string>{"a b", "b c"}));
+  EXPECT_TRUE(word_ngrams("a", 2).empty());
+  EXPECT_TRUE(word_ngrams("a b", 0).empty());
+}
+
+// --- BPE -------------------------------------------------------------------------
+
+TEST(Bpe, TrainsAndEncodesDeterministically) {
+  const std::string corpus =
+      "radiation induces apoptosis radiation induces arrest "
+      "radiation biology radiation therapy apoptosis pathway";
+  const BpeTokenizer t1 = BpeTokenizer::train(corpus, 100);
+  const BpeTokenizer t2 = BpeTokenizer::train(corpus, 100);
+  const auto ids1 = t1.encode("radiation induces apoptosis");
+  const auto ids2 = t2.encode("radiation induces apoptosis");
+  EXPECT_EQ(ids1, ids2);
+  EXPECT_FALSE(ids1.empty());
+}
+
+TEST(Bpe, DecodeInvertsEncodeOnTrainedText) {
+  const std::string corpus =
+      "the cell cycle checkpoint controls the cell cycle arrest after "
+      "the radiation dose is delivered to the cell";
+  const BpeTokenizer t = BpeTokenizer::train(corpus, 200);
+  const std::string sample = "the cell cycle arrest";
+  EXPECT_EQ(t.decode(t.encode(sample)), sample);
+}
+
+TEST(Bpe, FrequentPairsMerge) {
+  std::string corpus;
+  for (int i = 0; i < 50; ++i) corpus += "abab ";
+  const BpeTokenizer t = BpeTokenizer::train(corpus, 64);
+  EXPECT_GT(t.merge_count(), 0u);
+  // "abab" should encode to far fewer tokens than its character count.
+  EXPECT_LT(t.encode("abab").size(), 4u);
+}
+
+TEST(Bpe, VocabBudgetRespected) {
+  std::string corpus;
+  for (int i = 0; i < 30; ++i) {
+    corpus += "alpha beta gamma delta epsilon zeta ";
+  }
+  const BpeTokenizer t = BpeTokenizer::train(corpus, 40);
+  EXPECT_LE(t.vocab_size(), 40u);
+}
+
+TEST(Bpe, UnknownCharactersMapToUnk) {
+  const BpeTokenizer t = BpeTokenizer::train("aaa bbb aaa bbb", 32);
+  const auto ids = t.encode("zzz");
+  ASSERT_FALSE(ids.empty());
+  for (const auto id : ids) {
+    // id 0 is <unk>; characters unseen in training can only be unk or
+    // end-of-word.
+    EXPECT_TRUE(id == 0 || t.token(id) == "</w>") << t.token(id);
+  }
+}
+
+TEST(Bpe, SaveLoadRoundTrip) {
+  const std::string corpus =
+      "homologous recombination repairs double strand breaks "
+      "non-homologous end joining repairs breaks quickly";
+  const BpeTokenizer t = BpeTokenizer::train(corpus, 150);
+  const BpeTokenizer loaded = BpeTokenizer::load(t.save());
+  EXPECT_EQ(loaded.vocab_size(), t.vocab_size());
+  EXPECT_EQ(loaded.merge_count(), t.merge_count());
+  const std::string probe = "recombination repairs breaks";
+  EXPECT_EQ(loaded.encode(probe), t.encode(probe));
+}
+
+TEST(Bpe, LoadRejectsBadMagic) {
+  EXPECT_THROW(BpeTokenizer::load("not-a-bpe-blob"), std::runtime_error);
+}
+
+TEST(Bpe, EmptyInputEncodesEmpty) {
+  const BpeTokenizer t = BpeTokenizer::train("some text here", 32);
+  EXPECT_TRUE(t.encode("").empty());
+  EXPECT_EQ(t.decode({}), "");
+}
+
+// --- vocabulary -------------------------------------------------------------------
+
+TEST(Vocabulary, InternAndLookup) {
+  Vocabulary v;
+  const auto id1 = v.intern("apoptosis");
+  const auto id2 = v.intern("apoptosis");
+  EXPECT_EQ(id1, id2);
+  EXPECT_EQ(v.id("apoptosis"), id1);
+  EXPECT_EQ(v.id("never-seen"), Vocabulary::kUnknown);
+  EXPECT_EQ(v.word(id1), "apoptosis");
+}
+
+TEST(Vocabulary, FrequenciesFromText) {
+  Vocabulary v;
+  v.add_text("a b a a c");
+  EXPECT_EQ(v.frequency(v.id("a")), 3u);
+  EXPECT_EQ(v.frequency(v.id("b")), 1u);
+  EXPECT_EQ(v.total_count(), 5u);
+}
+
+TEST(Vocabulary, IdfOrdering) {
+  Vocabulary v;
+  std::string text;
+  for (int i = 0; i < 100; ++i) text += "common ";
+  text += "rare";
+  v.add_text(text);
+  EXPECT_GT(v.idf(v.id("rare")), v.idf(v.id("common")));
+  EXPECT_GE(v.idf(v.id("common")), 0.0);
+}
+
+TEST(Vocabulary, EncodeMapsUnknowns) {
+  Vocabulary v;
+  v.add_text("alpha beta");
+  const auto ids = v.encode("alpha gamma beta");
+  ASSERT_EQ(ids.size(), 3u);
+  EXPECT_NE(ids[0], Vocabulary::kUnknown);
+  EXPECT_EQ(ids[1], Vocabulary::kUnknown);
+  EXPECT_NE(ids[2], Vocabulary::kUnknown);
+}
+
+}  // namespace
+}  // namespace mcqa::text

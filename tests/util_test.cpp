@@ -1,0 +1,417 @@
+// Unit tests for src/util: RNG, fp16, hashing, strings, histogram.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <set>
+
+#include "util/fp16.hpp"
+#include "util/hash.hpp"
+#include "util/histogram.hpp"
+#include "util/rng.hpp"
+#include "util/strings.hpp"
+
+namespace mcqa::util {
+namespace {
+
+// --- Rng ---------------------------------------------------------------------
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42, 7);
+  Rng b(42, 7);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(42);
+  Rng b(43);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a() == b()) ? 1 : 0;
+  EXPECT_LT(same, 5);
+}
+
+TEST(Rng, DifferentStreamsDiffer) {
+  Rng a(42, 1);
+  Rng b(42, 2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a() == b()) ? 1 : 0;
+  EXPECT_LT(same, 5);
+}
+
+TEST(Rng, BoundedStaysInRange) {
+  Rng rng(1);
+  for (std::uint32_t bound : {1u, 2u, 3u, 7u, 100u, 1000000u}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.bounded(bound), bound);
+    }
+  }
+}
+
+TEST(Rng, BoundedZeroAndOne) {
+  Rng rng(1);
+  EXPECT_EQ(rng.bounded(0), 0u);
+  EXPECT_EQ(rng.bounded(1), 0u);
+}
+
+TEST(Rng, UniformIntInclusiveRange) {
+  Rng rng(5);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.uniform_int(3, 7);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 7);
+    saw_lo |= v == 3;
+    saw_hi |= v == 7;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformIntDegenerate) {
+  Rng rng(5);
+  EXPECT_EQ(rng.uniform_int(4, 4), 4);
+  EXPECT_EQ(rng.uniform_int(9, 2), 9);  // hi < lo clamps to lo
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(9);
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(11);
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal(3.0, 2.0);
+    sum += x;
+    sum_sq += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sum_sq / n - mean * mean;
+  EXPECT_NEAR(mean, 3.0, 0.1);
+  EXPECT_NEAR(var, 4.0, 0.25);
+}
+
+TEST(Rng, ZipfSkewsLow) {
+  Rng rng(13);
+  std::size_t low = 0;
+  const std::size_t n = 10000;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t k = rng.zipf(100, 1.2);
+    EXPECT_LT(k, 100u);
+    low += (k < 10) ? 1 : 0;
+  }
+  // Rank 0-9 should dominate under a Zipf law.
+  EXPECT_GT(low, n / 2);
+}
+
+TEST(Rng, ZipfSingleton) {
+  Rng rng(13);
+  EXPECT_EQ(rng.zipf(1), 0u);
+  EXPECT_EQ(rng.zipf(0), 0u);
+}
+
+TEST(Rng, ForkIndependence) {
+  const Rng parent(99);
+  Rng a = parent.fork(1);
+  Rng b = parent.fork(2);
+  Rng a2 = parent.fork(1);
+  EXPECT_EQ(a(), a2());  // same salt -> same stream
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a() == b()) ? 1 : 0;
+  EXPECT_LT(same, 5);
+}
+
+TEST(Rng, ForkByStringMatchesSameString) {
+  const Rng parent(99);
+  Rng a = parent.fork("doc_1");
+  Rng b = parent.fork("doc_1");
+  Rng c = parent.fork("doc_2");
+  EXPECT_EQ(a(), b());
+  Rng a3 = parent.fork("doc_1");
+  EXPECT_NE(a3(), c());
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng(7);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8, 9};
+  std::vector<int> orig = v;
+  rng.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, orig);
+}
+
+TEST(Rng, SampleIndicesDistinctAndInRange) {
+  Rng rng(21);
+  const auto sample = rng.sample_indices(50, 20);
+  EXPECT_EQ(sample.size(), 20u);
+  std::set<std::size_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 20u);
+  for (const auto i : sample) EXPECT_LT(i, 50u);
+}
+
+TEST(Rng, SampleIndicesClampsToN) {
+  Rng rng(21);
+  EXPECT_EQ(rng.sample_indices(5, 10).size(), 5u);
+  EXPECT_TRUE(rng.sample_indices(5, 0).empty());
+}
+
+TEST(Rng, WeightedPickRespectsWeights) {
+  Rng rng(33);
+  const std::vector<double> w{0.0, 10.0, 0.0};
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.weighted_pick(w), 1u);
+}
+
+TEST(Rng, WeightedPickAllZeroReturnsSize) {
+  Rng rng(33);
+  const std::vector<double> w{0.0, 0.0};
+  EXPECT_EQ(rng.weighted_pick(w), 2u);
+  EXPECT_EQ(rng.weighted_pick({}), 0u);
+}
+
+TEST(Rng, WeightedPickProportions) {
+  Rng rng(37);
+  const std::vector<double> w{1.0, 3.0};
+  int ones = 0;
+  for (int i = 0; i < 10000; ++i) ones += rng.weighted_pick(w) == 1 ? 1 : 0;
+  EXPECT_NEAR(ones / 10000.0, 0.75, 0.03);
+}
+
+// --- fp16 ---------------------------------------------------------------------
+
+TEST(Fp16, ExactValuesRoundTrip) {
+  for (const float f : {0.0f, 1.0f, -1.0f, 0.5f, 2.0f, -2.5f, 1024.0f}) {
+    EXPECT_EQ(fp16_to_float(float_to_fp16(f)), f) << f;
+  }
+}
+
+TEST(Fp16, SignedZero) {
+  EXPECT_EQ(float_to_fp16(0.0f), 0x0000);
+  EXPECT_EQ(float_to_fp16(-0.0f), 0x8000);
+}
+
+TEST(Fp16, InfinityAndNan) {
+  const float inf = std::numeric_limits<float>::infinity();
+  EXPECT_EQ(fp16_to_float(float_to_fp16(inf)), inf);
+  EXPECT_EQ(fp16_to_float(float_to_fp16(-inf)), -inf);
+  EXPECT_TRUE(std::isnan(fp16_to_float(
+      float_to_fp16(std::numeric_limits<float>::quiet_NaN()))));
+}
+
+TEST(Fp16, OverflowSaturatesToInf) {
+  EXPECT_TRUE(std::isinf(fp16_to_float(float_to_fp16(1e6f))));
+}
+
+TEST(Fp16, UnderflowToZero) {
+  EXPECT_EQ(fp16_to_float(float_to_fp16(1e-9f)), 0.0f);
+}
+
+TEST(Fp16, SubnormalHalfValues) {
+  // Smallest positive half subnormal: 2^-24.
+  const float tiny = std::ldexp(1.0f, -24);
+  EXPECT_NEAR(fp16_to_float(float_to_fp16(tiny)), tiny, tiny * 0.01);
+}
+
+class Fp16ErrorBound : public ::testing::TestWithParam<float> {};
+
+TEST_P(Fp16ErrorBound, RelativeErrorWithinHalfUlp) {
+  const float f = GetParam();
+  const float back = fp16_to_float(float_to_fp16(f));
+  // Half precision has 11 significand bits: rel error <= 2^-11.
+  EXPECT_LE(std::fabs(back - f), std::fabs(f) * 0x1.0p-11 + 1e-12f);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, Fp16ErrorBound,
+                         ::testing::Values(0.1f, 0.333f, 3.14159f, 17.29f,
+                                           -0.777f, 123.456f, 0.001f,
+                                           -4096.5f, 65000.0f));
+
+TEST(Fp16, VectorQuantizeDequantize) {
+  const std::vector<float> v{0.1f, -0.5f, 2.0f, 0.0f};
+  const auto q = quantize_fp16(v);
+  const auto d = dequantize_fp16(q);
+  ASSERT_EQ(d.size(), v.size());
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    EXPECT_NEAR(d[i], v[i], std::fabs(v[i]) * 0.001 + 1e-6);
+  }
+}
+
+// --- hash ---------------------------------------------------------------------
+
+TEST(Hash, Fnv1aStableKnownValue) {
+  // FNV-1a of empty string is the offset basis.
+  EXPECT_EQ(fnv1a64(""), kFnvOffset64);
+  // Same input same hash, different input different hash.
+  EXPECT_EQ(fnv1a64("abc"), fnv1a64("abc"));
+  EXPECT_NE(fnv1a64("abc"), fnv1a64("abd"));
+}
+
+TEST(Hash, IntegerOverloadDiffersFromString) {
+  EXPECT_NE(fnv1a64(std::uint64_t{1}), fnv1a64(std::uint64_t{2}));
+}
+
+TEST(Hash, CombineNotCommutative) {
+  EXPECT_NE(hash_combine(1, 2), hash_combine(2, 1));
+}
+
+TEST(Hash, HexDigestWidthAndChars) {
+  const std::string d = hex_digest(0xdeadbeefULL, 12);
+  EXPECT_EQ(d.size(), 12u);
+  EXPECT_EQ(d.substr(4), "deadbeef");
+  EXPECT_EQ(hex_digest(0xfULL, 1), "f");
+  EXPECT_EQ(hex_digest(0xabcULL, 16).size(), 16u);
+}
+
+// --- strings -------------------------------------------------------------------
+
+TEST(Strings, SplitKeepsEmptyFields) {
+  const auto parts = split("a,,b,", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+  EXPECT_EQ(parts[3], "");
+}
+
+TEST(Strings, SplitWsDropsEmpty) {
+  const auto parts = split_ws("  hello   world \t\n x ");
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "hello");
+  EXPECT_EQ(parts[2], "x");
+}
+
+TEST(Strings, JoinRoundTrip) {
+  const std::vector<std::string> parts{"a", "b", "c"};
+  EXPECT_EQ(join(parts, ", "), "a, b, c");
+  EXPECT_EQ(join(std::vector<std::string>{}, ","), "");
+}
+
+TEST(Strings, Trim) {
+  EXPECT_EQ(trim("  x  "), "x");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim(" \t\n "), "");
+  EXPECT_EQ(trim("abc"), "abc");
+}
+
+TEST(Strings, CaseConversion) {
+  EXPECT_EQ(to_lower("TP53 And ATM"), "tp53 and atm");
+  EXPECT_EQ(to_upper("gy"), "GY");
+}
+
+TEST(Strings, StartsEndsWith) {
+  EXPECT_TRUE(starts_with("%SPDF-1.2", "%SPDF-"));
+  EXPECT_FALSE(starts_with("abc", "abcd"));
+  EXPECT_TRUE(ends_with("file.spdf", ".spdf"));
+  EXPECT_FALSE(ends_with("x", "xx"));
+}
+
+TEST(Strings, ContainsCi) {
+  EXPECT_TRUE(contains_ci("The Half-Life of Iodine", "half-life"));
+  EXPECT_FALSE(contains_ci("abc", "abd"));
+  EXPECT_TRUE(contains_ci("anything", ""));
+}
+
+TEST(Strings, ReplaceAll) {
+  EXPECT_EQ(replace_all("a-b-c", "-", "+"), "a+b+c");
+  EXPECT_EQ(replace_all("aaa", "aa", "b"), "ba");
+  EXPECT_EQ(replace_all("x", "", "y"), "x");
+}
+
+TEST(Strings, FormatDouble) {
+  EXPECT_EQ(format_double(3.14159, 2), "3.14");
+  EXPECT_EQ(format_double(2.0, 0), "2");
+}
+
+TEST(Strings, FormatParamCount) {
+  EXPECT_EQ(format_param_count(7.0), "7 B");
+  EXPECT_EQ(format_param_count(1.1), "1.1 B");
+}
+
+TEST(Strings, EditDistance) {
+  EXPECT_EQ(edit_distance("", ""), 0u);
+  EXPECT_EQ(edit_distance("abc", "abc"), 0u);
+  EXPECT_EQ(edit_distance("kitten", "sitting"), 3u);
+  EXPECT_EQ(edit_distance("", "abc"), 3u);
+}
+
+TEST(Strings, StringSimilarityBounds) {
+  EXPECT_DOUBLE_EQ(string_similarity("", ""), 1.0);
+  EXPECT_DOUBLE_EQ(string_similarity("abc", "abc"), 1.0);
+  EXPECT_DOUBLE_EQ(string_similarity("abc", "xyz"), 0.0);
+  const double s = string_similarity("cisplatin", "cisplatim");
+  EXPECT_GT(s, 0.8);
+  EXPECT_LT(s, 1.0);
+}
+
+// --- histogram ------------------------------------------------------------------
+
+TEST(SummaryStats, BasicMoments) {
+  SummaryStats s;
+  for (const double x : {1.0, 2.0, 3.0, 4.0}) s.add(x);
+  EXPECT_EQ(s.count(), 4u);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.5);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 4.0);
+  EXPECT_NEAR(s.variance(), 1.25, 1e-12);
+}
+
+TEST(SummaryStats, MergeMatchesCombined) {
+  SummaryStats a;
+  SummaryStats b;
+  SummaryStats whole;
+  for (int i = 0; i < 10; ++i) {
+    const double x = i * 0.7;
+    (i % 2 == 0 ? a : b).add(x);
+    whole.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), whole.count());
+  EXPECT_NEAR(a.mean(), whole.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), whole.variance(), 1e-12);
+}
+
+TEST(Histogram, BinningAndClamping) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(0.5);
+  h.add(9.5);
+  h.add(-5.0);   // clamps into bin 0
+  h.add(100.0);  // clamps into last bin
+  EXPECT_EQ(h.bin_count(0), 2u);
+  EXPECT_EQ(h.bin_count(9), 2u);
+  EXPECT_EQ(h.total(), 4u);
+}
+
+TEST(Histogram, QuantileApproximation) {
+  Histogram h(0.0, 100.0, 100);
+  for (int i = 0; i < 100; ++i) h.add(i + 0.5);
+  EXPECT_NEAR(h.quantile(0.5), 50.0, 2.0);
+  EXPECT_NEAR(h.quantile(0.0), 0.5, 1.0);
+  EXPECT_NEAR(h.quantile(1.0), 99.5, 1.0);
+}
+
+TEST(Histogram, InvalidConstruction) {
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), std::invalid_argument);
+  EXPECT_THROW(Histogram(1.0, 1.0, 4), std::invalid_argument);
+}
+
+TEST(Histogram, RenderNonEmpty) {
+  Histogram h(0.0, 1.0, 4);
+  h.add(0.1);
+  const std::string out = h.render();
+  EXPECT_NE(out.find('#'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mcqa::util

@@ -1,0 +1,286 @@
+// mcqa — command-line front end for the benchmark pipeline.
+//
+//   mcqa pipeline [--scale S] [--out DIR]      build + export artifacts
+//   mcqa eval     [--scale S] [--model NAME] [--set SET] [--condition C]
+//   mcqa inspect  [--scale S] [--id RECORD_ID | --n INDEX]
+//   mcqa models                                 list the registry
+//
+// SET: synthetic | astro | astro-nomath.  C: baseline | chunks |
+// rt-detail | rt-focused | rt-efficient | all.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "core/pipeline.hpp"
+#include "core/provenance.hpp"
+#include "eval/judge.hpp"
+#include "eval/report.hpp"
+#include "util/strings.hpp"
+
+namespace {
+
+using namespace mcqa;
+
+struct Args {
+  std::string command;
+  std::map<std::string, std::string> flags;
+
+  static Args parse(int argc, char** argv) {
+    Args args;
+    if (argc > 1) args.command = argv[1];
+    for (int i = 2; i + 1 < argc; i += 2) {
+      if (std::strncmp(argv[i], "--", 2) != 0) break;
+      args.flags[argv[i] + 2] = argv[i + 1];
+    }
+    return args;
+  }
+
+  std::string get(const std::string& key, const std::string& fallback) const {
+    const auto it = flags.find(key);
+    return it == flags.end() ? fallback : it->second;
+  }
+  double get_double(const std::string& key, double fallback) const {
+    const auto it = flags.find(key);
+    return it == flags.end() ? fallback : std::atof(it->second.c_str());
+  }
+};
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage:\n"
+      "  mcqa models\n"
+      "  mcqa pipeline [--scale S] [--out DIR]\n"
+      "  mcqa eval     [--scale S] [--model NAME|all] "
+      "[--set synthetic|astro|astro-nomath] [--condition C|all]\n"
+      "  mcqa inspect  [--scale S] [--n INDEX | --id RECORD_ID]\n"
+      "  mcqa provenance [--scale S] [--n INDEX | --id RECORD_ID]\n");
+  return 2;
+}
+
+std::optional<rag::Condition> condition_from_flag(const std::string& name) {
+  if (name == "baseline") return rag::Condition::kBaseline;
+  if (name == "chunks") return rag::Condition::kChunks;
+  if (name == "rt-detail") return rag::Condition::kTraceDetailed;
+  if (name == "rt-focused") return rag::Condition::kTraceFocused;
+  if (name == "rt-efficient") return rag::Condition::kTraceEfficient;
+  return std::nullopt;
+}
+
+const std::vector<qgen::McqRecord>& record_set(
+    const core::PipelineContext& ctx, const std::string& name) {
+  if (name == "astro") return ctx.exam_all();
+  if (name == "astro-nomath") return ctx.exam_no_math();
+  return ctx.benchmark();
+}
+
+int cmd_models() {
+  eval::TableWriter table({"Model", "Params", "Year", "Window", "Vendor"});
+  for (const auto& card : llm::student_registry()) {
+    table.add_row({card.spec.name,
+                   util::format_param_count(card.spec.params_billions),
+                   std::to_string(card.spec.release_year),
+                   std::to_string(card.spec.context_window),
+                   card.spec.vendor});
+  }
+  std::printf("%s", table.render().c_str());
+  return 0;
+}
+
+int cmd_pipeline(const Args& args) {
+  const double scale = args.get_double("scale", 0.01);
+  const std::filesystem::path outdir = args.get("out", "out");
+  const core::PipelineContext ctx(core::PipelineConfig::paper_scale(scale));
+  std::filesystem::create_directories(outdir);
+
+  std::ofstream bench_file(outdir / "benchmark.jsonl");
+  for (const auto& r : ctx.benchmark()) {
+    bench_file << r.to_json().dump() << "\n";
+  }
+  for (int m = 0; m < trace::kTraceModeCount; ++m) {
+    const auto mode = static_cast<trace::TraceMode>(m);
+    std::ofstream trace_file(
+        outdir / ("traces_" + std::string(trace::trace_mode_name(mode)) +
+                  ".jsonl"));
+    for (const auto& t : ctx.traces(mode)) {
+      trace_file << t.to_json().dump() << "\n";
+    }
+  }
+  std::ofstream exam_file(outdir / "astro_exam.jsonl");
+  for (const auto& r : ctx.exam_all()) {
+    exam_file << r.to_json().dump() << "\n";
+  }
+
+  const auto& s = ctx.stats();
+  std::printf("scale %.3f: %zu docs -> %zu chunks -> %zu questions "
+              "(%.1f%% acceptance), %zu traces/mode, exam %zu/%zu\n",
+              scale, s.documents, s.chunks, s.funnel.accepted,
+              100.0 * s.funnel.acceptance_rate(), s.traces_per_mode,
+              ctx.exam_all().size(), ctx.exam_no_math().size());
+  std::printf("artifacts in %s/\n", outdir.c_str());
+  return 0;
+}
+
+int cmd_eval(const Args& args) {
+  const double scale = args.get_double("scale", 0.01);
+  const std::string model_name = args.get("model", "all");
+  const std::string set_name = args.get("set", "synthetic");
+  const std::string cond_name = args.get("condition", "all");
+
+  const core::PipelineContext ctx(core::PipelineConfig::paper_scale(scale));
+  const auto& records = record_set(ctx, set_name);
+  const eval::EvalHarness harness(ctx.rag());
+
+  std::vector<rag::Condition> conditions;
+  if (cond_name == "all") {
+    conditions = eval::all_conditions();
+  } else if (const auto c = condition_from_flag(cond_name)) {
+    conditions = {*c};
+  } else {
+    return usage();
+  }
+
+  std::vector<const llm::ModelCard*> cards;
+  for (const auto& card : llm::student_registry()) {
+    if (model_name == "all" || card.spec.name == model_name) {
+      cards.push_back(&card);
+    }
+  }
+  if (cards.empty()) {
+    std::fprintf(stderr, "unknown model: %s\n", model_name.c_str());
+    return 2;
+  }
+
+  std::vector<std::string> headers{"Model"};
+  for (const auto c : conditions) {
+    headers.emplace_back(rag::condition_name(c));
+  }
+  eval::TableWriter table(std::move(headers));
+  for (const auto* card : cards) {
+    const llm::StudentModel model(*card);
+    std::vector<std::string> row{card->spec.name};
+    for (const auto c : conditions) {
+      const eval::Accuracy acc =
+          harness.evaluate(model, card->spec, records, c);
+      row.push_back(eval::fmt_acc(acc.value()) + " ±" +
+                    eval::fmt_acc(acc.ci95_halfwidth()));
+    }
+    table.add_row(std::move(row));
+  }
+  std::printf("set=%s (%zu records), scale=%.3f\n\n%s", set_name.c_str(),
+              records.size(), scale, table.render().c_str());
+  return 0;
+}
+
+int cmd_inspect(const Args& args) {
+  const double scale = args.get_double("scale", 0.01);
+  const core::PipelineContext ctx(core::PipelineConfig::paper_scale(scale));
+  const std::string want_id = args.get("id", "");
+  const auto n = static_cast<std::size_t>(args.get_double("n", 0));
+
+  const qgen::McqRecord* record = nullptr;
+  if (!want_id.empty()) {
+    for (const auto& r : ctx.benchmark()) {
+      if (r.record_id == want_id) {
+        record = &r;
+        break;
+      }
+    }
+    if (record == nullptr) {
+      std::fprintf(stderr, "no record with id %s\n", want_id.c_str());
+      return 2;
+    }
+  } else {
+    if (n >= ctx.benchmark().size()) {
+      std::fprintf(stderr, "index out of range (%zu records)\n",
+                   ctx.benchmark().size());
+      return 2;
+    }
+    record = &ctx.benchmark()[n];
+  }
+
+  std::printf("=== MCQA record (Fig. 2 schema) ===\n%s\n\n",
+              record->to_json().dump(2).c_str());
+  for (int m = 0; m < trace::kTraceModeCount; ++m) {
+    const auto mode = static_cast<trace::TraceMode>(m);
+    for (const auto& t : ctx.traces(mode)) {
+      if (t.source_record_id != record->record_id) continue;
+      std::printf("=== %s trace retrieval text ===\n%s\n\n",
+                  std::string(trace::trace_mode_name(mode)).c_str(),
+                  t.retrieval_text().c_str());
+      break;
+    }
+  }
+  return 0;
+}
+
+int cmd_provenance(const Args& args) {
+  const double scale = args.get_double("scale", 0.01);
+  const core::PipelineContext ctx(core::PipelineConfig::paper_scale(scale));
+  const core::ProvenanceIndex index(ctx);
+
+  const std::string want_id = args.get("id", "");
+  std::string record_id = want_id;
+  if (record_id.empty()) {
+    const auto n = static_cast<std::size_t>(args.get_double("n", 0));
+    if (n >= ctx.benchmark().size()) {
+      std::fprintf(stderr, "index out of range\n");
+      return 2;
+    }
+    record_id = ctx.benchmark()[n].record_id;
+  }
+
+  const auto lineage = index.lookup(record_id);
+  if (!lineage.has_value()) {
+    std::fprintf(stderr, "no record with id %s\n", record_id.c_str());
+    return 2;
+  }
+
+  std::printf("record   : %s\n", lineage->record->record_id.c_str());
+  std::printf("question : %s\n", lineage->record->stem.c_str());
+  std::printf("answer   : %s\n", lineage->record->answer.c_str());
+  if (lineage->chunk != nullptr) {
+    std::printf("chunk    : %s (chunk #%zu of %s, %zu words)\n",
+                lineage->chunk->chunk_id.c_str(), lineage->chunk->index,
+                lineage->chunk->doc_id.c_str(), lineage->chunk->word_count);
+  }
+  if (lineage->document != nullptr) {
+    std::printf("document : \"%s\" [%s, parsed by %s, quality %.2f]\n",
+                lineage->document->title.c_str(),
+                lineage->document->kind.c_str(),
+                lineage->document->parser_used.c_str(),
+                lineage->document->quality);
+  }
+  if (lineage->raw != nullptr) {
+    std::printf("raw file : %zu bytes of %s\n", lineage->raw->bytes.size(),
+                std::string(corpus::doc_format_name(lineage->raw->format))
+                    .c_str());
+  }
+  std::printf("facts in source chunk: %zu (probed fact id %u)\n",
+              lineage->chunk_facts.size(), lineage->record->fact);
+  std::printf("sibling questions from the same document: %zu\n",
+              lineage->sibling_questions.size());
+  const auto probing = index.questions_probing(lineage->record->fact);
+  std::printf("benchmark questions probing the same fact: %zu\n",
+              probing.size());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args args = Args::parse(argc, argv);
+  if (args.command == "models") return cmd_models();
+  if (args.command == "pipeline") return cmd_pipeline(args);
+  if (args.command == "eval") return cmd_eval(args);
+  if (args.command == "inspect") return cmd_inspect(args);
+  if (args.command == "provenance") return cmd_provenance(args);
+  return usage();
+}
