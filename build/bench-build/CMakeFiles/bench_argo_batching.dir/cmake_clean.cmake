@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_argo_batching"
+  "../bench/bench_argo_batching.pdb"
+  "CMakeFiles/bench_argo_batching.dir/bench_argo_batching.cpp.o"
+  "CMakeFiles/bench_argo_batching.dir/bench_argo_batching.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_argo_batching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

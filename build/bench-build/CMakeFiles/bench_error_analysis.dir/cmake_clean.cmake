@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_error_analysis"
+  "../bench/bench_error_analysis.pdb"
+  "CMakeFiles/bench_error_analysis.dir/bench_error_analysis.cpp.o"
+  "CMakeFiles/bench_error_analysis.dir/bench_error_analysis.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_error_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

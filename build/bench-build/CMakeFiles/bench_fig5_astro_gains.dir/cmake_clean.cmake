@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig5_astro_gains"
+  "../bench/bench_fig5_astro_gains.pdb"
+  "CMakeFiles/bench_fig5_astro_gains.dir/bench_fig5_astro_gains.cpp.o"
+  "CMakeFiles/bench_fig5_astro_gains.dir/bench_fig5_astro_gains.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_astro_gains.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig6_nomath_gains"
+  "../bench/bench_fig6_nomath_gains.pdb"
+  "CMakeFiles/bench_fig6_nomath_gains.dir/bench_fig6_nomath_gains.cpp.o"
+  "CMakeFiles/bench_fig6_nomath_gains.dir/bench_fig6_nomath_gains.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_nomath_gains.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_pipeline_stats"
+  "../bench/bench_pipeline_stats.pdb"
+  "CMakeFiles/bench_pipeline_stats.dir/bench_pipeline_stats.cpp.o"
+  "CMakeFiles/bench_pipeline_stats.dir/bench_pipeline_stats.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_pipeline_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_scaling"
+  "../bench/bench_scaling.pdb"
+  "CMakeFiles/bench_scaling.dir/bench_scaling.cpp.o"
+  "CMakeFiles/bench_scaling.dir/bench_scaling.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table2_synthetic"
+  "../bench/bench_table2_synthetic.pdb"
+  "CMakeFiles/bench_table2_synthetic.dir/bench_table2_synthetic.cpp.o"
+  "CMakeFiles/bench_table2_synthetic.dir/bench_table2_synthetic.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_synthetic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table3_astro_all"
+  "../bench/bench_table3_astro_all.pdb"
+  "CMakeFiles/bench_table3_astro_all.dir/bench_table3_astro_all.cpp.o"
+  "CMakeFiles/bench_table3_astro_all.dir/bench_table3_astro_all.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_astro_all.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table4_astro_nomath"
+  "../bench/bench_table4_astro_nomath.pdb"
+  "CMakeFiles/bench_table4_astro_nomath.dir/bench_table4_astro_nomath.cpp.o"
+  "CMakeFiles/bench_table4_astro_nomath.dir/bench_table4_astro_nomath.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_astro_nomath.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

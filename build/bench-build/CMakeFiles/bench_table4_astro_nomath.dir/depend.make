@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_table4_astro_nomath.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_trace_pretraining"
+  "../bench/bench_trace_pretraining.pdb"
+  "CMakeFiles/bench_trace_pretraining.dir/bench_trace_pretraining.cpp.o"
+  "CMakeFiles/bench_trace_pretraining.dir/bench_trace_pretraining.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_trace_pretraining.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

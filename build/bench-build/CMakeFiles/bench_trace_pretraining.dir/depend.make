@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_trace_pretraining.
+# This may be replaced when dependencies are built.

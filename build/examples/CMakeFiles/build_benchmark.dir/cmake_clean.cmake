@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/build_benchmark.dir/build_benchmark.cpp.o"
+  "CMakeFiles/build_benchmark.dir/build_benchmark.cpp.o.d"
+  "build_benchmark"
+  "build_benchmark.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/build_benchmark.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

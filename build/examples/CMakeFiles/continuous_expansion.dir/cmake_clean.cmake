@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/continuous_expansion.dir/continuous_expansion.cpp.o"
+  "CMakeFiles/continuous_expansion.dir/continuous_expansion.cpp.o.d"
+  "continuous_expansion"
+  "continuous_expansion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/continuous_expansion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/domain_adaptation.dir/domain_adaptation.cpp.o"
+  "CMakeFiles/domain_adaptation.dir/domain_adaptation.cpp.o.d"
+  "domain_adaptation"
+  "domain_adaptation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/domain_adaptation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

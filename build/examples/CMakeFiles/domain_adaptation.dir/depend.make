@@ -1,0 +1,2 @@
+# Empty dependencies file for domain_adaptation.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/retrieval_explorer.dir/retrieval_explorer.cpp.o"
+  "CMakeFiles/retrieval_explorer.dir/retrieval_explorer.cpp.o.d"
+  "retrieval_explorer"
+  "retrieval_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/retrieval_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

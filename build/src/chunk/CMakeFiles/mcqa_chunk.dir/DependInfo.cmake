@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/chunk/chunker.cpp" "src/chunk/CMakeFiles/mcqa_chunk.dir/chunker.cpp.o" "gcc" "src/chunk/CMakeFiles/mcqa_chunk.dir/chunker.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/mcqa_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/mcqa_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/embed/CMakeFiles/mcqa_embed.dir/DependInfo.cmake"
+  "/root/repo/build/src/parse/CMakeFiles/mcqa_parse.dir/DependInfo.cmake"
+  "/root/repo/build/src/json/CMakeFiles/mcqa_json.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

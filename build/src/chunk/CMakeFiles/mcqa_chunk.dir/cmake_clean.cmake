@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcqa_chunk.dir/chunker.cpp.o"
+  "CMakeFiles/mcqa_chunk.dir/chunker.cpp.o.d"
+  "libmcqa_chunk.a"
+  "libmcqa_chunk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcqa_chunk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcqa_core.dir/expansion.cpp.o"
+  "CMakeFiles/mcqa_core.dir/expansion.cpp.o.d"
+  "CMakeFiles/mcqa_core.dir/pipeline.cpp.o"
+  "CMakeFiles/mcqa_core.dir/pipeline.cpp.o.d"
+  "CMakeFiles/mcqa_core.dir/provenance.cpp.o"
+  "CMakeFiles/mcqa_core.dir/provenance.cpp.o.d"
+  "CMakeFiles/mcqa_core.dir/streaming.cpp.o"
+  "CMakeFiles/mcqa_core.dir/streaming.cpp.o.d"
+  "libmcqa_core.a"
+  "libmcqa_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcqa_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

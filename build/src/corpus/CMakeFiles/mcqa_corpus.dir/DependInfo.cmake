@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/corpus/corpus_builder.cpp" "src/corpus/CMakeFiles/mcqa_corpus.dir/corpus_builder.cpp.o" "gcc" "src/corpus/CMakeFiles/mcqa_corpus.dir/corpus_builder.cpp.o.d"
+  "/root/repo/src/corpus/fact_matcher.cpp" "src/corpus/CMakeFiles/mcqa_corpus.dir/fact_matcher.cpp.o" "gcc" "src/corpus/CMakeFiles/mcqa_corpus.dir/fact_matcher.cpp.o.d"
+  "/root/repo/src/corpus/knowledge_base.cpp" "src/corpus/CMakeFiles/mcqa_corpus.dir/knowledge_base.cpp.o" "gcc" "src/corpus/CMakeFiles/mcqa_corpus.dir/knowledge_base.cpp.o.d"
+  "/root/repo/src/corpus/paper_generator.cpp" "src/corpus/CMakeFiles/mcqa_corpus.dir/paper_generator.cpp.o" "gcc" "src/corpus/CMakeFiles/mcqa_corpus.dir/paper_generator.cpp.o.d"
+  "/root/repo/src/corpus/realization.cpp" "src/corpus/CMakeFiles/mcqa_corpus.dir/realization.cpp.o" "gcc" "src/corpus/CMakeFiles/mcqa_corpus.dir/realization.cpp.o.d"
+  "/root/repo/src/corpus/spdf.cpp" "src/corpus/CMakeFiles/mcqa_corpus.dir/spdf.cpp.o" "gcc" "src/corpus/CMakeFiles/mcqa_corpus.dir/spdf.cpp.o.d"
+  "/root/repo/src/corpus/term_banks.cpp" "src/corpus/CMakeFiles/mcqa_corpus.dir/term_banks.cpp.o" "gcc" "src/corpus/CMakeFiles/mcqa_corpus.dir/term_banks.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/mcqa_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/mcqa_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/mcqa_parallel.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcqa_corpus.dir/corpus_builder.cpp.o"
+  "CMakeFiles/mcqa_corpus.dir/corpus_builder.cpp.o.d"
+  "CMakeFiles/mcqa_corpus.dir/fact_matcher.cpp.o"
+  "CMakeFiles/mcqa_corpus.dir/fact_matcher.cpp.o.d"
+  "CMakeFiles/mcqa_corpus.dir/knowledge_base.cpp.o"
+  "CMakeFiles/mcqa_corpus.dir/knowledge_base.cpp.o.d"
+  "CMakeFiles/mcqa_corpus.dir/paper_generator.cpp.o"
+  "CMakeFiles/mcqa_corpus.dir/paper_generator.cpp.o.d"
+  "CMakeFiles/mcqa_corpus.dir/realization.cpp.o"
+  "CMakeFiles/mcqa_corpus.dir/realization.cpp.o.d"
+  "CMakeFiles/mcqa_corpus.dir/spdf.cpp.o"
+  "CMakeFiles/mcqa_corpus.dir/spdf.cpp.o.d"
+  "CMakeFiles/mcqa_corpus.dir/term_banks.cpp.o"
+  "CMakeFiles/mcqa_corpus.dir/term_banks.cpp.o.d"
+  "libmcqa_corpus.a"
+  "libmcqa_corpus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcqa_corpus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

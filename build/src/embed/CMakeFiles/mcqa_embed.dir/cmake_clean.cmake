@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcqa_embed.dir/embedding_store.cpp.o"
+  "CMakeFiles/mcqa_embed.dir/embedding_store.cpp.o.d"
+  "CMakeFiles/mcqa_embed.dir/hashed_embedder.cpp.o"
+  "CMakeFiles/mcqa_embed.dir/hashed_embedder.cpp.o.d"
+  "libmcqa_embed.a"
+  "libmcqa_embed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcqa_embed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

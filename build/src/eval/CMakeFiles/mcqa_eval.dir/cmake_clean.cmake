@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcqa_eval.dir/harness.cpp.o"
+  "CMakeFiles/mcqa_eval.dir/harness.cpp.o.d"
+  "CMakeFiles/mcqa_eval.dir/judge.cpp.o"
+  "CMakeFiles/mcqa_eval.dir/judge.cpp.o.d"
+  "CMakeFiles/mcqa_eval.dir/paper_reference.cpp.o"
+  "CMakeFiles/mcqa_eval.dir/paper_reference.cpp.o.d"
+  "CMakeFiles/mcqa_eval.dir/report.cpp.o"
+  "CMakeFiles/mcqa_eval.dir/report.cpp.o.d"
+  "libmcqa_eval.a"
+  "libmcqa_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcqa_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcqa_exam.dir/astro_exam.cpp.o"
+  "CMakeFiles/mcqa_exam.dir/astro_exam.cpp.o.d"
+  "libmcqa_exam.a"
+  "libmcqa_exam.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcqa_exam.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

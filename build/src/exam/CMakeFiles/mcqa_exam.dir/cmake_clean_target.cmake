@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmcqa_exam.a"
+)

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcqa_index.dir/index_io.cpp.o"
+  "CMakeFiles/mcqa_index.dir/index_io.cpp.o.d"
+  "CMakeFiles/mcqa_index.dir/vector_index.cpp.o"
+  "CMakeFiles/mcqa_index.dir/vector_index.cpp.o.d"
+  "CMakeFiles/mcqa_index.dir/vector_store.cpp.o"
+  "CMakeFiles/mcqa_index.dir/vector_store.cpp.o.d"
+  "libmcqa_index.a"
+  "libmcqa_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcqa_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

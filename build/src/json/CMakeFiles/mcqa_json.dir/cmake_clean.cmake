@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcqa_json.dir/json.cpp.o"
+  "CMakeFiles/mcqa_json.dir/json.cpp.o.d"
+  "libmcqa_json.a"
+  "libmcqa_json.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcqa_json.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

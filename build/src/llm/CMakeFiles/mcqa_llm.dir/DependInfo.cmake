@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/llm/argo_proxy.cpp" "src/llm/CMakeFiles/mcqa_llm.dir/argo_proxy.cpp.o" "gcc" "src/llm/CMakeFiles/mcqa_llm.dir/argo_proxy.cpp.o.d"
+  "/root/repo/src/llm/model_spec.cpp" "src/llm/CMakeFiles/mcqa_llm.dir/model_spec.cpp.o" "gcc" "src/llm/CMakeFiles/mcqa_llm.dir/model_spec.cpp.o.d"
+  "/root/repo/src/llm/ngram_lm.cpp" "src/llm/CMakeFiles/mcqa_llm.dir/ngram_lm.cpp.o" "gcc" "src/llm/CMakeFiles/mcqa_llm.dir/ngram_lm.cpp.o.d"
+  "/root/repo/src/llm/student_model.cpp" "src/llm/CMakeFiles/mcqa_llm.dir/student_model.cpp.o" "gcc" "src/llm/CMakeFiles/mcqa_llm.dir/student_model.cpp.o.d"
+  "/root/repo/src/llm/teacher_model.cpp" "src/llm/CMakeFiles/mcqa_llm.dir/teacher_model.cpp.o" "gcc" "src/llm/CMakeFiles/mcqa_llm.dir/teacher_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/mcqa_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/mcqa_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/corpus/CMakeFiles/mcqa_corpus.dir/DependInfo.cmake"
+  "/root/repo/build/src/chunk/CMakeFiles/mcqa_chunk.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/mcqa_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/embed/CMakeFiles/mcqa_embed.dir/DependInfo.cmake"
+  "/root/repo/build/src/parse/CMakeFiles/mcqa_parse.dir/DependInfo.cmake"
+  "/root/repo/build/src/json/CMakeFiles/mcqa_json.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcqa_llm.dir/argo_proxy.cpp.o"
+  "CMakeFiles/mcqa_llm.dir/argo_proxy.cpp.o.d"
+  "CMakeFiles/mcqa_llm.dir/model_spec.cpp.o"
+  "CMakeFiles/mcqa_llm.dir/model_spec.cpp.o.d"
+  "CMakeFiles/mcqa_llm.dir/ngram_lm.cpp.o"
+  "CMakeFiles/mcqa_llm.dir/ngram_lm.cpp.o.d"
+  "CMakeFiles/mcqa_llm.dir/student_model.cpp.o"
+  "CMakeFiles/mcqa_llm.dir/student_model.cpp.o.d"
+  "CMakeFiles/mcqa_llm.dir/teacher_model.cpp.o"
+  "CMakeFiles/mcqa_llm.dir/teacher_model.cpp.o.d"
+  "libmcqa_llm.a"
+  "libmcqa_llm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcqa_llm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

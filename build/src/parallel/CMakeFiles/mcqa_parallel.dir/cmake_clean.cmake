@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcqa_parallel.dir/thread_pool.cpp.o"
+  "CMakeFiles/mcqa_parallel.dir/thread_pool.cpp.o.d"
+  "libmcqa_parallel.a"
+  "libmcqa_parallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcqa_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

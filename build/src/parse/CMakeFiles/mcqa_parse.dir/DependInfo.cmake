@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/parse/adaptive.cpp" "src/parse/CMakeFiles/mcqa_parse.dir/adaptive.cpp.o" "gcc" "src/parse/CMakeFiles/mcqa_parse.dir/adaptive.cpp.o.d"
+  "/root/repo/src/parse/document.cpp" "src/parse/CMakeFiles/mcqa_parse.dir/document.cpp.o" "gcc" "src/parse/CMakeFiles/mcqa_parse.dir/document.cpp.o.d"
+  "/root/repo/src/parse/parsers.cpp" "src/parse/CMakeFiles/mcqa_parse.dir/parsers.cpp.o" "gcc" "src/parse/CMakeFiles/mcqa_parse.dir/parsers.cpp.o.d"
+  "/root/repo/src/parse/quality.cpp" "src/parse/CMakeFiles/mcqa_parse.dir/quality.cpp.o" "gcc" "src/parse/CMakeFiles/mcqa_parse.dir/quality.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/mcqa_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/json/CMakeFiles/mcqa_json.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcqa_parse.dir/adaptive.cpp.o"
+  "CMakeFiles/mcqa_parse.dir/adaptive.cpp.o.d"
+  "CMakeFiles/mcqa_parse.dir/document.cpp.o"
+  "CMakeFiles/mcqa_parse.dir/document.cpp.o.d"
+  "CMakeFiles/mcqa_parse.dir/parsers.cpp.o"
+  "CMakeFiles/mcqa_parse.dir/parsers.cpp.o.d"
+  "CMakeFiles/mcqa_parse.dir/quality.cpp.o"
+  "CMakeFiles/mcqa_parse.dir/quality.cpp.o.d"
+  "libmcqa_parse.a"
+  "libmcqa_parse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcqa_parse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

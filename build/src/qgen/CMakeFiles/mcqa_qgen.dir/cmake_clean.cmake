@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcqa_qgen.dir/benchmark_builder.cpp.o"
+  "CMakeFiles/mcqa_qgen.dir/benchmark_builder.cpp.o.d"
+  "CMakeFiles/mcqa_qgen.dir/mcq_record.cpp.o"
+  "CMakeFiles/mcqa_qgen.dir/mcq_record.cpp.o.d"
+  "libmcqa_qgen.a"
+  "libmcqa_qgen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcqa_qgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

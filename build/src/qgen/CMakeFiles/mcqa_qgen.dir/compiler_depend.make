@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for mcqa_qgen.
+# This may be replaced when dependencies are built.

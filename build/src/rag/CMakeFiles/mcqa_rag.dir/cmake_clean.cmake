@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcqa_rag.dir/rag_pipeline.cpp.o"
+  "CMakeFiles/mcqa_rag.dir/rag_pipeline.cpp.o.d"
+  "libmcqa_rag.a"
+  "libmcqa_rag.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcqa_rag.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for mcqa_rag.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/text/bpe.cpp" "src/text/CMakeFiles/mcqa_text.dir/bpe.cpp.o" "gcc" "src/text/CMakeFiles/mcqa_text.dir/bpe.cpp.o.d"
+  "/root/repo/src/text/normalize.cpp" "src/text/CMakeFiles/mcqa_text.dir/normalize.cpp.o" "gcc" "src/text/CMakeFiles/mcqa_text.dir/normalize.cpp.o.d"
+  "/root/repo/src/text/sentence.cpp" "src/text/CMakeFiles/mcqa_text.dir/sentence.cpp.o" "gcc" "src/text/CMakeFiles/mcqa_text.dir/sentence.cpp.o.d"
+  "/root/repo/src/text/tokenizer.cpp" "src/text/CMakeFiles/mcqa_text.dir/tokenizer.cpp.o" "gcc" "src/text/CMakeFiles/mcqa_text.dir/tokenizer.cpp.o.d"
+  "/root/repo/src/text/vocab.cpp" "src/text/CMakeFiles/mcqa_text.dir/vocab.cpp.o" "gcc" "src/text/CMakeFiles/mcqa_text.dir/vocab.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/mcqa_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

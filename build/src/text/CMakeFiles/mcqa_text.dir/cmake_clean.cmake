@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcqa_text.dir/bpe.cpp.o"
+  "CMakeFiles/mcqa_text.dir/bpe.cpp.o.d"
+  "CMakeFiles/mcqa_text.dir/normalize.cpp.o"
+  "CMakeFiles/mcqa_text.dir/normalize.cpp.o.d"
+  "CMakeFiles/mcqa_text.dir/sentence.cpp.o"
+  "CMakeFiles/mcqa_text.dir/sentence.cpp.o.d"
+  "CMakeFiles/mcqa_text.dir/tokenizer.cpp.o"
+  "CMakeFiles/mcqa_text.dir/tokenizer.cpp.o.d"
+  "CMakeFiles/mcqa_text.dir/vocab.cpp.o"
+  "CMakeFiles/mcqa_text.dir/vocab.cpp.o.d"
+  "libmcqa_text.a"
+  "libmcqa_text.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcqa_text.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcqa_trace.dir/trace_generator.cpp.o"
+  "CMakeFiles/mcqa_trace.dir/trace_generator.cpp.o.d"
+  "CMakeFiles/mcqa_trace.dir/trace_grading.cpp.o"
+  "CMakeFiles/mcqa_trace.dir/trace_grading.cpp.o.d"
+  "CMakeFiles/mcqa_trace.dir/trace_record.cpp.o"
+  "CMakeFiles/mcqa_trace.dir/trace_record.cpp.o.d"
+  "libmcqa_trace.a"
+  "libmcqa_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcqa_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

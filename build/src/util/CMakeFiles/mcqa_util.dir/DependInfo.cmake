@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/util/hash.cpp" "src/util/CMakeFiles/mcqa_util.dir/hash.cpp.o" "gcc" "src/util/CMakeFiles/mcqa_util.dir/hash.cpp.o.d"
+  "/root/repo/src/util/histogram.cpp" "src/util/CMakeFiles/mcqa_util.dir/histogram.cpp.o" "gcc" "src/util/CMakeFiles/mcqa_util.dir/histogram.cpp.o.d"
+  "/root/repo/src/util/log.cpp" "src/util/CMakeFiles/mcqa_util.dir/log.cpp.o" "gcc" "src/util/CMakeFiles/mcqa_util.dir/log.cpp.o.d"
+  "/root/repo/src/util/rng.cpp" "src/util/CMakeFiles/mcqa_util.dir/rng.cpp.o" "gcc" "src/util/CMakeFiles/mcqa_util.dir/rng.cpp.o.d"
+  "/root/repo/src/util/strings.cpp" "src/util/CMakeFiles/mcqa_util.dir/strings.cpp.o" "gcc" "src/util/CMakeFiles/mcqa_util.dir/strings.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

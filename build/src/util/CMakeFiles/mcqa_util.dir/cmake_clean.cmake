@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcqa_util.dir/hash.cpp.o"
+  "CMakeFiles/mcqa_util.dir/hash.cpp.o.d"
+  "CMakeFiles/mcqa_util.dir/histogram.cpp.o"
+  "CMakeFiles/mcqa_util.dir/histogram.cpp.o.d"
+  "CMakeFiles/mcqa_util.dir/log.cpp.o"
+  "CMakeFiles/mcqa_util.dir/log.cpp.o.d"
+  "CMakeFiles/mcqa_util.dir/rng.cpp.o"
+  "CMakeFiles/mcqa_util.dir/rng.cpp.o.d"
+  "CMakeFiles/mcqa_util.dir/strings.cpp.o"
+  "CMakeFiles/mcqa_util.dir/strings.cpp.o.d"
+  "libmcqa_util.a"
+  "libmcqa_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcqa_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

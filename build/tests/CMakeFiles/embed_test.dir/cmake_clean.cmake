@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/embed_test.dir/embed_test.cpp.o"
+  "CMakeFiles/embed_test.dir/embed_test.cpp.o.d"
+  "embed_test"
+  "embed_test.pdb"
+  "embed_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/embed_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

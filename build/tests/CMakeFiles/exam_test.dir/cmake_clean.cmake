@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exam_test.dir/exam_test.cpp.o"
+  "CMakeFiles/exam_test.dir/exam_test.cpp.o.d"
+  "exam_test"
+  "exam_test.pdb"
+  "exam_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exam_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/llm_test.dir/llm_test.cpp.o"
+  "CMakeFiles/llm_test.dir/llm_test.cpp.o.d"
+  "llm_test"
+  "llm_test.pdb"
+  "llm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/llm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/proxy_test.dir/proxy_test.cpp.o"
+  "CMakeFiles/proxy_test.dir/proxy_test.cpp.o.d"
+  "proxy_test"
+  "proxy_test.pdb"
+  "proxy_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/proxy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

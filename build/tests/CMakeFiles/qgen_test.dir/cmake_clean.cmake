@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qgen_test.dir/qgen_test.cpp.o"
+  "CMakeFiles/qgen_test.dir/qgen_test.cpp.o.d"
+  "qgen_test"
+  "qgen_test.pdb"
+  "qgen_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qgen_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

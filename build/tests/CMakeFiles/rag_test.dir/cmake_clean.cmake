@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rag_test.dir/rag_test.cpp.o"
+  "CMakeFiles/rag_test.dir/rag_test.cpp.o.d"
+  "rag_test"
+  "rag_test.pdb"
+  "rag_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rag_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcqa.dir/mcqa_cli.cpp.o"
+  "CMakeFiles/mcqa.dir/mcqa_cli.cpp.o.d"
+  "mcqa"
+  "mcqa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcqa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
