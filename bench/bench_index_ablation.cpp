@@ -1,13 +1,30 @@
 // Index ablation (A1 in DESIGN.md): recall@10 and query throughput for
 // flat / IVF / HNSW indexes over the real chunk-embedding distribution,
-// reproducing the accuracy/speed trade-off the paper delegates to FAISS.
+// reproducing the accuracy/speed trade-off the paper delegates to
+// FAISS.
+//
+// Beyond the google-benchmark sweeps this binary:
+//   * measures the dim-256 / 50k-row FlatIndex case the kernel layer is
+//     tracked against (blocked fp16 kernels + bounded-heap top-k),
+//   * measures queries/second through the batched search path,
+//   * verifies batched == sequential results (the determinism shape
+//     check), and
+//   * writes BENCH_index.json (QPS + recall per index kind) so later
+//     PRs can track the perf trajectory machine-readably.
 
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <fstream>
+#include <memory>
 
 #include "bench_common.hpp"
+#include "embed/embedder.hpp"
 #include "index/vector_index.hpp"
+#include "index/vector_store.hpp"
+#include "json/json.hpp"
+#include "parallel/thread_pool.hpp"
+#include "util/rng.hpp"
 #include "util/stopwatch.hpp"
 
 namespace {
@@ -60,6 +77,22 @@ void run_search_bench(benchmark::State& state, MakeIndex make) {
   state.counters["n"] = static_cast<double>(data().base.size());
 }
 
+std::unique_ptr<index::VectorIndex> make_kind(index::IndexKind kind,
+                                              std::size_t dim) {
+  switch (kind) {
+    case index::IndexKind::kFlat:
+      return std::make_unique<index::FlatIndex>(dim);
+    case index::IndexKind::kIvf: {
+      index::IvfConfig cfg;
+      cfg.nlist = 64;
+      return std::make_unique<index::IvfIndex>(dim, cfg);
+    }
+    case index::IndexKind::kHnsw:
+      return std::make_unique<index::HnswIndex>(dim);
+  }
+  return nullptr;
+}
+
 void BM_FlatSearch(benchmark::State& state) {
   run_search_bench(state, [] {
     auto idx = std::make_unique<index::FlatIndex>(data().base[0].size());
@@ -98,15 +131,171 @@ void BM_HnswSearch(benchmark::State& state) {
 }
 BENCHMARK(BM_HnswSearch)->Arg(16)->Arg(64)->Arg(128);
 
+// --- kernel-layer tracking case: FlatIndex at dim 256 / 50k rows -------------
+
+struct FlatCase {
+  std::unique_ptr<index::FlatIndex> idx;
+  std::vector<embed::Vector> queries;
+};
+
+const FlatCase& flat_50k() {
+  static const FlatCase c = [] {
+    constexpr std::size_t kDim = 256;
+    constexpr std::size_t kRows = 50000;
+    FlatCase out;
+    out.idx = std::make_unique<index::FlatIndex>(kDim);
+    util::Rng rng(1);
+    embed::Vector v(kDim);
+    for (std::size_t i = 0; i < kRows; ++i) {
+      for (auto& x : v) x = static_cast<float>(rng.normal());
+      embed::normalize(v);
+      out.idx->add(v);
+    }
+    for (std::size_t i = 0; i < 32; ++i) {
+      for (auto& x : v) x = static_cast<float>(rng.normal());
+      embed::normalize(v);
+      out.queries.push_back(v);
+    }
+    return out;
+  }();
+  return c;
+}
+
+void BM_FlatSearch50kDim256(benchmark::State& state) {
+  const auto& c = flat_50k();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        c.idx->search(c.queries[i % c.queries.size()], 10));
+    ++i;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(i));
+}
+BENCHMARK(BM_FlatSearch50kDim256);
+
+// --- batched-path QPS + machine-readable report ------------------------------
+
+double timed_batch_qps(const index::VectorIndex& idx,
+                       const std::vector<embed::Vector>& queries,
+                       parallel::ThreadPool& pool, std::size_t k = 10,
+                       std::size_t repeats = 4) {
+  util::Stopwatch sw;
+  std::size_t done = 0;
+  for (std::size_t r = 0; r < repeats; ++r) {
+    benchmark::DoNotOptimize(idx.search_batch(queries, k, pool));
+    done += queries.size();
+  }
+  return static_cast<double>(done) / sw.seconds();
+}
+
+/// Batched results must equal the sequential loop at any thread count
+/// (rows and scores) — the determinism contract of search_batch.
+bool batch_matches_sequential(const index::VectorIndex& idx,
+                              const std::vector<embed::Vector>& queries,
+                              std::size_t k = 10) {
+  std::vector<std::vector<index::SearchResult>> want;
+  for (const auto& q : queries) want.push_back(idx.search(q, k));
+  for (const std::size_t threads : {1u, 2u, 8u}) {
+    parallel::ThreadPool pool(threads);
+    const auto got = idx.search_batch(queries, k, pool);
+    if (got.size() != want.size()) return false;
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      if (got[i].size() != want[i].size()) return false;
+      for (std::size_t j = 0; j < got[i].size(); ++j) {
+        if (got[i][j].row != want[i][j].row ||
+            got[i][j].score != want[i][j].score) {
+          return false;
+        }
+      }
+    }
+  }
+  return true;
+}
+
+void write_bench_json() {
+  const std::size_t dim = data().base[0].size();
+  parallel::ThreadPool pool;  // machine-sized
+
+  json::Value report = json::Value::object();
+  report["bench"] = "index_ablation";
+  report["n"] = data().base.size();
+  report["dim"] = dim;
+  report["k"] = 10;
+  report["batch_threads"] = pool.thread_count();
+
+  json::Array indexes;
+  bool all_deterministic = true;
+  for (const index::IndexKind kind :
+       {index::IndexKind::kFlat, index::IndexKind::kIvf,
+        index::IndexKind::kHnsw}) {
+    auto idx = make_kind(kind, dim);
+    for (const auto& v : data().base) idx->add(v);
+    idx->build();
+
+    // Single-query throughput (sequential loop).
+    util::Stopwatch sw;
+    std::size_t singles = 0;
+    for (std::size_t r = 0; r < 2; ++r) {
+      for (const auto& q : data().queries) {
+        benchmark::DoNotOptimize(idx->search(q, 10));
+        ++singles;
+      }
+    }
+    const double qps_single = static_cast<double>(singles) / sw.seconds();
+    const double qps_batch = timed_batch_qps(*idx, data().queries, pool);
+    const bool deterministic =
+        batch_matches_sequential(*idx, data().queries);
+    all_deterministic = all_deterministic && deterministic;
+
+    json::Value entry = json::Value::object();
+    entry["kind"] = index::index_kind_name(kind);
+    entry["qps_single"] = qps_single;
+    entry["qps_batch"] = qps_batch;
+    entry["recall_at_10"] = mean_recall(*idx);
+    entry["batch_matches_sequential"] = deterministic;
+    indexes.push_back(std::move(entry));
+  }
+  report["indexes"] = json::Value(std::move(indexes));
+
+  // The kernel-layer tracking case (dim 256 / 50k rows).
+  {
+    const auto& c = flat_50k();
+    util::Stopwatch sw;
+    std::size_t singles = 0;
+    for (const auto& q : c.queries) {
+      benchmark::DoNotOptimize(c.idx->search(q, 10));
+      ++singles;
+    }
+    json::Value entry = json::Value::object();
+    entry["rows"] = c.idx->size();
+    entry["dim"] = c.idx->dim();
+    entry["qps_single"] = static_cast<double>(singles) / sw.seconds();
+    entry["qps_batch"] = timed_batch_qps(*c.idx, c.queries, pool, 10, 1);
+    report["flat_50k_dim256"] = std::move(entry);
+  }
+
+  std::ofstream out("BENCH_index.json");
+  out << report.dump(2) << "\n";
+  std::printf(
+      "\nshape check: batched results identical to sequential search at "
+      "1/2/8 threads for all index kinds: %s\n",
+      all_deterministic ? "PASS" : "FAIL");
+  std::printf("wrote BENCH_index.json\n");
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::printf(
       "Index ablation (A1): recall@10 vs throughput over %zu chunk "
-      "embeddings — the FAISS-style accuracy/speed trade-off.\n\n",
+      "embeddings — the FAISS-style accuracy/speed trade-off.\n"
+      "Similarity kernels: blocked fixed-lane-order (see DESIGN.md); "
+      "top-k via bounded heap; batched path fans across the thread "
+      "pool.\n\n",
       data().base.size());
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
+  write_bench_json();
   return 0;
 }

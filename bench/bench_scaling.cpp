@@ -11,8 +11,10 @@
 #include "chunk/chunker.hpp"
 #include "corpus/corpus_builder.hpp"
 #include "embed/hashed_embedder.hpp"
+#include "index/vector_index.hpp"
 #include "parallel/thread_pool.hpp"
 #include "parse/adaptive.hpp"
+#include "util/rng.hpp"
 
 namespace {
 
@@ -79,6 +81,74 @@ BENCHMARK(BM_ParseChunkEmbed)
     ->MeasureProcessCPUTime()
     ->UseRealTime();
 
+// --- batched index search vs thread count ------------------------------------
+
+struct BatchSearchData {
+  index::FlatIndex idx{128};
+  std::vector<embed::Vector> queries;
+};
+
+const BatchSearchData& batch_search_data() {
+  static const BatchSearchData d = [] {
+    BatchSearchData out;
+    util::Rng rng(11);
+    embed::Vector v(out.idx.dim());
+    for (std::size_t i = 0; i < 20000; ++i) {
+      for (auto& x : v) x = static_cast<float>(rng.normal());
+      embed::normalize(v);
+      out.idx.add(v);
+    }
+    for (std::size_t i = 0; i < 256; ++i) {
+      for (auto& x : v) x = static_cast<float>(rng.normal());
+      embed::normalize(v);
+      out.queries.push_back(v);
+    }
+    return out;
+  }();
+  return d;
+}
+
+/// search_batch fans per-query work across the pool; results must be
+/// identical at every thread count (per-query independent computation).
+void BM_SearchBatch(benchmark::State& state) {
+  const auto threads = static_cast<std::size_t>(state.range(0));
+  const auto& d = batch_search_data();
+  parallel::ThreadPool pool(threads);
+  std::size_t queries = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(d.idx.search_batch(d.queries, 10, pool));
+    queries += d.queries.size();
+  }
+  state.counters["queries/s"] = benchmark::Counter(
+      static_cast<double>(d.queries.size()),
+      benchmark::Counter::kIsIterationInvariantRate);
+  state.counters["threads"] = static_cast<double>(threads);
+
+  // Shape check: batched results at this thread count are bit-identical
+  // to the sequential single-query loop.
+  const auto batched = d.idx.search_batch(d.queries, 10, pool);
+  bool identical = batched.size() == d.queries.size();
+  for (std::size_t i = 0; identical && i < batched.size(); ++i) {
+    const auto want = d.idx.search(d.queries[i], 10);
+    identical = batched[i].size() == want.size();
+    for (std::size_t j = 0; identical && j < want.size(); ++j) {
+      identical = batched[i][j].row == want[j].row &&
+                  batched[i][j].score == want[j].score;
+    }
+  }
+  state.counters["batch==sequential"] = identical ? 1.0 : 0.0;
+  if (!identical) state.SkipWithError("search_batch diverged from search");
+}
+
+BENCHMARK(BM_SearchBatch)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->MeasureProcessCPUTime()
+    ->UseRealTime();
+
 void BM_AdaptiveParseOnly(benchmark::State& state) {
   const auto& corpus = fixed_corpus();
   const parse::AdaptiveParser parser;
@@ -112,7 +182,9 @@ BENCHMARK(BM_EmbedderThroughput);
 int main(int argc, char** argv) {
   std::printf(
       "Scaling experiment (S1): parse -> chunk -> embed throughput vs "
-      "worker count over %zu documents.\n"
+      "worker count over %zu documents, plus batched index search "
+      "(search_batch) vs thread count with a batch==sequential shape "
+      "check.\n"
       "NOTE: this host exposes %u hardware thread(s); wall-clock speedup "
       "requires more cores — on a multi-core node the docs/s counter "
       "scales with the Arg (thread) value.\n\n",

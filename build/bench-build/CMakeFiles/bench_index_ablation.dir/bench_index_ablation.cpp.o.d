@@ -183,11 +183,7 @@ bench-build/CMakeFiles/bench_index_ablation.dir/bench_index_ablation.cpp.o: \
  /usr/include/c++/12/bits/exception_ptr.h \
  /usr/include/c++/12/bits/cxxabi_init_exception.h \
  /usr/include/c++/12/typeinfo /usr/include/c++/12/bits/nested_exception.h \
- /root/repo/bench/bench_common.hpp /root/repo/src/core/pipeline.hpp \
- /usr/include/c++/12/array /usr/include/c++/12/memory \
- /usr/include/c++/12/bits/stl_raw_storage_iter.h \
- /usr/include/c++/12/bits/align.h /usr/include/c++/12/bit \
- /usr/include/c++/12/bits/unique_ptr.h /usr/include/c++/12/ostream \
+ /usr/include/c++/12/fstream /usr/include/c++/12/istream \
  /usr/include/c++/12/ios /usr/include/c++/12/bits/ios_base.h \
  /usr/include/c++/12/ext/atomicity.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/atomic_word.h \
@@ -202,8 +198,15 @@ bench-build/CMakeFiles/bench_index_ablation.dir/bench_index_ablation.cpp.o: \
  /usr/include/c++/12/bits/streambuf_iterator.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/ctype_inline.h \
  /usr/include/c++/12/bits/locale_facets.tcc \
- /usr/include/c++/12/bits/basic_ios.tcc \
+ /usr/include/c++/12/bits/basic_ios.tcc /usr/include/c++/12/ostream \
  /usr/include/c++/12/bits/ostream.tcc \
+ /usr/include/c++/12/bits/istream.tcc /usr/include/c++/12/bits/codecvt.h \
+ /usr/include/x86_64-linux-gnu/c++/12/bits/basic_file.h \
+ /usr/include/x86_64-linux-gnu/c++/12/bits/c++io.h \
+ /usr/include/c++/12/bits/fstream.tcc /usr/include/c++/12/memory \
+ /usr/include/c++/12/bits/stl_raw_storage_iter.h \
+ /usr/include/c++/12/bits/align.h /usr/include/c++/12/bit \
+ /usr/include/c++/12/bits/unique_ptr.h \
  /usr/include/c++/12/bits/shared_ptr.h \
  /usr/include/c++/12/bits/shared_ptr_base.h \
  /usr/include/c++/12/bits/allocated_ptr.h \
@@ -213,7 +216,9 @@ bench-build/CMakeFiles/bench_index_ablation.dir/bench_index_ablation.cpp.o: \
  /usr/include/c++/12/bits/ranges_uninitialized.h \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
- /usr/include/c++/12/unordered_set /usr/include/c++/12/bits/hashtable.h \
+ /root/repo/bench/bench_common.hpp /root/repo/src/core/pipeline.hpp \
+ /usr/include/c++/12/array /usr/include/c++/12/unordered_set \
+ /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
  /usr/include/c++/12/bits/enable_special_members.h \
  /usr/include/c++/12/bits/unordered_set.h \
@@ -232,7 +237,9 @@ bench-build/CMakeFiles/bench_index_ablation.dir/bench_index_ablation.cpp.o: \
  /root/repo/src/trace/trace_record.hpp /root/repo/src/llm/model_spec.hpp \
  /root/repo/src/qgen/mcq_record.hpp /root/repo/src/rag/rag_pipeline.hpp \
  /root/repo/src/index/vector_store.hpp \
- /root/repo/src/index/vector_index.hpp /root/repo/src/util/fp16.hpp \
+ /root/repo/src/index/vector_index.hpp /root/repo/src/index/kernels.hpp \
+ /root/repo/src/util/fp16.hpp /root/repo/src/index/row_storage.hpp \
+ /usr/include/c++/12/cstring /usr/include/string.h /usr/include/strings.h \
  /root/repo/src/exam/astro_exam.hpp /root/repo/src/llm/student_model.hpp \
  /root/repo/src/llm/teacher_model.hpp \
  /root/repo/src/corpus/realization.hpp /root/repo/src/parse/adaptive.hpp \
@@ -241,8 +248,19 @@ bench-build/CMakeFiles/bench_index_ablation.dir/bench_index_ablation.cpp.o: \
  /root/repo/src/trace/trace_generator.hpp \
  /root/repo/src/trace/trace_grading.hpp \
  /root/repo/src/eval/paper_reference.hpp /root/repo/src/eval/report.hpp \
+ /root/repo/src/parallel/thread_pool.hpp \
+ /usr/include/c++/12/condition_variable /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/ctime \
+ /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/stop_token \
+ /usr/include/c++/12/bits/std_thread.h /usr/include/c++/12/semaphore \
+ /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/bits/atomic_timed_wait.h \
+ /usr/include/c++/12/bits/this_thread_sleep.h \
+ /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
+ /usr/include/c++/12/future /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/atomic_futex.h /usr/include/c++/12/thread \
  /root/repo/src/util/stopwatch.hpp /usr/include/c++/12/chrono \
- /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
- /usr/include/c++/12/ctime /usr/include/c++/12/sstream \
- /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
- /usr/include/c++/12/bits/sstream.tcc
+ /usr/include/c++/12/sstream /usr/include/c++/12/bits/sstream.tcc

@@ -234,6 +234,9 @@ bench-build/CMakeFiles/bench_scaling.dir/bench_scaling.cpp.o: \
  /root/repo/src/corpus/term_banks.hpp /root/repo/src/util/rng.hpp \
  /root/repo/src/corpus/paper_generator.hpp /root/repo/src/corpus/spdf.hpp \
  /root/repo/src/embed/hashed_embedder.hpp \
+ /root/repo/src/index/vector_index.hpp /root/repo/src/index/kernels.hpp \
+ /root/repo/src/util/fp16.hpp /root/repo/src/index/row_storage.hpp \
+ /usr/include/c++/12/cstring /usr/include/string.h /usr/include/strings.h \
  /root/repo/src/parallel/thread_pool.hpp \
  /usr/include/c++/12/condition_variable \
  /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/deque \

@@ -229,5 +229,7 @@ examples/CMakeFiles/continuous_expansion.dir/continuous_expansion.cpp.o: \
  /root/repo/src/eval/judge.hpp /root/repo/src/llm/model_spec.hpp \
  /root/repo/src/rag/rag_pipeline.hpp \
  /root/repo/src/index/vector_store.hpp \
- /root/repo/src/index/vector_index.hpp /root/repo/src/util/fp16.hpp \
+ /root/repo/src/index/vector_index.hpp /root/repo/src/index/kernels.hpp \
+ /root/repo/src/util/fp16.hpp /root/repo/src/index/row_storage.hpp \
+ /usr/include/c++/12/cstring /usr/include/string.h /usr/include/strings.h \
  /root/repo/src/eval/report.hpp /root/repo/src/llm/student_model.hpp

@@ -221,8 +221,11 @@ src/eval/CMakeFiles/mcqa_eval.dir/harness.cpp.o: \
  /root/repo/src/rag/rag_pipeline.hpp /usr/include/c++/12/array \
  /root/repo/src/corpus/fact_matcher.hpp \
  /root/repo/src/index/vector_store.hpp /root/repo/src/embed/embedder.hpp \
- /root/repo/src/index/vector_index.hpp /root/repo/src/util/fp16.hpp \
- /usr/include/c++/12/atomic /usr/include/c++/12/cmath /usr/include/math.h \
+ /root/repo/src/index/vector_index.hpp /root/repo/src/index/kernels.hpp \
+ /usr/include/c++/12/cstddef /root/repo/src/util/fp16.hpp \
+ /root/repo/src/index/row_storage.hpp /usr/include/c++/12/cstring \
+ /usr/include/string.h /usr/include/strings.h /usr/include/c++/12/atomic \
+ /usr/include/c++/12/cmath /usr/include/math.h \
  /usr/include/x86_64-linux-gnu/bits/math-vector.h \
  /usr/include/x86_64-linux-gnu/bits/libm-simd-decl-stubs.h \
  /usr/include/x86_64-linux-gnu/bits/flt-eval-method.h \
@@ -253,8 +256,7 @@ src/eval/CMakeFiles/mcqa_eval.dir/harness.cpp.o: \
  /usr/include/c++/12/bits/atomic_timed_wait.h \
  /usr/include/c++/12/bits/this_thread_sleep.h \
  /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
- /usr/include/x86_64-linux-gnu/bits/semaphore.h \
- /usr/include/c++/12/cstddef /usr/include/c++/12/deque \
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
  /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
  /usr/include/c++/12/bits/stl_algo.h \

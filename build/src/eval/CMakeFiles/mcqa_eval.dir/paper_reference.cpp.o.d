@@ -210,10 +210,13 @@ src/eval/CMakeFiles/mcqa_eval.dir/paper_reference.cpp.o: \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
  /usr/include/c++/12/pstl/execution_defs.h \
  /root/repo/src/embed/embedder.hpp /root/repo/src/index/vector_index.hpp \
- /root/repo/src/util/fp16.hpp /root/repo/src/llm/language_model.hpp \
- /root/repo/src/llm/model_spec.hpp /root/repo/src/qgen/mcq_record.hpp \
- /root/repo/src/json/json.hpp /usr/include/c++/12/map \
- /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
+ /root/repo/src/index/kernels.hpp /usr/include/c++/12/cstddef \
+ /root/repo/src/util/fp16.hpp /root/repo/src/index/row_storage.hpp \
+ /usr/include/c++/12/cstring /usr/include/string.h /usr/include/strings.h \
+ /root/repo/src/llm/language_model.hpp /root/repo/src/llm/model_spec.hpp \
+ /root/repo/src/qgen/mcq_record.hpp /root/repo/src/json/json.hpp \
+ /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
+ /usr/include/c++/12/bits/stl_map.h \
  /usr/include/c++/12/bits/stl_multimap.h /usr/include/c++/12/utility \
  /usr/include/c++/12/bits/stl_relops.h /usr/include/c++/12/variant \
  /usr/include/c++/12/bits/parse_numbers.h \

@@ -9,6 +9,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/index/index_io.cpp" "src/index/CMakeFiles/mcqa_index.dir/index_io.cpp.o" "gcc" "src/index/CMakeFiles/mcqa_index.dir/index_io.cpp.o.d"
+  "/root/repo/src/index/kernels.cpp" "src/index/CMakeFiles/mcqa_index.dir/kernels.cpp.o" "gcc" "src/index/CMakeFiles/mcqa_index.dir/kernels.cpp.o.d"
   "/root/repo/src/index/vector_index.cpp" "src/index/CMakeFiles/mcqa_index.dir/vector_index.cpp.o" "gcc" "src/index/CMakeFiles/mcqa_index.dir/vector_index.cpp.o.d"
   "/root/repo/src/index/vector_store.cpp" "src/index/CMakeFiles/mcqa_index.dir/vector_store.cpp.o" "gcc" "src/index/CMakeFiles/mcqa_index.dir/vector_store.cpp.o.d"
   )
@@ -17,6 +18,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
 set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/util/CMakeFiles/mcqa_util.dir/DependInfo.cmake"
   "/root/repo/build/src/embed/CMakeFiles/mcqa_embed.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/mcqa_parallel.dir/DependInfo.cmake"
   "/root/repo/build/src/text/CMakeFiles/mcqa_text.dir/DependInfo.cmake"
   )
 

@@ -1,6 +1,8 @@
 file(REMOVE_RECURSE
   "CMakeFiles/mcqa_index.dir/index_io.cpp.o"
   "CMakeFiles/mcqa_index.dir/index_io.cpp.o.d"
+  "CMakeFiles/mcqa_index.dir/kernels.cpp.o"
+  "CMakeFiles/mcqa_index.dir/kernels.cpp.o.d"
   "CMakeFiles/mcqa_index.dir/vector_index.cpp.o"
   "CMakeFiles/mcqa_index.dir/vector_index.cpp.o.d"
   "CMakeFiles/mcqa_index.dir/vector_store.cpp.o"

@@ -200,5 +200,6 @@ src/index/CMakeFiles/mcqa_index.dir/index_io.cpp.o: \
  /usr/include/c++/12/bits/stl_vector.h \
  /usr/include/c++/12/bits/stl_bvector.h \
  /usr/include/c++/12/bits/vector.tcc /root/repo/src/embed/embedder.hpp \
- /root/repo/src/util/fp16.hpp /root/repo/src/util/rng.hpp \
- /usr/include/c++/12/limits
+ /root/repo/src/index/kernels.hpp /usr/include/c++/12/cstddef \
+ /root/repo/src/util/fp16.hpp /root/repo/src/index/row_storage.hpp \
+ /root/repo/src/util/rng.hpp /usr/include/c++/12/limits

@@ -213,10 +213,13 @@ src/rag/CMakeFiles/mcqa_rag.dir/rag_pipeline.cpp.o: \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
  /usr/include/c++/12/pstl/execution_defs.h \
  /root/repo/src/embed/embedder.hpp /root/repo/src/index/vector_index.hpp \
- /root/repo/src/util/fp16.hpp /root/repo/src/llm/language_model.hpp \
- /root/repo/src/llm/model_spec.hpp /root/repo/src/qgen/mcq_record.hpp \
- /root/repo/src/json/json.hpp /usr/include/c++/12/map \
- /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
+ /root/repo/src/index/kernels.hpp /usr/include/c++/12/cstddef \
+ /root/repo/src/util/fp16.hpp /root/repo/src/index/row_storage.hpp \
+ /usr/include/c++/12/cstring /usr/include/string.h /usr/include/strings.h \
+ /root/repo/src/llm/language_model.hpp /root/repo/src/llm/model_spec.hpp \
+ /root/repo/src/qgen/mcq_record.hpp /root/repo/src/json/json.hpp \
+ /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
+ /usr/include/c++/12/bits/stl_map.h \
  /usr/include/c++/12/bits/stl_multimap.h /usr/include/c++/12/utility \
  /usr/include/c++/12/bits/stl_relops.h /usr/include/c++/12/variant \
  /usr/include/c++/12/bits/parse_numbers.h \
@@ -249,5 +252,19 @@ src/rag/CMakeFiles/mcqa_rag.dir/rag_pipeline.cpp.o: \
  /usr/include/c++/12/tr1/poly_hermite.tcc \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
  /usr/include/c++/12/tr1/riemann_zeta.tcc \
+ /root/repo/src/parallel/thread_pool.hpp /usr/include/c++/12/atomic \
+ /usr/include/c++/12/condition_variable /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/ctime \
+ /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/stop_token \
+ /usr/include/c++/12/bits/std_thread.h /usr/include/c++/12/semaphore \
+ /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/bits/atomic_timed_wait.h \
+ /usr/include/c++/12/bits/this_thread_sleep.h \
+ /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
+ /usr/include/c++/12/future /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/atomic_futex.h /usr/include/c++/12/thread \
  /root/repo/src/text/normalize.hpp /root/repo/src/text/sentence.hpp \
  /root/repo/src/text/tokenizer.hpp /root/repo/src/util/strings.hpp

@@ -304,5 +304,7 @@ tests/CMakeFiles/eval_test.dir/eval_test.cpp.o: \
  /root/repo/src/rag/rag_pipeline.hpp \
  /root/repo/src/corpus/fact_matcher.hpp \
  /root/repo/src/index/vector_store.hpp /root/repo/src/embed/embedder.hpp \
- /root/repo/src/index/vector_index.hpp /root/repo/src/util/fp16.hpp \
- /root/repo/src/eval/paper_reference.hpp /root/repo/src/eval/report.hpp
+ /root/repo/src/index/vector_index.hpp /root/repo/src/index/kernels.hpp \
+ /root/repo/src/util/fp16.hpp /root/repo/src/index/row_storage.hpp \
+ /usr/include/c++/12/cstring /root/repo/src/eval/paper_reference.hpp \
+ /root/repo/src/eval/report.hpp

@@ -294,8 +294,10 @@ tests/CMakeFiles/extensions_test.dir/extensions_test.cpp.o: \
  /root/miniconda/include/gtest/gtest-typed-test.h \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
  /root/repo/src/index/vector_index.hpp /root/repo/src/embed/embedder.hpp \
- /root/repo/src/util/fp16.hpp /root/repo/src/util/rng.hpp \
- /root/repo/src/json/json.hpp /root/repo/src/qgen/mcq_record.hpp \
+ /root/repo/src/index/kernels.hpp /root/repo/src/util/fp16.hpp \
+ /root/repo/src/index/row_storage.hpp /usr/include/c++/12/cstring \
+ /root/repo/src/util/rng.hpp /root/repo/src/json/json.hpp \
+ /root/repo/src/qgen/mcq_record.hpp \
  /root/repo/src/corpus/knowledge_base.hpp \
  /usr/include/c++/12/unordered_set \
  /usr/include/c++/12/bits/unordered_set.h \

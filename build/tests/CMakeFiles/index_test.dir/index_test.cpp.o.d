@@ -295,5 +295,6 @@ tests/CMakeFiles/index_test.dir/index_test.cpp.o: \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
  /root/repo/src/embed/hashed_embedder.hpp \
  /root/repo/src/embed/embedder.hpp /root/repo/src/index/vector_index.hpp \
- /root/repo/src/util/fp16.hpp /root/repo/src/util/rng.hpp \
- /root/repo/src/index/vector_store.hpp
+ /root/repo/src/index/kernels.hpp /root/repo/src/util/fp16.hpp \
+ /root/repo/src/index/row_storage.hpp /usr/include/c++/12/cstring \
+ /root/repo/src/util/rng.hpp /root/repo/src/index/vector_store.hpp

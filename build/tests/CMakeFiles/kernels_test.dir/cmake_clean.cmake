@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kernels_test.dir/kernels_test.cpp.o"
+  "CMakeFiles/kernels_test.dir/kernels_test.cpp.o.d"
+  "kernels_test"
+  "kernels_test.pdb"
+  "kernels_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kernels_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -307,8 +307,10 @@ tests/CMakeFiles/property_test.dir/property_test.cpp.o: \
  /root/repo/src/trace/trace_record.hpp /root/repo/src/llm/model_spec.hpp \
  /root/repo/src/qgen/mcq_record.hpp /root/repo/src/rag/rag_pipeline.hpp \
  /root/repo/src/index/vector_store.hpp \
- /root/repo/src/index/vector_index.hpp /root/repo/src/util/fp16.hpp \
- /root/repo/src/exam/astro_exam.hpp /root/repo/src/llm/student_model.hpp \
+ /root/repo/src/index/vector_index.hpp /root/repo/src/index/kernels.hpp \
+ /root/repo/src/util/fp16.hpp /root/repo/src/index/row_storage.hpp \
+ /usr/include/c++/12/cstring /root/repo/src/exam/astro_exam.hpp \
+ /root/repo/src/llm/student_model.hpp \
  /root/repo/src/llm/teacher_model.hpp \
  /root/repo/src/corpus/realization.hpp /root/repo/src/parse/adaptive.hpp \
  /root/repo/src/parse/parsers.hpp /root/repo/src/parse/quality.hpp \

@@ -293,6 +293,9 @@ tests/CMakeFiles/rag_test.dir/rag_test.cpp.o: \
  /root/miniconda/include/gtest/gtest_prod.h \
  /root/miniconda/include/gtest/gtest-typed-test.h \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
+ /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
+ /usr/include/c++/12/bits/ranges_util.h \
+ /usr/include/c++/12/pstl/glue_algorithm_defs.h \
  /root/repo/src/corpus/fact_matcher.hpp \
  /root/repo/src/corpus/knowledge_base.hpp \
  /usr/include/c++/12/unordered_set \
@@ -301,8 +304,22 @@ tests/CMakeFiles/rag_test.dir/rag_test.cpp.o: \
  /root/repo/src/corpus/realization.hpp \
  /root/repo/src/embed/hashed_embedder.hpp \
  /root/repo/src/embed/embedder.hpp /root/repo/src/index/vector_store.hpp \
- /root/repo/src/index/vector_index.hpp /root/repo/src/util/fp16.hpp \
- /root/repo/src/llm/model_spec.hpp /root/repo/src/rag/rag_pipeline.hpp \
+ /root/repo/src/index/vector_index.hpp /root/repo/src/index/kernels.hpp \
+ /root/repo/src/util/fp16.hpp /root/repo/src/index/row_storage.hpp \
+ /usr/include/c++/12/cstring /root/repo/src/llm/model_spec.hpp \
+ /root/repo/src/parallel/thread_pool.hpp \
+ /usr/include/c++/12/condition_variable /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/bits/unique_lock.h \
+ /usr/include/c++/12/stop_token /usr/include/c++/12/bits/std_thread.h \
+ /usr/include/c++/12/semaphore /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/bits/atomic_timed_wait.h \
+ /usr/include/c++/12/bits/this_thread_sleep.h \
+ /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /usr/include/c++/12/future /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/atomic_futex.h /usr/include/c++/12/thread \
+ /root/repo/src/rag/rag_pipeline.hpp \
  /root/repo/src/llm/language_model.hpp /root/repo/src/qgen/mcq_record.hpp \
  /root/repo/src/json/json.hpp /root/repo/src/trace/trace_record.hpp \
  /root/repo/src/text/tokenizer.hpp

@@ -13,6 +13,7 @@ include("/root/repo/build/tests/parse_test[1]_include.cmake")
 include("/root/repo/build/tests/embed_test[1]_include.cmake")
 include("/root/repo/build/tests/chunk_test[1]_include.cmake")
 include("/root/repo/build/tests/index_test[1]_include.cmake")
+include("/root/repo/build/tests/kernels_test[1]_include.cmake")
 include("/root/repo/build/tests/llm_test[1]_include.cmake")
 include("/root/repo/build/tests/qgen_test[1]_include.cmake")
 include("/root/repo/build/tests/trace_test[1]_include.cmake")

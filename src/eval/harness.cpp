@@ -55,10 +55,14 @@ Accuracy EvalHarness::evaluate(const llm::LanguageModel& model,
   std::atomic<std::size_t> unparseable{0};
 
   parallel::ThreadPool pool(config_.threads);
-  parallel::parallel_for(pool, 0, records.size(), [&](std::size_t i) {
-    const llm::McqTask task = rag_.prepare(records[i], condition, spec);
-    const llm::AnswerResult answer = model.answer(task);
-    const trace::GradingResult grading = judge_.grade(task, answer.text);
+  // Retrieval for the whole record set goes through the batched path
+  // (one VectorStore::query_batch fan-out on the pool), then answering
+  // and grading fan out over the prepared tasks.
+  const std::vector<llm::McqTask> tasks =
+      rag_.prepare_batch(records, condition, spec, pool);
+  parallel::parallel_for(pool, 0, tasks.size(), [&](std::size_t i) {
+    const llm::AnswerResult answer = model.answer(tasks[i]);
+    const trace::GradingResult grading = judge_.grade(tasks[i], answer.text);
     if (grading.is_correct) correct.fetch_add(1, std::memory_order_relaxed);
     if (grading.extracted_option_number < 0) {
       unparseable.fetch_add(1, std::memory_order_relaxed);

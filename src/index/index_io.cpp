@@ -2,6 +2,10 @@
 // length-prefixed binary sections after a text header; float payloads
 // are memcpy'd (indexes are a cache, not an interchange format — the
 // canonical artifacts are the JSON records).
+//
+// Format v2: vectors and centroids live in contiguous RowStorage, so
+// the whole row-major payload moves as one block instead of a
+// per-vector loop.
 
 #include <cstdio>
 #include <cstring>
@@ -29,23 +33,27 @@ std::uint64_t take_u64(std::string_view blob, std::size_t& pos) {
   return v;
 }
 
-void put_vec(std::string& out, const embed::Vector& v) {
-  const std::size_t bytes = v.size() * sizeof(float);
+/// Write a RowStorage payload: row count then the flat float block.
+void put_rows(std::string& out, const RowStorage& rows) {
+  put_u64(out, rows.size());
+  const std::size_t bytes = rows.data().size() * sizeof(float);
   const std::size_t at = out.size();
   out.resize(at + bytes);
-  std::memcpy(out.data() + at, v.data(), bytes);
+  std::memcpy(out.data() + at, rows.data().data(), bytes);
 }
 
-embed::Vector take_vec(std::string_view blob, std::size_t& pos,
-                       std::size_t dim) {
-  const std::size_t bytes = dim * sizeof(float);
+RowStorage take_rows(std::string_view blob, std::size_t& pos,
+                     std::size_t dim) {
+  const std::size_t n = take_u64(blob, pos);
+  const std::size_t bytes = n * dim * sizeof(float);
   if (pos + bytes > blob.size()) {
-    throw std::runtime_error("index load: truncated vector");
+    throw std::runtime_error("index load: truncated row block");
   }
-  embed::Vector v(dim);
-  std::memcpy(v.data(), blob.data() + pos, bytes);
+  RowStorage rows(dim);
+  rows.resize_rows(n);
+  std::memcpy(rows.data().data(), blob.data() + pos, bytes);
   pos += bytes;
-  return v;
+  return rows;
 }
 
 }  // namespace
@@ -56,13 +64,11 @@ std::string IvfIndex::save() const {
   if (!built_) {
     throw std::logic_error("IvfIndex::save: build() the index first");
   }
-  std::string out = "ivfidx1\n";
+  std::string out = "ivfidx2\n";
   put_u64(out, dim_);
   put_u64(out, config_.nprobe);
-  put_u64(out, vectors_.size());
-  for (const auto& v : vectors_) put_vec(out, v);
-  put_u64(out, centroids_.size());
-  for (const auto& c : centroids_) put_vec(out, c);
+  put_rows(out, vectors_);
+  put_rows(out, centroids_);
   for (const auto& list : lists_) {
     put_u64(out, list.size());
     for (const std::size_t row : list) put_u64(out, row);
@@ -71,7 +77,7 @@ std::string IvfIndex::save() const {
 }
 
 IvfIndex IvfIndex::load(std::string_view blob) {
-  constexpr std::string_view kMagic = "ivfidx1\n";
+  constexpr std::string_view kMagic = "ivfidx2\n";
   if (blob.substr(0, kMagic.size()) != kMagic) {
     throw std::runtime_error("IvfIndex::load: bad magic");
   }
@@ -83,16 +89,10 @@ IvfIndex IvfIndex::load(std::string_view blob) {
   IvfConfig cfg;
   cfg.nprobe = take_u64(blob, pos);
   IvfIndex idx(dim, cfg);
-  const std::size_t n = take_u64(blob, pos);
-  idx.vectors_.reserve(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    idx.vectors_.push_back(take_vec(blob, pos, dim));
-  }
-  const std::size_t k = take_u64(blob, pos);
-  idx.centroids_.reserve(k);
-  for (std::size_t i = 0; i < k; ++i) {
-    idx.centroids_.push_back(take_vec(blob, pos, dim));
-  }
+  idx.vectors_ = take_rows(blob, pos, dim);
+  idx.centroids_ = take_rows(blob, pos, dim);
+  const std::size_t n = idx.vectors_.size();
+  const std::size_t k = idx.centroids_.size();
   idx.lists_.resize(k);
   for (std::size_t c = 0; c < k; ++c) {
     const std::size_t len = take_u64(blob, pos);
@@ -110,14 +110,13 @@ IvfIndex IvfIndex::load(std::string_view blob) {
 // --- HNSW --------------------------------------------------------------------
 
 std::string HnswIndex::save() const {
-  std::string out = "hnswidx1\n";
+  std::string out = "hnswidx2\n";
   put_u64(out, dim_);
   put_u64(out, config_.m);
   put_u64(out, config_.ef_search);
-  put_u64(out, vectors_.size());
   put_u64(out, entry_point_);
   put_u64(out, static_cast<std::uint64_t>(max_level_ + 1));
-  for (const auto& v : vectors_) put_vec(out, v);
+  put_rows(out, vectors_);
   for (const auto& node : nodes_) {
     put_u64(out, static_cast<std::uint64_t>(node.level));
     for (const auto& layer : node.links) {
@@ -129,7 +128,7 @@ std::string HnswIndex::save() const {
 }
 
 HnswIndex HnswIndex::load(std::string_view blob) {
-  constexpr std::string_view kMagic = "hnswidx1\n";
+  constexpr std::string_view kMagic = "hnswidx2\n";
   if (blob.substr(0, kMagic.size()) != kMagic) {
     throw std::runtime_error("HnswIndex::load: bad magic");
   }
@@ -142,13 +141,10 @@ HnswIndex HnswIndex::load(std::string_view blob) {
   cfg.m = take_u64(blob, pos);
   cfg.ef_search = take_u64(blob, pos);
   HnswIndex idx(dim, cfg);
-  const std::size_t n = take_u64(blob, pos);
   idx.entry_point_ = take_u64(blob, pos);
   idx.max_level_ = static_cast<int>(take_u64(blob, pos)) - 1;
-  idx.vectors_.reserve(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    idx.vectors_.push_back(take_vec(blob, pos, dim));
-  }
+  idx.vectors_ = take_rows(blob, pos, dim);
+  const std::size_t n = idx.vectors_.size();
   idx.nodes_.resize(n);
   for (std::size_t i = 0; i < n; ++i) {
     Node& node = idx.nodes_[i];

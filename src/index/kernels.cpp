@@ -1,0 +1,131 @@
+// Blocked kernels.  This translation unit is compiled with
+// -ffp-contract=off unconditionally (see src/index/CMakeLists.txt): the
+// 8-lane blocked loops below are written so that auto-vectorization
+// only changes instruction selection, never the summation order or
+// rounding, keeping scores bit-identical across build configurations.
+
+#include "index/kernels.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "index/vector_index.hpp"
+
+namespace mcqa::index {
+
+namespace kernels {
+
+namespace {
+
+/// Dequantization table: fp16 bit pattern -> float, identical to
+/// util::fp16_to_float for every one of the 65536 inputs (asserted by
+/// the kernel-equivalence tests).  One 256 KB table turns the branchy
+/// software conversion into a single load on the FlatIndex scan path.
+const float* fp16_table() {
+  static const std::vector<float> table = [] {
+    std::vector<float> t(1u << 16);
+    for (std::uint32_t i = 0; i < (1u << 16); ++i) {
+      t[i] = util::fp16_to_float(static_cast<util::fp16_t>(i));
+    }
+    return t;
+  }();
+  return table.data();
+}
+
+inline float combine(const float* acc) {
+  return ((acc[0] + acc[1]) + (acc[2] + acc[3])) +
+         ((acc[4] + acc[5]) + (acc[6] + acc[7]));
+}
+
+}  // namespace
+
+float dot(const float* a, const float* b, std::size_t n) {
+  float acc[kLanes] = {};
+  const std::size_t main = n - n % kLanes;
+  std::size_t i = 0;
+  for (; i < main; i += kLanes) {
+    for (std::size_t l = 0; l < kLanes; ++l) {
+      acc[l] += a[i + l] * b[i + l];
+    }
+  }
+  for (; i < n; ++i) acc[i - main] += a[i] * b[i];
+  return combine(acc);
+}
+
+float l2_sq(const float* a, const float* b, std::size_t n) {
+  float acc[kLanes] = {};
+  const std::size_t main = n - n % kLanes;
+  std::size_t i = 0;
+  for (; i < main; i += kLanes) {
+    for (std::size_t l = 0; l < kLanes; ++l) {
+      const float d = a[i + l] - b[i + l];
+      acc[l] += d * d;
+    }
+  }
+  for (; i < n; ++i) {
+    const float d = a[i] - b[i];
+    acc[i - main] += d * d;
+  }
+  return combine(acc);
+}
+
+float dot_fp16(const util::fp16_t* a, const float* b, std::size_t n) {
+  const float* table = fp16_table();
+  float acc[kLanes] = {};
+  const std::size_t main = n - n % kLanes;
+  std::size_t i = 0;
+  for (; i < main; i += kLanes) {
+    for (std::size_t l = 0; l < kLanes; ++l) {
+      acc[l] += table[a[i + l]] * b[i + l];
+    }
+  }
+  for (; i < n; ++i) acc[i - main] += table[a[i]] * b[i];
+  return combine(acc);
+}
+
+}  // namespace kernels
+
+// --- TopK --------------------------------------------------------------------
+
+namespace {
+
+/// Ranking order of the indexes: higher score first, ties by row id.
+/// Used as the heap "less" so the WORST kept result sits on top.
+inline bool better(const SearchResult& a, const SearchResult& b) {
+  if (a.score != b.score) return a.score > b.score;
+  return a.row < b.row;
+}
+
+}  // namespace
+
+void TopK::reset(std::size_t k) {
+  k_ = k;
+  heap_.clear();
+}
+
+float TopK::threshold() const {
+  return heap_.empty() ? -std::numeric_limits<float>::infinity()
+                       : heap_.front().score;
+}
+
+void TopK::push(std::size_t row, float score) {
+  if (k_ == 0) return;
+  const SearchResult cand{row, score};
+  if (heap_.size() < k_) {
+    heap_.push_back(cand);
+    std::push_heap(heap_.begin(), heap_.end(), better);
+    return;
+  }
+  if (!better(cand, heap_.front())) return;
+  std::pop_heap(heap_.begin(), heap_.end(), better);
+  heap_.back() = cand;
+  std::push_heap(heap_.begin(), heap_.end(), better);
+}
+
+std::vector<SearchResult> TopK::take_sorted() {
+  std::sort_heap(heap_.begin(), heap_.end(), better);
+  // sort_heap leaves ascending order w.r.t. `better`, i.e. best first.
+  return std::move(heap_);
+}
+
+}  // namespace mcqa::index

@@ -1,0 +1,78 @@
+#pragma once
+// Blocked similarity kernels + bounded top-k selection for the vector
+// indexes (the FAISS-equivalent hot path).
+//
+// Determinism contract (see DESIGN.md "Similarity kernels"): every
+// kernel accumulates into kLanes == 8 partial sums — lane l takes
+// elements l, l+8, l+16, ... (the tail continues the same lane
+// rotation) — and combines them in one fixed tree:
+//
+//   ((l0+l1) + (l2+l3)) + ((l4+l5) + (l6+l7))
+//
+// That blocked order is the ONLY summation order on every build
+// configuration.  kernels.cpp is always compiled with -ffp-contract=off
+// so enabling vector ISA flags (-DMCQA_KERNEL_SIMD=ON) merely lets the
+// compiler map the 8 independent lanes onto SIMD registers; it cannot
+// fuse multiply-adds or reassociate, so scores stay bit-identical
+// across -march flags, thread counts and runs.
+
+#include <cstddef>
+#include <vector>
+
+#include "util/fp16.hpp"
+
+namespace mcqa::index {
+
+struct SearchResult;  // vector_index.hpp
+
+namespace kernels {
+
+/// Lane count of the blocked accumulation (fixed by the determinism
+/// contract; chosen to fill one AVX2 register of floats).
+inline constexpr std::size_t kLanes = 8;
+
+/// Blocked inner product over two float rows.
+float dot(const float* a, const float* b, std::size_t n);
+
+/// Blocked squared Euclidean distance over two float rows.
+float l2_sq(const float* a, const float* b, std::size_t n);
+
+/// Fused fp16-dequantize + blocked inner product: `a` is an FP16-at-rest
+/// row, widened through a 64K-entry table that reproduces
+/// util::fp16_to_float bit-for-bit.
+float dot_fp16(const util::fp16_t* a, const float* b, std::size_t n);
+
+}  // namespace kernels
+
+/// Bounded-heap top-k selector: keeps the best k results by
+/// (score descending, row ascending) without materializing or sorting
+/// the full candidate set.  Replaces sort-everything-then-trim on the
+/// search hot paths; `take_sorted()` yields exactly the order the old
+/// full sort produced.
+class TopK {
+ public:
+  explicit TopK(std::size_t k) : k_(k) {}
+
+  /// Drop accumulated results and change capacity (scratch reuse).
+  void reset(std::size_t k);
+
+  void push(std::size_t row, float score);
+
+  std::size_t size() const { return heap_.size(); }
+
+  /// Worst kept score (only meaningful once size() == k).
+  float threshold() const;
+
+  /// True when a candidate with `score` cannot enter the heap.
+  bool full() const { return heap_.size() >= k_; }
+
+  /// Results in descending score order (ties by ascending row).
+  /// Leaves the selector empty.
+  std::vector<SearchResult> take_sorted();
+
+ private:
+  std::size_t k_;
+  std::vector<SearchResult> heap_;  ///< worst-kept-on-top heap
+};
+
+}  // namespace mcqa::index

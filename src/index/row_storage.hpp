@@ -1,0 +1,64 @@
+#pragma once
+// Contiguous row-major float storage shared by the vector indexes.
+//
+// IVF and HNSW used to hold a std::vector<embed::Vector> — one heap
+// allocation and one pointer chase per row, which is what the scan
+// kernels end up waiting on.  RowStorage flattens all rows into a
+// single float buffer so the blocked kernels stream through memory, and
+// save()/load() can move the whole payload with one memcpy.
+
+#include <cstring>
+#include <stdexcept>
+#include <vector>
+
+#include "embed/embedder.hpp"
+
+namespace mcqa::index {
+
+class RowStorage {
+ public:
+  RowStorage() = default;
+  explicit RowStorage(std::size_t dim) : dim_(dim) {}
+
+  std::size_t dim() const { return dim_; }
+  std::size_t size() const { return dim_ == 0 ? 0 : data_.size() / dim_; }
+  bool empty() const { return data_.empty(); }
+
+  void reserve(std::size_t rows) { data_.reserve(rows * dim_); }
+
+  void add(const embed::Vector& v) {
+    if (v.size() != dim_) throw std::invalid_argument("RowStorage::add: dim");
+    data_.insert(data_.end(), v.begin(), v.end());
+  }
+
+  /// Append a row from a raw pointer (dim() floats).
+  void add_row(const float* p) { data_.insert(data_.end(), p, p + dim_); }
+
+  const float* row(std::size_t i) const { return data_.data() + i * dim_; }
+
+  void set_row(std::size_t i, const embed::Vector& v) {
+    if (v.size() != dim_) {
+      throw std::invalid_argument("RowStorage::set_row: dim");
+    }
+    std::memcpy(data_.data() + i * dim_, v.data(), dim_ * sizeof(float));
+  }
+
+  /// Widened copy of one row.
+  embed::Vector vector(std::size_t i) const {
+    return embed::Vector(row(i), row(i) + dim_);
+  }
+
+  void clear() { data_.clear(); }
+  void resize_rows(std::size_t rows) { data_.resize(rows * dim_); }
+
+  /// Flat payload, row-major — serialization and kernels read this
+  /// directly.
+  const std::vector<float>& data() const { return data_; }
+  std::vector<float>& data() { return data_; }
+
+ private:
+  std::size_t dim_ = 0;
+  std::vector<float> data_;
+};
+
+}  // namespace mcqa::index

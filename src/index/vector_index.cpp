@@ -4,15 +4,17 @@
 #include <cmath>
 #include <cstdio>
 #include <cstring>
-#include <queue>
 #include <stdexcept>
 #include <unordered_set>
+
+#include "parallel/thread_pool.hpp"
 
 namespace mcqa::index {
 
 namespace {
 
 /// Keep the best k results in descending score order (ties by row).
+/// Cold paths only; hot paths go through the bounded-heap TopK.
 void sort_and_trim(std::vector<SearchResult>& results, std::size_t k) {
   std::sort(results.begin(), results.end(),
             [](const SearchResult& a, const SearchResult& b) {
@@ -24,6 +26,23 @@ void sort_and_trim(std::vector<SearchResult>& results, std::size_t k) {
 
 }  // namespace
 
+// --- batched search ----------------------------------------------------------
+
+std::vector<std::vector<SearchResult>> VectorIndex::search_batch(
+    const std::vector<embed::Vector>& queries, std::size_t k,
+    parallel::ThreadPool& pool) const {
+  std::vector<std::vector<SearchResult>> out(queries.size());
+  parallel::parallel_for(pool, 0, queries.size(), [&](std::size_t i) {
+    out[i] = search(queries[i], k);
+  });
+  return out;
+}
+
+std::vector<std::vector<SearchResult>> VectorIndex::search_batch(
+    const std::vector<embed::Vector>& queries, std::size_t k) const {
+  return search_batch(queries, k, parallel::ThreadPool::global());
+}
+
 // --- FlatIndex ---------------------------------------------------------------
 
 void FlatIndex::add(const embed::Vector& v) {
@@ -34,23 +53,17 @@ void FlatIndex::add(const embed::Vector& v) {
 }
 
 float FlatIndex::score_row(std::size_t row, const embed::Vector& q) const {
-  const util::fp16_t* src = data_.data() + row * dim_;
-  float s = 0.0f;
-  for (std::size_t i = 0; i < dim_; ++i) {
-    s += util::fp16_to_float(src[i]) * q[i];
-  }
-  return s;
+  return kernels::dot_fp16(data_.data() + row * dim_, q.data(), dim_);
 }
 
 std::vector<SearchResult> FlatIndex::search(const embed::Vector& query,
                                             std::size_t k) const {
-  std::vector<SearchResult> results;
-  results.reserve(rows_);
+  TopK top(std::min(k, rows_));
+  const util::fp16_t* base = data_.data();
   for (std::size_t row = 0; row < rows_; ++row) {
-    results.push_back({row, score_row(row, query)});
+    top.push(row, kernels::dot_fp16(base + row * dim_, query.data(), dim_));
   }
-  sort_and_trim(results, k);
-  return results;
+  return top.take_sorted();
 }
 
 embed::Vector FlatIndex::vector(std::size_t row) const {
@@ -100,11 +113,11 @@ FlatIndex FlatIndex::load(std::string_view blob) {
 // --- IvfIndex ----------------------------------------------------------------
 
 IvfIndex::IvfIndex(std::size_t dim, IvfConfig config)
-    : dim_(dim), config_(config) {}
+    : dim_(dim), config_(config), vectors_(dim), centroids_(dim) {}
 
 void IvfIndex::add(const embed::Vector& v) {
   if (v.size() != dim_) throw std::invalid_argument("IvfIndex::add: dim");
-  vectors_.push_back(v);
+  vectors_.add(v);
   built_ = false;
 }
 
@@ -118,23 +131,29 @@ void IvfIndex::build() {
   util::Rng rng(config_.seed);
 
   // k-means++ style seeding: first centroid uniform, then distance-biased.
+  // Each point's best squared distance is cached and refreshed against
+  // only the newest centroid (O(n*k) total, not O(n*k^2)); min over the
+  // same distances in any order is exact, so the picks are unchanged.
   centroids_.clear();
-  centroids_.push_back(vectors_[rng.bounded(static_cast<std::uint32_t>(n))]);
+  centroids_.add_row(
+      vectors_.row(rng.bounded(static_cast<std::uint32_t>(n))));
   std::vector<double> d2(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    d2[i] = kernels::l2_sq(vectors_.row(i), centroids_.row(0), dim_);
+  }
   while (centroids_.size() < k) {
     double total = 0.0;
-    for (std::size_t i = 0; i < n; ++i) {
-      float best = std::numeric_limits<float>::max();
-      for (const auto& c : centroids_) {
-        best = std::min(best, embed::l2_sq(vectors_[i], c));
-      }
-      d2[i] = best;
-      total += best;
-    }
+    for (const double d : d2) total += d;
     if (total <= 0.0) break;
     const std::size_t pick = rng.weighted_pick(d2);
     if (pick >= n) break;
-    centroids_.push_back(vectors_[pick]);
+    centroids_.add_row(vectors_.row(pick));
+    const float* newest = centroids_.row(centroids_.size() - 1);
+    for (std::size_t i = 0; i < n; ++i) {
+      d2[i] = std::min(
+          d2[i], static_cast<double>(
+                     kernels::l2_sq(vectors_.row(i), newest, dim_)));
+    }
   }
 
   // Lloyd iterations.
@@ -145,7 +164,8 @@ void IvfIndex::build() {
       float best = -2.0f;
       std::size_t best_c = 0;
       for (std::size_t c = 0; c < centroids_.size(); ++c) {
-        const float s = embed::dot(vectors_[i], centroids_[c]);
+        const float s =
+            kernels::dot(vectors_.row(i), centroids_.row(c), dim_);
         if (s > best) {
           best = s;
           best_c = c;
@@ -161,15 +181,16 @@ void IvfIndex::build() {
                                     embed::Vector(dim_, 0.0f));
     std::vector<std::size_t> counts(centroids_.size(), 0);
     for (std::size_t i = 0; i < n; ++i) {
+      const float* row = vectors_.row(i);
       for (std::size_t d = 0; d < dim_; ++d) {
-        sums[assignment[i]][d] += vectors_[i][d];
+        sums[assignment[i]][d] += row[d];
       }
       ++counts[assignment[i]];
     }
     for (std::size_t c = 0; c < centroids_.size(); ++c) {
       if (counts[c] == 0) continue;  // keep the stale centroid
       embed::normalize(sums[c]);
-      centroids_[c] = std::move(sums[c]);
+      centroids_.set_row(c, sums[c]);
     }
     if (!changed) break;
   }
@@ -180,7 +201,7 @@ void IvfIndex::build() {
     float best = -2.0f;
     std::size_t best_c = 0;
     for (std::size_t c = 0; c < centroids_.size(); ++c) {
-      const float s = embed::dot(vectors_[i], centroids_[c]);
+      const float s = kernels::dot(vectors_.row(i), centroids_.row(c), dim_);
       if (s > best) {
         best = s;
         best_c = c;
@@ -196,33 +217,67 @@ std::vector<SearchResult> IvfIndex::search(const embed::Vector& query,
   if (!built_) {
     throw std::logic_error("IvfIndex::search called before build()");
   }
-  if (centroids_.empty()) return {};
+  if (centroids_.size() == 0) return {};
 
   // Rank cells by centroid similarity; probe the top nprobe.
-  std::vector<SearchResult> cells;
-  cells.reserve(centroids_.size());
+  TopK cell_top(std::min(config_.nprobe, centroids_.size()));
   for (std::size_t c = 0; c < centroids_.size(); ++c) {
-    cells.push_back({c, embed::dot(query, centroids_[c])});
+    cell_top.push(c, kernels::dot(query.data(), centroids_.row(c), dim_));
   }
-  sort_and_trim(cells, std::min(config_.nprobe, cells.size()));
+  const auto cells = cell_top.take_sorted();
 
-  std::vector<SearchResult> results;
+  TopK top(k);
   for (const auto& cell : cells) {
     for (const std::size_t row : lists_[cell.row]) {
-      results.push_back({row, embed::dot(query, vectors_[row])});
+      top.push(row, kernels::dot(query.data(), vectors_.row(row), dim_));
     }
   }
-  sort_and_trim(results, k);
-  return results;
+  return top.take_sorted();
 }
 
 // --- HnswIndex ---------------------------------------------------------------
 
+namespace {
+
+/// Heap orders matching the classic HNSW beam: candidates pop highest
+/// score first, `best` evicts its lowest score first.
+inline bool cand_less(const SearchResult& a, const SearchResult& b) {
+  return a.score < b.score;  // max-heap on candidates
+}
+inline bool best_less(const SearchResult& a, const SearchResult& b) {
+  return a.score > b.score;  // min-heap on results
+}
+
+/// One scratch per worker thread: batched searches run allocation-free
+/// after warm-up, and the single-query path reuses it across calls.
+HnswIndex::SearchScratch& hnsw_scratch() {
+  static thread_local HnswIndex::SearchScratch scratch;
+  return scratch;
+}
+
+}  // namespace
+
+void HnswIndex::SearchScratch::begin(std::size_t n) {
+  if (visited_epoch.size() < n) visited_epoch.resize(n, 0);
+  if (++epoch == 0) {  // stamp wrap: invalidate everything once
+    std::fill(visited_epoch.begin(), visited_epoch.end(), 0u);
+    epoch = 1;
+  }
+  candidates.clear();
+  best.clear();
+}
+
+bool HnswIndex::SearchScratch::visit(std::size_t row) {
+  if (visited_epoch[row] == epoch) return false;
+  visited_epoch[row] = epoch;
+  return true;
+}
+
 HnswIndex::HnswIndex(std::size_t dim, HnswConfig config)
-    : dim_(dim), config_(config), level_rng_(config.seed) {}
+    : dim_(dim), config_(config), vectors_(dim), level_rng_(config.seed) {}
 
 float HnswIndex::sim(std::size_t row, const embed::Vector& q) const {
-  return embed::dot(vectors_[row], q);
+  return kernels::dot(vectors_.row(row), q.data(), dim_);
 }
 
 std::size_t HnswIndex::greedy_descend(const embed::Vector& q,
@@ -248,54 +303,48 @@ std::size_t HnswIndex::greedy_descend(const embed::Vector& q,
   return current;
 }
 
-std::vector<SearchResult> HnswIndex::search_layer(const embed::Vector& q,
-                                                  std::size_t entry,
-                                                  std::size_t ef,
-                                                  int layer) const {
-  // Classic best-first beam with a bounded result heap.
-  struct Cmp {
-    bool operator()(const SearchResult& a, const SearchResult& b) const {
-      return a.score < b.score;  // max-heap on candidates
-    }
-  };
-  struct CmpMin {
-    bool operator()(const SearchResult& a, const SearchResult& b) const {
-      return a.score > b.score;  // min-heap on results
-    }
-  };
-  std::priority_queue<SearchResult, std::vector<SearchResult>, Cmp> candidates;
-  std::priority_queue<SearchResult, std::vector<SearchResult>, CmpMin> best;
-  std::unordered_set<std::size_t> visited;
+std::vector<SearchResult> HnswIndex::search_layer(
+    const embed::Vector& q, std::size_t entry, std::size_t ef, int layer,
+    SearchScratch& scratch) const {
+  // Classic best-first beam with a bounded result heap, running on the
+  // scratch's reusable buffers.
+  scratch.begin(nodes_.size());
+  auto& candidates = scratch.candidates;
+  auto& best = scratch.best;
 
   const SearchResult start{entry, sim(entry, q)};
-  candidates.push(start);
-  best.push(start);
-  visited.insert(entry);
+  candidates.push_back(start);
+  best.push_back(start);
+  scratch.visit(entry);
 
   while (!candidates.empty()) {
-    const SearchResult cand = candidates.top();
-    candidates.pop();
-    if (best.size() >= ef && cand.score < best.top().score) break;
+    const SearchResult cand = candidates.front();
+    std::pop_heap(candidates.begin(), candidates.end(), cand_less);
+    candidates.pop_back();
+    if (best.size() >= ef && cand.score < best.front().score) break;
     const auto& nbrs =
         nodes_[cand.row].links[static_cast<std::size_t>(layer)];
     for (const std::uint32_t nb : nbrs) {
-      if (!visited.insert(nb).second) continue;
+      if (!scratch.visit(nb)) continue;
       const SearchResult next{nb, sim(nb, q)};
-      if (best.size() < ef || next.score > best.top().score) {
-        candidates.push(next);
-        best.push(next);
-        if (best.size() > ef) best.pop();
+      if (best.size() < ef || next.score > best.front().score) {
+        candidates.push_back(next);
+        std::push_heap(candidates.begin(), candidates.end(), cand_less);
+        best.push_back(next);
+        std::push_heap(best.begin(), best.end(), best_less);
+        if (best.size() > ef) {
+          std::pop_heap(best.begin(), best.end(), best_less);
+          best.pop_back();
+        }
       }
     }
   }
 
-  std::vector<SearchResult> out;
-  out.reserve(best.size());
-  while (!best.empty()) {
-    out.push_back(best.top());
-    best.pop();
-  }
-  std::reverse(out.begin(), out.end());
+  // sort_heap == repeated pop_heap, so equal scores leave in the same
+  // order the old priority_queue drain produced; best_less ascending is
+  // score-descending.
+  std::vector<SearchResult> out(best.begin(), best.end());
+  std::sort_heap(out.begin(), out.end(), best_less);
   return out;
 }
 
@@ -314,11 +363,11 @@ void HnswIndex::connect(std::size_t row, int layer,
         nodes_[cand.row].links[static_cast<std::size_t>(layer)];
     back.push_back(static_cast<std::uint32_t>(row));
     if (back.size() > max_links) {
-      const embed::Vector& pivot = vectors_[cand.row];
+      const float* pivot = vectors_.row(cand.row);
       std::sort(back.begin(), back.end(),
                 [&](std::uint32_t a, std::uint32_t b) {
-                  return embed::dot(vectors_[a], pivot) >
-                         embed::dot(vectors_[b], pivot);
+                  return kernels::dot(vectors_.row(a), pivot, dim_) >
+                         kernels::dot(vectors_.row(b), pivot, dim_);
                 });
       back.resize(max_links);
     }
@@ -328,7 +377,7 @@ void HnswIndex::connect(std::size_t row, int layer,
 void HnswIndex::add(const embed::Vector& v) {
   if (v.size() != dim_) throw std::invalid_argument("HnswIndex::add: dim");
   const std::size_t row = vectors_.size();
-  vectors_.push_back(v);
+  vectors_.add(v);
 
   // Exponentially distributed level (p = 1/e discipline via uniform).
   int level = 0;
@@ -354,8 +403,10 @@ void HnswIndex::add(const embed::Vector& v) {
   if (level < max_level_) {
     entry = greedy_descend(v, entry, max_level_, level);
   }
+  SearchScratch& scratch = hnsw_scratch();
   for (int layer = std::min(level, max_level_); layer >= 0; --layer) {
-    auto found = search_layer(v, entry, config_.ef_construction, layer);
+    auto found = search_layer(v, entry, config_.ef_construction, layer,
+                              scratch);
     connect(row, layer, found);
     if (!found.empty()) entry = found.front().row;
   }
@@ -367,11 +418,11 @@ void HnswIndex::add(const embed::Vector& v) {
 
 std::vector<SearchResult> HnswIndex::search(const embed::Vector& query,
                                             std::size_t k) const {
-  if (vectors_.empty()) return {};
+  if (vectors_.size() == 0) return {};
   const std::size_t entry =
       greedy_descend(query, entry_point_, max_level_, 0);
-  auto results =
-      search_layer(query, entry, std::max(config_.ef_search, k), 0);
+  auto results = search_layer(query, entry, std::max(config_.ef_search, k),
+                              0, hnsw_scratch());
   sort_and_trim(results, k);
   return results;
 }
@@ -381,13 +432,11 @@ std::vector<SearchResult> HnswIndex::search(const embed::Vector& query,
 std::vector<SearchResult> exact_search(const std::vector<embed::Vector>& data,
                                        const embed::Vector& query,
                                        std::size_t k) {
-  std::vector<SearchResult> results;
-  results.reserve(data.size());
+  TopK top(std::min(k, data.size()));
   for (std::size_t i = 0; i < data.size(); ++i) {
-    results.push_back({i, embed::dot(data[i], query)});
+    top.push(i, embed::dot(data[i], query));
   }
-  sort_and_trim(results, k);
-  return results;
+  return top.take_sorted();
 }
 
 double recall_at_k(const std::vector<SearchResult>& got,

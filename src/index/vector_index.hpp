@@ -6,7 +6,12 @@
 //   IvfIndex   k-means coarse quantizer + inverted lists, nprobe knob
 //   HnswIndex  navigable small-world graph, efSearch knob
 //
-// All operate on unit-norm vectors with inner-product scoring (cosine).
+// All operate on unit-norm vectors with inner-product scoring (cosine),
+// computed by the blocked fixed-lane-order kernels in kernels.hpp —
+// scores are bit-identical across runs, thread counts and build flags.
+// IVF and HNSW keep their vectors in contiguous RowStorage so the
+// kernels stream rows instead of chasing per-vector allocations.
+//
 // The index ablation bench (A1) sweeps recall@k versus queries/second
 // across the three, reproducing the trade-off the paper delegates to
 // FAISS.
@@ -17,8 +22,14 @@
 #include <vector>
 
 #include "embed/embedder.hpp"
+#include "index/kernels.hpp"
+#include "index/row_storage.hpp"
 #include "util/fp16.hpp"
 #include "util/rng.hpp"
+
+namespace mcqa::parallel {
+class ThreadPool;
+}
 
 namespace mcqa::index {
 
@@ -45,6 +56,18 @@ class VectorIndex {
   /// Top-k rows by score, descending; ties broken by row id.
   virtual std::vector<SearchResult> search(const embed::Vector& query,
                                            std::size_t k) const = 0;
+
+  /// Batched search: queries fan out across `pool` workers, each query
+  /// runs with its own scratch, and results land in query order.
+  /// Result i is identical (rows and scores) to `search(queries[i], k)`
+  /// regardless of the pool's thread count.
+  std::vector<std::vector<SearchResult>> search_batch(
+      const std::vector<embed::Vector>& queries, std::size_t k,
+      parallel::ThreadPool& pool) const;
+
+  /// Batched search on the process-wide default pool.
+  std::vector<std::vector<SearchResult>> search_batch(
+      const std::vector<embed::Vector>& queries, std::size_t k) const;
 };
 
 // --- Flat ------------------------------------------------------------------
@@ -72,7 +95,7 @@ class FlatIndex final : public VectorIndex {
 
   std::size_t dim_;
   std::size_t rows_ = 0;
-  std::vector<util::fp16_t> data_;
+  std::vector<util::fp16_t> data_;  ///< row-major FP16 at rest
 };
 
 // --- IVF -------------------------------------------------------------------
@@ -107,8 +130,8 @@ class IvfIndex final : public VectorIndex {
   std::size_t dim_;
   IvfConfig config_;
   bool built_ = false;
-  std::vector<embed::Vector> vectors_;
-  std::vector<embed::Vector> centroids_;
+  RowStorage vectors_;
+  RowStorage centroids_;
   std::vector<std::vector<std::size_t>> lists_;  ///< rows per centroid
 };
 
@@ -138,6 +161,22 @@ class HnswIndex final : public VectorIndex {
   std::string save() const;
   static HnswIndex load(std::string_view blob);
 
+  /// Reusable per-thread search state: an epoch-stamped visited buffer
+  /// (one ++epoch instead of a fresh hash set per search_layer call)
+  /// and the two beam heaps.  Each worker thread owns one via
+  /// thread_local, so batched queries never contend or allocate.
+  struct SearchScratch {
+    std::vector<std::uint32_t> visited_epoch;
+    std::uint32_t epoch = 0;
+    std::vector<SearchResult> candidates;  ///< max-heap on score
+    std::vector<SearchResult> best;        ///< min-heap on score
+
+    /// Start a fresh visited set covering rows [0, n).
+    void begin(std::size_t n);
+    /// True on first visit of `row` this epoch.
+    bool visit(std::size_t row);
+  };
+
  private:
   struct Node {
     int level = 0;
@@ -150,13 +189,14 @@ class HnswIndex final : public VectorIndex {
                              int from_level, int to_level) const;
   std::vector<SearchResult> search_layer(const embed::Vector& q,
                                          std::size_t entry, std::size_t ef,
-                                         int layer) const;
+                                         int layer,
+                                         SearchScratch& scratch) const;
   void connect(std::size_t row, int layer,
                const std::vector<SearchResult>& candidates);
 
   std::size_t dim_;
   HnswConfig config_;
-  std::vector<embed::Vector> vectors_;
+  RowStorage vectors_;
   std::vector<Node> nodes_;
   std::size_t entry_point_ = 0;
   int max_level_ = -1;

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "parallel/thread_pool.hpp"
+
 namespace mcqa::index {
 
 std::string_view index_kind_name(IndexKind kind) {
@@ -39,6 +41,16 @@ void VectorStore::build() {
   built_ = true;
 }
 
+std::vector<Hit> VectorStore::hits_for(
+    const std::vector<SearchResult>& results) const {
+  std::vector<Hit> hits;
+  hits.reserve(results.size());
+  for (const auto& r : results) {
+    hits.push_back(Hit{ids_[r.row], texts_[r.row], r.score});
+  }
+  return hits;
+}
+
 std::vector<Hit> VectorStore::query(std::string_view text,
                                     std::size_t k) const {
   return query_vector(embedder_.embed(text), k);
@@ -49,11 +61,31 @@ std::vector<Hit> VectorStore::query_vector(const embed::Vector& v,
   if (!built_) {
     throw std::logic_error("VectorStore::query before build()");
   }
-  std::vector<Hit> hits;
-  for (const auto& r : index_->search(v, k)) {
-    hits.push_back(Hit{ids_[r.row], texts_[r.row], r.score});
+  return hits_for(index_->search(v, k));
+}
+
+std::vector<std::vector<Hit>> VectorStore::query_batch(
+    const std::vector<std::string>& texts, std::size_t k,
+    parallel::ThreadPool& pool) const {
+  if (!built_) {
+    throw std::logic_error("VectorStore::query_batch before build()");
   }
-  return hits;
+  // Embedding is thread-safe by contract, so it rides the same pool.
+  std::vector<embed::Vector> queries(texts.size());
+  parallel::parallel_for(pool, 0, texts.size(), [&](std::size_t i) {
+    queries[i] = embedder_.embed(texts[i]);
+  });
+  const auto batches = index_->search_batch(queries, k, pool);
+  std::vector<std::vector<Hit>> out(batches.size());
+  for (std::size_t i = 0; i < batches.size(); ++i) {
+    out[i] = hits_for(batches[i]);
+  }
+  return out;
+}
+
+std::vector<std::vector<Hit>> VectorStore::query_batch(
+    const std::vector<std::string>& texts, std::size_t k) const {
+  return query_batch(texts, k, parallel::ThreadPool::global());
 }
 
 }  // namespace mcqa::index

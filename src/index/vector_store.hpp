@@ -5,7 +5,10 @@
 // and one store per reasoning-trace mode — are FAISS indexes keyed back
 // to JSON records.  VectorStore is that binding: add(id, text) embeds
 // and indexes; query(text, k) returns the payloads RAG will paste into
-// the prompt.
+// the prompt.  query_batch fans a whole question set across a thread
+// pool through VectorIndex::search_batch — the retrieval path the
+// evaluation harness uses, since it issues one query per
+// (question x condition x model).
 
 #include <memory>
 #include <string>
@@ -13,6 +16,10 @@
 
 #include "embed/embedder.hpp"
 #include "index/vector_index.hpp"
+
+namespace mcqa::parallel {
+class ThreadPool;
+}
 
 namespace mcqa::index {
 
@@ -41,6 +48,16 @@ class VectorStore {
   /// Query with a precomputed embedding.
   std::vector<Hit> query_vector(const embed::Vector& v, std::size_t k) const;
 
+  /// Batched query: embeds and searches all texts across `pool`.
+  /// Result i is identical to query(texts[i], k) at any thread count.
+  std::vector<std::vector<Hit>> query_batch(
+      const std::vector<std::string>& texts, std::size_t k,
+      parallel::ThreadPool& pool) const;
+
+  /// Batched query on the process-wide default pool.
+  std::vector<std::vector<Hit>> query_batch(
+      const std::vector<std::string>& texts, std::size_t k) const;
+
   std::size_t size() const { return ids_.size(); }
   const std::string& text_of(std::size_t row) const { return texts_.at(row); }
   const std::string& id_of(std::size_t row) const { return ids_.at(row); }
@@ -51,6 +68,8 @@ class VectorStore {
   }
 
  private:
+  std::vector<Hit> hits_for(const std::vector<SearchResult>& results) const;
+
   const embed::Embedder& embedder_;
   std::unique_ptr<VectorIndex> index_;
   std::vector<std::string> ids_;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "parallel/thread_pool.hpp"
 #include "text/normalize.hpp"
 #include "text/sentence.hpp"
 #include "text/tokenizer.hpp"
@@ -215,30 +216,66 @@ void RagPipeline::annotate(llm::McqTask& task, const qgen::McqRecord& record,
       condition != Condition::kTraceEfficient;
 }
 
+std::string RagPipeline::query_for(const qgen::McqRecord& record,
+                                   Condition condition) const {
+  return condition == Condition::kChunks
+             ? record.stem
+             : qgen::McqRecord::render_question(record.stem, record.options);
+}
+
+llm::McqTask RagPipeline::finish(const qgen::McqRecord& record,
+                                 Condition condition,
+                                 const llm::ModelSpec& spec,
+                                 const std::vector<index::Hit>& hits) const {
+  llm::McqTask task = record.to_task();
+  std::vector<std::string> kept_ids;
+  task.context = assemble_context(hits, task, spec, &kept_ids);
+  annotate(task, record, condition, kept_ids);
+  return task;
+}
+
 llm::McqTask RagPipeline::prepare(const qgen::McqRecord& record,
                                   Condition condition,
                                   const llm::ModelSpec& spec) const {
-  llm::McqTask task = record.to_task();
-  if (condition == Condition::kBaseline) return task;
+  if (condition == Condition::kBaseline) return record.to_task();
 
   const index::VectorStore* store = stores_.store_for(condition);
-  if (store == nullptr || store->size() == 0) return task;
+  if (store == nullptr || store->size() == 0) return record.to_task();
 
   // Query against the question embedding.  For the chunk store the stem
   // alone is the better key: the six distractor entities in the option
   // list drag in passages about the wrong entities.  Trace stores embed
   // the full question (their texts restate stem and options), so the
   // full rendering is the sharper key there.
-  const std::string query =
-      condition == Condition::kChunks
-          ? record.stem
-          : qgen::McqRecord::render_question(record.stem, record.options);
-  const auto hits = store->query(query, config_.top_k_for(condition));
+  const auto hits = store->query(query_for(record, condition),
+                                 config_.top_k_for(condition));
+  return finish(record, condition, spec, hits);
+}
 
-  std::vector<std::string> kept_ids;
-  task.context = assemble_context(hits, task, spec, &kept_ids);
-  annotate(task, record, condition, kept_ids);
-  return task;
+std::vector<llm::McqTask> RagPipeline::prepare_batch(
+    const std::vector<qgen::McqRecord>& records, Condition condition,
+    const llm::ModelSpec& spec, parallel::ThreadPool& pool) const {
+  std::vector<llm::McqTask> tasks(records.size());
+  const index::VectorStore* store = stores_.store_for(condition);
+  if (condition == Condition::kBaseline || store == nullptr ||
+      store->size() == 0) {
+    parallel::parallel_for(pool, 0, records.size(), [&](std::size_t i) {
+      tasks[i] = records[i].to_task();
+    });
+    return tasks;
+  }
+
+  std::vector<std::string> queries;
+  queries.reserve(records.size());
+  for (const auto& record : records) {
+    queries.push_back(query_for(record, condition));
+  }
+  const auto hit_batches =
+      store->query_batch(queries, config_.top_k_for(condition), pool);
+  parallel::parallel_for(pool, 0, records.size(), [&](std::size_t i) {
+    tasks[i] = finish(records[i], condition, spec, hit_batches[i]);
+  });
+  return tasks;
 }
 
 }  // namespace mcqa::rag

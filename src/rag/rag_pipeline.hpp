@@ -30,6 +30,10 @@
 #include "qgen/mcq_record.hpp"
 #include "trace/trace_record.hpp"
 
+namespace mcqa::parallel {
+class ThreadPool;
+}
+
 namespace mcqa::rag {
 
 enum class Condition {
@@ -79,9 +83,26 @@ class RagPipeline {
   llm::McqTask prepare(const qgen::McqRecord& record, Condition condition,
                        const llm::ModelSpec& spec) const;
 
+  /// Batched prepare: retrieval for all records goes through the
+  /// store's batched query path on `pool`, then assembly/annotation
+  /// fans out across the same workers.  Element i is identical to
+  /// prepare(records[i], condition, spec) at any thread count.
+  std::vector<llm::McqTask> prepare_batch(
+      const std::vector<qgen::McqRecord>& records, Condition condition,
+      const llm::ModelSpec& spec, parallel::ThreadPool& pool) const;
+
   const RagConfig& config() const { return config_; }
 
  private:
+  /// Retrieval key for (record, condition) — see prepare() for why
+  /// chunks key on the stem and traces on the full rendering.
+  std::string query_for(const qgen::McqRecord& record,
+                        Condition condition) const;
+  /// Assembly + annotation after retrieval (the non-retrieval tail of
+  /// prepare, shared with the batched path).
+  llm::McqTask finish(const qgen::McqRecord& record, Condition condition,
+                      const llm::ModelSpec& spec,
+                      const std::vector<index::Hit>& hits) const;
   std::string assemble_context(const std::vector<index::Hit>& hits,
                                const llm::McqTask& task,
                                const llm::ModelSpec& spec,

@@ -1,0 +1,393 @@
+// Tests for the blocked similarity-kernel layer: bit-exact equivalence
+// against a reference implementation of the fixed lane order, bounded
+// top-k selection, batched search identity across thread counts, and
+// the contiguous-storage save/load formats.
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <memory>
+
+#include "embed/hashed_embedder.hpp"
+#include "index/kernels.hpp"
+#include "index/row_storage.hpp"
+#include "index/vector_index.hpp"
+#include "index/vector_store.hpp"
+#include "parallel/thread_pool.hpp"
+#include "util/fp16.hpp"
+#include "util/rng.hpp"
+
+namespace mcqa::index {
+namespace {
+
+// --- reference implementations of the determinism contract -------------------
+// Written independently of kernels.cpp: 8 lanes, lane l takes elements
+// l, l+8, ...; combined as ((l0+l1)+(l2+l3)) + ((l4+l5)+(l6+l7)).
+
+float ref_dot(const float* a, const float* b, std::size_t n) {
+  float lane[8] = {};
+  for (std::size_t i = 0; i < n; ++i) lane[i % 8] += a[i] * b[i];
+  return ((lane[0] + lane[1]) + (lane[2] + lane[3])) +
+         ((lane[4] + lane[5]) + (lane[6] + lane[7]));
+}
+
+float ref_l2_sq(const float* a, const float* b, std::size_t n) {
+  float lane[8] = {};
+  for (std::size_t i = 0; i < n; ++i) {
+    const float d = a[i] - b[i];
+    lane[i % 8] += d * d;
+  }
+  return ((lane[0] + lane[1]) + (lane[2] + lane[3])) +
+         ((lane[4] + lane[5]) + (lane[6] + lane[7]));
+}
+
+std::vector<float> random_row(std::size_t n, util::Rng& rng) {
+  std::vector<float> v(n);
+  for (auto& x : v) x = static_cast<float>(rng.normal());
+  return v;
+}
+
+std::vector<embed::Vector> random_unit_vectors(std::size_t n, std::size_t dim,
+                                               std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<embed::Vector> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    embed::Vector v(dim);
+    for (auto& x : v) x = static_cast<float>(rng.normal());
+    embed::normalize(v);
+    out.push_back(std::move(v));
+  }
+  return out;
+}
+
+void expect_bit_equal(float got, float want, std::size_t n) {
+  EXPECT_EQ(std::bit_cast<std::uint32_t>(got),
+            std::bit_cast<std::uint32_t>(want))
+      << "n=" << n << " got=" << got << " want=" << want;
+}
+
+// Dims below, at, and off the 8-float lane width, odd dims, and a
+// PubMedBERT-sized row.
+const std::size_t kDims[] = {1, 2, 3, 5, 7, 8, 9, 15, 16, 17,
+                             31, 63, 255, 256, 768};
+
+TEST(Kernels, DotBitIdenticalToReferenceLaneOrder) {
+  util::Rng rng(11);
+  for (const std::size_t n : kDims) {
+    const auto a = random_row(n, rng);
+    const auto b = random_row(n, rng);
+    expect_bit_equal(kernels::dot(a.data(), b.data(), n),
+                     ref_dot(a.data(), b.data(), n), n);
+  }
+}
+
+TEST(Kernels, L2BitIdenticalToReferenceLaneOrder) {
+  util::Rng rng(12);
+  for (const std::size_t n : kDims) {
+    const auto a = random_row(n, rng);
+    const auto b = random_row(n, rng);
+    expect_bit_equal(kernels::l2_sq(a.data(), b.data(), n),
+                     ref_l2_sq(a.data(), b.data(), n), n);
+  }
+}
+
+TEST(Kernels, DotFp16MatchesDequantizeThenDot) {
+  util::Rng rng(13);
+  for (const std::size_t n : kDims) {
+    const auto raw = random_row(n, rng);
+    const auto b = random_row(n, rng);
+    std::vector<util::fp16_t> a(n);
+    std::vector<float> widened(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      a[i] = util::float_to_fp16(raw[i]);
+      widened[i] = util::fp16_to_float(a[i]);
+    }
+    expect_bit_equal(kernels::dot_fp16(a.data(), b.data(), n),
+                     ref_dot(widened.data(), b.data(), n), n);
+  }
+}
+
+TEST(Kernels, Fp16TableCoversAllFinitePatterns) {
+  // Spot the tricky regions explicitly: subnormals, signed zero, the
+  // normal/subnormal boundary, max half — plus a dense sweep of every
+  // finite pattern.  (Inf/NaN never occur in embeddings: arithmetic on
+  // them is outside the determinism contract, the table itself is
+  // constructed from util::fp16_to_float for all 65536 inputs.)
+  std::vector<util::fp16_t> patterns;
+  for (std::uint32_t h = 0; h < (1u << 16); h += 97) {
+    if (((h >> 10) & 0x1fu) == 0x1fu) continue;  // skip inf/nan exponent
+    patterns.push_back(static_cast<util::fp16_t>(h));
+  }
+  for (const util::fp16_t extra :
+       {0x0000u, 0x8000u, 0x0001u, 0x03ffu, 0x0400u, 0x7bffu, 0xfbffu}) {
+    patterns.push_back(static_cast<util::fp16_t>(extra));
+  }
+  const std::size_t n = patterns.size();
+  std::vector<float> ones(n, 1.0f);
+  std::vector<float> widened(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    widened[i] = util::fp16_to_float(patterns[i]);
+  }
+  expect_bit_equal(kernels::dot_fp16(patterns.data(), ones.data(), n),
+                   ref_dot(widened.data(), ones.data(), n), n);
+}
+
+TEST(Kernels, ZeroVectorsAndZeroLength) {
+  const std::vector<float> zeros(16, 0.0f);
+  const std::vector<float> other{1.0f, -2.0f, 3.0f, -4.0f, 5.0f, -6.0f,
+                                 7.0f, -8.0f, 9.0f, -1.0f, 2.0f, -3.0f,
+                                 4.0f, -5.0f, 6.0f, -7.0f};
+  EXPECT_EQ(kernels::dot(zeros.data(), other.data(), 16), 0.0f);
+  EXPECT_EQ(kernels::dot(other.data(), other.data(), 0), 0.0f);
+  EXPECT_EQ(kernels::l2_sq(zeros.data(), zeros.data(), 16), 0.0f);
+  const std::vector<util::fp16_t> zero16(16, 0);
+  EXPECT_EQ(kernels::dot_fp16(zero16.data(), other.data(), 16), 0.0f);
+}
+
+// --- TopK -------------------------------------------------------------------
+
+std::vector<SearchResult> ref_sort_and_trim(std::vector<SearchResult> all,
+                                            std::size_t k) {
+  std::sort(all.begin(), all.end(),
+            [](const SearchResult& a, const SearchResult& b) {
+              if (a.score != b.score) return a.score > b.score;
+              return a.row < b.row;
+            });
+  if (all.size() > k) all.resize(k);
+  return all;
+}
+
+TEST(TopK, MatchesFullSortWithDuplicateScores) {
+  util::Rng rng(21);
+  for (const std::size_t k : {std::size_t{1}, std::size_t{5},
+                              std::size_t{10}, std::size_t{64}}) {
+    std::vector<SearchResult> all;
+    TopK top(k);
+    for (std::size_t row = 0; row < 200; ++row) {
+      // Coarse quantization forces score ties so the row tie-break runs.
+      const float score =
+          static_cast<float>(rng.bounded(16)) / 16.0f;
+      all.push_back({row, score});
+      top.push(row, score);
+    }
+    const auto want = ref_sort_and_trim(all, k);
+    const auto got = top.take_sorted();
+    ASSERT_EQ(got.size(), want.size()) << "k=" << k;
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      EXPECT_EQ(got[i].row, want[i].row) << "k=" << k << " i=" << i;
+      EXPECT_EQ(got[i].score, want[i].score);
+    }
+  }
+}
+
+TEST(TopK, BoundaryCapacities) {
+  TopK zero(0);
+  zero.push(1, 0.5f);
+  EXPECT_TRUE(zero.take_sorted().empty());
+
+  TopK bigger(10);
+  bigger.push(3, 0.1f);
+  bigger.push(1, 0.9f);
+  const auto out = bigger.take_sorted();
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].row, 1u);
+  EXPECT_EQ(out[1].row, 3u);
+}
+
+TEST(TopK, ResetReusesSelector) {
+  TopK top(2);
+  top.push(0, 0.3f);
+  top.push(1, 0.7f);
+  top.push(2, 0.5f);
+  EXPECT_EQ(top.take_sorted().size(), 2u);
+  top.reset(1);
+  top.push(5, 0.2f);
+  top.push(6, 0.8f);
+  const auto out = top.take_sorted();
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].row, 6u);
+}
+
+// --- RowStorage -------------------------------------------------------------
+
+TEST(RowStorage, ContiguousLayoutAndAccessors) {
+  RowStorage rows(3);
+  rows.add({1.0f, 2.0f, 3.0f});
+  rows.add({4.0f, 5.0f, 6.0f});
+  EXPECT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows.row(1)[0], 4.0f);
+  EXPECT_EQ(rows.row(1) - rows.row(0), 3);  // truly contiguous
+  EXPECT_EQ(rows.vector(0), (embed::Vector{1.0f, 2.0f, 3.0f}));
+  rows.set_row(0, {7.0f, 8.0f, 9.0f});
+  EXPECT_EQ(rows.data()[0], 7.0f);
+  EXPECT_THROW(rows.add(embed::Vector(2, 0.0f)), std::invalid_argument);
+}
+
+// --- batched search ----------------------------------------------------------
+
+std::unique_ptr<VectorIndex> make_index(IndexKind kind, std::size_t dim) {
+  switch (kind) {
+    case IndexKind::kFlat: return std::make_unique<FlatIndex>(dim);
+    case IndexKind::kIvf: return std::make_unique<IvfIndex>(dim);
+    case IndexKind::kHnsw: return std::make_unique<HnswIndex>(dim);
+  }
+  return nullptr;
+}
+
+class BatchedSearch : public ::testing::TestWithParam<IndexKind> {};
+
+TEST_P(BatchedSearch, IdenticalToSequentialAtAnyThreadCount) {
+  constexpr std::size_t kDim = 24;
+  constexpr std::size_t kK = 7;
+  const auto data = random_unit_vectors(600, kDim, 31);
+  const auto queries = random_unit_vectors(40, kDim, 32);
+  auto idx = make_index(GetParam(), kDim);
+  for (const auto& v : data) idx->add(v);
+  idx->build();
+
+  std::vector<std::vector<SearchResult>> want;
+  want.reserve(queries.size());
+  for (const auto& q : queries) want.push_back(idx->search(q, kK));
+
+  for (const std::size_t threads : {1u, 2u, 8u}) {
+    parallel::ThreadPool pool(threads);
+    const auto got = idx->search_batch(queries, kK, pool);
+    ASSERT_EQ(got.size(), want.size());
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      ASSERT_EQ(got[i].size(), want[i].size()) << "threads=" << threads;
+      for (std::size_t j = 0; j < got[i].size(); ++j) {
+        EXPECT_EQ(got[i][j].row, want[i][j].row)
+            << "threads=" << threads << " q=" << i << " j=" << j;
+        // Scores must match bit-for-bit, not approximately: the blocked
+        // kernels are the only summation order.
+        EXPECT_EQ(std::bit_cast<std::uint32_t>(got[i][j].score),
+                  std::bit_cast<std::uint32_t>(want[i][j].score));
+      }
+    }
+  }
+}
+
+TEST_P(BatchedSearch, EmptyBatchAndDefaultPool) {
+  auto idx = make_index(GetParam(), 8);
+  idx->build();
+  EXPECT_TRUE(idx->search_batch({}, 3).empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(Kinds, BatchedSearch,
+                         ::testing::Values(IndexKind::kFlat, IndexKind::kIvf,
+                                           IndexKind::kHnsw),
+                         [](const auto& info) {
+                           return std::string(index_kind_name(info.param));
+                         });
+
+// --- contiguous-storage save/load -------------------------------------------
+
+TEST(ContiguousIo, IvfRoundTripBitExact) {
+  constexpr std::size_t kDim = 13;  // odd on purpose
+  const auto data = random_unit_vectors(300, kDim, 41);
+  IvfConfig cfg;
+  cfg.nlist = 12;
+  cfg.nprobe = 5;
+  IvfIndex idx(kDim, cfg);
+  for (const auto& v : data) idx.add(v);
+  idx.build();
+
+  const std::string blob = idx.save();
+  const IvfIndex loaded = IvfIndex::load(blob);
+  EXPECT_EQ(loaded.size(), idx.size());
+  EXPECT_EQ(loaded.nlist(), idx.nlist());
+  EXPECT_EQ(loaded.save(), blob);  // stable round trip
+
+  for (const auto& q : random_unit_vectors(8, kDim, 42)) {
+    const auto a = idx.search(q, 6);
+    const auto b = loaded.search(q, 6);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i].row, b[i].row);
+      EXPECT_EQ(std::bit_cast<std::uint32_t>(a[i].score),
+                std::bit_cast<std::uint32_t>(b[i].score));
+    }
+  }
+}
+
+TEST(ContiguousIo, HnswRoundTripBitExact) {
+  constexpr std::size_t kDim = 11;  // odd on purpose
+  const auto data = random_unit_vectors(300, kDim, 43);
+  HnswIndex idx(kDim);
+  for (const auto& v : data) idx.add(v);
+
+  const std::string blob = idx.save();
+  const HnswIndex loaded = HnswIndex::load(blob);
+  EXPECT_EQ(loaded.size(), idx.size());
+  EXPECT_EQ(loaded.save(), blob);
+
+  for (const auto& q : random_unit_vectors(8, kDim, 44)) {
+    const auto a = idx.search(q, 6);
+    const auto b = loaded.search(q, 6);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i].row, b[i].row);
+      EXPECT_EQ(std::bit_cast<std::uint32_t>(a[i].score),
+                std::bit_cast<std::uint32_t>(b[i].score));
+    }
+  }
+}
+
+TEST(ContiguousIo, RejectsV1BlobsAndTruncation) {
+  EXPECT_THROW(IvfIndex::load("ivfidx1\nanything"), std::runtime_error);
+  EXPECT_THROW(HnswIndex::load("hnswidx1\nanything"), std::runtime_error);
+  EXPECT_THROW(IvfIndex::load("ivfidx2\nshort"), std::runtime_error);
+  EXPECT_THROW(HnswIndex::load("hnswidx2\nshort"), std::runtime_error);
+
+  // Truncating a valid blob mid-payload must throw, not misread.
+  IvfIndex idx(8);
+  for (const auto& v : random_unit_vectors(40, 8, 45)) idx.add(v);
+  idx.build();
+  const std::string blob = idx.save();
+  EXPECT_THROW(IvfIndex::load(std::string_view(blob).substr(
+                   0, blob.size() / 2)),
+               std::runtime_error);
+}
+
+// --- store-level batched query -----------------------------------------------
+
+TEST(VectorStoreBatch, QueryBatchMatchesSequentialQueries) {
+  const embed::HashedNGramEmbedder emb;
+  VectorStore store(emb, IndexKind::kFlat);
+  store.add("c1", "TP53 activates apoptosis following irradiation.");
+  store.add("c2", "Samples were processed within thirty minutes.");
+  store.add("c3", "Cisplatin radiosensitizes HeLa cells strongly.");
+  store.add("c4", "ATM phosphorylates CHK2 after radiation exposure.");
+  store.build();
+
+  const std::vector<std::string> queries{
+      "what activates apoptosis?", "radiosensitization of HeLa",
+      "checkpoint signaling kinase", "sample processing time"};
+  std::vector<std::vector<Hit>> want;
+  for (const auto& q : queries) want.push_back(store.query(q, 2));
+
+  for (const std::size_t threads : {1u, 4u}) {
+    parallel::ThreadPool pool(threads);
+    const auto got = store.query_batch(queries, 2, pool);
+    ASSERT_EQ(got.size(), want.size());
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      ASSERT_EQ(got[i].size(), want[i].size());
+      for (std::size_t j = 0; j < got[i].size(); ++j) {
+        EXPECT_EQ(got[i][j].id, want[i][j].id);
+        EXPECT_EQ(got[i][j].score, want[i][j].score);
+      }
+    }
+  }
+}
+
+TEST(VectorStoreBatch, QueryBatchBeforeBuildThrows) {
+  const embed::HashedNGramEmbedder emb;
+  VectorStore store(emb);
+  store.add("c1", "text");
+  EXPECT_THROW(store.query_batch({"q"}, 1), std::logic_error);
+}
+
+}  // namespace
+}  // namespace mcqa::index

@@ -3,11 +3,14 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "corpus/fact_matcher.hpp"
 #include "corpus/realization.hpp"
 #include "embed/hashed_embedder.hpp"
 #include "index/vector_store.hpp"
 #include "llm/model_spec.hpp"
+#include "parallel/thread_pool.hpp"
 #include "rag/rag_pipeline.hpp"
 #include "text/tokenizer.hpp"
 
@@ -105,6 +108,50 @@ class RagFixture : public ::testing::Test {
   qgen::McqRecord record_;
   llm::ModelSpec spec_;
 };
+
+TEST_F(RagFixture, PrepareBatchMatchesSequentialPrepare) {
+  const RagPipeline rag = make_pipeline();
+  // A small mixed set: the fixture record plus shuffled-option variants
+  // so the batch carries distinct retrieval keys.
+  std::vector<qgen::McqRecord> records(4, record_);
+  for (std::size_t i = 1; i < records.size(); ++i) {
+    records[i].record_id = "q_fixture_" + std::to_string(i);
+    std::rotate(records[i].options.begin(), records[i].options.begin() + 1,
+                records[i].options.end());
+    records[i].correct_index =
+        static_cast<int>((static_cast<std::size_t>(record_.correct_index) +
+                          records[i].options.size() - 1) %
+                         records[i].options.size());
+    records[i].question = qgen::McqRecord::render_question(
+        records[i].stem, records[i].options);
+  }
+
+  for (int c = 0; c < kConditionCount; ++c) {
+    const auto condition = static_cast<Condition>(c);
+    std::vector<llm::McqTask> want;
+    for (const auto& r : records) {
+      want.push_back(rag.prepare(r, condition, spec_));
+    }
+    for (const std::size_t threads : {1u, 3u}) {
+      parallel::ThreadPool pool(threads);
+      const auto got = rag.prepare_batch(records, condition, spec_, pool);
+      ASSERT_EQ(got.size(), want.size());
+      for (std::size_t i = 0; i < got.size(); ++i) {
+        EXPECT_EQ(got[i].context, want[i].context)
+            << condition_name(condition) << " threads=" << threads;
+        EXPECT_EQ(got[i].correct_index, want[i].correct_index);
+        EXPECT_EQ(got[i].context_has_fact, want[i].context_has_fact);
+        EXPECT_EQ(got[i].context_saliency, want[i].context_saliency);
+        EXPECT_EQ(got[i].context_has_elimination,
+                  want[i].context_has_elimination);
+        EXPECT_EQ(got[i].context_misleading_options,
+                  want[i].context_misleading_options);
+        EXPECT_EQ(got[i].context_mislead_strength,
+                  want[i].context_mislead_strength);
+      }
+    }
+  }
+}
 
 TEST(ConditionNames, AllDistinct) {
   std::set<std::string_view> names;
