@@ -7,11 +7,13 @@
 
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  mcqa::bench::parse_args(argc, argv);
   using namespace mcqa;
 
   // Build two pipelines identical except for the chunker.
-  core::PipelineConfig semantic_cfg = core::PipelineConfig::paper_scale(0.015);
+  core::PipelineConfig semantic_cfg =
+      core::PipelineConfig::paper_scale(bench::smoke() ? 0.006 : 0.015);
   semantic_cfg.semantic_chunking = true;
   core::PipelineConfig fixed_cfg = semantic_cfg;
   fixed_cfg.semantic_chunking = false;

@@ -4,6 +4,7 @@
 
 #include <cstdio>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "core/pipeline.hpp"
@@ -11,6 +12,47 @@
 #include "eval/report.hpp"
 
 namespace mcqa::bench {
+
+// --- smoke mode --------------------------------------------------------------
+//
+// Every bench binary accepts `--smoke`: the fast path the `bench`-labelled
+// ctest entries run.  Smoke mode keeps every shape check but shrinks the
+// work — sweeps run on a record prefix, google-benchmark timing sweeps are
+// skipped — so `ctest -L bench` verifies the suite in seconds per binary
+// instead of minutes.  Full runs (no flag) are unchanged.
+
+inline bool g_smoke = false;
+
+/// Detect `--smoke` and strip it from argv (so benchmark::Initialize in
+/// the gbench binaries never sees an unknown flag).
+inline bool parse_args(int* argc, char** argv) {
+  int w = 1;
+  for (int r = 1; r < *argc; ++r) {
+    if (std::string_view(argv[r]) == "--smoke") {
+      g_smoke = true;
+      continue;
+    }
+    argv[w++] = argv[r];
+  }
+  *argc = w;
+  return g_smoke;
+}
+
+/// Convenience overload for benches that never re-read argv.
+inline bool parse_args(int argc, char** argv) {
+  return parse_args(&argc, argv);
+}
+
+inline bool smoke() { return g_smoke; }
+
+/// Smoke-mode record cap: a deterministic prefix, so smoke runs are
+/// reproducible (just not comparable to the paper's numbers).
+inline std::vector<qgen::McqRecord> smoke_subset(
+    const std::vector<qgen::McqRecord>& records, std::size_t cap = 96) {
+  if (!g_smoke || records.size() <= cap) return records;
+  return std::vector<qgen::McqRecord>(records.begin(),
+                                      records.begin() + static_cast<std::ptrdiff_t>(cap));
+}
 
 /// The context every table/figure bench evaluates against.  Built once
 /// per process at the default reproduction scale.
@@ -28,12 +70,19 @@ inline void print_scale_banner(const core::PipelineContext& ctx) {
       ctx.benchmark().size(), ctx.exam_all().size());
 }
 
-/// Run the five-condition sweep for all registered students.
+/// Run the five-condition sweep for all registered students.  In smoke
+/// mode the sweep covers a deterministic record prefix (accuracies then
+/// deviate from the paper columns — smoke verifies shape, not values).
 inline eval::SweepResult run_full_sweep(
     const core::PipelineContext& ctx,
     const std::vector<qgen::McqRecord>& records) {
+  const std::vector<qgen::McqRecord> subset = smoke_subset(records);
+  if (subset.size() != records.size()) {
+    std::printf("[smoke: sweeping first %zu of %zu records]\n", subset.size(),
+                records.size());
+  }
   const eval::EvalHarness harness(ctx.rag());
-  return harness.sweep(ctx.student_ptrs(), ctx.student_specs(), records,
+  return harness.sweep(ctx.student_ptrs(), ctx.student_specs(), subset,
                        eval::all_conditions());
 }
 

@@ -14,6 +14,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
 #include <memory>
@@ -212,6 +213,31 @@ bool batch_matches_sequential(const index::VectorIndex& idx,
   return true;
 }
 
+/// Smoke path: determinism shape checks only (no timing, no JSON) —
+/// batched search must match sequential for every index kind.
+int run_smoke() {
+  const std::size_t dim = data().base[0].size();
+  const std::vector<embed::Vector> queries(
+      data().queries.begin(),
+      data().queries.begin() +
+          static_cast<std::ptrdiff_t>(std::min<std::size_t>(
+              16, data().queries.size())));
+  bool all_deterministic = true;
+  for (const index::IndexKind kind :
+       {index::IndexKind::kFlat, index::IndexKind::kIvf,
+        index::IndexKind::kHnsw}) {
+    auto idx = make_kind(kind, dim);
+    idx->add_batch(data().base);
+    idx->build();
+    const bool deterministic = batch_matches_sequential(*idx, queries);
+    std::printf("shape check [%s]: batched == sequential at 1/2/8 threads: %s\n",
+                std::string(index::index_kind_name(kind)).c_str(),
+                deterministic ? "PASS" : "FAIL");
+    all_deterministic = all_deterministic && deterministic;
+  }
+  return all_deterministic ? 0 : 1;
+}
+
 void write_bench_json() {
   const std::size_t dim = data().base[0].size();
   parallel::ThreadPool pool;  // machine-sized
@@ -286,6 +312,7 @@ void write_bench_json() {
 }  // namespace
 
 int main(int argc, char** argv) {
+  const bool smoke = mcqa::bench::parse_args(&argc, argv);
   std::printf(
       "Index ablation (A1): recall@10 vs throughput over %zu chunk "
       "embeddings — the FAISS-style accuracy/speed trade-off.\n"
@@ -293,6 +320,7 @@ int main(int argc, char** argv) {
       "top-k via bounded heap; batched path fans across the thread "
       "pool.\n\n",
       data().base.size());
+  if (smoke) return run_smoke();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();

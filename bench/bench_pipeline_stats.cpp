@@ -9,7 +9,8 @@
 #include "bench_common.hpp"
 #include "util/histogram.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  mcqa::bench::parse_args(argc, argv);
   using namespace mcqa;
   const auto& ctx = bench::shared_context();
   const auto& s = ctx.stats();

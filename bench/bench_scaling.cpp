@@ -8,6 +8,7 @@
 #include <cstdio>
 #include <thread>
 
+#include "bench_common.hpp"
 #include "chunk/chunker.hpp"
 #include "corpus/corpus_builder.hpp"
 #include "embed/hashed_embedder.hpp"
@@ -177,9 +178,36 @@ void BM_EmbedderThroughput(benchmark::State& state) {
 }
 BENCHMARK(BM_EmbedderThroughput);
 
+/// Smoke path: the batch==sequential shape check at 1/2/8 threads plus
+/// one parse->chunk->embed pass, no timing sweeps.
+int run_smoke() {
+  const auto& d = batch_search_data();
+  std::vector<std::vector<index::SearchResult>> want;
+  for (const auto& q : d.queries) want.push_back(d.idx.search(q, 10));
+  bool identical = true;
+  for (const std::size_t threads : {1u, 2u, 8u}) {
+    parallel::ThreadPool pool(threads);
+    const auto got = d.idx.search_batch(d.queries, 10, pool);
+    for (std::size_t i = 0; identical && i < want.size(); ++i) {
+      identical = got[i].size() == want[i].size();
+      for (std::size_t j = 0; identical && j < want[i].size(); ++j) {
+        identical = got[i][j].row == want[i][j].row &&
+                    got[i][j].score == want[i][j].score;
+      }
+    }
+  }
+  std::printf("shape check: search_batch == sequential at 1/2/8 threads: %s\n",
+              identical ? "PASS" : "FAIL");
+  const std::size_t chunks = run_pipeline(2);
+  std::printf("shape check: parse->chunk->embed produced %zu chunks: %s\n",
+              chunks, chunks > 0 ? "PASS" : "FAIL");
+  return identical && chunks > 0 ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  const bool smoke = mcqa::bench::parse_args(&argc, argv);
   std::printf(
       "Scaling experiment (S1): parse -> chunk -> embed throughput vs "
       "worker count over %zu documents, plus batched index search "
@@ -190,6 +218,7 @@ int main(int argc, char** argv) {
       "scales with the Arg (thread) value.\n\n",
       fixed_corpus().documents.size(),
       std::thread::hardware_concurrency());
+  if (smoke) return run_smoke();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();

@@ -4,11 +4,13 @@
 
 #include <cstdio>
 
+#include "bench_common.hpp"
 #include "eval/report.hpp"
 #include "llm/model_spec.hpp"
 #include "util/strings.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  mcqa::bench::parse_args(argc, argv);
   using namespace mcqa;
   std::printf("Table 1: Overview of evaluated SLMs\n\n");
   eval::TableWriter table(

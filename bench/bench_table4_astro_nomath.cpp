@@ -5,7 +5,8 @@
 
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  mcqa::bench::parse_args(argc, argv);
   using namespace mcqa;
   const auto& ctx = bench::shared_context();
   bench::print_scale_banner(ctx);

@@ -15,7 +15,8 @@
 #include "bench_common.hpp"
 #include "llm/ngram_lm.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  mcqa::bench::parse_args(argc, argv);
   using namespace mcqa;
   const auto& ctx = bench::shared_context();
   bench::print_scale_banner(ctx);

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_embed_ablation.cpp" "bench-build/CMakeFiles/bench_embed_ablation.dir/bench_embed_ablation.cpp.o" "gcc" "bench-build/CMakeFiles/bench_embed_ablation.dir/bench_embed_ablation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/mcqa_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/exam/CMakeFiles/mcqa_exam.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/mcqa_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/rag/CMakeFiles/mcqa_rag.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/mcqa_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/qgen/CMakeFiles/mcqa_qgen.dir/DependInfo.cmake"
+  "/root/repo/build/src/llm/CMakeFiles/mcqa_llm.dir/DependInfo.cmake"
+  "/root/repo/build/src/corpus/CMakeFiles/mcqa_corpus.dir/DependInfo.cmake"
+  "/root/repo/build/src/chunk/CMakeFiles/mcqa_chunk.dir/DependInfo.cmake"
+  "/root/repo/build/src/parse/CMakeFiles/mcqa_parse.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/mcqa_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/embed/CMakeFiles/mcqa_embed.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/mcqa_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/json/CMakeFiles/mcqa_json.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/mcqa_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mcqa_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_embed_ablation"
+  "../bench/bench_embed_ablation.pdb"
+  "CMakeFiles/bench_embed_ablation.dir/bench_embed_ablation.cpp.o"
+  "CMakeFiles/bench_embed_ablation.dir/bench_embed_ablation.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_embed_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

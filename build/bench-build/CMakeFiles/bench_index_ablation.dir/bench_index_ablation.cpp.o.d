@@ -232,6 +232,9 @@ bench-build/CMakeFiles/bench_index_ablation.dir/bench_index_ablation.cpp.o: \
  /root/repo/src/corpus/term_banks.hpp /root/repo/src/util/rng.hpp \
  /root/repo/src/corpus/paper_generator.hpp /root/repo/src/corpus/spdf.hpp \
  /root/repo/src/corpus/fact_matcher.hpp \
+ /root/repo/src/embed/embedding_cache.hpp \
+ /usr/include/c++/12/shared_mutex /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/ctime \
  /root/repo/src/embed/hashed_embedder.hpp /root/repo/src/eval/harness.hpp \
  /root/repo/src/eval/judge.hpp /root/repo/src/llm/language_model.hpp \
  /root/repo/src/trace/trace_record.hpp /root/repo/src/llm/model_spec.hpp \
@@ -249,8 +252,7 @@ bench-build/CMakeFiles/bench_index_ablation.dir/bench_index_ablation.cpp.o: \
  /root/repo/src/trace/trace_grading.hpp \
  /root/repo/src/eval/paper_reference.hpp /root/repo/src/eval/report.hpp \
  /root/repo/src/parallel/thread_pool.hpp \
- /usr/include/c++/12/condition_variable /usr/include/c++/12/bits/chrono.h \
- /usr/include/c++/12/ratio /usr/include/c++/12/ctime \
+ /usr/include/c++/12/condition_variable \
  /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/stop_token \
  /usr/include/c++/12/bits/std_thread.h /usr/include/c++/12/semaphore \
  /usr/include/c++/12/bits/semaphore_base.h \

@@ -209,7 +209,8 @@ bench-build/CMakeFiles/bench_scaling.dir/bench_scaling.cpp.o: \
  /usr/include/c++/12/bits/this_thread_sleep.h \
  /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
  /usr/include/x86_64-linux-gnu/bits/semaphore.h \
- /root/repo/src/chunk/chunker.hpp /usr/include/c++/12/memory \
+ /root/repo/bench/bench_common.hpp /root/repo/src/core/pipeline.hpp \
+ /usr/include/c++/12/array /usr/include/c++/12/memory \
  /usr/include/c++/12/bits/stl_raw_storage_iter.h \
  /usr/include/c++/12/bits/align.h /usr/include/c++/12/bit \
  /usr/include/c++/12/bits/shared_ptr.h \
@@ -221,28 +222,41 @@ bench-build/CMakeFiles/bench_scaling.dir/bench_scaling.cpp.o: \
  /usr/include/c++/12/bits/ranges_uninitialized.h \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
- /root/repo/src/embed/embedder.hpp /root/repo/src/parse/document.hpp \
- /root/repo/src/json/json.hpp /usr/include/c++/12/variant \
- /usr/include/c++/12/bits/enable_special_members.h \
- /root/repo/src/corpus/corpus_builder.hpp \
- /root/repo/src/corpus/knowledge_base.hpp /usr/include/c++/12/optional \
- /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
+ /usr/include/c++/12/unordered_set /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
- /usr/include/c++/12/bits/unordered_map.h \
- /usr/include/c++/12/unordered_set \
+ /usr/include/c++/12/bits/enable_special_members.h \
  /usr/include/c++/12/bits/unordered_set.h \
+ /root/repo/src/chunk/chunker.hpp /root/repo/src/embed/embedder.hpp \
+ /root/repo/src/parse/document.hpp /root/repo/src/json/json.hpp \
+ /usr/include/c++/12/variant /root/repo/src/corpus/corpus_builder.hpp \
+ /root/repo/src/corpus/knowledge_base.hpp /usr/include/c++/12/optional \
+ /usr/include/c++/12/unordered_map \
+ /usr/include/c++/12/bits/unordered_map.h \
  /root/repo/src/corpus/term_banks.hpp /root/repo/src/util/rng.hpp \
  /root/repo/src/corpus/paper_generator.hpp /root/repo/src/corpus/spdf.hpp \
- /root/repo/src/embed/hashed_embedder.hpp \
+ /root/repo/src/corpus/fact_matcher.hpp \
+ /root/repo/src/embed/embedding_cache.hpp \
+ /usr/include/c++/12/shared_mutex \
+ /root/repo/src/embed/hashed_embedder.hpp /root/repo/src/eval/harness.hpp \
+ /root/repo/src/eval/judge.hpp /root/repo/src/llm/language_model.hpp \
+ /root/repo/src/trace/trace_record.hpp /root/repo/src/llm/model_spec.hpp \
+ /root/repo/src/qgen/mcq_record.hpp /root/repo/src/rag/rag_pipeline.hpp \
+ /root/repo/src/index/vector_store.hpp \
  /root/repo/src/index/vector_index.hpp /root/repo/src/index/kernels.hpp \
  /root/repo/src/util/fp16.hpp /root/repo/src/index/row_storage.hpp \
  /usr/include/c++/12/cstring /usr/include/string.h /usr/include/strings.h \
+ /root/repo/src/exam/astro_exam.hpp /root/repo/src/llm/student_model.hpp \
+ /root/repo/src/llm/teacher_model.hpp \
+ /root/repo/src/corpus/realization.hpp /root/repo/src/parse/adaptive.hpp \
+ /root/repo/src/parse/parsers.hpp /root/repo/src/parse/quality.hpp \
+ /root/repo/src/qgen/benchmark_builder.hpp \
+ /root/repo/src/trace/trace_generator.hpp \
+ /root/repo/src/trace/trace_grading.hpp \
+ /root/repo/src/eval/paper_reference.hpp /root/repo/src/eval/report.hpp \
  /root/repo/src/parallel/thread_pool.hpp \
  /usr/include/c++/12/condition_variable \
  /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
  /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
- /usr/include/c++/12/array /usr/include/c++/12/future \
- /usr/include/c++/12/mutex /usr/include/c++/12/bits/atomic_futex.h \
- /root/repo/src/parse/adaptive.hpp /root/repo/src/parse/parsers.hpp \
- /root/repo/src/parse/quality.hpp
+ /usr/include/c++/12/future /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/atomic_futex.h

@@ -226,6 +226,9 @@ bench-build/CMakeFiles/bench_table4_astro_nomath.dir/bench_table4_astro_nomath.c
  /root/repo/src/corpus/term_banks.hpp /root/repo/src/util/rng.hpp \
  /usr/include/c++/12/limits /root/repo/src/corpus/paper_generator.hpp \
  /root/repo/src/corpus/spdf.hpp /root/repo/src/corpus/fact_matcher.hpp \
+ /root/repo/src/embed/embedding_cache.hpp /usr/include/c++/12/atomic \
+ /usr/include/c++/12/shared_mutex /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/ctime \
  /root/repo/src/embed/hashed_embedder.hpp /root/repo/src/eval/harness.hpp \
  /root/repo/src/eval/judge.hpp /root/repo/src/llm/language_model.hpp \
  /root/repo/src/trace/trace_record.hpp /root/repo/src/llm/model_spec.hpp \

@@ -16,7 +16,9 @@ set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/util/CMakeFiles/mcqa_util.dir/DependInfo.cmake"
   "/root/repo/build/src/text/CMakeFiles/mcqa_text.dir/DependInfo.cmake"
   "/root/repo/build/src/embed/CMakeFiles/mcqa_embed.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/mcqa_index.dir/DependInfo.cmake"
   "/root/repo/build/src/parse/CMakeFiles/mcqa_parse.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/mcqa_parallel.dir/DependInfo.cmake"
   "/root/repo/build/src/json/CMakeFiles/mcqa_json.dir/DependInfo.cmake"
   )
 

@@ -239,4 +239,6 @@ src/core/CMakeFiles/mcqa_core.dir/streaming.cpp.o: \
  /usr/include/x86_64-linux-gnu/bits/semaphore.h \
  /root/repo/src/parallel/bounded_queue.hpp \
  /usr/include/c++/12/condition_variable /usr/include/c++/12/deque \
- /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /root/repo/src/parallel/thread_pool.hpp /usr/include/c++/12/future \
+ /usr/include/c++/12/bits/atomic_futex.h

@@ -8,6 +8,8 @@ set(CMAKE_DEPENDS_LANGUAGES
 
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/embed/embedder.cpp" "src/embed/CMakeFiles/mcqa_embed.dir/embedder.cpp.o" "gcc" "src/embed/CMakeFiles/mcqa_embed.dir/embedder.cpp.o.d"
+  "/root/repo/src/embed/embedding_cache.cpp" "src/embed/CMakeFiles/mcqa_embed.dir/embedding_cache.cpp.o" "gcc" "src/embed/CMakeFiles/mcqa_embed.dir/embedding_cache.cpp.o.d"
   "/root/repo/src/embed/embedding_store.cpp" "src/embed/CMakeFiles/mcqa_embed.dir/embedding_store.cpp.o" "gcc" "src/embed/CMakeFiles/mcqa_embed.dir/embedding_store.cpp.o.d"
   "/root/repo/src/embed/hashed_embedder.cpp" "src/embed/CMakeFiles/mcqa_embed.dir/hashed_embedder.cpp.o" "gcc" "src/embed/CMakeFiles/mcqa_embed.dir/hashed_embedder.cpp.o.d"
   )
@@ -16,6 +18,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
 set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/util/CMakeFiles/mcqa_util.dir/DependInfo.cmake"
   "/root/repo/build/src/text/CMakeFiles/mcqa_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/mcqa_parallel.dir/DependInfo.cmake"
   )
 
 # Fortran module output directory.

@@ -1,4 +1,8 @@
 file(REMOVE_RECURSE
+  "CMakeFiles/mcqa_embed.dir/embedder.cpp.o"
+  "CMakeFiles/mcqa_embed.dir/embedder.cpp.o.d"
+  "CMakeFiles/mcqa_embed.dir/embedding_cache.cpp.o"
+  "CMakeFiles/mcqa_embed.dir/embedding_cache.cpp.o.d"
   "CMakeFiles/mcqa_embed.dir/embedding_store.cpp.o"
   "CMakeFiles/mcqa_embed.dir/embedding_store.cpp.o.d"
   "CMakeFiles/mcqa_embed.dir/hashed_embedder.cpp.o"

@@ -297,4 +297,16 @@ tests/CMakeFiles/index_test.dir/index_test.cpp.o: \
  /root/repo/src/embed/embedder.hpp /root/repo/src/index/vector_index.hpp \
  /root/repo/src/index/kernels.hpp /root/repo/src/util/fp16.hpp \
  /root/repo/src/index/row_storage.hpp /usr/include/c++/12/cstring \
- /root/repo/src/util/rng.hpp /root/repo/src/index/vector_store.hpp
+ /root/repo/src/util/rng.hpp /root/repo/src/index/vector_store.hpp \
+ /root/repo/src/parallel/thread_pool.hpp \
+ /usr/include/c++/12/condition_variable /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/bits/unique_lock.h \
+ /usr/include/c++/12/stop_token /usr/include/c++/12/bits/std_thread.h \
+ /usr/include/c++/12/semaphore /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/bits/atomic_timed_wait.h \
+ /usr/include/c++/12/bits/this_thread_sleep.h \
+ /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /usr/include/c++/12/future /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/atomic_futex.h /usr/include/c++/12/thread

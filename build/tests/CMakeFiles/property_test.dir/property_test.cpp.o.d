@@ -302,8 +302,11 @@ tests/CMakeFiles/property_test.dir/property_test.cpp.o: \
  /root/repo/src/corpus/term_banks.hpp /root/repo/src/util/rng.hpp \
  /root/repo/src/corpus/paper_generator.hpp /root/repo/src/corpus/spdf.hpp \
  /root/repo/src/corpus/fact_matcher.hpp \
- /root/repo/src/embed/hashed_embedder.hpp /root/repo/src/eval/harness.hpp \
- /root/repo/src/eval/judge.hpp /root/repo/src/llm/language_model.hpp \
+ /root/repo/src/embed/embedding_cache.hpp \
+ /usr/include/c++/12/shared_mutex /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /root/repo/src/embed/hashed_embedder.hpp \
+ /root/repo/src/eval/harness.hpp /root/repo/src/eval/judge.hpp \
+ /root/repo/src/llm/language_model.hpp \
  /root/repo/src/trace/trace_record.hpp /root/repo/src/llm/model_spec.hpp \
  /root/repo/src/qgen/mcq_record.hpp /root/repo/src/rag/rag_pipeline.hpp \
  /root/repo/src/index/vector_store.hpp \

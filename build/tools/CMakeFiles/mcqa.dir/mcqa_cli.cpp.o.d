@@ -237,6 +237,8 @@ tools/CMakeFiles/mcqa.dir/mcqa_cli.cpp.o: /root/repo/tools/mcqa_cli.cpp \
  /root/repo/src/corpus/term_banks.hpp /root/repo/src/util/rng.hpp \
  /root/repo/src/corpus/paper_generator.hpp /root/repo/src/corpus/spdf.hpp \
  /root/repo/src/corpus/fact_matcher.hpp \
+ /root/repo/src/embed/embedding_cache.hpp /usr/include/c++/12/atomic \
+ /usr/include/c++/12/shared_mutex \
  /root/repo/src/embed/hashed_embedder.hpp /root/repo/src/eval/harness.hpp \
  /root/repo/src/eval/judge.hpp /root/repo/src/llm/language_model.hpp \
  /root/repo/src/trace/trace_record.hpp /root/repo/src/llm/model_spec.hpp \

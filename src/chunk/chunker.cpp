@@ -1,6 +1,8 @@
 #include "chunk/chunker.hpp"
 
 #include <algorithm>
+#include <cctype>
+#include <cstdint>
 
 #include "text/sentence.hpp"
 #include "text/tokenizer.hpp"
@@ -14,15 +16,19 @@ std::string make_chunk_id(const std::string& doc_id, std::size_t index) {
 
 namespace {
 
+/// `word_count` is the caller's precomputed text::count_words(text):
+/// both chunkers already know it (running window sums, byte-offset
+/// prefix sums), so finishing a chunk never re-scans its text.
 Chunk finish_chunk(const std::string& doc_id, std::size_t index,
-                   std::string text, std::size_t sentences) {
+                   std::string text, std::size_t sentences,
+                   std::size_t word_count) {
   Chunk c;
   c.doc_id = doc_id;
   c.index = index;
   c.chunk_id = make_chunk_id(doc_id, index);
   c.path = "corpus/" + doc_id + ".spdf";
   c.sentence_count = sentences;
-  c.word_count = text::count_words(text);
+  c.word_count = word_count;
   c.text = std::move(text);
   return c;
 }
@@ -67,9 +73,11 @@ std::vector<Chunk> SemanticChunker::chunk(
 
     const auto flush = [&]() {
       if (window_sentences == 0) return;
+      // Sentences join with single spaces, so the window's word count is
+      // exactly the sum of the per-sentence counts already accumulated.
       out.push_back(
           finish_chunk(doc.doc_id, index++, std::move(window_text),
-                       window_sentences));
+                       window_sentences, window_words));
       window_text.clear();
       window_words = 0;
       window_sentences = 0;
@@ -133,14 +141,32 @@ std::vector<Chunk> FixedSizeChunker::chunk(
   const std::size_t stride = config_.target_words > config_.overlap_words
                                  ? config_.target_words - config_.overlap_words
                                  : config_.target_words;
+
+  // Prefix word-start counts over the body: starts[j] = number of
+  // positions p in [1, j) where body[p] begins a whitespace-delimited
+  // word (non-space preceded by space).  Overlapping chunks share body
+  // bytes, so counting each chunk with count_words() re-scans the
+  // overlap; every chunk starts on a token (non-space) byte, so
+  //   count_words(body.substr(b, e - b)) == 1 + starts[e] - starts[b + 1]
+  // and the whole sweep counts words in O(body) total.
+  std::vector<std::uint32_t> starts(body.size() + 1, 0);
+  for (std::size_t p = 1; p < body.size(); ++p) {
+    const bool word_start =
+        !std::isspace(static_cast<unsigned char>(body[p])) &&
+        std::isspace(static_cast<unsigned char>(body[p - 1]));
+    starts[p + 1] = starts[p] + (word_start ? 1u : 0u);
+  }
+
   for (std::size_t start = 0; start < words.size(); start += stride) {
     const std::size_t end =
         std::min(words.size(), start + config_.target_words);
     const std::size_t byte_begin = words[start].begin;
     const std::size_t byte_end = words[end - 1].end;
     std::string chunk_text = body.substr(byte_begin, byte_end - byte_begin);
+    const std::size_t chunk_words =
+        1 + starts[byte_end] - starts[byte_begin + 1];
     out.push_back(finish_chunk(doc.doc_id, index++, std::move(chunk_text),
-                               /*sentences=*/0));
+                               /*sentences=*/0, chunk_words));
     if (end == words.size()) break;
   }
   merge_small_tail(out, config_.min_words);

@@ -24,6 +24,11 @@ PipelineContext::PipelineContext(const PipelineConfig& config)
   util::Stopwatch watch;
   parallel::ThreadPool pool(config_.threads);
 
+  if (config_.embed_cache) {
+    embed_cache_ = std::make_unique<embed::CachingEmbedder>(embedder_);
+  }
+  const embed::Embedder& embedder = active_embedder();
+
   // --- Stage 1: adaptive parsing -------------------------------------------
   const parse::AdaptiveParser parser(config_.parser);
   std::vector<parse::ParseOutcome> outcomes(corpus_.documents.size());
@@ -57,7 +62,7 @@ PipelineContext::PipelineContext(const PipelineConfig& config)
   {
     std::unique_ptr<chunk::Chunker> chunker;
     if (config_.semantic_chunking) {
-      chunker = std::make_unique<chunk::SemanticChunker>(embedder_,
+      chunker = std::make_unique<chunk::SemanticChunker>(embedder,
                                                          config_.chunker);
     } else {
       chunker = std::make_unique<chunk::FixedSizeChunker>(config_.chunker);
@@ -74,9 +79,17 @@ PipelineContext::PipelineContext(const PipelineConfig& config)
 
   // --- Stage 3: embed + index the chunk store -------------------------------
   chunk_store_ =
-      std::make_unique<index::VectorStore>(embedder_, config_.index_kind);
-  for (const auto& c : chunks_) {
-    chunk_store_->add(c.chunk_id, c.text);
+      std::make_unique<index::VectorStore>(embedder, config_.index_kind);
+  {
+    std::vector<std::string> ids;
+    std::vector<std::string> texts;
+    ids.reserve(chunks_.size());
+    texts.reserve(chunks_.size());
+    for (const auto& c : chunks_) {
+      ids.push_back(c.chunk_id);
+      texts.push_back(c.text);
+    }
+    chunk_store_->add_batch(std::move(ids), std::move(texts), pool);
   }
   chunk_store_->build();
   stats_.embedding_bytes = chunk_store_->embedding_bytes();
@@ -106,9 +119,17 @@ PipelineContext::PipelineContext(const PipelineConfig& config)
       stats_.trace_grading_accuracy = grading.accuracy();
       trace::filter_incorrect(traces_[m]);
       trace_stores_[m] =
-          std::make_unique<index::VectorStore>(embedder_, config_.index_kind);
-      for (const auto& t : traces_[m]) {
-        trace_stores_[m]->add(t.trace_id, t.retrieval_text());
+          std::make_unique<index::VectorStore>(embedder, config_.index_kind);
+      {
+        std::vector<std::string> ids;
+        std::vector<std::string> texts;
+        ids.reserve(traces_[m].size());
+        texts.reserve(traces_[m].size());
+        for (const auto& t : traces_[m]) {
+          ids.push_back(t.trace_id);
+          texts.push_back(t.retrieval_text());
+        }
+        trace_stores_[m]->add_batch(std::move(ids), std::move(texts), pool);
       }
       trace_stores_[m]->build();
     }
@@ -147,6 +168,7 @@ PipelineContext::PipelineContext(const PipelineConfig& config)
         std::make_unique<llm::StudentModel>(card, config_.sim));
   }
 
+  if (embed_cache_) stats_.embed_cache = embed_cache_->stats();
   stats_.build_seconds = watch.seconds();
   MCQA_INFO("pipeline") << "built: " << stats_.documents << " docs, "
                         << stats_.chunks << " chunks, "

@@ -19,6 +19,7 @@
 #include "corpus/corpus_builder.hpp"
 #include "corpus/fact_matcher.hpp"
 #include "corpus/knowledge_base.hpp"
+#include "embed/embedding_cache.hpp"
 #include "embed/hashed_embedder.hpp"
 #include "eval/harness.hpp"
 #include "exam/astro_exam.hpp"
@@ -46,6 +47,10 @@ struct PipelineConfig {
   index::IndexKind index_kind = index::IndexKind::kFlat;
   llm::SimulationCoefficients sim;
   std::size_t threads = 0;
+  /// Memoize embeddings by content hash.  Purely a speed knob: the cache
+  /// returns vectors computed by the same embedder for the same bytes,
+  /// so every artifact is byte-identical with it on or off (tested).
+  bool embed_cache = true;
 
   /// The default configuration used by all paper-reproduction benches:
   /// 1/40-scale corpus, flat index, semantic chunking.
@@ -61,6 +66,7 @@ struct PipelineStats {
   std::size_t traces_per_mode = 0;
   double trace_grading_accuracy = 0.0;  ///< teacher self-grading pass rate
   std::size_t embedding_bytes = 0;  ///< chunk store, FP16 at rest
+  embed::EmbeddingCacheStats embed_cache;  ///< zeros when the cache is off
   double build_seconds = 0.0;
 };
 
@@ -80,6 +86,12 @@ class PipelineContext {
   const std::vector<parse::ParsedDocument>& parsed() const { return parsed_; }
   const std::vector<chunk::Chunk>& chunks() const { return chunks_; }
   const embed::HashedNGramEmbedder& embedder() const { return embedder_; }
+  /// The embedder the pipeline actually routes through: the content-hash
+  /// cache when `config.embed_cache` is on, the raw embedder otherwise.
+  const embed::Embedder& active_embedder() const {
+    return embed_cache_ ? static_cast<const embed::Embedder&>(*embed_cache_)
+                        : embedder_;
+  }
   const index::VectorStore& chunk_store() const { return *chunk_store_; }
   const index::VectorStore& trace_store(trace::TraceMode mode) const {
     return *trace_stores_[static_cast<std::size_t>(mode)];
@@ -120,6 +132,7 @@ class PipelineContext {
   std::vector<parse::ParsedDocument> parsed_;
   std::vector<chunk::Chunk> chunks_;
   embed::HashedNGramEmbedder embedder_;
+  std::unique_ptr<embed::CachingEmbedder> embed_cache_;
   std::unique_ptr<index::VectorStore> chunk_store_;
   std::unique_ptr<llm::TeacherModel> teacher_;
   std::vector<qgen::McqRecord> benchmark_;

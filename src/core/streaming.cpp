@@ -4,6 +4,7 @@
 #include <optional>
 
 #include "parallel/pipeline.hpp"
+#include "parallel/thread_pool.hpp"
 
 namespace mcqa::core {
 
@@ -41,11 +42,15 @@ StreamingResult run_streaming_ingest(
       [&](const parse::ParsedDocument& doc) { return chunker.chunk(doc); },
       config.chunk_workers);
 
-  // Stage 3: embed.  One-to-one.
-  result.embeddings = parallel::run_map_stage<chunk::Chunk, embed::Vector>(
-      result.chunks,
-      [&](const chunk::Chunk& c) { return embedder.embed(c.text); },
-      config.embed_workers);
+  // Stage 3: embed.  One-to-one, via the bulk batch path (results are
+  // bit-identical to per-chunk embed() at any worker count).
+  {
+    std::vector<std::string_view> texts;
+    texts.reserve(result.chunks.size());
+    for (const auto& c : result.chunks) texts.push_back(c.text);
+    parallel::ThreadPool pool(config.embed_workers);
+    result.embeddings = embedder.embed_batch(texts, pool);
+  }
 
   return result;
 }

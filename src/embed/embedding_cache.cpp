@@ -1,0 +1,47 @@
+#include "embed/embedding_cache.hpp"
+
+#include <mutex>
+
+#include "util/hash.hpp"
+
+namespace mcqa::embed {
+
+Vector CachingEmbedder::embed(std::string_view text) const {
+  const std::uint64_t key = util::fnv1a64(text);
+  {
+    std::shared_lock lock(mutex_);
+    const auto it = map_.find(key);
+    if (it != map_.end() && it->second.text == text) {
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      return it->second.vec;
+    }
+  }
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  Vector v = base_.embed(text);
+  {
+    std::unique_lock lock(mutex_);
+    if ((max_entries_ == 0 || map_.size() < max_entries_) &&
+        map_.find(key) == map_.end()) {
+      map_.emplace(key, Entry{std::string(text), v});
+    }
+  }
+  return v;
+}
+
+EmbeddingCacheStats CachingEmbedder::stats() const {
+  EmbeddingCacheStats s;
+  s.hits = hits_.load(std::memory_order_relaxed);
+  s.misses = misses_.load(std::memory_order_relaxed);
+  std::shared_lock lock(mutex_);
+  s.entries = map_.size();
+  return s;
+}
+
+void CachingEmbedder::clear() {
+  std::unique_lock lock(mutex_);
+  map_.clear();
+  hits_.store(0, std::memory_order_relaxed);
+  misses_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace mcqa::embed

@@ -1,6 +1,6 @@
 #include "embed/hashed_embedder.hpp"
 
-#include <cmath>
+#include <vector>
 
 #include "text/normalize.hpp"
 #include "text/tokenizer.hpp"
@@ -8,47 +8,171 @@
 
 namespace mcqa::embed {
 
-float dot(const Vector& a, const Vector& b) {
-  float s = 0.0f;
-  const std::size_t n = a.size() < b.size() ? a.size() : b.size();
-  for (std::size_t i = 0; i < n; ++i) s += a[i] * b[i];
-  return s;
-}
+namespace {
 
-float l2_sq(const Vector& a, const Vector& b) {
-  float s = 0.0f;
-  const std::size_t n = a.size() < b.size() ? a.size() : b.size();
-  for (std::size_t i = 0; i < n; ++i) {
-    const float d = a[i] - b[i];
-    s += d * d;
+/// Fold a byte sequence into an FNV-1a state (same math as util::Fnv1a,
+/// kept local so the hot loops inline).
+inline std::uint64_t fnv_extend(std::uint64_t h, std::string_view s) {
+  for (const char c : s) {
+    h = (h ^ static_cast<std::uint8_t>(c)) * util::kFnvPrime64;
   }
-  return s;
+  return h;
 }
 
-void normalize(Vector& v) {
-  double norm_sq = 0.0;
-  for (const float x : v) norm_sq += static_cast<double>(x) * x;
-  if (norm_sq <= 0.0) return;
-  const auto inv = static_cast<float>(1.0 / std::sqrt(norm_sq));
-  for (float& x : v) x *= inv;
+// --- reference (strings) formulation ----------------------------------------
+//
+// The original multi-pass, string-materializing implementation, kept
+// verbatim as the oracle and throughput baseline for the streaming
+// kernel: per-call locale-aware <cctype> normalization in three passes,
+// materialized n-gram strings, and a 64-bit divide per feature.  It must
+// produce the same bits as the streaming path (property-tested); only
+// the work it performs per byte differs.
+
+std::string reference_normalize_ws(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  bool in_space = true;  // leading whitespace is dropped
+  for (const char c : s) {
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      if (!in_space) out += ' ';
+      in_space = true;
+    } else {
+      out += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+      in_space = false;
+    }
+  }
+  while (!out.empty() && out.back() == ' ') out.pop_back();
+  return out;
 }
+
+std::string reference_normalize_for_matching(std::string_view s) {
+  const std::string lowered = reference_normalize_ws(s);
+  std::string out;
+  out.reserve(lowered.size());
+  for (std::size_t i = 0; i < lowered.size(); ++i) {
+    const char c = lowered[i];
+    if (std::isalnum(static_cast<unsigned char>(c)) || c == ' ') {
+      out += c;
+    } else if ((c == '-' || c == '.') && i > 0 && i + 1 < lowered.size() &&
+               std::isalnum(static_cast<unsigned char>(lowered[i - 1])) &&
+               std::isalnum(static_cast<unsigned char>(lowered[i + 1]))) {
+      out += c;  // intra-word: cobalt-60, 2.5
+    }
+    // other punctuation dropped
+  }
+  // Collapse possible double spaces introduced by dropped punctuation.
+  std::string collapsed;
+  collapsed.reserve(out.size());
+  bool in_space = true;
+  for (const char c : out) {
+    if (c == ' ') {
+      if (!in_space) collapsed += ' ';
+      in_space = true;
+    } else {
+      collapsed += c;
+      in_space = false;
+    }
+  }
+  while (!collapsed.empty() && collapsed.back() == ' ') collapsed.pop_back();
+  return collapsed;
+}
+
+}  // namespace
 
 HashedNGramEmbedder::HashedNGramEmbedder(HashedEmbedderConfig config)
-    : config_(config) {}
+    : config_(config),
+      mask_(config_.dim != 0 && (config_.dim & (config_.dim - 1)) == 0
+                ? config_.dim - 1
+                : 0) {
+  for (std::size_t b = 0; b < first_state_.size(); ++b) {
+    first_state_[b] = (config_.seed ^ b) * util::kFnvPrime64;
+  }
+}
 
-void HashedNGramEmbedder::add_feature(Vector& v, std::string_view feature,
-                                      double weight) const {
-  const std::uint64_t h = util::fnv1a64(feature, config_.seed);
-  const std::size_t bucket = h % config_.dim;
+void HashedNGramEmbedder::add_hashed(Vector& v, std::uint64_t h,
+                                     double weight) const {
+  // h & (dim-1) == h % dim for power-of-two dims; the AND replaces a
+  // 64-bit divide on the per-feature hot path.
+  const std::size_t bucket = mask_ != 0 ? (h & mask_) : (h % config_.dim);
   // Sign bit from an independent hash region removes the bias a single
   // hash would introduce (standard signed feature hashing).
   const float sign = ((h >> 61) & 1) != 0 ? 1.0f : -1.0f;
   v[bucket] += sign * static_cast<float>(weight);
 }
 
+void HashedNGramEmbedder::add_feature(Vector& v, std::string_view feature,
+                                      double weight) const {
+  // Reference-path bucket: a divide per feature, exactly as the original
+  // formulation computed it.  h % dim == h & mask_ for power-of-two
+  // dims, so the two paths always agree on the bucket.
+  const std::uint64_t h = util::fnv1a64(feature, config_.seed);
+  const std::size_t bucket = h % config_.dim;
+  const float sign = ((h >> 61) & 1) != 0 ? 1.0f : -1.0f;
+  v[bucket] += sign * static_cast<float>(weight);
+}
+
 Vector HashedNGramEmbedder::embed(std::string_view text) const {
   Vector v(config_.dim, 0.0f);
-  const std::string norm = text::normalize_for_matching(text);
+
+  // Per-thread reusable state: the normalize buffer plus the word-view
+  // list.  embed() is const and thread-safe by contract; thread_local
+  // keeps the buffers private to each pipeline worker, so once they hit
+  // steady-state capacity the whole call allocates nothing but `v`.
+  thread_local std::string norm;
+  thread_local std::vector<std::string_view> words;
+  thread_local std::vector<std::uint64_t> word_states;
+
+  text::normalize_for_matching_into(text, norm);
+  if (norm.empty()) return v;
+
+  // Accumulation order is part of the bit-identity contract with
+  // embed_reference(): all unigrams, then all bigrams, then all char
+  // trigrams, each in left-to-right text order.  Every feature hash
+  // starts from the precomputed first-byte state (words are never empty,
+  // trigrams have three bytes), saving one xor-multiply per feature.
+  if (config_.word_unigrams || config_.word_bigrams) {
+    words.clear();
+    word_states.clear();
+    for (const std::string_view w : text::WordViews(norm)) {
+      words.push_back(w);
+      // The FNV state after a whole word doubles as the word's unigram
+      // hash and as the bigram prefix state, so each word's bytes are
+      // folded from the seed exactly once.
+      word_states.push_back(fnv_extend(
+          first_state_[static_cast<std::uint8_t>(w[0])], w.substr(1)));
+    }
+    if (config_.word_unigrams) {
+      for (const std::uint64_t h : word_states) {
+        add_hashed(v, h, config_.unigram_weight);
+      }
+    }
+    if (config_.word_bigrams && words.size() >= 2) {
+      for (std::size_t i = 0; i + 1 < words.size(); ++i) {
+        // Piecewise FNV over (w1, ' ', w2) == one-shot FNV of "w1 w2".
+        std::uint64_t h =
+            (word_states[i] ^ static_cast<std::uint8_t>(' ')) *
+            util::kFnvPrime64;
+        h = fnv_extend(h, words[i + 1]);
+        add_hashed(v, h, config_.bigram_weight);
+      }
+    }
+  }
+  if (config_.char_trigrams && norm.size() >= 3) {
+    const auto* p = reinterpret_cast<const unsigned char*>(norm.data());
+    for (std::size_t i = 0; i + 3 <= norm.size(); ++i) {
+      std::uint64_t h = first_state_[p[i]];
+      h = (h ^ p[i + 1]) * util::kFnvPrime64;
+      h = (h ^ p[i + 2]) * util::kFnvPrime64;
+      add_hashed(v, h, config_.trigram_weight);
+    }
+  }
+  normalize(v);
+  return v;
+}
+
+Vector HashedNGramEmbedder::embed_reference(std::string_view text) const {
+  Vector v(config_.dim, 0.0f);
+  const std::string norm = reference_normalize_for_matching(text);
   if (norm.empty()) return v;
 
   if (config_.word_unigrams || config_.word_bigrams) {

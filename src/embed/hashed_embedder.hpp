@@ -8,7 +8,18 @@
 // carried by domain terms, cosine over these vectors reproduces the
 // retrieval behaviour the paper gets from PubMedBERT embeddings:
 // fact-bearing chunks score high against questions probing those facts.
+//
+// embed() streams every feature through an incremental FNV-1a hasher
+// over string views — no per-feature string is ever materialized, and
+// the per-thread normalize buffers are reused across calls, so the hot
+// path performs zero allocations beyond the output vector once warm.
+// embed_reference() keeps the original string-materializing
+// formulation; the two are bit-identical (asserted by property tests),
+// because FNV-1a folds bytes one at a time: hashing w1, ' ', w2
+// piecewise equals hashing the "w1 w2" string.
 
+#include <array>
+#include <cstdint>
 #include <string>
 
 #include "embed/embedder.hpp"
@@ -34,12 +45,23 @@ class HashedNGramEmbedder final : public Embedder {
   std::size_t dim() const override { return config_.dim; }
   Vector embed(std::string_view text) const override;
 
+  /// The original string-materializing implementation, kept as the
+  /// oracle for the streaming kernel: allocates per n-gram, returns the
+  /// same bits.  Used by equivalence tests and the embed ablation bench.
+  Vector embed_reference(std::string_view text) const;
+
   const HashedEmbedderConfig& config() const { return config_; }
 
  private:
   void add_feature(Vector& v, std::string_view feature, double weight) const;
+  void add_hashed(Vector& v, std::uint64_t h, double weight) const;
 
   HashedEmbedderConfig config_;
+  /// dim-1 when dim is a power of two (h & mask_ == h % dim), else 0.
+  std::size_t mask_;
+  /// FNV-1a state after feeding byte b from the seed — the first step of
+  /// every feature hash, precomputed per byte value.
+  std::array<std::uint64_t, 256> first_state_;
 };
 
 /// The role PubMedBERT plays in the paper: the corpus/chunk encoder.

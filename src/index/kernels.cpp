@@ -129,3 +129,26 @@ std::vector<SearchResult> TopK::take_sorted() {
 }
 
 }  // namespace mcqa::index
+
+// --- embed-layer similarity shims -------------------------------------------
+//
+// embed::dot / embed::l2_sq are declared in embed/embedder.hpp but
+// defined here so there is exactly one similarity implementation in the
+// codebase: the blocked fixed-lane-order kernels above.  (The embed
+// library cannot host them without inverting the embed <- index
+// dependency.)  Callers on mismatched lengths keep the historical
+// behaviour of comparing the common prefix.
+
+namespace mcqa::embed {
+
+float dot(const Vector& a, const Vector& b) {
+  const std::size_t n = a.size() < b.size() ? a.size() : b.size();
+  return index::kernels::dot(a.data(), b.data(), n);
+}
+
+float l2_sq(const Vector& a, const Vector& b) {
+  const std::size_t n = a.size() < b.size() ? a.size() : b.size();
+  return index::kernels::l2_sq(a.data(), b.data(), n);
+}
+
+}  // namespace mcqa::embed

@@ -26,6 +26,15 @@ void sort_and_trim(std::vector<SearchResult>& results, std::size_t k) {
 
 }  // namespace
 
+// --- bulk construction -------------------------------------------------------
+
+void VectorIndex::add_batch(const std::vector<embed::Vector>& vs) {
+  // Fallback for index types without a storage-reservation override:
+  // insertion order (and therefore the resulting index) matches the
+  // sequential add() loop exactly.
+  for (const auto& v : vs) add(v);
+}
+
 // --- batched search ----------------------------------------------------------
 
 std::vector<std::vector<SearchResult>> VectorIndex::search_batch(
@@ -47,9 +56,16 @@ std::vector<std::vector<SearchResult>> VectorIndex::search_batch(
 
 void FlatIndex::add(const embed::Vector& v) {
   if (v.size() != dim_) throw std::invalid_argument("FlatIndex::add: dim");
-  data_.reserve(data_.size() + dim_);
+  // No per-add reserve: an exact-fit reserve on every call forces a
+  // full reallocate-and-copy per row (quadratic build); push_back's
+  // geometric growth amortizes to linear.
   for (const float x : v) data_.push_back(util::float_to_fp16(x));
   ++rows_;
+}
+
+void FlatIndex::add_batch(const std::vector<embed::Vector>& vs) {
+  data_.reserve(data_.size() + vs.size() * dim_);
+  for (const auto& v : vs) add(v);
 }
 
 float FlatIndex::score_row(std::size_t row, const embed::Vector& q) const {
@@ -119,6 +135,11 @@ void IvfIndex::add(const embed::Vector& v) {
   if (v.size() != dim_) throw std::invalid_argument("IvfIndex::add: dim");
   vectors_.add(v);
   built_ = false;
+}
+
+void IvfIndex::add_batch(const std::vector<embed::Vector>& vs) {
+  vectors_.reserve(vectors_.size() + vs.size());
+  for (const auto& v : vs) add(v);
 }
 
 void IvfIndex::build() {
@@ -372,6 +393,15 @@ void HnswIndex::connect(std::size_t row, int layer,
       back.resize(max_links);
     }
   }
+}
+
+void HnswIndex::add_batch(const std::vector<embed::Vector>& vs) {
+  // Graph insertion itself stays sequential (it consumes level_rng_ and
+  // links depend on all prior rows), so the batch is bit-identical to
+  // the add() loop; the win is the one-shot storage reservation.
+  vectors_.reserve(vectors_.size() + vs.size());
+  nodes_.reserve(nodes_.size() + vs.size());
+  for (const auto& v : vs) add(v);
 }
 
 void HnswIndex::add(const embed::Vector& v) {

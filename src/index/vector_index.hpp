@@ -49,6 +49,11 @@ class VectorIndex {
   /// Append a vector; rows number 0..n-1 in insertion order.
   virtual void add(const embed::Vector& v) = 0;
 
+  /// Append a batch of vectors.  Equivalent to calling add() row by row
+  /// in order — bit-identical resulting index — but reserves storage
+  /// once up front (bulk construction path).
+  virtual void add_batch(const std::vector<embed::Vector>& vs);
+
   /// Finalize after adds (train the coarse quantizer, etc.).  Must be
   /// called before search for IVF; no-op elsewhere.
   virtual void build() {}
@@ -80,6 +85,7 @@ class FlatIndex final : public VectorIndex {
   std::size_t dim() const override { return dim_; }
   std::size_t size() const override { return rows_; }
   void add(const embed::Vector& v) override;
+  void add_batch(const std::vector<embed::Vector>& vs) override;
   std::vector<SearchResult> search(const embed::Vector& query,
                                    std::size_t k) const override;
 
@@ -115,6 +121,7 @@ class IvfIndex final : public VectorIndex {
   std::size_t dim() const override { return dim_; }
   std::size_t size() const override { return vectors_.size(); }
   void add(const embed::Vector& v) override;
+  void add_batch(const std::vector<embed::Vector>& vs) override;
   void build() override;
   std::vector<SearchResult> search(const embed::Vector& query,
                                    std::size_t k) const override;
@@ -152,6 +159,7 @@ class HnswIndex final : public VectorIndex {
   std::size_t dim() const override { return dim_; }
   std::size_t size() const override { return vectors_.size(); }
   void add(const embed::Vector& v) override;
+  void add_batch(const std::vector<embed::Vector>& vs) override;
   std::vector<SearchResult> search(const embed::Vector& query,
                                    std::size_t k) const override;
 

@@ -36,6 +36,26 @@ void VectorStore::add(std::string id, std::string text) {
   built_ = false;
 }
 
+void VectorStore::add_batch(std::vector<std::string> ids,
+                            std::vector<std::string> texts,
+                            parallel::ThreadPool& pool) {
+  if (ids.size() != texts.size()) {
+    throw std::invalid_argument("VectorStore::add_batch: size mismatch");
+  }
+  const std::vector<embed::Vector> vectors = embedder_.embed_batch(texts, pool);
+  index_->add_batch(vectors);
+  ids_.reserve(ids_.size() + ids.size());
+  texts_.reserve(texts_.size() + texts.size());
+  for (auto& id : ids) ids_.push_back(std::move(id));
+  for (auto& text : texts) texts_.push_back(std::move(text));
+  built_ = false;
+}
+
+void VectorStore::add_batch(std::vector<std::string> ids,
+                            std::vector<std::string> texts) {
+  add_batch(std::move(ids), std::move(texts), parallel::ThreadPool::global());
+}
+
 void VectorStore::build() {
   index_->build();
   built_ = true;

@@ -40,6 +40,16 @@ class VectorStore {
   /// Embed and stage one payload.
   void add(std::string id, std::string text);
 
+  /// Bulk construction: embeds all texts across `pool` (embedding is
+  /// thread-safe by contract), then inserts rows sequentially in input
+  /// order — the resulting store is bit-identical to calling
+  /// add(ids[i], texts[i]) in a loop, at any thread count.
+  void add_batch(std::vector<std::string> ids, std::vector<std::string> texts,
+                 parallel::ThreadPool& pool);
+
+  /// Bulk construction on the process-wide default pool.
+  void add_batch(std::vector<std::string> ids, std::vector<std::string> texts);
+
   /// Finalize the underlying index (required before query for IVF).
   void build();
 

@@ -1,56 +1,113 @@
 #include "text/normalize.hpp"
 
+#include <array>
 #include <cctype>
 
 namespace mcqa::text {
 
-std::string normalize_ws(std::string_view s) {
-  std::string out;
-  out.reserve(s.size());
+namespace {
+
+// Per-byte classification tables, built once from the <cctype> calls the
+// scalar code used (the process never calls setlocale, so the "C" locale
+// answers are frozen at first use).  A table load per byte replaces a
+// locale-aware libc call per byte on the normalization hot path.
+struct CharTables {
+  std::array<char, 256> lower;
+  std::array<bool, 256> space;
+  std::array<bool, 256> alnum;
+  CharTables() {
+    for (int c = 0; c < 256; ++c) {
+      lower[static_cast<std::size_t>(c)] = static_cast<char>(std::tolower(c));
+      space[static_cast<std::size_t>(c)] = std::isspace(c) != 0;
+      alnum[static_cast<std::size_t>(c)] = std::isalnum(c) != 0;
+    }
+  }
+};
+
+const CharTables& tables() {
+  static const CharTables t;
+  return t;
+}
+
+}  // namespace
+
+void normalize_ws_into(std::string_view s, std::string& out) {
+  const CharTables& t = tables();
+  // Size to the upper bound and write through a raw pointer: one bounds
+  // decision per call instead of a capacity check per emitted byte.
+  out.resize(s.size());
+  char* const base = out.data();
+  char* dst = base;
   bool in_space = true;  // leading whitespace is dropped
   for (const char c : s) {
-    if (std::isspace(static_cast<unsigned char>(c))) {
-      if (!in_space) out += ' ';
+    const auto u = static_cast<unsigned char>(c);
+    if (t.space[u]) {
+      if (!in_space) *dst++ = ' ';
       in_space = true;
     } else {
-      out += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+      *dst++ = t.lower[u];
       in_space = false;
     }
   }
-  while (!out.empty() && out.back() == ' ') out.pop_back();
+  while (dst != base && dst[-1] == ' ') --dst;
+  out.resize(static_cast<std::size_t>(dst - base));
+}
+
+std::string normalize_ws(std::string_view s) {
+  std::string out;
+  normalize_ws_into(s, out);
   return out;
 }
 
-std::string normalize_for_matching(std::string_view s) {
-  const std::string lowered = normalize_ws(s);
-  std::string out;
-  out.reserve(lowered.size());
-  for (std::size_t i = 0; i < lowered.size(); ++i) {
-    const char c = lowered[i];
-    if (std::isalnum(static_cast<unsigned char>(c)) || c == ' ') {
-      out += c;
-    } else if ((c == '-' || c == '.') && i > 0 && i + 1 < lowered.size() &&
-               std::isalnum(static_cast<unsigned char>(lowered[i - 1])) &&
-               std::isalnum(static_cast<unsigned char>(lowered[i + 1]))) {
-      out += c;  // intra-word: cobalt-60, 2.5
-    }
-    // other punctuation dropped
-  }
-  // Collapse possible double spaces introduced by dropped punctuation.
-  std::string collapsed;
-  collapsed.reserve(out.size());
-  bool in_space = true;
-  for (const char c : out) {
-    if (c == ' ') {
-      if (!in_space) collapsed += ' ';
+// Single fused pass equivalent to normalize_ws followed by the
+// punctuation filter.  The filter's neighbour checks are defined on the
+// intermediate lowered/collapsed string; they map onto the raw bytes
+// exactly:
+//   * lowered[i-1] is alphanumeric iff the raw character immediately
+//     before was non-space alphanumeric (a space run collapses to ' ',
+//     any punctuation stays itself — neither is alnum), and
+//   * lowered[i+1] is alphanumeric iff the raw character immediately
+//     after is alphanumeric (whitespace next means lowered has ' ' or
+//     ends there after the trailing trim).
+// Dropped punctuation never introduces a space and leaves the in-space
+// state untouched, so collapsing while filtering is also exact.
+void normalize_for_matching_into(std::string_view s, std::string& out) {
+  const CharTables& t = tables();
+  out.resize(s.size());
+  char* const base = out.data();
+  char* dst = base;
+  bool in_space = true;     // output space state (leading trim + collapse)
+  bool prev_alnum = false;  // was the immediately preceding raw byte alnum?
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    const auto u = static_cast<unsigned char>(s[i]);
+    if (t.space[u]) {
+      if (!in_space) *dst++ = ' ';
       in_space = true;
-    } else {
-      collapsed += c;
+      prev_alnum = false;
+      continue;
+    }
+    if (t.alnum[u]) {
+      *dst++ = t.lower[u];
+      in_space = false;
+      prev_alnum = true;
+      continue;
+    }
+    if ((s[i] == '-' || s[i] == '.') && prev_alnum && i + 1 < s.size() &&
+        t.alnum[static_cast<unsigned char>(s[i + 1])]) {
+      *dst++ = s[i];  // intra-word: cobalt-60, 2.5
       in_space = false;
     }
+    // other punctuation dropped (without affecting the space state)
+    prev_alnum = false;
   }
-  while (!collapsed.empty() && collapsed.back() == ' ') collapsed.pop_back();
-  return collapsed;
+  while (dst != base && dst[-1] == ' ') --dst;
+  out.resize(static_cast<std::size_t>(dst - base));
+}
+
+std::string normalize_for_matching(std::string_view s) {
+  std::string out;
+  normalize_for_matching_into(s, out);
+  return out;
 }
 
 bool is_sentence_terminator(char c) { return c == '.' || c == '!' || c == '?'; }

@@ -57,15 +57,7 @@ std::vector<std::string> word_ngrams(std::string_view normalized, int n) {
   std::vector<std::string> out;
   if (n <= 0) return out;
   std::vector<std::string_view> words;
-  {
-    std::size_t i = 0;
-    while (i < normalized.size()) {
-      while (i < normalized.size() && normalized[i] == ' ') ++i;
-      const std::size_t start = i;
-      while (i < normalized.size() && normalized[i] != ' ') ++i;
-      if (i > start) words.push_back(normalized.substr(start, i - start));
-    }
-  }
+  for (const std::string_view w : WordViews(normalized)) words.push_back(w);
   if (words.size() < static_cast<std::size_t>(n)) return out;
   out.reserve(words.size() - static_cast<std::size_t>(n) + 1);
   for (std::size_t i = 0; i + static_cast<std::size_t>(n) <= words.size(); ++i) {

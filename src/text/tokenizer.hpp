@@ -32,4 +32,51 @@ std::size_t approx_llm_tokens(std::string_view s);
 /// Word n-grams (normalized) for embedding features.
 std::vector<std::string> word_ngrams(std::string_view normalized, int n);
 
+/// Allocation-free iteration over the space-delimited words of an
+/// already-normalized string.  Each dereference is a std::string_view
+/// into the original buffer; runs of ' ' separate words exactly as in
+/// word_ngrams, so `for (auto w : WordViews(s))` visits the same words
+/// word_ngrams(s, 1) materializes — without the per-word std::string.
+class WordViews {
+ public:
+  class iterator {
+   public:
+    using value_type = std::string_view;
+
+    iterator(std::string_view s, std::size_t pos) : s_(s), pos_(pos) {
+      advance();
+    }
+
+    std::string_view operator*() const { return s_.substr(pos_, len_); }
+
+    iterator& operator++() {
+      pos_ += len_;
+      advance();
+      return *this;
+    }
+
+    bool operator!=(const iterator& other) const { return pos_ != other.pos_; }
+    bool operator==(const iterator& other) const { return pos_ == other.pos_; }
+
+   private:
+    void advance() {
+      while (pos_ < s_.size() && s_[pos_] == ' ') ++pos_;
+      std::size_t end = pos_;
+      while (end < s_.size() && s_[end] != ' ') ++end;
+      len_ = end - pos_;
+    }
+
+    std::string_view s_;
+    std::size_t pos_ = 0;
+    std::size_t len_ = 0;
+  };
+
+  explicit WordViews(std::string_view s) : s_(s) {}
+  iterator begin() const { return iterator(s_, 0); }
+  iterator end() const { return iterator(s_, s_.size()); }
+
+ private:
+  std::string_view s_;
+};
+
 }  // namespace mcqa::text

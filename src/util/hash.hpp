@@ -39,6 +39,34 @@ constexpr std::uint64_t hash_combine(std::uint64_t a, std::uint64_t b) noexcept 
   return a ^ (b + 0x9e3779b97f4a7c15ULL + (a << 12) + (a >> 4));
 }
 
+/// Incremental FNV-1a: feeding bytes piecewise produces exactly the
+/// one-shot `fnv1a64` digest of their concatenation, because FNV-1a
+/// folds one byte at a time with no finalization step.  This is what
+/// lets the streaming embedder hash an n-gram as
+/// `update(w1).update(' ').update(w2)` without materializing the
+/// "w1 w2" string: the digest equals fnv1a64("w1 w2") bit-for-bit.
+class Fnv1a {
+ public:
+  constexpr explicit Fnv1a(std::uint64_t seed = kFnvOffset64) noexcept
+      : h_(seed) {}
+
+  constexpr Fnv1a& update(char c) noexcept {
+    h_ ^= static_cast<std::uint8_t>(c);
+    h_ *= kFnvPrime64;
+    return *this;
+  }
+
+  constexpr Fnv1a& update(std::string_view s) noexcept {
+    for (const char c : s) update(c);
+    return *this;
+  }
+
+  constexpr std::uint64_t digest() const noexcept { return h_; }
+
+ private:
+  std::uint64_t h_;
+};
+
 /// Short stable hex digest, used for chunk_id provenance ("filehash_index"
 /// in the paper's Fig. 2 schema).
 std::string hex_digest(std::uint64_t h, int width = 12);

@@ -174,6 +174,33 @@ TEST(FixedSizeChunker, ChunkSizesNearTarget) {
   }
 }
 
+TEST(FixedSizeChunker, WordCountsMatchRecount) {
+  // The chunker derives word_count from a whitespace-transition prefix
+  // sum over the section body instead of re-tokenizing each chunk; the
+  // result must equal counting the chunk text directly.
+  ChunkerConfig cfg;
+  cfg.target_words = 40;
+  cfg.overlap_words = 8;
+  cfg.min_words = 10;
+  const FixedSizeChunker chunker(cfg);
+  for (const std::uint64_t seed : {11u, 12u, 13u}) {
+    for (const auto& c : chunker.chunk(sample_doc(seed))) {
+      EXPECT_EQ(c.word_count, text::count_words(c.text)) << c.chunk_id;
+    }
+  }
+}
+
+TEST(SemanticChunker, WordCountsMatchRecount) {
+  // Same invariant for the semantic chunker's running window counter.
+  const embed::HashedNGramEmbedder emb;
+  const SemanticChunker chunker(emb);
+  for (const std::uint64_t seed : {11u, 12u, 13u}) {
+    for (const auto& c : chunker.chunk(sample_doc(seed))) {
+      EXPECT_EQ(c.word_count, text::count_words(c.text)) << c.chunk_id;
+    }
+  }
+}
+
 TEST(FixedSizeChunker, EmptyDoc) {
   const FixedSizeChunker chunker;
   parse::ParsedDocument empty;

@@ -7,6 +7,7 @@
 #include "embed/hashed_embedder.hpp"
 #include "index/vector_index.hpp"
 #include "index/vector_store.hpp"
+#include "parallel/thread_pool.hpp"
 #include "util/rng.hpp"
 
 namespace mcqa::index {
@@ -112,6 +113,69 @@ TEST_P(AnyIndex, SingleElementIndex) {
   const auto results = idx->search(v, 3);
   ASSERT_EQ(results.size(), 1u);
   EXPECT_EQ(results[0].row, 0u);
+}
+
+TEST_P(AnyIndex, AddBatchBitIdenticalToSequentialAdds) {
+  constexpr std::size_t kDim = 16;
+  const auto vecs = random_unit_vectors(64, kDim, 99);
+
+  auto seq = make_index(GetParam(), kDim);
+  for (const auto& v : vecs) seq->add(v);
+  seq->build();
+
+  auto batch = make_index(GetParam(), kDim);
+  batch->add_batch(vecs);
+  batch->build();
+
+  ASSERT_EQ(batch->size(), seq->size());
+  const auto queries = random_unit_vectors(24, kDim, 7);
+  for (const auto& q : queries) {
+    const auto a = seq->search(q, 8);
+    const auto b = batch->search(q, 8);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i].row, b[i].row);
+      EXPECT_EQ(a[i].score, b[i].score);  // bit equality, not tolerance
+    }
+  }
+}
+
+TEST(AddBatch, SaveBlobsMatchSequentialForAllKinds) {
+  // Stronger than search identity: the serialized state (HNSW graph
+  // edges, IVF lists, flat rows) must be byte-identical.
+  constexpr std::size_t kDim = 16;
+  const auto vecs = random_unit_vectors(48, kDim, 11);
+
+  FlatIndex flat_seq(kDim), flat_batch(kDim);
+  IvfIndex ivf_seq(kDim), ivf_batch(kDim);
+  HnswIndex hnsw_seq(kDim), hnsw_batch(kDim);
+  for (const auto& v : vecs) {
+    flat_seq.add(v);
+    ivf_seq.add(v);
+    hnsw_seq.add(v);
+  }
+  flat_batch.add_batch(vecs);
+  ivf_batch.add_batch(vecs);
+  hnsw_batch.add_batch(vecs);
+  ivf_seq.build();
+  ivf_batch.build();
+
+  EXPECT_EQ(flat_seq.save(), flat_batch.save());
+  EXPECT_EQ(ivf_seq.save(), ivf_batch.save());
+  EXPECT_EQ(hnsw_seq.save(), hnsw_batch.save());
+}
+
+TEST_P(AnyIndex, AddBatchEmptyAndIncremental) {
+  constexpr std::size_t kDim = 8;
+  auto idx = make_index(GetParam(), kDim);
+  idx->add_batch({});  // no-op
+  EXPECT_EQ(idx->size(), 0u);
+  const auto vecs = random_unit_vectors(10, kDim, 3);
+  // Batch after singles after batch: rows keep insertion order.
+  idx->add_batch({vecs[0], vecs[1]});
+  idx->add(vecs[2]);
+  idx->add_batch({vecs[3], vecs[4]});
+  EXPECT_EQ(idx->size(), 5u);
 }
 
 INSTANTIATE_TEST_SUITE_P(Kinds, AnyIndex,
@@ -299,6 +363,42 @@ TEST(VectorStore, EmbeddingBytesMatchFp16Footprint) {
   store.add("a", "one");
   store.add("b", "two");
   EXPECT_EQ(store.embedding_bytes(), 2u * emb.dim() * 2u);
+}
+
+TEST(VectorStore, AddBatchMatchesSequentialAtEveryThreadCount) {
+  const embed::HashedNGramEmbedder emb;
+  std::vector<std::string> ids, texts;
+  for (int i = 0; i < 40; ++i) {
+    ids.push_back("c" + std::to_string(i));
+    texts.push_back("chunk " + std::to_string(i) +
+                    " about radiation dose fractionation schedule " +
+                    std::to_string(i % 5));
+  }
+
+  VectorStore seq(emb, IndexKind::kFlat);
+  for (std::size_t i = 0; i < ids.size(); ++i) seq.add(ids[i], texts[i]);
+  seq.build();
+  const auto want = seq.query("radiation dose schedule 3", 10);
+
+  for (const std::size_t threads : {1u, 2u, 8u}) {
+    VectorStore store(emb, IndexKind::kFlat);
+    parallel::ThreadPool pool(threads);
+    store.add_batch(ids, texts, pool);
+    store.build();
+    const auto got = store.query("radiation dose schedule 3", 10);
+    ASSERT_EQ(got.size(), want.size()) << threads << " threads";
+    for (std::size_t i = 0; i < want.size(); ++i) {
+      EXPECT_EQ(got[i].id, want[i].id) << threads << " threads, hit " << i;
+      EXPECT_EQ(got[i].score, want[i].score);  // bit equality
+    }
+  }
+}
+
+TEST(VectorStore, AddBatchSizeMismatchThrows) {
+  const embed::HashedNGramEmbedder emb;
+  VectorStore store(emb);
+  EXPECT_THROW(store.add_batch({"a", "b"}, {"only one"}),
+               std::invalid_argument);
 }
 
 }  // namespace

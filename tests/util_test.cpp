@@ -274,6 +274,46 @@ TEST(Hash, HexDigestWidthAndChars) {
   EXPECT_EQ(hex_digest(0xabcULL, 16).size(), 16u);
 }
 
+TEST(Hash, IncrementalMatchesOneShotAtEverySplitPoint) {
+  // The property the streaming embedder rests on: FNV-1a has no
+  // finalization, so hashing any prefix/suffix split piecewise equals
+  // hashing the whole string at once.
+  const std::string s = "the quick brown fox jumps over 13 lazy dogs.";
+  const std::uint64_t want = fnv1a64(s);
+  for (std::size_t cut = 0; cut <= s.size(); ++cut) {
+    Fnv1a h;
+    h.update(std::string_view(s).substr(0, cut));
+    h.update(std::string_view(s).substr(cut));
+    EXPECT_EQ(h.digest(), want) << "split at " << cut;
+  }
+}
+
+TEST(Hash, IncrementalByteFeedingMatchesOneShot) {
+  const std::string s = "piecewise";
+  Fnv1a h;
+  for (const char c : s) h.update(c);
+  EXPECT_EQ(h.digest(), fnv1a64(s));
+  // Empty updates are identity.
+  Fnv1a e;
+  e.update(std::string_view{});
+  EXPECT_EQ(e.digest(), kFnvOffset64);
+}
+
+TEST(Hash, IncrementalRespectsSeed) {
+  const std::uint64_t seed = 0xb10cfee1u;
+  Fnv1a h(seed);
+  h.update("abc");
+  EXPECT_EQ(h.digest(), fnv1a64("abc", seed));
+  EXPECT_NE(h.digest(), fnv1a64("abc"));
+}
+
+TEST(Hash, BigramCompositionMatchesJoinedString) {
+  // Exactly how embed() hashes a word bigram without materializing it.
+  Fnv1a h;
+  h.update("hello").update(' ').update("world");
+  EXPECT_EQ(h.digest(), fnv1a64("hello world"));
+}
+
 // --- strings -------------------------------------------------------------------
 
 TEST(Strings, SplitKeepsEmptyFields) {
