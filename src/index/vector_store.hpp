@@ -72,6 +72,11 @@ class VectorStore {
   const std::string& text_of(std::size_t row) const { return texts_.at(row); }
   const std::string& id_of(std::size_t row) const { return ids_.at(row); }
 
+  /// The embedder queries go through.  Sharded serving re-embeds rows
+  /// and queries through the same embedder so shard scores stay
+  /// bit-identical to this store's.
+  const embed::Embedder& embedder() const { return embedder_; }
+
   /// FP16-equivalent storage footprint of the embedded vectors.
   std::size_t embedding_bytes() const {
     return ids_.size() * embedder_.dim() * 2;

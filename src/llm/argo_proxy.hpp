@@ -48,9 +48,29 @@ struct ProxyStats {
   /// Total simulated compute across all calls (sum, not makespan).
   double simulated_compute_ms = 0.0;
 
+  // Rate accessors return 0.0 on empty stats (never NaN/inf), so bench
+  // tables and JSON reports stay well-formed for degenerate runs.
   double throughput_per_s() const {
     return simulated_wall_ms > 0.0
                ? requests * 1000.0 / simulated_wall_ms
+               : 0.0;
+  }
+  /// Fraction of attempts that were retries.
+  double retry_rate() const {
+    return attempts > 0
+               ? static_cast<double>(retries) / static_cast<double>(attempts)
+               : 0.0;
+  }
+  /// Fraction of requests that exhausted their retries.
+  double failure_rate() const {
+    return requests > 0 ? static_cast<double>(permanent_failures) /
+                              static_cast<double>(requests)
+                        : 0.0;
+  }
+  /// Mean requests per upstream call.
+  double mean_batch_fill() const {
+    return batches > 0
+               ? static_cast<double>(requests) / static_cast<double>(batches)
                : 0.0;
   }
 };

@@ -223,7 +223,7 @@ std::string RagPipeline::query_for(const qgen::McqRecord& record,
              : qgen::McqRecord::render_question(record.stem, record.options);
 }
 
-llm::McqTask RagPipeline::finish(const qgen::McqRecord& record,
+llm::McqTask RagPipeline::prepare_from_hits(const qgen::McqRecord& record,
                                  Condition condition,
                                  const llm::ModelSpec& spec,
                                  const std::vector<index::Hit>& hits) const {
@@ -249,7 +249,7 @@ llm::McqTask RagPipeline::prepare(const qgen::McqRecord& record,
   // full rendering is the sharper key there.
   const auto hits = store->query(query_for(record, condition),
                                  config_.top_k_for(condition));
-  return finish(record, condition, spec, hits);
+  return prepare_from_hits(record, condition, spec, hits);
 }
 
 std::vector<llm::McqTask> RagPipeline::prepare_batch(
@@ -273,7 +273,7 @@ std::vector<llm::McqTask> RagPipeline::prepare_batch(
   const auto hit_batches =
       store->query_batch(queries, config_.top_k_for(condition), pool);
   parallel::parallel_for(pool, 0, records.size(), [&](std::size_t i) {
-    tasks[i] = finish(records[i], condition, spec, hit_batches[i]);
+    tasks[i] = prepare_from_hits(records[i], condition, spec, hit_batches[i]);
   });
   return tasks;
 }

@@ -93,16 +93,23 @@ class RagPipeline {
 
   const RagConfig& config() const { return config_; }
 
- private:
   /// Retrieval key for (record, condition) — see prepare() for why
-  /// chunks key on the stem and traces on the full rendering.
+  /// chunks key on the stem and traces on the full rendering.  Public
+  /// so the serving engine issues the exact query prepare() would.
   std::string query_for(const qgen::McqRecord& record,
                         Condition condition) const;
-  /// Assembly + annotation after retrieval (the non-retrieval tail of
-  /// prepare, shared with the batched path).
-  llm::McqTask finish(const qgen::McqRecord& record, Condition condition,
-                      const llm::ModelSpec& spec,
-                      const std::vector<index::Hit>& hits) const;
+
+  /// Assembly + annotation for retrieval hits computed elsewhere (the
+  /// non-retrieval tail of prepare, shared with the batched path).
+  /// The serving engine's entry point after sharded retrieval:
+  /// prepare(r, c, s) == prepare_from_hits(r, c, s,
+  /// store->query(query_for(r, c), k)) by construction.
+  llm::McqTask prepare_from_hits(const qgen::McqRecord& record,
+                                 Condition condition,
+                                 const llm::ModelSpec& spec,
+                                 const std::vector<index::Hit>& hits) const;
+
+ private:
   std::string assemble_context(const std::vector<index::Hit>& hits,
                                const llm::McqTask& task,
                                const llm::ModelSpec& spec,

@@ -1,0 +1,390 @@
+#include "serve/engine.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <future>
+#include <queue>
+#include <stdexcept>
+
+#include "parallel/bounded_queue.hpp"
+#include "parallel/thread_pool.hpp"
+#include "util/hash.hpp"
+#include "util/rng.hpp"
+
+namespace mcqa::serve {
+
+std::string_view status_name(RequestStatus status) {
+  switch (status) {
+    case RequestStatus::kOk: return "ok";
+    case RequestStatus::kRejected: return "rejected";
+    case RequestStatus::kExpired: return "expired";
+    case RequestStatus::kFailed: return "failed";
+  }
+  return "unknown";
+}
+
+// --- workload ----------------------------------------------------------------
+
+std::vector<QueryRequest> synth_workload(const WorkloadConfig& config,
+                                         std::size_t records) {
+  std::vector<QueryRequest> out;
+  out.reserve(config.requests);
+  const util::Rng base(config.seed);
+  const std::vector<double> weights(config.condition_weights.begin(),
+                                    config.condition_weights.end());
+  const double mean_gap_ms =
+      config.offered_qps > 0.0 ? 1000.0 / config.offered_qps : 0.0;
+  double clock_ms = 0.0;
+  for (std::size_t i = 0; i < config.requests; ++i) {
+    util::Rng rng = base.fork(i);
+    // Exponential inter-arrival; uniform() < 1 keeps the log finite.
+    clock_ms += mean_gap_ms * -std::log(1.0 - rng.uniform());
+    QueryRequest r;
+    r.request_id = "rq_" + std::to_string(i);
+    r.record = records == 0
+                   ? 0
+                   : rng.bounded(static_cast<std::uint32_t>(
+                         std::min<std::size_t>(records, 0xffffffffu)));
+    std::size_t pick = rng.weighted_pick(weights);
+    if (pick >= static_cast<std::size_t>(rag::kConditionCount)) {
+      pick = static_cast<std::size_t>(rag::Condition::kChunks);
+    }
+    r.condition = static_cast<rag::Condition>(pick);
+    r.arrival_ms = clock_ms;
+    out.push_back(std::move(r));
+  }
+  return out;
+}
+
+// --- micro-batcher -----------------------------------------------------------
+
+std::vector<MicroBatcher::Item> MicroBatcher::take_batch() {
+  const std::size_t n = std::min(batch_max_, waiting_.size());
+  std::vector<Item> batch(waiting_.begin(),
+                          waiting_.begin() + static_cast<std::ptrdiff_t>(n));
+  waiting_.erase(waiting_.begin(),
+                 waiting_.begin() + static_cast<std::ptrdiff_t>(n));
+  return batch;
+}
+
+// --- engine ------------------------------------------------------------------
+
+QueryEngine::QueryEngine(const rag::RagPipeline& rag,
+                         const rag::RetrievalStores& stores,
+                         const llm::ModelSpec& spec, ServeConfig config)
+    : rag_(&rag),
+      spec_(spec),
+      config_(config),
+      router_(stores, config.shards) {}
+
+double QueryEngine::jitter(std::string_view request_id,
+                           std::string_view stage, double amplitude) const {
+  util::Rng rng(util::hash_combine(config_.seed, util::fnv1a64(request_id)),
+                util::fnv1a64(stage));
+  return amplitude * rng.uniform();
+}
+
+double QueryEngine::embed_cost_ms(const QueryRequest& request) const {
+  return config_.embed_base_ms +
+         jitter(request.request_id, "embed", config_.embed_jitter_ms);
+}
+
+double QueryEngine::retrieve_cost_ms(const QueryRequest& request) const {
+  const ShardedStore* store = router_.store_for(request.condition);
+  if (store == nullptr || store->rows() == 0) return 0.0;
+  // Shards scan in parallel: per-query scan cost covers the largest
+  // partition (ceil(rows/shards)); the exact merge grows with the
+  // number of per-shard candidate lists.
+  const std::size_t shards = router_.shard_count();
+  const std::size_t partition = (store->rows() + shards - 1) / shards;
+  return config_.retrieve_scan_ms_per_kilorow *
+             (static_cast<double>(partition) / 1000.0) +
+         config_.retrieve_merge_ms_per_shard *
+             static_cast<double>(shards) +
+         jitter(request.request_id, "retrieve", config_.retrieve_jitter_ms);
+}
+
+double QueryEngine::assemble_cost_ms(const QueryRequest& request) const {
+  return config_.assemble_base_ms +
+         jitter(request.request_id, "assemble", config_.assemble_jitter_ms);
+}
+
+bool QueryEngine::attempt_fails(std::string_view request_id,
+                                std::size_t attempt) const {
+  // Same derivation as BatchTeacherClient::attempt_fails: one odd-stream
+  // probe per (id, attempt).
+  util::Rng probe(
+      util::hash_combine(config_.seed, util::fnv1a64(request_id)),
+      attempt * 2 + 1);
+  return probe.uniform() < config_.transient_failure_rate;
+}
+
+struct QueryEngine::BatchExec {
+  /// Requests whose *succeeding* attempt this batch carries; the
+  /// execution plane assembles exactly these tasks.
+  std::vector<std::size_t> ok_members;
+};
+
+std::vector<QueryEngine::BatchExec> QueryEngine::simulate(
+    const std::vector<QueryRequest>& requests,
+    std::vector<QueryResult>& results, ServerMetrics& metrics) const {
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  const std::size_t n = requests.size();
+  for (std::size_t i = 1; i < n; ++i) {
+    if (requests[i].arrival_ms < requests[i - 1].arrival_ms) {
+      throw std::invalid_argument(
+          "QueryEngine::serve: arrivals must be nondecreasing");
+    }
+  }
+
+  metrics = ServerMetrics(config_.deadline_ms * 4.0,
+                          std::max<std::size_t>(1, config_.workers));
+  metrics.offered = n;
+  metrics.lane_serviced.assign(router_.shard_count(), 0);
+
+  AdmissionController admission(config_.queue_capacity);
+  MicroBatcher batcher(config_.batch_max, config_.batch_cutoff_ms);
+  using Item = MicroBatcher::Item;
+  const auto later = [](const Item& a, const Item& b) {
+    if (a.ready_ms != b.ready_ms) return a.ready_ms > b.ready_ms;
+    return a.req > b.req;
+  };
+  std::priority_queue<Item, std::vector<Item>, decltype(later)> retry_queue(
+      later);
+  std::vector<double> slot_free(std::max<std::size_t>(1, config_.workers),
+                                0.0);
+  std::vector<BatchExec> plan;
+
+  // Admission bounds *outstanding* work: requests waiting in the
+  // batcher plus members of formed batches still waiting for a slot.
+  // When workers saturate, formed batches back up, occupancy climbs to
+  // capacity, and fresh arrivals shed — which is what makes shed > 0 a
+  // pure function of offered load vs service capacity.  Backlog release
+  // times are known at formation (list scheduling), so the heap drains
+  // lazily as the event clock advances.
+  using Release = std::pair<double, std::size_t>;  // (start_ms, members)
+  std::priority_queue<Release, std::vector<Release>, std::greater<>>
+      backlog_releases;
+  std::size_t backlog = 0;
+  const auto occupancy_at = [&](double now_ms) {
+    while (!backlog_releases.empty() &&
+           backlog_releases.top().first <= now_ms) {
+      backlog -= backlog_releases.top().second;
+      backlog_releases.pop();
+    }
+    return batcher.waiting() + backlog;
+  };
+
+  const auto deadline_of = [&](std::size_t req) {
+    return requests[req].arrival_ms + config_.deadline_ms;
+  };
+  // Per-stage simulated costs are stable per request id; memoized so
+  // retries and the service sum reuse one evaluation.
+  std::vector<double> cost_embed(n), cost_retrieve(n), cost_assemble(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    cost_embed[i] = embed_cost_ms(requests[i]);
+    cost_retrieve[i] = retrieve_cost_ms(requests[i]);
+    cost_assemble[i] = assemble_cost_ms(requests[i]);
+    results[i].lane = router_.lane_of(requests[i].request_id);
+  }
+
+  const auto record_stage_times = [&](QueryResult& res, std::size_t req) {
+    res.embed_ms = cost_embed[req];
+    res.retrieve_ms = cost_retrieve[req];
+    res.assemble_ms = cost_assemble[req];
+    metrics.embed.add(cost_embed[req]);
+    metrics.retrieve.add(cost_retrieve[req]);
+    metrics.assemble.add(cost_assemble[req]);
+  };
+
+  const auto service_batch = [&](double form_ms) {
+    BatchExec exec;
+    const std::vector<Item> items = batcher.take_batch();
+    // Deadline check at dispatch: an expired waiter never reaches a
+    // slot (it would waste service on an answer nobody is waiting for).
+    std::vector<Item> live;
+    live.reserve(items.size());
+    for (const Item& item : items) {
+      if (form_ms > deadline_of(item.req)) {
+        QueryResult& res = results[item.req];
+        res.status = RequestStatus::kExpired;
+        res.attempts = item.attempt;
+        res.enqueue_wait_ms = form_ms - item.ready_ms;
+        res.latency_ms = form_ms - requests[item.req].arrival_ms;
+        ++metrics.expired;
+        metrics.enqueue_wait.add(res.enqueue_wait_ms);
+        metrics.latency.add(res.latency_ms);
+        continue;
+      }
+      live.push_back(item);
+    }
+    if (live.empty()) return;
+
+    double service_ms = config_.batch_overhead_ms;
+    for (const Item& item : live) {
+      service_ms +=
+          cost_embed[item.req] + cost_retrieve[item.req] +
+          cost_assemble[item.req];
+    }
+    // List scheduling: earliest-free slot (first minimum — stable).
+    auto slot = std::min_element(slot_free.begin(), slot_free.end());
+    const double start_ms = std::max(form_ms, *slot);
+    const double done_ms = start_ms + service_ms;
+    *slot = done_ms;
+    if (start_ms > form_ms) {
+      backlog += live.size();
+      backlog_releases.emplace(start_ms, live.size());
+    }
+    ++metrics.batches;
+    metrics.busy_ms += service_ms;
+    metrics.makespan_ms = std::max(metrics.makespan_ms, done_ms);
+    metrics.batch_fill.add(static_cast<double>(live.size()));
+
+    for (const Item& item : live) {
+      QueryResult& res = results[item.req];
+      const QueryRequest& req = requests[item.req];
+      ++metrics.serviced;
+      ++metrics.lane_serviced[res.lane];
+      res.attempts = item.attempt + 1;
+      res.enqueue_wait_ms = start_ms - item.ready_ms;
+      res.latency_ms = done_ms - req.arrival_ms;
+      if (attempt_fails(req.request_id, item.attempt)) {
+        if (item.attempt < config_.max_retries) {
+          ++metrics.retries;
+          const double backoff =
+              config_.backoff_base_ms *
+              static_cast<double>(
+                  1u << std::min<std::size_t>(item.attempt, 10));
+          retry_queue.push(
+              Item{item.req, item.attempt + 1, done_ms + backoff});
+          continue;  // not terminal yet
+        }
+        res.status = RequestStatus::kFailed;
+        ++metrics.failed;
+      } else if (done_ms > deadline_of(item.req)) {
+        res.status = RequestStatus::kExpired;
+        ++metrics.expired;
+      } else {
+        res.status = RequestStatus::kOk;
+        ++metrics.completed;
+        exec.ok_members.push_back(item.req);
+      }
+      record_stage_times(res, item.req);
+      metrics.enqueue_wait.add(res.enqueue_wait_ms);
+      metrics.latency.add(res.latency_ms);
+    }
+    if (!exec.ok_members.empty()) plan.push_back(std::move(exec));
+  };
+
+  // Discrete-event loop.  Fixed tie order: a cutoff flush fires before
+  // a same-instant admission; a retry re-enters before a same-instant
+  // fresh arrival (it has been waiting longer).
+  std::size_t next_arrival = 0;
+  while (true) {
+    const double t_cutoff = batcher.cutoff_at();
+    const double t_arrival =
+        next_arrival < n ? requests[next_arrival].arrival_ms : kInf;
+    const double t_retry =
+        retry_queue.empty() ? kInf : retry_queue.top().ready_ms;
+    const double t = std::min({t_cutoff, t_arrival, t_retry});
+    if (t == kInf) break;
+    if (t_cutoff <= t) {
+      service_batch(t_cutoff);
+      continue;
+    }
+    Item item;
+    if (t_retry <= t_arrival) {
+      item = retry_queue.top();
+      retry_queue.pop();
+    } else {
+      item = Item{next_arrival, 0, t_arrival};
+      ++next_arrival;
+    }
+    QueryResult& res = results[item.req];
+    if (item.ready_ms > deadline_of(item.req)) {
+      // Backoff outlived the deadline: terminal expiry, never re-queued.
+      res.status = RequestStatus::kExpired;
+      res.attempts = item.attempt;
+      res.latency_ms = item.ready_ms - requests[item.req].arrival_ms;
+      ++metrics.expired;
+      metrics.latency.add(res.latency_ms);
+      continue;
+    }
+    if (!admission.try_admit(occupancy_at(item.ready_ms))) {
+      res.status = RequestStatus::kRejected;
+      res.attempts = item.attempt;
+      res.latency_ms = item.ready_ms - requests[item.req].arrival_ms;
+      ++metrics.rejected;
+      continue;
+    }
+    batcher.push(item);
+    if (batcher.size_ready()) service_batch(item.ready_ms);
+  }
+
+  metrics.admitted = admission.admitted();
+  return plan;
+}
+
+std::vector<QueryResult> QueryEngine::serve(
+    const std::vector<qgen::McqRecord>& records,
+    const std::vector<QueryRequest>& requests, parallel::ThreadPool& pool,
+    ServerMetrics* metrics) const {
+  std::vector<QueryResult> results(requests.size());
+  ServerMetrics local;
+  const std::vector<BatchExec> plan = simulate(requests, results, local);
+
+  // Execution plane: formed batches flow through a bounded queue to
+  // pool workers, which run the real sharded retrieval + assembly.
+  // Writes land in disjoint result slots, so output is independent of
+  // the drain order and the pool width.
+  const auto execute = [&](const BatchExec& batch) {
+    for (const std::size_t i : batch.ok_members) {
+      const QueryRequest& req = requests[i];
+      if (req.record >= records.size()) {
+        throw std::out_of_range("QueryEngine::serve: record index");
+      }
+      const qgen::McqRecord& record = records[req.record];
+      const ShardedStore* store = router_.store_for(req.condition);
+      if (req.condition == rag::Condition::kBaseline || store == nullptr ||
+          store->rows() == 0) {
+        // Mirrors RagPipeline::prepare's baseline/empty-store path.
+        results[i].task = record.to_task();
+        continue;
+      }
+      const std::vector<index::Hit> hits =
+          store->query(rag_->query_for(record, req.condition),
+                       rag_->config().top_k_for(req.condition));
+      results[i].task =
+          rag_->prepare_from_hits(record, req.condition, spec_, hits);
+    }
+  };
+
+  if (!plan.empty()) {
+    parallel::BoundedQueue<const BatchExec*> dispatch(
+        std::max<std::size_t>(1, config_.queue_capacity));
+    const std::size_t consumers =
+        std::max<std::size_t>(1, std::min(pool.thread_count(), plan.size()));
+    std::vector<std::future<void>> drained;
+    drained.reserve(consumers);
+    for (std::size_t c = 0; c < consumers; ++c) {
+      drained.push_back(pool.submit([&] {
+        while (const auto batch = dispatch.pop()) execute(**batch);
+      }));
+    }
+    for (const BatchExec& batch : plan) dispatch.push(&batch);
+    dispatch.close();
+    for (auto& f : drained) f.get();
+  }
+
+  if (metrics != nullptr) *metrics = local;
+  return results;
+}
+
+std::vector<QueryResult> QueryEngine::serve(
+    const std::vector<qgen::McqRecord>& records,
+    const std::vector<QueryRequest>& requests, ServerMetrics* metrics) const {
+  return serve(records, requests, parallel::ThreadPool::global(), metrics);
+}
+
+}  // namespace mcqa::serve

@@ -1,0 +1,105 @@
+#include "serve/metrics.hpp"
+
+namespace mcqa::serve {
+
+namespace {
+
+double ratio(std::size_t num, std::size_t den) {
+  return den > 0 ? static_cast<double>(num) / static_cast<double>(den) : 0.0;
+}
+
+}  // namespace
+
+json::Value StageMetrics::to_json() const {
+  json::Value v = json::Value::object();
+  v["count"] = count();
+  v["mean_ms"] = mean();
+  v["p50_ms"] = p50();
+  v["p95_ms"] = p95();
+  v["p99_ms"] = p99();
+  v["max_ms"] = max();
+  return v;
+}
+
+ServerMetrics::ServerMetrics(double latency_hi_ms, std::size_t workers_in)
+    : workers(workers_in),
+      enqueue_wait(latency_hi_ms),
+      latency(latency_hi_ms) {}
+
+double ServerMetrics::completion_rate() const {
+  return ratio(completed, offered);
+}
+
+double ServerMetrics::shed_rate() const { return ratio(rejected, offered); }
+
+double ServerMetrics::expiry_rate() const { return ratio(expired, offered); }
+
+double ServerMetrics::failure_rate() const { return ratio(failed, offered); }
+
+double ServerMetrics::retry_rate() const { return ratio(retries, serviced); }
+
+double ServerMetrics::mean_batch_fill() const {
+  return ratio(serviced, batches);
+}
+
+double ServerMetrics::throughput_qps() const {
+  return makespan_ms > 0.0
+             ? static_cast<double>(completed) * 1000.0 / makespan_ms
+             : 0.0;
+}
+
+double ServerMetrics::utilization() const {
+  const double span = static_cast<double>(workers) * makespan_ms;
+  return span > 0.0 ? busy_ms / span : 0.0;
+}
+
+json::Value ServerMetrics::to_json() const {
+  json::Value v = json::Value::object();
+  {
+    json::Value c = json::Value::object();
+    c["offered"] = offered;
+    c["completed"] = completed;
+    c["rejected"] = rejected;
+    c["expired"] = expired;
+    c["failed"] = failed;
+    c["admitted"] = admitted;
+    c["serviced"] = serviced;
+    c["retries"] = retries;
+    c["batches"] = batches;
+    json::Array lanes;
+    lanes.reserve(lane_serviced.size());
+    for (const std::size_t s : lane_serviced) {
+      lanes.emplace_back(static_cast<std::int64_t>(s));
+    }
+    c["lane_serviced"] = json::Value(std::move(lanes));
+    v["counters"] = std::move(c);
+  }
+  {
+    json::Value r = json::Value::object();
+    r["completion_rate"] = completion_rate();
+    r["shed_rate"] = shed_rate();
+    r["expiry_rate"] = expiry_rate();
+    r["failure_rate"] = failure_rate();
+    r["retry_rate"] = retry_rate();
+    r["mean_batch_fill"] = mean_batch_fill();
+    r["throughput_qps"] = throughput_qps();
+    r["utilization"] = utilization();
+    v["rates"] = std::move(r);
+  }
+  v["makespan_ms"] = makespan_ms;
+  v["busy_ms"] = busy_ms;
+  v["workers"] = workers;
+  {
+    json::Value s = json::Value::object();
+    s["enqueue_wait"] = enqueue_wait.to_json();
+    s["embed"] = embed.to_json();
+    s["retrieve"] = retrieve.to_json();
+    s["assemble"] = assemble.to_json();
+    s["latency"] = latency.to_json();
+    s["batch_fill"] = batch_fill.to_json();
+    v["stages"] = std::move(s);
+  }
+  return v;
+}
+
+}  // namespace mcqa::serve

@@ -1,0 +1,101 @@
+#pragma once
+// Per-stage serving metrics: counters for every terminal request
+// outcome (nothing is dropped silently — every offered request lands in
+// exactly one of completed/rejected/expired/failed) and latency
+// histograms with exact tail quantiles per pipeline stage.
+//
+// Because the engine runs on a simulated clock (see engine.hpp), every
+// number in a snapshot is deterministic: identical across runs and
+// thread counts for a given config + workload.  Snapshots drain to JSON
+// for dashboards and the BENCH_serve.json trajectory file.
+
+#include <cstddef>
+#include <vector>
+
+#include "json/json.hpp"
+#include "util/histogram.hpp"
+
+namespace mcqa::serve {
+
+/// Latency histogram for one pipeline stage.  The fixed-bin histogram
+/// gives the shape; p50/p95/p99 come from util::Histogram's exact
+/// (retained-sample) quantiles, since bin-midpoint rounding would swamp
+/// tail differences.
+class StageMetrics {
+ public:
+  explicit StageMetrics(double hi_ms = 1000.0)
+      : histogram_(0.0, hi_ms, 64) {}
+
+  void add(double ms) { histogram_.add(ms); }
+
+  std::size_t count() const { return histogram_.total(); }
+  double mean() const { return histogram_.stats().mean(); }
+  double max() const {
+    return histogram_.total() == 0 ? 0.0 : histogram_.stats().max();
+  }
+  double p50() const { return histogram_.p50(); }
+  double p95() const { return histogram_.p95(); }
+  double p99() const { return histogram_.p99(); }
+  const util::Histogram& histogram() const { return histogram_; }
+
+  /// {count, mean_ms, p50_ms, p95_ms, p99_ms, max_ms}.
+  json::Value to_json() const;
+
+ private:
+  util::Histogram histogram_;
+};
+
+/// One engine run's aggregate accounting.  All rate accessors return
+/// 0.0 (never NaN/inf) on empty stats.
+struct ServerMetrics {
+  ServerMetrics() = default;
+  /// `latency_hi_ms` bounds the histogram bin range (exact quantiles are
+  /// unaffected); `workers` feeds utilization().
+  ServerMetrics(double latency_hi_ms, std::size_t workers);
+
+  // --- terminal outcome counters (partition `offered`) -----------------------
+  std::size_t offered = 0;
+  std::size_t completed = 0;  ///< answered within deadline
+  std::size_t rejected = 0;   ///< shed at admission (queue full)
+  std::size_t expired = 0;    ///< deadline passed (queued or in service)
+  std::size_t failed = 0;     ///< transient failures exhausted retries
+
+  // --- flow counters ---------------------------------------------------------
+  std::size_t admitted = 0;   ///< passed admission (incl. retry re-entries)
+  std::size_t serviced = 0;   ///< attempts that reached a worker slot
+  std::size_t retries = 0;    ///< re-enqueued attempts
+  std::size_t batches = 0;
+  /// Serviced attempts per shard lane (QueryRouter request hash).
+  std::vector<std::size_t> lane_serviced;
+
+  // --- simulated time --------------------------------------------------------
+  double makespan_ms = 0.0;  ///< last batch completion
+  double busy_ms = 0.0;      ///< total service time across slots
+  std::size_t workers = 0;
+
+  // --- per-stage latency -----------------------------------------------------
+  StageMetrics enqueue_wait{2000.0};
+  StageMetrics embed{50.0};
+  StageMetrics retrieve{200.0};
+  StageMetrics assemble{50.0};
+  /// End-to-end latency (completion - arrival) of every request whose
+  /// final attempt was dispatched; rejected requests contribute nothing.
+  StageMetrics latency{5000.0};
+  /// Requests per formed batch.
+  StageMetrics batch_fill{256.0};
+
+  // --- rates (0.0 on empty, never NaN/inf) -----------------------------------
+  double completion_rate() const;
+  double shed_rate() const;
+  double expiry_rate() const;
+  double failure_rate() const;
+  double retry_rate() const;       ///< retries / serviced attempts
+  double mean_batch_fill() const;  ///< serviced / batches
+  double throughput_qps() const;   ///< completed per simulated second
+  double utilization() const;      ///< busy / (workers * makespan)
+
+  /// Drain the whole snapshot (counters, rates, per-stage quantiles).
+  json::Value to_json() const;
+};
+
+}  // namespace mcqa::serve

@@ -1,0 +1,104 @@
+#include "serve/sharded_store.hpp"
+
+#include <algorithm>
+
+#include "util/hash.hpp"
+
+namespace mcqa::serve {
+
+std::size_t ShardedStore::shard_of(std::string_view id, std::size_t shards) {
+  return shards <= 1 ? 0 : util::fnv1a64(id) % shards;
+}
+
+ShardedStore::ShardedStore(const index::VectorStore& base, std::size_t shards)
+    : base_(&base) {
+  const std::size_t count = std::max<std::size_t>(1, shards);
+  const std::size_t dim = base.embedder().dim();
+  shards_.reserve(count);
+  for (std::size_t s = 0; s < count; ++s) shards_.emplace_back(dim);
+  // Rows visit shards in ascending global order, so each shard's local
+  // row order is the global order restricted to its rows — per-shard
+  // tie-breaks (score desc, local row asc) agree with global ones.
+  for (std::size_t row = 0; row < base.size(); ++row) {
+    Shard& shard = shards_[shard_of(base.id_of(row), count)];
+    shard.index.add(base.embedder().embed(base.text_of(row)));
+    shard.global_rows.push_back(row);
+  }
+}
+
+std::vector<index::Hit> ShardedStore::query(std::string_view text,
+                                            std::size_t k) const {
+  return query_vector(base_->embedder().embed(text), k);
+}
+
+std::vector<index::Hit> ShardedStore::query_vector(const embed::Vector& v,
+                                                   std::size_t k) const {
+  // Gather each shard's exact top-k with rows mapped back to global ids.
+  std::vector<index::SearchResult> merged;
+  merged.reserve(shards_.size() * k);
+  for (const Shard& shard : shards_) {
+    for (const auto& r : shard.index.search(v, k)) {
+      merged.push_back(
+          index::SearchResult{shard.global_rows[r.row], r.score});
+    }
+  }
+  // Exact merge: the comparator FlatIndex::search applies globally.
+  std::sort(merged.begin(), merged.end(),
+            [](const index::SearchResult& a, const index::SearchResult& b) {
+              if (a.score != b.score) return a.score > b.score;
+              return a.row < b.row;
+            });
+  if (merged.size() > k) merged.resize(k);
+
+  std::vector<index::Hit> hits;
+  hits.reserve(merged.size());
+  for (const auto& r : merged) {
+    hits.push_back(index::Hit{base_->id_of(r.row), base_->text_of(r.row),
+                              r.score});
+  }
+  return hits;
+}
+
+QueryRouter::QueryRouter(const rag::RetrievalStores& stores,
+                         std::size_t shards)
+    : shard_count_(std::max<std::size_t>(1, shards)) {
+  if (stores.chunks != nullptr) {
+    chunks_ = std::make_unique<ShardedStore>(*stores.chunks, shard_count_);
+  }
+  for (int m = 0; m < trace::kTraceModeCount; ++m) {
+    if (stores.traces[static_cast<std::size_t>(m)] != nullptr) {
+      traces_[static_cast<std::size_t>(m)] = std::make_unique<ShardedStore>(
+          *stores.traces[static_cast<std::size_t>(m)], shard_count_);
+    }
+  }
+}
+
+std::size_t QueryRouter::lane_of(std::string_view request_id) const {
+  return ShardedStore::shard_of(request_id, shard_count_);
+}
+
+const ShardedStore* QueryRouter::store_for(rag::Condition condition) const {
+  switch (condition) {
+    case rag::Condition::kBaseline: return nullptr;
+    case rag::Condition::kChunks: return chunks_.get();
+    case rag::Condition::kTraceDetailed:
+      return traces_[static_cast<std::size_t>(trace::TraceMode::kDetailed)]
+          .get();
+    case rag::Condition::kTraceFocused:
+      return traces_[static_cast<std::size_t>(trace::TraceMode::kFocused)]
+          .get();
+    case rag::Condition::kTraceEfficient:
+      return traces_[static_cast<std::size_t>(trace::TraceMode::kEfficient)]
+          .get();
+  }
+  return nullptr;
+}
+
+std::vector<index::Hit> QueryRouter::query(rag::Condition condition,
+                                           std::string_view text,
+                                           std::size_t k) const {
+  const ShardedStore* store = store_for(condition);
+  return store == nullptr ? std::vector<index::Hit>{} : store->query(text, k);
+}
+
+}  // namespace mcqa::serve

@@ -52,6 +52,8 @@ Histogram::Histogram(double lo, double hi, std::size_t bins)
 
 void Histogram::add(double x) {
   stats_.add(x);
+  samples_.push_back(x);
+  samples_sorted_ = false;
   ++total_;
   const double t = (x - lo_) / (hi_ - lo_);
   auto bin = static_cast<std::ptrdiff_t>(t * static_cast<double>(counts_.size()));
@@ -74,6 +76,21 @@ double Histogram::quantile(double q) const {
     }
   }
   return hi_;
+}
+
+double Histogram::exact_quantile(double q) const {
+  if (samples_.empty()) return 0.0;
+  if (!samples_sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    samples_sorted_ = true;
+  }
+  q = std::clamp(q, 0.0, 1.0);
+  // Nearest-rank: the smallest sample with cumulative frequency >= q.
+  const double rank = std::ceil(q * static_cast<double>(samples_.size()));
+  const auto idx = static_cast<std::size_t>(
+      std::clamp<double>(rank - 1.0, 0.0,
+                         static_cast<double>(samples_.size() - 1)));
+  return samples_[idx];
 }
 
 std::string Histogram::render(std::size_t width) const {

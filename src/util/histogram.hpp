@@ -43,6 +43,16 @@ class Histogram {
   /// Approximate quantile from bin midpoints, q in [0,1].
   double quantile(double q) const;
 
+  /// Exact quantile over the retained samples (nearest-rank: the
+  /// ceil(q*n)-th smallest).  Unlike quantile(), this does not round to
+  /// a bin midpoint — ServerMetrics uses it for tail latencies, where
+  /// bin-midpoint error would swamp p95/p99 differences.  Returns 0.0
+  /// on an empty histogram (never NaN).
+  double exact_quantile(double q) const;
+  double p50() const { return exact_quantile(0.50); }
+  double p95() const { return exact_quantile(0.95); }
+  double p99() const { return exact_quantile(0.99); }
+
   /// Simple ASCII rendering for bench output.
   std::string render(std::size_t width = 40) const;
 
@@ -52,6 +62,9 @@ class Histogram {
   std::vector<std::size_t> counts_;
   std::size_t total_ = 0;
   SummaryStats stats_;
+  /// Raw samples backing exact_quantile(); sorted lazily on access.
+  mutable std::vector<double> samples_;
+  mutable bool samples_sorted_ = true;
 };
 
 }  // namespace mcqa::util

@@ -180,6 +180,91 @@ TEST(BoundedQueue, ManyProducersManyConsumers) {
             static_cast<long>(kProducers) * kPerProducer * (kPerProducer + 1) / 2);
 }
 
+TEST(BoundedQueue, CloseUnblocksProducersBlockedOnFull) {
+  BoundedQueue<int> q(1);
+  q.push(0);  // queue now full
+  std::atomic<int> dropped{0};
+  std::vector<std::thread> producers;
+  for (int p = 0; p < 3; ++p) {
+    producers.emplace_back([&] {
+      if (!q.push(99)) dropped.fetch_add(1);  // blocked until close
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  q.close();  // must wake every blocked producer promptly
+  for (auto& t : producers) t.join();
+  EXPECT_EQ(dropped.load(), 3);
+  EXPECT_EQ(q.pop(), 0);  // the pre-close item still drains
+  EXPECT_FALSE(q.pop().has_value());
+}
+
+TEST(BoundedQueue, CloseUnblocksConsumersBlockedOnEmpty) {
+  BoundedQueue<int> q(4);
+  std::atomic<int> ended{0};
+  std::vector<std::thread> consumers;
+  for (int c = 0; c < 3; ++c) {
+    consumers.emplace_back([&] {
+      if (!q.pop().has_value()) ended.fetch_add(1);  // blocked until close
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  q.close();
+  for (auto& t : consumers) t.join();
+  EXPECT_EQ(ended.load(), 3);
+}
+
+/// Shutdown mid-stream must lose nothing already accepted and duplicate
+/// nothing: every push that returned true is popped exactly once.
+void shutdown_no_loss_no_dup(int producers, int consumers) {
+  BoundedQueue<int> q(4);
+  constexpr int kPerProducer = 400;
+  std::atomic<long> accepted_sum{0};
+  std::atomic<long> popped_sum{0};
+  std::atomic<int> popped_count{0};
+  std::vector<std::thread> threads;
+  for (int p = 0; p < producers; ++p) {
+    threads.emplace_back([&, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        const int v = p * kPerProducer + i + 1;
+        if (q.push(v)) {
+          accepted_sum.fetch_add(v);
+        } else {
+          return;  // closed under us — everything after is rejected too
+        }
+      }
+    });
+  }
+  std::vector<std::thread> drains;
+  for (int c = 0; c < consumers; ++c) {
+    drains.emplace_back([&] {
+      while (auto v = q.pop()) {
+        popped_sum.fetch_add(*v);
+        popped_count.fetch_add(1);
+      }
+    });
+  }
+  // Close while producers are (likely) mid-stream; any interleaving is
+  // acceptable as long as the accounting balances.
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  q.close();
+  for (auto& t : threads) t.join();
+  for (auto& t : drains) t.join();
+  EXPECT_EQ(popped_sum.load(), accepted_sum.load());
+  EXPECT_LE(popped_count.load(), producers * kPerProducer);
+}
+
+TEST(BoundedQueue, ShutdownNoLossNoDupOneThread) {
+  shutdown_no_loss_no_dup(1, 1);
+}
+
+TEST(BoundedQueue, ShutdownNoLossNoDupTwoThreads) {
+  shutdown_no_loss_no_dup(2, 2);
+}
+
+TEST(BoundedQueue, ShutdownNoLossNoDupEightThreads) {
+  shutdown_no_loss_no_dup(8, 8);
+}
+
 TEST(RunStage, OrderStableOneToMany) {
   std::vector<int> inputs{1, 2, 3, 4, 5};
   const auto out = run_stage<int, int>(

@@ -32,6 +32,28 @@ std::vector<chunk::Chunk> test_chunks(std::size_t n) {
   return chunks;
 }
 
+TEST(ProxyStats, EmptyStatsRatesAreZeroNotNan) {
+  const ProxyStats stats;  // nothing recorded: all denominators zero
+  EXPECT_EQ(stats.throughput_per_s(), 0.0);
+  EXPECT_EQ(stats.retry_rate(), 0.0);
+  EXPECT_EQ(stats.failure_rate(), 0.0);
+  EXPECT_EQ(stats.mean_batch_fill(), 0.0);
+}
+
+TEST(ProxyStats, RatesMatchCountersWhenPopulated) {
+  ProxyStats stats;
+  stats.requests = 100;
+  stats.batches = 25;
+  stats.attempts = 110;
+  stats.retries = 11;
+  stats.permanent_failures = 2;
+  stats.simulated_wall_ms = 500.0;
+  EXPECT_DOUBLE_EQ(stats.throughput_per_s(), 200.0);
+  EXPECT_DOUBLE_EQ(stats.retry_rate(), 0.1);
+  EXPECT_DOUBLE_EQ(stats.failure_rate(), 0.02);
+  EXPECT_DOUBLE_EQ(stats.mean_batch_fill(), 4.0);
+}
+
 TEST(ArgoProxy, AllRequestsSucceedWithLowFailureRate) {
   const corpus::FactMatcher matcher(test_kb());
   const TeacherModel teacher(test_kb(), matcher);
@@ -64,7 +86,9 @@ TEST(ArgoProxy, DeterministicAcrossRuns) {
   ASSERT_EQ(d1.size(), d2.size());
   for (std::size_t i = 0; i < d1.size(); ++i) {
     EXPECT_EQ(d1[i].has_value(), d2[i].has_value());
-    if (d1[i].has_value()) EXPECT_EQ(d1[i]->stem, d2[i]->stem);
+    if (d1[i].has_value()) {
+      EXPECT_EQ(d1[i]->stem, d2[i]->stem);
+    }
   }
 }
 

@@ -1,0 +1,506 @@
+// Unit tests for the serving layer: sharded stores (exact scatter-gather
+// merge), the query router, micro-batching, admission control, the
+// deterministic engine, and server metrics.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "corpus/fact_matcher.hpp"
+#include "corpus/realization.hpp"
+#include "embed/hashed_embedder.hpp"
+#include "index/vector_store.hpp"
+#include "llm/model_spec.hpp"
+#include "parallel/thread_pool.hpp"
+#include "rag/rag_pipeline.hpp"
+#include "serve/engine.hpp"
+#include "serve/metrics.hpp"
+#include "serve/sharded_store.hpp"
+
+namespace mcqa::serve {
+namespace {
+
+const corpus::KnowledgeBase& test_kb() {
+  static const corpus::KnowledgeBase kb = corpus::KnowledgeBase::generate(
+      corpus::KbConfig{.facts_per_topic = 14, .seed = 51, .math_fraction = 0.4});
+  return kb;
+}
+
+void expect_same_hits(const std::vector<index::Hit>& got,
+                      const std::vector<index::Hit>& want) {
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].id, want[i].id) << "rank " << i;
+    EXPECT_EQ(got[i].text, want[i].text) << "rank " << i;
+    EXPECT_EQ(got[i].score, want[i].score) << "rank " << i;  // bitwise
+  }
+}
+
+void expect_same_task(const llm::McqTask& got, const llm::McqTask& want) {
+  EXPECT_EQ(got.id, want.id);
+  EXPECT_EQ(got.stem, want.stem);
+  EXPECT_EQ(got.options, want.options);
+  EXPECT_EQ(got.context, want.context);
+  EXPECT_EQ(got.correct_index, want.correct_index);
+  EXPECT_EQ(got.fact, want.fact);
+  EXPECT_EQ(got.has_fact, want.has_fact);
+  EXPECT_EQ(got.math, want.math);
+  EXPECT_EQ(got.fact_importance, want.fact_importance);
+  EXPECT_EQ(got.ambiguity, want.ambiguity);
+  EXPECT_EQ(got.exam_item, want.exam_item);
+  EXPECT_EQ(got.context_is_trace, want.context_is_trace);
+  EXPECT_EQ(got.context_is_terse, want.context_is_terse);
+  EXPECT_EQ(got.context_has_fact, want.context_has_fact);
+  EXPECT_EQ(got.context_saliency, want.context_saliency);
+  EXPECT_EQ(got.context_has_elimination, want.context_has_elimination);
+  EXPECT_EQ(got.context_has_worked_math, want.context_has_worked_math);
+  EXPECT_EQ(got.context_misleading_options, want.context_misleading_options);
+  EXPECT_EQ(got.context_mislead_strength, want.context_mislead_strength);
+}
+
+/// A retrieval world big enough that every shard count in {1,2,4,8}
+/// leaves several rows per shard, plus a few records to serve.
+class ServeFixture : public ::testing::Test {
+ protected:
+  ServeFixture()
+      : matcher_(test_kb()),
+        chunk_store_(embedder_),
+        trace_store_d_(embedder_),
+        trace_store_f_(embedder_),
+        trace_store_e_(embedder_) {
+    const auto& kb = test_kb();
+
+    // Records: realized questions over distinct facts.
+    util::Rng rng(7);
+    for (std::size_t f = 0; f < 4; ++f) {
+      const corpus::Fact& probed = kb.facts()[2 + f * 3];
+      const auto real = corpus::realize_question(kb, probed, rng);
+      qgen::McqRecord record;
+      record.record_id = "q_serve_" + std::to_string(f);
+      record.stem = real.stem;
+      record.options.push_back(real.correct);
+      for (const auto& d : real.distractors) record.options.push_back(d);
+      record.correct_index = 0;
+      record.answer = real.correct;
+      record.question =
+          qgen::McqRecord::render_question(record.stem, record.options);
+      record.fact = probed.id;
+      record.math = real.math;
+      records_.push_back(std::move(record));
+    }
+
+    // Chunk store: one statement chunk per fact (~40 rows).
+    const std::size_t rows = std::min<std::size_t>(40, kb.facts().size());
+    for (std::size_t i = 0; i < rows; ++i) {
+      chunk_store_.add("chunk_" + std::to_string(i),
+                       corpus::realize_statement(kb, kb.facts()[i], 0));
+    }
+    chunk_store_.build();
+
+    // Trace stores: one trace per record per mode, plus filler traces so
+    // shards stay populated.
+    for (const auto& record : records_) {
+      const std::string principle = "Key principle relevant to " + record.stem;
+      trace_store_d_.add("t_d_" + record.record_id,
+                         record.question + "\nOption 1: aligns with " +
+                             principle);
+      trace_store_f_.add("t_f_" + record.record_id,
+                         record.question + "\nKey principle: " + principle);
+      trace_store_e_.add("t_e_" + record.record_id,
+                         record.question + "\n" + principle);
+    }
+    for (std::size_t i = 0; i < 12; ++i) {
+      const std::string filler =
+          corpus::realize_statement(kb, kb.facts()[i + 4], 0);
+      trace_store_d_.add("t_d_fill_" + std::to_string(i), filler);
+      trace_store_f_.add("t_f_fill_" + std::to_string(i), filler);
+      trace_store_e_.add("t_e_fill_" + std::to_string(i), filler);
+    }
+    trace_store_d_.build();
+    trace_store_f_.build();
+    trace_store_e_.build();
+
+    stores_.chunks = &chunk_store_;
+    stores_.traces[0] = &trace_store_d_;
+    stores_.traces[1] = &trace_store_f_;
+    stores_.traces[2] = &trace_store_e_;
+
+    spec_ = llm::student_card("Llama-3.1-8B-Instruct").spec;
+  }
+
+  rag::RagPipeline make_pipeline(rag::RagConfig cfg = {}) const {
+    return rag::RagPipeline(test_kb(), matcher_, stores_, cfg);
+  }
+
+  embed::HashedNGramEmbedder embedder_;
+  corpus::FactMatcher matcher_;
+  index::VectorStore chunk_store_;
+  index::VectorStore trace_store_d_;
+  index::VectorStore trace_store_f_;
+  index::VectorStore trace_store_e_;
+  rag::RetrievalStores stores_;
+  std::vector<qgen::McqRecord> records_;
+  llm::ModelSpec spec_;
+};
+
+// --- sharded store -----------------------------------------------------------
+
+TEST_F(ServeFixture, ShardedQueryMatchesUnshardedBitwise) {
+  for (const std::size_t shards : {1u, 2u, 4u, 8u}) {
+    const ShardedStore sharded(chunk_store_, shards);
+    EXPECT_EQ(sharded.shard_count(), shards);
+    for (const auto& record : records_) {
+      for (const std::size_t k : {1u, 3u, 10u, 64u}) {
+        expect_same_hits(sharded.query(record.stem, k),
+                         chunk_store_.query(record.stem, k));
+      }
+    }
+  }
+}
+
+TEST_F(ServeFixture, ShardedTraceStoreMatchesUnsharded) {
+  for (const std::size_t shards : {2u, 4u}) {
+    const ShardedStore sharded(trace_store_f_, shards);
+    for (const auto& record : records_) {
+      expect_same_hits(sharded.query(record.question, 3),
+                       trace_store_f_.query(record.question, 3));
+    }
+  }
+}
+
+TEST_F(ServeFixture, ShardPartitionCoversEveryRowOnce) {
+  const ShardedStore sharded(chunk_store_, 4);
+  std::size_t total = 0;
+  for (std::size_t s = 0; s < sharded.shard_count(); ++s) {
+    total += sharded.shard_size(s);
+  }
+  EXPECT_EQ(total, chunk_store_.size());
+  // The partition function is the stable id hash.
+  for (std::size_t row = 0; row < chunk_store_.size(); ++row) {
+    EXPECT_LT(ShardedStore::shard_of(chunk_store_.id_of(row), 4), 4u);
+  }
+  EXPECT_EQ(ShardedStore::shard_of("anything", 1), 0u);
+}
+
+TEST_F(ServeFixture, RouterRoutesConditionsAndLanes) {
+  const QueryRouter router(stores_, 4);
+  EXPECT_EQ(router.store_for(rag::Condition::kBaseline), nullptr);
+  ASSERT_NE(router.store_for(rag::Condition::kChunks), nullptr);
+  EXPECT_EQ(&router.store_for(rag::Condition::kChunks)->base(), &chunk_store_);
+  EXPECT_EQ(&router.store_for(rag::Condition::kTraceFocused)->base(),
+            &trace_store_f_);
+  EXPECT_TRUE(router.query(rag::Condition::kBaseline, "x", 3).empty());
+  for (int i = 0; i < 32; ++i) {
+    EXPECT_LT(router.lane_of("rq_" + std::to_string(i)), 4u);
+  }
+}
+
+// --- micro-batcher and admission --------------------------------------------
+
+TEST(MicroBatcherTest, SizeAndCutoffSemantics) {
+  MicroBatcher batcher(3, 5.0);
+  EXPECT_TRUE(std::isinf(batcher.cutoff_at()));
+  batcher.push({0, 0, 10.0});
+  batcher.push({1, 0, 11.0});
+  EXPECT_FALSE(batcher.size_ready());
+  EXPECT_EQ(batcher.cutoff_at(), 15.0);  // oldest + cutoff
+  batcher.push({2, 0, 12.0});
+  EXPECT_TRUE(batcher.size_ready());
+  batcher.push({3, 0, 12.5});
+  const auto batch = batcher.take_batch();  // oldest three only
+  ASSERT_EQ(batch.size(), 3u);
+  EXPECT_EQ(batch[0].req, 0u);
+  EXPECT_EQ(batch[2].req, 2u);
+  EXPECT_EQ(batcher.waiting(), 1u);
+  EXPECT_EQ(batcher.cutoff_at(), 17.5);
+}
+
+TEST(AdmissionControllerTest, ShedsAtCapacityWithExactCounts) {
+  AdmissionController admission(2);
+  EXPECT_TRUE(admission.try_admit(0));
+  EXPECT_TRUE(admission.try_admit(1));
+  EXPECT_FALSE(admission.try_admit(2));
+  EXPECT_FALSE(admission.try_admit(5));
+  EXPECT_EQ(admission.admitted(), 2u);
+  EXPECT_EQ(admission.shed(), 2u);
+  EXPECT_EQ(admission.capacity(), 2u);
+}
+
+// --- workload ----------------------------------------------------------------
+
+TEST(WorkloadTest, SynthWorkloadIsDeterministicAndNondecreasing) {
+  WorkloadConfig cfg;
+  cfg.requests = 64;
+  cfg.offered_qps = 500.0;
+  const auto a = synth_workload(cfg, 8);
+  const auto b = synth_workload(cfg, 8);
+  ASSERT_EQ(a.size(), 64u);
+  std::set<int> conditions;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].request_id, b[i].request_id);
+    EXPECT_EQ(a[i].record, b[i].record);
+    EXPECT_EQ(a[i].condition, b[i].condition);
+    EXPECT_EQ(a[i].arrival_ms, b[i].arrival_ms);  // bitwise
+    EXPECT_LT(a[i].record, 8u);
+    if (i > 0) {
+      EXPECT_GE(a[i].arrival_ms, a[i - 1].arrival_ms);
+    }
+    conditions.insert(static_cast<int>(a[i].condition));
+  }
+  EXPECT_GT(conditions.size(), 1u);  // the mix actually mixes
+}
+
+// --- engine ------------------------------------------------------------------
+
+ServeConfig relaxed_config() {
+  ServeConfig cfg;
+  cfg.shards = 4;
+  cfg.queue_capacity = 512;
+  cfg.deadline_ms = 1e7;  // effectively no deadline
+  cfg.transient_failure_rate = 0.0;
+  return cfg;
+}
+
+TEST_F(ServeFixture, ServedTasksMatchPrepareFieldwise) {
+  const rag::RagPipeline rag = make_pipeline();
+  const QueryEngine engine(rag, stores_, spec_, relaxed_config());
+  WorkloadConfig wl;
+  wl.requests = 40;
+  wl.offered_qps = 200.0;
+  const auto requests = synth_workload(wl, records_.size());
+  ServerMetrics metrics;
+  const auto results = engine.serve(records_, requests, &metrics);
+  ASSERT_EQ(results.size(), requests.size());
+  EXPECT_EQ(metrics.completed, requests.size());
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    ASSERT_EQ(results[i].status, RequestStatus::kOk) << i;
+    expect_same_task(results[i].task,
+                     rag.prepare(records_[requests[i].record],
+                                 requests[i].condition, spec_));
+  }
+}
+
+TEST_F(ServeFixture, ServeIsDeterministicAcrossRunsAndThreadCounts) {
+  const rag::RagPipeline rag = make_pipeline();
+  ServeConfig cfg = relaxed_config();
+  cfg.deadline_ms = 30.0;  // tight enough that some requests expire
+  cfg.transient_failure_rate = 0.15;
+  cfg.max_retries = 2;
+  const QueryEngine engine(rag, stores_, spec_, cfg);
+  WorkloadConfig wl;
+  wl.requests = 96;
+  wl.offered_qps = 2500.0;
+  const auto requests = synth_workload(wl, records_.size());
+
+  parallel::ThreadPool pool_1(1);
+  parallel::ThreadPool pool_4(4);
+  ServerMetrics m_a, m_b;
+  const auto a = engine.serve(records_, requests, pool_1, &m_a);
+  const auto b = engine.serve(records_, requests, pool_4, &m_b);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].status, b[i].status) << i;
+    EXPECT_EQ(a[i].attempts, b[i].attempts) << i;
+    EXPECT_EQ(a[i].lane, b[i].lane) << i;
+    EXPECT_EQ(a[i].latency_ms, b[i].latency_ms) << i;  // bitwise
+    EXPECT_EQ(a[i].enqueue_wait_ms, b[i].enqueue_wait_ms) << i;
+    if (a[i].status == RequestStatus::kOk) {
+      expect_same_task(a[i].task, b[i].task);
+    }
+  }
+  EXPECT_EQ(m_a.completed, m_b.completed);
+  EXPECT_EQ(m_a.rejected, m_b.rejected);
+  EXPECT_EQ(m_a.expired, m_b.expired);
+  EXPECT_EQ(m_a.failed, m_b.failed);
+  EXPECT_EQ(m_a.retries, m_b.retries);
+  EXPECT_EQ(m_a.batches, m_b.batches);
+  EXPECT_EQ(m_a.lane_serviced, m_b.lane_serviced);
+  EXPECT_EQ(m_a.latency.p99(), m_b.latency.p99());  // bitwise
+  EXPECT_EQ(m_a.makespan_ms, m_b.makespan_ms);
+}
+
+TEST_F(ServeFixture, EveryRequestGetsExactlyOneTerminalStatus) {
+  const rag::RagPipeline rag = make_pipeline();
+  ServeConfig cfg;
+  cfg.queue_capacity = 6;
+  cfg.workers = 1;
+  cfg.batch_max = 4;
+  cfg.deadline_ms = 40.0;
+  cfg.transient_failure_rate = 0.3;
+  cfg.max_retries = 1;
+  const QueryEngine engine(rag, stores_, spec_, cfg);
+  WorkloadConfig wl;
+  wl.requests = 200;
+  wl.offered_qps = 20000.0;  // far past capacity
+  const auto requests = synth_workload(wl, records_.size());
+  ServerMetrics metrics;
+  const auto results = engine.serve(records_, requests, &metrics);
+
+  std::size_t ok = 0, rejected = 0, expired = 0, failed = 0;
+  for (const auto& r : results) {
+    switch (r.status) {
+      case RequestStatus::kOk: ++ok; break;
+      case RequestStatus::kRejected: ++rejected; break;
+      case RequestStatus::kExpired: ++expired; break;
+      case RequestStatus::kFailed: ++failed; break;
+    }
+  }
+  EXPECT_EQ(metrics.offered, 200u);
+  EXPECT_EQ(metrics.completed, ok);
+  EXPECT_EQ(metrics.rejected, rejected);
+  EXPECT_EQ(metrics.expired, expired);
+  EXPECT_EQ(metrics.failed, failed);
+  EXPECT_EQ(ok + rejected + expired + failed, 200u);
+  EXPECT_GT(rejected, 0u);  // overload must shed
+}
+
+TEST_F(ServeFixture, NoSheddingUnderLightLoad) {
+  const rag::RagPipeline rag = make_pipeline();
+  const QueryEngine engine(rag, stores_, spec_, relaxed_config());
+  WorkloadConfig wl;
+  wl.requests = 32;
+  wl.offered_qps = 50.0;
+  ServerMetrics metrics;
+  engine.serve(records_, synth_workload(wl, records_.size()), &metrics);
+  EXPECT_EQ(metrics.rejected, 0u);
+  EXPECT_EQ(metrics.expired, 0u);
+  EXPECT_EQ(metrics.completed, 32u);
+}
+
+TEST_F(ServeFixture, TightDeadlineYieldsTypedExpiry) {
+  const rag::RagPipeline rag = make_pipeline();
+  ServeConfig cfg = relaxed_config();
+  cfg.deadline_ms = 0.5;      // below any service time
+  cfg.batch_cutoff_ms = 2.0;  // so waits alone can blow the deadline
+  const QueryEngine engine(rag, stores_, spec_, cfg);
+  WorkloadConfig wl;
+  wl.requests = 24;
+  wl.offered_qps = 100.0;
+  ServerMetrics metrics;
+  const auto results =
+      engine.serve(records_, synth_workload(wl, records_.size()), &metrics);
+  EXPECT_GT(metrics.expired, 0u);
+  for (const auto& r : results) {
+    EXPECT_NE(r.status, RequestStatus::kRejected);
+  }
+}
+
+TEST_F(ServeFixture, RetryBudgetIsBoundedAndTyped) {
+  const rag::RagPipeline rag = make_pipeline();
+  ServeConfig cfg = relaxed_config();
+  cfg.transient_failure_rate = 1.0;  // every attempt fails
+  cfg.max_retries = 2;
+  const QueryEngine engine(rag, stores_, spec_, cfg);
+  WorkloadConfig wl;
+  wl.requests = 16;
+  wl.offered_qps = 100.0;
+  ServerMetrics metrics;
+  const auto results =
+      engine.serve(records_, synth_workload(wl, records_.size()), &metrics);
+  for (const auto& r : results) {
+    EXPECT_EQ(r.status, RequestStatus::kFailed);
+    EXPECT_EQ(r.attempts, 3u);  // initial + 2 retries
+  }
+  EXPECT_EQ(metrics.failed, 16u);
+  EXPECT_EQ(metrics.retries, 32u);
+  EXPECT_EQ(metrics.serviced, 48u);
+}
+
+TEST_F(ServeFixture, RetriesRecoverWhenFailuresAreTransient) {
+  const rag::RagPipeline rag = make_pipeline();
+  ServeConfig cfg = relaxed_config();
+  cfg.transient_failure_rate = 0.4;
+  cfg.max_retries = 4;
+  const QueryEngine engine(rag, stores_, spec_, cfg);
+  WorkloadConfig wl;
+  wl.requests = 48;
+  wl.offered_qps = 200.0;
+  ServerMetrics metrics;
+  const auto results =
+      engine.serve(records_, synth_workload(wl, records_.size()), &metrics);
+  EXPECT_GT(metrics.retries, 0u);
+  std::size_t multi_attempt_ok = 0;
+  for (const auto& r : results) {
+    if (r.status == RequestStatus::kOk && r.attempts > 1) ++multi_attempt_ok;
+  }
+  EXPECT_GT(multi_attempt_ok, 0u);
+}
+
+TEST_F(ServeFixture, StageCostsAreStablePerRequestId) {
+  const rag::RagPipeline rag = make_pipeline();
+  const QueryEngine engine(rag, stores_, spec_, relaxed_config());
+  QueryRequest req;
+  req.request_id = "rq_42";
+  req.condition = rag::Condition::kChunks;
+  EXPECT_EQ(engine.embed_cost_ms(req), engine.embed_cost_ms(req));
+  EXPECT_EQ(engine.retrieve_cost_ms(req), engine.retrieve_cost_ms(req));
+  EXPECT_EQ(engine.assemble_cost_ms(req), engine.assemble_cost_ms(req));
+  EXPECT_GE(engine.embed_cost_ms(req), engine.config().embed_base_ms);
+  // Baseline requests skip retrieval entirely.
+  req.condition = rag::Condition::kBaseline;
+  EXPECT_EQ(engine.retrieve_cost_ms(req), 0.0);
+}
+
+TEST_F(ServeFixture, RejectsUnsortedArrivals) {
+  const rag::RagPipeline rag = make_pipeline();
+  const QueryEngine engine(rag, stores_, spec_, relaxed_config());
+  std::vector<QueryRequest> requests(2);
+  requests[0].request_id = "rq_0";
+  requests[0].arrival_ms = 5.0;
+  requests[1].request_id = "rq_1";
+  requests[1].arrival_ms = 1.0;
+  EXPECT_THROW(engine.serve(records_, requests), std::invalid_argument);
+}
+
+// --- metrics -----------------------------------------------------------------
+
+TEST(ServerMetricsTest, EmptySnapshotRatesAreZeroNotNan) {
+  const ServerMetrics m;
+  EXPECT_EQ(m.completion_rate(), 0.0);
+  EXPECT_EQ(m.shed_rate(), 0.0);
+  EXPECT_EQ(m.expiry_rate(), 0.0);
+  EXPECT_EQ(m.failure_rate(), 0.0);
+  EXPECT_EQ(m.retry_rate(), 0.0);
+  EXPECT_EQ(m.mean_batch_fill(), 0.0);
+  EXPECT_EQ(m.throughput_qps(), 0.0);
+  EXPECT_EQ(m.utilization(), 0.0);
+  EXPECT_EQ(m.latency.p50(), 0.0);
+  EXPECT_EQ(m.latency.p99(), 0.0);
+  EXPECT_EQ(m.latency.mean(), 0.0);
+  EXPECT_EQ(m.latency.max(), 0.0);
+  const json::Value v = m.to_json();
+  EXPECT_EQ(v.at("rates").at("retry_rate").as_double(), 0.0);
+  EXPECT_EQ(v.at("stages").at("latency").at("p99_ms").as_double(), 0.0);
+}
+
+TEST(ServerMetricsTest, JsonSnapshotCarriesCountersAndQuantiles) {
+  ServerMetrics m(100.0, 2);
+  m.offered = 4;
+  m.completed = 3;
+  m.rejected = 1;
+  m.serviced = 3;
+  m.batches = 2;
+  m.lane_serviced = {2, 1};
+  m.makespan_ms = 50.0;
+  m.busy_ms = 25.0;
+  for (const double x : {1.0, 2.0, 3.0}) m.latency.add(x);
+  const json::Value v = m.to_json();
+  EXPECT_EQ(v.at("counters").at("offered").as_int(), 4);
+  EXPECT_EQ(v.at("counters").at("lane_serviced").at(1).as_int(), 1);
+  EXPECT_EQ(v.at("rates").at("completion_rate").as_double(), 0.75);
+  EXPECT_EQ(v.at("rates").at("utilization").as_double(), 0.25);
+  EXPECT_EQ(v.at("stages").at("latency").at("p50_ms").as_double(), 2.0);
+  EXPECT_EQ(v.at("stages").at("latency").at("count").as_int(), 3);
+}
+
+TEST(StatusNameTest, CoversEveryStatus) {
+  EXPECT_EQ(status_name(RequestStatus::kOk), "ok");
+  EXPECT_EQ(status_name(RequestStatus::kRejected), "rejected");
+  EXPECT_EQ(status_name(RequestStatus::kExpired), "expired");
+  EXPECT_EQ(status_name(RequestStatus::kFailed), "failed");
+}
+
+}  // namespace
+}  // namespace mcqa::serve

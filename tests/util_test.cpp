@@ -441,6 +441,41 @@ TEST(Histogram, QuantileApproximation) {
   EXPECT_NEAR(h.quantile(1.0), 99.5, 1.0);
 }
 
+TEST(Histogram, ExactQuantilesNearestRank) {
+  Histogram h(0.0, 100.0, 10);  // coarse bins: exact path must not round
+  for (int i = 1; i <= 100; ++i) h.add(static_cast<double>(i));
+  EXPECT_EQ(h.p50(), 50.0);
+  EXPECT_EQ(h.p95(), 95.0);
+  EXPECT_EQ(h.p99(), 99.0);
+  EXPECT_EQ(h.exact_quantile(0.0), 1.0);
+  EXPECT_EQ(h.exact_quantile(1.0), 100.0);
+}
+
+TEST(Histogram, ExactQuantilesSmallSamples) {
+  Histogram h(0.0, 10.0, 4);
+  h.add(7.0);
+  EXPECT_EQ(h.p50(), 7.0);  // single sample is every quantile
+  EXPECT_EQ(h.p99(), 7.0);
+  h.add(3.0);  // out-of-order insert: quantiles still sort
+  EXPECT_EQ(h.p50(), 3.0);  // nearest-rank: ceil(0.5*2) = rank 1
+  EXPECT_EQ(h.p99(), 7.0);
+}
+
+TEST(Histogram, ExactQuantilesOutlierBeyondBinRange) {
+  Histogram h(0.0, 10.0, 4);
+  h.add(5.0);
+  h.add(5000.0);  // clamped in the bins, exact in the quantiles
+  EXPECT_EQ(h.exact_quantile(1.0), 5000.0);
+  EXPECT_EQ(h.p99(), 5000.0);
+}
+
+TEST(Histogram, ExactQuantilesEmptyIsZero) {
+  const Histogram h(0.0, 1.0, 4);
+  EXPECT_EQ(h.p50(), 0.0);
+  EXPECT_EQ(h.p95(), 0.0);
+  EXPECT_EQ(h.p99(), 0.0);
+}
+
 TEST(Histogram, InvalidConstruction) {
   EXPECT_THROW(Histogram(0.0, 1.0, 0), std::invalid_argument);
   EXPECT_THROW(Histogram(1.0, 1.0, 4), std::invalid_argument);

@@ -4,6 +4,8 @@
 //   mcqa eval     [--scale S] [--model NAME] [--set SET] [--condition C]
 //   mcqa inspect  [--scale S] [--id RECORD_ID | --n INDEX]
 //   mcqa models                                 list the registry
+//   mcqa serve    [--qps Q] [--shards K] ...    replay a workload trace
+//                                               through the serving engine
 //
 // SET: synthetic | astro | astro-nomath.  C: baseline | chunks |
 // rt-detail | rt-focused | rt-efficient | all.
@@ -22,6 +24,7 @@
 #include "core/provenance.hpp"
 #include "eval/judge.hpp"
 #include "eval/report.hpp"
+#include "serve/engine.hpp"
 #include "util/strings.hpp"
 
 namespace {
@@ -61,7 +64,11 @@ int usage() {
       "  mcqa eval     [--scale S] [--model NAME|all] "
       "[--set synthetic|astro|astro-nomath] [--condition C|all]\n"
       "  mcqa inspect  [--scale S] [--n INDEX | --id RECORD_ID]\n"
-      "  mcqa provenance [--scale S] [--n INDEX | --id RECORD_ID]\n");
+      "  mcqa provenance [--scale S] [--n INDEX | --id RECORD_ID]\n"
+      "  mcqa serve    [--scale S] [--model NAME] [--requests N] [--qps Q]\n"
+      "                [--shards K] [--batch B] [--cutoff MS] [--workers W]\n"
+      "                [--capacity N] [--deadline MS] [--retries N]\n"
+      "                [--failure P] [--json PATH]\n");
   return 2;
 }
 
@@ -273,6 +280,79 @@ int cmd_provenance(const Args& args) {
   return 0;
 }
 
+// Replay a synthetic workload trace through the serving engine and
+// report the shed/latency accounting.  Every number is deterministic
+// for a given flag set (simulated clock; see serve/engine.hpp).
+int cmd_serve(const Args& args) {
+  const double scale = args.get_double("scale", 0.01);
+  const std::string model_name = args.get("model", "Llama-3.1-8B-Instruct");
+  const llm::ModelCard* card = nullptr;
+  for (const auto& c : llm::student_registry()) {
+    if (c.spec.name == model_name) card = &c;
+  }
+  if (card == nullptr) {
+    std::fprintf(stderr, "unknown model: %s\n", model_name.c_str());
+    return 2;
+  }
+
+  serve::ServeConfig cfg;
+  cfg.shards = static_cast<std::size_t>(args.get_double("shards", 4));
+  cfg.batch_max = static_cast<std::size_t>(args.get_double("batch", 8));
+  cfg.batch_cutoff_ms = args.get_double("cutoff", 4.0);
+  cfg.workers = static_cast<std::size_t>(args.get_double("workers", 4));
+  cfg.queue_capacity =
+      static_cast<std::size_t>(args.get_double("capacity", 64));
+  cfg.deadline_ms = args.get_double("deadline", 250.0);
+  cfg.max_retries = static_cast<std::size_t>(args.get_double("retries", 1));
+  cfg.transient_failure_rate = args.get_double("failure", 0.0);
+
+  serve::WorkloadConfig wl;
+  wl.requests = static_cast<std::size_t>(args.get_double("requests", 512));
+  wl.offered_qps = args.get_double("qps", 400.0);
+
+  const core::PipelineContext ctx(core::PipelineConfig::paper_scale(scale));
+  rag::RetrievalStores stores;
+  stores.chunks = &ctx.chunk_store();
+  for (int m = 0; m < trace::kTraceModeCount; ++m) {
+    stores.traces[static_cast<std::size_t>(m)] =
+        &ctx.trace_store(static_cast<trace::TraceMode>(m));
+  }
+
+  const serve::QueryEngine engine(ctx.rag(), stores, card->spec, cfg);
+  const auto requests = serve::synth_workload(wl, ctx.benchmark().size());
+  serve::ServerMetrics metrics;
+  engine.serve(ctx.benchmark(), requests, &metrics);
+
+  std::printf("workload: %zu requests @ %.0f qps over %zu records "
+              "(scale %.3f)\n",
+              wl.requests, wl.offered_qps, ctx.benchmark().size(), scale);
+  std::printf("engine  : %zu shards, batch<=%zu or %.1fms, %zu workers, "
+              "capacity %zu, deadline %.0fms\n",
+              cfg.shards, cfg.batch_max, cfg.batch_cutoff_ms, cfg.workers,
+              cfg.queue_capacity, cfg.deadline_ms);
+  std::printf("outcomes: %zu ok, %zu rejected, %zu expired, %zu failed "
+              "(%.1f%% completion)\n",
+              metrics.completed, metrics.rejected, metrics.expired,
+              metrics.failed, 100.0 * metrics.completion_rate());
+  std::printf("batches : %zu formed, mean fill %.2f, %zu retries\n",
+              metrics.batches, metrics.mean_batch_fill(), metrics.retries);
+  std::printf("latency : p50 %.2fms  p95 %.2fms  p99 %.2fms  max %.2fms\n",
+              metrics.latency.p50(), metrics.latency.p95(),
+              metrics.latency.p99(), metrics.latency.max());
+  std::printf("wait    : p50 %.2fms  p99 %.2fms   throughput %.1f qps, "
+              "utilization %.1f%%\n",
+              metrics.enqueue_wait.p50(), metrics.enqueue_wait.p99(),
+              metrics.throughput_qps(), 100.0 * metrics.utilization());
+
+  const std::string json_path = args.get("json", "");
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    out << metrics.to_json().dump(2) << "\n";
+    std::printf("metrics json in %s\n", json_path.c_str());
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -282,5 +362,6 @@ int main(int argc, char** argv) {
   if (args.command == "eval") return cmd_eval(args);
   if (args.command == "inspect") return cmd_inspect(args);
   if (args.command == "provenance") return cmd_provenance(args);
+  if (args.command == "serve") return cmd_serve(args);
   return usage();
 }
