@@ -38,10 +38,25 @@ int main(int argc, char** argv) {
   funnel.add_row({"accepted (>=7/10)", std::to_string(s.funnel.accepted),
                   std::to_string(extrapolate(s.funnel.accepted)),
                   std::to_string(eval::PaperFunnel::kAccepted)});
-  funnel.add_row({"traces per mode", std::to_string(s.traces_per_mode),
-                  std::to_string(extrapolate(s.traces_per_mode)),
-                  std::to_string(eval::PaperFunnel::kAccepted)});
+  for (int m = 0; m < trace::kTraceModeCount; ++m) {
+    const auto mi = static_cast<std::size_t>(m);
+    const auto mode = static_cast<trace::TraceMode>(m);
+    funnel.add_row({"traces (" + std::string(trace::trace_mode_name(mode)) +
+                        ")",
+                    std::to_string(s.traces_per_mode[mi]),
+                    std::to_string(extrapolate(s.traces_per_mode[mi])),
+                    std::to_string(eval::PaperFunnel::kAccepted)});
+  }
   std::printf("%s\n", funnel.render().c_str());
+
+  std::printf("trace grading accuracy (teacher self-grading): ");
+  for (int m = 0; m < trace::kTraceModeCount; ++m) {
+    const auto mi = static_cast<std::size_t>(m);
+    const auto mode = static_cast<trace::TraceMode>(m);
+    std::printf("%s=%.3f%s", std::string(trace::trace_mode_name(mode)).c_str(),
+                s.trace_grading_accuracy[mi],
+                m + 1 < trace::kTraceModeCount ? ", " : "\n");
+  }
 
   std::printf("acceptance rate: %.1f%% of chunks (paper: %.1f%%)\n",
               100.0 * s.funnel.acceptance_rate(),

@@ -28,7 +28,10 @@ int main(int argc, char** argv) {
   std::printf("MCQ candidates     : %zu\n", stats.funnel.candidates);
   std::printf("accepted questions : %zu (%.1f%% of chunks)\n",
               stats.funnel.accepted, 100.0 * stats.funnel.acceptance_rate());
-  std::printf("traces per mode    : %zu\n", stats.traces_per_mode);
+  std::printf("traces per mode    : %zu/%zu/%zu "
+              "(detailed/focused/efficient)\n",
+              stats.traces_per_mode[0], stats.traces_per_mode[1],
+              stats.traces_per_mode[2]);
   std::printf("chunk embeddings   : %.2f MB fp16\n",
               static_cast<double>(stats.embedding_bytes) / 1048576.0);
   std::printf("exam items         : %zu usable, %zu no-math\n",

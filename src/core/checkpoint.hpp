@@ -1,0 +1,133 @@
+#pragma once
+// Content-addressed artifact checkpointing.
+//
+// Every expensive pipeline artifact — parsed documents, chunks, the
+// chunk store, the benchmark, and the per-mode traces and trace stores
+// — is keyed by an fnv1a hash chain:
+//
+//   key(artifact) = fnv1a( format version
+//                        , code fingerprint (executable identity)
+//                        , fingerprint(configs the artifact depends on)
+//                        , key(upstream artifact) )
+//
+// and saved/loaded as index_io-style length-prefixed binary blobs.  A
+// PipelineContext with a checkpoint directory cold-builds once and
+// warm-loads after; restored artifacts are byte-identical to built ones
+// (tested), because the key only decides hit/miss — artifact bytes
+// never depend on it.
+//
+// Determinism contract: keys contain no wall-clock, no thread counts,
+// no scheduling state.  The executable fingerprint (path, size, mtime
+// of /proc/self/exe) is invalidation metadata — it conservatively
+// retires entries whenever the binary is relinked, so stale caches can
+// never survive a code change.
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "chunk/chunker.hpp"
+#include "parse/adaptive.hpp"
+#include "parse/document.hpp"
+#include "qgen/benchmark_builder.hpp"
+#include "qgen/mcq_record.hpp"
+#include "trace/trace_grading.hpp"
+#include "trace/trace_record.hpp"
+
+namespace mcqa::core {
+
+struct PipelineConfig;
+
+/// Bump when any serialization format or generation semantics change
+/// without a relink being enough (e.g. hand-edited cache files).
+constexpr std::uint64_t kCheckpointFormatVersion = 1;
+
+/// Stable fingerprint of the running executable (path + size + mtime
+/// of /proc/self/exe; falls back to the format version alone when the
+/// platform hides the executable).  Computed once per process.
+std::uint64_t code_fingerprint();
+
+/// Per-artifact cache keys, chained through the build DAG.
+struct CheckpointKeys {
+  std::uint64_t parsed = 0;
+  std::uint64_t chunks = 0;
+  std::uint64_t chunk_store = 0;
+  std::uint64_t benchmark = 0;
+  std::array<std::uint64_t, trace::kTraceModeCount> traces{};
+  std::array<std::uint64_t, trace::kTraceModeCount> trace_stores{};
+};
+
+/// Derive the key chain from the build configuration.  Thread counts,
+/// the embed cache flag and the execution mode are deliberately
+/// excluded: they never change artifact bytes (tested), so staged,
+/// overlapped and differently-threaded builds share cache entries.
+CheckpointKeys derive_checkpoint_keys(const PipelineConfig& config,
+                                      std::size_t embed_dim);
+
+/// A directory of content-addressed artifact files
+/// (`<name>-<hexkey>.ckpt`).  Writes are atomic (temp file + rename),
+/// so concurrent processes building the same configuration race
+/// benignly: both produce identical bytes for identical keys.
+class ArtifactCache {
+ public:
+  /// Creates `dir` (and parents) when missing.
+  explicit ArtifactCache(std::string dir);
+
+  const std::string& dir() const { return dir_; }
+
+  /// The blob stored for (name, key), or nullopt on miss.
+  std::optional<std::string> load(std::string_view name,
+                                  std::uint64_t key) const;
+
+  /// Atomically persist `blob` under (name, key).
+  void store(std::string_view name, std::uint64_t key,
+             std::string_view blob) const;
+
+  std::string path_for(std::string_view name, std::uint64_t key) const;
+
+ private:
+  std::string dir_;
+};
+
+// --- artifact payloads -------------------------------------------------------
+//
+// Each artifact serializes the data plus the stats block its build
+// stage produced, so a warm load restores PipelineStats faithfully.
+
+struct ParsedArtifact {
+  std::vector<parse::ParsedDocument> documents;  ///< successes, doc order
+  parse::RoutingStats routing;
+  std::size_t parse_failures = 0;
+  std::size_t total_documents = 0;  ///< corpus size incl. failures
+};
+
+struct BenchmarkArtifact {
+  std::vector<qgen::McqRecord> records;
+  qgen::FunnelStats funnel;
+};
+
+struct TraceArtifact {
+  std::vector<trace::TraceRecord> traces;  ///< post-filter, record order
+  trace::TraceGradingStats grading;        ///< pre-filter grading tally
+};
+
+std::string serialize_parsed(const ParsedArtifact& a);
+ParsedArtifact deserialize_parsed(std::string_view blob);
+
+std::string serialize_chunks(const std::vector<chunk::Chunk>& chunks);
+std::vector<chunk::Chunk> deserialize_chunks(std::string_view blob);
+
+std::string serialize_benchmark(const BenchmarkArtifact& a);
+BenchmarkArtifact deserialize_benchmark(std::string_view blob);
+
+std::string serialize_traces(const TraceArtifact& a);
+TraceArtifact deserialize_traces(std::string_view blob);
+
+/// Cache-entry name for a per-mode artifact, e.g. "traces-detailed".
+std::string trace_mode_blob_name(std::string_view prefix,
+                                 trace::TraceMode mode);
+
+}  // namespace mcqa::core

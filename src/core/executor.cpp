@@ -1,0 +1,450 @@
+#include "core/executor.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+#include <optional>
+#include <queue>
+#include <unordered_map>
+#include <utility>
+
+#include "parallel/dag.hpp"
+#include "parallel/thread_pool.hpp"
+#include "util/hash.hpp"
+
+namespace mcqa::core {
+
+// --- execution plane ---------------------------------------------------------
+
+namespace {
+
+/// Per-trace slot filled by a fused generate+grade+embed task.
+struct TraceSlot {
+  trace::TraceRecord trace;
+  std::string retrieval;
+  embed::Vector vector;
+};
+
+/// Everything one document's task tree produces, slot-indexed so
+/// concurrent writers never touch the same element.
+struct DocSlots {
+  parse::ParseOutcome outcome;
+  std::vector<chunk::Chunk> chunks;
+  std::vector<embed::Vector> vectors;
+  std::vector<std::optional<qgen::McqRecord>> records;
+  std::vector<std::array<std::unique_ptr<TraceSlot>, trace::kTraceModeCount>>
+      traces;
+};
+
+}  // namespace
+
+void OverlappedBuilder::run(parallel::ThreadPool& pool) {
+  PipelineContext& ctx = ctx_;
+  const PipelineConfig& config = ctx.config_;
+  const embed::Embedder& embedder = ctx.active_embedder();
+
+  const parse::AdaptiveParser parser(config.parser);
+  std::unique_ptr<chunk::Chunker> chunker;
+  if (config.semantic_chunking) {
+    chunker = std::make_unique<chunk::SemanticChunker>(embedder,
+                                                       config.chunker);
+  } else {
+    chunker = std::make_unique<chunk::FixedSizeChunker>(config.chunker);
+  }
+  const qgen::BenchmarkBuilder builder(*ctx.teacher_, config.builder);
+  const trace::TraceGenerator tracer(*ctx.teacher_, config.tracegen);
+
+  const auto& docs = ctx.corpus_.documents;
+  std::vector<DocSlots> slots(docs.size());
+  qgen::FunnelCounters funnel;
+  std::array<std::atomic<std::size_t>, trace::kTraceModeCount> graded{};
+  std::array<std::atomic<std::size_t>, trace::kTraceModeCount> correct{};
+
+  // The dataflow: one task per document fans out per-chunk embed and
+  // question tasks as soon as its chunks exist; each accepted record
+  // fans out its three trace-mode tasks.  Tasks only write their own
+  // slot and only spawn — never block — so the group drains without
+  // any cross-task waiting.
+  parallel::TaskGroup group(pool);
+  for (std::size_t i = 0; i < docs.size(); ++i) {
+    group.spawn([&, i]() {
+      DocSlots& slot = slots[i];
+      slot.outcome = parser.parse(docs[i].bytes);
+      if (!slot.outcome.ok) return;
+      // Provenance fallback must precede chunking: chunk ids derive
+      // from the doc id (same order of operations as the staged build).
+      if (slot.outcome.document.doc_id.empty()) {
+        slot.outcome.document.doc_id = docs[i].doc_id;
+      }
+      slot.chunks = chunker->chunk(slot.outcome.document);
+      const std::size_t n = slot.chunks.size();
+      slot.vectors.resize(n);
+      slot.records.resize(n);
+      slot.traces.resize(n);
+      for (std::size_t c = 0; c < n; ++c) {
+        group.spawn([&, i, c]() {
+          DocSlots& s = slots[i];
+          s.vectors[c] = embedder.embed(s.chunks[c].text);
+        });
+        group.spawn([&, i, c]() {
+          DocSlots& s = slots[i];
+          s.records[c] = builder.build_one(s.chunks[c], funnel);
+          if (!s.records[c].has_value()) return;
+          for (int m = 0; m < trace::kTraceModeCount; ++m) {
+            group.spawn([&, i, c, m]() {
+              DocSlots& sm = slots[i];
+              auto out = std::make_unique<TraceSlot>();
+              out->trace = tracer.generate(*sm.records[c],
+                                           static_cast<trace::TraceMode>(m));
+              trace::grade_trace(out->trace);
+              const auto mi = static_cast<std::size_t>(m);
+              graded[mi].fetch_add(1, std::memory_order_relaxed);
+              if (!out->trace.grading.is_correct) return;
+              correct[mi].fetch_add(1, std::memory_order_relaxed);
+              out->retrieval = out->trace.retrieval_text();
+              out->vector = embedder.embed(out->retrieval);
+              sm.traces[c][mi] = std::move(out);
+            });
+          }
+        });
+      }
+    });
+  }
+  group.wait();
+
+  // --- merge, in (document, chunk, mode) order -------------------------------
+  // Identical traversal to the staged build's per-stage merges, so the
+  // artifacts come out byte-for-byte the same.
+  PipelineStats& stats = ctx.stats_;
+  std::size_t ok_docs = 0;
+  std::size_t total_chunks = 0;
+  for (const auto& slot : slots) {
+    ok_docs += slot.outcome.ok ? 1 : 0;
+    total_chunks += slot.chunks.size();
+  }
+  ctx.parsed_.reserve(ok_docs);
+  ctx.chunks_.reserve(total_chunks);
+
+  for (std::size_t i = 0; i < slots.size(); ++i) {
+    auto& outcome = slots[i].outcome;
+    ++stats.routing.total;
+    stats.routing.compute_cost += outcome.compute_cost;
+    stats.routing.always_accurate_cost += 8.0;  // AccurateSpdfParser::cost
+    if (outcome.route == "fast") ++stats.routing.fast_routed;
+    else if (outcome.route == "accurate") ++stats.routing.accurate_routed;
+    else if (outcome.route == "fast->accurate") ++stats.routing.escalated;
+    else if (outcome.route == "markdown" || outcome.route == "text")
+      ++stats.routing.non_spdf;
+    if (!outcome.ok) {
+      ++stats.routing.failed;
+      ++stats.parse_failures;
+      continue;
+    }
+    ctx.parsed_.push_back(std::move(outcome.document));
+  }
+  stats.documents = docs.size();
+
+  std::vector<std::string> chunk_ids;
+  std::vector<std::string> chunk_texts;
+  std::vector<embed::Vector> chunk_vectors;
+  chunk_ids.reserve(total_chunks);
+  chunk_texts.reserve(total_chunks);
+  chunk_vectors.reserve(total_chunks);
+  for (auto& slot : slots) {
+    for (std::size_t c = 0; c < slot.chunks.size(); ++c) {
+      chunk_ids.push_back(slot.chunks[c].chunk_id);
+      chunk_texts.push_back(slot.chunks[c].text);
+      chunk_vectors.push_back(std::move(slot.vectors[c]));
+      ctx.chunks_.push_back(std::move(slot.chunks[c]));
+    }
+  }
+  stats.chunks = ctx.chunks_.size();
+
+  ctx.chunk_store_ =
+      std::make_unique<index::VectorStore>(embedder, config.index_kind);
+  ctx.chunk_store_->add_precomputed(std::move(chunk_ids),
+                                    std::move(chunk_texts), chunk_vectors);
+
+  for (auto& slot : slots) {
+    for (auto& record : slot.records) {
+      if (record.has_value()) ctx.benchmark_.push_back(std::move(*record));
+    }
+  }
+  stats.funnel.chunks = total_chunks;
+  stats.funnel.candidates = funnel.candidates.load();
+  stats.funnel.rejected_no_fact = funnel.rejected_no_fact.load();
+  stats.funnel.rejected_quality = funnel.rejected_quality.load();
+  stats.funnel.rejected_relevance = funnel.rejected_relevance.load();
+  stats.funnel.accepted = ctx.benchmark_.size();
+
+  for (int m = 0; m < trace::kTraceModeCount; ++m) {
+    const auto mi = static_cast<std::size_t>(m);
+    std::vector<std::string> ids;
+    std::vector<std::string> texts;
+    std::vector<embed::Vector> vectors;
+    ids.reserve(graded[mi].load());
+    texts.reserve(graded[mi].load());
+    vectors.reserve(graded[mi].load());
+    for (auto& slot : slots) {
+      for (auto& lanes : slot.traces) {
+        if (!lanes[mi]) continue;
+        ids.push_back(lanes[mi]->trace.trace_id);
+        texts.push_back(std::move(lanes[mi]->retrieval));
+        vectors.push_back(std::move(lanes[mi]->vector));
+        ctx.traces_[mi].push_back(std::move(lanes[mi]->trace));
+      }
+    }
+    stats.traces_per_mode[mi] = ctx.traces_[mi].size();
+    const std::size_t g = graded[mi].load();
+    stats.trace_grading_accuracy[mi] =
+        g == 0 ? 0.0
+               : static_cast<double>(correct[mi].load()) /
+                     static_cast<double>(g);
+    ctx.trace_stores_[mi] =
+        std::make_unique<index::VectorStore>(embedder, config.index_kind);
+    ctx.trace_stores_[mi]->add_precomputed(std::move(ids), std::move(texts),
+                                           vectors);
+  }
+
+  // The four index builds are independent of each other; overlap them.
+  parallel::TaskGroup builds(pool);
+  builds.spawn([&ctx]() { ctx.chunk_store_->build(); });
+  for (int m = 0; m < trace::kTraceModeCount; ++m) {
+    builds.spawn([&ctx, m]() {
+      ctx.trace_stores_[static_cast<std::size_t>(m)]->build();
+    });
+  }
+  builds.wait();
+  stats.embedding_bytes = ctx.chunk_store_->embedding_bytes();
+}
+
+// --- measurement plane -------------------------------------------------------
+
+namespace {
+
+/// Cost heterogeneity: deterministic per-item multiplier in [0.85, 1.15).
+double jitter(std::uint64_t key) {
+  return 0.85 + 0.3 * static_cast<double>(util::fnv1a64(key) % 1000u) / 1000.0;
+}
+
+/// Trace-mode cost scale: detailed writes option-by-option analyses,
+/// efficient a compact summary.
+constexpr std::array<double, trace::kTraceModeCount> kModeScale = {1.7, 1.25,
+                                                                   0.85};
+/// Trace retrieval-text embed cost relative to its generation cost.
+constexpr double kTraceEmbedFraction = 0.6;
+
+struct SimTask {
+  double cost = 0.0;
+  std::vector<std::uint32_t> deps;
+};
+
+/// Deterministic greedy list schedule: ready tasks are served in
+/// (release time, task id) order to the earliest-free worker.
+double run_schedule(const std::vector<SimTask>& tasks, std::size_t workers) {
+  const std::size_t n = tasks.size();
+  std::vector<std::uint32_t> indeg(n, 0);
+  std::vector<std::vector<std::uint32_t>> dependents(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (const std::uint32_t d : tasks[i].deps) {
+      dependents[d].push_back(static_cast<std::uint32_t>(i));
+      ++indeg[i];
+    }
+  }
+  std::vector<double> release(n, 0.0);
+  using Entry = std::pair<double, std::uint32_t>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> ready;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (indeg[i] == 0) ready.push({0.0, static_cast<std::uint32_t>(i)});
+  }
+  std::priority_queue<double, std::vector<double>, std::greater<>> free;
+  for (std::size_t w = 0; w < std::max<std::size_t>(workers, 1); ++w) {
+    free.push(0.0);
+  }
+  double makespan = 0.0;
+  while (!ready.empty()) {
+    const auto [rel, id] = ready.top();
+    ready.pop();
+    const double worker = free.top();
+    free.pop();
+    const double finish = std::max(rel, worker) + tasks[id].cost;
+    free.push(finish);
+    makespan = std::max(makespan, finish);
+    for (const std::uint32_t d : dependents[id]) {
+      release[d] = std::max(release[d], finish);
+      if (--indeg[d] == 0) ready.push({release[d], d});
+    }
+  }
+  return makespan;
+}
+
+class DagBuilder {
+ public:
+  std::uint32_t add(double cost, std::vector<std::uint32_t> deps = {}) {
+    tasks_.push_back(SimTask{cost, std::move(deps)});
+    return static_cast<std::uint32_t>(tasks_.size() - 1);
+  }
+  const std::vector<SimTask>& tasks() const { return tasks_; }
+
+ private:
+  std::vector<SimTask> tasks_;
+};
+
+double sum_generate(const ScheduleModel& m, std::size_t mode) {
+  double s = 0.0;
+  for (const auto& r : m.records) s += r.generate[mode];
+  return s;
+}
+
+double staged_makespan(const ScheduleModel& m, std::size_t workers) {
+  DagBuilder dag;
+  const double n_docs = static_cast<double>(m.docs.size());
+  const double n_chunks = static_cast<double>(m.chunks.size());
+  const double n_records = static_cast<double>(m.records.size());
+
+  // Stage 1: parse fan-out, serial outcome merge.
+  std::vector<std::uint32_t> parse_tasks;
+  for (const auto& d : m.docs) parse_tasks.push_back(dag.add(d.parse));
+  const std::uint32_t b1 = dag.add(n_docs * m.merge_cost, parse_tasks);
+
+  // Stage 2: chunk fan-out, serial chunk merge.
+  std::vector<std::uint32_t> chunk_tasks;
+  for (const auto& d : m.docs) {
+    if (d.chunk > 0.0) chunk_tasks.push_back(dag.add(d.chunk, {b1}));
+  }
+  const std::uint32_t b2 = dag.add(n_chunks * m.merge_cost, chunk_tasks);
+
+  // Stage 3: embed fan-out, serial store insert + index build.
+  std::vector<std::uint32_t> embed_tasks;
+  for (const auto& c : m.chunks) embed_tasks.push_back(dag.add(c.embed, {b2}));
+  const std::uint32_t b3 =
+      dag.add(n_chunks * (m.insert_cost + m.build_cost), embed_tasks);
+
+  // Stage 4: question fan-out, serial record collection.
+  std::vector<std::uint32_t> qgen_tasks;
+  for (const auto& c : m.chunks) qgen_tasks.push_back(dag.add(c.qgen, {b3}));
+  std::uint32_t prev = dag.add(n_chunks * m.merge_cost, qgen_tasks);
+
+  // Stage 5: the three mode lanes, strictly sequential; grading and
+  // retrieval-text extraction are serial loops between the parallel
+  // generate and embed fans (mirroring grade_all + the ids/texts loop).
+  for (std::size_t mode = 0; mode < static_cast<std::size_t>(trace::kTraceModeCount); ++mode) {
+    std::vector<std::uint32_t> gen_tasks;
+    for (const auto& r : m.records) {
+      gen_tasks.push_back(dag.add(r.generate[mode], {prev}));
+    }
+    const double lane_work = sum_generate(m, mode);
+    const std::uint32_t grade =
+        dag.add(lane_work * m.grade_fraction, gen_tasks);
+    const std::uint32_t extract =
+        dag.add(lane_work * m.extract_fraction, {grade});
+    std::vector<std::uint32_t> trace_embed_tasks;
+    for (const auto& r : m.records) {
+      trace_embed_tasks.push_back(
+          dag.add(r.generate[mode] * kTraceEmbedFraction, {extract}));
+    }
+    prev = dag.add(n_records * (m.insert_cost + m.build_cost),
+                   trace_embed_tasks);
+  }
+  return run_schedule(dag.tasks(), workers);
+}
+
+double overlapped_makespan(const ScheduleModel& m, std::size_t workers) {
+  DagBuilder dag;
+  const double n_docs = static_cast<double>(m.docs.size());
+  const double n_chunks = static_cast<double>(m.chunks.size());
+  const double n_records = static_cast<double>(m.records.size());
+
+  // Fused parse+chunk per document.
+  std::vector<std::uint32_t> doc_tasks(m.docs.size());
+  for (std::size_t d = 0; d < m.docs.size(); ++d) {
+    doc_tasks[d] = dag.add(m.docs[d].parse + m.docs[d].chunk);
+  }
+  // Per-chunk embed and question tasks, released by their document.
+  std::vector<std::uint32_t> qgen_tasks(m.chunks.size());
+  std::vector<std::uint32_t> leaves;
+  for (std::size_t c = 0; c < m.chunks.size(); ++c) {
+    leaves.push_back(dag.add(m.chunks[c].embed, {doc_tasks[m.chunks[c].doc]}));
+    qgen_tasks[c] = dag.add(m.chunks[c].qgen, {doc_tasks[m.chunks[c].doc]});
+  }
+  // Fused generate+grade+extract+embed per (record, mode), released by
+  // the record's question task; the three lanes interleave freely.
+  for (const auto& r : m.records) {
+    for (std::size_t mode = 0; mode < static_cast<std::size_t>(trace::kTraceModeCount); ++mode) {
+      const double cost =
+          r.generate[mode] *
+          (1.0 + m.grade_fraction + m.extract_fraction + kTraceEmbedFraction);
+      leaves.push_back(dag.add(cost, {qgen_tasks[r.chunk]}));
+    }
+  }
+  for (const std::uint32_t q : qgen_tasks) leaves.push_back(q);
+
+  // One serial merge (stats, ordered moves, store inserts), then the
+  // four index builds run as overlapping tasks.
+  const double rows =
+      n_chunks + n_records * static_cast<double>(trace::kTraceModeCount);
+  const std::uint32_t merge = dag.add(
+      (n_docs + n_chunks) * m.merge_cost + rows * m.insert_cost, leaves);
+  dag.add(n_chunks * m.build_cost, {merge});
+  for (std::size_t mode = 0; mode < static_cast<std::size_t>(trace::kTraceModeCount); ++mode) {
+    dag.add(n_records * m.build_cost, {merge});
+  }
+  return run_schedule(dag.tasks(), workers);
+}
+
+}  // namespace
+
+ScheduleModel schedule_model_from(const PipelineContext& ctx) {
+  ScheduleModel model;
+  const auto& docs = ctx.corpus().documents;
+  model.docs.resize(docs.size());
+
+  std::unordered_map<std::string_view, std::uint32_t> doc_index;
+  for (std::size_t i = 0; i < docs.size(); ++i) {
+    doc_index.emplace(docs[i].doc_id, static_cast<std::uint32_t>(i));
+    model.docs[i].parse =
+        static_cast<double>(docs[i].bytes.size()) / 2000.0 * jitter(i);
+  }
+
+  std::unordered_map<std::string_view, std::uint32_t> chunk_index;
+  model.chunks.resize(ctx.chunks().size());
+  for (std::size_t c = 0; c < ctx.chunks().size(); ++c) {
+    const auto& ch = ctx.chunks()[c];
+    chunk_index.emplace(ch.chunk_id, static_cast<std::uint32_t>(c));
+    auto& work = model.chunks[c];
+    const auto it = doc_index.find(ch.doc_id);
+    work.doc = it != doc_index.end() ? it->second : 0;
+    const double words = static_cast<double>(ch.word_count);
+    work.embed = words / 150.0 * jitter(0x10000u + c);
+    work.qgen = (0.4 + words / 300.0) * jitter(0x20000u + c);
+    // Semantic chunking embeds every sentence of the document; charge
+    // the document's chunking cost from its chunks' word mass.
+    model.docs[work.doc].chunk += words / 250.0 * jitter(0x30000u + c);
+    model.docs[work.doc].chunks.push_back(static_cast<std::uint32_t>(c));
+  }
+
+  model.records.resize(ctx.benchmark().size());
+  for (std::size_t r = 0; r < ctx.benchmark().size(); ++r) {
+    const auto& record = ctx.benchmark()[r];
+    auto& work = model.records[r];
+    const auto it = chunk_index.find(record.chunk_id);
+    if (it != chunk_index.end()) {
+      work.chunk = it->second;
+      model.chunks[it->second].accepted = true;
+    }
+    const double base = static_cast<double>(record.question.size()) / 360.0;
+    for (std::size_t mode = 0; mode < static_cast<std::size_t>(trace::kTraceModeCount); ++mode) {
+      work.generate[mode] =
+          base * kModeScale[mode] * jitter(0x40000u + r * 3 + mode);
+    }
+  }
+  return model;
+}
+
+double simulated_makespan(const ScheduleModel& model, ExecutionMode mode,
+                          std::size_t workers) {
+  return mode == ExecutionMode::kStaged ? staged_makespan(model, workers)
+                                        : overlapped_makespan(model, workers);
+}
+
+}  // namespace mcqa::core

@@ -1,17 +1,33 @@
 #include "core/pipeline.hpp"
 
-#include <atomic>
-#include <mutex>
+#include <cstdlib>
+#include <utility>
 
+#include "core/checkpoint.hpp"
+#include "core/executor.hpp"
 #include "parallel/thread_pool.hpp"
 #include "util/log.hpp"
 #include "util/stopwatch.hpp"
 
 namespace mcqa::core {
 
+std::string_view execution_mode_name(ExecutionMode mode) {
+  switch (mode) {
+    case ExecutionMode::kStaged: return "staged";
+    case ExecutionMode::kOverlapped: return "overlapped";
+  }
+  return "unknown";
+}
+
+std::string default_checkpoint_dir() {
+  const char* env = std::getenv("MCQA_CHECKPOINT_DIR");
+  return (env != nullptr && *env != '\0') ? std::string(env) : std::string();
+}
+
 PipelineConfig PipelineConfig::paper_scale(double scale) {
   PipelineConfig cfg;
   cfg.corpus.scale = scale;
+  cfg.checkpoint_dir = default_checkpoint_dir();
   return cfg;
 }
 
@@ -19,15 +35,55 @@ PipelineContext::PipelineContext(const PipelineConfig& config)
     : config_(config),
       kb_(corpus::KnowledgeBase::generate(config.kb)),
       matcher_(kb_),
-      corpus_(corpus::build_corpus(kb_, config.corpus, config.threads)),
       embedder_(embed::make_biomed_encoder()) {
-  util::Stopwatch watch;
-  parallel::ThreadPool pool(config_.threads);
+  util::Stopwatch total;
+  {
+    util::Stopwatch watch;
+    corpus_ = corpus::build_corpus(kb_, config_.corpus, config_.threads);
+    stats_.stage_seconds.kb_corpus = watch.seconds();
+  }
 
+  parallel::ThreadPool pool(config_.threads);
   if (config_.embed_cache) {
     embed_cache_ = std::make_unique<embed::CachingEmbedder>(embedder_);
   }
+  teacher_ = std::make_unique<llm::TeacherModel>(kb_, matcher_);
+
+  bool restored = false;
+  if (!config_.checkpoint_dir.empty()) {
+    const ArtifactCache cache(config_.checkpoint_dir);
+    const CheckpointKeys keys =
+        derive_checkpoint_keys(config_, embedder_.dim());
+    restored = restore_checkpoint(cache, keys);
+    if (!restored) {
+      if (config_.execution == ExecutionMode::kOverlapped) {
+        build_overlapped(pool);
+      } else {
+        build_staged(pool);
+      }
+      save_checkpoint(cache, keys);
+    }
+  } else if (config_.execution == ExecutionMode::kOverlapped) {
+    build_overlapped(pool);
+  } else {
+    build_staged(pool);
+  }
+
+  finalize_exam_and_rag();
+
+  if (embed_cache_) stats_.embed_cache = embed_cache_->stats();
+  stats_.build_seconds = total.seconds();
+  MCQA_INFO("pipeline") << "built (" << execution_mode_name(config_.execution)
+                        << (restored ? ", checkpoint-restored" : "") << "): "
+                        << stats_.documents << " docs, " << stats_.chunks
+                        << " chunks, " << benchmark_.size() << " questions, "
+                        << exam_all_.size() << " exam items in "
+                        << stats_.build_seconds << "s";
+}
+
+void PipelineContext::build_staged(parallel::ThreadPool& pool) {
   const embed::Embedder& embedder = active_embedder();
+  util::Stopwatch watch;
 
   // --- Stage 1: adaptive parsing -------------------------------------------
   const parse::AdaptiveParser parser(config_.parser);
@@ -35,6 +91,9 @@ PipelineContext::PipelineContext(const PipelineConfig& config)
   parallel::parallel_for(pool, 0, corpus_.documents.size(), [&](std::size_t i) {
     outcomes[i] = parser.parse(corpus_.documents[i].bytes);
   });
+  std::size_t ok_docs = 0;
+  for (const auto& outcome : outcomes) ok_docs += outcome.ok ? 1 : 0;
+  parsed_.reserve(ok_docs);
   for (std::size_t i = 0; i < outcomes.size(); ++i) {
     auto& outcome = outcomes[i];
     ++stats_.routing.total;
@@ -57,8 +116,10 @@ PipelineContext::PipelineContext(const PipelineConfig& config)
     parsed_.push_back(std::move(outcome.document));
   }
   stats_.documents = corpus_.documents.size();
+  stats_.stage_seconds.parse = watch.seconds();
 
   // --- Stage 2: chunking ----------------------------------------------------
+  watch.reset();
   {
     std::unique_ptr<chunk::Chunker> chunker;
     if (config_.semantic_chunking) {
@@ -71,13 +132,18 @@ PipelineContext::PipelineContext(const PipelineConfig& config)
     parallel::parallel_for(pool, 0, parsed_.size(), [&](std::size_t i) {
       per_doc[i] = chunker->chunk(parsed_[i]);
     });
+    std::size_t total_chunks = 0;
+    for (const auto& doc_chunks : per_doc) total_chunks += doc_chunks.size();
+    chunks_.reserve(total_chunks);
     for (auto& doc_chunks : per_doc) {
       for (auto& c : doc_chunks) chunks_.push_back(std::move(c));
     }
   }
   stats_.chunks = chunks_.size();
+  stats_.stage_seconds.chunk = watch.seconds();
 
   // --- Stage 3: embed + index the chunk store -------------------------------
+  watch.reset();
   chunk_store_ =
       std::make_unique<index::VectorStore>(embedder, config_.index_kind);
   {
@@ -93,49 +159,174 @@ PipelineContext::PipelineContext(const PipelineConfig& config)
   }
   chunk_store_->build();
   stats_.embedding_bytes = chunk_store_->embedding_bytes();
+  stats_.stage_seconds.embed_index = watch.seconds();
 
   // --- Stage 4: MCQ generation + quality filter ------------------------------
-  teacher_ = std::make_unique<llm::TeacherModel>(kb_, matcher_);
+  watch.reset();
   {
     qgen::BuilderConfig builder_cfg = config_.builder;
     builder_cfg.threads = config_.threads;
     const qgen::BenchmarkBuilder builder(*teacher_, builder_cfg);
     benchmark_ = builder.build(chunks_, &stats_.funnel);
   }
+  stats_.stage_seconds.qgen = watch.seconds();
 
   // --- Stage 5: reasoning-trace distillation ---------------------------------
+  watch.reset();
   {
     trace::TraceGenConfig trace_cfg = config_.tracegen;
     trace_cfg.threads = config_.threads;
     const trace::TraceGenerator tracer(*teacher_, trace_cfg);
     for (int m = 0; m < trace::kTraceModeCount; ++m) {
       const auto mode = static_cast<trace::TraceMode>(m);
-      traces_[m] = tracer.generate_all(benchmark_, mode);
+      const auto mi = static_cast<std::size_t>(m);
+      traces_[mi] = tracer.generate_all(benchmark_, mode);
       // Fill the Fig. 3 grading_result block; teacher predictions grade
       // near-ceiling, so the store keeps essentially every trace, but
       // the gate exists (and is exercised) for noisier teachers.
-      const trace::TraceGradingStats grading =
-          trace::grade_all(traces_[m]);
-      stats_.trace_grading_accuracy = grading.accuracy();
-      trace::filter_incorrect(traces_[m]);
-      trace_stores_[m] =
+      const trace::TraceGradingStats grading = trace::grade_all(traces_[mi]);
+      stats_.trace_grading_accuracy[mi] = grading.accuracy();
+      trace::filter_incorrect(traces_[mi]);
+      stats_.traces_per_mode[mi] = traces_[mi].size();
+      trace_stores_[mi] =
           std::make_unique<index::VectorStore>(embedder, config_.index_kind);
       {
         std::vector<std::string> ids;
         std::vector<std::string> texts;
-        ids.reserve(traces_[m].size());
-        texts.reserve(traces_[m].size());
-        for (const auto& t : traces_[m]) {
+        ids.reserve(traces_[mi].size());
+        texts.reserve(traces_[mi].size());
+        for (const auto& t : traces_[mi]) {
           ids.push_back(t.trace_id);
           texts.push_back(t.retrieval_text());
         }
-        trace_stores_[m]->add_batch(std::move(ids), std::move(texts), pool);
+        trace_stores_[mi]->add_batch(std::move(ids), std::move(texts), pool);
       }
-      trace_stores_[m]->build();
+      trace_stores_[mi]->build();
     }
-    stats_.traces_per_mode = traces_[0].size();
   }
+  stats_.stage_seconds.traces = watch.seconds();
+}
 
+void PipelineContext::build_overlapped(parallel::ThreadPool& pool) {
+  util::Stopwatch watch;
+  OverlappedBuilder(*this).run(pool);
+  stats_.stage_seconds.overlapped = watch.seconds();
+}
+
+bool PipelineContext::restore_checkpoint(const ArtifactCache& cache,
+                                         const CheckpointKeys& keys) {
+  // All-or-nothing: deserialize everything into locals first, so a
+  // partial cache (or a corrupt blob) leaves the context untouched and
+  // the normal build runs instead.
+  struct Loaded {
+    ParsedArtifact parsed;
+    std::vector<chunk::Chunk> chunks;
+    index::VectorStore chunk_store;
+    BenchmarkArtifact benchmark;
+    std::array<TraceArtifact, trace::kTraceModeCount> traces;
+    std::array<std::optional<index::VectorStore>, trace::kTraceModeCount>
+        trace_stores;
+  };
+
+  const embed::Embedder& embedder = active_embedder();
+  auto fetch = [&](std::string_view name,
+                   std::uint64_t key) -> std::optional<std::string> {
+    auto blob = cache.load(name, key);
+    if (blob.has_value()) {
+      ++stats_.checkpoint_hits;
+    } else {
+      ++stats_.checkpoint_misses;
+    }
+    return blob;
+  };
+
+  try {
+    const auto parsed_blob = fetch("parsed", keys.parsed);
+    const auto chunks_blob = fetch("chunks", keys.chunks);
+    const auto store_blob = fetch("chunk-store", keys.chunk_store);
+    const auto bench_blob = fetch("benchmark", keys.benchmark);
+    std::array<std::optional<std::string>, trace::kTraceModeCount> trace_blobs;
+    std::array<std::optional<std::string>, trace::kTraceModeCount>
+        trace_store_blobs;
+    for (std::size_t m = 0; m < trace_blobs.size(); ++m) {
+      const auto name =
+          trace_mode_blob_name("traces", static_cast<trace::TraceMode>(m));
+      trace_blobs[m] = fetch(name, keys.traces[m]);
+      const auto store_name =
+          trace_mode_blob_name("trace-store", static_cast<trace::TraceMode>(m));
+      trace_store_blobs[m] = fetch(store_name, keys.trace_stores[m]);
+    }
+    if (!parsed_blob || !chunks_blob || !store_blob || !bench_blob) {
+      return false;
+    }
+    for (std::size_t m = 0; m < trace_blobs.size(); ++m) {
+      if (!trace_blobs[m] || !trace_store_blobs[m]) return false;
+    }
+
+    Loaded loaded{deserialize_parsed(*parsed_blob),
+                  deserialize_chunks(*chunks_blob),
+                  index::VectorStore::load(embedder, *store_blob),
+                  deserialize_benchmark(*bench_blob),
+                  {},
+                  {}};
+    for (std::size_t m = 0; m < trace_blobs.size(); ++m) {
+      loaded.traces[m] = deserialize_traces(*trace_blobs[m]);
+      loaded.trace_stores[m].emplace(
+          index::VectorStore::load(embedder, *trace_store_blobs[m]));
+    }
+
+    // Commit.
+    parsed_ = std::move(loaded.parsed.documents);
+    stats_.routing = loaded.parsed.routing;
+    stats_.parse_failures = loaded.parsed.parse_failures;
+    stats_.documents = loaded.parsed.total_documents;
+    chunks_ = std::move(loaded.chunks);
+    stats_.chunks = chunks_.size();
+    chunk_store_ =
+        std::make_unique<index::VectorStore>(std::move(loaded.chunk_store));
+    stats_.embedding_bytes = chunk_store_->embedding_bytes();
+    benchmark_ = std::move(loaded.benchmark.records);
+    stats_.funnel = loaded.benchmark.funnel;
+    for (std::size_t m = 0; m < trace_blobs.size(); ++m) {
+      traces_[m] = std::move(loaded.traces[m].traces);
+      stats_.traces_per_mode[m] = traces_[m].size();
+      stats_.trace_grading_accuracy[m] = loaded.traces[m].grading.accuracy();
+      trace_stores_[m] = std::make_unique<index::VectorStore>(
+          std::move(*loaded.trace_stores[m]));
+    }
+    return true;
+  } catch (const std::exception&) {
+    // Treat any malformed blob as a miss; the build below overwrites it.
+    return false;
+  }
+}
+
+void PipelineContext::save_checkpoint(const ArtifactCache& cache,
+                                      const CheckpointKeys& keys) const {
+  ParsedArtifact parsed{parsed_, stats_.routing, stats_.parse_failures,
+                        stats_.documents};
+  cache.store("parsed", keys.parsed, serialize_parsed(parsed));
+  cache.store("chunks", keys.chunks, serialize_chunks(chunks_));
+  cache.store("chunk-store", keys.chunk_store, chunk_store_->save());
+  BenchmarkArtifact bench{benchmark_, stats_.funnel};
+  cache.store("benchmark", keys.benchmark, serialize_benchmark(bench));
+  for (std::size_t m = 0; m < traces_.size(); ++m) {
+    const auto mode = static_cast<trace::TraceMode>(m);
+    // Every benchmark record was traced and graded; the filter kept
+    // exactly the correct ones, so the pre-filter tally is recoverable.
+    trace::TraceGradingStats grading;
+    grading.graded = benchmark_.size();
+    grading.correct = traces_[m].size();
+    TraceArtifact artifact{traces_[m], grading};
+    cache.store(trace_mode_blob_name("traces", mode), keys.traces[m],
+                serialize_traces(artifact));
+    cache.store(trace_mode_blob_name("trace-store", mode),
+                keys.trace_stores[m], trace_stores_[m]->save());
+  }
+}
+
+void PipelineContext::finalize_exam_and_rag() {
+  util::Stopwatch watch;
   // --- Stage 6: retrieval fact coverage + Astro exam -------------------------
   {
     // A fact is "covered" for exam purposes when the benchmark probes it:
@@ -167,14 +358,7 @@ PipelineContext::PipelineContext(const PipelineConfig& config)
     students_.push_back(
         std::make_unique<llm::StudentModel>(card, config_.sim));
   }
-
-  if (embed_cache_) stats_.embed_cache = embed_cache_->stats();
-  stats_.build_seconds = watch.seconds();
-  MCQA_INFO("pipeline") << "built: " << stats_.documents << " docs, "
-                        << stats_.chunks << " chunks, "
-                        << benchmark_.size() << " questions, "
-                        << exam_all_.size() << " exam items in "
-                        << stats_.build_seconds << "s";
+  stats_.stage_seconds.exam = watch.seconds();
 }
 
 std::vector<const llm::LanguageModel*> PipelineContext::student_ptrs() const {

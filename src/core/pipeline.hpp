@@ -34,6 +34,22 @@
 
 namespace mcqa::core {
 
+/// How PipelineContext schedules the build DAG.
+///
+///   kStaged     — seven fully-barriered batch stages (the classic form;
+///                 baseline for the executor bench).
+///   kOverlapped — dataflow execution on one pool: per-document
+///                 parse+chunk tasks fan out per-chunk embed and MCQ
+///                 generation tasks as soon as their document is ready,
+///                 and every accepted record immediately spawns its
+///                 three trace-mode lanes, which run concurrently.
+///
+/// Both modes produce byte-identical artifacts at any thread count
+/// (slot-indexed writes, index-ordered merges; tested).
+enum class ExecutionMode { kStaged, kOverlapped };
+
+std::string_view execution_mode_name(ExecutionMode mode);
+
 struct PipelineConfig {
   corpus::KbConfig kb;
   corpus::CorpusConfig corpus;
@@ -52,9 +68,39 @@ struct PipelineConfig {
   /// so every artifact is byte-identical with it on or off (tested).
   bool embed_cache = true;
 
+  /// Build scheduling (see ExecutionMode).  A speed knob only: artifacts
+  /// are byte-identical in either mode.
+  ExecutionMode execution = ExecutionMode::kOverlapped;
+
+  /// Content-addressed artifact checkpoint directory; empty disables
+  /// checkpointing.  Artifacts (parsed docs, chunks, chunk store,
+  /// benchmark, per-mode traces and trace stores) are keyed by an fnv1a
+  /// hash of their config fingerprint, their upstream artifact keys and
+  /// the executable identity, and warm-loaded when the key matches —
+  /// byte-identical to a cold build (tested).  Never part of artifact
+  /// content, so it cannot affect results.
+  std::string checkpoint_dir;
+
   /// The default configuration used by all paper-reproduction benches:
-  /// 1/40-scale corpus, flat index, semantic chunking.
+  /// 1/40-scale corpus, flat index, semantic chunking.  Checkpointing
+  /// goes to $MCQA_CHECKPOINT_DIR when that is set and non-empty.
   static PipelineConfig paper_scale(double scale = 0.025);
+};
+
+/// $MCQA_CHECKPOINT_DIR, or empty (checkpointing disabled) when unset.
+std::string default_checkpoint_dir();
+
+/// Wall-clock seconds per build stage (staged mode fills every field;
+/// overlapped mode fills the phases it keeps distinct).
+struct StageTimings {
+  double kb_corpus = 0.0;   ///< knowledge base + corpus synthesis
+  double parse = 0.0;
+  double chunk = 0.0;
+  double embed_index = 0.0;  ///< chunk store embed + index build
+  double qgen = 0.0;
+  double traces = 0.0;       ///< all three mode lanes
+  double exam = 0.0;
+  double overlapped = 0.0;   ///< parse..traces when run as one dataflow
 };
 
 struct PipelineStats {
@@ -63,10 +109,16 @@ struct PipelineStats {
   parse::RoutingStats routing;
   std::size_t chunks = 0;
   qgen::FunnelStats funnel;
-  std::size_t traces_per_mode = 0;
-  double trace_grading_accuracy = 0.0;  ///< teacher self-grading pass rate
+  /// Post-filter retrieval-store trace counts, indexed by TraceMode.
+  std::array<std::size_t, trace::kTraceModeCount> traces_per_mode{};
+  /// Teacher self-grading pass rate, indexed by TraceMode.
+  std::array<double, trace::kTraceModeCount> trace_grading_accuracy{};
   std::size_t embedding_bytes = 0;  ///< chunk store, FP16 at rest
   embed::EmbeddingCacheStats embed_cache;  ///< zeros when the cache is off
+  /// Artifact checkpoint traffic (zeros when checkpointing is off).
+  std::size_t checkpoint_hits = 0;
+  std::size_t checkpoint_misses = 0;
+  StageTimings stage_seconds;
   double build_seconds = 0.0;
 };
 
@@ -123,6 +175,22 @@ class PipelineContext {
   static const PipelineContext& shared();
 
  private:
+  friend class OverlappedBuilder;
+
+  /// Stage 1-5 as barriered batch stages (ExecutionMode::kStaged).
+  void build_staged(parallel::ThreadPool& pool);
+  /// Stage 1-5 as one overlapped dataflow (ExecutionMode::kOverlapped).
+  void build_overlapped(parallel::ThreadPool& pool);
+  /// Try to restore every stage-1..5 artifact from `cache`; true on a
+  /// full hit (artifacts and their stats blocks are then populated).
+  bool restore_checkpoint(const class ArtifactCache& cache,
+                          const struct CheckpointKeys& keys);
+  /// Persist every stage-1..5 artifact into `cache`.
+  void save_checkpoint(const class ArtifactCache& cache,
+                       const struct CheckpointKeys& keys) const;
+  /// Stages 6-7: exam synthesis, retrieval wiring, students.
+  void finalize_exam_and_rag();
+
   PipelineConfig config_;
   PipelineStats stats_;
 

@@ -1,5 +1,7 @@
 #include "index/vector_store.hpp"
 
+#include <cstdint>
+#include <cstring>
 #include <stdexcept>
 
 #include "parallel/thread_pool.hpp"
@@ -27,7 +29,7 @@ std::unique_ptr<VectorIndex> make_index(IndexKind kind, std::size_t dim) {
 }  // namespace
 
 VectorStore::VectorStore(const embed::Embedder& embedder, IndexKind kind)
-    : embedder_(embedder), index_(make_index(kind, embedder.dim())) {}
+    : embedder_(embedder), kind_(kind), index_(make_index(kind, embedder.dim())) {}
 
 void VectorStore::add(std::string id, std::string text) {
   index_->add(embedder_.embed(text));
@@ -56,9 +58,133 @@ void VectorStore::add_batch(std::vector<std::string> ids,
   add_batch(std::move(ids), std::move(texts), parallel::ThreadPool::global());
 }
 
+void VectorStore::add_precomputed(std::vector<std::string> ids,
+                                  std::vector<std::string> texts,
+                                  const std::vector<embed::Vector>& vectors) {
+  if (ids.size() != texts.size() || ids.size() != vectors.size()) {
+    throw std::invalid_argument("VectorStore::add_precomputed: size mismatch");
+  }
+  for (const auto& v : vectors) {
+    if (v.size() != embedder_.dim()) {
+      throw std::invalid_argument(
+          "VectorStore::add_precomputed: dimension mismatch");
+    }
+  }
+  index_->add_batch(vectors);
+  ids_.reserve(ids_.size() + ids.size());
+  texts_.reserve(texts_.size() + texts.size());
+  for (auto& id : ids) ids_.push_back(std::move(id));
+  for (auto& text : texts) texts_.push_back(std::move(text));
+  built_ = false;
+}
+
 void VectorStore::build() {
   index_->build();
   built_ = true;
+}
+
+namespace {
+
+void put_u64(std::string& out, std::uint64_t v) {
+  char buf[8];
+  std::memcpy(buf, &v, 8);
+  out.append(buf, 8);
+}
+
+std::uint64_t take_u64(std::string_view blob, std::size_t& pos) {
+  if (pos + 8 > blob.size()) {
+    throw std::runtime_error("VectorStore::load: truncated integer");
+  }
+  std::uint64_t v = 0;
+  std::memcpy(&v, blob.data() + pos, 8);
+  pos += 8;
+  return v;
+}
+
+void put_str(std::string& out, std::string_view s) {
+  put_u64(out, s.size());
+  out.append(s);
+}
+
+std::string take_str(std::string_view blob, std::size_t& pos) {
+  const std::size_t n = take_u64(blob, pos);
+  if (pos + n > blob.size()) {
+    throw std::runtime_error("VectorStore::load: truncated string");
+  }
+  std::string s(blob.substr(pos, n));
+  pos += n;
+  return s;
+}
+
+}  // namespace
+
+std::string VectorStore::save() const {
+  if (!built_) {
+    throw std::logic_error("VectorStore::save: build() the store first");
+  }
+  std::string out = "vstore1\n";
+  put_str(out, index_kind_name(kind_));
+  put_u64(out, ids_.size());
+  for (std::size_t i = 0; i < ids_.size(); ++i) {
+    put_str(out, ids_[i]);
+    put_str(out, texts_[i]);
+  }
+  std::string index_blob;
+  switch (kind_) {
+    case IndexKind::kFlat:
+      index_blob = static_cast<const FlatIndex&>(*index_).save();
+      break;
+    case IndexKind::kIvf:
+      index_blob = static_cast<const IvfIndex&>(*index_).save();
+      break;
+    case IndexKind::kHnsw:
+      index_blob = static_cast<const HnswIndex&>(*index_).save();
+      break;
+  }
+  put_str(out, index_blob);
+  return out;
+}
+
+VectorStore VectorStore::load(const embed::Embedder& embedder,
+                              std::string_view blob) {
+  constexpr std::string_view kMagic = "vstore1\n";
+  if (blob.substr(0, kMagic.size()) != kMagic) {
+    throw std::runtime_error("VectorStore::load: bad magic");
+  }
+  std::size_t pos = kMagic.size();
+  const std::string kind_name = take_str(blob, pos);
+  IndexKind kind;
+  if (kind_name == "flat") kind = IndexKind::kFlat;
+  else if (kind_name == "ivf") kind = IndexKind::kIvf;
+  else if (kind_name == "hnsw") kind = IndexKind::kHnsw;
+  else throw std::runtime_error("VectorStore::load: unknown index kind");
+
+  VectorStore store(embedder, kind);
+  const std::size_t n = take_u64(blob, pos);
+  store.ids_.reserve(n);
+  store.texts_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    store.ids_.push_back(take_str(blob, pos));
+    store.texts_.push_back(take_str(blob, pos));
+  }
+  const std::string index_blob = take_str(blob, pos);
+  switch (kind) {
+    case IndexKind::kFlat:
+      store.index_ = std::make_unique<FlatIndex>(FlatIndex::load(index_blob));
+      break;
+    case IndexKind::kIvf:
+      store.index_ = std::make_unique<IvfIndex>(IvfIndex::load(index_blob));
+      break;
+    case IndexKind::kHnsw:
+      store.index_ =
+          std::make_unique<HnswIndex>(HnswIndex::load(index_blob));
+      break;
+  }
+  if (store.index_->size() != n) {
+    throw std::runtime_error("VectorStore::load: row count mismatch");
+  }
+  store.built_ = true;
+  return store;
 }
 
 std::vector<Hit> VectorStore::hits_for(

@@ -50,8 +50,27 @@ class VectorStore {
   /// Bulk construction on the process-wide default pool.
   void add_batch(std::vector<std::string> ids, std::vector<std::string> texts);
 
+  /// Bulk construction from embeddings computed elsewhere (the overlapped
+  /// executor embeds chunk-by-chunk as upstream stages produce them).
+  /// `vectors[i]` must equal `embedder().embed(texts[i])` — the store is
+  /// then bit-identical to the add_batch path; dimension is checked.
+  void add_precomputed(std::vector<std::string> ids,
+                       std::vector<std::string> texts,
+                       const std::vector<embed::Vector>& vectors);
+
   /// Finalize the underlying index (required before query for IVF).
   void build();
+
+  /// Serialize the built store: ids, payload texts and the index blob
+  /// (index_io formats).  Deterministic bytes for a deterministic store.
+  std::string save() const;
+
+  /// Rebuild a store from save() output.  `embedder` must be the same
+  /// encoder the store was built with (queries re-embed through it).
+  static VectorStore load(const embed::Embedder& embedder,
+                          std::string_view blob);
+
+  IndexKind kind() const { return kind_; }
 
   std::vector<Hit> query(std::string_view text, std::size_t k) const;
 
@@ -86,6 +105,7 @@ class VectorStore {
   std::vector<Hit> hits_for(const std::vector<SearchResult>& results) const;
 
   const embed::Embedder& embedder_;
+  IndexKind kind_ = IndexKind::kFlat;
   std::unique_ptr<VectorIndex> index_;
   std::vector<std::string> ids_;
   std::vector<std::string> texts_;

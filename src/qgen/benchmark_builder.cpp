@@ -1,8 +1,5 @@
 #include "qgen/benchmark_builder.hpp"
 
-#include <atomic>
-#include <optional>
-
 #include "parallel/thread_pool.hpp"
 
 namespace mcqa::qgen {
@@ -11,64 +8,64 @@ BenchmarkBuilder::BenchmarkBuilder(const llm::TeacherModel& teacher,
                                    BuilderConfig config)
     : teacher_(teacher), config_(config) {}
 
+std::optional<McqRecord> BenchmarkBuilder::build_one(
+    const chunk::Chunk& chunk, FunnelCounters& tally) const {
+  const auto draft = teacher_.generate_mcq(chunk);
+  if (!draft.has_value()) {
+    tally.rejected_no_fact.fetch_add(1, std::memory_order_relaxed);
+    return std::nullopt;
+  }
+  tally.candidates.fetch_add(1, std::memory_order_relaxed);
+
+  const llm::ScoreCheck relevance = teacher_.relevance_check(chunk);
+  if (relevance.score < config_.relevance_threshold) {
+    tally.rejected_relevance.fetch_add(1, std::memory_order_relaxed);
+    return std::nullopt;
+  }
+  const llm::ScoreCheck quality = teacher_.quality_check(*draft, chunk);
+  if (quality.score < config_.quality_threshold) {
+    tally.rejected_quality.fetch_add(1, std::memory_order_relaxed);
+    return std::nullopt;
+  }
+
+  McqRecord record;
+  record.record_id = "q_" + chunk.chunk_id;
+  record.stem = draft->stem;
+  record.options = draft->options;
+  record.correct_index = draft->correct_index;
+  record.fact = draft->fact;
+  record.math = draft->math;
+  record.fact_importance = draft->fact_importance;
+  record.key_principle = draft->key_principle;
+  record.ambiguity = config_.residual_ambiguity;
+  record.sub_domain = std::string(corpus::sub_domain_of_topic(
+      teacher_.kb().topic(teacher_.kb().fact(draft->fact).topic).name));
+
+  record.question = McqRecord::render_question(draft->stem, draft->options);
+  record.answer =
+      draft->correct_index >= 0
+          ? draft->options[static_cast<std::size_t>(draft->correct_index)]
+          : "";
+  record.text = chunk.text;
+  record.chunk_id = chunk.chunk_id;
+  record.path = chunk.path;
+  record.relevance_score = relevance.score;
+  record.relevance_reasoning = relevance.reasoning;
+  record.quality_score = quality.score;
+  record.quality_critique = quality.reasoning;
+  record.quality_raw_output =
+      "score=" + std::to_string(quality.score) + "; " + quality.reasoning;
+  return record;
+}
+
 std::vector<McqRecord> BenchmarkBuilder::build(
     const std::vector<chunk::Chunk>& chunks, FunnelStats* stats) const {
   std::vector<std::optional<McqRecord>> slots(chunks.size());
-  std::atomic<std::size_t> candidates{0};
-  std::atomic<std::size_t> rejected_no_fact{0};
-  std::atomic<std::size_t> rejected_quality{0};
-  std::atomic<std::size_t> rejected_relevance{0};
+  FunnelCounters tally;
 
   parallel::ThreadPool pool(config_.threads);
   parallel::parallel_for(pool, 0, chunks.size(), [&](std::size_t i) {
-    const chunk::Chunk& chunk = chunks[i];
-    const auto draft = teacher_.generate_mcq(chunk);
-    if (!draft.has_value()) {
-      rejected_no_fact.fetch_add(1, std::memory_order_relaxed);
-      return;
-    }
-    candidates.fetch_add(1, std::memory_order_relaxed);
-
-    const llm::ScoreCheck relevance = teacher_.relevance_check(chunk);
-    if (relevance.score < config_.relevance_threshold) {
-      rejected_relevance.fetch_add(1, std::memory_order_relaxed);
-      return;
-    }
-    const llm::ScoreCheck quality = teacher_.quality_check(*draft, chunk);
-    if (quality.score < config_.quality_threshold) {
-      rejected_quality.fetch_add(1, std::memory_order_relaxed);
-      return;
-    }
-
-    McqRecord record;
-    record.record_id = "q_" + chunk.chunk_id;
-    record.stem = draft->stem;
-    record.options = draft->options;
-    record.correct_index = draft->correct_index;
-    record.fact = draft->fact;
-    record.math = draft->math;
-    record.fact_importance = draft->fact_importance;
-    record.key_principle = draft->key_principle;
-    record.ambiguity = config_.residual_ambiguity;
-    record.sub_domain = std::string(corpus::sub_domain_of_topic(
-        teacher_.kb().topic(teacher_.kb().fact(draft->fact).topic).name));
-
-    record.question = McqRecord::render_question(draft->stem, draft->options);
-    record.answer =
-        draft->correct_index >= 0
-            ? draft->options[static_cast<std::size_t>(draft->correct_index)]
-            : "";
-    record.text = chunk.text;
-    record.chunk_id = chunk.chunk_id;
-    record.path = chunk.path;
-    record.relevance_score = relevance.score;
-    record.relevance_reasoning = relevance.reasoning;
-    record.quality_score = quality.score;
-    record.quality_critique = quality.reasoning;
-    record.quality_raw_output =
-        "score=" + std::to_string(quality.score) + "; " + quality.reasoning;
-
-    slots[i] = std::move(record);
+    slots[i] = build_one(chunks[i], tally);
   });
 
   std::vector<McqRecord> accepted;
@@ -78,10 +75,10 @@ std::vector<McqRecord> BenchmarkBuilder::build(
 
   if (stats != nullptr) {
     stats->chunks = chunks.size();
-    stats->candidates = candidates.load();
-    stats->rejected_no_fact = rejected_no_fact.load();
-    stats->rejected_quality = rejected_quality.load();
-    stats->rejected_relevance = rejected_relevance.load();
+    stats->candidates = tally.candidates.load();
+    stats->rejected_no_fact = tally.rejected_no_fact.load();
+    stats->rejected_quality = tally.rejected_quality.load();
+    stats->rejected_relevance = tally.rejected_relevance.load();
     stats->accepted = accepted.size();
   }
   return accepted;

@@ -6,7 +6,9 @@
 // relevance >= threshold AND quality >= threshold keeps a record.  The
 // paper's funnel lands at 16,680 accepted (~9.6%).
 
+#include <atomic>
 #include <cstddef>
+#include <optional>
 #include <vector>
 
 #include "chunk/chunker.hpp"
@@ -39,6 +41,16 @@ struct FunnelStats {
   }
 };
 
+/// Shared funnel tally for callers that run build_one concurrently
+/// (the overlapped executor).  `accepted` and `chunks` are derived by
+/// the caller from its merge, so only rejection paths live here.
+struct FunnelCounters {
+  std::atomic<std::size_t> candidates{0};
+  std::atomic<std::size_t> rejected_no_fact{0};
+  std::atomic<std::size_t> rejected_quality{0};
+  std::atomic<std::size_t> rejected_relevance{0};
+};
+
 class BenchmarkBuilder {
  public:
   BenchmarkBuilder(const llm::TeacherModel& teacher, BuilderConfig config = {});
@@ -46,6 +58,12 @@ class BenchmarkBuilder {
   /// Build the benchmark from chunks.  Deterministic, order-stable.
   std::vector<McqRecord> build(const std::vector<chunk::Chunk>& chunks,
                                FunnelStats* stats = nullptr) const;
+
+  /// Draft + filter the candidate for one chunk.  Pure per chunk and
+  /// thread-safe, so callers may fan chunks out in any order; build()
+  /// is exactly build_one over every chunk merged in input order.
+  std::optional<McqRecord> build_one(const chunk::Chunk& chunk,
+                                     FunnelCounters& tally) const;
 
  private:
   const llm::TeacherModel& teacher_;

@@ -1,0 +1,328 @@
+// Executor + checkpoint determinism contract:
+//
+//  * staged and overlapped builds produce byte-identical artifacts at
+//    any thread count, with the embedding cache on or off;
+//  * a checkpoint-restored context is byte-identical to the cold build
+//    that populated the cache, and staged/overlapped share cache keys;
+//  * the virtual-time schedule simulator is deterministic and shows the
+//    structural ordering the bench relies on.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "core/checkpoint.hpp"
+#include "core/executor.hpp"
+#include "core/pipeline.hpp"
+#include "parallel/dag.hpp"
+#include "util/hash.hpp"
+
+namespace {
+
+using namespace mcqa;
+using core::ArtifactCache;
+using core::ExecutionMode;
+using core::PipelineConfig;
+using core::PipelineContext;
+
+constexpr double kTestScale = 0.008;
+
+PipelineConfig test_config(ExecutionMode mode, std::size_t threads,
+                           bool embed_cache = true,
+                           std::string checkpoint_dir = {}) {
+  PipelineConfig cfg = PipelineConfig::paper_scale(kTestScale);
+  cfg.execution = mode;
+  cfg.threads = threads;
+  cfg.embed_cache = embed_cache;
+  cfg.checkpoint_dir = std::move(checkpoint_dir);
+  return cfg;
+}
+
+/// One digest over every artifact the build produces, via the same
+/// serializers the checkpoint uses — byte equality of the digest is
+/// byte equality of the artifacts.
+std::uint64_t artifact_digest(const PipelineContext& ctx) {
+  const auto& s = ctx.stats();
+  core::ParsedArtifact parsed{ctx.parsed(), s.routing, s.parse_failures,
+                              s.documents};
+  core::BenchmarkArtifact bench{ctx.benchmark(), s.funnel};
+  std::uint64_t h = util::fnv1a64(core::serialize_parsed(parsed));
+  h = util::hash_combine(h, util::fnv1a64(core::serialize_chunks(ctx.chunks())));
+  h = util::hash_combine(h, util::fnv1a64(ctx.chunk_store().save()));
+  h = util::hash_combine(h, util::fnv1a64(core::serialize_benchmark(bench)));
+  for (int m = 0; m < trace::kTraceModeCount; ++m) {
+    const auto mode = static_cast<trace::TraceMode>(m);
+    const auto mi = static_cast<std::size_t>(m);
+    core::TraceArtifact traces{ctx.traces(mode), {}};
+    h = util::hash_combine(h, util::fnv1a64(core::serialize_traces(traces)));
+    h = util::hash_combine(h, util::fnv1a64(ctx.trace_store(mode).save()));
+    h = util::hash_combine(h, util::fnv1a64(s.traces_per_mode[mi]));
+  }
+  return h;
+}
+
+struct TempDir {
+  std::filesystem::path path;
+  TempDir() {
+    path = std::filesystem::temp_directory_path() /
+           ("mcqa-exec-test-" + std::to_string(::getpid()) + "-" +
+            std::to_string(counter()++));
+    std::filesystem::create_directories(path);
+  }
+  ~TempDir() {
+    std::error_code ec;
+    std::filesystem::remove_all(path, ec);
+  }
+  static std::atomic<int>& counter() {
+    static std::atomic<int> c{0};
+    return c;
+  }
+};
+
+// --- staged vs overlapped byte identity --------------------------------------
+
+std::uint64_t baseline_digest() {
+  static const std::uint64_t digest = [] {
+    const PipelineContext ctx(test_config(ExecutionMode::kStaged, 2));
+    return artifact_digest(ctx);
+  }();
+  return digest;
+}
+
+TEST(Executor, OverlappedMatchesStagedAcrossThreadCounts) {
+  for (const std::size_t threads : {1u, 2u, 8u}) {
+    const PipelineContext ctx(
+        test_config(ExecutionMode::kOverlapped, threads));
+    EXPECT_EQ(artifact_digest(ctx), baseline_digest())
+        << "overlapped build diverged at " << threads << " threads";
+  }
+}
+
+TEST(Executor, EmbedCacheDoesNotChangeArtifacts) {
+  const PipelineContext staged(
+      test_config(ExecutionMode::kStaged, 8, /*embed_cache=*/false));
+  EXPECT_EQ(artifact_digest(staged), baseline_digest());
+  const PipelineContext overlapped(
+      test_config(ExecutionMode::kOverlapped, 4, /*embed_cache=*/false));
+  EXPECT_EQ(artifact_digest(overlapped), baseline_digest());
+}
+
+TEST(Executor, PerModeStatsAreIndependent) {
+  const PipelineContext ctx(test_config(ExecutionMode::kOverlapped, 2));
+  const auto& s = ctx.stats();
+  for (int m = 0; m < trace::kTraceModeCount; ++m) {
+    const auto mi = static_cast<std::size_t>(m);
+    EXPECT_EQ(s.traces_per_mode[mi],
+              ctx.traces(static_cast<trace::TraceMode>(m)).size());
+    EXPECT_GT(s.trace_grading_accuracy[mi], 0.0);
+    EXPECT_LE(s.trace_grading_accuracy[mi], 1.0);
+  }
+}
+
+// --- checkpoint restore ------------------------------------------------------
+
+TEST(Checkpoint, WarmRestoreIsByteIdentical) {
+  const TempDir dir;
+  const auto cold_cfg =
+      test_config(ExecutionMode::kOverlapped, 2, true, dir.path.string());
+  const PipelineContext cold(cold_cfg);
+  EXPECT_EQ(cold.stats().checkpoint_hits, 0u);
+  EXPECT_GT(cold.stats().checkpoint_misses, 0u);
+  EXPECT_EQ(artifact_digest(cold), baseline_digest());
+
+  const PipelineContext warm(cold_cfg);
+  EXPECT_GT(warm.stats().checkpoint_hits, 0u);
+  EXPECT_EQ(warm.stats().checkpoint_misses, 0u);
+  EXPECT_EQ(artifact_digest(warm), baseline_digest());
+  // Restored stats blocks match the cold build's.
+  EXPECT_EQ(warm.stats().documents, cold.stats().documents);
+  EXPECT_EQ(warm.stats().parse_failures, cold.stats().parse_failures);
+  EXPECT_EQ(warm.stats().funnel.candidates, cold.stats().funnel.candidates);
+  EXPECT_EQ(warm.stats().routing.fast_routed, cold.stats().routing.fast_routed);
+  for (std::size_t m = 0; m < warm.stats().traces_per_mode.size(); ++m) {
+    EXPECT_EQ(warm.stats().traces_per_mode[m], cold.stats().traces_per_mode[m]);
+    EXPECT_DOUBLE_EQ(warm.stats().trace_grading_accuracy[m],
+                     cold.stats().trace_grading_accuracy[m]);
+  }
+}
+
+TEST(Checkpoint, StagedAndOverlappedShareCacheEntries) {
+  const TempDir dir;
+  // Cold-build staged, then warm-load with an overlapped config: the
+  // execution mode is not part of the key, so the cache must hit.
+  const PipelineContext cold(
+      test_config(ExecutionMode::kStaged, 1, true, dir.path.string()));
+  const PipelineContext warm(
+      test_config(ExecutionMode::kOverlapped, 8, false, dir.path.string()));
+  EXPECT_GT(warm.stats().checkpoint_hits, 0u);
+  EXPECT_EQ(warm.stats().checkpoint_misses, 0u);
+  EXPECT_EQ(artifact_digest(warm), artifact_digest(cold));
+}
+
+TEST(Checkpoint, ConfigChangeMissesAndRebuilds) {
+  const TempDir dir;
+  auto cfg = test_config(ExecutionMode::kOverlapped, 2, true,
+                         dir.path.string());
+  const PipelineContext cold(cfg);
+  cfg.builder.quality_threshold += 0.5;  // new benchmark key chain
+  const PipelineContext rebuilt(cfg);
+  // Upstream artifacts (parsed, chunks, chunk store) still hit.
+  EXPECT_GT(rebuilt.stats().checkpoint_misses, 0u);
+  EXPECT_NE(artifact_digest(rebuilt), artifact_digest(cold));
+}
+
+TEST(Checkpoint, CorruptBlobFallsBackToBuild) {
+  const TempDir dir;
+  const auto cfg =
+      test_config(ExecutionMode::kOverlapped, 2, true, dir.path.string());
+  const PipelineContext cold(cfg);
+  // Truncate every cached blob; the warm path must rebuild, not crash.
+  for (const auto& entry : std::filesystem::directory_iterator(dir.path)) {
+    std::ofstream out(entry.path(), std::ios::binary | std::ios::trunc);
+    out << "ckparse1\n";
+  }
+  const PipelineContext warm(cfg);
+  EXPECT_EQ(artifact_digest(warm), artifact_digest(cold));
+}
+
+TEST(Checkpoint, KeysIgnoreSpeedKnobsButTrackConfig) {
+  const auto base = test_config(ExecutionMode::kStaged, 1);
+  const auto keys = core::derive_checkpoint_keys(base, 256);
+
+  auto speed = base;
+  speed.threads = 8;
+  speed.embed_cache = false;
+  speed.execution = ExecutionMode::kOverlapped;
+  const auto speed_keys = core::derive_checkpoint_keys(speed, 256);
+  EXPECT_EQ(keys.parsed, speed_keys.parsed);
+  EXPECT_EQ(keys.chunks, speed_keys.chunks);
+  EXPECT_EQ(keys.benchmark, speed_keys.benchmark);
+  EXPECT_EQ(keys.traces, speed_keys.traces);
+
+  auto changed = base;
+  changed.chunker.target_words += 10;
+  const auto changed_keys = core::derive_checkpoint_keys(changed, 256);
+  EXPECT_EQ(keys.parsed, changed_keys.parsed);  // upstream unaffected
+  EXPECT_NE(keys.chunks, changed_keys.chunks);
+  EXPECT_NE(keys.benchmark, changed_keys.benchmark);  // chained downstream
+  EXPECT_NE(keys.trace_stores, changed_keys.trace_stores);
+
+  auto dim = core::derive_checkpoint_keys(base, 128);
+  EXPECT_NE(keys.chunks, dim.chunks);
+}
+
+TEST(Checkpoint, ArtifactCacheRoundTrip) {
+  const TempDir dir;
+  const ArtifactCache cache(dir.path.string());
+  EXPECT_FALSE(cache.load("thing", 42).has_value());
+  cache.store("thing", 42, "payload-bytes");
+  const auto blob = cache.load("thing", 42);
+  ASSERT_TRUE(blob.has_value());
+  EXPECT_EQ(*blob, "payload-bytes");
+  EXPECT_FALSE(cache.load("thing", 43).has_value());
+  EXPECT_FALSE(cache.load("other", 42).has_value());
+}
+
+TEST(Checkpoint, SerializersRoundTrip) {
+  const PipelineContext& ctx = [] () -> const PipelineContext& {
+    static const PipelineContext c(test_config(ExecutionMode::kStaged, 2));
+    return c;
+  }();
+  const auto& s = ctx.stats();
+
+  core::ParsedArtifact parsed{ctx.parsed(), s.routing, s.parse_failures,
+                              s.documents};
+  const std::string parsed_blob = core::serialize_parsed(parsed);
+  EXPECT_EQ(core::serialize_parsed(core::deserialize_parsed(parsed_blob)),
+            parsed_blob);
+
+  const std::string chunks_blob = core::serialize_chunks(ctx.chunks());
+  EXPECT_EQ(core::serialize_chunks(core::deserialize_chunks(chunks_blob)),
+            chunks_blob);
+
+  core::BenchmarkArtifact bench{ctx.benchmark(), s.funnel};
+  const std::string bench_blob = core::serialize_benchmark(bench);
+  EXPECT_EQ(
+      core::serialize_benchmark(core::deserialize_benchmark(bench_blob)),
+      bench_blob);
+
+  core::TraceArtifact traces{ctx.traces(trace::TraceMode::kDetailed), {}};
+  const std::string traces_blob = core::serialize_traces(traces);
+  EXPECT_EQ(core::serialize_traces(core::deserialize_traces(traces_blob)),
+            traces_blob);
+
+  EXPECT_THROW(core::deserialize_parsed("ckchunk1\n"), std::runtime_error);
+  EXPECT_THROW(core::deserialize_chunks("ckchunk1\n garbage"),
+               std::runtime_error);
+}
+
+// --- schedule simulator ------------------------------------------------------
+
+TEST(ScheduleSim, DeterministicAndStructurallyOrdered) {
+  const PipelineContext ctx(test_config(ExecutionMode::kOverlapped, 2));
+  const core::ScheduleModel model = core::schedule_model_from(ctx);
+  ASSERT_FALSE(model.docs.empty());
+  ASSERT_FALSE(model.chunks.empty());
+  ASSERT_FALSE(model.records.empty());
+
+  const double staged8 =
+      core::simulated_makespan(model, ExecutionMode::kStaged, 8);
+  EXPECT_EQ(staged8, core::simulated_makespan(model, ExecutionMode::kStaged, 8))
+      << "simulator must be deterministic";
+
+  // More workers never hurt, and overlap never loses to barriers.
+  double prev_staged = 0.0;
+  double prev_over = 0.0;
+  for (const std::size_t w : {1u, 2u, 4u, 8u}) {
+    const double st = core::simulated_makespan(model, ExecutionMode::kStaged, w);
+    const double ov =
+        core::simulated_makespan(model, ExecutionMode::kOverlapped, w);
+    EXPECT_LE(ov, st * 1.001) << "overlap lost to barriers at " << w;
+    if (w > 1u) {
+      EXPECT_LE(st, prev_staged * 1.001);
+      EXPECT_LE(ov, prev_over * 1.001);
+    }
+    prev_staged = st;
+    prev_over = ov;
+  }
+
+  // Equal total work at one worker: the schedules only rearrange tasks.
+  const double staged1 =
+      core::simulated_makespan(model, ExecutionMode::kStaged, 1);
+  const double over1 =
+      core::simulated_makespan(model, ExecutionMode::kOverlapped, 1);
+  EXPECT_NEAR(over1 / staged1, 1.0, 0.05);
+}
+
+// --- dynamic task groups -----------------------------------------------------
+
+TEST(TaskGroup, DrainsNestedSpawns) {
+  parallel::ThreadPool pool(4);
+  std::atomic<int> count{0};
+  {
+    parallel::TaskGroup group(pool);
+    for (int i = 0; i < 16; ++i) {
+      group.spawn([&group, &count]() {
+        count.fetch_add(1);
+        group.spawn([&group, &count]() {
+          count.fetch_add(1);
+          group.spawn([&count]() { count.fetch_add(1); });
+        });
+      });
+    }
+    group.wait();
+    EXPECT_EQ(count.load(), 48);
+  }
+}
+
+TEST(TaskGroup, WaitOnEmptyGroupReturns) {
+  parallel::ThreadPool pool(2);
+  parallel::TaskGroup group(pool);
+  group.wait();
+  SUCCEED();
+}
+
+}  // namespace

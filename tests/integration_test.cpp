@@ -28,7 +28,12 @@ TEST(Pipeline, FunnelStagesPopulated) {
   EXPECT_GT(s.funnel.candidates, 0u);
   EXPECT_GT(s.funnel.accepted, 20u);
   EXPECT_LT(s.funnel.accepted, s.funnel.candidates);
-  EXPECT_EQ(s.traces_per_mode, ctx().benchmark().size());
+  for (int m = 0; m < mcqa::trace::kTraceModeCount; ++m) {
+    const auto mi = static_cast<std::size_t>(m);
+    EXPECT_EQ(s.traces_per_mode[mi], ctx().benchmark().size());
+    EXPECT_GT(s.trace_grading_accuracy[mi], 0.9);  // teacher grades itself
+    EXPECT_LE(s.trace_grading_accuracy[mi], 1.0);
+  }
   EXPECT_GT(s.embedding_bytes, 0u);
 }
 

@@ -127,9 +127,11 @@ int cmd_pipeline(const Args& args) {
 
   const auto& s = ctx.stats();
   std::printf("scale %.3f: %zu docs -> %zu chunks -> %zu questions "
-              "(%.1f%% acceptance), %zu traces/mode, exam %zu/%zu\n",
+              "(%.1f%% acceptance), %zu/%zu/%zu traces "
+              "(detailed/focused/efficient), exam %zu/%zu\n",
               scale, s.documents, s.chunks, s.funnel.accepted,
-              100.0 * s.funnel.acceptance_rate(), s.traces_per_mode,
+              100.0 * s.funnel.acceptance_rate(), s.traces_per_mode[0],
+              s.traces_per_mode[1], s.traces_per_mode[2],
               ctx.exam_all().size(), ctx.exam_no_math().size());
   std::printf("artifacts in %s/\n", outdir.c_str());
   return 0;
