@@ -11,9 +11,12 @@
 #include <cstdio>
 #include <cstdlib>
 #include <map>
+#include <memory>
 #include <string>
 
+#include "core/eval_cache.hpp"
 #include "core/pipeline.hpp"
+#include "parallel/thread_pool.hpp"
 
 namespace {
 
@@ -61,7 +64,24 @@ int main(int argc, char** argv) {
   using namespace mcqa;
   const double scale = argc > 1 ? std::atof(argv[1]) : 0.025;
   const core::PipelineContext ctx(core::PipelineConfig::paper_scale(scale));
-  const eval::EvalHarness harness(ctx.rag());
+
+  // One pool for all three sweeps; when $MCQA_CHECKPOINT_DIR is set the
+  // eval-cell cache makes warm re-runs (the common case while tuning
+  // one profile) skip the unchanged cells entirely.
+  parallel::ThreadPool pool(0);
+  const auto harness_for = [&ctx, &pool](
+      const std::vector<qgen::McqRecord>& records,
+      std::unique_ptr<core::EvalCellCache>& cache) {
+    eval::HarnessConfig hc;
+    hc.pool = &pool;
+    if (!ctx.config().checkpoint_dir.empty()) {
+      cache = std::make_unique<core::EvalCellCache>(
+          ctx.config().checkpoint_dir,
+          core::EvalCellCache::sweep_key(ctx, records));
+      hc.cell_cache = cache.get();
+    }
+    return eval::EvalHarness(ctx.rag(), hc);
+  };
 
   std::printf("benchmark=%zu questions, exam=%zu/%zu (all/no-math)\n\n",
               ctx.benchmark().size(), ctx.exam_all().size(),
@@ -70,8 +90,11 @@ int main(int argc, char** argv) {
   double dev2 = 0.0;
   int n2 = 0;
   std::printf("=== Table 2: synthetic (measured/paper) ===\n");
-  const auto sweep2 = harness.sweep(ctx.student_ptrs(), ctx.student_specs(),
-                                    ctx.benchmark(), eval::all_conditions());
+  std::unique_ptr<core::EvalCellCache> cache2;
+  const auto sweep2 =
+      harness_for(ctx.benchmark(), cache2)
+          .sweep(ctx.student_ptrs(), ctx.student_specs(), ctx.benchmark(),
+                 eval::all_conditions());
   for (const auto& card : llm::student_registry()) {
     const auto& paper = kTable2.at(card.spec.name);
     std::printf("%-26s", card.spec.name.c_str());
@@ -95,8 +118,11 @@ int main(int argc, char** argv) {
     int n = 0;
     std::printf("=== %s: baseline, chunks, RT-best (measured/paper) ===\n",
                 title);
-    const auto sweep = harness.sweep(ctx.student_ptrs(), ctx.student_specs(),
-                                     records, eval::all_conditions());
+    std::unique_ptr<core::EvalCellCache> cache;
+    const auto sweep =
+        harness_for(records, cache)
+            .sweep(ctx.student_ptrs(), ctx.student_specs(), records,
+                   eval::all_conditions());
     for (const auto& card : llm::student_registry()) {
       const auto& p = paper.at(card.spec.name);
       const double base =

@@ -548,4 +548,28 @@ TraceArtifact deserialize_traces(std::string_view blob) {
   return a;
 }
 
+// --- eval cells --------------------------------------------------------------
+
+std::string serialize_eval_cell(const EvalCellArtifact& a) {
+  std::string out = "ckcell1\n";
+  put_str(out, a.model);
+  put_i64(out, a.condition);
+  put_u64(out, a.correct);
+  put_u64(out, a.total);
+  put_u64(out, a.unparseable);
+  return out;
+}
+
+EvalCellArtifact deserialize_eval_cell(std::string_view blob) {
+  std::size_t pos = 0;
+  expect_magic(blob, pos, "ckcell1\n");
+  EvalCellArtifact a;
+  a.model = take_str(blob, pos);
+  a.condition = take_i64(blob, pos);
+  a.correct = take_u64(blob, pos);
+  a.total = take_u64(blob, pos);
+  a.unparseable = take_u64(blob, pos);
+  return a;
+}
+
 }  // namespace mcqa::core

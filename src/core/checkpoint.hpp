@@ -126,6 +126,20 @@ BenchmarkArtifact deserialize_benchmark(std::string_view blob);
 std::string serialize_traces(const TraceArtifact& a);
 TraceArtifact deserialize_traces(std::string_view blob);
 
+/// One evaluation-grid cell: the accuracy tally of (model, condition)
+/// over a fixed record set.  Plain counters so the codec stays free of
+/// eval-layer types; core::EvalCellCache adapts it to eval::Accuracy.
+struct EvalCellArtifact {
+  std::string model;            ///< student model name
+  std::int64_t condition = 0;   ///< rag::Condition as an integer
+  std::uint64_t correct = 0;
+  std::uint64_t total = 0;
+  std::uint64_t unparseable = 0;
+};
+
+std::string serialize_eval_cell(const EvalCellArtifact& a);
+EvalCellArtifact deserialize_eval_cell(std::string_view blob);
+
 /// Cache-entry name for a per-mode artifact, e.g. "traces-detailed".
 std::string trace_mode_blob_name(std::string_view prefix,
                                  trace::TraceMode mode);

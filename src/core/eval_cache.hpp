@@ -1,0 +1,73 @@
+#pragma once
+// Content-addressed eval-cell cache (the evaluation-grid counterpart of
+// core/checkpoint's build-artifact cache).
+//
+// One cached cell is the Accuracy tally of (model, condition) over a
+// fixed record set.  The key chain mirrors derive_checkpoint_keys:
+//
+//   sweep key = fnv1a( format version , code fingerprint
+//                    , benchmark + chunk/trace store checkpoint keys
+//                    , record-set content fingerprint (the swept subset
+//                      — full benchmark, exam_all and exam_no_math all
+//                      key differently)
+//                    , RAG config , judge fingerprint
+//                    , simulation coefficients )
+//   cell key  = fnv1a( sweep key , model name + card fingerprint
+//                    , condition )
+//
+// so a cached cell can only hit when every input that could change its
+// counts is unchanged.  Loads are all-or-nothing per cell: a missing,
+// corrupt or mismatched blob is a miss and the harness recomputes.
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/checkpoint.hpp"
+#include "eval/harness.hpp"
+#include "qgen/mcq_record.hpp"
+
+namespace mcqa::core {
+
+class PipelineContext;
+
+class EvalCellCache final : public eval::CellCache {
+ public:
+  /// `sweep_key` scopes every cell to one (pipeline, record set,
+  /// harness config) combination — see sweep_key().
+  EvalCellCache(std::string dir, std::uint64_t sweep_key);
+
+  /// The sweep-scope key for evaluating `records` against `ctx`'s
+  /// stores, RAG config, judge and simulation coefficients.
+  static std::uint64_t sweep_key(const PipelineContext& ctx,
+                                 const std::vector<qgen::McqRecord>& records);
+
+  std::optional<eval::Accuracy> load(std::string_view model,
+                                     rag::Condition condition,
+                                     std::size_t expected_total) const override;
+
+  void store(std::string_view model, rag::Condition condition,
+             const eval::Accuracy& accuracy) const override;
+
+  struct Stats {
+    std::size_t hits = 0;
+    std::size_t misses = 0;
+    std::size_t stores = 0;
+  };
+  Stats stats() const {
+    return {hits_.load(), misses_.load(), stores_.load()};
+  }
+
+ private:
+  std::uint64_t cell_key(std::string_view model,
+                         rag::Condition condition) const;
+
+  ArtifactCache cache_;
+  std::uint64_t sweep_key_;
+  mutable std::atomic<std::size_t> hits_{0};
+  mutable std::atomic<std::size_t> misses_{0};
+  mutable std::atomic<std::size_t> stores_{0};
+};
+
+}  // namespace mcqa::core

@@ -447,4 +447,143 @@ double simulated_makespan(const ScheduleModel& model, ExecutionMode mode,
                                         : overlapped_makespan(model, workers);
 }
 
+// --- evaluation-grid simulation ----------------------------------------------
+
+namespace {
+
+/// Stable jitter key for the answer task of (model, condition, record);
+/// shared by both grid modes so their total work is identical.
+double answer_jitter(std::size_t m, std::size_t ci, std::size_t i,
+                     std::size_t c_count, std::size_t n) {
+  return jitter(0x50000u + ((m * c_count + ci) * n + i));
+}
+
+double per_cell_grid_makespan(const EvalGridModel& m, std::size_t workers) {
+  DagBuilder dag;
+  const std::size_t c_count = m.retrieval.size();
+  const std::size_t n = m.answer.size();
+  // The seed's serial double loop: each cell's fans are internally
+  // parallel, but cell k+1 cannot start until cell k's merge finished
+  // (and every retrieval-active cell re-runs its own retrieval fan).
+  std::vector<std::uint32_t> prev;
+  for (std::size_t mi = 0; mi < m.model_count; ++mi) {
+    for (std::size_t ci = 0; ci < c_count; ++ci) {
+      std::vector<std::uint32_t> gate = prev;
+      if (!m.retrieval[ci].empty()) {
+        std::vector<std::uint32_t> ret_tasks;
+        ret_tasks.reserve(n);
+        for (std::size_t i = 0; i < n; ++i) {
+          ret_tasks.push_back(dag.add(m.retrieval[ci][i], prev));
+        }
+        gate = {dag.add(static_cast<double>(n) * m.merge_cost, ret_tasks)};
+      }
+      std::vector<std::uint32_t> answer_tasks;
+      answer_tasks.reserve(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        answer_tasks.push_back(dag.add(
+            m.answer[i] * answer_jitter(mi, ci, i, c_count, n), gate));
+      }
+      prev = {dag.add(static_cast<double>(n) * m.merge_cost, answer_tasks)};
+    }
+  }
+  return run_schedule(dag.tasks(), workers);
+}
+
+double shared_plan_grid_makespan(const EvalGridModel& m, std::size_t workers) {
+  DagBuilder dag;
+  const std::size_t c_count = m.retrieval.size();
+  const std::size_t n = m.answer.size();
+  // One retrieval fan per condition; every model's answer tasks for that
+  // condition depend only on the shared plan, so the whole grid runs as
+  // one dataflow with a single final merge.
+  std::vector<std::vector<std::uint32_t>> gates(c_count);
+  for (std::size_t ci = 0; ci < c_count; ++ci) {
+    if (m.retrieval[ci].empty()) continue;
+    std::vector<std::uint32_t> ret_tasks;
+    ret_tasks.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      ret_tasks.push_back(dag.add(m.retrieval[ci][i]));
+    }
+    gates[ci] = {dag.add(static_cast<double>(n) * m.merge_cost, ret_tasks)};
+  }
+  std::vector<std::uint32_t> answer_tasks;
+  answer_tasks.reserve(m.model_count * c_count * n);
+  for (std::size_t mi = 0; mi < m.model_count; ++mi) {
+    for (std::size_t ci = 0; ci < c_count; ++ci) {
+      for (std::size_t i = 0; i < n; ++i) {
+        answer_tasks.push_back(dag.add(
+            m.answer[i] * answer_jitter(mi, ci, i, c_count, n), gates[ci]));
+      }
+    }
+  }
+  dag.add(static_cast<double>(m.model_count * c_count) * m.merge_cost,
+          answer_tasks);
+  return run_schedule(dag.tasks(), workers);
+}
+
+/// Does `condition` retrieve against a non-empty store in `ctx`?
+bool grid_condition_active(const PipelineContext& ctx, rag::Condition c) {
+  switch (c) {
+    case rag::Condition::kBaseline:
+      return false;
+    case rag::Condition::kChunks:
+      return ctx.chunk_store().size() > 0;
+    case rag::Condition::kTraceDetailed:
+      return ctx.trace_store(trace::TraceMode::kDetailed).size() > 0;
+    case rag::Condition::kTraceFocused:
+      return ctx.trace_store(trace::TraceMode::kFocused).size() > 0;
+    case rag::Condition::kTraceEfficient:
+      return ctx.trace_store(trace::TraceMode::kEfficient).size() > 0;
+  }
+  return false;
+}
+
+}  // namespace
+
+EvalGridModel eval_grid_model_from(
+    const PipelineContext& ctx, const std::vector<qgen::McqRecord>& records,
+    std::size_t model_count, const std::vector<rag::Condition>& conditions) {
+  EvalGridModel model;
+  model.model_count = model_count;
+  const std::size_t n = records.size();
+
+  model.answer.resize(n);
+  double answer_sum = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    model.answer[i] = (0.3 + static_cast<double>(records[i].question.size()) /
+                                360.0) *
+                      jitter(0x60000u + i);
+    answer_sum += model.answer[i];
+  }
+
+  model.retrieval.resize(conditions.size());
+  for (std::size_t ci = 0; ci < conditions.size(); ++ci) {
+    if (!grid_condition_active(ctx, conditions[ci])) continue;
+    auto& costs = model.retrieval[ci];
+    costs.resize(n);
+    double sum = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::string query = ctx.rag().query_for(records[i], conditions[ci]);
+      costs[i] = (0.2 + static_cast<double>(query.size()) / 300.0) *
+                 jitter(0x70000u + ci * n + i);
+      sum += costs[i];
+    }
+    // Normalize: one condition's retrieval fan costs
+    // retrieval_answer_ratio x one model's answer fan, keeping the
+    // query-size-driven shape.
+    if (sum > 0.0) {
+      const double scale = model.retrieval_answer_ratio * answer_sum / sum;
+      for (double& c : costs) c *= scale;
+    }
+  }
+  return model;
+}
+
+double simulated_grid_makespan(const EvalGridModel& model, EvalGridMode mode,
+                               std::size_t workers) {
+  return mode == EvalGridMode::kPerCell
+             ? per_cell_grid_makespan(model, workers)
+             : shared_plan_grid_makespan(model, workers);
+}
+
 }  // namespace mcqa::core

@@ -96,4 +96,48 @@ ScheduleModel schedule_model_from(const PipelineContext& ctx);
 double simulated_makespan(const ScheduleModel& model, ExecutionMode mode,
                           std::size_t workers);
 
+// --- evaluation-grid schedule simulation -------------------------------------
+
+/// How the models x conditions accuracy grid is scheduled.
+///
+///   kPerCell    — the seed harness: cells run strictly sequentially
+///                 (the serial double loop), each cell re-running its
+///                 own retrieval fan before its answer fan.
+///   kSharedPlan — the memoized engine: one retrieval fan per
+///                 condition, shared by every model's cells, which all
+///                 fan out on one pool as soon as the plan exists.
+enum class EvalGridMode { kPerCell, kSharedPlan };
+
+/// Cost model of one sweep, in the same abstract work units as
+/// ScheduleModel: per-record retrieval costs per retrieval-active
+/// condition (from the real query texts) and per-record answer+grade
+/// costs (from the real question sizes), jittered by stable id hashes.
+/// Both grid modes draw identical per-task costs, so the makespan gap
+/// is purely structural: retrieval repeated per cell versus shared.
+struct EvalGridModel {
+  std::size_t model_count = 0;
+  /// [condition][record] retrieval cost; inner vector empty for
+  /// conditions that do not retrieve (baseline / absent store).
+  std::vector<std::vector<double>> retrieval;
+  /// [record] answer+grade base cost; each (model, condition) cell
+  /// applies its own jitter on top.
+  std::vector<double> answer;
+  /// Retrieval work per condition relative to one model's answer work
+  /// (embedding the query + scanning the store dominates one simulated
+  /// answer); eval_grid_model_from normalizes retrieval costs to it.
+  double retrieval_answer_ratio = 1.2;
+  double merge_cost = 0.006;  ///< per item, slot-merge loops
+};
+
+/// Derive the grid cost model for sweeping `records` with `model_count`
+/// students under `conditions`, against `ctx`'s stores.
+EvalGridModel eval_grid_model_from(
+    const PipelineContext& ctx, const std::vector<qgen::McqRecord>& records,
+    std::size_t model_count, const std::vector<rag::Condition>& conditions);
+
+/// Deterministic greedy list-schedule makespan of one sweep under
+/// `mode` with `workers` identical workers (virtual time units).
+double simulated_grid_makespan(const EvalGridModel& model, EvalGridMode mode,
+                               std::size_t workers);
+
 }  // namespace mcqa::core

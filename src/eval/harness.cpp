@@ -1,9 +1,13 @@
 #include "eval/harness.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <cmath>
+#include <memory>
+#include <optional>
 #include <stdexcept>
 
+#include "parallel/dag.hpp"
 #include "parallel/thread_pool.hpp"
 
 namespace mcqa::eval {
@@ -19,12 +23,33 @@ double Accuracy::ci95_halfwidth() const {
   return half;
 }
 
+namespace {
+
+std::string cell_index_key(std::string_view model, rag::Condition c) {
+  std::string key(model);
+  key += '\x1f';
+  key += static_cast<char>('0' + static_cast<int>(c));
+  return key;
+}
+
+}  // namespace
+
 const Accuracy& SweepResult::at(std::string_view model,
                                 rag::Condition c) const {
-  for (const auto& cell : cells) {
-    if (cell.model == model && cell.condition == c) return cell.accuracy;
+  if (indexed_cells_ != cells.size()) {
+    index_.clear();
+    index_.reserve(cells.size());
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      // First occurrence wins, matching the seed's front-to-back scan.
+      index_.emplace(cell_index_key(cells[i].model, cells[i].condition), i);
+    }
+    indexed_cells_ = cells.size();
   }
-  throw std::out_of_range("SweepResult::at: no such cell");
+  const auto it = index_.find(cell_index_key(model, c));
+  if (it == index_.end()) {
+    throw std::out_of_range("SweepResult::at: no such cell");
+  }
+  return cells[it->second].accuracy;
 }
 
 std::pair<rag::Condition, Accuracy> SweepResult::best_trace(
@@ -35,6 +60,8 @@ std::pair<rag::Condition, Accuracy> SweepResult::best_trace(
     if (cell.model != model || !rag::is_trace_condition(cell.condition)) {
       continue;
     }
+    // Strict > keeps the earliest trace cell on ties (deterministic:
+    // the first trace condition swept wins).
     if (!found || cell.accuracy.value() > best.second.value()) {
       best = {cell.condition, cell.accuracy};
       found = true;
@@ -47,20 +74,36 @@ std::pair<rag::Condition, Accuracy> SweepResult::best_trace(
 EvalHarness::EvalHarness(const rag::RagPipeline& rag, HarnessConfig config)
     : rag_(rag), config_(config) {}
 
+namespace {
+
+/// Block size for per-record fan-out (same sizing rule as parallel_for).
+std::size_t block_grain(std::size_t n, std::size_t workers) {
+  return std::max<std::size_t>(1, n / (std::max<std::size_t>(workers, 1) * 4));
+}
+
+}  // namespace
+
 Accuracy EvalHarness::evaluate(const llm::LanguageModel& model,
                                const llm::ModelSpec& spec,
                                const std::vector<qgen::McqRecord>& records,
                                rag::Condition condition) const {
+  // Caller-owned pool when configured; the throwaway-pool path survives
+  // only for zero-config callers.
+  std::optional<parallel::ThreadPool> own_pool;
+  parallel::ThreadPool* pool = config_.pool;
+  if (pool == nullptr) {
+    own_pool.emplace(config_.threads);
+    pool = &*own_pool;
+  }
+
   std::atomic<std::size_t> correct{0};
   std::atomic<std::size_t> unparseable{0};
-
-  parallel::ThreadPool pool(config_.threads);
   // Retrieval for the whole record set goes through the batched path
   // (one VectorStore::query_batch fan-out on the pool), then answering
   // and grading fan out over the prepared tasks.
   const std::vector<llm::McqTask> tasks =
-      rag_.prepare_batch(records, condition, spec, pool);
-  parallel::parallel_for(pool, 0, tasks.size(), [&](std::size_t i) {
+      rag_.prepare_batch(records, condition, spec, *pool);
+  parallel::parallel_for(*pool, 0, tasks.size(), [&](std::size_t i) {
     const llm::AnswerResult answer = model.answer(tasks[i]);
     const trace::GradingResult grading = judge_.grade(tasks[i], answer.text);
     if (grading.is_correct) correct.fetch_add(1, std::memory_order_relaxed);
@@ -76,24 +119,153 @@ Accuracy EvalHarness::evaluate(const llm::LanguageModel& model,
   return acc;
 }
 
+namespace {
+
+/// Slot-indexed cell accumulator: answer blocks add commutative integer
+/// tallies, so the final counts are thread-count invariant.
+struct CellSlot {
+  std::atomic<std::size_t> correct{0};
+  std::atomic<std::size_t> unparseable{0};
+  bool restored = false;
+  Accuracy restored_accuracy;
+};
+
+}  // namespace
+
 SweepResult EvalHarness::sweep(
     const std::vector<const llm::LanguageModel*>& models,
     const std::vector<llm::ModelSpec>& specs,
     const std::vector<qgen::McqRecord>& records,
-    const std::vector<rag::Condition>& conditions) const {
+    const std::vector<rag::Condition>& conditions, SweepStats* stats) const {
   if (models.size() != specs.size()) {
     throw std::invalid_argument("sweep: models/specs size mismatch");
   }
+  const std::size_t m_count = models.size();
+  const std::size_t c_count = conditions.size();
+  const std::size_t n = records.size();
+
+  SweepStats tally;
+  std::vector<CellSlot> slots(m_count * c_count);
+
+  // --- cell-cache pre-pass ---------------------------------------------------
+  if (config_.cell_cache != nullptr) {
+    for (std::size_t m = 0; m < m_count; ++m) {
+      for (std::size_t ci = 0; ci < c_count; ++ci) {
+        const auto cached = config_.cell_cache->load(models[m]->name(),
+                                                     conditions[ci], n);
+        if (cached.has_value()) {
+          auto& slot = slots[m * c_count + ci];
+          slot.restored = true;
+          slot.restored_accuracy = *cached;
+          ++tally.cells_restored;
+        }
+      }
+    }
+  }
+
+  std::optional<parallel::ThreadPool> own_pool;
+  parallel::ThreadPool* pool = config_.pool;
+  if (pool == nullptr) {
+    own_pool.emplace(config_.threads);
+    pool = &*own_pool;
+  }
+  const std::size_t grain = block_grain(n, pool->thread_count());
+
+  // --- the grid: one TaskGroup, plans shared across models -------------------
+  //
+  // Per condition: plan blocks fan the (model-independent) retrieval
+  // across records; the completion of the last block spawns the
+  // condition's per-model cell blocks, which answer+grade on the same
+  // pool.  Tasks only spawn, never block (TaskGroup discipline), and
+  // every write lands in its own slot or is a commutative counter add.
+  std::vector<rag::RetrievalPlan> plans(c_count);
+  parallel::TaskGroup group(*pool);
+
+  for (std::size_t ci = 0; ci < c_count; ++ci) {
+    const rag::Condition condition = conditions[ci];
+    plans[ci] = rag_.make_plan(records, condition);
+    const rag::RetrievalPlan& plan = plans[ci];
+    if (plan.active) tally.naive_retrieval_queries += m_count * n;
+
+    auto todo = std::make_shared<std::vector<std::size_t>>();
+    for (std::size_t m = 0; m < m_count; ++m) {
+      if (!slots[m * c_count + ci].restored) todo->push_back(m);
+    }
+    if (todo->empty()) continue;
+    tally.cells_computed += todo->size();
+
+    const auto spawn_cells = [this, &group, &slots, &plan, &records, &specs,
+                              &models, ci, c_count, grain, n, todo]() {
+      for (const std::size_t m : *todo) {
+        for (std::size_t lo = 0; lo < n; lo += grain) {
+          const std::size_t hi = std::min(n, lo + grain);
+          group.spawn([this, &slots, &plan, &records, &specs, &models, ci,
+                       c_count, m, lo, hi]() {
+            std::size_t correct = 0;
+            std::size_t unparseable = 0;
+            for (std::size_t i = lo; i < hi; ++i) {
+              const llm::McqTask task =
+                  rag_.prepare_from_plan(records[i], plan, i, specs[m]);
+              const llm::AnswerResult answer = models[m]->answer(task);
+              const trace::GradingResult grading =
+                  judge_.grade(task, answer.text);
+              if (grading.is_correct) ++correct;
+              if (grading.extracted_option_number < 0) ++unparseable;
+            }
+            auto& slot = slots[m * c_count + ci];
+            slot.correct.fetch_add(correct, std::memory_order_relaxed);
+            slot.unparseable.fetch_add(unparseable,
+                                       std::memory_order_relaxed);
+          });
+        }
+      }
+    };
+
+    if (!plan.active || n == 0) {
+      spawn_cells();
+      continue;
+    }
+    tally.retrieval_queries += n;
+    const std::size_t blocks = (n + grain - 1) / grain;
+    auto remaining = std::make_shared<std::atomic<std::size_t>>(blocks);
+    for (std::size_t lo = 0; lo < n; lo += grain) {
+      const std::size_t hi = std::min(n, lo + grain);
+      group.spawn([this, &plans, &records, ci, lo, hi, remaining,
+                   spawn_cells]() {
+        rag_.fill_plan(plans[ci], records, lo, hi);
+        if (remaining->fetch_sub(1, std::memory_order_acq_rel) == 1) {
+          // Hits exist for every record: release this condition's cells.
+          spawn_cells();
+        }
+      });
+    }
+  }
+  group.wait();
+
+  // --- merge, in (model, condition) order ------------------------------------
   SweepResult out;
-  for (std::size_t m = 0; m < models.size(); ++m) {
-    for (const rag::Condition c : conditions) {
+  out.cells.reserve(m_count * c_count);
+  for (std::size_t m = 0; m < m_count; ++m) {
+    for (std::size_t ci = 0; ci < c_count; ++ci) {
+      auto& slot = slots[m * c_count + ci];
       CellResult cell;
       cell.model = std::string(models[m]->name());
-      cell.condition = c;
-      cell.accuracy = evaluate(*models[m], specs[m], records, c);
+      cell.condition = conditions[ci];
+      if (slot.restored) {
+        cell.accuracy = slot.restored_accuracy;
+      } else {
+        cell.accuracy.correct = slot.correct.load();
+        cell.accuracy.total = n;
+        cell.accuracy.unparseable = slot.unparseable.load();
+        if (config_.cell_cache != nullptr) {
+          config_.cell_cache->store(cell.model, cell.condition,
+                                    cell.accuracy);
+        }
+      }
       out.cells.push_back(std::move(cell));
     }
   }
+  if (stats != nullptr) *stats = tally;
   return out;
 }
 

@@ -1,9 +1,31 @@
 #pragma once
 // Evaluation harness: model x condition accuracy sweeps (the engine
 // behind Tables 2-4 and Figures 4-6).
+//
+// sweep() runs as a memoized cell-parallel grid on one thread pool:
+//
+//   * retrieval hits for a (records, condition) pair are computed once
+//     into a rag::RetrievalPlan and shared by every model's cell (hits
+//     never depend on the model — with 8 models that removes 7/8 of all
+//     retrieval work versus per-cell prepare_batch);
+//   * the grid is one parallel::TaskGroup on a single shared pool: each
+//     condition's plan fans out across records, the completion of the
+//     last plan block spawns that condition's per-model cell tasks, and
+//     cells fan out per-record answer+grade blocks on the same workers
+//     (no per-cell pool construction, no serial double loop);
+//   * an optional content-addressed CellCache (core::EvalCellCache)
+//     restores finished cells wholesale, so warm re-runs of the
+//     table/figure benches skip evaluation entirely.
+//
+// Accuracy tallies are commutative integer sums into slot-indexed
+// cells merged in (model, condition) order, so the SweepResult is
+// bitwise-identical to the seed's serial double loop at any thread
+// count, with the cell cache on or off (tested).
 
-#include <map>
+#include <cstdint>
+#include <optional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "eval/judge.hpp"
@@ -11,6 +33,10 @@
 #include "llm/model_spec.hpp"
 #include "qgen/mcq_record.hpp"
 #include "rag/rag_pipeline.hpp"
+
+namespace mcqa::parallel {
+class ThreadPool;
+}
 
 namespace mcqa::eval {
 
@@ -40,11 +66,63 @@ struct SweepResult {
 
   const Accuracy& at(std::string_view model, rag::Condition c) const;
   /// Highest-accuracy trace condition for a model ("RAG-RTs (best)").
+  /// Ties break toward the earliest trace cell in `cells` order — i.e.
+  /// the first trace condition swept (detailed before focused before
+  /// efficient under all_conditions()), deterministically.
   std::pair<rag::Condition, Accuracy> best_trace(std::string_view model) const;
+
+ private:
+  /// Lazily-built (model, condition) -> cell index, rebuilt whenever the
+  /// cell count changes, so at() is O(1) amortized instead of the seed's
+  /// O(cells) scan per lookup (benches call it per printed cell).
+  mutable std::unordered_map<std::string, std::size_t> index_;
+  mutable std::size_t indexed_cells_ = 0;
+};
+
+/// Content-addressed per-cell accuracy cache.  The harness only sees
+/// load/store; the concrete implementation (core::EvalCellCache) keys
+/// cells by the fnv1a chain over the benchmark/store checkpoint keys,
+/// the swept record set, the model fingerprint, the condition and the
+/// judge/RAG/simulation config fingerprints.
+class CellCache {
+ public:
+  virtual ~CellCache() = default;
+
+  /// The cached accuracy for (model, condition), or nullopt on miss.
+  /// `expected_total` is the swept record count — a stored cell with a
+  /// different total is treated as a miss (all-or-nothing per cell).
+  virtual std::optional<Accuracy> load(std::string_view model,
+                                       rag::Condition condition,
+                                       std::size_t expected_total) const = 0;
+
+  virtual void store(std::string_view model, rag::Condition condition,
+                     const Accuracy& accuracy) const = 0;
+};
+
+/// Work accounting for one sweep() call (cache effectiveness and the
+/// retrieval-sharing win; never part of the SweepResult itself).
+struct SweepStats {
+  /// Store queries this sweep actually issued (once per record for each
+  /// retrieval-active condition that had at least one uncached cell).
+  std::size_t retrieval_queries = 0;
+  /// Queries the seed's per-cell prepare path would have issued for the
+  /// same grid (once per record per *cell* under retrieval conditions).
+  std::size_t naive_retrieval_queries = 0;
+  std::size_t cells_computed = 0;
+  std::size_t cells_restored = 0;  ///< filled from the cell cache
 };
 
 struct HarnessConfig {
+  /// Worker count for harness-owned pools (0 = hardware concurrency).
+  /// Ignored when `pool` is set.
   std::size_t threads = 0;
+  /// Caller-owned pool; evaluate()/sweep() run on it instead of
+  /// constructing their own, so nested or repeated calls never
+  /// oversubscribe the machine.  Not owned; must outlive the harness
+  /// calls that use it.
+  parallel::ThreadPool* pool = nullptr;
+  /// Optional content-addressed eval-cell cache (not owned).
+  const CellCache* cell_cache = nullptr;
 };
 
 class EvalHarness {
@@ -58,12 +136,14 @@ class EvalHarness {
                     rag::Condition condition) const;
 
   /// Full sweep: every model in `models` under every condition in
-  /// `conditions`.
+  /// `conditions`.  Cells land in (model, condition) order.  `stats`
+  /// (optional) receives the work accounting for this call.
   SweepResult sweep(
       const std::vector<const llm::LanguageModel*>& models,
       const std::vector<llm::ModelSpec>& specs,
       const std::vector<qgen::McqRecord>& records,
-      const std::vector<rag::Condition>& conditions) const;
+      const std::vector<rag::Condition>& conditions,
+      SweepStats* stats = nullptr) const;
 
  private:
   const rag::RagPipeline& rag_;

@@ -31,6 +31,9 @@ class Judge {
   trace::GradingResult grade(const llm::McqTask& task,
                              const std::string& answer_text) const;
 
+  /// Fuzzy-match floor (part of the eval-cell cache fingerprint).
+  double min_similarity() const { return min_similarity_; }
+
  private:
   double min_similarity_;
 };

@@ -252,28 +252,58 @@ llm::McqTask RagPipeline::prepare(const qgen::McqRecord& record,
   return prepare_from_hits(record, condition, spec, hits);
 }
 
-std::vector<llm::McqTask> RagPipeline::prepare_batch(
-    const std::vector<qgen::McqRecord>& records, Condition condition,
-    const llm::ModelSpec& spec, parallel::ThreadPool& pool) const {
-  std::vector<llm::McqTask> tasks(records.size());
+RetrievalPlan RagPipeline::make_plan(
+    const std::vector<qgen::McqRecord>& records, Condition condition) const {
+  RetrievalPlan plan;
+  plan.condition = condition;
   const index::VectorStore* store = stores_.store_for(condition);
-  if (condition == Condition::kBaseline || store == nullptr ||
-      store->size() == 0) {
-    parallel::parallel_for(pool, 0, records.size(), [&](std::size_t i) {
-      tasks[i] = records[i].to_task();
-    });
-    return tasks;
-  }
+  plan.active = condition != Condition::kBaseline && store != nullptr &&
+                store->size() > 0;
+  if (plan.active) plan.hits.resize(records.size());
+  return plan;
+}
 
+void RagPipeline::fill_plan(RetrievalPlan& plan,
+                            const std::vector<qgen::McqRecord>& records,
+                            std::size_t lo, std::size_t hi) const {
+  if (!plan.active) return;
+  const index::VectorStore* store = stores_.store_for(plan.condition);
+  const std::size_t k = config_.top_k_for(plan.condition);
+  for (std::size_t i = lo; i < hi && i < records.size(); ++i) {
+    plan.hits[i] = store->query(query_for(records[i], plan.condition), k);
+  }
+}
+
+RetrievalPlan RagPipeline::plan_retrieval(
+    const std::vector<qgen::McqRecord>& records, Condition condition,
+    parallel::ThreadPool& pool) const {
+  RetrievalPlan plan = make_plan(records, condition);
+  if (!plan.active) return plan;
+  const index::VectorStore* store = stores_.store_for(condition);
   std::vector<std::string> queries;
   queries.reserve(records.size());
   for (const auto& record : records) {
     queries.push_back(query_for(record, condition));
   }
-  const auto hit_batches =
-      store->query_batch(queries, config_.top_k_for(condition), pool);
+  plan.hits = store->query_batch(queries, config_.top_k_for(condition), pool);
+  return plan;
+}
+
+llm::McqTask RagPipeline::prepare_from_plan(const qgen::McqRecord& record,
+                                            const RetrievalPlan& plan,
+                                            std::size_t i,
+                                            const llm::ModelSpec& spec) const {
+  if (!plan.active) return record.to_task();
+  return prepare_from_hits(record, plan.condition, spec, plan.hits.at(i));
+}
+
+std::vector<llm::McqTask> RagPipeline::prepare_batch(
+    const std::vector<qgen::McqRecord>& records, Condition condition,
+    const llm::ModelSpec& spec, parallel::ThreadPool& pool) const {
+  const RetrievalPlan plan = plan_retrieval(records, condition, pool);
+  std::vector<llm::McqTask> tasks(records.size());
   parallel::parallel_for(pool, 0, records.size(), [&](std::size_t i) {
-    tasks[i] = prepare_from_hits(records[i], condition, spec, hit_batches[i]);
+    tasks[i] = prepare_from_plan(records[i], plan, i, spec);
   });
   return tasks;
 }

@@ -72,6 +72,19 @@ struct RetrievalStores {
   const index::VectorStore* store_for(Condition c) const;
 };
 
+/// Retrieval results for one (record set, condition) pair.  Hits depend
+/// only on the record and the condition's store — never on the model —
+/// so one plan is computed once and shared across every model evaluated
+/// under that condition (the evaluation grid's 8-way retrieval reuse).
+struct RetrievalPlan {
+  Condition condition = Condition::kBaseline;
+  /// False for baseline or an absent/empty store: tasks are the bare
+  /// question and `hits` stays empty.
+  bool active = false;
+  /// Per-record top-k hits, indexed like the record set.
+  std::vector<std::vector<index::Hit>> hits;
+};
+
 class RagPipeline {
  public:
   RagPipeline(const corpus::KnowledgeBase& kb,
@@ -90,6 +103,33 @@ class RagPipeline {
   std::vector<llm::McqTask> prepare_batch(
       const std::vector<qgen::McqRecord>& records, Condition condition,
       const llm::ModelSpec& spec, parallel::ThreadPool& pool) const;
+
+  /// Empty plan for (records, condition): condition resolved against the
+  /// stores (`active`) and `hits` sized to the record set, no queries
+  /// issued yet.  Fill with fill_plan (range-wise, e.g. from spawned
+  /// tasks) or use plan_retrieval for the blocking batched form.
+  RetrievalPlan make_plan(const std::vector<qgen::McqRecord>& records,
+                          Condition condition) const;
+
+  /// Compute hits for records [lo, hi) into `plan` (no-op when the plan
+  /// is inactive).  Disjoint ranges are safe to fill concurrently, and
+  /// plan.hits[i] == store->query(query_for(records[i], c), k) exactly.
+  void fill_plan(RetrievalPlan& plan,
+                 const std::vector<qgen::McqRecord>& records, std::size_t lo,
+                 std::size_t hi) const;
+
+  /// One batched retrieval pass for the whole record set (query_batch on
+  /// `pool`): the shared plan the evaluation grid hands to every model.
+  RetrievalPlan plan_retrieval(const std::vector<qgen::McqRecord>& records,
+                               Condition condition,
+                               parallel::ThreadPool& pool) const;
+
+  /// Assembly + annotation of record i against a shared plan.  Equal to
+  /// prepare(records[i], plan.condition, spec) fieldwise — the plan only
+  /// hoists the model-independent retrieval.
+  llm::McqTask prepare_from_plan(const qgen::McqRecord& record,
+                                 const RetrievalPlan& plan, std::size_t i,
+                                 const llm::ModelSpec& spec) const;
 
   const RagConfig& config() const { return config_; }
 

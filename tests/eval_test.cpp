@@ -146,6 +146,49 @@ TEST(SweepResult, LookupAndBestTrace) {
   EXPECT_THROW(sweep.at("other", rag::Condition::kBaseline),
                std::out_of_range);
   EXPECT_THROW(sweep.best_trace("other"), std::out_of_range);
+
+  // The lazy lookup index rebuilds after cells are appended.
+  add("late", rag::Condition::kChunks, 55);
+  EXPECT_DOUBLE_EQ(sweep.at("late", rag::Condition::kChunks).value(), 0.55);
+  EXPECT_DOUBLE_EQ(sweep.at("m", rag::Condition::kTraceDetailed).value(),
+                   0.70);
+}
+
+TEST(SweepResult, BestTraceTieBreaksTowardFirstTraceCondition) {
+  SweepResult sweep;
+  const auto add = [&sweep](const char* model, rag::Condition c,
+                            std::size_t correct) {
+    CellResult cell;
+    cell.model = model;
+    cell.condition = c;
+    cell.accuracy.correct = correct;
+    cell.accuracy.total = 100;
+    sweep.cells.push_back(cell);
+  };
+  // Detailed and efficient tie; detailed comes first in sweep order and
+  // must win deterministically.
+  add("m", rag::Condition::kBaseline, 40);
+  add("m", rag::Condition::kTraceDetailed, 70);
+  add("m", rag::Condition::kTraceFocused, 65);
+  add("m", rag::Condition::kTraceEfficient, 70);
+  const auto [cond, acc] = sweep.best_trace("m");
+  EXPECT_EQ(cond, rag::Condition::kTraceDetailed);
+  EXPECT_DOUBLE_EQ(acc.value(), 0.70);
+
+  // An all-way tie also keeps the first trace cell.
+  SweepResult tied;
+  const auto add_tied = [&tied](rag::Condition c) {
+    CellResult cell;
+    cell.model = "t";
+    cell.condition = c;
+    cell.accuracy.correct = 50;
+    cell.accuracy.total = 100;
+    tied.cells.push_back(cell);
+  };
+  add_tied(rag::Condition::kTraceDetailed);
+  add_tied(rag::Condition::kTraceFocused);
+  add_tied(rag::Condition::kTraceEfficient);
+  EXPECT_EQ(tied.best_trace("t").first, rag::Condition::kTraceDetailed);
 }
 
 // --- report ---------------------------------------------------------------------
