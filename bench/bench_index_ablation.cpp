@@ -1,26 +1,49 @@
-// Index ablation (A1 in DESIGN.md): recall@10 and query throughput for
-// flat / IVF / HNSW indexes over the real chunk-embedding distribution,
-// reproducing the accuracy/speed trade-off the paper delegates to
-// FAISS.
+// Index ablation (A1 in DESIGN.md): recall@10, query throughput and
+// bytes/vector for flat / IVF / HNSW / SQ8 / IVF-PQ indexes,
+// reproducing the accuracy/speed/memory trade-off surface the paper
+// delegates to FAISS.
 //
-// Beyond the google-benchmark sweeps this binary:
-//   * measures the dim-256 / 50k-row FlatIndex case the kernel layer is
-//     tracked against (blocked fp16 kernels + bounded-heap top-k),
-//   * measures queries/second through the batched search path,
-//   * verifies batched == sequential results (the determinism shape
-//     check), and
-//   * writes BENCH_index.json (QPS + recall per index kind) so later
-//     PRs can track the perf trajectory machine-readably.
+// Two corpora:
+//   * the real chunk-embedding distribution from the shared pipeline
+//     context (google-benchmark sweeps + the per-kind JSON entries), and
+//   * a clustered synthetic vector corpus (corpus/vector_corpus.hpp)
+//     scaled to ~1M rows — the sweep that actually separates the tiers:
+//     {flat, ivf, hnsw, sq8, ivfpq} x {resident, mmap}, reporting QPS,
+//     bytes/vector and recall@10 to BENCH_index.json.
+//
+// Flags (defaults reproduce the historic tracking numbers exactly):
+//   --rows N / --dim N   kernel-layer FlatIndex tracking case
+//                        (default 50000 x 256, generation stream
+//                        unchanged at the defaults)
+//   --sweep-rows N       synthetic sweep size (default 1,000,000)
+//   --smoke              shape checks on a shrunk (~2k-row) sweep; no
+//                        timing, no JSON (the ctest entry)
+//
+// Shape checks (smoke and full):
+//   * batched == sequential results at 1/2/8 threads, all five kinds,
+//   * SQ8/IVF-PQ with candidates covering the store are bit-identical
+//     (rows AND scores) to FlatIndex — the exact-rerank contract
+//     (smoke scale only; at 1M the covering scan would dwarf the sweep),
+//   * quantized recall@10 >= 0.95 after rerank,
+//   * IVF-PQ scan payload <= 0.35x flat bytes/vector (SQ8 is 0.5x by
+//     construction: 1 byte/dim vs fp16's 2),
+//   * mmap variants open O(1) (payload stays a view: mmap_backed()) and
+//     return results bit-identical to the resident index.
 
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <memory>
+#include <string>
 
 #include "bench_common.hpp"
+#include "corpus/vector_corpus.hpp"
 #include "embed/embedder.hpp"
+#include "index/quantized.hpp"
 #include "index/vector_index.hpp"
 #include "index/vector_store.hpp"
 #include "json/json.hpp"
@@ -31,6 +54,41 @@
 namespace {
 
 using namespace mcqa;
+
+// --- flags -------------------------------------------------------------------
+
+struct Flags {
+  std::size_t rows = 50000;          ///< tracking case rows
+  std::size_t dim = 256;             ///< tracking case dim
+  std::size_t sweep_rows = 1000000;  ///< synthetic sweep size
+};
+
+Flags g_flags;
+
+/// Strip --rows/--dim/--sweep-rows (with their values) from argv so
+/// benchmark::Initialize never sees them.
+void parse_flags(int* argc, char** argv) {
+  int w = 1;
+  for (int r = 1; r < *argc; ++r) {
+    const std::string_view arg(argv[r]);
+    std::size_t* slot = nullptr;
+    if (arg == "--rows") slot = &g_flags.rows;
+    else if (arg == "--dim") slot = &g_flags.dim;
+    else if (arg == "--sweep-rows") slot = &g_flags.sweep_rows;
+    if (slot != nullptr && r + 1 < *argc) {
+      *slot = static_cast<std::size_t>(std::strtoull(argv[r + 1], nullptr, 10));
+      ++r;
+      continue;
+    }
+    argv[w++] = argv[r];
+  }
+  *argc = w;
+  if (g_flags.rows == 0) g_flags.rows = 1;
+  if (g_flags.dim == 0) g_flags.dim = 1;
+  if (g_flags.sweep_rows == 0) g_flags.sweep_rows = 1;
+}
+
+// --- real-chunk data (gbench sweeps + per-kind JSON entries) -----------------
 
 struct AblationData {
   std::vector<embed::Vector> base;
@@ -90,9 +148,21 @@ std::unique_ptr<index::VectorIndex> make_kind(index::IndexKind kind,
     }
     case index::IndexKind::kHnsw:
       return std::make_unique<index::HnswIndex>(dim);
+    case index::IndexKind::kSq8:
+      return std::make_unique<index::Sq8Index>(dim);
+    case index::IndexKind::kIvfPq: {
+      index::IvfPqConfig cfg;
+      cfg.nlist = 64;
+      cfg.ksub = 64;
+      return std::make_unique<index::IvfPqIndex>(dim, cfg);
+    }
   }
   return nullptr;
 }
+
+constexpr index::IndexKind kAllKinds[] = {
+    index::IndexKind::kFlat, index::IndexKind::kIvf, index::IndexKind::kHnsw,
+    index::IndexKind::kSq8, index::IndexKind::kIvfPq};
 
 void BM_FlatSearch(benchmark::State& state) {
   run_search_bench(state, [] {
@@ -132,22 +202,54 @@ void BM_HnswSearch(benchmark::State& state) {
 }
 BENCHMARK(BM_HnswSearch)->Arg(16)->Arg(64)->Arg(128);
 
-// --- kernel-layer tracking case: FlatIndex at dim 256 / 50k rows -------------
+void BM_Sq8Search(benchmark::State& state) {
+  const auto oversample = static_cast<std::size_t>(state.range(0));
+  run_search_bench(state, [oversample] {
+    index::Sq8Config cfg;
+    cfg.oversample = oversample;
+    auto idx =
+        std::make_unique<index::Sq8Index>(data().base[0].size(), cfg);
+    for (const auto& v : data().base) idx->add(v);
+    idx->build();
+    return idx;
+  });
+}
+BENCHMARK(BM_Sq8Search)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_IvfPqSearch(benchmark::State& state) {
+  const auto nprobe = static_cast<std::size_t>(state.range(0));
+  run_search_bench(state, [nprobe] {
+    index::IvfPqConfig cfg;
+    cfg.nlist = 64;
+    cfg.ksub = 64;
+    cfg.nprobe = nprobe;
+    auto idx =
+        std::make_unique<index::IvfPqIndex>(data().base[0].size(), cfg);
+    for (const auto& v : data().base) idx->add(v);
+    idx->build();
+    return idx;
+  });
+}
+BENCHMARK(BM_IvfPqSearch)->Arg(4)->Arg(8)->Arg(16);
+
+// --- kernel-layer tracking case (default: dim 256 / 50k rows) ----------------
 
 struct FlatCase {
   std::unique_ptr<index::FlatIndex> idx;
   std::vector<embed::Vector> queries;
 };
 
-const FlatCase& flat_50k() {
+const FlatCase& flat_case() {
   static const FlatCase c = [] {
-    constexpr std::size_t kDim = 256;
-    constexpr std::size_t kRows = 50000;
+    const std::size_t dim = g_flags.dim;
+    const std::size_t rows = g_flags.rows;
     FlatCase out;
-    out.idx = std::make_unique<index::FlatIndex>(kDim);
+    out.idx = std::make_unique<index::FlatIndex>(dim);
+    // Generation stream unchanged at the default 50000 x 256, so the
+    // tracked numbers stay comparable across PRs.
     util::Rng rng(1);
-    embed::Vector v(kDim);
-    for (std::size_t i = 0; i < kRows; ++i) {
+    embed::Vector v(dim);
+    for (std::size_t i = 0; i < rows; ++i) {
       for (auto& x : v) x = static_cast<float>(rng.normal());
       embed::normalize(v);
       out.idx->add(v);
@@ -162,8 +264,8 @@ const FlatCase& flat_50k() {
   return c;
 }
 
-void BM_FlatSearch50kDim256(benchmark::State& state) {
-  const auto& c = flat_50k();
+void BM_FlatSearchTrackingCase(benchmark::State& state) {
+  const auto& c = flat_case();
   std::size_t i = 0;
   for (auto _ : state) {
     benchmark::DoNotOptimize(
@@ -171,10 +273,21 @@ void BM_FlatSearch50kDim256(benchmark::State& state) {
     ++i;
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(i));
+  state.counters["rows"] = static_cast<double>(c.idx->size());
+  state.counters["dim"] = static_cast<double>(c.idx->dim());
 }
-BENCHMARK(BM_FlatSearch50kDim256);
+BENCHMARK(BM_FlatSearchTrackingCase);
 
-// --- batched-path QPS + machine-readable report ------------------------------
+// --- shared checks -----------------------------------------------------------
+
+bool results_equal(const std::vector<index::SearchResult>& a,
+                   const std::vector<index::SearchResult>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].row != b[i].row || a[i].score != b[i].score) return false;
+  }
+  return true;
+}
 
 double timed_batch_qps(const index::VectorIndex& idx,
                        const std::vector<embed::Vector>& queries,
@@ -201,41 +314,298 @@ bool batch_matches_sequential(const index::VectorIndex& idx,
     const auto got = idx.search_batch(queries, k, pool);
     if (got.size() != want.size()) return false;
     for (std::size_t i = 0; i < got.size(); ++i) {
-      if (got[i].size() != want[i].size()) return false;
-      for (std::size_t j = 0; j < got[i].size(); ++j) {
-        if (got[i][j].row != want[i][j].row ||
-            got[i][j].score != want[i][j].score) {
-          return false;
-        }
-      }
+      if (!results_equal(got[i], want[i])) return false;
     }
   }
   return true;
 }
 
-/// Smoke path: determinism shape checks only (no timing, no JSON) —
-/// batched search must match sequential for every index kind.
+bool check(bool ok, const char* what) {
+  std::printf("shape check [%s]: %s\n", what, ok ? "PASS" : "FAIL");
+  return ok;
+}
+
+// --- synthetic million-row sweep ---------------------------------------------
+
+struct SweepConfig {
+  std::size_t rows = 1000000;
+  std::size_t dim = 256;
+  std::size_t clusters = 0;  ///< 0 = rows/32 (mean topic ~32 rows)
+  std::size_t queries = 32;
+  std::size_t k = 10;
+  /// Covering-rerank bit-identity check (candidate set = whole store):
+  /// smoke scale only — at 1M the covering scan would dwarf the sweep.
+  bool check_rerank_identity = false;
+};
+
+std::size_t sweep_nlist(std::size_t rows) {
+  if (rows >= 500000) return 256;
+  if (rows >= 50000) return 128;
+  return 64;
+}
+
+std::unique_ptr<index::VectorIndex> make_sweep_index(index::IndexKind kind,
+                                                     const SweepConfig& sc) {
+  const bool big = sc.rows >= 100000;
+  switch (kind) {
+    case index::IndexKind::kFlat:
+      return std::make_unique<index::FlatIndex>(sc.dim);
+    case index::IndexKind::kIvf: {
+      index::IvfConfig cfg;
+      cfg.nlist = sweep_nlist(sc.rows);
+      cfg.nprobe = 16;
+      cfg.train_iters = big ? 4 : 12;  // Lloyd cost is O(n * nlist * dim)
+      return std::make_unique<index::IvfIndex>(sc.dim, cfg);
+    }
+    case index::IndexKind::kHnsw: {
+      index::HnswConfig cfg;
+      // In-cluster rows near-tie; the default beam misses badly there.
+      cfg.ef_search = 128;
+      return std::make_unique<index::HnswIndex>(sc.dim, cfg);
+    }
+    case index::IndexKind::kSq8: {
+      index::Sq8Config cfg;
+      cfg.oversample = 16;
+      return std::make_unique<index::Sq8Index>(sc.dim, cfg);
+    }
+    case index::IndexKind::kIvfPq: {
+      index::IvfPqConfig cfg;
+      cfg.nlist = sweep_nlist(sc.rows);
+      cfg.nprobe = 32;
+      cfg.m = 16;
+      cfg.ksub = big ? 256 : 64;  // amortize codebooks at small scale
+      // Candidates must cover the query's whole topic (its rows
+      // near-tie in ADC score); the biggest topic is ~11x the mean of
+      // 32 rows, so k * 64 = 640 covers with margin.
+      cfg.oversample = big ? 64 : 16;
+      return std::make_unique<index::IvfPqIndex>(sc.dim, cfg);
+    }
+  }
+  return nullptr;
+}
+
+struct SweepOutcome {
+  json::Value report = json::Value::object();
+  bool checks_pass = true;
+};
+
+SweepOutcome run_sweep(const SweepConfig& sc, bool timing) {
+  corpus::VectorCorpusConfig cc;
+  cc.rows = sc.rows;
+  cc.dim = sc.dim;
+  cc.clusters = sc.clusters != 0 ? sc.clusters
+                                 : std::max<std::size_t>(64, sc.rows / 32);
+  const corpus::VectorCorpus vc(cc);
+  parallel::ThreadPool& pool = bench::shared_sweep_pool();
+
+  std::vector<embed::Vector> queries;
+  queries.reserve(sc.queries);
+  for (std::size_t j = 0; j < sc.queries; ++j) queries.push_back(vc.query(j));
+
+  std::printf("sweep: %zu rows x dim %zu (%zu clusters), %zu queries, "
+              "k=%zu\n",
+              sc.rows, sc.dim, cc.clusters, sc.queries, sc.k);
+
+  SweepOutcome out;
+  out.report["rows"] = sc.rows;
+  out.report["dim"] = sc.dim;
+  out.report["clusters"] = cc.clusters;
+  out.report["queries"] = sc.queries;
+  out.report["k"] = sc.k;
+  json::Array entries;
+
+  const std::filesystem::path blob_dir =
+      std::filesystem::temp_directory_path() / "mcqa_index_sweep";
+  std::filesystem::create_directories(blob_dir);
+
+  // Ground truth + flat reference for the bit-identity and recall
+  // checks (FlatIndex is exact over the fp16-at-rest rows — the same
+  // precision the rerank pass sees).
+  std::vector<std::vector<index::SearchResult>> truth(queries.size());
+  double flat_bytes_per_vec = 0.0;
+  bool have_truth = false;
+
+  for (const index::IndexKind kind : kAllKinds) {
+    auto idx = make_sweep_index(kind, sc);
+    util::Stopwatch build_sw;
+    constexpr std::size_t kBlock = 65536;
+    for (std::size_t at = 0; at < sc.rows; at += kBlock) {
+      idx->add_batch(vc.block(at, std::min(sc.rows, at + kBlock), pool));
+    }
+    idx->build(pool);
+    const double build_s = build_sw.seconds();
+
+    std::vector<std::vector<index::SearchResult>> results(queries.size());
+    util::Stopwatch query_sw;
+    for (std::size_t j = 0; j < queries.size(); ++j) {
+      results[j] = idx->search(queries[j], sc.k);
+    }
+    const double qps =
+        static_cast<double>(queries.size()) / query_sw.seconds();
+
+    if (kind == index::IndexKind::kFlat) {
+      truth = results;
+      have_truth = true;
+      flat_bytes_per_vec = static_cast<double>(idx->payload_bytes()) /
+                           static_cast<double>(sc.rows);
+    }
+    double recall = 0.0;
+    for (std::size_t j = 0; j < queries.size(); ++j) {
+      recall += index::recall_at_k(results[j], truth[j]);
+    }
+    recall /= static_cast<double>(queries.size());
+
+    const double bytes_per_vec = static_cast<double>(idx->payload_bytes()) /
+                                 static_cast<double>(sc.rows);
+    const double rerank_per_vec = static_cast<double>(idx->rerank_bytes()) /
+                                  static_cast<double>(sc.rows);
+
+    // mmap variant: save, reopen as views, re-run the queries.
+    const std::string blob_path =
+        (blob_dir / (std::string(index::index_kind_name(kind)) + ".idx"))
+            .string();
+    {
+      const std::string blob = idx->save();
+      std::ofstream f(blob_path, std::ios::binary);
+      f.write(blob.data(), static_cast<std::streamsize>(blob.size()));
+    }
+    util::Stopwatch open_sw;
+    const index::MappedIndex mapped = index::open_index_mmap(blob_path);
+    const double open_s = open_sw.seconds();
+
+    std::vector<std::vector<index::SearchResult>> mmap_results(
+        queries.size());
+    util::Stopwatch mmap_sw;
+    for (std::size_t j = 0; j < queries.size(); ++j) {
+      mmap_results[j] = mapped.index->search(queries[j], sc.k);
+    }
+    const double mmap_qps =
+        static_cast<double>(queries.size()) / mmap_sw.seconds();
+
+    bool mmap_identical = true;
+    for (std::size_t j = 0; j < queries.size(); ++j) {
+      mmap_identical =
+          mmap_identical && results_equal(results[j], mmap_results[j]);
+    }
+
+    char label[64];
+    std::snprintf(label, sizeof(label), "%s: mmap open O(1) + identical",
+                  std::string(index::index_kind_name(kind)).c_str());
+    out.checks_pass &=
+        check(mapped.index->mmap_backed() && mmap_identical, label);
+
+    for (const bool is_mmap : {false, true}) {
+      json::Value entry = json::Value::object();
+      entry["kind"] = index::index_kind_name(kind);
+      entry["storage"] = is_mmap ? "mmap" : "resident";
+      entry["bytes_per_vector"] = bytes_per_vec;
+      entry["rerank_bytes_per_vector"] = rerank_per_vec;
+      entry["recall_at_10"] = recall;
+      if (is_mmap) {
+        entry["open_s"] = open_s;
+        entry["qps"] = mmap_qps;
+        entry["mmap_backed"] = mapped.index->mmap_backed();
+      } else {
+        entry["build_s"] = build_s;
+        entry["qps"] = qps;
+      }
+      entries.push_back(std::move(entry));
+    }
+    if (timing) {
+      std::printf(
+          "  %-5s  build %7.2fs  qps %9.1f | mmap open %.6fs qps %9.1f | "
+          "%7.1f B/vec (+%5.1f rerank)  recall@10 %.3f\n",
+          std::string(index::index_kind_name(kind)).c_str(), build_s, qps,
+          open_s, mmap_qps, bytes_per_vec, rerank_per_vec, recall);
+    }
+
+    // Quantized-tier checks: recall floor and memory envelope.
+    if (kind == index::IndexKind::kSq8 || kind == index::IndexKind::kIvfPq) {
+      std::snprintf(label, sizeof(label), "%s: recall@10 >= 0.95",
+                    std::string(index::index_kind_name(kind)).c_str());
+      out.checks_pass &= check(recall >= 0.95, label);
+    }
+    if (kind == index::IndexKind::kIvfPq && have_truth) {
+      out.checks_pass &= check(bytes_per_vec <= 0.35 * flat_bytes_per_vec,
+                               "ivfpq: scan payload <= 0.35x flat");
+    }
+    if (kind == index::IndexKind::kSq8 && have_truth) {
+      out.checks_pass &= check(bytes_per_vec <= 0.52 * flat_bytes_per_vec,
+                               "sq8: scan payload <= 0.52x flat");
+    }
+
+    // Exact-rerank bit-identity under full candidate coverage.
+    if (sc.check_rerank_identity &&
+        (kind == index::IndexKind::kSq8 ||
+         kind == index::IndexKind::kIvfPq)) {
+      std::unique_ptr<index::VectorIndex> covering;
+      if (kind == index::IndexKind::kSq8) {
+        index::Sq8Config cfg;
+        cfg.min_candidates = sc.rows;
+        covering = std::make_unique<index::Sq8Index>(sc.dim, cfg);
+      } else {
+        index::IvfPqConfig cfg;
+        cfg.nlist = sweep_nlist(sc.rows);
+        cfg.nprobe = sc.rows;  // probe everything
+        cfg.ksub = 64;
+        cfg.min_candidates = sc.rows;
+        covering = std::make_unique<index::IvfPqIndex>(sc.dim, cfg);
+      }
+      for (std::size_t at = 0; at < sc.rows; at += kBlock) {
+        covering->add_batch(vc.block(at, std::min(sc.rows, at + kBlock),
+                                     pool));
+      }
+      covering->build(pool);
+      bool identical = true;
+      for (std::size_t j = 0; j < queries.size(); ++j) {
+        identical = identical &&
+                    results_equal(covering->search(queries[j], sc.k),
+                                  truth[j]);
+      }
+      std::snprintf(label, sizeof(label),
+                    "%s: covering rerank == FlatIndex bit-identical",
+                    std::string(index::index_kind_name(kind)).c_str());
+      out.checks_pass &= check(identical, label);
+    }
+  }
+  out.report["indexes"] = json::Value(std::move(entries));
+  std::error_code ec;
+  std::filesystem::remove_all(blob_dir, ec);
+  return out;
+}
+
+// --- smoke / full drivers ----------------------------------------------------
+
+/// Smoke path: determinism + quantized-tier shape checks on shrunk
+/// inputs (no timing, no JSON) — what the `bench`-labelled ctest entry
+/// runs.
 int run_smoke() {
+  bool pass = true;
+
   const std::size_t dim = data().base[0].size();
   const std::vector<embed::Vector> queries(
       data().queries.begin(),
       data().queries.begin() +
           static_cast<std::ptrdiff_t>(std::min<std::size_t>(
               16, data().queries.size())));
-  bool all_deterministic = true;
-  for (const index::IndexKind kind :
-       {index::IndexKind::kFlat, index::IndexKind::kIvf,
-        index::IndexKind::kHnsw}) {
+  for (const index::IndexKind kind : kAllKinds) {
     auto idx = make_kind(kind, dim);
     idx->add_batch(data().base);
     idx->build();
-    const bool deterministic = batch_matches_sequential(*idx, queries);
-    std::printf("shape check [%s]: batched == sequential at 1/2/8 threads: %s\n",
-                std::string(index::index_kind_name(kind)).c_str(),
-                deterministic ? "PASS" : "FAIL");
-    all_deterministic = all_deterministic && deterministic;
+    char label[64];
+    std::snprintf(label, sizeof(label),
+                  "%s: batched == sequential at 1/2/8 threads",
+                  std::string(index::index_kind_name(kind)).c_str());
+    pass &= check(batch_matches_sequential(*idx, queries), label);
   }
-  return all_deterministic ? 0 : 1;
+
+  SweepConfig sc;
+  sc.rows = 2048;
+  sc.clusters = 64;
+  sc.queries = 16;
+  sc.check_rerank_identity = true;
+  pass &= run_sweep(sc, /*timing=*/false).checks_pass;
+  return pass ? 0 : 1;
 }
 
 void write_bench_json() {
@@ -251,9 +621,7 @@ void write_bench_json() {
 
   json::Array indexes;
   bool all_deterministic = true;
-  for (const index::IndexKind kind :
-       {index::IndexKind::kFlat, index::IndexKind::kIvf,
-        index::IndexKind::kHnsw}) {
+  for (const index::IndexKind kind : kAllKinds) {
     auto idx = make_kind(kind, dim);
     for (const auto& v : data().base) idx->add(v);
     idx->build();
@@ -278,14 +646,17 @@ void write_bench_json() {
     entry["qps_single"] = qps_single;
     entry["qps_batch"] = qps_batch;
     entry["recall_at_10"] = mean_recall(*idx);
+    entry["bytes_per_vector"] =
+        static_cast<double>(idx->payload_bytes()) /
+        static_cast<double>(std::max<std::size_t>(idx->size(), 1));
     entry["batch_matches_sequential"] = deterministic;
     indexes.push_back(std::move(entry));
   }
   report["indexes"] = json::Value(std::move(indexes));
 
-  // The kernel-layer tracking case (dim 256 / 50k rows).
+  // The kernel-layer tracking case (default: dim 256 / 50k rows).
   {
-    const auto& c = flat_50k();
+    const auto& c = flat_case();
     util::Stopwatch sw;
     std::size_t singles = 0;
     for (const auto& q : c.queries) {
@@ -300,26 +671,35 @@ void write_bench_json() {
     report["flat_50k_dim256"] = std::move(entry);
   }
 
+  // The synthetic clustered sweep (the tier-separating experiment).
+  SweepConfig sc;
+  sc.rows = g_flags.sweep_rows;
+  const SweepOutcome sweep = run_sweep(sc, /*timing=*/true);
+  report["sweep"] = sweep.report;
+
   std::ofstream out("BENCH_index.json");
   out << report.dump(2) << "\n";
   std::printf(
       "\nshape check: batched results identical to sequential search at "
       "1/2/8 threads for all index kinds: %s\n",
       all_deterministic ? "PASS" : "FAIL");
+  std::printf("sweep shape checks: %s\n",
+              sweep.checks_pass ? "PASS" : "FAIL");
   std::printf("wrote BENCH_index.json\n");
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
+  parse_flags(&argc, argv);
   const bool smoke = mcqa::bench::parse_args(&argc, argv);
   std::printf(
-      "Index ablation (A1): recall@10 vs throughput over %zu chunk "
-      "embeddings — the FAISS-style accuracy/speed trade-off.\n"
+      "Index ablation (A1): recall@10 vs throughput vs bytes/vector — "
+      "flat/IVF/HNSW plus the quantized tier (SQ8, IVF-PQ with exact "
+      "fp16 rerank), resident and mmap.\n"
       "Similarity kernels: blocked fixed-lane-order (see DESIGN.md); "
       "top-k via bounded heap; batched path fans across the thread "
-      "pool.\n\n",
-      data().base.size());
+      "pool.\n\n");
   if (smoke) return run_smoke();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

@@ -1,0 +1,67 @@
+#include "corpus/vector_corpus.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "parallel/thread_pool.hpp"
+
+namespace mcqa::corpus {
+
+VectorCorpus::VectorCorpus(VectorCorpusConfig config)
+    : config_(config),
+      row_base_(util::Rng(config.seed).fork("vc-row")),
+      query_base_(util::Rng(config.seed).fork("vc-query")) {
+  config_.clusters = std::max<std::size_t>(config_.clusters, 1);
+  const util::Rng center_base = util::Rng(config_.seed).fork("vc-center");
+  centers_.reserve(config_.clusters);
+  for (std::size_t c = 0; c < config_.clusters; ++c) {
+    util::Rng rng = center_base.fork(c);
+    embed::Vector v(config_.dim);
+    for (float& x : v) x = static_cast<float>(rng.normal());
+    embed::normalize(v);
+    centers_.push_back(std::move(v));
+  }
+}
+
+embed::Vector VectorCorpus::sample(util::Rng rng, float noise) const {
+  // Bounded power-law topic pick: floor(clusters * u^skew).  Topic 0 is
+  // the biggest at ~clusters^(1-1/skew) times the mean size.
+  const double u = rng.uniform();
+  const auto raw = static_cast<std::size_t>(
+      static_cast<double>(config_.clusters) *
+      std::pow(u, std::max(config_.skew, 1.0)));
+  const std::size_t cluster = std::min(raw, config_.clusters - 1);
+  const embed::Vector& center = centers_[cluster];
+  // Per-dim noise is scaled by 1/sqrt(dim) so the TOTAL noise norm is
+  // ~`noise`: the unit center must dominate, otherwise the mixture
+  // degenerates into uniform sphere noise and recall floors are
+  // meaningless.
+  const float per_dim =
+      noise / std::sqrt(static_cast<float>(std::max<std::size_t>(
+                 config_.dim, 1)));
+  embed::Vector v(config_.dim);
+  for (std::size_t d = 0; d < config_.dim; ++d) {
+    v[d] = center[d] + per_dim * static_cast<float>(rng.normal());
+  }
+  embed::normalize(v);
+  return v;
+}
+
+embed::Vector VectorCorpus::row(std::size_t i) const {
+  return sample(row_base_.fork(i), config_.row_noise);
+}
+
+embed::Vector VectorCorpus::query(std::size_t j) const {
+  return sample(query_base_.fork(j), config_.query_noise);
+}
+
+std::vector<embed::Vector> VectorCorpus::block(
+    std::size_t begin, std::size_t end, parallel::ThreadPool& pool) const {
+  std::vector<embed::Vector> out(end - begin);
+  parallel::parallel_for(pool, begin, end, [&](std::size_t i) {
+    out[i - begin] = row(i);
+  });
+  return out;
+}
+
+}  // namespace mcqa::corpus

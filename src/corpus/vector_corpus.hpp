@@ -1,0 +1,84 @@
+#pragma once
+// Synthetic embedding-space corpus for index benchmarking at scales
+// where embedding real text would dominate the run (the ~1M-chunk
+// ablation sweep).
+//
+// Real chunk embeddings are not uniform on the sphere — they clump by
+// topic, and topic sizes are skewed.  VectorCorpus reproduces that
+// shape directly in vector space: `clusters` unit-norm centers, rows
+// assigned by a bounded power law (cluster = floor(clusters * u^skew),
+// so the biggest topic is ~clusters^(1-1/skew) times the mean — skewed
+// but never degenerate), each row = normalize(center + noise * g/|g|·
+// ... i.e. the noise norm is `noise`, NOT noise*sqrt(dim); the center
+// must dominate or "clusters" collapse into uniform sphere noise).
+// Queries draw from the same mixture with their own noise level, so a
+// query's true nearest neighbors live in its cluster — the regime
+// where IVF cell routing and quantized-code ranking are actually
+// exercised (uniform random vectors would make every index look the
+// same and recall floors meaningless).  Bounded topic sizes are also
+// what makes an exact-rerank recall floor meaningful: a rerank pass
+// over c candidates can only cover the true top-k when the query's
+// topic (whose rows near-tie in approximate score) fits inside c.
+//
+// Determinism: every row, center and query comes from an Rng stream
+// forked from the corpus seed by a stable id ("row"/i, "center"/c,
+// "query"/j), so row(i) is a pure function — blocks can be generated
+// in parallel in any order, and two processes sweeping the same config
+// build bit-identical indexes.
+
+#include <cstdint>
+#include <vector>
+
+#include "embed/embedder.hpp"
+#include "util/rng.hpp"
+
+namespace mcqa::parallel {
+class ThreadPool;
+}
+
+namespace mcqa::corpus {
+
+struct VectorCorpusConfig {
+  std::size_t rows = 1'000'000;
+  std::size_t dim = 256;
+  std::size_t clusters = 32768;  ///< clamped to >= 1
+  double skew = 1.3;    ///< topic-size skew; >= 1, 1 = uniform sizes
+  float row_noise = 0.35f;      ///< total noise norm around the center
+  float query_noise = 0.25f;    ///< queries sit a bit tighter
+  std::uint64_t seed = 1234;
+};
+
+class VectorCorpus {
+ public:
+  explicit VectorCorpus(VectorCorpusConfig config = {});
+
+  const VectorCorpusConfig& config() const { return config_; }
+  std::size_t rows() const { return config_.rows; }
+  std::size_t dim() const { return config_.dim; }
+
+  /// Row i of the corpus (unit-norm).  Pure: depends only on (seed, i).
+  embed::Vector row(std::size_t i) const;
+
+  /// Query j (unit-norm), drawn from the same cluster mixture.
+  embed::Vector query(std::size_t j) const;
+
+  /// Rows [begin, end) generated across `pool` — result is identical to
+  /// calling row(i) sequentially (per-row streams make order moot).
+  /// Blocked generation keeps the 1M sweep's peak memory at one block.
+  std::vector<embed::Vector> block(std::size_t begin, std::size_t end,
+                                   parallel::ThreadPool& pool) const;
+
+  const embed::Vector& center(std::size_t cluster) const {
+    return centers_[cluster];
+  }
+
+ private:
+  embed::Vector sample(util::Rng rng, float noise) const;
+
+  VectorCorpusConfig config_;
+  util::Rng row_base_;
+  util::Rng query_base_;
+  std::vector<embed::Vector> centers_;
+};
+
+}  // namespace mcqa::corpus

@@ -1,21 +1,39 @@
-// Serialization for the trained IVF and HNSW indexes.  Simple
-// length-prefixed binary sections after a text header; float payloads
-// are memcpy'd (indexes are a cache, not an interchange format — the
-// canonical artifacts are the JSON records).
+// Serialization for the vector indexes.  Length-prefixed binary
+// sections after a version-stamped magic line; payloads are memcpy'd
+// (indexes are a cache, not an interchange format — the canonical
+// artifacts are the JSON records).
 //
-// Format v2: vectors and centroids live in contiguous RowStorage, so
-// the whole row-major payload moves as one block instead of a
-// per-vector loop.
+// Current formats (flatidx2, ivfidx3, hnswidx3, sq8idx1, ivfpqidx1)
+// zero-pad every bulk payload block to an 8-byte offset from the blob
+// start.  The pad is recomputed from the stream position on both sides
+// — nothing variable is stored — and buys view-mode loads: when the
+// blob is a whole mapped file (page-aligned base), every float/fp16/u8
+// payload is naturally aligned, so load_index_view() wraps the mapped
+// bytes in TypedRows views instead of copying.  A misaligned buffer
+// silently degrades to a copy — view mode is an optimization, never a
+// correctness knob.
+//
+// The one-generation-old formats (flatidx1, ivfidx2, hnswidx2) still
+// load (resident only).  Anything else — unknown magic, truncated
+// payload, out-of-range structure — throws from load_index() and
+// returns nullptr from try_load_index(), which the checkpoint restore
+// path treats as a corrupt-blob miss and rebuilds from scratch.
 
+#include <cstdint>
 #include <cstdio>
 #include <cstring>
+#include <memory>
 #include <stdexcept>
 
+#include "index/quantized.hpp"
 #include "index/vector_index.hpp"
 
 namespace mcqa::index {
 
 namespace {
+
+constexpr std::size_t kMaxDim = 1u << 20;
+constexpr std::size_t kMaxRows = 1ull << 34;
 
 void put_u64(std::string& out, std::uint64_t v) {
   char buf[8];
@@ -33,140 +51,508 @@ std::uint64_t take_u64(std::string_view blob, std::size_t& pos) {
   return v;
 }
 
-/// Write a RowStorage payload: row count then the flat float block.
-void put_rows(std::string& out, const RowStorage& rows) {
-  put_u64(out, rows.size());
-  const std::size_t bytes = rows.data().size() * sizeof(float);
-  const std::size_t at = out.size();
-  out.resize(at + bytes);
-  std::memcpy(out.data() + at, rows.data().data(), bytes);
+/// Zero-pad to the next 8-byte offset from the blob start.
+void pad8(std::string& out) {
+  while (out.size() % 8 != 0) out.push_back('\0');
 }
 
-RowStorage take_rows(std::string_view blob, std::size_t& pos,
-                     std::size_t dim) {
+/// Skip the loader-side pad; the pad length is recomputed from `pos`,
+/// never stored.
+void align8(std::string_view blob, std::size_t& pos) {
+  while (pos % 8 != 0) {
+    if (pos >= blob.size()) {
+      throw std::runtime_error("index load: truncated pad");
+    }
+    ++pos;
+  }
+}
+
+/// Append a bulk payload block: pad to 8, then the raw bytes.
+void put_bytes(std::string& out, const void* p, std::size_t bytes) {
+  pad8(out);
+  const std::size_t at = out.size();
+  out.resize(at + bytes);
+  if (bytes > 0) std::memcpy(out.data() + at, p, bytes);
+}
+
+/// Align to 8 and hand back a pointer to `bytes` payload bytes.
+const char* take_bytes(std::string_view blob, std::size_t& pos,
+                       std::size_t bytes) {
+  align8(blob, pos);
+  if (pos + bytes > blob.size() || pos + bytes < pos) {
+    throw std::runtime_error("index load: truncated payload");
+  }
+  const char* p = blob.data() + pos;
+  pos += bytes;
+  return p;
+}
+
+template <typename T>
+void put_block(std::string& out, const TypedRows<T>& rows) {
+  put_bytes(out, rows.raw(), rows.value_count() * sizeof(T));
+}
+
+/// Read a rows*dim typed block.  In view mode the returned storage
+/// borrows the blob bytes when they are aligned for T (always true for
+/// a whole mapped file); otherwise it falls back to a resident copy.
+template <typename T>
+TypedRows<T> take_block(std::string_view blob, std::size_t& pos,
+                        std::size_t rows, std::size_t dim, bool view) {
+  if (rows > kMaxRows || dim > kMaxDim) {
+    throw std::runtime_error("index load: implausible block shape");
+  }
+  const std::size_t bytes = rows * dim * sizeof(T);
+  const char* p = take_bytes(blob, pos, bytes);
+  if (view && reinterpret_cast<std::uintptr_t>(p) % alignof(T) == 0) {
+    return TypedRows<T>::view(reinterpret_cast<const T*>(p), rows, dim);
+  }
+  TypedRows<T> out(dim);
+  out.resize_rows(rows);
+  if (bytes > 0) std::memcpy(out.mutable_raw(), p, bytes);
+  return out;
+}
+
+void put_float_vec(std::string& out, const std::vector<float>& v) {
+  put_bytes(out, v.data(), v.size() * sizeof(float));
+}
+
+std::vector<float> take_float_vec(std::string_view blob, std::size_t& pos,
+                                  std::size_t n) {
+  const char* p = take_bytes(blob, pos, n * sizeof(float));
+  std::vector<float> v(n);
+  if (n > 0) std::memcpy(v.data(), p, n * sizeof(float));
+  return v;
+}
+
+bool has_magic(std::string_view blob, std::string_view magic) {
+  return blob.substr(0, magic.size()) == magic;
+}
+
+std::size_t checked_dim(std::uint64_t dim) {
+  if (dim == 0 || dim > kMaxDim) {
+    throw std::runtime_error("index load: bad dim");
+  }
+  return static_cast<std::size_t>(dim);
+}
+
+// --- legacy (one generation old) readers -------------------------------------
+
+/// ivfidx2/hnswidx2 row block: u64 count then unpadded floats.
+RowStorage take_rows_legacy(std::string_view blob, std::size_t& pos,
+                            std::size_t dim) {
   const std::size_t n = take_u64(blob, pos);
+  if (n > kMaxRows) throw std::runtime_error("index load: bad row count");
   const std::size_t bytes = n * dim * sizeof(float);
   if (pos + bytes > blob.size()) {
     throw std::runtime_error("index load: truncated row block");
   }
   RowStorage rows(dim);
   rows.resize_rows(n);
-  std::memcpy(rows.data().data(), blob.data() + pos, bytes);
+  if (bytes > 0) std::memcpy(rows.mutable_raw(), blob.data() + pos, bytes);
   pos += bytes;
   return rows;
 }
 
 }  // namespace
 
-// --- IVF ---------------------------------------------------------------------
+// All index classes befriend IndexIo, so the per-kind readers live here
+// as statics with access to the private fields.
+struct IndexIo {
+  // --- Flat ------------------------------------------------------------------
 
-std::string IvfIndex::save() const {
-  if (!built_) {
-    throw std::logic_error("IvfIndex::save: build() the index first");
+  static std::string save_flat(const FlatIndex& idx) {
+    std::string out = "flatidx2\n";
+    put_u64(out, idx.dim_);
+    put_u64(out, idx.data_.size());
+    put_block(out, idx.data_);
+    return out;
   }
-  std::string out = "ivfidx2\n";
-  put_u64(out, dim_);
-  put_u64(out, config_.nprobe);
-  put_rows(out, vectors_);
-  put_rows(out, centroids_);
-  for (const auto& list : lists_) {
-    put_u64(out, list.size());
-    for (const std::size_t row : list) put_u64(out, row);
-  }
-  return out;
-}
 
-IvfIndex IvfIndex::load(std::string_view blob) {
-  constexpr std::string_view kMagic = "ivfidx2\n";
-  if (blob.substr(0, kMagic.size()) != kMagic) {
-    throw std::runtime_error("IvfIndex::load: bad magic");
-  }
-  std::size_t pos = kMagic.size();
-  const std::size_t dim = take_u64(blob, pos);
-  if (dim == 0 || dim > 1u << 20) {
-    throw std::runtime_error("IvfIndex::load: bad dim");
-  }
-  IvfConfig cfg;
-  cfg.nprobe = take_u64(blob, pos);
-  IvfIndex idx(dim, cfg);
-  idx.vectors_ = take_rows(blob, pos, dim);
-  idx.centroids_ = take_rows(blob, pos, dim);
-  const std::size_t n = idx.vectors_.size();
-  const std::size_t k = idx.centroids_.size();
-  idx.lists_.resize(k);
-  for (std::size_t c = 0; c < k; ++c) {
-    const std::size_t len = take_u64(blob, pos);
-    idx.lists_[c].reserve(len);
-    for (std::size_t i = 0; i < len; ++i) {
-      const std::size_t row = take_u64(blob, pos);
-      if (row >= n) throw std::runtime_error("IvfIndex::load: bad row");
-      idx.lists_[c].push_back(row);
+  static FlatIndex load_flat(std::string_view blob, bool view) {
+    constexpr std::string_view kMagic = "flatidx2\n";
+    if (has_magic(blob, "flatidx1\n")) return load_flat_v1(blob);
+    if (!has_magic(blob, kMagic)) {
+      throw std::runtime_error("FlatIndex::load: bad magic");
     }
+    std::size_t pos = kMagic.size();
+    const std::size_t dim = checked_dim(take_u64(blob, pos));
+    const std::size_t rows = take_u64(blob, pos);
+    FlatIndex idx(dim);
+    idx.data_ = take_block<util::fp16_t>(blob, pos, rows, dim, view);
+    return idx;
   }
-  idx.built_ = true;
-  return idx;
-}
 
-// --- HNSW --------------------------------------------------------------------
-
-std::string HnswIndex::save() const {
-  std::string out = "hnswidx2\n";
-  put_u64(out, dim_);
-  put_u64(out, config_.m);
-  put_u64(out, config_.ef_search);
-  put_u64(out, entry_point_);
-  put_u64(out, static_cast<std::uint64_t>(max_level_ + 1));
-  put_rows(out, vectors_);
-  for (const auto& node : nodes_) {
-    put_u64(out, static_cast<std::uint64_t>(node.level));
-    for (const auto& layer : node.links) {
-      put_u64(out, layer.size());
-      for (const std::uint32_t nb : layer) put_u64(out, nb);
+  static FlatIndex load_flat_v1(std::string_view blob) {
+    // Text header: "flatidx1\n<dim> <rows>\n" then the fp16 payload at
+    // whatever offset the header ends on (resident load only).
+    std::size_t pos = blob.find('\n');
+    const std::size_t line_start = pos + 1;
+    pos = blob.find('\n', line_start);
+    if (pos == std::string_view::npos) {
+      throw std::runtime_error("FlatIndex::load: truncated");
     }
-  }
-  return out;
-}
-
-HnswIndex HnswIndex::load(std::string_view blob) {
-  constexpr std::string_view kMagic = "hnswidx2\n";
-  if (blob.substr(0, kMagic.size()) != kMagic) {
-    throw std::runtime_error("HnswIndex::load: bad magic");
-  }
-  std::size_t pos = kMagic.size();
-  const std::size_t dim = take_u64(blob, pos);
-  if (dim == 0 || dim > 1u << 20) {
-    throw std::runtime_error("HnswIndex::load: bad dim");
-  }
-  HnswConfig cfg;
-  cfg.m = take_u64(blob, pos);
-  cfg.ef_search = take_u64(blob, pos);
-  HnswIndex idx(dim, cfg);
-  idx.entry_point_ = take_u64(blob, pos);
-  idx.max_level_ = static_cast<int>(take_u64(blob, pos)) - 1;
-  idx.vectors_ = take_rows(blob, pos, dim);
-  const std::size_t n = idx.vectors_.size();
-  idx.nodes_.resize(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    Node& node = idx.nodes_[i];
-    node.level = static_cast<int>(take_u64(blob, pos));
-    if (node.level < 0 || node.level > 64) {
-      throw std::runtime_error("HnswIndex::load: bad level");
+    std::size_t dim = 0;
+    std::size_t rows = 0;
+    const std::string counts(blob.substr(line_start, pos - line_start));
+    if (std::sscanf(counts.c_str(), "%zu %zu", &dim, &rows) != 2 || dim == 0) {
+      throw std::runtime_error("FlatIndex::load: bad counts");
     }
-    node.links.resize(static_cast<std::size_t>(node.level) + 1);
-    for (auto& layer : node.links) {
+    const std::size_t payload = rows * dim * sizeof(util::fp16_t);
+    if (blob.size() - (pos + 1) < payload) {
+      throw std::runtime_error("FlatIndex::load: truncated payload");
+    }
+    FlatIndex idx(dim);
+    idx.data_.resize_rows(rows);
+    if (payload > 0) {
+      std::memcpy(idx.data_.mutable_raw(), blob.data() + pos + 1, payload);
+    }
+    return idx;
+  }
+
+  // --- IVF -------------------------------------------------------------------
+
+  static std::string save_ivf(const IvfIndex& idx) {
+    if (!idx.built_) {
+      throw std::logic_error("IvfIndex::save: build() the index first");
+    }
+    std::string out = "ivfidx3\n";
+    put_u64(out, idx.dim_);
+    put_u64(out, idx.config_.nprobe);
+    put_u64(out, idx.vectors_.size());
+    put_u64(out, idx.centroids_.size());
+    put_block(out, idx.vectors_);
+    put_block(out, idx.centroids_);
+    for (const auto& list : idx.lists_) {
+      put_u64(out, list.size());
+      for (const std::size_t row : list) put_u64(out, row);
+    }
+    return out;
+  }
+
+  static IvfIndex load_ivf(std::string_view blob, bool view) {
+    constexpr std::string_view kMagic = "ivfidx3\n";
+    if (has_magic(blob, "ivfidx2\n")) return load_ivf_v2(blob);
+    if (!has_magic(blob, kMagic)) {
+      throw std::runtime_error("IvfIndex::load: bad magic");
+    }
+    std::size_t pos = kMagic.size();
+    const std::size_t dim = checked_dim(take_u64(blob, pos));
+    IvfConfig cfg;
+    cfg.nprobe = take_u64(blob, pos);
+    const std::size_t n = take_u64(blob, pos);
+    const std::size_t k = take_u64(blob, pos);
+    IvfIndex idx(dim, cfg);
+    idx.vectors_ = take_block<float>(blob, pos, n, dim, view);
+    idx.centroids_ = take_block<float>(blob, pos, k, dim, view);
+    take_ivf_lists(blob, pos, idx, n, k);
+    idx.built_ = true;
+    return idx;
+  }
+
+  static IvfIndex load_ivf_v2(std::string_view blob) {
+    std::size_t pos = 8;  // "ivfidx2\n"
+    const std::size_t dim = checked_dim(take_u64(blob, pos));
+    IvfConfig cfg;
+    cfg.nprobe = take_u64(blob, pos);
+    IvfIndex idx(dim, cfg);
+    idx.vectors_ = take_rows_legacy(blob, pos, dim);
+    idx.centroids_ = take_rows_legacy(blob, pos, dim);
+    take_ivf_lists(blob, pos, idx, idx.vectors_.size(),
+                   idx.centroids_.size());
+    idx.built_ = true;
+    return idx;
+  }
+
+  static void take_ivf_lists(std::string_view blob, std::size_t& pos,
+                             IvfIndex& idx, std::size_t n, std::size_t k) {
+    idx.lists_.resize(k);
+    for (std::size_t c = 0; c < k; ++c) {
       const std::size_t len = take_u64(blob, pos);
-      layer.reserve(len);
-      for (std::size_t j = 0; j < len; ++j) {
-        const std::uint64_t nb = take_u64(blob, pos);
-        if (nb >= n) throw std::runtime_error("HnswIndex::load: bad link");
-        layer.push_back(static_cast<std::uint32_t>(nb));
+      if (len > n) throw std::runtime_error("IvfIndex::load: bad list");
+      idx.lists_[c].reserve(len);
+      for (std::size_t i = 0; i < len; ++i) {
+        const std::size_t row = take_u64(blob, pos);
+        if (row >= n) throw std::runtime_error("IvfIndex::load: bad row");
+        idx.lists_[c].push_back(row);
       }
     }
   }
-  if (n > 0 && idx.entry_point_ >= n) {
-    throw std::runtime_error("HnswIndex::load: bad entry point");
+
+  // --- HNSW ------------------------------------------------------------------
+
+  static std::string save_hnsw(const HnswIndex& idx) {
+    std::string out = "hnswidx3\n";
+    put_u64(out, idx.dim_);
+    put_u64(out, idx.config_.m);
+    put_u64(out, idx.config_.ef_search);
+    put_u64(out, idx.entry_point_);
+    put_u64(out, static_cast<std::uint64_t>(idx.max_level_ + 1));
+    put_u64(out, idx.vectors_.size());
+    put_block(out, idx.vectors_);
+    for (const auto& node : idx.nodes_) {
+      put_u64(out, static_cast<std::uint64_t>(node.level));
+      for (const auto& layer : node.links) {
+        put_u64(out, layer.size());
+        for (const std::uint32_t nb : layer) put_u64(out, nb);
+      }
+    }
+    return out;
   }
-  return idx;
+
+  static HnswIndex load_hnsw(std::string_view blob, bool view) {
+    constexpr std::string_view kMagic = "hnswidx3\n";
+    if (has_magic(blob, "hnswidx2\n")) return load_hnsw_v2(blob);
+    if (!has_magic(blob, kMagic)) {
+      throw std::runtime_error("HnswIndex::load: bad magic");
+    }
+    std::size_t pos = kMagic.size();
+    const std::size_t dim = checked_dim(take_u64(blob, pos));
+    HnswConfig cfg;
+    cfg.m = take_u64(blob, pos);
+    cfg.ef_search = take_u64(blob, pos);
+    HnswIndex idx(dim, cfg);
+    idx.entry_point_ = take_u64(blob, pos);
+    idx.max_level_ = static_cast<int>(take_u64(blob, pos)) - 1;
+    const std::size_t n = take_u64(blob, pos);
+    idx.vectors_ = take_block<float>(blob, pos, n, dim, view);
+    take_hnsw_nodes(blob, pos, idx, n);
+    return idx;
+  }
+
+  static HnswIndex load_hnsw_v2(std::string_view blob) {
+    std::size_t pos = 9;  // "hnswidx2\n"
+    const std::size_t dim = checked_dim(take_u64(blob, pos));
+    HnswConfig cfg;
+    cfg.m = take_u64(blob, pos);
+    cfg.ef_search = take_u64(blob, pos);
+    HnswIndex idx(dim, cfg);
+    idx.entry_point_ = take_u64(blob, pos);
+    idx.max_level_ = static_cast<int>(take_u64(blob, pos)) - 1;
+    idx.vectors_ = take_rows_legacy(blob, pos, dim);
+    take_hnsw_nodes(blob, pos, idx, idx.vectors_.size());
+    return idx;
+  }
+
+  static void take_hnsw_nodes(std::string_view blob, std::size_t& pos,
+                              HnswIndex& idx, std::size_t n) {
+    idx.nodes_.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      HnswIndex::Node& node = idx.nodes_[i];
+      node.level = static_cast<int>(take_u64(blob, pos));
+      if (node.level < 0 || node.level > 64) {
+        throw std::runtime_error("HnswIndex::load: bad level");
+      }
+      node.links.resize(static_cast<std::size_t>(node.level) + 1);
+      for (auto& layer : node.links) {
+        const std::size_t len = take_u64(blob, pos);
+        if (len > n) throw std::runtime_error("HnswIndex::load: bad layer");
+        layer.reserve(len);
+        for (std::size_t j = 0; j < len; ++j) {
+          const std::uint64_t nb = take_u64(blob, pos);
+          if (nb >= n) throw std::runtime_error("HnswIndex::load: bad link");
+          layer.push_back(static_cast<std::uint32_t>(nb));
+        }
+      }
+    }
+    if (n > 0 && idx.entry_point_ >= n) {
+      throw std::runtime_error("HnswIndex::load: bad entry point");
+    }
+  }
+
+  // --- SQ8 -------------------------------------------------------------------
+
+  static std::string save_sq8(const Sq8Index& idx) {
+    if (!idx.built_) {
+      throw std::logic_error("Sq8Index::save: build() the index first");
+    }
+    std::string out = "sq8idx1\n";
+    put_u64(out, idx.dim_);
+    put_u64(out, idx.config_.oversample);
+    put_u64(out, idx.config_.min_candidates);
+    put_u64(out, idx.rows_.size());
+    put_float_vec(out, idx.min_);
+    put_float_vec(out, idx.scale_);
+    put_block(out, idx.codes_);
+    put_block(out, idx.rows_);
+    return out;
+  }
+
+  static Sq8Index load_sq8(std::string_view blob, bool view) {
+    constexpr std::string_view kMagic = "sq8idx1\n";
+    if (!has_magic(blob, kMagic)) {
+      throw std::runtime_error("Sq8Index::load: bad magic");
+    }
+    std::size_t pos = kMagic.size();
+    const std::size_t dim = checked_dim(take_u64(blob, pos));
+    Sq8Config cfg;
+    cfg.oversample = take_u64(blob, pos);
+    cfg.min_candidates = take_u64(blob, pos);
+    const std::size_t n = take_u64(blob, pos);
+    Sq8Index idx(dim, cfg);
+    idx.min_ = take_float_vec(blob, pos, dim);
+    idx.scale_ = take_float_vec(blob, pos, dim);
+    idx.codes_ = take_block<std::uint8_t>(blob, pos, n, dim, view);
+    idx.rows_ = take_block<util::fp16_t>(blob, pos, n, dim, view);
+    idx.built_ = true;
+    return idx;
+  }
+
+  // --- IVF-PQ ----------------------------------------------------------------
+
+  static std::string save_ivfpq(const IvfPqIndex& idx) {
+    if (!idx.built_) {
+      throw std::logic_error("IvfPqIndex::save: build() the index first");
+    }
+    std::string out = "ivfpqidx1\n";
+    put_u64(out, idx.dim_);
+    put_u64(out, idx.m_);
+    put_u64(out, idx.ksub_);
+    put_u64(out, idx.config_.nprobe);
+    put_u64(out, idx.config_.oversample);
+    put_u64(out, idx.config_.min_candidates);
+    put_u64(out, idx.rows_.size());
+    put_u64(out, idx.centroids_.size());
+    put_block(out, idx.centroids_);
+    put_block(out, idx.codebooks_);
+    put_block(out, idx.codes_);
+    put_block(out, idx.rows_);
+    for (const auto& list : idx.lists_) {
+      put_u64(out, list.size());
+      for (const std::uint32_t row : list) put_u64(out, row);
+    }
+    return out;
+  }
+
+  static IvfPqIndex load_ivfpq(std::string_view blob, bool view) {
+    constexpr std::string_view kMagic = "ivfpqidx1\n";
+    if (!has_magic(blob, kMagic)) {
+      throw std::runtime_error("IvfPqIndex::load: bad magic");
+    }
+    std::size_t pos = kMagic.size();
+    const std::size_t dim = checked_dim(take_u64(blob, pos));
+    const std::size_t m = take_u64(blob, pos);
+    const std::size_t ksub = take_u64(blob, pos);
+    if (m == 0 || dim % m != 0 || ksub > 256) {
+      throw std::runtime_error("IvfPqIndex::load: bad quantizer shape");
+    }
+    IvfPqConfig cfg;
+    cfg.m = m;
+    cfg.ksub = ksub;
+    cfg.nprobe = take_u64(blob, pos);
+    cfg.oversample = take_u64(blob, pos);
+    cfg.min_candidates = take_u64(blob, pos);
+    const std::size_t n = take_u64(blob, pos);
+    const std::size_t nlist = take_u64(blob, pos);
+    IvfPqIndex idx(dim, cfg);
+    idx.m_ = m;
+    idx.ksub_ = ksub;
+    idx.centroids_ = take_block<float>(blob, pos, nlist, dim, view);
+    idx.codebooks_ = take_block<float>(blob, pos, m * ksub, dim / m, view);
+    idx.codes_ = take_block<std::uint8_t>(blob, pos, n, m, view);
+    idx.rows_ = take_block<util::fp16_t>(blob, pos, n, dim, view);
+    idx.lists_.resize(nlist);
+    for (std::size_t c = 0; c < nlist; ++c) {
+      const std::size_t len = take_u64(blob, pos);
+      if (len > n) throw std::runtime_error("IvfPqIndex::load: bad list");
+      idx.lists_[c].reserve(len);
+      for (std::size_t i = 0; i < len; ++i) {
+        const std::uint64_t row = take_u64(blob, pos);
+        if (row >= n) throw std::runtime_error("IvfPqIndex::load: bad row");
+        idx.lists_[c].push_back(static_cast<std::uint32_t>(row));
+      }
+    }
+    idx.built_ = true;
+    return idx;
+  }
+};
+
+// --- member save/load entry points -------------------------------------------
+
+std::string FlatIndex::save() const { return IndexIo::save_flat(*this); }
+FlatIndex FlatIndex::load(std::string_view blob) {
+  return IndexIo::load_flat(blob, /*view=*/false);
+}
+FlatIndex FlatIndex::load_view(std::string_view blob) {
+  return IndexIo::load_flat(blob, /*view=*/true);
+}
+
+std::string IvfIndex::save() const { return IndexIo::save_ivf(*this); }
+IvfIndex IvfIndex::load(std::string_view blob) {
+  return IndexIo::load_ivf(blob, /*view=*/false);
+}
+IvfIndex IvfIndex::load_view(std::string_view blob) {
+  return IndexIo::load_ivf(blob, /*view=*/true);
+}
+
+std::string HnswIndex::save() const { return IndexIo::save_hnsw(*this); }
+HnswIndex HnswIndex::load(std::string_view blob) {
+  return IndexIo::load_hnsw(blob, /*view=*/false);
+}
+HnswIndex HnswIndex::load_view(std::string_view blob) {
+  return IndexIo::load_hnsw(blob, /*view=*/true);
+}
+
+std::string Sq8Index::save() const { return IndexIo::save_sq8(*this); }
+Sq8Index Sq8Index::load(std::string_view blob) {
+  return IndexIo::load_sq8(blob, /*view=*/false);
+}
+Sq8Index Sq8Index::load_view(std::string_view blob) {
+  return IndexIo::load_sq8(blob, /*view=*/true);
+}
+
+std::string IvfPqIndex::save() const { return IndexIo::save_ivfpq(*this); }
+IvfPqIndex IvfPqIndex::load(std::string_view blob) {
+  return IndexIo::load_ivfpq(blob, /*view=*/false);
+}
+IvfPqIndex IvfPqIndex::load_view(std::string_view blob) {
+  return IndexIo::load_ivfpq(blob, /*view=*/true);
+}
+
+// --- dispatchers -------------------------------------------------------------
+
+namespace {
+
+std::unique_ptr<VectorIndex> load_dispatch(std::string_view blob, bool view) {
+  if (has_magic(blob, "flatidx2\n") || has_magic(blob, "flatidx1\n")) {
+    return std::make_unique<FlatIndex>(IndexIo::load_flat(blob, view));
+  }
+  if (has_magic(blob, "ivfidx3\n") || has_magic(blob, "ivfidx2\n")) {
+    return std::make_unique<IvfIndex>(IndexIo::load_ivf(blob, view));
+  }
+  if (has_magic(blob, "hnswidx3\n") || has_magic(blob, "hnswidx2\n")) {
+    return std::make_unique<HnswIndex>(IndexIo::load_hnsw(blob, view));
+  }
+  if (has_magic(blob, "sq8idx1\n")) {
+    return std::make_unique<Sq8Index>(IndexIo::load_sq8(blob, view));
+  }
+  if (has_magic(blob, "ivfpqidx1\n")) {
+    return std::make_unique<IvfPqIndex>(IndexIo::load_ivfpq(blob, view));
+  }
+  throw std::runtime_error("load_index: unknown index magic");
+}
+
+}  // namespace
+
+std::unique_ptr<VectorIndex> load_index(std::string_view blob) {
+  return load_dispatch(blob, /*view=*/false);
+}
+
+std::unique_ptr<VectorIndex> load_index_view(std::string_view blob) {
+  return load_dispatch(blob, /*view=*/true);
+}
+
+std::unique_ptr<VectorIndex> try_load_index(std::string_view blob) noexcept {
+  try {
+    return load_dispatch(blob, /*view=*/false);
+  } catch (...) {
+    return nullptr;
+  }
+}
+
+MappedIndex open_index_mmap(const std::string& path) {
+  auto file = std::make_shared<MappedFile>(MappedFile::open(path));
+  auto index = load_index_view(file->bytes());
+  return MappedIndex{std::move(file), std::move(index)};
 }
 
 }  // namespace mcqa::index

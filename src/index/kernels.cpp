@@ -83,6 +83,33 @@ float dot_fp16(const util::fp16_t* a, const float* b, std::size_t n) {
   return combine(acc);
 }
 
+float dot_u8(const std::uint8_t* codes, const float* w, std::size_t n) {
+  float acc[kLanes] = {};
+  const std::size_t main = n - n % kLanes;
+  std::size_t i = 0;
+  for (; i < main; i += kLanes) {
+    for (std::size_t l = 0; l < kLanes; ++l) {
+      acc[l] += static_cast<float>(codes[i + l]) * w[i + l];
+    }
+  }
+  for (; i < n; ++i) acc[i - main] += static_cast<float>(codes[i]) * w[i];
+  return combine(acc);
+}
+
+float pq_lookup(const std::uint8_t* codes, const float* tables,
+                std::size_t m, std::size_t ksub) {
+  float acc[kLanes] = {};
+  const std::size_t main = m - m % kLanes;
+  std::size_t j = 0;
+  for (; j < main; j += kLanes) {
+    for (std::size_t l = 0; l < kLanes; ++l) {
+      acc[l] += tables[(j + l) * ksub + codes[j + l]];
+    }
+  }
+  for (; j < m; ++j) acc[j - main] += tables[j * ksub + codes[j]];
+  return combine(acc);
+}
+
 }  // namespace kernels
 
 // --- TopK --------------------------------------------------------------------

@@ -42,6 +42,19 @@ float l2_sq(const float* a, const float* b, std::size_t n);
 /// util::fp16_to_float bit-for-bit.
 float dot_fp16(const util::fp16_t* a, const float* b, std::size_t n);
 
+/// Fused uint8-decode + blocked inner product for the SQ8 tier:
+/// sum_i float(codes[i]) * w[i] in the fixed 8-lane order.  Callers
+/// fold the per-dimension scale into `w` (w[d] = scale[d] * q[d]) and
+/// add the query-constant bias dot(min, q) afterwards, so the scan
+/// itself is one widening multiply-add per element.
+float dot_u8(const std::uint8_t* codes, const float* w, std::size_t n);
+
+/// PQ asymmetric-distance lookup: sum_{j<m} tables[j * ksub + codes[j]]
+/// in the fixed 8-lane order.  `tables` is the per-query score table
+/// laid out [subquantizer][centroid].
+float pq_lookup(const std::uint8_t* codes, const float* tables,
+                std::size_t m, std::size_t ksub);
+
 }  // namespace kernels
 
 /// Bounded-heap top-k selector: keeps the best k results by

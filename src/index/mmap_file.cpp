@@ -1,0 +1,91 @@
+#include "index/mmap_file.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#if defined(__unix__) || defined(__APPLE__)
+#define MCQA_HAVE_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#else
+#include <fstream>
+#endif
+
+namespace mcqa::index {
+
+MappedFile::~MappedFile() { reset(); }
+
+MappedFile::MappedFile(MappedFile&& other) noexcept
+    : addr_(std::exchange(other.addr_, nullptr)),
+      size_(std::exchange(other.size_, 0)),
+      fallback_(std::move(other.fallback_)) {}
+
+MappedFile& MappedFile::operator=(MappedFile&& other) noexcept {
+  if (this != &other) {
+    reset();
+    addr_ = std::exchange(other.addr_, nullptr);
+    size_ = std::exchange(other.size_, 0);
+    fallback_ = std::move(other.fallback_);
+  }
+  return *this;
+}
+
+void MappedFile::reset() noexcept {
+#ifdef MCQA_HAVE_MMAP
+  if (addr_ != nullptr) ::munmap(addr_, size_);
+#endif
+  addr_ = nullptr;
+  size_ = 0;
+  fallback_.reset();
+}
+
+MappedFile MappedFile::open(const std::string& path) {
+  MappedFile out;
+#ifdef MCQA_HAVE_MMAP
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    throw std::runtime_error("MappedFile::open: cannot open " + path);
+  }
+  struct stat st {};
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    throw std::runtime_error("MappedFile::open: cannot stat " + path);
+  }
+  out.size_ = static_cast<std::size_t>(st.st_size);
+  if (out.size_ == 0) {
+    // mmap of length 0 is an error; an empty file is a valid (empty)
+    // blob, represented by the fallback buffer.
+    ::close(fd);
+    out.fallback_ = std::make_unique<std::string>();
+    return out;
+  }
+  void* addr = ::mmap(nullptr, out.size_, PROT_READ, MAP_PRIVATE, fd, 0);
+  ::close(fd);  // the mapping holds its own reference
+  if (addr == MAP_FAILED) {
+    throw std::runtime_error("MappedFile::open: mmap failed for " + path);
+  }
+  out.addr_ = addr;
+#else
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw std::runtime_error("MappedFile::open: cannot open " + path);
+  }
+  auto buf = std::make_unique<std::string>(
+      (std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  out.size_ = buf->size();
+  out.fallback_ = std::move(buf);
+#endif
+  return out;
+}
+
+std::string_view MappedFile::bytes() const {
+  if (addr_ != nullptr) {
+    return std::string_view(static_cast<const char*>(addr_), size_);
+  }
+  if (fallback_ != nullptr) return *fallback_;
+  return {};
+}
+
+}  // namespace mcqa::index

@@ -1,0 +1,55 @@
+#pragma once
+// Read-only memory-mapped file handle for the index/store blob formats.
+//
+// Opening is O(1) in the payload size: the kernel maps the file's pages
+// and faults them in lazily, so an index much larger than RAM opens
+// instantly and only the rows a query actually scans (or the rerank
+// pass touches) ever become resident.  On platforms without mmap the
+// class degrades to reading the file into an owned buffer — same bytes,
+// same views, just an O(n) open.
+//
+// Lifetime rule: every index/store opened in view mode (load_view /
+// open_index_mmap / VectorStore::open_mmap) borrows directly from this
+// mapping.  The MappedFile must outlive every such view; the open_*
+// helpers enforce this by bundling the file and the index in one
+// handle.
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+namespace mcqa::index {
+
+class MappedFile {
+ public:
+  MappedFile() = default;
+  ~MappedFile();
+
+  MappedFile(MappedFile&& other) noexcept;
+  MappedFile& operator=(MappedFile&& other) noexcept;
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+
+  /// Map `path` read-only.  Throws std::runtime_error when the file
+  /// cannot be opened or mapped.
+  static MappedFile open(const std::string& path);
+
+  bool valid() const { return addr_ != nullptr || fallback_ != nullptr; }
+  std::size_t size() const { return size_; }
+
+  /// The file's bytes.  Page-aligned base when actually mapped.
+  std::string_view bytes() const;
+
+  /// True when the bytes are a real kernel mapping (false on the
+  /// read-into-memory fallback platforms).
+  bool is_mapped() const { return addr_ != nullptr; }
+
+ private:
+  void reset() noexcept;
+
+  void* addr_ = nullptr;
+  std::size_t size_ = 0;
+  std::unique_ptr<std::string> fallback_;  ///< non-mmap platforms
+};
+
+}  // namespace mcqa::index

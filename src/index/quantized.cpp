@@ -1,0 +1,304 @@
+#include "index/quantized.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "index/kmeans.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace mcqa::index {
+
+namespace {
+
+/// Candidate-set size of the rerank contract.
+std::size_t candidate_count(std::size_t k, std::size_t oversample,
+                            std::size_t min_candidates, std::size_t n) {
+  return std::min(n, std::max(min_candidates, k * oversample));
+}
+
+/// Widen one fp16 row into a float scratch row.
+void widen_row(const util::fp16_t* src, float* dst, std::size_t dim) {
+  for (std::size_t d = 0; d < dim; ++d) dst[d] = util::fp16_to_float(src[d]);
+}
+
+/// Per-thread float scratch (query weight vectors, ADC tables): batched
+/// searches run allocation-free after warm-up.
+std::vector<float>& float_scratch() {
+  static thread_local std::vector<float> scratch;
+  return scratch;
+}
+
+}  // namespace
+
+// --- Sq8Index ----------------------------------------------------------------
+
+Sq8Index::Sq8Index(std::size_t dim, Sq8Config config)
+    : dim_(dim), config_(config), rows_(dim), codes_(dim) {}
+
+void Sq8Index::add(const embed::Vector& v) {
+  if (v.size() != dim_) throw std::invalid_argument("Sq8Index::add: dim");
+  for (const float x : v) rows_.push_value(util::float_to_fp16(x));
+  built_ = false;
+}
+
+void Sq8Index::add_batch(const std::vector<embed::Vector>& vs) {
+  rows_.reserve(rows_.size() + vs.size());
+  for (const auto& v : vs) add(v);
+}
+
+void Sq8Index::build() { build(parallel::ThreadPool::global()); }
+
+void Sq8Index::build(parallel::ThreadPool& pool) {
+  const std::size_t n = rows_.size();
+  // Per-dimension affine range over the fp16-widened values (the same
+  // values the rerank pass sees), scanned sequentially in row order so
+  // the params never depend on thread count.
+  min_.assign(dim_, 0.0f);
+  scale_.assign(dim_, 0.0f);
+  std::vector<float> max_v(dim_, 0.0f);
+  for (std::size_t i = 0; i < n; ++i) {
+    const util::fp16_t* row = rows_.row(i);
+    for (std::size_t d = 0; d < dim_; ++d) {
+      const float x = util::fp16_to_float(row[d]);
+      if (i == 0 || x < min_[d]) min_[d] = x;
+      if (i == 0 || x > max_v[d]) max_v[d] = x;
+    }
+  }
+  std::vector<float> inv_scale(dim_, 0.0f);
+  for (std::size_t d = 0; d < dim_; ++d) {
+    scale_[d] = (max_v[d] - min_[d]) / 255.0f;
+    inv_scale[d] = scale_[d] > 0.0f ? 1.0f / scale_[d] : 0.0f;
+  }
+
+  // Encode rows in parallel: each row writes its own pre-sized slot, so
+  // the codes are byte-identical at any thread count.
+  codes_ = CodeRows(dim_);
+  codes_.resize_rows(n);
+  std::uint8_t* base = n > 0 ? codes_.mutable_raw() : nullptr;
+  parallel::parallel_for(pool, 0, n, [&](std::size_t i) {
+    const util::fp16_t* row = rows_.row(i);
+    std::uint8_t* dst = base + i * dim_;
+    for (std::size_t d = 0; d < dim_; ++d) {
+      const float x = util::fp16_to_float(row[d]);
+      const long q = std::lround((x - min_[d]) * inv_scale[d]);
+      dst[d] = static_cast<std::uint8_t>(std::clamp<long>(q, 0, 255));
+    }
+  });
+  built_ = true;
+}
+
+embed::Vector Sq8Index::decode(std::size_t row) const {
+  embed::Vector out(dim_);
+  const std::uint8_t* codes = codes_.row(row);
+  for (std::size_t d = 0; d < dim_; ++d) {
+    out[d] = min_[d] + scale_[d] * static_cast<float>(codes[d]);
+  }
+  return out;
+}
+
+std::vector<SearchResult> Sq8Index::approx_candidates(
+    const embed::Vector& query, std::size_t count) const {
+  if (!built_) {
+    throw std::logic_error("Sq8Index::search called before build()");
+  }
+  const std::size_t n = size();
+  if (n == 0) return {};
+  // score = dot(min, q) + sum_d code[d] * (scale[d] * q[d]): fold the
+  // scale into a per-query weight vector once, scan codes with the
+  // fused decode-and-dot kernel.
+  auto& w = float_scratch();
+  w.resize(dim_);
+  for (std::size_t d = 0; d < dim_; ++d) w[d] = scale_[d] * query[d];
+  const float bias = kernels::dot(min_.data(), query.data(), dim_);
+
+  TopK top(std::min(count, n));
+  for (std::size_t row = 0; row < n; ++row) {
+    top.push(row, bias + kernels::dot_u8(codes_.row(row), w.data(), dim_));
+  }
+  return top.take_sorted();
+}
+
+std::vector<SearchResult> Sq8Index::search(const embed::Vector& query,
+                                           std::size_t k) const {
+  const std::size_t n = size();
+  const auto cands = approx_candidates(
+      query,
+      candidate_count(k, config_.oversample, config_.min_candidates, n));
+  // Exact rerank: same fp16 bits, same kernel, same comparator as
+  // FlatIndex — bit-identical output whenever `cands` covers the true
+  // top-k.
+  TopK exact(std::min(k, n));
+  for (const auto& cand : cands) {
+    exact.push(cand.row,
+               kernels::dot_fp16(rows_.row(cand.row), query.data(), dim_));
+  }
+  return exact.take_sorted();
+}
+
+// --- IvfPqIndex --------------------------------------------------------------
+
+IvfPqIndex::IvfPqIndex(std::size_t dim, IvfPqConfig config)
+    : dim_(dim), config_(config), rows_(dim), codes_(0), centroids_(dim),
+      codebooks_(0) {}
+
+void IvfPqIndex::add(const embed::Vector& v) {
+  if (v.size() != dim_) throw std::invalid_argument("IvfPqIndex::add: dim");
+  for (const float x : v) rows_.push_value(util::float_to_fp16(x));
+  built_ = false;
+}
+
+void IvfPqIndex::add_batch(const std::vector<embed::Vector>& vs) {
+  rows_.reserve(rows_.size() + vs.size());
+  for (const auto& v : vs) add(v);
+}
+
+void IvfPqIndex::build() { build(parallel::ThreadPool::global()); }
+
+void IvfPqIndex::build(parallel::ThreadPool& pool) {
+  const std::size_t n = rows_.size();
+  // Effective subquantizer count: largest divisor of dim <= config.m.
+  m_ = std::max<std::size_t>(std::min(config_.m, dim_), 1);
+  while (m_ > 1 && dim_ % m_ != 0) --m_;
+  const std::size_t dsub = dim_ > 0 ? dim_ / m_ : 0;
+  codebooks_ = RowStorage(dsub);
+  codes_ = CodeRows(m_);
+  centroids_ = RowStorage(dim_);
+  lists_.clear();
+  ksub_ = 0;
+  if (n == 0) {
+    built_ = true;
+    return;
+  }
+
+  // Transient fp16->float widening: training and encoding read float
+  // rows; the buffer is dropped before build returns.
+  RowStorage floats(dim_);
+  floats.resize_rows(n);
+  float* fbase = floats.mutable_raw();
+  parallel::parallel_for(pool, 0, n, [&](std::size_t i) {
+    widen_row(rows_.row(i), fbase + i * dim_, dim_);
+  });
+
+  util::Rng root(config_.seed);
+
+  // Coarse quantizer + inverted lists (same spherical trainer and
+  // max-dot assignment rule as IvfIndex).
+  centroids_ = kmeans_spherical({floats.raw(), n, dim_, dim_},
+                                std::min(config_.nlist, n),
+                                config_.coarse_iters, root.fork(1));
+  std::vector<std::uint32_t> cell(n, 0);
+  parallel::parallel_for(pool, 0, n, [&](std::size_t i) {
+    cell[i] = static_cast<std::uint32_t>(
+        nearest_dot(centroids_, floats.row(i)));
+  });
+  lists_.assign(centroids_.size(), {});
+  for (std::size_t i = 0; i < n; ++i) {
+    lists_[cell[i]].push_back(static_cast<std::uint32_t>(i));
+  }
+
+  // PQ codebooks: train each subspace on a (sorted, seeded) row sample.
+  const std::size_t sample_n =
+      std::min(n, std::max<std::size_t>(config_.train_sample, 1));
+  RowStorage sample(dim_);
+  const float* train_base = floats.raw();
+  std::size_t train_stride = dim_;
+  if (sample_n < n) {
+    auto picks = root.fork(2).sample_indices(n, sample_n);
+    std::sort(picks.begin(), picks.end());
+    sample.reserve(sample_n);
+    for (const std::size_t i : picks) sample.add_row(floats.row(i));
+    train_base = sample.raw();
+    train_stride = dim_;
+  }
+  ksub_ = std::min<std::size_t>({config_.ksub, sample_n, 256});
+  ksub_ = std::max<std::size_t>(ksub_, 1);
+  for (std::size_t j = 0; j < m_; ++j) {
+    RowStorage cb = kmeans_l2({train_base + j * dsub, sample_n, dsub,
+                               train_stride},
+                              ksub_, config_.train_iters, root.fork(16 + j));
+    // Seeding can exhaust distinct points early; pad to a uniform ksub_
+    // by repeating centroid 0 (nearest-assignment ties break to the
+    // lowest index, so padding never changes an encoding).
+    for (std::size_t r = 0; r < cb.size(); ++r) codebooks_.add_row(cb.row(r));
+    for (std::size_t r = cb.size(); r < ksub_; ++r) {
+      codebooks_.add_row(cb.row(0));
+    }
+  }
+
+  // Encode rows in parallel (disjoint pre-sized slots).
+  codes_.resize_rows(n);
+  std::uint8_t* cbase = codes_.mutable_raw();
+  parallel::parallel_for(pool, 0, n, [&](std::size_t i) {
+    const float* row = floats.row(i);
+    std::uint8_t* dst = cbase + i * m_;
+    for (std::size_t j = 0; j < m_; ++j) {
+      const float* sub = row + j * dsub;
+      float best = -1.0f;
+      std::size_t best_c = 0;
+      for (std::size_t c = 0; c < ksub_; ++c) {
+        const float d =
+            kernels::l2_sq(sub, codebooks_.row(j * ksub_ + c), dsub);
+        if (best < 0.0f || d < best) {
+          best = d;
+          best_c = c;
+        }
+      }
+      dst[j] = static_cast<std::uint8_t>(best_c);
+    }
+  });
+  built_ = true;
+}
+
+std::vector<SearchResult> IvfPqIndex::approx_candidates(
+    const embed::Vector& query, std::size_t count) const {
+  if (!built_) {
+    throw std::logic_error("IvfPqIndex::search called before build()");
+  }
+  const std::size_t n = size();
+  if (n == 0 || centroids_.size() == 0) return {};
+  const std::size_t dsub = dim_ / m_;
+
+  // Rank cells by centroid similarity; probe the top nprobe.
+  TopK cell_top(std::min(config_.nprobe, centroids_.size()));
+  for (std::size_t c = 0; c < centroids_.size(); ++c) {
+    cell_top.push(c, kernels::dot(query.data(), centroids_.row(c), dim_));
+  }
+  const auto cells = cell_top.take_sorted();
+
+  // ADC table: tab[j][c] = dot(q_sub_j, codebook[j][c]); each row then
+  // scores as m table lookups (kernels::pq_lookup).
+  auto& tab = float_scratch();
+  tab.resize(m_ * ksub_);
+  for (std::size_t j = 0; j < m_; ++j) {
+    for (std::size_t c = 0; c < ksub_; ++c) {
+      tab[j * ksub_ + c] = kernels::dot(query.data() + j * dsub,
+                                        codebooks_.row(j * ksub_ + c), dsub);
+    }
+  }
+
+  TopK top(std::min(count, n));
+  for (const auto& cellr : cells) {
+    for (const std::uint32_t row : lists_[cellr.row]) {
+      top.push(row, kernels::pq_lookup(codes_.row(row), tab.data(), m_,
+                                       ksub_));
+    }
+  }
+  return top.take_sorted();
+}
+
+std::vector<SearchResult> IvfPqIndex::search(const embed::Vector& query,
+                                             std::size_t k) const {
+  const std::size_t n = size();
+  const auto cands = approx_candidates(
+      query,
+      candidate_count(k, config_.oversample, config_.min_candidates, n));
+  TopK exact(std::min(k, n));
+  for (const auto& cand : cands) {
+    exact.push(cand.row,
+               kernels::dot_fp16(rows_.row(cand.row), query.data(), dim_));
+  }
+  return exact.take_sorted();
+}
+
+}  // namespace mcqa::index

@@ -2,11 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
-#include <cstdio>
-#include <cstring>
 #include <stdexcept>
 #include <unordered_set>
 
+#include "index/kmeans.hpp"
 #include "parallel/thread_pool.hpp"
 
 namespace mcqa::index {
@@ -26,6 +25,22 @@ void sort_and_trim(std::vector<SearchResult>& results, std::size_t k) {
 
 }  // namespace
 
+std::string_view index_kind_name(IndexKind kind) {
+  switch (kind) {
+    case IndexKind::kFlat:
+      return "flat";
+    case IndexKind::kIvf:
+      return "ivf";
+    case IndexKind::kHnsw:
+      return "hnsw";
+    case IndexKind::kSq8:
+      return "sq8";
+    case IndexKind::kIvfPq:
+      return "ivfpq";
+  }
+  return "unknown";
+}
+
 // --- bulk construction -------------------------------------------------------
 
 void VectorIndex::add_batch(const std::vector<embed::Vector>& vs) {
@@ -33,6 +48,11 @@ void VectorIndex::add_batch(const std::vector<embed::Vector>& vs) {
   // insertion order (and therefore the resulting index) matches the
   // sequential add() loop exactly.
   for (const auto& v : vs) add(v);
+}
+
+void VectorIndex::build(parallel::ThreadPool& pool) {
+  (void)pool;
+  build();
 }
 
 // --- batched search ----------------------------------------------------------
@@ -59,24 +79,24 @@ void FlatIndex::add(const embed::Vector& v) {
   // No per-add reserve: an exact-fit reserve on every call forces a
   // full reallocate-and-copy per row (quadratic build); push_back's
   // geometric growth amortizes to linear.
-  for (const float x : v) data_.push_back(util::float_to_fp16(x));
-  ++rows_;
+  for (const float x : v) data_.push_value(util::float_to_fp16(x));
 }
 
 void FlatIndex::add_batch(const std::vector<embed::Vector>& vs) {
-  data_.reserve(data_.size() + vs.size() * dim_);
+  data_.reserve(data_.size() + vs.size());
   for (const auto& v : vs) add(v);
 }
 
 float FlatIndex::score_row(std::size_t row, const embed::Vector& q) const {
-  return kernels::dot_fp16(data_.data() + row * dim_, q.data(), dim_);
+  return kernels::dot_fp16(data_.row(row), q.data(), dim_);
 }
 
 std::vector<SearchResult> FlatIndex::search(const embed::Vector& query,
                                             std::size_t k) const {
-  TopK top(std::min(k, rows_));
-  const util::fp16_t* base = data_.data();
-  for (std::size_t row = 0; row < rows_; ++row) {
+  const std::size_t rows = data_.size();
+  TopK top(std::min(k, rows));
+  const util::fp16_t* base = data_.raw();
+  for (std::size_t row = 0; row < rows; ++row) {
     top.push(row, kernels::dot_fp16(base + row * dim_, query.data(), dim_));
   }
   return top.take_sorted();
@@ -84,46 +104,9 @@ std::vector<SearchResult> FlatIndex::search(const embed::Vector& query,
 
 embed::Vector FlatIndex::vector(std::size_t row) const {
   embed::Vector out(dim_);
-  const util::fp16_t* src = data_.data() + row * dim_;
+  const util::fp16_t* src = data_.row(row);
   for (std::size_t i = 0; i < dim_; ++i) out[i] = util::fp16_to_float(src[i]);
   return out;
-}
-
-std::string FlatIndex::save() const {
-  std::string out = "flatidx1\n";
-  out += std::to_string(dim_) + " " + std::to_string(rows_) + "\n";
-  const std::size_t header = out.size();
-  const std::size_t payload = data_.size() * sizeof(util::fp16_t);
-  out.resize(header + payload);
-  std::memcpy(out.data() + header, data_.data(), payload);
-  return out;
-}
-
-FlatIndex FlatIndex::load(std::string_view blob) {
-  std::size_t pos = blob.find('\n');
-  if (pos == std::string_view::npos || blob.substr(0, pos) != "flatidx1") {
-    throw std::runtime_error("FlatIndex::load: bad magic");
-  }
-  const std::size_t line_start = pos + 1;
-  pos = blob.find('\n', line_start);
-  if (pos == std::string_view::npos) {
-    throw std::runtime_error("FlatIndex::load: truncated");
-  }
-  std::size_t dim = 0;
-  std::size_t rows = 0;
-  const std::string counts(blob.substr(line_start, pos - line_start));
-  if (std::sscanf(counts.c_str(), "%zu %zu", &dim, &rows) != 2 || dim == 0) {
-    throw std::runtime_error("FlatIndex::load: bad counts");
-  }
-  FlatIndex idx(dim);
-  const std::size_t payload = rows * dim * sizeof(util::fp16_t);
-  if (blob.size() - (pos + 1) < payload) {
-    throw std::runtime_error("FlatIndex::load: truncated payload");
-  }
-  idx.data_.resize(rows * dim);
-  std::memcpy(idx.data_.data(), blob.data() + pos + 1, payload);
-  idx.rows_ = rows;
-  return idx;
 }
 
 // --- IvfIndex ----------------------------------------------------------------
@@ -148,87 +131,19 @@ void IvfIndex::build() {
     built_ = true;
     return;
   }
-  const std::size_t k = std::min(config_.nlist, n);
-  util::Rng rng(config_.seed);
+  // Seeded spherical k-means (kmeans.cpp carries the historic training
+  // loop verbatim, so the trained centroids are bit-identical to
+  // pre-extraction builds).
+  centroids_ = kmeans_spherical({vectors_.raw(), n, dim_, dim_},
+                                std::min(config_.nlist, n),
+                                config_.train_iters,
+                                util::Rng(config_.seed));
 
-  // k-means++ style seeding: first centroid uniform, then distance-biased.
-  // Each point's best squared distance is cached and refreshed against
-  // only the newest centroid (O(n*k) total, not O(n*k^2)); min over the
-  // same distances in any order is exact, so the picks are unchanged.
-  centroids_.clear();
-  centroids_.add_row(
-      vectors_.row(rng.bounded(static_cast<std::uint32_t>(n))));
-  std::vector<double> d2(n, 0.0);
-  for (std::size_t i = 0; i < n; ++i) {
-    d2[i] = kernels::l2_sq(vectors_.row(i), centroids_.row(0), dim_);
-  }
-  while (centroids_.size() < k) {
-    double total = 0.0;
-    for (const double d : d2) total += d;
-    if (total <= 0.0) break;
-    const std::size_t pick = rng.weighted_pick(d2);
-    if (pick >= n) break;
-    centroids_.add_row(vectors_.row(pick));
-    const float* newest = centroids_.row(centroids_.size() - 1);
-    for (std::size_t i = 0; i < n; ++i) {
-      d2[i] = std::min(
-          d2[i], static_cast<double>(
-                     kernels::l2_sq(vectors_.row(i), newest, dim_)));
-    }
-  }
-
-  // Lloyd iterations.
-  std::vector<std::size_t> assignment(n, 0);
-  for (std::size_t iter = 0; iter < config_.train_iters; ++iter) {
-    bool changed = false;
-    for (std::size_t i = 0; i < n; ++i) {
-      float best = -2.0f;
-      std::size_t best_c = 0;
-      for (std::size_t c = 0; c < centroids_.size(); ++c) {
-        const float s =
-            kernels::dot(vectors_.row(i), centroids_.row(c), dim_);
-        if (s > best) {
-          best = s;
-          best_c = c;
-        }
-      }
-      if (assignment[i] != best_c) {
-        assignment[i] = best_c;
-        changed = true;
-      }
-    }
-    // Recompute centroids (mean, renormalized to the unit sphere).
-    std::vector<embed::Vector> sums(centroids_.size(),
-                                    embed::Vector(dim_, 0.0f));
-    std::vector<std::size_t> counts(centroids_.size(), 0);
-    for (std::size_t i = 0; i < n; ++i) {
-      const float* row = vectors_.row(i);
-      for (std::size_t d = 0; d < dim_; ++d) {
-        sums[assignment[i]][d] += row[d];
-      }
-      ++counts[assignment[i]];
-    }
-    for (std::size_t c = 0; c < centroids_.size(); ++c) {
-      if (counts[c] == 0) continue;  // keep the stale centroid
-      embed::normalize(sums[c]);
-      centroids_.set_row(c, sums[c]);
-    }
-    if (!changed) break;
-  }
-
-  // Final assignment into inverted lists.
+  // Final assignment into inverted lists (same max-dot rule as the
+  // trainer's assignment step).
   lists_.assign(centroids_.size(), {});
   for (std::size_t i = 0; i < n; ++i) {
-    float best = -2.0f;
-    std::size_t best_c = 0;
-    for (std::size_t c = 0; c < centroids_.size(); ++c) {
-      const float s = kernels::dot(vectors_.row(i), centroids_.row(c), dim_);
-      if (s > best) {
-        best = s;
-        best_c = c;
-      }
-    }
-    lists_[best_c].push_back(i);
+    lists_[nearest_dot(centroids_, vectors_.row(i))].push_back(i);
   }
   built_ = true;
 }
@@ -455,6 +370,16 @@ std::vector<SearchResult> HnswIndex::search(const embed::Vector& query,
                               0, hnsw_scratch());
   sort_and_trim(results, k);
   return results;
+}
+
+std::size_t HnswIndex::payload_bytes() const {
+  std::size_t bytes = vectors_.value_count() * sizeof(float);
+  for (const auto& node : nodes_) {
+    for (const auto& layer : node.links) {
+      bytes += layer.size() * sizeof(std::uint32_t);
+    }
+  }
+  return bytes;
 }
 
 // --- Ground truth helpers ------------------------------------------------------

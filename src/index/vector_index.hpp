@@ -1,10 +1,15 @@
 #pragma once
 // Vector similarity indexes (FAISS-equivalent substrate).
 //
-// Three implementations with the classic accuracy/speed trade-offs:
-//   FlatIndex  exact brute force over FP16-at-rest vectors
-//   IvfIndex   k-means coarse quantizer + inverted lists, nprobe knob
-//   HnswIndex  navigable small-world graph, efSearch knob
+// Five implementations with the classic accuracy/speed/memory
+// trade-offs:
+//   FlatIndex    exact brute force over FP16-at-rest vectors
+//   IvfIndex     k-means coarse quantizer + inverted lists, nprobe knob
+//   HnswIndex    navigable small-world graph, efSearch knob
+//   Sq8Index     scalar-quantized (uint8/dim) scan + exact fp16 rerank
+//   IvfPqIndex   IVF cells over product-quantized codes + exact rerank
+// (the quantized tier lives in quantized.hpp; this header carries the
+// interface and the three full-precision indexes).
 //
 // All operate on unit-norm vectors with inner-product scoring (cosine),
 // computed by the blocked fixed-lane-order kernels in kernels.hpp —
@@ -12,9 +17,17 @@
 // IVF and HNSW keep their vectors in contiguous RowStorage so the
 // kernels stream rows instead of chasing per-vector allocations.
 //
+// Serialization: every index saves to a version-stamped blob
+// (index_io.cpp).  Blobs load either resident (payload copied) or as a
+// borrowed view over caller-owned bytes — the mmap path (mmap_file.hpp)
+// that opens stores larger than RAM in O(1).  try_load_index() is the
+// fail-soft dispatcher: unknown magic or truncated payloads return
+// nullptr instead of throwing, which the checkpoint cache treats as a
+// corrupt-blob miss.
+//
 // The index ablation bench (A1) sweeps recall@k versus queries/second
-// across the three, reproducing the trade-off the paper delegates to
-// FAISS.
+// and bytes/vector across all five kinds x {resident, mmap},
+// reproducing the trade-off surface the paper delegates to FAISS.
 
 #include <cstdint>
 #include <memory>
@@ -23,6 +36,7 @@
 
 #include "embed/embedder.hpp"
 #include "index/kernels.hpp"
+#include "index/mmap_file.hpp"
 #include "index/row_storage.hpp"
 #include "util/fp16.hpp"
 #include "util/rng.hpp"
@@ -32,6 +46,10 @@ class ThreadPool;
 }
 
 namespace mcqa::index {
+
+enum class IndexKind { kFlat, kIvf, kHnsw, kSq8, kIvfPq };
+
+std::string_view index_kind_name(IndexKind kind);
 
 struct SearchResult {
   std::size_t row = 0;
@@ -43,6 +61,7 @@ class VectorIndex {
   virtual ~VectorIndex() = default;
 
   virtual std::string_view name() const = 0;
+  virtual IndexKind kind() const = 0;
   virtual std::size_t dim() const = 0;
   virtual std::size_t size() const = 0;
 
@@ -54,9 +73,33 @@ class VectorIndex {
   /// once up front (bulk construction path).
   virtual void add_batch(const std::vector<embed::Vector>& vs);
 
-  /// Finalize after adds (train the coarse quantizer, etc.).  Must be
-  /// called before search for IVF; no-op elsewhere.
+  /// Finalize after adds (train quantizers, encode rows, etc.).  Must
+  /// be called before search for IVF and the quantized tier; no-op
+  /// elsewhere.
   virtual void build() {}
+
+  /// Finalize using `pool` for the parallelizable build phases (row
+  /// encoding).  The result is bit-identical to build() at any thread
+  /// count; the default forwards to the sequential build().
+  virtual void build(parallel::ThreadPool& pool);
+
+  /// Serialize to the version-stamped blob format (index_io.cpp).
+  virtual std::string save() const = 0;
+
+  /// Bytes of the structures a query scan touches (rows or codes plus
+  /// codebooks/centroids) — the "bytes/vector" numerator of the
+  /// ablation bench.  Excludes the exact-rerank source; see
+  /// rerank_bytes().
+  virtual std::size_t payload_bytes() const = 0;
+
+  /// Bytes of the exact fp16 rerank source held by the quantized tier
+  /// (0 for full-precision indexes).  Under mmap these pages stay cold
+  /// except for the oversampled candidates each query touches.
+  virtual std::size_t rerank_bytes() const { return 0; }
+
+  /// True when the primary payload is a borrowed view over an mmap'd
+  /// blob (no resident copy was made at load time).
+  virtual bool mmap_backed() const { return false; }
 
   /// Top-k rows by score, descending; ties broken by row id.
   virtual std::vector<SearchResult> search(const embed::Vector& query,
@@ -75,33 +118,75 @@ class VectorIndex {
       const std::vector<embed::Vector>& queries, std::size_t k) const;
 };
 
+// --- blob IO (index_io.cpp) --------------------------------------------------
+
+/// Load any index blob, dispatching on the version-stamped magic.
+/// Throws std::runtime_error on unknown magic or malformed payload.
+std::unique_ptr<VectorIndex> load_index(std::string_view blob);
+
+/// Fail-soft variant: nullptr on unknown magic, truncated payload, or
+/// any other defect — never throws.  The checkpoint restore path treats
+/// nullptr as a corrupt-blob cache miss and rebuilds.
+std::unique_ptr<VectorIndex> try_load_index(std::string_view blob) noexcept;
+
+/// View-mode variant: row/code payloads borrow from `blob` instead of
+/// being copied, so the caller must keep `blob`'s bytes alive (and
+/// suitably aligned — guaranteed when `blob` is a whole mapped file)
+/// for the index's lifetime.  Small metadata (headers, IVF lists, HNSW
+/// adjacency) is still materialized.
+std::unique_ptr<VectorIndex> load_index_view(std::string_view blob);
+
+/// An index opened straight from a file: the mapping and the index
+/// (whose payloads view the mapping) travel together.
+struct MappedIndex {
+  std::shared_ptr<MappedFile> file;
+  std::unique_ptr<VectorIndex> index;
+};
+
+/// Map `path` and open the index inside it in view mode — O(1) in the
+/// payload size.  Throws std::runtime_error on IO errors or bad blobs.
+MappedIndex open_index_mmap(const std::string& path);
+
 // --- Flat ------------------------------------------------------------------
 
 class FlatIndex final : public VectorIndex {
  public:
-  explicit FlatIndex(std::size_t dim) : dim_(dim) {}
+  explicit FlatIndex(std::size_t dim) : dim_(dim), data_(dim) {}
 
   std::string_view name() const override { return "flat"; }
+  IndexKind kind() const override { return IndexKind::kFlat; }
   std::size_t dim() const override { return dim_; }
-  std::size_t size() const override { return rows_; }
+  std::size_t size() const override { return data_.size(); }
   void add(const embed::Vector& v) override;
   void add_batch(const std::vector<embed::Vector>& vs) override;
   std::vector<SearchResult> search(const embed::Vector& query,
                                    std::size_t k) const override;
 
-  std::string save() const;
+  std::string save() const override;
   static FlatIndex load(std::string_view blob);
+  /// Payload views `blob` (caller keeps the bytes alive).
+  static FlatIndex load_view(std::string_view blob);
+
+  std::size_t payload_bytes() const override {
+    return data_.value_count() * sizeof(util::fp16_t);
+  }
+  bool mmap_backed() const override { return data_.is_view(); }
 
   /// Widened copy of a stored row (shared with IVF/HNSW via protected
   /// storage would over-couple; each index owns its vectors).
   embed::Vector vector(std::size_t row) const;
 
+  /// The FP16-at-rest rows — the quantized tier's exact-rerank source
+  /// stores the same bits, so rerank scores match these bit-for-bit.
+  const Fp16Rows& rows() const { return data_; }
+
  private:
+  friend struct IndexIo;
+
   float score_row(std::size_t row, const embed::Vector& q) const;
 
   std::size_t dim_;
-  std::size_t rows_ = 0;
-  std::vector<util::fp16_t> data_;  ///< row-major FP16 at rest
+  Fp16Rows data_;  ///< row-major FP16 at rest (resident or mmap view)
 };
 
 // --- IVF -------------------------------------------------------------------
@@ -118,11 +203,13 @@ class IvfIndex final : public VectorIndex {
   IvfIndex(std::size_t dim, IvfConfig config = {});
 
   std::string_view name() const override { return "ivf"; }
+  IndexKind kind() const override { return IndexKind::kIvf; }
   std::size_t dim() const override { return dim_; }
   std::size_t size() const override { return vectors_.size(); }
   void add(const embed::Vector& v) override;
   void add_batch(const std::vector<embed::Vector>& vs) override;
   void build() override;
+  using VectorIndex::build;
   std::vector<SearchResult> search(const embed::Vector& query,
                                    std::size_t k) const override;
 
@@ -130,10 +217,20 @@ class IvfIndex final : public VectorIndex {
   std::size_t nlist() const { return centroids_.size(); }
 
   /// Serialize the trained index (vectors + centroids + lists).
-  std::string save() const;
+  std::string save() const override;
   static IvfIndex load(std::string_view blob);
+  static IvfIndex load_view(std::string_view blob);
+
+  std::size_t payload_bytes() const override {
+    return (vectors_.value_count() + centroids_.value_count()) *
+               sizeof(float) +
+           size() * sizeof(std::uint64_t);  // one list slot per row
+  }
+  bool mmap_backed() const override { return vectors_.is_view(); }
 
  private:
+  friend struct IndexIo;
+
   std::size_t dim_;
   IvfConfig config_;
   bool built_ = false;
@@ -156,6 +253,7 @@ class HnswIndex final : public VectorIndex {
   HnswIndex(std::size_t dim, HnswConfig config = {});
 
   std::string_view name() const override { return "hnsw"; }
+  IndexKind kind() const override { return IndexKind::kHnsw; }
   std::size_t dim() const override { return dim_; }
   std::size_t size() const override { return vectors_.size(); }
   void add(const embed::Vector& v) override;
@@ -166,8 +264,13 @@ class HnswIndex final : public VectorIndex {
   void set_ef_search(std::size_t ef) { config_.ef_search = ef; }
 
   /// Serialize the graph (vectors + per-layer links + entry point).
-  std::string save() const;
+  std::string save() const override;
   static HnswIndex load(std::string_view blob);
+  /// Vectors view `blob`; the adjacency lists are always materialized.
+  static HnswIndex load_view(std::string_view blob);
+
+  std::size_t payload_bytes() const override;
+  bool mmap_backed() const override { return vectors_.is_view(); }
 
   /// Reusable per-thread search state: an epoch-stamped visited buffer
   /// (one ++epoch instead of a fresh hash set per search_layer call)
@@ -186,6 +289,8 @@ class HnswIndex final : public VectorIndex {
   };
 
  private:
+  friend struct IndexIo;
+
   struct Node {
     int level = 0;
     /// links[layer] = neighbor rows.

@@ -4,18 +4,10 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "index/quantized.hpp"
 #include "parallel/thread_pool.hpp"
 
 namespace mcqa::index {
-
-std::string_view index_kind_name(IndexKind kind) {
-  switch (kind) {
-    case IndexKind::kFlat: return "flat";
-    case IndexKind::kIvf: return "ivf";
-    case IndexKind::kHnsw: return "hnsw";
-  }
-  return "unknown";
-}
 
 namespace {
 std::unique_ptr<VectorIndex> make_index(IndexKind kind, std::size_t dim) {
@@ -23,8 +15,19 @@ std::unique_ptr<VectorIndex> make_index(IndexKind kind, std::size_t dim) {
     case IndexKind::kFlat: return std::make_unique<FlatIndex>(dim);
     case IndexKind::kIvf: return std::make_unique<IvfIndex>(dim);
     case IndexKind::kHnsw: return std::make_unique<HnswIndex>(dim);
+    case IndexKind::kSq8: return std::make_unique<Sq8Index>(dim);
+    case IndexKind::kIvfPq: return std::make_unique<IvfPqIndex>(dim);
   }
   throw std::invalid_argument("unknown IndexKind");
+}
+
+IndexKind kind_from_name(std::string_view name) {
+  if (name == "flat") return IndexKind::kFlat;
+  if (name == "ivf") return IndexKind::kIvf;
+  if (name == "hnsw") return IndexKind::kHnsw;
+  if (name == "sq8") return IndexKind::kSq8;
+  if (name == "ivfpq") return IndexKind::kIvfPq;
+  throw std::runtime_error("VectorStore::load: unknown index kind");
 }
 }  // namespace
 
@@ -122,42 +125,33 @@ std::string VectorStore::save() const {
   if (!built_) {
     throw std::logic_error("VectorStore::save: build() the store first");
   }
-  std::string out = "vstore1\n";
+  // vstore2: like vstore1 but the index blob is zero-padded to an
+  // 8-byte offset from the store start, so a whole mapped store file
+  // keeps the index payload blocks naturally aligned for view loads.
+  std::string out = "vstore2\n";
   put_str(out, index_kind_name(kind_));
   put_u64(out, ids_.size());
   for (std::size_t i = 0; i < ids_.size(); ++i) {
     put_str(out, ids_[i]);
     put_str(out, texts_[i]);
   }
-  std::string index_blob;
-  switch (kind_) {
-    case IndexKind::kFlat:
-      index_blob = static_cast<const FlatIndex&>(*index_).save();
-      break;
-    case IndexKind::kIvf:
-      index_blob = static_cast<const IvfIndex&>(*index_).save();
-      break;
-    case IndexKind::kHnsw:
-      index_blob = static_cast<const HnswIndex&>(*index_).save();
-      break;
-  }
-  put_str(out, index_blob);
+  const std::string index_blob = index_->save();
+  put_u64(out, index_blob.size());
+  while (out.size() % 8 != 0) out.push_back('\0');
+  out.append(index_blob);
   return out;
 }
 
-VectorStore VectorStore::load(const embed::Embedder& embedder,
-                              std::string_view blob) {
-  constexpr std::string_view kMagic = "vstore1\n";
-  if (blob.substr(0, kMagic.size()) != kMagic) {
+VectorStore VectorStore::load_parsed(const embed::Embedder& embedder,
+                                     std::string_view blob, bool view) {
+  constexpr std::string_view kMagicV2 = "vstore2\n";
+  constexpr std::string_view kMagicV1 = "vstore1\n";
+  const bool v2 = blob.substr(0, kMagicV2.size()) == kMagicV2;
+  if (!v2 && blob.substr(0, kMagicV1.size()) != kMagicV1) {
     throw std::runtime_error("VectorStore::load: bad magic");
   }
-  std::size_t pos = kMagic.size();
-  const std::string kind_name = take_str(blob, pos);
-  IndexKind kind;
-  if (kind_name == "flat") kind = IndexKind::kFlat;
-  else if (kind_name == "ivf") kind = IndexKind::kIvf;
-  else if (kind_name == "hnsw") kind = IndexKind::kHnsw;
-  else throw std::runtime_error("VectorStore::load: unknown index kind");
+  std::size_t pos = kMagicV2.size();
+  const IndexKind kind = kind_from_name(take_str(blob, pos));
 
   VectorStore store(embedder, kind);
   const std::size_t n = take_u64(blob, pos);
@@ -167,23 +161,39 @@ VectorStore VectorStore::load(const embed::Embedder& embedder,
     store.ids_.push_back(take_str(blob, pos));
     store.texts_.push_back(take_str(blob, pos));
   }
-  const std::string index_blob = take_str(blob, pos);
-  switch (kind) {
-    case IndexKind::kFlat:
-      store.index_ = std::make_unique<FlatIndex>(FlatIndex::load(index_blob));
-      break;
-    case IndexKind::kIvf:
-      store.index_ = std::make_unique<IvfIndex>(IvfIndex::load(index_blob));
-      break;
-    case IndexKind::kHnsw:
-      store.index_ =
-          std::make_unique<HnswIndex>(HnswIndex::load(index_blob));
-      break;
+  const std::size_t blob_len = take_u64(blob, pos);
+  if (v2) {
+    // Loader-side pad skip: recomputed from the stream position, never
+    // stored (mirrors the index blob formats).
+    while (pos % 8 != 0) {
+      if (pos >= blob.size()) {
+        throw std::runtime_error("VectorStore::load: truncated pad");
+      }
+      ++pos;
+    }
   }
-  if (store.index_->size() != n) {
-    throw std::runtime_error("VectorStore::load: row count mismatch");
+  if (pos + blob_len > blob.size()) {
+    throw std::runtime_error("VectorStore::load: truncated index blob");
+  }
+  const std::string_view index_blob = blob.substr(pos, blob_len);
+  store.index_ = view ? load_index_view(index_blob) : load_index(index_blob);
+  if (store.index_->kind() != kind || store.index_->size() != n) {
+    throw std::runtime_error("VectorStore::load: index/store mismatch");
   }
   store.built_ = true;
+  return store;
+}
+
+VectorStore VectorStore::load(const embed::Embedder& embedder,
+                              std::string_view blob) {
+  return load_parsed(embedder, blob, /*view=*/false);
+}
+
+VectorStore VectorStore::open_mmap(const embed::Embedder& embedder,
+                                   const std::string& path) {
+  auto file = std::make_shared<MappedFile>(MappedFile::open(path));
+  VectorStore store = load_parsed(embedder, file->bytes(), /*view=*/true);
+  store.backing_ = std::move(file);  // outlives the index's views
   return store;
 }
 

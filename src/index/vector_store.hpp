@@ -23,10 +23,6 @@ class ThreadPool;
 
 namespace mcqa::index {
 
-enum class IndexKind { kFlat, kIvf, kHnsw };
-
-std::string_view index_kind_name(IndexKind kind);
-
 struct Hit {
   std::string id;
   std::string text;
@@ -70,7 +66,18 @@ class VectorStore {
   static VectorStore load(const embed::Embedder& embedder,
                           std::string_view blob);
 
+  /// Open a saved store straight from disk with the index payload
+  /// memory-mapped: ids and texts are materialized, but the index's
+  /// row/code blocks stay views over the mapping — O(1) in the vector
+  /// payload size, so stores larger than RAM open instantly.  The store
+  /// owns the mapping; queries are identical to a load()ed store.
+  static VectorStore open_mmap(const embed::Embedder& embedder,
+                               const std::string& path);
+
   IndexKind kind() const { return kind_; }
+
+  /// True when the index payload views an mmap'd file (open_mmap path).
+  bool mmap_backed() const { return index_ && index_->mmap_backed(); }
 
   std::vector<Hit> query(std::string_view text, std::size_t k) const;
 
@@ -102,11 +109,15 @@ class VectorStore {
   }
 
  private:
+  static VectorStore load_parsed(const embed::Embedder& embedder,
+                                 std::string_view blob, bool view);
+
   std::vector<Hit> hits_for(const std::vector<SearchResult>& results) const;
 
   const embed::Embedder& embedder_;
   IndexKind kind_ = IndexKind::kFlat;
   std::unique_ptr<VectorIndex> index_;
+  std::shared_ptr<MappedFile> backing_;  ///< keeps mmap views alive
   std::vector<std::string> ids_;
   std::vector<std::string> texts_;
   bool built_ = false;

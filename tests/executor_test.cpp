@@ -188,6 +188,40 @@ TEST(Checkpoint, CorruptBlobFallsBackToBuild) {
   EXPECT_EQ(artifact_digest(warm), artifact_digest(cold));
 }
 
+TEST(Checkpoint, UnknownIndexKindFallsBackToBuild) {
+  const TempDir dir;
+  const auto cfg =
+      test_config(ExecutionMode::kOverlapped, 2, true, dir.path.string());
+  const PipelineContext cold(cfg);
+  // Rewrite every index-blob magic inside the cached artifacts to an
+  // unrecognized kind — the version-stamped loaders must reject it, and
+  // the warm path must fall into the corrupt-blob rebuild, not crash.
+  bool rewrote = false;
+  for (const auto& entry : std::filesystem::directory_iterator(dir.path)) {
+    std::ifstream in(entry.path(), std::ios::binary);
+    std::string bytes((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+    in.close();
+    bool changed = false;
+    for (const std::string_view magic :
+         {"flatidx", "ivfidx", "hnswidx", "sq8idx", "ivfpqidx"}) {
+      for (auto pos = bytes.find(magic); pos != std::string::npos;
+           pos = bytes.find(magic, pos + 1)) {
+        bytes.replace(pos, 3, "zzz");
+        changed = true;
+      }
+    }
+    if (changed) {
+      std::ofstream out(entry.path(), std::ios::binary | std::ios::trunc);
+      out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+      rewrote = true;
+    }
+  }
+  ASSERT_TRUE(rewrote);  // trace-store artifacts embed index blobs
+  const PipelineContext warm(cfg);
+  EXPECT_EQ(artifact_digest(warm), artifact_digest(cold));
+}
+
 TEST(Checkpoint, KeysIgnoreSpeedKnobsButTrackConfig) {
   const auto base = test_config(ExecutionMode::kStaged, 1);
   const auto keys = core::derive_checkpoint_keys(base, 256);

@@ -5,6 +5,7 @@
 #include <memory>
 
 #include "embed/hashed_embedder.hpp"
+#include "index/quantized.hpp"
 #include "index/vector_index.hpp"
 #include "index/vector_store.hpp"
 #include "parallel/thread_pool.hpp"
@@ -32,6 +33,8 @@ std::unique_ptr<VectorIndex> make_index(IndexKind kind, std::size_t dim) {
     case IndexKind::kFlat: return std::make_unique<FlatIndex>(dim);
     case IndexKind::kIvf: return std::make_unique<IvfIndex>(dim);
     case IndexKind::kHnsw: return std::make_unique<HnswIndex>(dim);
+    case IndexKind::kSq8: return std::make_unique<Sq8Index>(dim);
+    case IndexKind::kIvfPq: return std::make_unique<IvfPqIndex>(dim);
   }
   return nullptr;
 }
@@ -149,20 +152,32 @@ TEST(AddBatch, SaveBlobsMatchSequentialForAllKinds) {
   FlatIndex flat_seq(kDim), flat_batch(kDim);
   IvfIndex ivf_seq(kDim), ivf_batch(kDim);
   HnswIndex hnsw_seq(kDim), hnsw_batch(kDim);
+  Sq8Index sq8_seq(kDim), sq8_batch(kDim);
+  IvfPqIndex pq_seq(kDim), pq_batch(kDim);
   for (const auto& v : vecs) {
     flat_seq.add(v);
     ivf_seq.add(v);
     hnsw_seq.add(v);
+    sq8_seq.add(v);
+    pq_seq.add(v);
   }
   flat_batch.add_batch(vecs);
   ivf_batch.add_batch(vecs);
   hnsw_batch.add_batch(vecs);
+  sq8_batch.add_batch(vecs);
+  pq_batch.add_batch(vecs);
   ivf_seq.build();
   ivf_batch.build();
+  sq8_seq.build();
+  sq8_batch.build();
+  pq_seq.build();
+  pq_batch.build();
 
   EXPECT_EQ(flat_seq.save(), flat_batch.save());
   EXPECT_EQ(ivf_seq.save(), ivf_batch.save());
   EXPECT_EQ(hnsw_seq.save(), hnsw_batch.save());
+  EXPECT_EQ(sq8_seq.save(), sq8_batch.save());
+  EXPECT_EQ(pq_seq.save(), pq_batch.save());
 }
 
 TEST_P(AnyIndex, AddBatchEmptyAndIncremental) {
@@ -180,7 +195,8 @@ TEST_P(AnyIndex, AddBatchEmptyAndIncremental) {
 
 INSTANTIATE_TEST_SUITE_P(Kinds, AnyIndex,
                          ::testing::Values(IndexKind::kFlat, IndexKind::kIvf,
-                                           IndexKind::kHnsw),
+                                           IndexKind::kHnsw, IndexKind::kSq8,
+                                           IndexKind::kIvfPq),
                          [](const auto& info) {
                            return std::string(index_kind_name(info.param));
                          });

@@ -221,7 +221,7 @@ TEST(RowStorage, ContiguousLayoutAndAccessors) {
   EXPECT_EQ(rows.row(1) - rows.row(0), 3);  // truly contiguous
   EXPECT_EQ(rows.vector(0), (embed::Vector{1.0f, 2.0f, 3.0f}));
   rows.set_row(0, {7.0f, 8.0f, 9.0f});
-  EXPECT_EQ(rows.data()[0], 7.0f);
+  EXPECT_EQ(rows.raw()[0], 7.0f);
   EXPECT_THROW(rows.add(embed::Vector(2, 0.0f)), std::invalid_argument);
 }
 

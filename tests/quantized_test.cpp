@@ -1,0 +1,421 @@
+// Property tests for the quantized index tier (SQ8 + IVF-PQ): encode
+// round-trip bounds, codebook determinism, the exact-rerank contract,
+// fail-soft IO and the mmap-backed read path.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <unistd.h>
+
+#include "corpus/vector_corpus.hpp"
+#include "embed/hashed_embedder.hpp"
+#include "index/mmap_file.hpp"
+#include "index/quantized.hpp"
+#include "index/vector_index.hpp"
+#include "index/vector_store.hpp"
+#include "parallel/thread_pool.hpp"
+#include "util/fp16.hpp"
+#include "util/rng.hpp"
+
+namespace mcqa::index {
+namespace {
+
+std::vector<embed::Vector> random_unit_vectors(std::size_t n, std::size_t dim,
+                                               std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<embed::Vector> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    embed::Vector v(dim);
+    for (auto& x : v) x = static_cast<float>(rng.normal());
+    embed::normalize(v);
+    out.push_back(std::move(v));
+  }
+  return out;
+}
+
+struct TempDir {
+  std::filesystem::path path;
+  TempDir() {
+    static int counter = 0;
+    path = std::filesystem::temp_directory_path() /
+           ("mcqa-quantized-test-" + std::to_string(::getpid()) + "-" +
+            std::to_string(counter++));
+    std::filesystem::create_directories(path);
+  }
+  ~TempDir() {
+    std::error_code ec;
+    std::filesystem::remove_all(path, ec);
+  }
+};
+
+std::string write_file(const std::filesystem::path& p,
+                       std::string_view bytes) {
+  std::ofstream out(p, std::ios::binary);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  return p.string();
+}
+
+void expect_same_results(const std::vector<SearchResult>& a,
+                         const std::vector<SearchResult>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].row, b[i].row);
+    EXPECT_EQ(a[i].score, b[i].score);  // bit equality, not tolerance
+  }
+}
+
+// --- SQ8 round-trip ----------------------------------------------------------
+
+TEST(Sq8RoundTrip, DecodeErrorWithinHalfScale) {
+  constexpr std::size_t kDim = 48;
+  const auto vecs = random_unit_vectors(200, kDim, 21);
+  Sq8Index idx(kDim);
+  idx.add_batch(vecs);
+  idx.build();
+  for (std::size_t i = 0; i < vecs.size(); ++i) {
+    const embed::Vector decoded = idx.decode(i);
+    for (std::size_t d = 0; d < kDim; ++d) {
+      // The code grid spans the fp16-at-rest values, so the bound is
+      // half a quantization step plus fp16 rounding of the input.
+      const float stored = util::fp16_to_float(util::float_to_fp16(vecs[i][d]));
+      const float bound = 0.5f * idx.scale_of(d) + 1e-3f;
+      EXPECT_LE(std::abs(decoded[d] - stored), bound)
+          << "row " << i << " dim " << d;
+    }
+  }
+}
+
+TEST(Sq8RoundTrip, ConstantDimensionEncodesExactly) {
+  // A zero-range dimension has scale 0; codes collapse to 0 and decode
+  // back to the (fp16) constant.
+  Sq8Index idx(2);
+  for (float x : {0.25f, 0.5f, 0.75f}) idx.add(embed::Vector{0.125f, x});
+  idx.build();
+  EXPECT_EQ(idx.scale_of(0), 0.0f);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_FLOAT_EQ(idx.decode(i)[0], 0.125f);
+  }
+}
+
+// --- determinism -------------------------------------------------------------
+
+TEST(QuantizedDeterminism, BlobsIdenticalAcrossThreadCounts) {
+  constexpr std::size_t kDim = 32;
+  const auto vecs = random_unit_vectors(500, kDim, 31);
+
+  std::string sq8_blob;
+  std::string pq_blob;
+  for (const std::size_t threads : {1u, 2u, 8u}) {
+    parallel::ThreadPool pool(threads);
+    Sq8Index sq8(kDim);
+    sq8.add_batch(vecs);
+    sq8.build(pool);
+    IvfPqIndex pq(kDim);
+    pq.add_batch(vecs);
+    pq.build(pool);
+    if (sq8_blob.empty()) {
+      sq8_blob = sq8.save();
+      pq_blob = pq.save();
+    } else {
+      EXPECT_EQ(sq8.save(), sq8_blob) << threads << " threads";
+      EXPECT_EQ(pq.save(), pq_blob) << threads << " threads";
+    }
+  }
+}
+
+TEST(QuantizedDeterminism, PqCodebooksIdenticalAddVsAddBatch) {
+  constexpr std::size_t kDim = 32;
+  const auto vecs = random_unit_vectors(400, kDim, 41);
+
+  IvfPqIndex seq(kDim);
+  for (const auto& v : vecs) seq.add(v);
+  seq.build();
+
+  IvfPqIndex batch(kDim);
+  batch.add_batch(vecs);
+  parallel::ThreadPool pool(4);
+  batch.build(pool);
+
+  ASSERT_EQ(seq.subquantizers(), batch.subquantizers());
+  ASSERT_EQ(seq.codebook_size(), batch.codebook_size());
+  const auto& a = seq.codebooks();
+  const auto& b = batch.codebooks();
+  ASSERT_EQ(a.value_count(), b.value_count());
+  EXPECT_EQ(0, std::memcmp(a.raw(), b.raw(),
+                           a.value_count() * sizeof(float)));
+  EXPECT_EQ(seq.save(), batch.save());
+}
+
+// --- the exact-rerank contract -----------------------------------------------
+
+TEST(RerankContract, CoveringCandidatesBitIdenticalToFlat) {
+  constexpr std::size_t kDim = 32;
+  constexpr std::size_t kN = 600;
+  const auto vecs = random_unit_vectors(kN, kDim, 51);
+  const auto queries = random_unit_vectors(32, kDim, 52);
+
+  FlatIndex flat(kDim);
+  flat.add_batch(vecs);
+
+  Sq8Config sq8_cfg;
+  sq8_cfg.min_candidates = kN;  // candidate set spans the store
+  Sq8Index sq8(kDim, sq8_cfg);
+  sq8.add_batch(vecs);
+  sq8.build();
+
+  IvfPqConfig pq_cfg;
+  pq_cfg.nprobe = kN;  // probe every cell
+  pq_cfg.min_candidates = kN;
+  IvfPqIndex pq(kDim, pq_cfg);
+  pq.add_batch(vecs);
+  pq.build();
+
+  for (const auto& q : queries) {
+    const auto want = flat.search(q, 10);
+    expect_same_results(sq8.search(q, 10), want);
+    expect_same_results(pq.search(q, 10), want);
+  }
+}
+
+TEST(RerankContract, QuantizedRecallFloorOnClusteredCorpus) {
+  // The regime the 1M ablation sweep measures, shrunk: clustered rows
+  // where the candidate set covers the query's topic.
+  corpus::VectorCorpusConfig cc;
+  cc.rows = 1024;
+  cc.dim = 64;
+  cc.clusters = 32;
+  const corpus::VectorCorpus vc(cc);
+  parallel::ThreadPool pool(2);
+  const auto rows = vc.block(0, cc.rows, pool);
+
+  FlatIndex flat(cc.dim);
+  flat.add_batch(rows);
+  Sq8Config sq8_cfg;
+  sq8_cfg.oversample = 16;
+  Sq8Index sq8(cc.dim, sq8_cfg);
+  sq8.add_batch(rows);
+  sq8.build();
+  IvfPqConfig pq_cfg;
+  pq_cfg.nprobe = 16;
+  pq_cfg.ksub = 64;
+  pq_cfg.oversample = 16;
+  IvfPqIndex pq(cc.dim, pq_cfg);
+  pq.add_batch(rows);
+  pq.build();
+
+  double sq8_recall = 0.0;
+  double pq_recall = 0.0;
+  constexpr std::size_t kQueries = 16;
+  for (std::size_t j = 0; j < kQueries; ++j) {
+    const auto truth = flat.search(vc.query(j), 10);
+    sq8_recall += recall_at_k(sq8.search(vc.query(j), 10), truth);
+    pq_recall += recall_at_k(pq.search(vc.query(j), 10), truth);
+  }
+  EXPECT_GE(sq8_recall / kQueries, 0.95);
+  EXPECT_GE(pq_recall / kQueries, 0.95);
+}
+
+TEST(RerankContract, ApproxCandidatesAreTheRerankPool) {
+  // search(k) results must all come from the approximate candidate set
+  // of the size the config implies.
+  constexpr std::size_t kDim = 24;
+  const auto vecs = random_unit_vectors(300, kDim, 61);
+  Sq8Index sq8(kDim);
+  sq8.add_batch(vecs);
+  sq8.build();
+  const auto q = random_unit_vectors(1, kDim, 62)[0];
+  const auto cands = sq8.approx_candidates(q, 64);  // min_candidates
+  for (const auto& hit : sq8.search(q, 10)) {
+    const bool in_cands =
+        std::any_of(cands.begin(), cands.end(),
+                    [&](const SearchResult& c) { return c.row == hit.row; });
+    EXPECT_TRUE(in_cands) << "row " << hit.row;
+  }
+}
+
+// --- IO: round-trip, views, fail-soft ----------------------------------------
+
+TEST(QuantizedIo, SaveLoadRoundTripSearchesIdentically) {
+  constexpr std::size_t kDim = 40;
+  const auto vecs = random_unit_vectors(250, kDim, 71);
+  const auto queries = random_unit_vectors(8, kDim, 72);
+
+  Sq8Index sq8(kDim);
+  sq8.add_batch(vecs);
+  sq8.build();
+  const std::string sq8_blob = sq8.save();
+  const Sq8Index sq8_loaded = Sq8Index::load(sq8_blob);
+  const Sq8Index sq8_view = Sq8Index::load_view(sq8_blob);
+  EXPECT_EQ(sq8_loaded.save(), sq8_blob);
+
+  IvfPqIndex pq(kDim);
+  pq.add_batch(vecs);
+  pq.build();
+  const std::string pq_blob = pq.save();
+  const IvfPqIndex pq_loaded = IvfPqIndex::load(pq_blob);
+  const IvfPqIndex pq_view = IvfPqIndex::load_view(pq_blob);
+  EXPECT_EQ(pq_loaded.save(), pq_blob);
+
+  for (const auto& q : queries) {
+    expect_same_results(sq8_loaded.search(q, 7), sq8.search(q, 7));
+    expect_same_results(sq8_view.search(q, 7), sq8.search(q, 7));
+    expect_same_results(pq_loaded.search(q, 7), pq.search(q, 7));
+    expect_same_results(pq_view.search(q, 7), pq.search(q, 7));
+  }
+}
+
+TEST(QuantizedIo, SaveBeforeBuildThrows) {
+  Sq8Index sq8(8);
+  sq8.add(embed::Vector(8, 0.5f));
+  EXPECT_THROW(sq8.save(), std::logic_error);
+  IvfPqIndex pq(8);
+  pq.add(embed::Vector(8, 0.5f));
+  EXPECT_THROW(pq.save(), std::logic_error);
+}
+
+TEST(QuantizedIo, DispatchLoadsByMagic) {
+  constexpr std::size_t kDim = 16;
+  const auto vecs = random_unit_vectors(60, kDim, 81);
+  for (const IndexKind kind : {IndexKind::kSq8, IndexKind::kIvfPq}) {
+    std::unique_ptr<VectorIndex> idx =
+        kind == IndexKind::kSq8
+            ? static_cast<std::unique_ptr<VectorIndex>>(
+                  std::make_unique<Sq8Index>(kDim))
+            : std::make_unique<IvfPqIndex>(kDim);
+    idx->add_batch(vecs);
+    idx->build();
+    const auto loaded = load_index(idx->save());
+    ASSERT_NE(loaded, nullptr);
+    EXPECT_EQ(loaded->kind(), kind);
+    EXPECT_EQ(loaded->size(), vecs.size());
+    EXPECT_EQ(loaded->save(), idx->save());
+  }
+}
+
+TEST(QuantizedIo, TruncatedBlobFailsSoft) {
+  constexpr std::size_t kDim = 16;
+  const auto vecs = random_unit_vectors(60, kDim, 91);
+  Sq8Index sq8(kDim);
+  sq8.add_batch(vecs);
+  sq8.build();
+  IvfPqIndex pq(kDim);
+  pq.add_batch(vecs);
+  pq.build();
+  for (const std::string blob : {sq8.save(), pq.save()}) {
+    // Cut inside the header, inside each payload region, and mid-pad.
+    for (const std::size_t keep :
+         {std::size_t{3}, std::size_t{9}, std::size_t{17}, blob.size() / 4,
+          blob.size() / 2, blob.size() - 3, blob.size() - 1}) {
+      EXPECT_EQ(try_load_index(blob.substr(0, keep)), nullptr)
+          << "prefix of " << keep << " bytes";
+    }
+    EXPECT_NE(try_load_index(blob), nullptr);
+  }
+}
+
+TEST(QuantizedIo, UnknownMagicFailsSoft) {
+  EXPECT_EQ(try_load_index("zzzidx9\n\x10\x00\x00\x00"), nullptr);
+  EXPECT_EQ(try_load_index(""), nullptr);
+  EXPECT_THROW(load_index("zzzidx9\nmore"), std::runtime_error);
+}
+
+// --- mmap-backed reads -------------------------------------------------------
+
+TEST(MmapIndex, OpenMatchesResidentBitExact) {
+  constexpr std::size_t kDim = 32;
+  const auto vecs = random_unit_vectors(300, kDim, 101);
+  const auto queries = random_unit_vectors(8, kDim, 102);
+  const TempDir dir;
+
+  for (const IndexKind kind :
+       {IndexKind::kFlat, IndexKind::kSq8, IndexKind::kIvfPq}) {
+    std::unique_ptr<VectorIndex> idx;
+    switch (kind) {
+      case IndexKind::kFlat: idx = std::make_unique<FlatIndex>(kDim); break;
+      case IndexKind::kSq8: idx = std::make_unique<Sq8Index>(kDim); break;
+      default: idx = std::make_unique<IvfPqIndex>(kDim); break;
+    }
+    idx->add_batch(vecs);
+    idx->build();
+    const auto path = write_file(
+        dir.path / (std::string(index_kind_name(kind)) + ".idx"),
+        idx->save());
+    const MappedIndex mapped = open_index_mmap(path);
+    ASSERT_NE(mapped.index, nullptr);
+    EXPECT_TRUE(mapped.index->mmap_backed())
+        << index_kind_name(kind) << " payload was copied, not viewed";
+    EXPECT_EQ(mapped.index->size(), idx->size());
+    for (const auto& q : queries) {
+      expect_same_results(mapped.index->search(q, 9), idx->search(q, 9));
+    }
+  }
+}
+
+TEST(MmapIndex, MappedFileOnMissingPathThrows) {
+  EXPECT_THROW(open_index_mmap("/nonexistent/mcqa-no-such-file.idx"),
+               std::runtime_error);
+}
+
+TEST(MmapConcurrency, SearchBatchOverMappedStore) {
+  // Concurrent reads over the shared mapping: pool-fanned search_batch
+  // must be race-free (tsan lane) and bit-identical to sequential.
+  constexpr std::size_t kDim = 48;
+  const auto vecs = random_unit_vectors(400, kDim, 111);
+  const auto queries = random_unit_vectors(24, kDim, 112);
+  const TempDir dir;
+
+  Sq8Index built(kDim);
+  built.add_batch(vecs);
+  built.build();
+  const auto path = write_file(dir.path / "sq8.idx", built.save());
+  const MappedIndex mapped = open_index_mmap(path);
+  ASSERT_TRUE(mapped.index->mmap_backed());
+
+  std::vector<std::vector<SearchResult>> want;
+  for (const auto& q : queries) want.push_back(mapped.index->search(q, 10));
+  for (const std::size_t threads : {2u, 8u}) {
+    parallel::ThreadPool pool(threads);
+    const auto got = mapped.index->search_batch(queries, 10, pool);
+    ASSERT_EQ(got.size(), want.size());
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      expect_same_results(got[i], want[i]);
+    }
+  }
+}
+
+TEST(MmapStore, OpenMmapMatchesLoadedStore) {
+  const embed::HashedNGramEmbedder embedder;
+  const TempDir dir;
+  for (const IndexKind kind : {IndexKind::kFlat, IndexKind::kSq8}) {
+    VectorStore store(embedder, kind);
+    for (int i = 0; i < 120; ++i) {
+      store.add("id-" + std::to_string(i),
+                "payload text number " + std::to_string(i * 7));
+    }
+    store.build();
+    const auto path = write_file(dir.path / "store.bin", store.save());
+
+    const VectorStore resident = VectorStore::load(embedder, store.save());
+    const VectorStore mapped = VectorStore::open_mmap(embedder, path);
+    EXPECT_FALSE(resident.mmap_backed());
+    EXPECT_TRUE(mapped.mmap_backed());
+    ASSERT_EQ(mapped.size(), resident.size());
+
+    const auto a = resident.query("payload text number 49", 5);
+    const auto b = mapped.query("payload text number 49", 5);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i].id, b[i].id);
+      EXPECT_EQ(a[i].score, b[i].score);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mcqa::index
