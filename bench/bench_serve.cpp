@@ -14,16 +14,32 @@
 //     counts {1,4},
 //   * p99 latency monotone nonincreasing as workers grow at fixed load,
 //   * shed count zero under light load, positive past capacity.
+//
+// Live-tier shape checks (smoke and full; DESIGN.md §15):
+//   * every published LiveStore epoch bit-identical to a from-scratch
+//     rebuild of its live rows, queried from 1/2/8 concurrent readers,
+//   * hedged p99.9 <= 0.5x unhedged under injected replica slowdown,
+//     with hedges accounted exactly once (wins + cancels + failed),
+//   * interactive-lane p99 <= 1.1x the uncontended run under a
+//     saturating batch-class flood (reserved slots + capped admission).
+// Full mode adds hedge/lane sweeps and a sustained rolling-update run
+// (staleness: pending mutations, epoch age, compactions) to the JSON.
 
+#include <algorithm>
+#include <atomic>
 #include <cstdio>
 #include <fstream>
+#include <iterator>
 #include <string>
+#include <thread>
+#include <utility>
 #include <vector>
 
 #include "bench_common.hpp"
 #include "json/json.hpp"
 #include "parallel/thread_pool.hpp"
 #include "serve/engine.hpp"
+#include "serve/live_store.hpp"
 #include "serve/metrics.hpp"
 #include "serve/sharded_store.hpp"
 
@@ -258,12 +274,173 @@ json::Value metrics_row(const serve::ServerMetrics& m) {
   v["completed"] = m.completed;
   v["rejected"] = m.rejected;
   v["expired"] = m.expired;
+  v["failed"] = m.failed;
   v["p50_ms"] = m.latency.p50();
   v["p99_ms"] = m.latency.p99();
+  v["p999_ms"] = m.latency.p999();
   v["mean_batch_fill"] = m.mean_batch_fill();
   v["throughput_qps"] = m.throughput_qps();
   v["utilization"] = m.utilization();
   return v;
+}
+
+// --- live tier ---------------------------------------------------------------
+
+index::VectorStore rebuild_store(const embed::Embedder& embedder,
+                                 const serve::StoreSnapshot& snap) {
+  index::VectorStore store(embedder);
+  for (const auto& [id, text] : snap.live_rows()) store.add(id, text);
+  store.build();
+  return store;
+}
+
+/// Sustained rolling updates against a LiveStore seeded from the chunk
+/// corpus: every published epoch must be bit-identical to a from-scratch
+/// rebuild of its live rows, with the same snapshot queried from 1/2/8
+/// concurrent readers.  Returns per-publish staleness rows for the JSON
+/// report (pending mutations at publish, epoch age, compactions).
+json::Array check_live_epoch_identity(
+    const core::PipelineContext& ctx,
+    const std::vector<qgen::McqRecord>& records) {
+  const embed::Embedder& embedder = ctx.chunk_store().embedder();
+  serve::LiveStoreConfig lcfg;
+  lcfg.compact_kind = index::IndexKind::kSq8;
+  lcfg.compact_threshold = 48;
+  lcfg.min_candidates = 1u << 20;  // candidate floor covers any base: exact
+  serve::LiveStore live(ctx.chunk_store(), lcfg);
+
+  const std::size_t ticks = bench::smoke() ? 6 : 16;
+  const std::size_t appends = 8;
+  const double tick_ms = 10.0;
+  const std::size_t queries = std::min<std::size_t>(records.size(), 12);
+  bool ok = true;
+  json::Array staleness_rows;
+  double last_publish_ms = 0.0;
+  std::vector<std::string> ids;  // appended ids eligible for tombstoning
+  for (std::size_t t = 0; t < ticks; ++t) {
+    for (std::size_t j = 0; j < appends; ++j) {
+      const std::size_t src = (t * appends + j) % ctx.chunk_store().size();
+      std::string id = "upd_" + std::to_string(t) + "_" + std::to_string(j);
+      live.append(id, std::string(ctx.chunk_store().text_of(src)) + " [rev " +
+                          std::to_string(t) + "]");
+      ids.push_back(std::move(id));
+    }
+    if (t % 3 == 2) live.tombstone(ids[(t / 3) * 5]);
+    const std::size_t pending_before = live.pending();
+    const double now_ms = tick_ms * static_cast<double>(t + 1);
+    const auto snap = live.publish(now_ms);
+    const index::VectorStore oracle = rebuild_store(embedder, *snap);
+    for (const std::size_t threads : {1u, 2u, 8u}) {
+      std::atomic<bool> all_ok{true};
+      std::vector<std::thread> pool;
+      pool.reserve(threads);
+      for (std::size_t w = 0; w < threads; ++w) {
+        pool.emplace_back([&, w] {
+          for (std::size_t i = w; i < queries; i += threads) {
+            if (!same_hits(snap->query(records[i].stem, 10),
+                           oracle.query(records[i].stem, 10))) {
+              all_ok.store(false);
+            }
+          }
+        });
+      }
+      for (auto& th : pool) th.join();
+      ok = ok && all_ok.load();
+    }
+    json::Value row = json::Value::object();
+    row["tick"] = t;
+    row["epoch"] = snap->epoch();
+    row["pending_at_publish"] = pending_before;
+    row["epoch_age_ms"] = now_ms - last_publish_ms;
+    row["rows"] = snap->rows();
+    row["delta_segments"] = snap->delta_segments();
+    row["tombstones"] = snap->tombstones();
+    row["compactions"] = live.compactions();
+    staleness_rows.push_back(std::move(row));
+    last_publish_ms = now_ms;
+  }
+  ok = ok && live.compactions() > 0;  // the threshold actually crossed
+  check("live epochs == from-scratch rebuild @ readers {1,2,8}", ok);
+  return staleness_rows;
+}
+
+/// Hedged vs unhedged tails under injected replica slowdown.  Returns
+/// (plain, hedged) metrics for the full-mode report.
+std::pair<serve::ServerMetrics, serve::ServerMetrics> check_hedging_tail(
+    const core::PipelineContext& ctx, const rag::RetrievalStores& stores,
+    const std::vector<qgen::McqRecord>& records, const llm::ModelSpec& spec) {
+  // The slow rate keeps the unhedged tail saturated with injections
+  // (~1.4% of dispatches) while the both-replicas-slow probability —
+  // the only tail a hedge cannot beat — stays under the p99.9 rank.
+  serve::ServeConfig plain;
+  plain.workers = 4;
+  plain.replicas = 2;
+  plain.replica_slow_rate = 0.01;
+  plain.replica_slow_factor = 10.0;
+  plain.queue_capacity = 1u << 20;
+  plain.deadline_ms = 1e7;
+  serve::ServeConfig hedged = plain;
+  hedged.hedge = true;
+  serve::WorkloadConfig wl;
+  wl.requests = bench::smoke() ? 256 : 1024;
+  wl.offered_qps = 150.0;  // light load: the tail is injection, not queueing
+  const auto requests = serve::synth_workload(wl, records.size());
+  serve::ServerMetrics m_plain, m_hedged;
+  serve::QueryEngine(ctx.rag(), stores, spec, plain)
+      .serve(records, requests, &m_plain);
+  serve::QueryEngine(ctx.rag(), stores, spec, hedged)
+      .serve(records, requests, &m_hedged);
+  check("hedged p99.9 <= 0.5x unhedged under injected slowdown",
+        m_hedged.hedges > 0 &&
+            m_hedged.latency.p999() <= 0.5 * m_plain.latency.p999());
+  check("hedges accounted exactly once (wins + cancels + failed)",
+        m_hedged.hedges == m_hedged.hedge_wins + m_hedged.hedge_cancels +
+                               m_hedged.hedge_failed);
+  return {std::move(m_plain), std::move(m_hedged)};
+}
+
+/// Interactive tail with and without a saturating batch-class flood.
+/// Returns (alone, under_flood) metrics for the full-mode report.
+std::pair<serve::ServerMetrics, serve::ServerMetrics> check_lane_isolation(
+    const core::PipelineContext& ctx, const rag::RetrievalStores& stores,
+    const std::vector<qgen::McqRecord>& records, const llm::ModelSpec& spec) {
+  serve::ServeConfig cfg;
+  cfg.workers = 4;
+  cfg.reserved_interactive_slots = 2;
+  cfg.queue_capacity = 1u << 20;
+  cfg.deadline_ms = 1e7;
+  const serve::QueryEngine engine(ctx.rag(), stores, spec, cfg);
+
+  serve::WorkloadConfig wl;
+  wl.requests = bench::smoke() ? 160 : 640;
+  wl.offered_qps = 400.0;
+  const auto interactive = serve::synth_workload(wl, records.size());
+
+  serve::WorkloadConfig flood_cfg;
+  flood_cfg.requests = 2 * wl.requests;
+  flood_cfg.offered_qps = 4000.0;  // saturating bulk traffic
+  flood_cfg.seed = 0xb17eULL;
+  auto flood = serve::synth_workload(flood_cfg, records.size());
+  for (std::size_t i = 0; i < flood.size(); ++i) {
+    flood[i].request_id = "bq_" + std::to_string(i);
+    flood[i].klass = serve::RequestClass::kBatch;
+  }
+  std::vector<serve::QueryRequest> merged;
+  merged.reserve(interactive.size() + flood.size());
+  std::merge(interactive.begin(), interactive.end(), flood.begin(),
+             flood.end(), std::back_inserter(merged),
+             [](const serve::QueryRequest& x, const serve::QueryRequest& y) {
+               return x.arrival_ms < y.arrival_ms;
+             });
+
+  serve::ServerMetrics alone, under_flood;
+  engine.serve(records, interactive, &alone);
+  engine.serve(records, merged, &under_flood);
+  check("interactive p99 <= 1.1x uncontended under batch-class flood",
+        under_flood.batch_latency.count() > 0 &&
+            under_flood.interactive_latency.p99() <=
+                1.1 * alone.interactive_latency.p99());
+  return {std::move(alone), std::move(under_flood)};
 }
 
 }  // namespace
@@ -285,6 +462,11 @@ int main(int argc, char** argv) {
   const auto sweep = worker_sweep(ctx, stores, records, spec, workers);
   check_worker_monotonicity(workers, sweep);
   check_shedding(ctx, stores, records, spec);
+  json::Array staleness_rows = check_live_epoch_identity(ctx, records);
+  const auto [hedge_plain, hedge_on] =
+      check_hedging_tail(ctx, stores, records, spec);
+  const auto [lane_alone, lane_flood] =
+      check_lane_isolation(ctx, stores, records, spec);
 
   if (bench::smoke()) return g_all_pass ? 0 : 1;
 
@@ -367,14 +549,117 @@ int main(int argc, char** argv) {
   std::printf("%s\n", load_table.render().c_str());
   report["load_sweep"] = json::Value(std::move(load_rows));
 
+  // Hedge sweep: replica slowdown injection with hedging off/on.
+  std::printf("Hedge sweep (2 replicas, 4 workers each, 150 qps):\n\n");
+  eval::TableWriter hedge_table({"Slow rate", "Hedge", "p50 latency",
+                                 "p99 latency", "p99.9 latency", "Hedges",
+                                 "Wins"});
+  json::Array hedge_rows;
+  {
+    serve::WorkloadConfig hwl;
+    hwl.requests = 1024;
+    hwl.offered_qps = 150.0;
+    const auto hedge_requests = serve::synth_workload(hwl, records.size());
+    for (const double rate : {0.0, 0.01, 0.05}) {
+      for (const bool hedge : {false, true}) {
+        serve::ServeConfig cfg;
+        cfg.workers = 4;
+        cfg.replicas = 2;
+        cfg.hedge = hedge;
+        cfg.replica_slow_rate = rate;
+        cfg.replica_slow_factor = 10.0;
+        cfg.queue_capacity = 1u << 20;
+        cfg.deadline_ms = 1e7;
+        const serve::QueryEngine engine(ctx.rag(), stores, spec, cfg);
+        serve::ServerMetrics m;
+        engine.serve(records, hedge_requests, &m);
+        hedge_table.add_row({eval::fmt_acc(rate), hedge ? "on" : "off",
+                             eval::fmt_acc(m.latency.p50()) + " ms",
+                             eval::fmt_acc(m.latency.p99()) + " ms",
+                             eval::fmt_acc(m.latency.p999()) + " ms",
+                             std::to_string(m.hedges),
+                             std::to_string(m.hedge_wins)});
+        json::Value row = metrics_row(m);
+        row["replica_slow_rate"] = rate;
+        row["hedge"] = hedge;
+        row["hedges"] = m.hedges;
+        row["hedge_wins"] = m.hedge_wins;
+        row["hedge_cancels"] = m.hedge_cancels;
+        row["hedge_failed"] = m.hedge_failed;
+        hedge_rows.push_back(std::move(row));
+      }
+    }
+  }
+  std::printf("%s\n", hedge_table.render().c_str());
+  report["hedge_sweep"] = json::Value(std::move(hedge_rows));
+
+  // Lane isolation: the interactive tail with and without the flood.
+  std::printf("Priority lanes (4 workers, 2 reserved, batch flood):\n\n");
+  eval::TableWriter lane_table({"Scenario", "Interactive p99",
+                                "Interactive p99.9", "Batch p99",
+                                "Completed"});
+  const auto lane_row = [&](const char* name,
+                            const serve::ServerMetrics& m) {
+    lane_table.add_row(
+        {name, eval::fmt_acc(m.interactive_latency.p99()) + " ms",
+         eval::fmt_acc(m.interactive_latency.p999()) + " ms",
+         m.batch_latency.count() > 0
+             ? eval::fmt_acc(m.batch_latency.p99()) + " ms"
+             : "-",
+         std::to_string(m.completed)});
+    json::Value row = metrics_row(m);
+    row["scenario"] = name;
+    row["interactive_p99_ms"] = m.interactive_latency.p99();
+    row["interactive_p999_ms"] = m.interactive_latency.p999();
+    row["batch_p99_ms"] = m.batch_latency.p99();
+    return row;
+  };
+  json::Array lane_rows;
+  lane_rows.push_back(lane_row("interactive alone", lane_alone));
+  lane_rows.push_back(lane_row("with batch flood", lane_flood));
+  std::printf("%s\n", lane_table.render().c_str());
+  report["lane_isolation"] = json::Value(std::move(lane_rows));
+
+  // Hedge headline numbers from the shape-check run.
+  {
+    json::Value h = json::Value::object();
+    h["unhedged"] = metrics_row(hedge_plain);
+    h["hedged"] = metrics_row(hedge_on);
+    h["p999_ratio"] =
+        hedge_plain.latency.p999() > 0.0
+            ? hedge_on.latency.p999() / hedge_plain.latency.p999()
+            : 0.0;
+    report["hedged_tail"] = std::move(h);
+  }
+
+  // Sustained rolling updates: staleness of the live store per publish.
+  std::printf("Live store rolling updates (8 appends/tick, publish each "
+              "tick):\n\n");
+  eval::TableWriter live_table({"Tick", "Epoch", "Pending", "Rows",
+                                "Deltas", "Tombstones", "Compactions"});
+  for (const json::Value& row : staleness_rows) {
+    live_table.add_row({std::to_string(row.at("tick").as_int()),
+                        std::to_string(row.at("epoch").as_int()),
+                        std::to_string(row.at("pending_at_publish").as_int()),
+                        std::to_string(row.at("rows").as_int()),
+                        std::to_string(row.at("delta_segments").as_int()),
+                        std::to_string(row.at("tombstones").as_int()),
+                        std::to_string(row.at("compactions").as_int())});
+  }
+  std::printf("%s\n", live_table.render().c_str());
+  report["live_store"] = json::Value(std::move(staleness_rows));
+
   std::ofstream out("BENCH_serve.json");
   out << report.dump(2) << "\n";
   std::printf(
       "Reading: sharding trades scan time against merge overhead, the "
       "cutoff trades batching wait against fill, and admission control "
       "converts overload into explicit sheds instead of unbounded "
-      "queueing — all on a simulated clock, so every number above is "
-      "bit-reproducible.\n");
+      "queueing; hedging trades duplicate work for the injected tail, "
+      "reserved slots keep the interactive tail flat under a batch "
+      "flood, and live epochs stay bit-identical to rebuilds while the "
+      "corpus mutates — all on a simulated clock, so every number above "
+      "is bit-reproducible.\n");
   std::printf("wrote BENCH_serve.json\n");
   return g_all_pass ? 0 : 1;
 }

@@ -76,6 +76,11 @@ class Sq8Index final : public VectorIndex {
   void set_oversample(std::size_t oversample) {
     config_.oversample = oversample;
   }
+  /// Raise the candidate floor — with min_candidates >= size() the scan
+  /// covers the store and results are bit-identical to FlatIndex.
+  void set_min_candidates(std::size_t min_candidates) {
+    config_.min_candidates = min_candidates;
+  }
 
   // --- introspection (tests / round-trip error bounds) -----------------------
 
@@ -158,6 +163,9 @@ class IvfPqIndex final : public VectorIndex {
   void set_nprobe(std::size_t nprobe) { config_.nprobe = nprobe; }
   void set_oversample(std::size_t oversample) {
     config_.oversample = oversample;
+  }
+  void set_min_candidates(std::size_t min_candidates) {
+    config_.min_candidates = min_candidates;
   }
   std::size_t nlist() const { return centroids_.size(); }
 

@@ -103,6 +103,11 @@ class VectorStore {
   /// bit-identical to this store's.
   const embed::Embedder& embedder() const { return embedder_; }
 
+  /// The underlying index.  Live serving seeds its epoch-0 base from a
+  /// frozen store; a flat index lets it copy the fp16 rows instead of
+  /// re-embedding (bit-identical either way).
+  const VectorIndex* index() const { return index_.get(); }
+
   /// FP16-equivalent storage footprint of the embedded vectors.
   std::size_t embedding_bytes() const {
     return ids_.size() * embedder_.dim() * 2;

@@ -64,17 +64,27 @@ enum class RequestStatus {
 
 std::string_view status_name(RequestStatus status);
 
+/// Priority class: interactive traffic batches and drains ahead of
+/// bulk/batch traffic (tighter cutoff and deadline, reserved slots).
+enum class RequestClass { kInteractive, kBatch };
+
+std::string_view class_name(RequestClass klass);
+
 struct QueryRequest {
   std::string request_id;  ///< stable id; keys costs, failures, lanes
   std::size_t record = 0;  ///< index into the served record set
   rag::Condition condition = rag::Condition::kChunks;
   double arrival_ms = 0.0;  ///< simulated arrival (nondecreasing)
+  RequestClass klass = RequestClass::kInteractive;
 };
 
 struct QueryResult {
   RequestStatus status = RequestStatus::kRejected;
   std::size_t attempts = 0;  ///< service attempts consumed
   std::size_t lane = 0;      ///< QueryRouter::lane_of(request_id)
+  RequestClass klass = RequestClass::kInteractive;
+  std::size_t replica = 0;  ///< replica whose dispatch won the final attempt
+  bool hedged = false;      ///< final attempt launched a hedge
   // Simulated per-stage times of the final attempt (ms).
   double enqueue_wait_ms = 0.0;
   double embed_ms = 0.0;
@@ -111,6 +121,52 @@ struct ServeConfig {
   double assemble_base_ms = 0.25;
   double assemble_jitter_ms = 0.2;
 
+  // --- live tier: replicas + hedged requests ---------------------------------
+  // Each replica is an independent group of `workers` slots serving the
+  // same snapshot.  Slowdowns/failures are injected per (replica,
+  // request) from hash probes, so a hedge to a second replica sees
+  // independent tail behavior — the hedging win the bench measures.
+  std::size_t replicas = 1;
+  /// Duplicate a dispatched batch to a second replica once the primary
+  /// has not answered by the hedge delay; first completion wins and the
+  /// loser is cancelled (its slot frees at the winner's instant).
+  /// Needs replicas >= 2.
+  bool hedge = false;
+  /// Hedge delay; < 0 derives it as hedge_delay_quantile of the
+  /// workload's nominal per-request service cost (the classic
+  /// "hedge at p95" policy, computed deterministically).
+  double hedge_delay_ms = -1.0;
+  double hedge_delay_quantile = 0.95;
+  /// P(batch dispatch on a replica is slowed / hard-fails); resolved
+  /// per (replica, request id) and aggregated per batch (any member
+  /// firing afflicts the whole dispatch).
+  double replica_slow_rate = 0.0;
+  double replica_slow_factor = 4.0;  ///< service multiplier when slow
+  double replica_failure_rate = 0.0;
+
+  // --- live tier: priority lanes ---------------------------------------------
+  // Interactive and batch-class requests never share a micro-batch.
+  // Interactive batches may use every slot; batch-class dispatches only
+  // the non-reserved tail, so a saturating batch lane cannot occupy the
+  // slots interactive tails depend on.
+  std::size_t reserved_interactive_slots = 0;  ///< per replica, clamped < workers
+  double interactive_deadline_ms = -1.0;  ///< < 0: deadline_ms
+  double batch_deadline_ms = -1.0;        ///< < 0: 4 * deadline_ms
+  double batch_lane_cutoff_ms = -1.0;     ///< < 0: 4 * batch_cutoff_ms
+  /// Admission for batch-class requests sheds above this fraction of
+  /// queue_capacity (interactive uses the full capacity).
+  double batch_admission_fraction = 0.5;
+
+  // --- live tier: shard heat -------------------------------------------------
+  /// Serviced-request window for heat tracking; 0 disables.  When one
+  /// salted record-lane exceeds heat_imbalance x the window mean, the
+  /// lane salt bumps deterministically (metrics.rebalances) and the
+  /// window restarts — the hook a deployment would use to migrate
+  /// shard ownership.  Keep heat_imbalance < shards: the hottest lane
+  /// can carry at most shards x the mean.
+  std::size_t heat_window = 0;
+  double heat_imbalance = 2.0;
+
   std::uint64_t seed = 0x5e59eULL;
 };
 
@@ -120,6 +176,14 @@ struct WorkloadConfig {
   /// Condition mix, indexed by rag::Condition.
   std::array<double, rag::kConditionCount> condition_weights{
       0.10, 0.40, 0.20, 0.15, 0.15};
+  /// Fraction of requests in the interactive class.  Drawn from a
+  /// stream independent of the arrival/record/condition draws, so 1.0
+  /// (the default) reproduces the pre-lane workloads bit-for-bit.
+  double interactive_fraction = 1.0;
+  /// Fraction of requests redirected to record 0 (a hot key) — the
+  /// skew that drives shard-heat rebalancing.  Independent stream; 0.0
+  /// leaves the record picks untouched.
+  double hot_fraction = 0.0;
   std::uint64_t seed = 0x10ad5ULL;
 };
 
@@ -139,8 +203,12 @@ class AdmissionController {
 
   /// Admit when occupancy `waiting` is under capacity; otherwise count
   /// a shed.
-  bool try_admit(std::size_t waiting) {
-    if (waiting >= capacity_) {
+  bool try_admit(std::size_t waiting) { return try_admit(waiting, capacity_); }
+
+  /// Class-capped admission: the batch lane admits against a lower
+  /// effective capacity so bulk traffic cannot fill the whole queue.
+  bool try_admit(std::size_t waiting, std::size_t capacity) {
+    if (waiting >= capacity) {
       ++shed_;
       return false;
     }
@@ -229,6 +297,16 @@ class QueryEngine {
   double assemble_cost_ms(const QueryRequest& request) const;
   /// Does attempt `attempt` (0-based) of `request_id` fail transiently?
   bool attempt_fails(std::string_view request_id, std::size_t attempt) const;
+
+  /// Hash-derived per-(replica, request) injections — public so tests
+  /// can reconstruct hedge outcomes.
+  bool replica_slow(std::size_t replica, std::string_view request_id) const;
+  bool replica_fails(std::size_t replica, std::string_view request_id) const;
+  /// Effective per-class deadline (resolves the < 0 defaults).
+  double deadline_ms_for(RequestClass klass) const;
+  /// Effective hedge delay: config value, or the configured quantile of
+  /// the workload's nominal service costs when hedge_delay_ms < 0.
+  double hedge_delay_for(const std::vector<QueryRequest>& requests) const;
 
  private:
   struct BatchExec;

@@ -17,6 +17,7 @@ json::Value StageMetrics::to_json() const {
   v["p50_ms"] = p50();
   v["p95_ms"] = p95();
   v["p99_ms"] = p99();
+  v["p999_ms"] = p999();
   v["max_ms"] = max();
   return v;
 }
@@ -66,12 +67,25 @@ json::Value ServerMetrics::to_json() const {
     c["serviced"] = serviced;
     c["retries"] = retries;
     c["batches"] = batches;
+    c["hedges"] = hedges;
+    c["hedge_wins"] = hedge_wins;
+    c["hedge_cancels"] = hedge_cancels;
+    c["hedge_failed"] = hedge_failed;
+    c["replica_slow"] = replica_slow;
+    c["replica_failures"] = replica_failures;
+    c["rebalances"] = rebalances;
     json::Array lanes;
     lanes.reserve(lane_serviced.size());
     for (const std::size_t s : lane_serviced) {
       lanes.emplace_back(static_cast<std::int64_t>(s));
     }
     c["lane_serviced"] = json::Value(std::move(lanes));
+    json::Array reps;
+    reps.reserve(replica_serviced.size());
+    for (const std::size_t s : replica_serviced) {
+      reps.emplace_back(static_cast<std::int64_t>(s));
+    }
+    c["replica_serviced"] = json::Value(std::move(reps));
     v["counters"] = std::move(c);
   }
   {
@@ -96,6 +110,8 @@ json::Value ServerMetrics::to_json() const {
     s["retrieve"] = retrieve.to_json();
     s["assemble"] = assemble.to_json();
     s["latency"] = latency.to_json();
+    s["interactive_latency"] = interactive_latency.to_json();
+    s["batch_latency"] = batch_latency.to_json();
     s["batch_fill"] = batch_fill.to_json();
     v["stages"] = std::move(s);
   }

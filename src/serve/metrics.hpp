@@ -36,9 +36,12 @@ class StageMetrics {
   double p50() const { return histogram_.p50(); }
   double p95() const { return histogram_.p95(); }
   double p99() const { return histogram_.p99(); }
+  /// The live-serving headline tail (nearest-rank; the max until the
+  /// stage has 1000 samples).
+  double p999() const { return histogram_.p999(); }
   const util::Histogram& histogram() const { return histogram_; }
 
-  /// {count, mean_ms, p50_ms, p95_ms, p99_ms, max_ms}.
+  /// {count, mean_ms, p50_ms, p95_ms, p99_ms, p999_ms, max_ms}.
   json::Value to_json() const;
 
  private:
@@ -68,6 +71,19 @@ struct ServerMetrics {
   /// Serviced attempts per shard lane (QueryRouter request hash).
   std::vector<std::size_t> lane_serviced;
 
+  // --- live tier (replicas, hedging, heat) -----------------------------------
+  /// Every launched hedge terminates in exactly one bucket:
+  /// hedges == hedge_wins + hedge_cancels + hedge_failed.
+  std::size_t hedges = 0;        ///< duplicate dispatches launched
+  std::size_t hedge_wins = 0;    ///< hedge completed first (primary cancelled)
+  std::size_t hedge_cancels = 0; ///< primary completed first (hedge cancelled)
+  std::size_t hedge_failed = 0;  ///< both paths failed; batch fell to retry
+  std::size_t replica_slow = 0;      ///< batch dispatches hit by slowdown
+  std::size_t replica_failures = 0;  ///< batch dispatches hit by hard failure
+  std::size_t rebalances = 0;        ///< heat-triggered lane-salt bumps
+  /// Serviced attempts per replica (winning path for hedged batches).
+  std::vector<std::size_t> replica_serviced;
+
   // --- simulated time --------------------------------------------------------
   double makespan_ms = 0.0;  ///< last batch completion
   double busy_ms = 0.0;      ///< total service time across slots
@@ -81,6 +97,10 @@ struct ServerMetrics {
   /// End-to-end latency (completion - arrival) of every request whose
   /// final attempt was dispatched; rejected requests contribute nothing.
   StageMetrics latency{5000.0};
+  /// The same universe as `latency`, split by priority class — the
+  /// interactive-isolation shape check reads interactive_latency.p99().
+  StageMetrics interactive_latency{5000.0};
+  StageMetrics batch_latency{5000.0};
   /// Requests per formed batch.
   StageMetrics batch_fill{256.0};
 

@@ -113,6 +113,13 @@ std::size_t QueryRouter::lane_of(std::string_view request_id) const {
   return ShardedStore::shard_of(request_id, shard_count_);
 }
 
+std::size_t QueryRouter::lane_of(std::string_view key,
+                                 std::uint64_t salt) const {
+  if (salt == 0) return lane_of(key);  // bit-compatible with the unsalted map
+  return static_cast<std::size_t>(
+      util::hash_combine(salt, util::fnv1a64(key)) % shard_count_);
+}
+
 const ShardedStore* QueryRouter::store_for(rag::Condition condition) const {
   switch (condition) {
     case rag::Condition::kBaseline: return nullptr;

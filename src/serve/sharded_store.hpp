@@ -91,6 +91,11 @@ class QueryRouter {
   /// accounting in ServerMetrics).
   std::size_t lane_of(std::string_view request_id) const;
 
+  /// Salted lane: salt 0 is the unsalted mapping above; a nonzero salt
+  /// re-keys the partition (the engine's deterministic heat rebalance
+  /// bumps it when one lane runs hot).
+  std::size_t lane_of(std::string_view key, std::uint64_t salt) const;
+
   /// Sharded store backing `condition`; nullptr for Baseline or when
   /// the bundle carries no store for it.
   const ShardedStore* store_for(rag::Condition condition) const;

@@ -44,14 +44,18 @@ class Histogram {
   double quantile(double q) const;
 
   /// Exact quantile over the retained samples (nearest-rank: the
-  /// ceil(q*n)-th smallest).  Unlike quantile(), this does not round to
-  /// a bin midpoint — ServerMetrics uses it for tail latencies, where
-  /// bin-midpoint error would swamp p95/p99 differences.  Returns 0.0
-  /// on an empty histogram (never NaN).
+  /// ceil(q*n)-th smallest, with q=0 mapping to the minimum).  Unlike
+  /// quantile(), this does not round to a bin midpoint — ServerMetrics
+  /// uses it for tail latencies, where bin-midpoint error would swamp
+  /// p95/p99/p99.9 differences.  Returns 0.0 on an empty histogram
+  /// (never NaN); with one sample every q returns that sample.
   double exact_quantile(double q) const;
   double p50() const { return exact_quantile(0.50); }
   double p95() const { return exact_quantile(0.95); }
   double p99() const { return exact_quantile(0.99); }
+  /// The serving tier's headline tail (live-serving bench): nearest-rank
+  /// p99.9, i.e. the max until the sample count reaches 1000.
+  double p999() const { return exact_quantile(0.999); }
 
   /// Simple ASCII rendering for bench output.
   std::string render(std::size_t width = 40) const;

@@ -1,11 +1,13 @@
 // Unit tests for the serving layer: sharded stores (exact scatter-gather
 // merge), the query router, micro-batching, admission control, the
-// deterministic engine, and server metrics.
+// deterministic engine, the live tier (replicas, hedged dispatch,
+// priority lanes, shard heat), and server metrics.
 
 #include <gtest/gtest.h>
 
 #include <algorithm>
 #include <cmath>
+#include <iterator>
 #include <set>
 
 #include "corpus/fact_matcher.hpp"
@@ -481,6 +483,277 @@ TEST_F(ServeFixture, RejectsUnsortedArrivals) {
   EXPECT_THROW(engine.serve(records_, requests), std::invalid_argument);
 }
 
+// --- live tier: workload classes, hedging, lanes, heat -----------------------
+
+TEST(WorkloadTest, ClassAndHotDrawsLeaveBaseStreamsUntouched) {
+  WorkloadConfig base;
+  base.requests = 64;
+  base.offered_qps = 500.0;
+  WorkloadConfig mixed = base;
+  mixed.interactive_fraction = 0.5;
+  mixed.hot_fraction = 0.6;
+  const auto a = synth_workload(base, 8);
+  const auto b = synth_workload(mixed, 8);
+  ASSERT_EQ(a.size(), b.size());
+  std::size_t batch_class = 0, hot = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    // The class/hot draws ride independent streams: ids, arrivals and
+    // conditions must be bit-identical to the all-default workload.
+    EXPECT_EQ(a[i].request_id, b[i].request_id);
+    EXPECT_EQ(a[i].arrival_ms, b[i].arrival_ms);  // bitwise
+    EXPECT_EQ(a[i].condition, b[i].condition);
+    EXPECT_EQ(a[i].klass, RequestClass::kInteractive);
+    if (b[i].klass == RequestClass::kBatch) ++batch_class;
+    if (b[i].record != a[i].record) {
+      EXPECT_EQ(b[i].record, 0u);  // redirection only ever targets the hot key
+    }
+    if (b[i].record == 0) ++hot;
+  }
+  EXPECT_GT(batch_class, 0u);
+  EXPECT_LT(batch_class, a.size());
+  EXPECT_GT(hot, a.size() / 4);  // the skew actually lands
+}
+
+TEST_F(ServeFixture, SaltedLaneZeroMatchesLegacyAndStaysInRange) {
+  const QueryRouter router(stores_, 4);
+  bool moved = false;
+  for (int i = 0; i < 64; ++i) {
+    const std::string id = "rq_" + std::to_string(i);
+    EXPECT_EQ(router.lane_of(id, 0), router.lane_of(id));
+    const std::size_t salted = router.lane_of(id, 1);
+    EXPECT_LT(salted, 4u);
+    if (salted != router.lane_of(id)) moved = true;
+  }
+  EXPECT_TRUE(moved);  // a salt bump actually re-keys the partition
+}
+
+ServeConfig live_config() {
+  ServeConfig cfg = relaxed_config();
+  cfg.workers = 2;
+  cfg.replicas = 3;
+  cfg.hedge = true;
+  cfg.replica_slow_rate = 0.25;
+  cfg.replica_slow_factor = 8.0;
+  cfg.replica_failure_rate = 0.1;
+  cfg.reserved_interactive_slots = 1;
+  cfg.max_retries = 1;
+  return cfg;
+}
+
+TEST_F(ServeFixture, HedgedServeIsDeterministicAcrossThreadCounts) {
+  const rag::RagPipeline rag = make_pipeline();
+  const QueryEngine engine(rag, stores_, spec_, live_config());
+  WorkloadConfig wl;
+  wl.requests = 128;
+  wl.offered_qps = 1500.0;
+  wl.interactive_fraction = 0.6;  // both lanes live under hedging
+  const auto requests = synth_workload(wl, records_.size());
+
+  parallel::ThreadPool pool_1(1);
+  parallel::ThreadPool pool_2(2);
+  parallel::ThreadPool pool_8(8);
+  ServerMetrics m_1, m_2, m_8;
+  const auto a = engine.serve(records_, requests, pool_1, &m_1);
+  const auto b = engine.serve(records_, requests, pool_2, &m_2);
+  const auto c = engine.serve(records_, requests, pool_8, &m_8);
+  ASSERT_EQ(a.size(), b.size());
+  ASSERT_EQ(a.size(), c.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    for (const auto* other : {&b, &c}) {
+      const QueryResult& o = (*other)[i];
+      EXPECT_EQ(a[i].status, o.status) << i;
+      EXPECT_EQ(a[i].attempts, o.attempts) << i;
+      EXPECT_EQ(a[i].klass, o.klass) << i;
+      EXPECT_EQ(a[i].replica, o.replica) << i;
+      EXPECT_EQ(a[i].hedged, o.hedged) << i;
+      EXPECT_EQ(a[i].latency_ms, o.latency_ms) << i;  // bitwise
+      EXPECT_EQ(a[i].enqueue_wait_ms, o.enqueue_wait_ms) << i;
+      if (a[i].status == RequestStatus::kOk) expect_same_task(a[i].task, o.task);
+    }
+  }
+  for (const ServerMetrics* m : {&m_2, &m_8}) {
+    EXPECT_EQ(m_1.hedges, m->hedges);
+    EXPECT_EQ(m_1.hedge_wins, m->hedge_wins);
+    EXPECT_EQ(m_1.hedge_cancels, m->hedge_cancels);
+    EXPECT_EQ(m_1.hedge_failed, m->hedge_failed);
+    EXPECT_EQ(m_1.replica_slow, m->replica_slow);
+    EXPECT_EQ(m_1.replica_failures, m->replica_failures);
+    EXPECT_EQ(m_1.replica_serviced, m->replica_serviced);
+    EXPECT_EQ(m_1.latency.p999(), m->latency.p999());  // bitwise
+    EXPECT_EQ(m_1.makespan_ms, m->makespan_ms);
+  }
+  // Hedges fire and are accounted exactly once:
+  // every hedge either wins, gets cancelled, or fails with its primary.
+  EXPECT_GT(m_1.hedges, 0u);
+  EXPECT_EQ(m_1.hedges, m_1.hedge_wins + m_1.hedge_cancels + m_1.hedge_failed);
+  std::size_t by_replica = 0;
+  for (const std::size_t s : m_1.replica_serviced) by_replica += s;
+  EXPECT_EQ(by_replica, m_1.serviced);
+}
+
+TEST_F(ServeFixture, HedgingOffLeavesCountersZero) {
+  const rag::RagPipeline rag = make_pipeline();
+  ServeConfig cfg = relaxed_config();
+  cfg.replicas = 2;  // replicated but not hedged
+  const QueryEngine engine(rag, stores_, spec_, cfg);
+  WorkloadConfig wl;
+  wl.requests = 48;
+  wl.offered_qps = 300.0;
+  ServerMetrics m;
+  engine.serve(records_, synth_workload(wl, records_.size()), &m);
+  EXPECT_EQ(m.hedges, 0u);
+  EXPECT_EQ(m.hedge_wins, 0u);
+  EXPECT_EQ(m.hedge_cancels, 0u);
+  EXPECT_EQ(m.hedge_failed, 0u);
+  ASSERT_EQ(m.replica_serviced.size(), 2u);
+  EXPECT_EQ(m.replica_serviced[0] + m.replica_serviced[1], m.serviced);
+}
+
+TEST_F(ServeFixture, HedgingCutsTheInjectedSlowdownTail) {
+  const rag::RagPipeline rag = make_pipeline();
+  ServeConfig slow = relaxed_config();
+  slow.workers = 4;
+  slow.replicas = 2;
+  slow.replica_slow_rate = 0.05;
+  slow.replica_slow_factor = 10.0;
+  ServeConfig hedged = slow;
+  hedged.hedge = true;
+  WorkloadConfig wl;
+  wl.requests = 256;
+  wl.offered_qps = 150.0;  // light load: the tail is injection, not queueing
+  const auto requests = synth_workload(wl, records_.size());
+  ServerMetrics m_plain, m_hedged;
+  QueryEngine(rag, stores_, spec_, slow).serve(records_, requests, &m_plain);
+  QueryEngine(rag, stores_, spec_, hedged)
+      .serve(records_, requests, &m_hedged);
+  EXPECT_EQ(m_plain.hedges, 0u);
+  EXPECT_GT(m_hedged.hedges, 0u);
+  EXPECT_GT(m_hedged.hedge_wins, 0u);
+  // The hedge races a fresh replica against the slowed dispatch; only a
+  // both-slow draw keeps the tail, so the injected p99/p99.9 collapse.
+  EXPECT_LT(m_hedged.latency.p99(), m_plain.latency.p99());
+  EXPECT_LE(m_hedged.latency.p999(), m_plain.latency.p999());
+}
+
+TEST_F(ServeFixture, HedgeFailoverRescuesFailedPrimaries) {
+  const rag::RagPipeline rag = make_pipeline();
+  ServeConfig base = relaxed_config();
+  base.workers = 4;
+  base.replicas = 2;
+  base.replica_failure_rate = 0.3;
+  base.max_retries = 0;  // the rescue must come from the hedge, not retry
+  ServeConfig hedged = base;
+  hedged.hedge = true;
+  WorkloadConfig wl;
+  wl.requests = 160;
+  wl.offered_qps = 200.0;
+  const auto requests = synth_workload(wl, records_.size());
+  ServerMetrics m_plain, m_hedged;
+  QueryEngine(rag, stores_, spec_, base).serve(records_, requests, &m_plain);
+  const auto results = QueryEngine(rag, stores_, spec_, hedged)
+                           .serve(records_, requests, &m_hedged);
+  EXPECT_GT(m_plain.failed, 0u);
+  EXPECT_LT(m_hedged.failed, m_plain.failed);
+  EXPECT_GT(m_hedged.completed, m_plain.completed);
+  EXPECT_GT(m_hedged.hedge_wins, 0u);
+  EXPECT_EQ(m_hedged.hedges,
+            m_hedged.hedge_wins + m_hedged.hedge_cancels +
+                m_hedged.hedge_failed);
+  for (const auto& r : results) {
+    EXPECT_NE(r.status, RequestStatus::kRejected);
+  }
+}
+
+TEST_F(ServeFixture, DeadlineOnFormationTickExpiresBeforeService) {
+  // Regression: a request whose deadline falls exactly on the cutoff
+  // flush tick can never finish (service time is strictly positive), so
+  // it must expire at dispatch without consuming a slot.
+  const rag::RagPipeline rag = make_pipeline();
+  ServeConfig cfg = relaxed_config();
+  cfg.batch_max = 8;       // the size trigger cannot fire a lone request
+  cfg.batch_cutoff_ms = 5.0;
+  cfg.deadline_ms = 5.0;   // deadline lands exactly on the cutoff tick
+  const QueryEngine engine(rag, stores_, spec_, cfg);
+  std::vector<QueryRequest> requests(1);
+  requests[0].request_id = "rq_tie";
+  requests[0].condition = rag::Condition::kChunks;
+  requests[0].arrival_ms = 0.0;
+  ServerMetrics metrics;
+  const auto results = engine.serve(records_, requests, &metrics);
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].status, RequestStatus::kExpired);
+  EXPECT_EQ(results[0].attempts, 0u);  // never reached a slot
+  EXPECT_EQ(results[0].latency_ms, 5.0);
+  EXPECT_EQ(metrics.expired, 1u);
+  EXPECT_EQ(metrics.serviced, 0u);
+  EXPECT_EQ(metrics.batches, 0u);  // an all-expired flush forms no batch
+}
+
+TEST_F(ServeFixture, ReservedSlotsIsolateInteractiveTail) {
+  // Interactive stream alone vs the same stream under a saturating
+  // batch-class flood: reserved slots + the capped batch lane must keep
+  // the interactive tail within the issue's 1.1x bound.
+  const rag::RagPipeline rag = make_pipeline();
+  ServeConfig cfg = relaxed_config();
+  cfg.workers = 4;
+  cfg.reserved_interactive_slots = 2;
+  const QueryEngine engine(rag, stores_, spec_, cfg);
+
+  WorkloadConfig wl;
+  wl.requests = 160;
+  wl.offered_qps = 400.0;
+  const auto interactive = synth_workload(wl, records_.size());
+
+  WorkloadConfig flood_cfg;
+  flood_cfg.requests = 320;
+  flood_cfg.offered_qps = 4000.0;  // saturating bulk traffic
+  flood_cfg.seed = 0xb17eULL;
+  auto flood = synth_workload(flood_cfg, records_.size());
+  for (std::size_t i = 0; i < flood.size(); ++i) {
+    flood[i].request_id = "bq_" + std::to_string(i);
+    flood[i].klass = RequestClass::kBatch;
+  }
+  std::vector<QueryRequest> merged;
+  merged.reserve(interactive.size() + flood.size());
+  std::merge(interactive.begin(), interactive.end(), flood.begin(),
+             flood.end(), std::back_inserter(merged),
+             [](const QueryRequest& x, const QueryRequest& y) {
+               return x.arrival_ms < y.arrival_ms;
+             });
+
+  ServerMetrics alone, under_flood;
+  engine.serve(records_, interactive, &alone);
+  engine.serve(records_, merged, &under_flood);
+  EXPECT_EQ(alone.batch_latency.count(), 0u);
+  EXPECT_GT(under_flood.batch_latency.count(), 0u);
+  EXPECT_EQ(under_flood.interactive_latency.count(), interactive.size());
+  EXPECT_LE(under_flood.interactive_latency.p99(),
+            1.1 * alone.interactive_latency.p99());
+}
+
+TEST_F(ServeFixture, HotKeyTrafficTriggersDeterministicRebalance) {
+  const rag::RagPipeline rag = make_pipeline();
+  ServeConfig cfg = relaxed_config();
+  cfg.heat_window = 32;
+  const QueryEngine engine(rag, stores_, spec_, cfg);
+  WorkloadConfig wl;
+  wl.requests = 192;
+  wl.offered_qps = 400.0;
+  wl.hot_fraction = 0.9;  // one record dominates its lane
+  const auto requests = synth_workload(wl, records_.size());
+  ServerMetrics hot_m, again;
+  engine.serve(records_, requests, &hot_m);
+  EXPECT_GT(hot_m.rebalances, 0u);
+  engine.serve(records_, requests, &again);
+  EXPECT_EQ(hot_m.rebalances, again.rebalances);  // deterministic surface
+
+  // Heat tracking off (the default window 0) never rebalances.
+  const QueryEngine engine_off(rag, stores_, spec_, relaxed_config());
+  ServerMetrics off_m;
+  engine_off.serve(records_, requests, &off_m);
+  EXPECT_EQ(off_m.rebalances, 0u);
+}
+
 // --- metrics -----------------------------------------------------------------
 
 TEST(ServerMetricsTest, EmptySnapshotRatesAreZeroNotNan) {
@@ -522,11 +795,38 @@ TEST(ServerMetricsTest, JsonSnapshotCarriesCountersAndQuantiles) {
   EXPECT_EQ(v.at("stages").at("latency").at("count").as_int(), 3);
 }
 
+TEST(ServerMetricsTest, JsonCarriesLiveTierCountersAndClassLatency) {
+  ServerMetrics m(100.0, 4);
+  m.hedges = 5;
+  m.hedge_wins = 2;
+  m.hedge_cancels = 2;
+  m.hedge_failed = 1;
+  m.replica_slow = 3;
+  m.replica_failures = 1;
+  m.rebalances = 2;
+  m.replica_serviced = {7, 5};
+  m.interactive_latency.add(1.0);
+  m.batch_latency.add(9.0);
+  const json::Value v = m.to_json();
+  EXPECT_EQ(v.at("counters").at("hedges").as_int(), 5);
+  EXPECT_EQ(v.at("counters").at("hedge_wins").as_int(), 2);
+  EXPECT_EQ(v.at("counters").at("hedge_cancels").as_int(), 2);
+  EXPECT_EQ(v.at("counters").at("hedge_failed").as_int(), 1);
+  EXPECT_EQ(v.at("counters").at("replica_slow").as_int(), 3);
+  EXPECT_EQ(v.at("counters").at("rebalances").as_int(), 2);
+  EXPECT_EQ(v.at("counters").at("replica_serviced").at(1).as_int(), 5);
+  EXPECT_EQ(v.at("stages").at("interactive_latency").at("count").as_int(), 1);
+  EXPECT_EQ(v.at("stages").at("batch_latency").at("p50_ms").as_double(), 9.0);
+  EXPECT_EQ(v.at("stages").at("latency").at("p999_ms").as_double(), 0.0);
+}
+
 TEST(StatusNameTest, CoversEveryStatus) {
   EXPECT_EQ(status_name(RequestStatus::kOk), "ok");
   EXPECT_EQ(status_name(RequestStatus::kRejected), "rejected");
   EXPECT_EQ(status_name(RequestStatus::kExpired), "expired");
   EXPECT_EQ(status_name(RequestStatus::kFailed), "failed");
+  EXPECT_EQ(class_name(RequestClass::kInteractive), "interactive");
+  EXPECT_EQ(class_name(RequestClass::kBatch), "batch");
 }
 
 }  // namespace

@@ -474,6 +474,38 @@ TEST(Histogram, ExactQuantilesEmptyIsZero) {
   EXPECT_EQ(h.p50(), 0.0);
   EXPECT_EQ(h.p95(), 0.0);
   EXPECT_EQ(h.p99(), 0.0);
+  EXPECT_EQ(h.p999(), 0.0);
+}
+
+TEST(Histogram, P999NearestRankBoundaries) {
+  // Below 1000 samples the nearest-rank p99.9 is the maximum: with n
+  // samples the rank is ceil(0.999 * n), which stays n until n >= 1001.
+  Histogram small(0.0, 100.0, 4);
+  for (int i = 1; i <= 999; ++i) small.add(static_cast<double>(i));
+  EXPECT_EQ(small.p999(), 999.0);
+
+  // At n = 1000 the 0.999 rank is exactly 999 (an exact-boundary rank:
+  // ceil(999.0) must not round up to 1000).
+  Histogram exact(0.0, 2000.0, 4);
+  for (int i = 1; i <= 1000; ++i) exact.add(static_cast<double>(i));
+  EXPECT_EQ(exact.p999(), 999.0);
+  EXPECT_EQ(exact.exact_quantile(1.0), 1000.0);
+
+  // Past the boundary one outlier in 2000 samples no longer moves p99.9
+  // off the bulk: rank ceil(0.999 * 2000) = 1998.
+  Histogram big(0.0, 10.0, 4);
+  for (int i = 0; i < 1999; ++i) big.add(1.0);
+  big.add(5000.0);
+  EXPECT_EQ(big.p999(), 1.0);
+  EXPECT_EQ(big.exact_quantile(1.0), 5000.0);
+}
+
+TEST(Histogram, P999SingleSampleAndOne) {
+  Histogram h(0.0, 10.0, 4);
+  h.add(4.0);
+  EXPECT_EQ(h.p999(), 4.0);  // n = 1: every quantile is the sample
+  EXPECT_EQ(h.exact_quantile(0.0), 4.0);
+  EXPECT_EQ(h.exact_quantile(1.0), 4.0);
 }
 
 TEST(Histogram, InvalidConstruction) {

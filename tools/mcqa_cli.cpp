@@ -68,7 +68,11 @@ int usage() {
       "  mcqa serve    [--scale S] [--model NAME] [--requests N] [--qps Q]\n"
       "                [--shards K] [--batch B] [--cutoff MS] [--workers W]\n"
       "                [--capacity N] [--deadline MS] [--retries N]\n"
-      "                [--failure P] [--json PATH]\n");
+      "                [--failure P] [--replicas R] [--hedge 0|1]\n"
+      "                [--hedge-delay MS] [--slow-rate P] [--slow-factor X]\n"
+      "                [--replica-failure P] [--reserved N]\n"
+      "                [--interactive F] [--hot F] [--heat-window N]\n"
+      "                [--json PATH]\n");
   return 2;
 }
 
@@ -307,10 +311,24 @@ int cmd_serve(const Args& args) {
   cfg.deadline_ms = args.get_double("deadline", 250.0);
   cfg.max_retries = static_cast<std::size_t>(args.get_double("retries", 1));
   cfg.transient_failure_rate = args.get_double("failure", 0.0);
+  // Live tier (DESIGN.md §15): replicas, hedged dispatch, priority
+  // lanes, shard-heat rebalancing.
+  cfg.replicas = static_cast<std::size_t>(args.get_double("replicas", 1));
+  cfg.hedge = args.get_double("hedge", 0.0) != 0.0;
+  cfg.hedge_delay_ms = args.get_double("hedge-delay", -1.0);
+  cfg.replica_slow_rate = args.get_double("slow-rate", 0.0);
+  cfg.replica_slow_factor = args.get_double("slow-factor", 4.0);
+  cfg.replica_failure_rate = args.get_double("replica-failure", 0.0);
+  cfg.reserved_interactive_slots =
+      static_cast<std::size_t>(args.get_double("reserved", 0));
+  cfg.heat_window =
+      static_cast<std::size_t>(args.get_double("heat-window", 0));
 
   serve::WorkloadConfig wl;
   wl.requests = static_cast<std::size_t>(args.get_double("requests", 512));
   wl.offered_qps = args.get_double("qps", 400.0);
+  wl.interactive_fraction = args.get_double("interactive", 1.0);
+  wl.hot_fraction = args.get_double("hot", 0.0);
 
   const core::PipelineContext ctx(core::PipelineConfig::paper_scale(scale));
   rag::RetrievalStores stores;
@@ -345,6 +363,13 @@ int cmd_serve(const Args& args) {
               "utilization %.1f%%\n",
               metrics.enqueue_wait.p50(), metrics.enqueue_wait.p99(),
               metrics.throughput_qps(), 100.0 * metrics.utilization());
+  if (cfg.replicas > 1 || cfg.hedge || cfg.heat_window > 0) {
+    std::printf("live    : %zu hedges (%zu won, %zu cancelled, %zu failed), "
+                "%zu slow, %zu replica failures, %zu rebalances\n",
+                metrics.hedges, metrics.hedge_wins, metrics.hedge_cancels,
+                metrics.hedge_failed, metrics.replica_slow,
+                metrics.replica_failures, metrics.rebalances);
+  }
 
   const std::string json_path = args.get("json", "");
   if (!json_path.empty()) {
