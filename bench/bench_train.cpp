@@ -1,0 +1,274 @@
+// Trainable-student experiment (DESIGN.md §16): the src/train
+// log-bilinear model, minibatch-SGD-trained on reasoning-trace text vs
+// chunk text at an equal byte budget, evaluated as eval-grid rows next
+// to the frozen calibrated roster.
+//
+// Shape checks (smoke and full):
+//   * trained weights byte-identical across pool thread counts {1,2,8}
+//     and across runs (the fixed-lane gradient reduction contract);
+//   * warm checkpoint restore byte-identical to the cold train that
+//     produced the blob;
+//   * SGD beats the untrained seeded init on held-out perplexity;
+//   * trace-trained MCQA accuracy >= chunk-trained, and both beat the
+//     untrained-init baseline (the paper's traces-as-denser-medium
+//     claim, now measured with a *trained* parametric student);
+//   * the roster rows ("lbl-traces"/"lbl-chunks") register their
+//     (config, data) fingerprints for eval-cell keying.
+//
+// Full mode additionally sweeps the two trainable rows across every
+// retrieval condition (the extended eval grid) and writes
+// BENCH_train.json so later PRs can track the trajectory.
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/checkpoint.hpp"
+#include "json/json.hpp"
+#include "llm/trained_student.hpp"
+#include "train/train_io.hpp"
+#include "train/trainer.hpp"
+
+namespace {
+
+using namespace mcqa;
+
+bool g_all_pass = true;
+
+void check(const char* name, bool pass) {
+  std::printf("shape check: %-58s %s\n", name, pass ? "PASS" : "FAIL");
+  g_all_pass = g_all_pass && pass;
+}
+
+struct TempDir {
+  std::filesystem::path path;
+  TempDir() {
+    path = std::filesystem::temp_directory_path() /
+           ("mcqa-bench-train-" + std::to_string(::getpid()));
+    std::filesystem::create_directories(path);
+  }
+  ~TempDir() {
+    std::error_code ec;
+    std::filesystem::remove_all(path, ec);
+  }
+};
+
+/// Byte-identity across thread counts and across runs, on a prefix of
+/// the real trace text (small enough to retrain three times here).
+void check_thread_identity(const std::string& trace_text) {
+  train::TrainConfig cfg = core::PipelineContext::roster_train_config();
+  cfg.epochs = 1;
+  const std::string prefix =
+      trace_text.substr(0, std::min<std::size_t>(trace_text.size(), 48 * 1024));
+  std::string blob1, blob8;
+  {
+    parallel::ThreadPool pool(1);
+    blob1 = train::serialize_trained(train::train_lbl(prefix, cfg, &pool));
+  }
+  {
+    parallel::ThreadPool pool(2);
+    const std::string blob2 =
+        train::serialize_trained(train::train_lbl(prefix, cfg, &pool));
+    check("weights byte-identical, pool threads {1,2}", blob1 == blob2);
+  }
+  {
+    parallel::ThreadPool pool(8);
+    blob8 = train::serialize_trained(train::train_lbl(prefix, cfg, &pool));
+    check("weights byte-identical, pool threads {1,8}", blob1 == blob8);
+  }
+  {
+    parallel::ThreadPool pool(8);
+    const std::string again =
+        train::serialize_trained(train::train_lbl(prefix, cfg, &pool));
+    check("weights byte-identical across runs", blob8 == again);
+  }
+}
+
+/// Warm restore from the artifact cache == the cold train, byte for
+/// byte (the trained-weights checkpoint contract).
+void check_warm_cold(const std::string& trace_text) {
+  train::TrainConfig cfg = core::PipelineContext::roster_train_config();
+  cfg.epochs = 1;
+  const std::string prefix =
+      trace_text.substr(0, std::min<std::size_t>(trace_text.size(), 48 * 1024));
+  TempDir dir;
+  const core::ArtifactCache cache(dir.path.string());
+  const std::uint64_t key = train::trained_checkpoint_key(
+      core::code_fingerprint(), cfg, prefix);
+  const std::string cold =
+      train::serialize_trained(train::train_lbl(prefix, cfg));
+  cache.store("trained-lbl", key, cold);
+  const auto blob = cache.load("trained-lbl", key);
+  const bool hit = blob.has_value();
+  const std::string warm =
+      hit ? train::serialize_trained(train::deserialize_trained(*blob))
+          : std::string();
+  check("warm checkpoint restore byte-identical to cold train",
+        hit && warm == cold);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  mcqa::bench::parse_args(argc, argv);
+  using namespace mcqa;
+  const auto& ctx = bench::shared_context();
+  bench::print_scale_banner(ctx);
+
+  std::printf("Trainable student (log-bilinear, minibatch SGD) — "
+              "trace-trained vs chunk-trained roster rows\n\n");
+
+  auto [trace_text, chunk_text] = ctx.training_texts();
+  std::printf("equal training budget: %zu KB each\n\n",
+              trace_text.size() / 1024);
+
+  check_thread_identity(trace_text);
+  check_warm_cold(trace_text);
+
+  // --- the experiment: train on each medium, evaluate with no retrieval -----
+  train::TrainConfig tc = core::PipelineContext::roster_train_config();
+  std::unique_ptr<llm::TrainedStudent> traces_owned, chunks_owned;
+  const llm::TrainedStudent* lbl_traces = nullptr;
+  const llm::TrainedStudent* lbl_chunks = nullptr;
+  if (bench::smoke()) {
+    // Smoke trains on a capped budget so ctest stays fast; the shape
+    // checks are unchanged.
+    const std::size_t cap =
+        std::min<std::size_t>(trace_text.size(), 160 * 1024);
+    trace_text.resize(cap);
+    chunk_text.resize(cap);
+    llm::TrainedStudentConfig cfg;
+    cfg.train = tc;
+    cfg.name = "lbl-traces";
+    traces_owned = std::make_unique<llm::TrainedStudent>(
+        llm::TrainedStudent::train(trace_text, cfg, &bench::shared_sweep_pool()));
+    cfg.name = "lbl-chunks";
+    chunks_owned = std::make_unique<llm::TrainedStudent>(
+        llm::TrainedStudent::train(chunk_text, cfg, &bench::shared_sweep_pool()));
+    lbl_traces = traces_owned.get();
+    lbl_chunks = chunks_owned.get();
+  } else {
+    // Full mode uses the lazily-built roster rows themselves (warm-
+    // loaded from $MCQA_CHECKPOINT_DIR when set, byte-identical).
+    const auto& roster = ctx.trained_roster();
+    lbl_traces = roster.traces.get();
+    lbl_chunks = roster.chunks.get();
+    check("roster rows registered for eval-cell keying",
+          core::registered_model_fingerprint("lbl-traces") ==
+                  roster.traces->fingerprint() &&
+              core::registered_model_fingerprint("lbl-chunks") ==
+                  roster.chunks->fingerprint());
+  }
+
+  // Untrained-init baseline: identical tokenizer/classes/seeded
+  // weights, zero SGD steps.
+  llm::TrainedStudentConfig untrained_cfg;
+  untrained_cfg.train = tc;
+  untrained_cfg.train.epochs = 0;
+  untrained_cfg.name = "lbl-untrained";
+  const llm::TrainedStudent lbl_untrained = llm::TrainedStudent::train(
+      trace_text, untrained_cfg, &bench::shared_sweep_pool());
+
+  const auto records = bench::smoke_subset(ctx.benchmark(), 48);
+  const auto exam = bench::smoke_subset(ctx.exam_no_math(), 48);
+  eval::HarnessConfig hc;
+  hc.pool = &bench::shared_sweep_pool();
+  const eval::EvalHarness harness(ctx.rag(), hc);
+
+  struct Row {
+    const llm::TrainedStudent* model;
+    double synth = 0.0;
+    double astro = 0.0;
+  };
+  std::vector<Row> rows = {{lbl_traces}, {lbl_chunks}, {&lbl_untrained}};
+  eval::TableWriter table({"Model", "Training medium", "Held-out ppl",
+                           "Synthetic benchmark", "Astro exam (no-math)"});
+  const char* media[] = {"reasoning traces", "source chunks", "(untrained)"};
+  json::Array report_rows;
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    Row& row = rows[i];
+    const llm::ModelSpec spec = row.model->spec();
+    row.synth = harness
+                    .evaluate(*row.model, spec, records,
+                              rag::Condition::kBaseline)
+                    .value();
+    row.astro =
+        harness.evaluate(*row.model, spec, exam, rag::Condition::kBaseline)
+            .value();
+    const double ppl = row.model->report().held_out_perplexity;
+    table.add_row({std::string(row.model->name()), media[i],
+                   std::to_string(ppl).substr(0, 7), eval::fmt_acc(row.synth),
+                   eval::fmt_acc(row.astro)});
+    json::Value v = json::Value::object();
+    v["model"] = json::Value(std::string(row.model->name()));
+    v["medium"] = json::Value(std::string(media[i]));
+    v["held_out_perplexity"] = json::Value(ppl);
+    v["synthetic_accuracy"] = json::Value(row.synth);
+    v["astro_nomath_accuracy"] = json::Value(row.astro);
+    v["params"] =
+        json::Value(static_cast<std::int64_t>(row.model->model().param_count()));
+    v["train_tokens"] = json::Value(
+        static_cast<std::int64_t>(row.model->report().train_tokens));
+    report_rows.push_back(std::move(v));
+  }
+  std::printf("\n%s\n", table.render().c_str());
+  std::printf("chance levels: %.3f (7 options) / %.3f (5 options)\n\n",
+              1.0 / 7.0, 1.0 / 5.0);
+
+  check("SGD lowers held-out perplexity vs untrained init",
+        lbl_traces->report().held_out_perplexity <
+            lbl_untrained.report().held_out_perplexity);
+  check("trace-trained accuracy >= chunk-trained (synthetic)",
+        rows[0].synth >= rows[1].synth);
+  check("trace-trained beats untrained init (synthetic)",
+        rows[0].synth > rows[2].synth);
+  check("chunk-trained beats untrained init (synthetic)",
+        rows[1].synth > rows[2].synth);
+
+  // --- extended eval grid: the trainable rows under every condition ---------
+  json::Array grid_rows;
+  {
+    const std::vector<const llm::LanguageModel*> models = {lbl_traces,
+                                                           lbl_chunks};
+    const std::vector<llm::ModelSpec> specs = {lbl_traces->spec(),
+                                               lbl_chunks->spec()};
+    const auto conditions = eval::all_conditions();
+    const eval::SweepResult sweep =
+        harness.sweep(models, specs, records, conditions);
+    eval::TableWriter grid({"Model", "Condition", "Accuracy"});
+    for (const auto& cell : sweep.cells) {
+      grid.add_row({cell.model, std::string(rag::condition_name(cell.condition)),
+                    eval::fmt_acc(cell.accuracy.value())});
+      json::Value v = json::Value::object();
+      v["model"] = json::Value(cell.model);
+      v["condition"] = json::Value(std::string(rag::condition_name(cell.condition)));
+      v["accuracy"] = json::Value(cell.accuracy.value());
+      grid_rows.push_back(std::move(v));
+    }
+    std::printf("extended eval grid (trainable rows):\n%s\n",
+                grid.render().c_str());
+  }
+
+  json::Value report = json::Value::object();
+  report["smoke"] = json::Value(bench::smoke());
+  report["budget_bytes"] = json::Value(static_cast<std::int64_t>(trace_text.size()));
+  report["rows"] = json::Value(std::move(report_rows));
+  report["extended_grid"] = json::Value(std::move(grid_rows));
+  report["all_pass"] = json::Value(g_all_pass);
+  std::ofstream out("BENCH_train.json");
+  out << report.dump(2) << "\n";
+
+  std::printf(
+      "Reading: with a *trained* parametric student the paper's claim "
+      "survives — per training byte, reasoning-trace text yields more "
+      "answerable questions than source-chunk text, and the whole "
+      "trajectory (init, minibatch order, gradient reduction) is "
+      "byte-reproducible at any thread count.\n");
+  std::printf("wrote BENCH_train.json\n");
+  return g_all_pass ? 0 : 1;
+}

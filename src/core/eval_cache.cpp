@@ -1,7 +1,9 @@
 #include "core/eval_cache.hpp"
 
 #include <cstring>
+#include <mutex>
 #include <stdexcept>
+#include <unordered_map>
 
 #include "core/pipeline.hpp"
 #include "llm/model_spec.hpp"
@@ -28,12 +30,28 @@ std::uint64_t hash_str(std::uint64_t h, std::string_view s) {
   return util::hash_combine(h, util::fnv1a64(s));
 }
 
+struct FingerprintRegistry {
+  std::mutex mu;
+  std::unordered_map<std::string, std::uint64_t> by_name;
+};
+
+FingerprintRegistry& fingerprint_registry() {
+  static FingerprintRegistry reg;
+  return reg;
+}
+
 /// Fingerprint of one student: the spec pins the context window (which
 /// changes assembled prompts) and the profile pins the behavioural
-/// dials.  Unknown names (custom LanguageModel impls) fall back to the
-/// name alone — still a stable key, just without profile sensitivity.
+/// dials.  Trainable models registered via register_model_fingerprint
+/// additionally fold in their (training config, training text)
+/// fingerprint.  Unknown names (custom LanguageModel impls) fall back
+/// to the name alone — still a stable key, just without profile
+/// sensitivity.
 std::uint64_t model_fingerprint(std::string_view name) {
   std::uint64_t h = util::fnv1a64(name);
+  if (const std::uint64_t fp = registered_model_fingerprint(name); fp != 0) {
+    return util::hash_combine(h, util::fnv1a64(fp));
+  }
   try {
     const llm::ModelCard& card = llm::student_card(name);
     h = hash_str(h, card.spec.vendor);
@@ -58,6 +76,19 @@ std::uint64_t model_fingerprint(std::string_view name) {
 }
 
 }  // namespace
+
+void register_model_fingerprint(std::string_view name, std::uint64_t fp) {
+  FingerprintRegistry& reg = fingerprint_registry();
+  const std::lock_guard<std::mutex> lock(reg.mu);
+  reg.by_name[std::string(name)] = fp;
+}
+
+std::uint64_t registered_model_fingerprint(std::string_view name) {
+  FingerprintRegistry& reg = fingerprint_registry();
+  const std::lock_guard<std::mutex> lock(reg.mu);
+  const auto it = reg.by_name.find(std::string(name));
+  return it == reg.by_name.end() ? 0 : it->second;
+}
 
 EvalCellCache::EvalCellCache(std::string dir, std::uint64_t sweep_key)
     : cache_(std::move(dir)), sweep_key_(sweep_key) {}

@@ -32,6 +32,20 @@ namespace mcqa::core {
 
 class PipelineContext;
 
+/// Process-wide fingerprint registry for *trainable* models.  The
+/// frozen roster's cell keys derive from the calibrated model cards;
+/// a trained model's behaviour is instead pinned by its (training
+/// config, training text) fingerprint.  Whoever builds such a model
+/// registers that fingerprint under the model's roster name, and
+/// cell_key() folds it in — so flipping one training document
+/// invalidates exactly the trainable rows and nothing else.
+/// Re-registering a name overwrites (latest wins); thread-safe.
+void register_model_fingerprint(std::string_view name, std::uint64_t fp);
+
+/// The registered fingerprint for `name`, or 0 when none (frozen
+/// profiles and custom backends take the card/name-only path).
+std::uint64_t registered_model_fingerprint(std::string_view name);
+
 class EvalCellCache final : public eval::CellCache {
  public:
   /// `sweep_key` scopes every cell to one (pipeline, record set,

@@ -12,7 +12,10 @@
 
 #include <array>
 #include <memory>
+#include <mutex>
+#include <string>
 #include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "chunk/chunker.hpp"
@@ -26,6 +29,7 @@
 #include "index/vector_store.hpp"
 #include "llm/student_model.hpp"
 #include "llm/teacher_model.hpp"
+#include "llm/trained_student.hpp"
 #include "parse/adaptive.hpp"
 #include "qgen/benchmark_builder.hpp"
 #include "rag/rag_pipeline.hpp"
@@ -170,6 +174,35 @@ class PipelineContext {
   std::vector<const llm::LanguageModel*> student_ptrs() const;
   std::vector<llm::ModelSpec> student_specs() const;
 
+  /// The trainable roster extension (DESIGN.md §16): two TrainedStudent
+  /// rows — "lbl-traces" minibatch-SGD-trained on distilled reasoning-
+  /// trace text and "lbl-chunks" on chunk text, equal byte budget.
+  struct TrainedRoster {
+    std::unique_ptr<llm::TrainedStudent> traces;
+    std::unique_ptr<llm::TrainedStudent> chunks;
+  };
+
+  /// Lazily trains (or, with checkpointing on, warm-restores — byte-
+  /// identical) the trainable rows on first use and registers their
+  /// (config, training text) fingerprints with the eval-cell cache.
+  /// The frozen eight never pay for this; benches that only sweep the
+  /// calibrated roster never call it.  Thread-safe.
+  const TrainedRoster& trained_roster() const;
+
+  /// Training corpora for the trainable rows: (trace text, chunk text)
+  /// concatenated in artifact order and trimmed to an equal byte
+  /// budget — the bench_trace_pretraining discipline.
+  std::pair<std::string, std::string> training_texts() const;
+
+  /// The frozen TrainConfig the roster rows train under.
+  static train::TrainConfig roster_train_config();
+
+  /// 8 frozen + 2 trainable rows, in that order, for extended sweeps
+  /// (bench_train, train tests).  run_full_sweep and every pre-existing
+  /// bench stay on the frozen-8 student_ptrs().
+  std::vector<const llm::LanguageModel*> extended_student_ptrs() const;
+  std::vector<llm::ModelSpec> extended_student_specs() const;
+
   /// Process-wide shared context at the default paper scale; built on
   /// first use.  Benches share it to avoid rebuilding per binary run.
   static const PipelineContext& shared();
@@ -213,6 +246,8 @@ class PipelineContext {
   std::vector<qgen::McqRecord> exam_no_math_;
   std::unique_ptr<rag::RagPipeline> rag_;
   std::vector<std::unique_ptr<llm::StudentModel>> students_;
+  mutable std::mutex trained_mu_;
+  mutable TrainedRoster trained_;  ///< lazily built; guarded by trained_mu_
 };
 
 }  // namespace mcqa::core

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "text/bpe_cache.hpp"
 #include "util/hash.hpp"
 
 namespace mcqa::llm {
@@ -35,8 +36,8 @@ NgramLm NgramLm::train(std::string_view corpus_text, NgramLmConfig config) {
       std::clamp(config.corpus_fraction, 0.0, 1.0));
   const std::string_view train_view = corpus_text.substr(0, keep);
 
-  lm.bpe_ = text::BpeTokenizer::train(train_view, config.bpe_vocab);
-  const std::vector<std::uint32_t> stream = lm.bpe_.encode(train_view);
+  lm.bpe_ = text::shared_bpe(train_view, config.bpe_vocab);
+  const std::vector<std::uint32_t> stream = lm.bpe_->encode(train_view);
   lm.total_tokens_ = stream.size();
 
   std::uint32_t w2 = kBos;
@@ -53,7 +54,7 @@ NgramLm NgramLm::train(std::string_view corpus_text, NgramLmConfig config) {
 
 double NgramLm::token_log_prob(std::uint32_t w2, std::uint32_t w1,
                                std::uint32_t w0) const {
-  const double v = static_cast<double>(std::max<std::size_t>(bpe_.vocab_size(), 1));
+  const double v = static_cast<double>(std::max<std::size_t>(vocab_size(), 1));
   const double uni_den = static_cast<double>(total_tokens_) + v;
 
   const auto uni_it = unigrams_.find(w0);
@@ -93,7 +94,7 @@ double NgramLm::token_log_prob(std::uint32_t w2, std::uint32_t w1,
 }
 
 double NgramLm::log_prob(std::string_view txt) const {
-  const auto ids = bpe_.encode(txt);
+  const auto ids = bpe_->encode(txt);
   if (ids.empty()) return -30.0;
   double total = 0.0;
   std::uint32_t w2 = kBos;
@@ -108,8 +109,8 @@ double NgramLm::log_prob(std::string_view txt) const {
 
 double NgramLm::continuation_log_prob(std::string_view prefix,
                                       std::string_view continuation) const {
-  const auto prefix_ids = bpe_.encode(prefix);
-  const auto cont_ids = bpe_.encode(continuation);
+  const auto prefix_ids = bpe_->encode(prefix);
+  const auto cont_ids = bpe_->encode(continuation);
   if (cont_ids.empty()) return -30.0;
   std::uint32_t w2 = kBos;
   std::uint32_t w1 = kBos;

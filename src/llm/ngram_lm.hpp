@@ -11,6 +11,7 @@
 // A3 reports it).
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -47,7 +48,7 @@ class NgramLm final : public LanguageModel {
   /// log P(option | context + stem).
   AnswerResult answer(const McqTask& task) const override;
 
-  std::size_t vocab_size() const { return bpe_.vocab_size(); }
+  std::size_t vocab_size() const { return bpe_ ? bpe_->vocab_size() : 0; }
   std::size_t trigram_count() const { return trigrams_.size(); }
 
  private:
@@ -57,7 +58,10 @@ class NgramLm final : public LanguageModel {
                         std::uint32_t w0) const;
 
   NgramLmConfig config_;
-  text::BpeTokenizer bpe_;
+  /// Shared via text::shared_bpe — the n-gram and trainable students
+  /// build their tokenizer through one code path and one cached vocab
+  /// per (corpus hash, vocab budget).
+  std::shared_ptr<const text::BpeTokenizer> bpe_;
   std::unordered_map<std::uint64_t, std::uint32_t> trigrams_;
   std::unordered_map<std::uint64_t, std::uint32_t> bigrams_;
   std::unordered_map<std::uint32_t, std::uint32_t> unigrams_;

@@ -1,0 +1,63 @@
+#include "text/bpe_cache.hpp"
+
+#include <map>
+#include <mutex>
+#include <utility>
+
+#include "util/hash.hpp"
+
+namespace mcqa::text {
+
+namespace {
+
+struct Cache {
+  std::mutex mutex;
+  // (corpus digest, vocab budget) -> trained tokenizer.
+  std::map<std::pair<std::uint64_t, std::size_t>,
+           std::shared_ptr<const BpeTokenizer>>
+      entries;
+  BpeCacheStats stats;
+};
+
+Cache& cache() {
+  static Cache c;
+  return c;
+}
+
+}  // namespace
+
+std::shared_ptr<const BpeTokenizer> shared_bpe(std::string_view corpus,
+                                               std::size_t vocab_budget) {
+  const std::pair<std::uint64_t, std::size_t> key{util::fnv1a64(corpus),
+                                                  vocab_budget};
+  Cache& c = cache();
+  {
+    std::lock_guard<std::mutex> lock(c.mutex);
+    const auto it = c.entries.find(key);
+    if (it != c.entries.end()) {
+      ++c.stats.hits;
+      return it->second;
+    }
+  }
+  // Train outside the lock (minutes-long on big corpora); a racing
+  // second trainer produces an identical tokenizer and the first insert
+  // wins.
+  auto trained = std::make_shared<const BpeTokenizer>(
+      BpeTokenizer::train(corpus, vocab_budget));
+  std::lock_guard<std::mutex> lock(c.mutex);
+  const auto [it, inserted] = c.entries.emplace(key, std::move(trained));
+  if (inserted) {
+    ++c.stats.misses;
+  } else {
+    ++c.stats.hits;
+  }
+  return it->second;
+}
+
+BpeCacheStats bpe_cache_stats() {
+  Cache& c = cache();
+  std::lock_guard<std::mutex> lock(c.mutex);
+  return c.stats;
+}
+
+}  // namespace mcqa::text

@@ -1,0 +1,41 @@
+#pragma once
+// Process-wide memoized BPE training.
+//
+// Both subword students — the Kneser-Ney `llm/ngram_lm` and the
+// trainable log-bilinear `llm/trained_student` — adapt a BPE vocabulary
+// to their training text.  This helper is the single code path they
+// share: one tokenizer is trained (deterministically) per
+// (corpus content hash, vocab budget) and returned by shared pointer,
+// so equal-budget ablations over the same text never re-run the greedy
+// merge loop and never risk diverging tokenizations.
+//
+// The cache key is the fnv1a digest of the exact training bytes, so a
+// truncated corpus view (NgramLmConfig::corpus_fraction, the trainer's
+// equal-byte budgets) keys separately from the full text, and editing
+// one training document changes the key.  BPE training itself is
+// deterministic (sorted word types, rank-ordered merges), so a cache
+// hit is byte-for-byte the tokenizer a fresh train() would produce.
+
+#include <cstddef>
+#include <memory>
+#include <string_view>
+
+#include "text/bpe.hpp"
+
+namespace mcqa::text {
+
+/// The shared tokenizer for (corpus bytes, vocab budget): trained on
+/// first use, memoized for the life of the process.  Thread-safe.
+std::shared_ptr<const BpeTokenizer> shared_bpe(std::string_view corpus,
+                                               std::size_t vocab_budget);
+
+struct BpeCacheStats {
+  std::size_t hits = 0;
+  std::size_t misses = 0;  ///< tokenizers actually trained
+};
+
+/// Process-wide hit/miss counters (tests assert the single-train-path
+/// contract with these).
+BpeCacheStats bpe_cache_stats();
+
+}  // namespace mcqa::text

@@ -1,0 +1,35 @@
+#include "train/batching.hpp"
+
+#include <numeric>
+
+#include "util/rng.hpp"
+
+namespace mcqa::train {
+
+MinibatchSchedule::MinibatchSchedule(std::size_t examples,
+                                     std::size_t minibatch,
+                                     std::uint64_t seed, std::size_t epoch)
+    : minibatch_(minibatch == 0 ? 1 : minibatch) {
+  order_.resize(examples);
+  std::iota(order_.begin(), order_.end(), 0u);
+  util::Rng rng = util::Rng(seed, 0x5a11ad5c4edULL).fork(epoch);
+  rng.shuffle(order_);
+}
+
+std::size_t MinibatchSchedule::minibatch_count() const {
+  return (order_.size() + minibatch_ - 1) / minibatch_;
+}
+
+const std::uint32_t* MinibatchSchedule::batch_begin(std::size_t index) const {
+  return order_.data() + index * minibatch_;
+}
+
+std::size_t MinibatchSchedule::batch_size(std::size_t index) const {
+  const std::size_t begin = index * minibatch_;
+  const std::size_t end = begin + minibatch_ < order_.size()
+                              ? begin + minibatch_
+                              : order_.size();
+  return end - begin;
+}
+
+}  // namespace mcqa::train

@@ -1,0 +1,38 @@
+#pragma once
+// Deterministic minibatch scheduling for the SGD trainer.
+//
+// The training set is the position stream 0..N-1 of the tokenized
+// corpus (position p predicts token p from the BOS-padded window before
+// it).  Each epoch visits a seeded Fisher-Yates permutation of those
+// positions — the permutation is a pure function of (seed, epoch, N),
+// never of thread count or wall clock — sliced into fixed-size
+// minibatches in order.  The trainer consumes minibatches strictly in
+// schedule order and splits each one across the 8 fixed gradient lanes
+// (lane l takes examples l, l+8, ... of the slice), so the entire
+// update sequence is reproducible at any pool width.
+
+#include <cstdint>
+#include <vector>
+
+namespace mcqa::train {
+
+class MinibatchSchedule {
+ public:
+  /// Schedule for one epoch: a permutation of [0, examples) keyed by
+  /// (seed, epoch), sliced into `minibatch`-sized runs (last one may be
+  /// short).
+  MinibatchSchedule(std::size_t examples, std::size_t minibatch,
+                    std::uint64_t seed, std::size_t epoch);
+
+  std::size_t minibatch_count() const;
+
+  /// Positions of minibatch `index` (a view into the epoch permutation).
+  const std::uint32_t* batch_begin(std::size_t index) const;
+  std::size_t batch_size(std::size_t index) const;
+
+ private:
+  std::vector<std::uint32_t> order_;
+  std::size_t minibatch_;
+};
+
+}  // namespace mcqa::train

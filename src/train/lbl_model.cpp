@@ -1,0 +1,283 @@
+#include "train/lbl_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <numeric>
+#include <stdexcept>
+
+#include "index/kernels.hpp"
+#include "index/vector_index.hpp"  // completes SearchResult for kernels.hpp
+#include "util/hash.hpp"
+#include "util/rng.hpp"
+
+namespace mcqa::train {
+
+namespace {
+
+constexpr std::string_view kMagic = "lblw1\n";
+constexpr std::size_t kMaxVocab = 1u << 22;
+constexpr std::size_t kMaxDim = 1u << 14;
+
+void put_u64(std::string& out, std::uint64_t v) {
+  char buf[8];
+  std::memcpy(buf, &v, 8);
+  out.append(buf, 8);
+}
+
+std::uint64_t take_u64(std::string_view blob, std::size_t& pos) {
+  if (pos + 8 > blob.size()) {
+    throw std::runtime_error("lbl load: truncated integer");
+  }
+  std::uint64_t v = 0;
+  std::memcpy(&v, blob.data() + pos, 8);
+  pos += 8;
+  return v;
+}
+
+void put_f64(std::string& out, double v) {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &v, 8);
+  put_u64(out, bits);
+}
+
+double take_f64(std::string_view blob, std::size_t& pos) {
+  const std::uint64_t bits = take_u64(blob, pos);
+  double v = 0.0;
+  std::memcpy(&v, &bits, 8);
+  return v;
+}
+
+}  // namespace
+
+std::uint64_t fingerprint(const LblConfig& config) {
+  std::uint64_t h = util::fnv1a64("lbl-config");
+  h = util::hash_combine(h, util::fnv1a64(config.context));
+  h = util::hash_combine(h, util::fnv1a64(config.dim));
+  h = util::hash_combine(h, util::fnv1a64(config.classes));
+  h = util::hash_combine(h, util::fnv1a64(config.seed));
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &config.init_scale, 8);
+  h = util::hash_combine(h, util::fnv1a64(bits));
+  return h;
+}
+
+LblModel LblModel::init(const LblConfig& config, std::size_t vocab_size) {
+  LblModel m;
+  m.config_ = config;
+  m.config_.context = std::clamp<std::size_t>(config.context, 1, 64);
+  m.config_.dim = std::max<std::size_t>(1, config.dim);
+  m.vocab_ = std::max<std::size_t>(1, vocab_size);
+  std::size_t classes = config.classes;
+  if (classes == 0) {
+    classes = static_cast<std::size_t>(
+        std::lround(std::sqrt(static_cast<double>(m.vocab_))));
+  }
+  m.classes_ = std::clamp<std::size_t>(classes, 1, m.vocab_);
+  m.config_.classes = m.classes_;
+
+  // Contiguous equal-size id ranges (sizes differ by at most one; the
+  // first vocab % classes ranges take the extra word).  A pure function
+  // of (vocab, classes) — no corpus statistics enter the partition.
+  m.class_of_.assign(m.vocab_, 0);
+  m.class_start_.assign(m.classes_ + 1, 0);
+  const std::size_t base = m.vocab_ / m.classes_;
+  const std::size_t extra = m.vocab_ % m.classes_;
+  std::size_t next = 0;
+  for (std::size_t c = 0; c < m.classes_; ++c) {
+    m.class_start_[c] = static_cast<std::uint32_t>(next);
+    next += base + (c < extra ? 1 : 0);
+  }
+  m.class_start_[m.classes_] = static_cast<std::uint32_t>(m.vocab_);
+  for (std::size_t c = 0; c < m.classes_; ++c) {
+    for (std::size_t w = m.class_start_[c]; w < m.class_start_[c + 1]; ++w) {
+      m.class_of_[w] = static_cast<std::uint32_t>(c);
+    }
+  }
+  // Member lists are the id ranges themselves.
+  m.class_words_.resize(m.vocab_);
+  std::iota(m.class_words_.begin(), m.class_words_.end(), 0u);
+
+  // Seeded init: one Rng stream per (table, row), keyed by stable names
+  // and ids — never by fill order — so the weight bytes are a pure
+  // function of (config, vocab, counts).
+  const std::size_t dim = m.config_.dim;
+  m.params_.assign(m.pos_offset() + m.config_.context * dim, 0.0f);
+  const util::Rng root(m.config_.seed, 0x1b1bced5eedULL);
+  const auto fill_rows = [&](std::string_view table, std::size_t offset,
+                             std::size_t rows, double scale) {
+    const util::Rng table_rng = root.fork(table);
+    for (std::size_t r = 0; r < rows; ++r) {
+      util::Rng rng = table_rng.fork(r);
+      float* row = m.params_.data() + offset + r * dim;
+      for (std::size_t d = 0; d < dim; ++d) {
+        row[d] = static_cast<float>(rng.uniform(-scale, scale));
+      }
+    }
+  };
+  fill_rows("Q", m.q_offset(), m.vocab_ + 1, m.config_.init_scale);
+  fill_rows("R", m.r_offset(), m.vocab_, m.config_.init_scale);
+  fill_rows("S", m.s_offset(), m.classes_, m.config_.init_scale);
+  // Biases start at zero; position weights start uniform so the initial
+  // prediction vector is the mean context embedding.
+  float* pos = m.params_.data() + m.pos_offset();
+  const float uniform =
+      1.0f / static_cast<float>(m.config_.context);
+  for (std::size_t i = 0; i < m.config_.context * dim; ++i) {
+    pos[i] = uniform;
+  }
+  return m;
+}
+
+void LblModel::context_vector(const std::uint32_t* history, float* h) const {
+  const std::size_t dim = config_.dim;
+  const float* q = params_.data() + q_offset();
+  const float* pos = params_.data() + pos_offset();
+  for (std::size_t d = 0; d < dim; ++d) h[d] = 0.0f;
+  for (std::size_t j = 0; j < config_.context; ++j) {
+    const std::uint32_t w = history[j] < vocab_
+                                ? history[j]
+                                : static_cast<std::uint32_t>(vocab_);
+    const float* row = q + w * dim;
+    const float* pj = pos + j * dim;
+    for (std::size_t d = 0; d < dim; ++d) {
+      h[d] += pj[d] * row[d];
+    }
+  }
+}
+
+double LblModel::log_prob(const std::uint32_t* history,
+                          std::uint32_t target) const {
+  if (target >= vocab_) return -30.0;
+  const std::size_t dim = config_.dim;
+  std::vector<float> h(dim);
+  context_vector(history, h.data());
+
+  // Class level: log softmax over all classes.
+  const float* s = params_.data() + s_offset();
+  const float* t = params_.data() + t_offset();
+  const std::uint32_t cls = class_of_[target];
+  double class_score = 0.0;
+  double max_score = -1e30;
+  std::vector<double> scores(classes_);
+  for (std::size_t c = 0; c < classes_; ++c) {
+    const double v =
+        static_cast<double>(index::kernels::dot(h.data(), s + c * dim, dim)) +
+        static_cast<double>(t[c]);
+    scores[c] = v;
+    if (v > max_score) max_score = v;
+  }
+  double denom = 0.0;
+  for (std::size_t c = 0; c < classes_; ++c) {
+    denom += std::exp(scores[c] - max_score);
+  }
+  class_score = scores[cls] - max_score - std::log(denom);
+
+  // Word level: log softmax over the target's class members.
+  const float* r = params_.data() + r_offset();
+  const float* b = params_.data() + b_offset();
+  const std::uint32_t* members = class_begin(cls);
+  const std::size_t member_count = class_size(cls);
+  double word_max = -1e30;
+  std::vector<double> word_scores(member_count);
+  double target_score = 0.0;
+  for (std::size_t i = 0; i < member_count; ++i) {
+    const std::uint32_t w = members[i];
+    const double v =
+        static_cast<double>(index::kernels::dot(h.data(), r + w * dim, dim)) +
+        static_cast<double>(b[w]);
+    word_scores[i] = v;
+    if (v > word_max) word_max = v;
+    if (w == target) target_score = v;
+  }
+  double word_denom = 0.0;
+  for (std::size_t i = 0; i < member_count; ++i) {
+    word_denom += std::exp(word_scores[i] - word_max);
+  }
+  return class_score + target_score - word_max - std::log(word_denom);
+}
+
+std::string LblModel::save() const {
+  std::string out(kMagic);
+  put_u64(out, config_.context);
+  put_u64(out, config_.dim);
+  put_u64(out, config_.classes);
+  put_u64(out, config_.seed);
+  put_f64(out, config_.init_scale);
+  put_u64(out, vocab_);
+  put_u64(out, classes_);
+  out.append(reinterpret_cast<const char*>(class_of_.data()),
+             class_of_.size() * sizeof(std::uint32_t));
+  put_u64(out, params_.size());
+  out.append(reinterpret_cast<const char*>(params_.data()),
+             params_.size() * sizeof(float));
+  return out;
+}
+
+LblModel LblModel::load(std::string_view blob) {
+  if (blob.substr(0, kMagic.size()) != kMagic) {
+    throw std::runtime_error("lbl load: unknown magic");
+  }
+  std::size_t pos = kMagic.size();
+  LblModel m;
+  m.config_.context = take_u64(blob, pos);
+  m.config_.dim = take_u64(blob, pos);
+  m.config_.classes = take_u64(blob, pos);
+  m.config_.seed = take_u64(blob, pos);
+  m.config_.init_scale = take_f64(blob, pos);
+  m.vocab_ = take_u64(blob, pos);
+  m.classes_ = take_u64(blob, pos);
+  if (m.vocab_ == 0 || m.vocab_ > kMaxVocab || m.config_.dim > kMaxDim ||
+      m.classes_ == 0 || m.classes_ > m.vocab_ ||
+      m.config_.context == 0 || m.config_.context > 64) {
+    throw std::runtime_error("lbl load: implausible structure");
+  }
+  const std::size_t class_bytes = m.vocab_ * sizeof(std::uint32_t);
+  if (pos + class_bytes > blob.size()) {
+    throw std::runtime_error("lbl load: truncated class map");
+  }
+  m.class_of_.resize(m.vocab_);
+  std::memcpy(m.class_of_.data(), blob.data() + pos, class_bytes);
+  pos += class_bytes;
+  for (const std::uint32_t c : m.class_of_) {
+    if (c >= m.classes_) {
+      throw std::runtime_error("lbl load: class id out of range");
+    }
+  }
+  const std::uint64_t param_count = take_u64(blob, pos);
+  const std::size_t expect =
+      m.pos_offset() + m.config_.context * m.config_.dim;
+  if (param_count != expect) {
+    throw std::runtime_error("lbl load: parameter count mismatch");
+  }
+  const std::size_t param_bytes = param_count * sizeof(float);
+  if (pos + param_bytes > blob.size()) {
+    throw std::runtime_error("lbl load: truncated parameters");
+  }
+  m.params_.resize(param_count);
+  std::memcpy(m.params_.data(), blob.data() + pos, param_bytes);
+
+  // Rebuild the member lists from the class map.
+  m.class_start_.assign(m.classes_ + 1, 0);
+  for (std::uint32_t w = 0; w < m.vocab_; ++w) {
+    ++m.class_start_[m.class_of_[w] + 1];
+  }
+  for (std::size_t c = 0; c < m.classes_; ++c) {
+    m.class_start_[c + 1] += m.class_start_[c];
+  }
+  m.class_words_.resize(m.vocab_);
+  std::vector<std::uint32_t> cursor(m.class_start_.begin(),
+                                    m.class_start_.end() - 1);
+  for (std::uint32_t w = 0; w < m.vocab_; ++w) {
+    m.class_words_[cursor[m.class_of_[w]]++] = w;
+  }
+  return m;
+}
+
+std::uint64_t LblModel::weights_digest() const {
+  return util::fnv1a64(std::string_view(
+      reinterpret_cast<const char*>(params_.data()),
+      params_.size() * sizeof(float)));
+}
+
+}  // namespace mcqa::train

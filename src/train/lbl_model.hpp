@@ -1,0 +1,123 @@
+#pragma once
+// Factored log-bilinear language model (the trainable student's core).
+//
+// OxLM-style architecture (Mnih & Hinton's LBL with a class-factored
+// softmax, as in Baltescu & Blunsom's OxLM): a context-embedding table
+// Q, a target-embedding table R with per-word biases, per-position
+// diagonal context-combination weights, and a two-level softmax —
+// P(w | h) = P(class(w) | h) * P(w | class(w), h) — over equal-size
+// word classes, so scoring costs O(C + V/C) dot products instead of
+// O(V).
+//
+// The prediction vector for a history (w_{t-n+1} .. w_{t-1}) is
+//
+//   h[d] = sum_j  pos[j][d] * Q[w_j][d]        (BOS rows pad short
+//                                               histories)
+//
+// and scores are s_c = h.S_c + t_c over classes, u_w = h.R_w + b_w over
+// the target's class members.  Every dot product goes through
+// index/kernels::dot, so scores inherit the fixed 8-lane summation
+// order and stay bit-identical across builds and thread counts.
+//
+// Classes are contiguous equal-size id ranges.  BPE ids follow merge
+// order (roughly frequency order), so ranges stay frequency-coherent,
+// but — deliberately — class *sizes* carry no corpus statistics: an
+// untrained model is near-uniform over the vocabulary, so everything a
+// trained model knows about the medium was learned by SGD, not smuggled
+// in through the partition (the untrained-init baseline in bench_train
+// sits at chance because of this).
+//
+// Determinism contract: init draws from util::Rng streams forked off
+// the seed by table name and row id (never by allocation or iteration
+// order), class assignment is a pure function of (vocab, class count),
+// and the parameter block is one flat float vector with a fixed layout
+// — so equal (config, vocab, updates) means equal bytes.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mcqa::train {
+
+struct LblConfig {
+  std::size_t context = 4;   ///< history length (n-1)
+  std::size_t dim = 32;      ///< embedding width
+  std::size_t classes = 0;   ///< class count; 0 = ~sqrt(vocab)
+  std::uint64_t seed = 17;   ///< init stream seed
+  double init_scale = 0.08;  ///< uniform init half-width
+};
+
+/// Stable fingerprint of the architecture knobs (checkpoint keys,
+/// eval-cell keys).
+std::uint64_t fingerprint(const LblConfig& config);
+
+class LblModel {
+ public:
+  /// Seeded random init for a `vocab_size` vocabulary; classes are
+  /// contiguous equal-size id ranges (see the header comment for why
+  /// sizes must not depend on corpus counts), so the two-level softmax
+  /// does O(C + V/C) work per token with C ~ sqrt(V).
+  static LblModel init(const LblConfig& config, std::size_t vocab_size);
+
+  LblModel() = default;
+
+  const LblConfig& config() const { return config_; }
+  std::size_t vocab_size() const { return vocab_; }
+  std::size_t class_count() const { return classes_; }
+  std::size_t param_count() const { return params_.size(); }
+
+  /// log P(target | history).  `history` points at config().context ids,
+  /// oldest first; out-of-range ids (the BOS sentinel) select the
+  /// padding row.
+  double log_prob(const std::uint32_t* history, std::uint32_t target) const;
+
+  /// The BOS/padding id histories are filled with (== vocab_size()).
+  std::uint32_t bos_id() const { return static_cast<std::uint32_t>(vocab_); }
+
+  std::uint32_t class_of(std::uint32_t word) const { return class_of_[word]; }
+
+  /// Flat parameter block (trainer surface); layout per offsets below.
+  std::vector<float>& params() { return params_; }
+  const std::vector<float>& params() const { return params_; }
+
+  // Layout offsets into params(): Q is (vocab+1) x dim (last row = BOS
+  // padding), R is vocab x dim, b is vocab, S is classes x dim, t is
+  // classes, pos is context x dim.
+  std::size_t q_offset() const { return 0; }
+  std::size_t r_offset() const { return (vocab_ + 1) * config_.dim; }
+  std::size_t b_offset() const { return r_offset() + vocab_ * config_.dim; }
+  std::size_t s_offset() const { return b_offset() + vocab_; }
+  std::size_t t_offset() const { return s_offset() + classes_ * config_.dim; }
+  std::size_t pos_offset() const { return t_offset() + classes_; }
+
+  /// Class member ids (ascending) for one class.
+  const std::uint32_t* class_begin(std::uint32_t cls) const {
+    return class_words_.data() + class_start_[cls];
+  }
+  std::size_t class_size(std::uint32_t cls) const {
+    return class_start_[cls + 1] - class_start_[cls];
+  }
+
+  /// Fill `h` (size dim) with the prediction vector for `history`.
+  void context_vector(const std::uint32_t* history, float* h) const;
+
+  /// Version-stamped binary blob (weights + classes + config).
+  std::string save() const;
+  /// Throws std::runtime_error on unknown magic / truncation.
+  static LblModel load(std::string_view blob);
+
+  /// fnv1a over the raw parameter bytes (byte-identity checks).
+  std::uint64_t weights_digest() const;
+
+ private:
+  LblConfig config_;
+  std::size_t vocab_ = 0;
+  std::size_t classes_ = 0;
+  std::vector<float> params_;
+  std::vector<std::uint32_t> class_of_;     ///< word -> class
+  std::vector<std::uint32_t> class_words_;  ///< members, class-major
+  std::vector<std::uint32_t> class_start_;  ///< classes_+1 offsets
+};
+
+}  // namespace mcqa::train

@@ -1,0 +1,47 @@
+#pragma once
+// Serialization + content-addressed checkpointing glue for trained
+// models.
+//
+// A trained-LM blob carries the tokenizer, the weight block and the
+// training report, so a warm restore reproduces cold training
+// byte-for-byte — including the perplexity the report prints.  Blobs
+// are version-stamped; unknown magic or truncation throws, which the
+// caller treats as a cache miss and retrains (the §12 corrupt-blob
+// discipline).
+//
+// The cache key mirrors core/checkpoint's chain:
+//
+//   key = fnv1a( train format version , code fingerprint (caller-
+//                supplied) , fingerprint(TrainConfig)
+//              , training-text content hash )
+//
+// so editing the training text, any training knob, or the binary
+// itself retires exactly the stale weights.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "train/trainer.hpp"
+
+namespace mcqa::train {
+
+/// Bump when the trained-LM blob layout changes.
+constexpr std::uint64_t kTrainFormatVersion = 1;
+
+std::string serialize_trained(const TrainedLm& lm);
+TrainedLm deserialize_trained(std::string_view blob);
+
+/// Checkpoint key for trained weights.  `code_fingerprint` is
+/// core::code_fingerprint() (train/ cannot depend on core/).
+std::uint64_t trained_checkpoint_key(std::uint64_t code_fingerprint,
+                                     const TrainConfig& config,
+                                     std::string_view training_text);
+
+/// The (config, data) fingerprint a trainable model contributes to
+/// eval-cell keys: everything that can change its answers except the
+/// executable (the sweep key already pins that).
+std::uint64_t trained_model_fingerprint(const TrainConfig& config,
+                                        std::string_view training_text);
+
+}  // namespace mcqa::train

@@ -6,6 +6,12 @@
 //   mcqa models                                 list the registry
 //   mcqa serve    [--qps Q] [--shards K] ...    replay a workload trace
 //                                               through the serving engine
+//   mcqa train    [--scale S] [--source traces|chunks] [--epochs N]
+//                 [--dim D] [--context W] [--minibatch B] [--out PATH]
+//                                               train the log-bilinear
+//                                               student and report
+//                                               held-out perplexity +
+//                                               MCQA accuracy
 //
 // SET: synthetic | astro | astro-nomath.  C: baseline | chunks |
 // rt-detail | rt-focused | rt-efficient | all.
@@ -72,7 +78,10 @@ int usage() {
       "                [--hedge-delay MS] [--slow-rate P] [--slow-factor X]\n"
       "                [--replica-failure P] [--reserved N]\n"
       "                [--interactive F] [--hot F] [--heat-window N]\n"
-      "                [--json PATH]\n");
+      "                [--json PATH]\n"
+      "  mcqa train    [--scale S] [--source traces|chunks] [--epochs N]\n"
+      "                [--dim D] [--context W] [--minibatch B] "
+      "[--out PATH]\n");
   return 2;
 }
 
@@ -380,6 +389,64 @@ int cmd_serve(const Args& args) {
   return 0;
 }
 
+int cmd_train(const Args& args) {
+  const double scale = args.get_double("scale", 0.01);
+  const std::string source = args.get("source", "traces");
+  if (source != "traces" && source != "chunks") return usage();
+
+  const core::PipelineContext ctx(core::PipelineConfig::paper_scale(scale));
+  auto [trace_text, chunk_text] = ctx.training_texts();
+  const std::string& text = source == "traces" ? trace_text : chunk_text;
+
+  llm::TrainedStudentConfig cfg;
+  cfg.train = core::PipelineContext::roster_train_config();
+  cfg.train.epochs = static_cast<std::size_t>(
+      args.get_double("epochs", static_cast<double>(cfg.train.epochs)));
+  cfg.train.model.dim = static_cast<std::size_t>(
+      args.get_double("dim", static_cast<double>(cfg.train.model.dim)));
+  cfg.train.model.context = static_cast<std::size_t>(args.get_double(
+      "context", static_cast<double>(cfg.train.model.context)));
+  cfg.train.minibatch = static_cast<std::size_t>(args.get_double(
+      "minibatch", static_cast<double>(cfg.train.minibatch)));
+  cfg.name = "lbl-" + source;
+
+  std::printf("training %s on %zu KB of %s text...\n", cfg.name.c_str(),
+              text.size() / 1024, source.c_str());
+  const llm::TrainedStudent student = llm::TrainedStudent::train(text, cfg);
+  const train::TrainReport& report = student.report();
+  std::printf(
+      "trained: %zu params, %zu train tokens, %zu minibatches, "
+      "final epoch loss %.4f, held-out perplexity %.2f\n",
+      student.model().param_count(), report.train_tokens, report.minibatches,
+      report.final_epoch_loss, report.held_out_perplexity);
+
+  const eval::EvalHarness harness(ctx.rag());
+  const llm::ModelSpec spec = student.spec();
+  const double synth = harness
+                           .evaluate(student, spec, ctx.benchmark(),
+                                     rag::Condition::kBaseline)
+                           .value();
+  const double astro = harness
+                           .evaluate(student, spec, ctx.exam_no_math(),
+                                     rag::Condition::kBaseline)
+                           .value();
+  std::printf("MCQA accuracy (no retrieval): synthetic %.3f, "
+              "astro no-math %.3f\n",
+              synth, astro);
+
+  const std::string out_path = args.get("out", "");
+  if (!out_path.empty()) {
+    std::ofstream out(out_path, std::ios::binary);
+    const std::string blob = student.serialize();
+    out.write(blob.data(), static_cast<std::streamsize>(blob.size()));
+    std::printf("weights -> %s (%zu bytes, digest %016llx)\n",
+                out_path.c_str(), blob.size(),
+                static_cast<unsigned long long>(
+                    student.model().weights_digest()));
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -390,5 +457,6 @@ int main(int argc, char** argv) {
   if (args.command == "inspect") return cmd_inspect(args);
   if (args.command == "provenance") return cmd_provenance(args);
   if (args.command == "serve") return cmd_serve(args);
+  if (args.command == "train") return cmd_train(args);
   return usage();
 }
