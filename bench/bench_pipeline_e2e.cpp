@@ -6,6 +6,9 @@
 //     (digest over the checkpoint serializers covers every artifact),
 //   * a checkpoint-restored context is byte-identical to the cold build
 //     that populated the cache, with full hit/miss accounting,
+//   * an edit-K incremental rebuild restores exactly N-K per-document
+//     artifacts, recomputes exactly K, and matches a fresh rebuild
+//     byte-for-byte,
 //   * the virtual-time schedule simulator is deterministic, overlap
 //     never loses to barriers, and both modes agree on total work.
 //
@@ -116,6 +119,9 @@ json::Value timings_json(const core::PipelineStats& s) {
   v["exam_s"] = t.exam;
   v["checkpoint_hits"] = s.checkpoint_hits;
   v["checkpoint_misses"] = s.checkpoint_misses;
+  v["checkpoint_corrupt"] = s.checkpoint_corrupt;
+  v["doc_artifacts_restored"] = s.doc_artifacts_restored;
+  v["doc_artifacts_recomputed"] = s.doc_artifacts_recomputed;
   return v;
 }
 
@@ -166,6 +172,61 @@ int main(int argc, char** argv) {
   const auto warm_timings = timings_json(warm->stats());
   std::printf("\ncheckpoint-warm rebuild: %.3fs vs %.3fs cold (%.1fx)\n\n",
               warm_seconds, cold_seconds, warm_speedup);
+
+  // --- incremental edit-K rebuilds -------------------------------------------
+  // Each row edits K documents (revision = K, so every row's edited
+  // content is distinct and the restored / recomputed counters stay
+  // exact even though the cache accumulates blobs across rows).  The
+  // identity row also builds a fresh no-cache reference with the same
+  // edits and requires byte-identical artifacts.
+  const std::size_t doc_count = warm->stats().documents;
+  const std::vector<std::size_t> edit_ks =
+      bench::smoke() ? std::vector<std::size_t>{3}
+                     : std::vector<std::size_t>{1, 10, 100};
+  const std::size_t identity_k = bench::smoke() ? 3 : 10;
+  eval::TableWriter edit_table(
+      {"Edited K", "Seconds", "Speedup", "Restored", "Recomputed"});
+  json::Array edit_rows;
+  bool edit_counters_ok = true;
+  bool edit_identical = false;
+  for (const std::size_t k : edit_ks) {
+    auto incr_cfg = cold_cfg;
+    incr_cfg.corpus.edits.count = k;
+    incr_cfg.corpus.edits.revision = k;
+    const auto incr = std::make_unique<PipelineContext>(incr_cfg);
+    const auto& st = incr->stats();
+    edit_counters_ok = edit_counters_ok &&
+                       st.doc_artifacts_restored == doc_count - k &&
+                       st.doc_artifacts_recomputed == k &&
+                       st.checkpoint_corrupt == 0;
+    const double incr_seconds = st.build_seconds;
+    const double incr_speedup =
+        incr_seconds > 0.0 ? cold_seconds / incr_seconds : 0.0;
+    if (k == identity_k) {
+      auto ref_cfg = scaled_config(scale, ExecutionMode::kOverlapped);
+      ref_cfg.corpus.edits.count = k;
+      ref_cfg.corpus.edits.revision = k;
+      const auto ref = std::make_unique<PipelineContext>(ref_cfg);
+      edit_identical = artifact_digest(*incr) == artifact_digest(*ref);
+    }
+    edit_table.add_row({std::to_string(k), eval::fmt_acc(incr_seconds),
+                        eval::fmt_acc(incr_speedup) + "x",
+                        std::to_string(st.doc_artifacts_restored),
+                        std::to_string(st.doc_artifacts_recomputed)});
+    json::Value row = json::Value::object();
+    row["k"] = k;
+    row["seconds"] = incr_seconds;
+    row["speedup_vs_cold"] = incr_speedup;
+    row["doc_artifacts_restored"] = st.doc_artifacts_restored;
+    row["doc_artifacts_recomputed"] = st.doc_artifacts_recomputed;
+    edit_rows.push_back(std::move(row));
+  }
+  std::printf("Incremental rebuild after editing K of %zu documents:\n\n%s\n",
+              doc_count, edit_table.render().c_str());
+  check("edit-K rebuilds restored N-K and recomputed K",
+        edit_counters_ok);
+  check("edit-K incremental byte-identical to fresh rebuild",
+        edit_identical);
 
   // --- schedule simulator ----------------------------------------------------
   const core::ScheduleModel model = core::schedule_model_from(*warm);
@@ -234,6 +295,7 @@ int main(int argc, char** argv) {
   report["overlapped_cold_timings"] = cold_timings;
   report["checkpoint_warm_timings"] = warm_timings;
   report["simulated_sweep"] = json::Value(std::move(sim_rows));
+  report["edit_k_rows"] = json::Value(std::move(edit_rows));
   report["artifacts_byte_identical"] =
       artifact_digest(*warm) == staged_digest;
 

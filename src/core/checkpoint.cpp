@@ -3,6 +3,7 @@
 #include <sys/stat.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
@@ -155,6 +156,14 @@ CheckpointKeys derive_checkpoint_keys(const PipelineConfig& config,
   corpus = hash_f64(corpus, config.corpus.hard_fraction);
   corpus = hash_f64(corpus, config.corpus.markdown_fraction);
   corpus = hash_f64(corpus, config.corpus.text_fraction);
+  // Corpus edits change document bytes, so they must retire every
+  // aggregate downstream of parsing.  Folded only when active so that
+  // default-configured builds keep their pre-edit keys.
+  if (config.corpus.edits.count > 0) {
+    corpus = hash_u64(corpus, config.corpus.edits.seed);
+    corpus = hash_u64(corpus, config.corpus.edits.count);
+    corpus = hash_u64(corpus, config.corpus.edits.revision);
+  }
   corpus = util::hash_combine(root, corpus);
 
   // Embedder identity: the encoder family is fixed in code (covered by
@@ -208,6 +217,73 @@ CheckpointKeys derive_checkpoint_keys(const PipelineConfig& config,
   return keys;
 }
 
+// --- per-document artifact DAG -----------------------------------------------
+
+std::uint64_t doc_config_fingerprint(const PipelineConfig& config,
+                                     std::size_t embed_dim) {
+  std::uint64_t h = util::fnv1a64("doc-config");
+  h = hash_u64(h, kCheckpointFormatVersion);
+  h = hash_u64(h, code_fingerprint());
+
+  // The teacher (question generation + trace grading) reads the KB.
+  h = hash_u64(h, config.kb.facts_per_topic);
+  h = hash_u64(h, config.kb.seed);
+  h = hash_f64(h, config.kb.math_fraction);
+
+  h = hash_f64(h, config.parser.route_threshold);
+  h = hash_f64(h, config.parser.accept_threshold);
+
+  h = hash_u64(h, config.chunker.target_words);
+  h = hash_u64(h, config.chunker.max_words);
+  h = hash_u64(h, config.chunker.min_words);
+  h = hash_f64(h, config.chunker.drift_threshold);
+  h = hash_u64(h, config.chunker.overlap_words);
+  h = hash_u64(h, config.semantic_chunking ? 1 : 0);
+  h = util::hash_combine(h, util::fnv1a64("hashed-ngram-biomed"));
+  h = hash_u64(h, embed_dim);
+
+  h = hash_f64(h, config.builder.quality_threshold);
+  h = hash_f64(h, config.builder.relevance_threshold);
+  h = hash_f64(h, config.builder.residual_ambiguity);
+
+  h = hash_u64(h, config.tracegen.seed);
+  return h;
+}
+
+std::vector<std::uint64_t> derive_doc_keys(
+    const PipelineConfig& config, const corpus::SyntheticCorpus& corpus,
+    std::size_t embed_dim) {
+  const std::uint64_t cfg = doc_config_fingerprint(config, embed_dim);
+  std::vector<std::uint64_t> keys;
+  keys.reserve(corpus.documents.size());
+  for (const auto& doc : corpus.documents) {
+    std::uint64_t h = util::hash_combine(util::fnv1a64("docart"), cfg);
+    h = util::hash_combine(h, util::fnv1a64(doc.doc_id));
+    h = hash_u64(h, util::fnv1a64(doc.bytes));
+    keys.push_back(h);
+  }
+  return keys;
+}
+
+std::uint64_t derive_manifest_key(const PipelineConfig& config,
+                                  std::size_t embed_dim) {
+  std::uint64_t h = util::hash_combine(
+      util::fnv1a64("manifest"), doc_config_fingerprint(config, embed_dim));
+  h = hash_u64(h, static_cast<std::uint64_t>(config.index_kind));
+  // The corpus *family*: generation knobs minus the edit fields, so
+  // successive revisions of one corpus share the manifest slot.
+  h = hash_f64(h, config.corpus.scale);
+  h = hash_u64(h, config.corpus.seed);
+  h = hash_f64(h, config.corpus.paper_gen.facts_per_paper);
+  h = hash_f64(h, config.corpus.paper_gen.facts_per_abstract);
+  h = hash_f64(h, config.corpus.paper_gen.filler_ratio);
+  h = hash_f64(h, config.corpus.moderate_fraction);
+  h = hash_f64(h, config.corpus.hard_fraction);
+  h = hash_f64(h, config.corpus.markdown_fraction);
+  h = hash_f64(h, config.corpus.text_fraction);
+  return h;
+}
+
 // --- ArtifactCache -----------------------------------------------------------
 
 ArtifactCache::ArtifactCache(std::string dir) : dir_(std::move(dir)) {
@@ -222,12 +298,46 @@ std::string ArtifactCache::path_for(std::string_view name,
 
 std::optional<std::string> ArtifactCache::load(std::string_view name,
                                                std::uint64_t key) const {
-  std::ifstream in(path_for(name, key), std::ios::binary);
-  if (!in) return std::nullopt;
-  std::string blob((std::istreambuf_iterator<char>(in)),
-                   std::istreambuf_iterator<char>());
-  if (!in.good() && !in.eof()) return std::nullopt;
+  // Sized bulk read: the per-doc restore pass loads hundreds of blobs
+  // per run, and a byte-at-a-time istreambuf read dominates it.
+  std::ifstream in(path_for(name, key),
+                   std::ios::binary | std::ios::ate);
+  if (!in) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return std::nullopt;
+  }
+  const std::streamoff size = in.tellg();
+  if (size < 0) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return std::nullopt;
+  }
+  std::string blob(static_cast<std::size_t>(size), '\0');
+  in.seekg(0);
+  in.read(blob.data(), size);
+  if (!in.good()) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return std::nullopt;
+  }
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  bytes_read_.fetch_add(blob.size(), std::memory_order_relaxed);
   return blob;
+}
+
+void ArtifactCache::note_corrupt() const {
+  corrupt_.fetch_add(1, std::memory_order_relaxed);
+  hits_.fetch_sub(1, std::memory_order_relaxed);
+  misses_.fetch_add(1, std::memory_order_relaxed);
+}
+
+ArtifactCache::Stats ArtifactCache::stats() const {
+  Stats s;
+  s.hits = hits_.load(std::memory_order_relaxed);
+  s.misses = misses_.load(std::memory_order_relaxed);
+  s.stores = stores_.load(std::memory_order_relaxed);
+  s.corrupt_blobs = corrupt_.load(std::memory_order_relaxed);
+  s.bytes_read = bytes_read_.load(std::memory_order_relaxed);
+  s.bytes_written = bytes_written_.load(std::memory_order_relaxed);
+  return s;
 }
 
 void ArtifactCache::store(std::string_view name, std::uint64_t key,
@@ -248,7 +358,12 @@ void ArtifactCache::store(std::string_view name, std::uint64_t key,
   }
   std::error_code ec;
   std::filesystem::rename(tmp_path, final_path, ec);
-  if (ec) std::filesystem::remove(tmp_path, ec);
+  if (ec) {
+    std::filesystem::remove(tmp_path, ec);
+    return;
+  }
+  stores_.fetch_add(1, std::memory_order_relaxed);
+  bytes_written_.fetch_add(blob.size(), std::memory_order_relaxed);
 }
 
 std::string trace_mode_blob_name(std::string_view prefix,
@@ -570,6 +685,334 @@ EvalCellArtifact deserialize_eval_cell(std::string_view blob) {
   a.total = take_u64(blob, pos);
   a.unparseable = take_u64(blob, pos);
   return a;
+}
+
+// --- per-document artifacts --------------------------------------------------
+
+namespace {
+
+/// Raw fp32 bits — embeddings restore bit-exactly, never re-rounded.
+void put_f32_vec(std::string& out, const embed::Vector& v) {
+  put_u64(out, v.size());
+  out.append(reinterpret_cast<const char*>(v.data()),
+             v.size() * sizeof(float));
+}
+
+embed::Vector take_f32_vec(std::string_view blob, std::size_t& pos) {
+  const std::size_t n = take_u64(blob, pos);
+  if (n > (blob.size() - pos) / sizeof(float)) {
+    throw std::runtime_error("checkpoint load: truncated vector");
+  }
+  embed::Vector v(n);
+  std::memcpy(v.data(), blob.data() + pos, n * sizeof(float));
+  pos += n * sizeof(float);
+  return v;
+}
+
+void put_document(std::string& out, const parse::ParsedDocument& d) {
+  put_str(out, d.doc_id);
+  put_str(out, d.title);
+  put_str(out, d.kind);
+  put_u64(out, d.sections.size());
+  for (const auto& s : d.sections) {
+    put_str(out, s.heading);
+    put_str(out, s.text);
+  }
+  put_str(out, d.parser_used);
+  put_f64(out, d.quality);
+  put_u64(out, d.pages);
+}
+
+parse::ParsedDocument take_document(std::string_view blob, std::size_t& pos) {
+  parse::ParsedDocument d;
+  d.doc_id = take_str(blob, pos);
+  d.title = take_str(blob, pos);
+  d.kind = take_str(blob, pos);
+  const std::size_t sections = take_count(blob, pos);
+  d.sections.reserve(sections);
+  for (std::size_t s = 0; s < sections; ++s) {
+    parse::ParsedSection sec;
+    sec.heading = take_str(blob, pos);
+    sec.text = take_str(blob, pos);
+    d.sections.push_back(std::move(sec));
+  }
+  d.parser_used = take_str(blob, pos);
+  d.quality = take_f64(blob, pos);
+  d.pages = take_u64(blob, pos);
+  return d;
+}
+
+void put_chunk(std::string& out, const chunk::Chunk& c) {
+  put_str(out, c.chunk_id);
+  put_str(out, c.doc_id);
+  put_str(out, c.path);
+  put_str(out, c.text);
+  put_u64(out, c.index);
+  put_u64(out, c.word_count);
+  put_u64(out, c.sentence_count);
+}
+
+chunk::Chunk take_chunk(std::string_view blob, std::size_t& pos) {
+  chunk::Chunk c;
+  c.chunk_id = take_str(blob, pos);
+  c.doc_id = take_str(blob, pos);
+  c.path = take_str(blob, pos);
+  c.text = take_str(blob, pos);
+  c.index = take_u64(blob, pos);
+  c.word_count = take_u64(blob, pos);
+  c.sentence_count = take_u64(blob, pos);
+  return c;
+}
+
+}  // namespace
+
+std::string serialize_docart(const DocArtifact& a) {
+  std::string out = "ckdoc1\n";
+  put_u64(out, a.parsed_ok ? 1 : 0);
+  put_str(out, a.route);
+  put_f64(out, a.compute_cost);
+  if (a.parsed_ok) put_document(out, a.document);
+  put_u64(out, a.funnel_candidates);
+  put_u64(out, a.funnel_rejected_no_fact);
+  put_u64(out, a.funnel_rejected_quality);
+  put_u64(out, a.funnel_rejected_relevance);
+  put_u64(out, a.chunks.size());
+  for (const auto& c : a.chunks) {
+    put_chunk(out, c.chunk);
+    put_f32_vec(out, c.vector);
+    put_u64(out, c.has_record ? 1 : 0);
+    if (!c.has_record) continue;
+    put_record(out, c.record);
+    for (const auto& lane : c.traces) {
+      put_u64(out, lane.kept ? 1 : 0);
+      if (!lane.kept) continue;
+      put_trace(out, lane.trace);
+      put_str(out, lane.retrieval);
+      put_f32_vec(out, lane.vector);
+    }
+  }
+  return out;
+}
+
+DocArtifact deserialize_docart(std::string_view blob) {
+  std::size_t pos = 0;
+  expect_magic(blob, pos, "ckdoc1\n");
+  DocArtifact a;
+  a.parsed_ok = take_u64(blob, pos) != 0;
+  a.route = take_str(blob, pos);
+  a.compute_cost = take_f64(blob, pos);
+  if (a.parsed_ok) a.document = take_document(blob, pos);
+  a.funnel_candidates = take_u64(blob, pos);
+  a.funnel_rejected_no_fact = take_u64(blob, pos);
+  a.funnel_rejected_quality = take_u64(blob, pos);
+  a.funnel_rejected_relevance = take_u64(blob, pos);
+  const std::size_t n = take_count(blob, pos);
+  a.chunks.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    DocChunkArtifact c;
+    c.chunk = take_chunk(blob, pos);
+    c.vector = take_f32_vec(blob, pos);
+    c.has_record = take_u64(blob, pos) != 0;
+    if (c.has_record) {
+      c.record = take_record(blob, pos);
+      for (auto& lane : c.traces) {
+        lane.kept = take_u64(blob, pos) != 0;
+        if (!lane.kept) continue;
+        lane.trace = take_trace(blob, pos);
+        lane.retrieval = take_str(blob, pos);
+        lane.vector = take_f32_vec(blob, pos);
+      }
+    }
+    a.chunks.push_back(std::move(c));
+  }
+  return a;
+}
+
+// --- manifest ----------------------------------------------------------------
+
+std::string serialize_manifest(const ManifestArtifact& a) {
+  std::string out = "ckmani1\n";
+  put_u64(out, a.keys.parsed);
+  put_u64(out, a.keys.chunks);
+  put_u64(out, a.keys.chunk_store);
+  put_u64(out, a.keys.benchmark);
+  for (const std::uint64_t k : a.keys.traces) put_u64(out, k);
+  for (const std::uint64_t k : a.keys.trace_stores) put_u64(out, k);
+  put_u64(out, a.doc_ids.size());
+  for (std::size_t i = 0; i < a.doc_ids.size(); ++i) {
+    put_str(out, a.doc_ids[i]);
+    put_u64(out, a.doc_keys[i]);
+  }
+  return out;
+}
+
+ManifestArtifact deserialize_manifest(std::string_view blob) {
+  std::size_t pos = 0;
+  expect_magic(blob, pos, "ckmani1\n");
+  ManifestArtifact a;
+  a.keys.parsed = take_u64(blob, pos);
+  a.keys.chunks = take_u64(blob, pos);
+  a.keys.chunk_store = take_u64(blob, pos);
+  a.keys.benchmark = take_u64(blob, pos);
+  for (auto& k : a.keys.traces) k = take_u64(blob, pos);
+  for (auto& k : a.keys.trace_stores) k = take_u64(blob, pos);
+  const std::size_t n = take_count(blob, pos);
+  a.doc_ids.reserve(n);
+  a.doc_keys.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    a.doc_ids.push_back(take_str(blob, pos));
+    a.doc_keys.push_back(take_u64(blob, pos));
+  }
+  return a;
+}
+
+// --- cache maintenance -------------------------------------------------------
+
+namespace {
+
+constexpr std::string_view kCkptSuffix = ".ckpt";
+
+bool is_hex16(std::string_view s) {
+  if (s.size() != 16) return false;
+  for (const char c : s) {
+    const bool hex = (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f');
+    if (!hex) return false;
+  }
+  return true;
+}
+
+/// "docart-0123456789abcdef.ckpt" -> "docart"; non-conforming names
+/// group under "other".
+std::string blob_prefix_of(std::string_view filename) {
+  if (filename.size() <= kCkptSuffix.size() ||
+      filename.substr(filename.size() - kCkptSuffix.size()) != kCkptSuffix) {
+    return "other";
+  }
+  const std::string_view stem =
+      filename.substr(0, filename.size() - kCkptSuffix.size());
+  const std::size_t dash = stem.rfind('-');
+  if (dash == std::string_view::npos || !is_hex16(stem.substr(dash + 1))) {
+    return "other";
+  }
+  return std::string(stem.substr(0, dash));
+}
+
+/// Sorted `.ckpt`-suffixed filenames in `dir` (deterministic sweep
+/// order regardless of directory enumeration order).
+std::vector<std::string> sorted_ckpt_files(const std::string& dir) {
+  std::vector<std::string> names;
+  std::error_code ec;
+  std::filesystem::directory_iterator it(dir, ec);
+  if (ec) return names;
+  for (const auto& entry : it) {
+    if (!entry.is_regular_file()) continue;
+    std::string name = entry.path().filename().string();
+    if (name.size() > kCkptSuffix.size() &&
+        name.compare(name.size() - kCkptSuffix.size(), kCkptSuffix.size(),
+                     kCkptSuffix) == 0) {
+      names.push_back(std::move(name));
+    }
+  }
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+/// Blob names the incremental builder owns; everything else in the
+/// cache (eval cells, trained weights) has an independent lifecycle.
+bool is_build_prefix(std::string_view prefix) {
+  if (prefix == "manifest" || prefix == "docart" ||
+      prefix == "chunk-store" || prefix == "parsed" || prefix == "chunks" ||
+      prefix == "benchmark") {
+    return true;
+  }
+  for (int m = 0; m < trace::kTraceModeCount; ++m) {
+    const auto mode = static_cast<trace::TraceMode>(m);
+    if (prefix == trace_mode_blob_name("traces", mode) ||
+        prefix == trace_mode_blob_name("trace-store", mode)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool is_eval_prefix(std::string_view prefix) {
+  return prefix == "eval-cell" || prefix == "eval-group";
+}
+
+}  // namespace
+
+CacheInventory inventory_cache(const std::string& dir) {
+  CacheInventory inv;
+  std::vector<CacheInventoryRow> rows;
+  for (const std::string& name : sorted_ckpt_files(dir)) {
+    const std::string prefix = blob_prefix_of(name);
+    std::error_code ec;
+    const std::uintmax_t bytes =
+        std::filesystem::file_size(std::filesystem::path(dir) / name, ec);
+    const std::uintmax_t sz = ec ? 0 : bytes;
+    auto it = std::find_if(rows.begin(), rows.end(), [&](const auto& r) {
+      return r.prefix == prefix;
+    });
+    if (it == rows.end()) {
+      rows.push_back(CacheInventoryRow{prefix, 1, sz});
+    } else {
+      ++it->files;
+      it->bytes += sz;
+    }
+    ++inv.total_files;
+    inv.total_bytes += sz;
+  }
+  std::sort(rows.begin(), rows.end(),
+            [](const auto& a, const auto& b) { return a.prefix < b.prefix; });
+  inv.rows = std::move(rows);
+  return inv;
+}
+
+PruneReport prune_cache(const std::string& dir,
+                        const ManifestArtifact& manifest,
+                        std::uint64_t manifest_key, bool prune_eval_cells) {
+  const ArtifactCache cache(dir);
+  std::vector<std::string> reachable;
+  auto mark = [&](std::string_view name, std::uint64_t key) {
+    reachable.push_back(std::filesystem::path(cache.path_for(name, key))
+                            .filename()
+                            .string());
+  };
+  mark("manifest", manifest_key);
+  for (const std::uint64_t k : manifest.doc_keys) mark("docart", k);
+  mark("chunk-store", manifest.keys.chunk_store);
+  for (int m = 0; m < trace::kTraceModeCount; ++m) {
+    const auto mode = static_cast<trace::TraceMode>(m);
+    mark(trace_mode_blob_name("trace-store", mode),
+         manifest.keys.trace_stores[static_cast<std::size_t>(m)]);
+  }
+  std::sort(reachable.begin(), reachable.end());
+
+  PruneReport report;
+  for (const std::string& name : sorted_ckpt_files(dir)) {
+    ++report.scanned;
+    const bool is_reachable =
+        std::binary_search(reachable.begin(), reachable.end(), name);
+    const std::string prefix = blob_prefix_of(name);
+    const bool sweepable =
+        !is_reachable && (is_build_prefix(prefix) ||
+                          (prune_eval_cells && is_eval_prefix(prefix)));
+    if (!sweepable) {
+      ++report.kept;
+      continue;
+    }
+    const std::filesystem::path path = std::filesystem::path(dir) / name;
+    std::error_code ec;
+    const std::uintmax_t bytes = std::filesystem::file_size(path, ec);
+    std::error_code rm_ec;
+    if (std::filesystem::remove(path, rm_ec) && !rm_ec) {
+      ++report.removed;
+      report.removed_bytes += ec ? 0 : bytes;
+    } else {
+      ++report.kept;
+    }
+  }
+  return report;
 }
 
 }  // namespace mcqa::core

@@ -15,6 +15,7 @@ namespace mcqa::core {
 namespace {
 
 constexpr std::string_view kCellBlobName = "eval-cell";
+constexpr std::string_view kGroupBlobName = "eval-group";
 
 std::uint64_t hash_f64(std::uint64_t h, double v) {
   std::uint64_t bits = 0;
@@ -93,6 +94,10 @@ std::uint64_t registered_model_fingerprint(std::string_view name) {
 EvalCellCache::EvalCellCache(std::string dir, std::uint64_t sweep_key)
     : cache_(std::move(dir)), sweep_key_(sweep_key) {}
 
+EvalCellCache::EvalCellCache(std::string dir, std::uint64_t sweep_key,
+                             std::uint64_t group_base)
+    : cache_(std::move(dir)), sweep_key_(sweep_key), group_base_(group_base) {}
+
 std::uint64_t EvalCellCache::sweep_key(
     const PipelineContext& ctx, const std::vector<qgen::McqRecord>& records) {
   const CheckpointKeys keys =
@@ -117,6 +122,33 @@ std::uint64_t EvalCellCache::sweep_key(
 
   // Harness-side configuration: retrieval depth/budget, judge floor,
   // and the frozen simulation coefficients.
+  const rag::RagConfig& rc = ctx.config().rag;
+  h = hash_u64(h, rc.top_k_chunks);
+  h = hash_u64(h, rc.top_k_traces);
+  h = hash_u64(h, rc.reserve_tokens);
+  h = hash_f64(h, eval::Judge().min_similarity());
+  const llm::SimulationCoefficients& sim = ctx.config().sim;
+  h = hash_f64(h, sim.importance_tilt);
+  h = hash_f64(h, sim.importance_center);
+  h = hash_f64(h, sim.saliency_floor);
+  h = hash_f64(h, sim.recall_fidelity);
+  h = hash_f64(h, sim.extract_fidelity);
+  h = hash_f64(h, sim.worked_math_boost);
+  h = hash_f64(h, sim.mislead_scale);
+  return h;
+}
+
+std::uint64_t EvalCellCache::group_base_key(const PipelineContext& ctx) {
+  // Deliberately excludes the benchmark/store checkpoint keys and the
+  // swept subset: a group's content_fp pins its questions and the
+  // harness's hits fingerprint pins everything it retrieves, so folding
+  // whole-corpus identity here would only defeat cross-revision reuse.
+  std::uint64_t h = util::fnv1a64("eval-group-base");
+  h = hash_u64(h, kCheckpointFormatVersion);
+  h = hash_u64(h, code_fingerprint());
+  h = hash_u64(h, ctx.config().kb.facts_per_topic);
+  h = hash_u64(h, ctx.config().kb.seed);
+  h = hash_f64(h, ctx.config().kb.math_fraction);
   const rag::RagConfig& rc = ctx.config().rag;
   h = hash_u64(h, rc.top_k_chunks);
   h = hash_u64(h, rc.top_k_traces);
@@ -162,6 +194,7 @@ std::optional<eval::Accuracy> EvalCellCache::load(
       }
     } catch (const std::exception&) {
       // Corrupt blob: fall through to a miss and recompute.
+      cache_.note_corrupt();
     }
   }
   misses_.fetch_add(1, std::memory_order_relaxed);
@@ -179,6 +212,94 @@ void EvalCellCache::store(std::string_view model, rag::Condition condition,
   cache_.store(kCellBlobName, cell_key(model, condition),
                serialize_eval_cell(cell));
   stores_.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::uint64_t EvalCellCache::group_key(std::string_view model,
+                                       rag::Condition condition,
+                                       std::uint64_t group_fp) const {
+  std::uint64_t h = util::hash_combine(util::fnv1a64("eval-group"),
+                                       group_base_);
+  h = util::hash_combine(h, model_fingerprint(model));
+  h = hash_u64(h, static_cast<std::uint64_t>(condition));
+  h = hash_u64(h, group_fp);
+  return h;
+}
+
+std::optional<eval::Accuracy> EvalCellCache::load_group(
+    std::string_view model, rag::Condition condition, std::uint64_t group_fp,
+    std::size_t expected_total) const {
+  if (group_base_ == 0) return std::nullopt;
+  const auto blob =
+      cache_.load(kGroupBlobName, group_key(model, condition, group_fp));
+  if (blob.has_value()) {
+    try {
+      const EvalCellArtifact cell = deserialize_eval_cell(*blob);
+      if (cell.model == model &&
+          cell.condition == static_cast<std::int64_t>(condition) &&
+          cell.total == expected_total) {
+        group_hits_.fetch_add(1, std::memory_order_relaxed);
+        eval::Accuracy acc;
+        acc.correct = cell.correct;
+        acc.total = cell.total;
+        acc.unparseable = cell.unparseable;
+        return acc;
+      }
+    } catch (const std::exception&) {
+      cache_.note_corrupt();
+    }
+  }
+  group_misses_.fetch_add(1, std::memory_order_relaxed);
+  return std::nullopt;
+}
+
+void EvalCellCache::store_group(std::string_view model,
+                                rag::Condition condition,
+                                std::uint64_t group_fp,
+                                const eval::Accuracy& accuracy) const {
+  if (group_base_ == 0) return;
+  EvalCellArtifact cell;
+  cell.model = std::string(model);
+  cell.condition = static_cast<std::int64_t>(condition);
+  cell.correct = accuracy.correct;
+  cell.total = accuracy.total;
+  cell.unparseable = accuracy.unparseable;
+  cache_.store(kGroupBlobName, group_key(model, condition, group_fp),
+               serialize_eval_cell(cell));
+  group_stores_.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::vector<eval::RecordGroup> record_groups(
+    const PipelineContext& ctx, const std::vector<qgen::McqRecord>& records) {
+  std::unordered_map<std::string, std::string> doc_of_chunk;
+  doc_of_chunk.reserve(ctx.chunks().size());
+  for (const chunk::Chunk& c : ctx.chunks()) {
+    doc_of_chunk.emplace(c.chunk_id, c.doc_id);
+  }
+
+  // Group indexes by provenance unit in first-appearance order.  Exam
+  // records (chunk_id not in the chunk table) become singleton groups
+  // keyed by their record id.
+  std::vector<eval::RecordGroup> groups;
+  std::unordered_map<std::string, std::size_t> slot_of_unit;
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const auto it = doc_of_chunk.find(records[i].chunk_id);
+    const std::string unit =
+        it != doc_of_chunk.end() ? it->second : "exam:" + records[i].record_id;
+    const auto [slot, inserted] =
+        slot_of_unit.emplace(unit, groups.size());
+    if (inserted) groups.emplace_back();
+    groups[slot->second].indexes.push_back(i);
+  }
+
+  // Fingerprint each group's record bytes via the canonical benchmark
+  // codec (same serialization the sweep key uses).
+  for (eval::RecordGroup& g : groups) {
+    BenchmarkArtifact subset;
+    subset.records.reserve(g.indexes.size());
+    for (const std::size_t i : g.indexes) subset.records.push_back(records[i]);
+    g.content_fp = util::fnv1a64(serialize_benchmark(subset));
+  }
+  return groups;
 }
 
 }  // namespace mcqa::core

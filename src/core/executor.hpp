@@ -35,6 +35,9 @@ class ThreadPool;
 
 namespace mcqa::core {
 
+class ArtifactCache;
+struct DocArtifact;
+
 /// Runs stages 1-5 (parse .. trace stores) for a PipelineContext whose
 /// corpus and embedder are already in place.  Fills the same fields and
 /// stats the staged build fills.
@@ -44,7 +47,34 @@ class OverlappedBuilder {
 
   void run(parallel::ThreadPool& pool);
 
+  /// Incremental build against a per-document artifact cache (DESIGN.md
+  /// §17).  Restores every document whose artifact key still matches,
+  /// recomputes only the dirty subtrees through the same dataflow tree
+  /// run() uses, rebuilds the four stores (delta-aware for IVF-PQ),
+  /// and rewrites the manifest.  Artifacts are byte-identical to a
+  /// cold run() at any thread count: restored slots hold exactly the
+  /// bytes the dataflow would have produced, and the merge is
+  /// index-ordered either way.  Fills stats.doc_artifacts_*.
+  void run_incremental(parallel::ThreadPool& pool, const ArtifactCache& cache);
+
  private:
+  struct TraceSlot;
+  struct DocSlots;
+  struct StoreRows;
+
+  /// Run the per-document dataflow tree into `slots`; when `dirty` is
+  /// non-null only the flagged documents are (re)computed.
+  void build_slots(parallel::ThreadPool& pool, std::vector<DocSlots>& slots,
+                   const std::vector<char>* dirty);
+  /// Merge `slots` into the context in (document, chunk, mode) order and
+  /// return the store-ready rows.  Consumes the slots' payloads.
+  StoreRows merge_slots(std::vector<DocSlots>& slots);
+  /// Create + build the four stores from merged rows (cold path).
+  void finish_stores(parallel::ThreadPool& pool, StoreRows&& rows);
+
+  static DocArtifact to_artifact(const DocSlots& slot);
+  static void fill_slot(DocSlots& slot, DocArtifact&& artifact);
+
   PipelineContext& ctx_;
 };
 

@@ -53,18 +53,19 @@ PipelineContext::PipelineContext(const PipelineConfig& config)
 
   bool restored = false;
   if (!config_.checkpoint_dir.empty()) {
+    // Checkpointed builds always route through the incremental
+    // dataflow executor (byte-identical to both plain modes; tested):
+    // it restores the per-document artifacts that still match and
+    // recomputes only the dirty subtrees.
     const ArtifactCache cache(config_.checkpoint_dir);
-    const CheckpointKeys keys =
-        derive_checkpoint_keys(config_, embedder_.dim());
-    restored = restore_checkpoint(cache, keys);
-    if (!restored) {
-      if (config_.execution == ExecutionMode::kOverlapped) {
-        build_overlapped(pool);
-      } else {
-        build_staged(pool);
-      }
-      save_checkpoint(cache, keys);
-    }
+    util::Stopwatch watch;
+    OverlappedBuilder(*this).run_incremental(pool, cache);
+    stats_.stage_seconds.overlapped = watch.seconds();
+    const ArtifactCache::Stats cs = cache.stats();
+    stats_.checkpoint_hits = cs.hits;
+    stats_.checkpoint_misses = cs.misses;
+    stats_.checkpoint_corrupt = cs.corrupt_blobs;
+    restored = stats_.doc_artifacts_recomputed == 0;
   } else if (config_.execution == ExecutionMode::kOverlapped) {
     build_overlapped(pool);
   } else {
@@ -215,118 +216,6 @@ void PipelineContext::build_overlapped(parallel::ThreadPool& pool) {
   stats_.stage_seconds.overlapped = watch.seconds();
 }
 
-bool PipelineContext::restore_checkpoint(const ArtifactCache& cache,
-                                         const CheckpointKeys& keys) {
-  // All-or-nothing: deserialize everything into locals first, so a
-  // partial cache (or a corrupt blob) leaves the context untouched and
-  // the normal build runs instead.
-  struct Loaded {
-    ParsedArtifact parsed;
-    std::vector<chunk::Chunk> chunks;
-    index::VectorStore chunk_store;
-    BenchmarkArtifact benchmark;
-    std::array<TraceArtifact, trace::kTraceModeCount> traces;
-    std::array<std::optional<index::VectorStore>, trace::kTraceModeCount>
-        trace_stores;
-  };
-
-  const embed::Embedder& embedder = active_embedder();
-  auto fetch = [&](std::string_view name,
-                   std::uint64_t key) -> std::optional<std::string> {
-    auto blob = cache.load(name, key);
-    if (blob.has_value()) {
-      ++stats_.checkpoint_hits;
-    } else {
-      ++stats_.checkpoint_misses;
-    }
-    return blob;
-  };
-
-  try {
-    const auto parsed_blob = fetch("parsed", keys.parsed);
-    const auto chunks_blob = fetch("chunks", keys.chunks);
-    const auto store_blob = fetch("chunk-store", keys.chunk_store);
-    const auto bench_blob = fetch("benchmark", keys.benchmark);
-    std::array<std::optional<std::string>, trace::kTraceModeCount> trace_blobs;
-    std::array<std::optional<std::string>, trace::kTraceModeCount>
-        trace_store_blobs;
-    for (std::size_t m = 0; m < trace_blobs.size(); ++m) {
-      const auto name =
-          trace_mode_blob_name("traces", static_cast<trace::TraceMode>(m));
-      trace_blobs[m] = fetch(name, keys.traces[m]);
-      const auto store_name =
-          trace_mode_blob_name("trace-store", static_cast<trace::TraceMode>(m));
-      trace_store_blobs[m] = fetch(store_name, keys.trace_stores[m]);
-    }
-    if (!parsed_blob || !chunks_blob || !store_blob || !bench_blob) {
-      return false;
-    }
-    for (std::size_t m = 0; m < trace_blobs.size(); ++m) {
-      if (!trace_blobs[m] || !trace_store_blobs[m]) return false;
-    }
-
-    Loaded loaded{deserialize_parsed(*parsed_blob),
-                  deserialize_chunks(*chunks_blob),
-                  index::VectorStore::load(embedder, *store_blob),
-                  deserialize_benchmark(*bench_blob),
-                  {},
-                  {}};
-    for (std::size_t m = 0; m < trace_blobs.size(); ++m) {
-      loaded.traces[m] = deserialize_traces(*trace_blobs[m]);
-      loaded.trace_stores[m].emplace(
-          index::VectorStore::load(embedder, *trace_store_blobs[m]));
-    }
-
-    // Commit.
-    parsed_ = std::move(loaded.parsed.documents);
-    stats_.routing = loaded.parsed.routing;
-    stats_.parse_failures = loaded.parsed.parse_failures;
-    stats_.documents = loaded.parsed.total_documents;
-    chunks_ = std::move(loaded.chunks);
-    stats_.chunks = chunks_.size();
-    chunk_store_ =
-        std::make_unique<index::VectorStore>(std::move(loaded.chunk_store));
-    stats_.embedding_bytes = chunk_store_->embedding_bytes();
-    benchmark_ = std::move(loaded.benchmark.records);
-    stats_.funnel = loaded.benchmark.funnel;
-    for (std::size_t m = 0; m < trace_blobs.size(); ++m) {
-      traces_[m] = std::move(loaded.traces[m].traces);
-      stats_.traces_per_mode[m] = traces_[m].size();
-      stats_.trace_grading_accuracy[m] = loaded.traces[m].grading.accuracy();
-      trace_stores_[m] = std::make_unique<index::VectorStore>(
-          std::move(*loaded.trace_stores[m]));
-    }
-    return true;
-  } catch (const std::exception&) {
-    // Treat any malformed blob as a miss; the build below overwrites it.
-    return false;
-  }
-}
-
-void PipelineContext::save_checkpoint(const ArtifactCache& cache,
-                                      const CheckpointKeys& keys) const {
-  ParsedArtifact parsed{parsed_, stats_.routing, stats_.parse_failures,
-                        stats_.documents};
-  cache.store("parsed", keys.parsed, serialize_parsed(parsed));
-  cache.store("chunks", keys.chunks, serialize_chunks(chunks_));
-  cache.store("chunk-store", keys.chunk_store, chunk_store_->save());
-  BenchmarkArtifact bench{benchmark_, stats_.funnel};
-  cache.store("benchmark", keys.benchmark, serialize_benchmark(bench));
-  for (std::size_t m = 0; m < traces_.size(); ++m) {
-    const auto mode = static_cast<trace::TraceMode>(m);
-    // Every benchmark record was traced and graded; the filter kept
-    // exactly the correct ones, so the pre-filter tally is recoverable.
-    trace::TraceGradingStats grading;
-    grading.graded = benchmark_.size();
-    grading.correct = traces_[m].size();
-    TraceArtifact artifact{traces_[m], grading};
-    cache.store(trace_mode_blob_name("traces", mode), keys.traces[m],
-                serialize_traces(artifact));
-    cache.store(trace_mode_blob_name("trace-store", mode),
-                keys.trace_stores[m], trace_stores_[m]->save());
-  }
-}
-
 void PipelineContext::finalize_exam_and_rag() {
   util::Stopwatch watch;
   // --- Stage 6: retrieval fact coverage + Astro exam -------------------------
@@ -433,8 +322,11 @@ std::unique_ptr<llm::TrainedStudent> build_trained_row(
       try {
         return std::make_unique<llm::TrainedStudent>(
             llm::TrainedStudent::restore(*blob, cfg, fp));
-      } catch (const std::exception&) {
-        // Corrupt blob: retrain and overwrite below.
+      } catch (const std::exception& e) {
+        // Corrupt blob: count it, then retrain and overwrite below.
+        cache.note_corrupt();
+        MCQA_INFO("pipeline") << "corrupt trained-lbl checkpoint ("
+                              << e.what() << "); retraining";
       }
     }
     auto model = std::make_unique<llm::TrainedStudent>(

@@ -77,13 +77,25 @@ struct PipelineConfig {
   ExecutionMode execution = ExecutionMode::kOverlapped;
 
   /// Content-addressed artifact checkpoint directory; empty disables
-  /// checkpointing.  Artifacts (parsed docs, chunks, chunk store,
-  /// benchmark, per-mode traces and trace stores) are keyed by an fnv1a
-  /// hash of their config fingerprint, their upstream artifact keys and
-  /// the executable identity, and warm-loaded when the key matches —
-  /// byte-identical to a cold build (tested).  Never part of artifact
-  /// content, so it cannot affect results.
+  /// checkpointing.  Each document's build subtree (parse outcome,
+  /// chunks, embeddings, record, trace lanes) is keyed individually by
+  /// (config fingerprint, doc id, doc bytes) plus the executable
+  /// identity, so a warm run restores every unchanged document and
+  /// recomputes only the dirty ones — byte-identical to a cold build
+  /// at any thread count (tested).  Never part of artifact content, so
+  /// it cannot affect results.  Checkpointed builds always run through
+  /// the overlapped dataflow tree (whose artifacts are byte-identical
+  /// to staged; tested), regardless of `execution`.
   std::string checkpoint_dir;
+
+  /// Incremental IVF-PQ rebuild policy (ignored by other index kinds):
+  /// when at most this fraction of a store's rows changed since the
+  /// previous revision, the quantizers are not retrained — rows are
+  /// re-encoded against the previous store's frozen codebooks.  Query
+  /// results stay exact either way (the fp16 rerank contract), so this
+  /// is a speed knob, excluded from artifact keys; only the saved
+  /// IVF-PQ store bytes may differ from a cold retrain's.
+  double ivfpq_retrain_threshold = 0.25;
 
   /// The default configuration used by all paper-reproduction benches:
   /// 1/40-scale corpus, flat index, semantic chunking.  Checkpointing
@@ -122,6 +134,14 @@ struct PipelineStats {
   /// Artifact checkpoint traffic (zeros when checkpointing is off).
   std::size_t checkpoint_hits = 0;
   std::size_t checkpoint_misses = 0;
+  /// Blobs that loaded but failed to decode; each was silently
+  /// recomputed (and also counts as a miss, never a hit).
+  std::size_t checkpoint_corrupt = 0;
+  /// Per-document artifact accounting for the incremental build: on a
+  /// warm run with K of N documents changed, restored == N-K and
+  /// recomputed == K.  Both zero when checkpointing is off.
+  std::size_t doc_artifacts_restored = 0;
+  std::size_t doc_artifacts_recomputed = 0;
   StageTimings stage_seconds;
   double build_seconds = 0.0;
 };
@@ -214,13 +234,6 @@ class PipelineContext {
   void build_staged(parallel::ThreadPool& pool);
   /// Stage 1-5 as one overlapped dataflow (ExecutionMode::kOverlapped).
   void build_overlapped(parallel::ThreadPool& pool);
-  /// Try to restore every stage-1..5 artifact from `cache`; true on a
-  /// full hit (artifacts and their stats blocks are then populated).
-  bool restore_checkpoint(const class ArtifactCache& cache,
-                          const struct CheckpointKeys& keys);
-  /// Persist every stage-1..5 artifact into `cache`.
-  void save_checkpoint(const class ArtifactCache& cache,
-                       const struct CheckpointKeys& keys) const;
   /// Stages 6-7: exam synthesis, retrieval wiring, students.
   void finalize_exam_and_rag();
 

@@ -28,6 +28,16 @@ std::size_t CorpusConfig::abstract_count() const {
              scale * static_cast<double>(kAbstractCountFullScale))));
 }
 
+std::vector<std::size_t> edited_doc_indexes(const CorpusConfig& config,
+                                            std::size_t total_documents) {
+  if (config.edits.count == 0 || total_documents == 0) return {};
+  util::Rng rng(config.edits.seed);
+  std::vector<std::size_t> picked = rng.sample_indices(
+      total_documents, std::min(config.edits.count, total_documents));
+  std::sort(picked.begin(), picked.end());
+  return picked;
+}
+
 const PaperSpec* SyntheticCorpus::spec_for(std::string_view doc_id) const {
   for (const auto& spec : specs) {
     if (spec.doc_id == doc_id) return &spec;
@@ -48,6 +58,9 @@ SyntheticCorpus build_corpus(const KnowledgeBase& kb,
   const PaperGenerator generator(kb, config.paper_gen);
   const util::Rng root(config.seed);
 
+  std::vector<char> edited(total, 0);
+  for (const std::size_t i : edited_doc_indexes(config, total)) edited[i] = 1;
+
   parallel::ThreadPool pool(threads);
   parallel::parallel_for(pool, 0, total, [&](std::size_t i) {
     const bool is_paper = i < n_papers;
@@ -57,6 +70,9 @@ SyntheticCorpus build_corpus(const KnowledgeBase& kb,
     // Fork per-document streams keyed by identity, not loop order.
     util::Rng doc_rng = root.fork((is_paper ? 0x10000000ULL : 0x20000000ULL) +
                                   index);
+    // Edited documents re-draw everything downstream (content, format,
+    // render noise) from a revision-keyed stream; the id stays put.
+    if (edited[i]) doc_rng = doc_rng.fork("edit").fork(config.edits.revision);
     PaperSpec spec = generator.generate(index, kind, doc_rng.fork("content"));
 
     RawDocument doc;

@@ -29,6 +29,19 @@ struct RawDocument {
   std::string bytes;
 };
 
+/// Deterministic corpus-edit generator: when `count > 0`, that many
+/// documents (sampled without replacement from `seed`) are re-drawn from
+/// an edit-forked RNG stream keyed by `revision`.  Document ids and the
+/// paper:abstract split are untouched — only the selected documents'
+/// content/format/noise change — so per-document artifact keys stay
+/// stable for the other N−K documents.  Bumping `revision` re-edits the
+/// same index set with fresh content.
+struct CorpusEdits {
+  std::uint64_t seed = 20250807;
+  std::size_t count = 0;
+  std::uint64_t revision = 0;
+};
+
 struct CorpusConfig {
   /// Paper-scale counts at scale = 1.0.
   static constexpr std::size_t kPaperCountFullScale = 14115;
@@ -45,10 +58,17 @@ struct CorpusConfig {
   /// of SPDF (the framework accepts all three, per the paper).
   double markdown_fraction = 0.08;
   double text_fraction = 0.05;
+  CorpusEdits edits;
 
   std::size_t paper_count() const;
   std::size_t abstract_count() const;
 };
+
+/// The sorted document indexes `config.edits` selects out of
+/// `total_documents` (empty when edits are inactive).  Pure function of
+/// (edits.seed, edits.count, total) — the revision only changes content.
+std::vector<std::size_t> edited_doc_indexes(const CorpusConfig& config,
+                                            std::size_t total_documents);
 
 struct SyntheticCorpus {
   std::vector<RawDocument> documents;

@@ -3,12 +3,14 @@
 #include <algorithm>
 #include <atomic>
 #include <cmath>
+#include <cstring>
 #include <memory>
 #include <optional>
 #include <stdexcept>
 
 #include "parallel/dag.hpp"
 #include "parallel/thread_pool.hpp"
+#include "util/hash.hpp"
 
 namespace mcqa::eval {
 
@@ -130,6 +132,52 @@ struct CellSlot {
   Accuracy restored_accuracy;
 };
 
+/// Per-(cell, group) work item for the delta-eval path.  Each is
+/// tallied by exactly one task, so no atomics are needed; the merge
+/// sums groups in partition order (commutative integer adds — the cell
+/// counts are bitwise those of a full sweep).
+struct GroupWork {
+  bool restored = false;
+  Accuracy acc;  ///< tally over the group's records (total = group size)
+};
+
+/// True iff `groups` covers every index in [0, n) exactly once.
+bool is_partition(const std::vector<RecordGroup>& groups, std::size_t n) {
+  std::vector<char> seen(n, 0);
+  std::size_t covered = 0;
+  for (const auto& g : groups) {
+    for (const std::size_t i : g.indexes) {
+      if (i >= n || seen[i] != 0) return false;
+      seen[i] = 1;
+      ++covered;
+    }
+  }
+  return covered == n;
+}
+
+/// Fingerprint of a group's retrieval inputs under one condition: per
+/// record (in group order) the hit count, then each hit's id, payload
+/// text and exact score bits.  Conditions that do not retrieve share a
+/// constant — their cells depend on record content alone.
+std::uint64_t group_hits_fp(const rag::RetrievalPlan& plan,
+                            const RecordGroup& group) {
+  std::uint64_t h = util::fnv1a64("group-hits");
+  if (!plan.active) return h;
+  for (const std::size_t i : group.indexes) {
+    const auto& hits = plan.hits[i];
+    h = util::hash_combine(h, util::fnv1a64(hits.size()));
+    for (const auto& hit : hits) {
+      h = util::hash_combine(h, util::fnv1a64(hit.id));
+      h = util::hash_combine(h, util::fnv1a64(hit.text));
+      std::uint32_t bits = 0;
+      static_assert(sizeof(bits) == sizeof(hit.score));
+      std::memcpy(&bits, &hit.score, sizeof(bits));
+      h = util::hash_combine(h, util::fnv1a64(bits));
+    }
+  }
+  return h;
+}
+
 }  // namespace
 
 SweepResult EvalHarness::sweep(
@@ -171,6 +219,123 @@ SweepResult EvalHarness::sweep(
   }
   const std::size_t grain = block_grain(n, pool->thread_count());
 
+  // --- delta-eval: group-granular restore for uncached cells -----------------
+  const std::vector<RecordGroup>* groups = config_.groups;
+  const bool grouped = groups != nullptr && !groups->empty() &&
+                       config_.cell_cache != nullptr &&
+                       config_.cell_cache->supports_groups();
+  if (grouped && !is_partition(*groups, n)) {
+    throw std::invalid_argument("sweep: groups must partition the record set");
+  }
+  if (grouped) {
+    const CellCache& cache = *config_.cell_cache;
+    const std::size_t g_count = groups->size();
+
+    // Shared retrieval plans, filled only for conditions that still
+    // have uncached cells (the same sharing the plain grid does).
+    std::vector<rag::RetrievalPlan> plans(c_count);
+    std::vector<std::vector<std::size_t>> todo(c_count);
+    for (std::size_t ci = 0; ci < c_count; ++ci) {
+      plans[ci] = rag_.make_plan(records, conditions[ci]);
+      if (plans[ci].active) tally.naive_retrieval_queries += m_count * n;
+      for (std::size_t m = 0; m < m_count; ++m) {
+        if (!slots[m * c_count + ci].restored) todo[ci].push_back(m);
+      }
+      if (todo[ci].empty() || n == 0) continue;
+      tally.cells_computed += todo[ci].size();
+      if (!plans[ci].active) continue;
+      tally.retrieval_queries += n;
+      const std::size_t blocks = (n + grain - 1) / grain;
+      parallel::parallel_for(*pool, 0, blocks, [&, ci](std::size_t b) {
+        rag_.fill_plan(plans[ci], records, b * grain,
+                       std::min(n, (b + 1) * grain));
+      });
+    }
+
+    // Combined (content, hits) fingerprint per (condition, group).
+    std::vector<std::uint64_t> group_fps(c_count * g_count, 0);
+    for (std::size_t ci = 0; ci < c_count; ++ci) {
+      if (todo[ci].empty()) continue;
+      for (std::size_t g = 0; g < g_count; ++g) {
+        group_fps[ci * g_count + g] = util::hash_combine(
+            (*groups)[g].content_fp, group_hits_fp(plans[ci], (*groups)[g]));
+      }
+    }
+
+    // Restore what the cache has; answer+grade only the dirty groups.
+    // One task per dirty (cell, group) — each writes only its own slot.
+    std::vector<GroupWork> work(m_count * c_count * g_count);
+    parallel::TaskGroup group_tasks(*pool);
+    for (std::size_t ci = 0; ci < c_count; ++ci) {
+      for (const std::size_t m : todo[ci]) {
+        for (std::size_t g = 0; g < g_count; ++g) {
+          GroupWork& w = work[(m * c_count + ci) * g_count + g];
+          const auto cached =
+              cache.load_group(models[m]->name(), conditions[ci],
+                               group_fps[ci * g_count + g],
+                               (*groups)[g].indexes.size());
+          if (cached.has_value()) {
+            w.restored = true;
+            w.acc = *cached;
+            ++tally.groups_restored;
+            continue;
+          }
+          ++tally.groups_computed;
+          tally.records_evaluated += (*groups)[g].indexes.size();
+          group_tasks.spawn([this, &work, &plans, &records, &specs, &models,
+                             groups, ci, c_count, g_count, m, g]() {
+            const RecordGroup& grp = (*groups)[g];
+            GroupWork& out = work[(m * c_count + ci) * g_count + g];
+            for (const std::size_t i : grp.indexes) {
+              const llm::McqTask task =
+                  rag_.prepare_from_plan(records[i], plans[ci], i, specs[m]);
+              const llm::AnswerResult answer = models[m]->answer(task);
+              const trace::GradingResult grading =
+                  judge_.grade(task, answer.text);
+              if (grading.is_correct) ++out.acc.correct;
+              if (grading.extracted_option_number < 0) ++out.acc.unparseable;
+            }
+            out.acc.total = grp.indexes.size();
+          });
+        }
+      }
+    }
+    group_tasks.wait();
+
+    // Merge: sum groups in partition order; store computed groups and
+    // the completed cells.
+    SweepResult out;
+    out.cells.reserve(m_count * c_count);
+    for (std::size_t m = 0; m < m_count; ++m) {
+      for (std::size_t ci = 0; ci < c_count; ++ci) {
+        auto& slot = slots[m * c_count + ci];
+        CellResult cell;
+        cell.model = std::string(models[m]->name());
+        cell.condition = conditions[ci];
+        if (slot.restored) {
+          cell.accuracy = slot.restored_accuracy;
+        } else {
+          Accuracy acc;
+          acc.total = n;
+          for (std::size_t g = 0; g < g_count; ++g) {
+            const GroupWork& w = work[(m * c_count + ci) * g_count + g];
+            acc.correct += w.acc.correct;
+            acc.unparseable += w.acc.unparseable;
+            if (!w.restored) {
+              cache.store_group(cell.model, cell.condition,
+                                group_fps[ci * g_count + g], w.acc);
+            }
+          }
+          cell.accuracy = acc;
+          cache.store(cell.model, cell.condition, cell.accuracy);
+        }
+        out.cells.push_back(std::move(cell));
+      }
+    }
+    if (stats != nullptr) *stats = tally;
+    return out;
+  }
+
   // --- the grid: one TaskGroup, plans shared across models -------------------
   //
   // Per condition: plan blocks fan the (model-independent) retrieval
@@ -193,6 +358,7 @@ SweepResult EvalHarness::sweep(
     }
     if (todo->empty()) continue;
     tally.cells_computed += todo->size();
+    tally.records_evaluated += todo->size() * n;
 
     const auto spawn_cells = [this, &group, &slots, &plan, &records, &specs,
                               &models, ci, c_count, grain, n, todo]() {

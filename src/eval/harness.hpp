@@ -79,6 +79,18 @@ struct SweepResult {
   mutable std::size_t indexed_cells_ = 0;
 };
 
+/// One delta-eval record group: a slice of the swept record set whose
+/// members share a provenance unit (one source document, or a single
+/// exam item).  `content_fp` fingerprints the group's record bytes; the
+/// harness combines it with a fingerprint of the group's actual
+/// retrieval hits per condition, so a group's cached tally can only hit
+/// when neither its questions nor anything it retrieves changed —
+/// including documents *other* than its own that rank into its hits.
+struct RecordGroup {
+  std::uint64_t content_fp = 0;
+  std::vector<std::size_t> indexes;  ///< into the swept record vector
+};
+
 /// Content-addressed per-cell accuracy cache.  The harness only sees
 /// load/store; the concrete implementation (core::EvalCellCache) keys
 /// cells by the fnv1a chain over the benchmark/store checkpoint keys,
@@ -97,6 +109,29 @@ class CellCache {
 
   virtual void store(std::string_view model, rag::Condition condition,
                      const Accuracy& accuracy) const = 0;
+
+  /// Group-granular tallies (delta eval): default implementations make
+  /// the feature opt-in per cache.  `group_fp` is the harness-combined
+  /// (content, hits) fingerprint; `expected_total` the group size.
+  virtual bool supports_groups() const { return false; }
+  virtual std::optional<Accuracy> load_group(std::string_view model,
+                                             rag::Condition condition,
+                                             std::uint64_t group_fp,
+                                             std::size_t expected_total) const {
+    (void)model;
+    (void)condition;
+    (void)group_fp;
+    (void)expected_total;
+    return std::nullopt;
+  }
+  virtual void store_group(std::string_view model, rag::Condition condition,
+                           std::uint64_t group_fp,
+                           const Accuracy& accuracy) const {
+    (void)model;
+    (void)condition;
+    (void)group_fp;
+    (void)accuracy;
+  }
 };
 
 /// Work accounting for one sweep() call (cache effectiveness and the
@@ -110,6 +145,13 @@ struct SweepStats {
   std::size_t naive_retrieval_queries = 0;
   std::size_t cells_computed = 0;
   std::size_t cells_restored = 0;  ///< filled from the cell cache
+  /// Delta-eval accounting (zeros when the grouped path is off): per
+  /// uncached cell, how many record groups were restored from the
+  /// cache versus answered+graded, and the total (cell, record)
+  /// evaluations actually executed.
+  std::size_t groups_restored = 0;
+  std::size_t groups_computed = 0;
+  std::size_t records_evaluated = 0;
 };
 
 struct HarnessConfig {
@@ -123,6 +165,12 @@ struct HarnessConfig {
   parallel::ThreadPool* pool = nullptr;
   /// Optional content-addressed eval-cell cache (not owned).
   const CellCache* cell_cache = nullptr;
+  /// Optional delta-eval partition of the swept record set (not owned;
+  /// must cover every record index exactly once).  When set and the
+  /// cache supports_groups(), an uncached cell restores its unchanged
+  /// groups' tallies and answers only the dirty groups — the summed
+  /// counts are bitwise-identical to a full sweep at any thread count.
+  const std::vector<RecordGroup>* groups = nullptr;
 };
 
 class EvalHarness {

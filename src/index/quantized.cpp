@@ -227,8 +227,16 @@ void IvfPqIndex::build(parallel::ThreadPool& pool) {
   }
 
   // Encode rows in parallel (disjoint pre-sized slots).
+  encode_rows(pool, floats);
+  built_ = true;
+}
+
+void IvfPqIndex::encode_rows(parallel::ThreadPool& pool,
+                             const RowStorage& floats) {
+  const std::size_t n = rows_.size();
+  const std::size_t dsub = dim_ / m_;
   codes_.resize_rows(n);
-  std::uint8_t* cbase = codes_.mutable_raw();
+  std::uint8_t* cbase = n > 0 ? codes_.mutable_raw() : nullptr;
   parallel::parallel_for(pool, 0, n, [&](std::size_t i) {
     const float* row = floats.row(i);
     std::uint8_t* dst = cbase + i * m_;
@@ -247,6 +255,59 @@ void IvfPqIndex::build(parallel::ThreadPool& pool) {
       dst[j] = static_cast<std::uint8_t>(best_c);
     }
   });
+}
+
+void IvfPqIndex::build_frozen(const IvfPqIndex& donor,
+                              parallel::ThreadPool& pool) {
+  if (donor.dim_ != dim_ || !donor.built_ || donor.m_ == 0 ||
+      donor.ksub_ == 0 || donor.centroids_.size() == 0 ||
+      donor.codebooks_.size() == 0) {
+    build(pool);
+    return;
+  }
+  m_ = donor.m_;
+  ksub_ = donor.ksub_;
+  const std::size_t dsub = dim_ / m_;
+
+  // Copy the trained quantizers out of the donor (it may be a view over
+  // an mmap'd blob with a shorter lifetime than this index).
+  centroids_ = RowStorage(dim_);
+  centroids_.reserve(donor.centroids_.size());
+  for (std::size_t r = 0; r < donor.centroids_.size(); ++r) {
+    centroids_.add_row(donor.centroids_.row(r));
+  }
+  codebooks_ = RowStorage(dsub);
+  codebooks_.reserve(donor.codebooks_.size());
+  for (std::size_t r = 0; r < donor.codebooks_.size(); ++r) {
+    codebooks_.add_row(donor.codebooks_.row(r));
+  }
+
+  codes_ = CodeRows(m_);
+  lists_.clear();
+  const std::size_t n = rows_.size();
+  if (n == 0) {
+    built_ = true;
+    return;
+  }
+
+  RowStorage floats(dim_);
+  floats.resize_rows(n);
+  float* fbase = floats.mutable_raw();
+  parallel::parallel_for(pool, 0, n, [&](std::size_t i) {
+    widen_row(rows_.row(i), fbase + i * dim_, dim_);
+  });
+
+  std::vector<std::uint32_t> cell(n, 0);
+  parallel::parallel_for(pool, 0, n, [&](std::size_t i) {
+    cell[i] = static_cast<std::uint32_t>(
+        nearest_dot(centroids_, floats.row(i)));
+  });
+  lists_.assign(centroids_.size(), {});
+  for (std::size_t i = 0; i < n; ++i) {
+    lists_[cell[i]].push_back(static_cast<std::uint32_t>(i));
+  }
+
+  encode_rows(pool, floats);
   built_ = true;
 }
 

@@ -141,6 +141,18 @@ class IvfPqIndex final : public VectorIndex {
   void add_batch(const std::vector<embed::Vector>& vs) override;
   void build() override;
   void build(parallel::ThreadPool& pool) override;
+
+  /// Delta build: reuse `donor`'s trained coarse centroids and PQ
+  /// codebooks verbatim (no k-means) and only re-assign cells and
+  /// re-encode this index's own rows against them.  Search stays exact
+  /// regardless — the fp16 rerank never reads the quantizers' training
+  /// provenance — so results remain bit-identical to FlatIndex whenever
+  /// the candidate set covers the true top-k.  Falls back to a full
+  /// build() when the donor is unusable (dimension mismatch or
+  /// untrained).  The donor's quantizers are copied out, so the donor
+  /// may be destroyed afterwards (it may view an mmap'd blob).
+  void build_frozen(const IvfPqIndex& donor, parallel::ThreadPool& pool);
+
   std::vector<SearchResult> search(const embed::Vector& query,
                                    std::size_t k) const override;
 

@@ -86,6 +86,23 @@ void VectorStore::build() {
   built_ = true;
 }
 
+void VectorStore::build_delta(const VectorStore* donor,
+                              double changed_fraction,
+                              double retrain_threshold) {
+  if (kind_ == IndexKind::kIvfPq && donor != nullptr &&
+      donor->kind() == IndexKind::kIvfPq && donor->built_ &&
+      donor->size() > 0 && changed_fraction <= retrain_threshold) {
+    const auto* src = static_cast<const IvfPqIndex*>(donor->index());
+    auto* dst = static_cast<IvfPqIndex*>(index_.get());
+    if (src->dim() == dst->dim()) {
+      dst->build_frozen(*src, parallel::ThreadPool::global());
+      built_ = true;
+      return;
+    }
+  }
+  build();
+}
+
 namespace {
 
 void put_u64(std::string& out, std::uint64_t v) {

@@ -57,6 +57,20 @@ class VectorStore {
   /// Finalize the underlying index (required before query for IVF).
   void build();
 
+  /// Delta-aware finalization for incremental rebuilds.  For an IVF-PQ
+  /// store whose row set changed by at most `retrain_threshold`
+  /// (fraction of rows) relative to `donor` — an older built store of
+  /// the same kind and dimension — the quantizers are NOT retrained:
+  /// rows are re-assigned and re-encoded against the donor's frozen
+  /// coarse centroids and PQ codebooks (IvfPqIndex::build_frozen).
+  /// Query results stay exact either way (the fp16 rerank contract does
+  /// not care how codes were trained), but the saved bytes of a
+  /// frozen-codebook store may differ from a cold retrain's.  Every
+  /// other index kind — and any unusable donor — falls through to a
+  /// plain build(), whose output is byte-identical to the cold path.
+  void build_delta(const VectorStore* donor, double changed_fraction,
+                   double retrain_threshold);
+
   /// Serialize the built store: ids, payload texts and the index blob
   /// (index_io formats).  Deterministic bytes for a deterministic store.
   std::string save() const;

@@ -12,6 +12,10 @@
 //                                               student and report
 //                                               held-out perplexity +
 //                                               MCQA accuracy
+//   mcqa cache    [--dir PATH] [--scale S] [--prune 1] [--prune-eval 1]
+//                 [--json 1]                    checkpoint-cache inventory,
+//                                               coverage and mark-and-sweep
+//                                               pruning (DESIGN.md §17)
 //
 // SET: synthetic | astro | astro-nomath.  C: baseline | chunks |
 // rt-detail | rt-focused | rt-efficient | all.
@@ -26,6 +30,7 @@
 #include <optional>
 #include <string>
 
+#include "core/checkpoint.hpp"
 #include "core/pipeline.hpp"
 #include "core/provenance.hpp"
 #include "eval/judge.hpp"
@@ -81,7 +86,12 @@ int usage() {
       "                [--json PATH]\n"
       "  mcqa train    [--scale S] [--source traces|chunks] [--epochs N]\n"
       "                [--dim D] [--context W] [--minibatch B] "
-      "[--out PATH]\n");
+      "[--out PATH]\n"
+      "  mcqa cache    [--dir PATH] [--scale S] [--prune 1] "
+      "[--prune-eval 1] [--json 1]\n"
+      "                inventory + per-document coverage of a checkpoint\n"
+      "                directory (default $MCQA_CHECKPOINT_DIR); --prune\n"
+      "                sweeps blobs unreachable from the current manifest\n");
   return 2;
 }
 
@@ -447,6 +457,128 @@ int cmd_train(const Args& args) {
   return 0;
 }
 
+// Cache maintenance (DESIGN.md §17): inventory, per-document coverage
+// of the configuration at --scale, and deterministic mark-and-sweep
+// pruning.  Deriving the doc/manifest keys only needs the KB and the
+// corpus bytes — no parsing, embedding or generation runs here.
+int cmd_cache(const Args& args) {
+  const std::string dir = args.get("dir", core::default_checkpoint_dir());
+  if (dir.empty()) {
+    std::fprintf(stderr,
+                 "mcqa cache: no cache directory (pass --dir or set "
+                 "$MCQA_CHECKPOINT_DIR)\n");
+    return 2;
+  }
+  const double scale = args.get_double("scale", 0.01);
+  const bool do_prune = args.get_double("prune", 0) != 0;
+  const bool prune_eval = args.get_double("prune-eval", 0) != 0;
+  const bool as_json = args.get_double("json", 0) != 0;
+
+  core::PipelineConfig cfg = core::PipelineConfig::paper_scale(scale);
+  cfg.checkpoint_dir = dir;
+  const embed::HashedNGramEmbedder embedder = embed::make_biomed_encoder();
+  const corpus::KnowledgeBase kb = corpus::KnowledgeBase::generate(cfg.kb);
+  const corpus::SyntheticCorpus corpus = corpus::build_corpus(kb, cfg.corpus);
+  const std::vector<std::uint64_t> doc_keys =
+      core::derive_doc_keys(cfg, corpus, embedder.dim());
+  const std::uint64_t manifest_key =
+      core::derive_manifest_key(cfg, embedder.dim());
+
+  const core::ArtifactCache cache(dir);
+  std::size_t docs_present = 0;
+  for (const std::uint64_t key : doc_keys) {
+    if (std::filesystem::exists(cache.path_for("docart", key))) {
+      ++docs_present;
+    }
+  }
+
+  bool manifest_present = false;
+  bool manifest_ok = false;
+  core::ManifestArtifact manifest;
+  if (const auto blob = cache.load("manifest", manifest_key)) {
+    manifest_present = true;
+    try {
+      manifest = core::deserialize_manifest(*blob);
+      manifest_ok = true;
+    } catch (const std::exception&) {
+      cache.note_corrupt();
+    }
+  }
+  const core::ArtifactCache::Stats cs = cache.stats();
+
+  core::PruneReport prune;
+  if (do_prune) {
+    if (!manifest_ok) {
+      std::fprintf(stderr,
+                   "mcqa cache: cannot prune — no decodable manifest for "
+                   "this configuration (scale %.3f); run a checkpointed "
+                   "build first\n",
+                   scale);
+      return 2;
+    }
+    prune = core::prune_cache(dir, manifest, manifest_key, prune_eval);
+  }
+
+  // Inventory after any prune, so the numbers describe what remains.
+  const core::CacheInventory inv = core::inventory_cache(dir);
+
+  if (as_json) {
+    std::printf("{\n  \"dir\": \"%s\",\n  \"scale\": %.6f,\n", dir.c_str(),
+                scale);
+    std::printf("  \"inventory\": [");
+    for (std::size_t i = 0; i < inv.rows.size(); ++i) {
+      const core::CacheInventoryRow& row = inv.rows[i];
+      std::printf("%s\n    {\"prefix\": \"%s\", \"files\": %zu, "
+                  "\"bytes\": %llu}",
+                  i == 0 ? "" : ",", row.prefix.c_str(), row.files,
+                  static_cast<unsigned long long>(row.bytes));
+    }
+    std::printf("\n  ],\n");
+    std::printf("  \"total_files\": %zu,\n  \"total_bytes\": %llu,\n",
+                inv.total_files,
+                static_cast<unsigned long long>(inv.total_bytes));
+    std::printf("  \"docs_total\": %zu,\n  \"docs_present\": %zu,\n",
+                doc_keys.size(), docs_present);
+    std::printf("  \"manifest_present\": %s,\n  \"manifest_ok\": %s,\n",
+                manifest_present ? "true" : "false",
+                manifest_ok ? "true" : "false");
+    std::printf("  \"corrupt_blobs\": %zu,\n", cs.corrupt_blobs);
+    std::printf("  \"pruned\": %s", do_prune ? "true" : "false");
+    if (do_prune) {
+      std::printf(",\n  \"prune\": {\"scanned\": %zu, \"kept\": %zu, "
+                  "\"removed\": %zu, \"removed_bytes\": %llu}",
+                  prune.scanned, prune.kept, prune.removed,
+                  static_cast<unsigned long long>(prune.removed_bytes));
+    }
+    std::printf("\n}\n");
+    return 0;
+  }
+
+  eval::TableWriter table({"Blob", "Files", "Bytes"});
+  for (const core::CacheInventoryRow& row : inv.rows) {
+    table.add_row({row.prefix, std::to_string(row.files),
+                   std::to_string(row.bytes)});
+  }
+  table.add_row({"(total)", std::to_string(inv.total_files),
+                 std::to_string(inv.total_bytes)});
+  std::printf("cache %s\n\n%s\n", dir.c_str(), table.render().c_str());
+  std::printf("configuration @ scale %.3f: %zu/%zu per-document artifacts "
+              "present, manifest %s\n",
+              scale, docs_present, doc_keys.size(),
+              !manifest_present ? "absent"
+                                : (manifest_ok ? "ok" : "CORRUPT"));
+  if (cs.corrupt_blobs > 0) {
+    std::printf("corrupt blobs encountered: %zu\n", cs.corrupt_blobs);
+  }
+  if (do_prune) {
+    std::printf("prune: scanned %zu, kept %zu, removed %zu (%llu bytes)%s\n",
+                prune.scanned, prune.kept, prune.removed,
+                static_cast<unsigned long long>(prune.removed_bytes),
+                prune_eval ? " [eval cells included]" : "");
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -458,5 +590,6 @@ int main(int argc, char** argv) {
   if (args.command == "provenance") return cmd_provenance(args);
   if (args.command == "serve") return cmd_serve(args);
   if (args.command == "train") return cmd_train(args);
+  if (args.command == "cache") return cmd_cache(args);
   return usage();
 }
