@@ -12,6 +12,8 @@
 #include "core/pipeline.hpp"
 #include "eval/paper_reference.hpp"
 #include "eval/report.hpp"
+#include "index/kernels.hpp"
+#include "json/json.hpp"
 #include "parallel/thread_pool.hpp"
 
 namespace mcqa::bench {
@@ -71,6 +73,17 @@ inline void print_scale_banner(const core::PipelineContext& ctx) {
       "questions]\n\n",
       ctx.config().corpus.scale, s.documents, s.chunks,
       ctx.benchmark().size(), ctx.exam_all().size());
+}
+
+/// Stamp the kernel-dispatch provenance every BENCH_*.json carries:
+/// which scan-kernel ISA the runtime dispatcher selected (scalar or
+/// avx2 — a pure function of the CPU and MCQA_KERNEL_ISA, DESIGN.md
+/// §18) and the multi-query tile width the scan layer ran with.
+/// Numbers from different hosts are only comparable when these match.
+inline void add_kernel_metadata(json::Value& report) {
+  report["kernel_isa"] =
+      index::kernels::isa_name(index::kernels::dispatched_isa());
+  report["kernel_tile_q"] = index::kernels::kTileQ;
 }
 
 /// One pool for every sweep a bench binary runs (sweeps never nest).

@@ -346,6 +346,7 @@ int run_checks_and_report(bool smoke) {
 
   json::Value report = json::Value::object();
   report["bench"] = "embed_ablation";
+  bench::add_kernel_metadata(report);
   report["chunks"] = data().texts.size();
   report["bytes"] = data().bytes;
   report["dim"] = embedder().dim();

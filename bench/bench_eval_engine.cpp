@@ -230,6 +230,7 @@ int main(int argc, char** argv) {
 
   json::Value report = json::Value::object();
   report["bench"] = "eval_engine";
+  bench::add_kernel_metadata(report);
   report["smoke"] = bench::smoke();
   report["records"] = records.size();
   report["models"] = ctx.students().size();

@@ -293,6 +293,7 @@ int main(int argc, char** argv) {
 
     json::Value report = json::Value::object();
     report["bench"] = "incremental";
+    bench::add_kernel_metadata(report);
     report["scale"] = scale;
     report["documents"] = n;
     report["edited_docs"] = k_edits;

@@ -33,21 +33,26 @@
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
+#include <bit>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <limits>
 #include <memory>
 #include <string>
 
 #include "bench_common.hpp"
 #include "corpus/vector_corpus.hpp"
 #include "embed/embedder.hpp"
+#include "index/kernels.hpp"
 #include "index/quantized.hpp"
 #include "index/vector_index.hpp"
 #include "index/vector_store.hpp"
 #include "json/json.hpp"
 #include "parallel/thread_pool.hpp"
+#include "util/hash.hpp"
 #include "util/rng.hpp"
 #include "util/stopwatch.hpp"
 
@@ -323,6 +328,144 @@ bool batch_matches_sequential(const index::VectorIndex& idx,
 bool check(bool ok, const char* what) {
   std::printf("shape check [%s]: %s\n", what, ok ? "PASS" : "FAIL");
   return ok;
+}
+
+// --- query-batch-width sweep (DESIGN.md §18) ---------------------------------
+
+/// Order-sensitive digest over (row, score-bits): equal digests mean
+/// bit-identical result sets in identical rank order.
+std::uint64_t digest_results(
+    const std::vector<std::vector<index::SearchResult>>& results) {
+  std::uint64_t h = 1469598103934665603ULL;  // FNV-1a offset basis
+  const auto mix = [&h](std::uint64_t v) {
+    for (int b = 0; b < 64; b += 8) {
+      h ^= (v >> b) & 0xffu;
+      h *= 1099511628211ULL;
+    }
+  };
+  for (const auto& per_query : results) {
+    mix(per_query.size());
+    for (const auto& r : per_query) {
+      mix(r.row);
+      mix(std::bit_cast<std::uint32_t>(r.score));
+    }
+  }
+  return h;
+}
+
+/// One tiled pass over `queries` in groups of `width` (single thread,
+/// so the speedup measured is the tile kernels', not the pool's).
+std::vector<std::vector<index::SearchResult>> tiled_pass(
+    const index::VectorIndex& idx, const std::vector<embed::Vector>& queries,
+    std::size_t width, std::size_t k) {
+  std::vector<std::vector<index::SearchResult>> out;
+  out.reserve(queries.size());
+  for (std::size_t b = 0; b < queries.size(); b += width) {
+    const std::size_t e = std::min(b + width, queries.size());
+    const std::vector<embed::Vector> group(
+        queries.begin() + static_cast<std::ptrdiff_t>(b),
+        queries.begin() + static_cast<std::ptrdiff_t>(e));
+    auto part = idx.search_tiled(group, k);
+    for (auto& r : part) out.push_back(std::move(r));
+  }
+  return out;
+}
+
+struct WidthSweepOutcome {
+  json::Value report = json::Value::object();
+  bool checks_pass = true;
+  double best_speedup = 0.0;  ///< max over widths >= kTileQ
+};
+
+/// Q=1/4/8/16 batch-width sweep: per-width tiled QPS against the
+/// per-query scan, digest equality at every width, and — when both
+/// kernel tables are compiled — a scalar-vs-AVX2 digest comparison via
+/// the in-process dispatch override.  Shape checks: digests identical
+/// everywhere; tiled QPS >= single-query QPS for every width >= 4
+/// (width 1 runs the same work through the tile path, so it is only
+/// reported, not gated).
+WidthSweepOutcome run_width_sweep(const index::VectorIndex& idx,
+                                  const std::vector<embed::Vector>& queries,
+                                  std::size_t repeats) {
+  constexpr std::size_t kWidths[] = {1, 4, 8, 16};
+  constexpr std::size_t kK = 10;
+  WidthSweepOutcome out;
+
+  // Per-query reference: best-of-`repeats` wall time.
+  std::vector<std::vector<index::SearchResult>> want;
+  double single_s = std::numeric_limits<double>::infinity();
+  for (std::size_t r = 0; r < repeats; ++r) {
+    util::Stopwatch sw;
+    want.clear();
+    for (const auto& q : queries) want.push_back(idx.search(q, kK));
+    single_s = std::min(single_s, sw.seconds());
+  }
+  const double qps_single = static_cast<double>(queries.size()) / single_s;
+  const std::uint64_t want_digest = digest_results(want);
+
+  out.report["rows"] = idx.size();
+  out.report["dim"] = idx.dim();
+  out.report["queries"] = queries.size();
+  out.report["k"] = kK;
+  out.report["qps_single"] = qps_single;
+  out.report["digest"] = util::hex_digest(want_digest, 16);
+
+  json::Array widths;
+  for (const std::size_t w : kWidths) {
+    std::vector<std::vector<index::SearchResult>> got;
+    double tiled_s = std::numeric_limits<double>::infinity();
+    for (std::size_t r = 0; r < repeats; ++r) {
+      util::Stopwatch sw;
+      got = tiled_pass(idx, queries, w, kK);
+      tiled_s = std::min(tiled_s, sw.seconds());
+    }
+    const double qps = static_cast<double>(queries.size()) / tiled_s;
+    const bool digest_ok = digest_results(got) == want_digest;
+    out.checks_pass &= digest_ok;
+    if (w >= 4) out.checks_pass &= qps >= qps_single;
+    if (w >= index::kernels::kTileQ) {
+      out.best_speedup = std::max(out.best_speedup, qps / qps_single);
+    }
+    char label[96];
+    std::snprintf(label, sizeof(label),
+                  "width %zu: digest == per-query%s", w,
+                  w >= 4 ? " && tiled qps >= single qps" : "");
+    check(digest_ok && (w < 4 || qps >= qps_single), label);
+    std::printf("  width %2zu: %10.0f qps (%.2fx single)\n", w, qps,
+                qps / qps_single);
+
+    json::Value entry = json::Value::object();
+    entry["width"] = w;
+    entry["qps_tiled"] = qps;
+    entry["speedup_vs_single"] = qps / qps_single;
+    entry["digest_matches_single"] = digest_ok;
+    widths.push_back(std::move(entry));
+  }
+  out.report["widths"] = json::Value(std::move(widths));
+
+  // Cross-ISA digest: rerun one tiled pass per compiled table through
+  // the in-process dispatch override; every table must produce the
+  // per-query digest bit-for-bit.
+  const index::kernels::KernelIsa before = index::kernels::dispatched_isa();
+  json::Array isa_entries;
+  bool isa_ok = true;
+  for (const index::kernels::KernelIsa isa :
+       {index::kernels::KernelIsa::kScalar,
+        index::kernels::KernelIsa::kAvx2}) {
+    if (!index::kernels::set_dispatch_for_testing(isa)) continue;
+    const std::uint64_t d =
+        digest_results(tiled_pass(idx, queries, index::kernels::kTileQ, kK));
+    isa_ok &= d == want_digest;
+    json::Value entry = json::Value::object();
+    entry["isa"] = index::kernels::isa_name(isa);
+    entry["digest"] = util::hex_digest(d, 16);
+    isa_entries.push_back(std::move(entry));
+  }
+  index::kernels::set_dispatch_for_testing(before);
+  out.checks_pass &= isa_ok;
+  out.report["isa_digests"] = json::Value(std::move(isa_entries));
+  check(isa_ok, "tiled digests identical across compiled kernel ISAs");
+  return out;
 }
 
 // --- synthetic million-row sweep ---------------------------------------------
@@ -605,6 +748,29 @@ int run_smoke() {
   sc.queries = 16;
   sc.check_rerank_identity = true;
   pass &= run_sweep(sc, /*timing=*/false).checks_pass;
+
+  // Query-batch-width sweep on a shrunk synthetic flat case: digests
+  // identical at Q=1/4/8/16, tiled QPS >= single-query QPS from Q=4 up,
+  // and scalar/AVX2 digest equality.  8192 x 256 keeps the kernel (not
+  // fixture noise) dominant while staying smoke-fast.
+  {
+    std::printf("\nquery-batch-width sweep (8192 rows x dim 256):\n");
+    index::FlatIndex flat(256);
+    util::Rng rng(7);
+    embed::Vector v(256);
+    for (std::size_t i = 0; i < 8192; ++i) {
+      for (auto& x : v) x = static_cast<float>(rng.normal());
+      embed::normalize(v);
+      flat.add(v);
+    }
+    std::vector<embed::Vector> wq;
+    for (std::size_t i = 0; i < 16; ++i) {
+      for (auto& x : v) x = static_cast<float>(rng.normal());
+      embed::normalize(v);
+      wq.push_back(v);
+    }
+    pass &= run_width_sweep(flat, wq, /*repeats=*/3).checks_pass;
+  }
   return pass ? 0 : 1;
 }
 
@@ -614,6 +780,7 @@ void write_bench_json() {
 
   json::Value report = json::Value::object();
   report["bench"] = "index_ablation";
+  bench::add_kernel_metadata(report);
   report["n"] = data().base.size();
   report["dim"] = dim;
   report["k"] = 10;
@@ -669,6 +836,21 @@ void write_bench_json() {
     entry["qps_single"] = static_cast<double>(singles) / sw.seconds();
     entry["qps_batch"] = timed_batch_qps(*c.idx, c.queries, pool, 10, 1);
     report["flat_50k_dim256"] = std::move(entry);
+  }
+
+  // Query-batch-width sweep on the tracking case (Q=1/4/8/16): the
+  // tiled scan layer's acceptance bar is >= 2x the per-query QPS at
+  // Q >= kTileQ, digests bit-identical throughout.
+  {
+    std::printf("\nquery-batch-width sweep (tracking case):\n");
+    const auto& c = flat_case();
+    WidthSweepOutcome ws = run_width_sweep(*c.idx, c.queries, /*repeats=*/3);
+    ws.report["speedup_at_tile_width"] = ws.best_speedup;
+    ws.report["meets_2x_bar"] = ws.best_speedup >= 2.0;
+    check(ws.best_speedup >= 2.0,
+          "tracking case: tiled qps >= 2x single-query at Q >= 8");
+    all_deterministic = all_deterministic && ws.checks_pass;
+    report["batch_width_sweep"] = std::move(ws.report);
   }
 
   // The synthetic clustered sweep (the tier-separating experiment).

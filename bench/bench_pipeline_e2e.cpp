@@ -282,6 +282,7 @@ int main(int argc, char** argv) {
 
   json::Value report = json::Value::object();
   report["bench"] = "pipeline_e2e";
+  bench::add_kernel_metadata(report);
   report["scale"] = scale;
   report["documents"] = warm->stats().documents;
   report["chunks"] = warm->stats().chunks;

@@ -336,9 +336,20 @@ json::Array check_live_epoch_identity(
       pool.reserve(threads);
       for (std::size_t w = 0; w < threads; ++w) {
         pool.emplace_back([&, w] {
+          std::vector<std::string> texts;
           for (std::size_t i = w; i < queries; i += threads) {
+            texts.push_back(records[i].stem);
             if (!same_hits(snap->query(records[i].stem, 10),
                            oracle.query(records[i].stem, 10))) {
+              all_ok.store(false);
+            }
+          }
+          // The tiled batch path must agree with the same oracle while
+          // readers race each other through search_tiled over the
+          // shared snapshot segments.
+          const auto batched = snap->query_batch(texts, 10);
+          for (std::size_t i = w, j = 0; i < queries; i += threads, ++j) {
+            if (!same_hits(batched[j], oracle.query(records[i].stem, 10))) {
               all_ok.store(false);
             }
           }
@@ -360,7 +371,9 @@ json::Array check_live_epoch_identity(
     last_publish_ms = now_ms;
   }
   ok = ok && live.compactions() > 0;  // the threshold actually crossed
-  check("live epochs == from-scratch rebuild @ readers {1,2,8}", ok);
+  check("live epochs == from-scratch rebuild @ readers {1,2,8} "
+        "(per-query + tiled batch)",
+        ok);
   return staleness_rows;
 }
 
@@ -472,6 +485,7 @@ int main(int argc, char** argv) {
 
   json::Value report = json::Value::object();
   report["bench"] = "serve";
+  bench::add_kernel_metadata(report);
   report["records"] = records.size();
   report["chunk_rows"] = ctx.chunk_store().size();
 

@@ -141,6 +141,7 @@ int main(int argc, char** argv) {
       synth_traces > synth_papers ? "denser" : "sparser");
 
   json::Value report = json::Value::object();
+  bench::add_kernel_metadata(report);
   report["smoke"] = json::Value(bench::smoke());
   report["ngram_budget_bytes"] =
       json::Value(static_cast<std::int64_t>(budget));

@@ -255,6 +255,7 @@ int main(int argc, char** argv) {
   }
 
   json::Value report = json::Value::object();
+  bench::add_kernel_metadata(report);
   report["smoke"] = json::Value(bench::smoke());
   report["budget_bytes"] = json::Value(static_cast<std::int64_t>(trace_text.size()));
   report["rows"] = json::Value(std::move(report_rows));

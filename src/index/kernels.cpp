@@ -1,27 +1,30 @@
-// Blocked kernels.  This translation unit is compiled with
-// -ffp-contract=off unconditionally (see src/index/CMakeLists.txt): the
-// 8-lane blocked loops below are written so that auto-vectorization
-// only changes instruction selection, never the summation order or
-// rounding, keeping scores bit-identical across build configurations.
+// Kernel dispatch layer.  The loop bodies live in kernels_impl.inc and
+// are compiled twice — kernels_scalar.cpp (baseline flags) and
+// kernels_avx2.cpp (-mavx2) — both with -ffp-contract=off, so the two
+// tables are bit-identical and dispatch is purely a throughput choice.
+// This TU resolves which table the public free functions forward to:
+// MCQA_KERNEL_ISA=scalar|avx2 if set (unusable or unknown values fail
+// soft to auto), otherwise the best table cpuid supports.
 
 #include "index/kernels.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <cstdlib>
 #include <limits>
 
+#include "index/kernels_detail.hpp"
 #include "index/vector_index.hpp"
 
 namespace mcqa::index {
 
 namespace kernels {
 
-namespace {
-
-/// Dequantization table: fp16 bit pattern -> float, identical to
-/// util::fp16_to_float for every one of the 65536 inputs (asserted by
-/// the kernel-equivalence tests).  One 256 KB table turns the branchy
-/// software conversion into a single load on the FlatIndex scan path.
-const float* fp16_table() {
+const float* detail::fp16_table() {
+  // One 256 KB table shared by both ISA tables: fp16 bit pattern ->
+  // float, identical to util::fp16_to_float for every one of the 65536
+  // inputs (asserted by the kernel-equivalence tests).  Turns the
+  // branchy software conversion into a single load on the scan paths.
   static const std::vector<float> table = [] {
     std::vector<float> t(1u << 16);
     for (std::uint32_t i = 0; i < (1u << 16); ++i) {
@@ -32,82 +35,116 @@ const float* fp16_table() {
   return table.data();
 }
 
-inline float combine(const float* acc) {
-  return ((acc[0] + acc[1]) + (acc[2] + acc[3])) +
-         ((acc[4] + acc[5]) + (acc[6] + acc[7]));
+bool cpu_supports_avx2() {
+#if defined(__x86_64__) || defined(__i386__)
+  return __builtin_cpu_supports("avx2");
+#else
+  return false;
+#endif
 }
+
+const KernelOps* ops_for(KernelIsa isa) {
+  switch (isa) {
+    case KernelIsa::kScalar:
+      return &detail::scalar_ops();
+    case KernelIsa::kAvx2: {
+      const KernelOps* table = detail::avx2_ops();
+      return (table != nullptr && cpu_supports_avx2()) ? table : nullptr;
+    }
+  }
+  return nullptr;
+}
+
+KernelIsa resolve_isa(const char* override_name, bool avx2_usable) {
+  if (override_name != nullptr) {
+    const std::string_view v(override_name);
+    if (v == "scalar") return KernelIsa::kScalar;
+    if (v == "avx2") {
+      return avx2_usable ? KernelIsa::kAvx2 : KernelIsa::kScalar;
+    }
+    // Unknown names fall through to auto detection (fail soft: results
+    // are bit-identical either way, only throughput differs).
+  }
+  return avx2_usable ? KernelIsa::kAvx2 : KernelIsa::kScalar;
+}
+
+namespace {
+
+/// The active table.  Starts unresolved; the first kernel call runs
+/// the env + cpuid resolution.  A racing first call resolves to the
+/// same pointer, so the store is idempotent.
+std::atomic<const KernelOps*> g_active{nullptr};
 
 }  // namespace
 
+const KernelOps& detail::active_ops() {
+  const KernelOps* table = g_active.load(std::memory_order_acquire);
+  if (table != nullptr) return *table;
+  const KernelIsa isa = resolve_isa(std::getenv("MCQA_KERNEL_ISA"),
+                                    ops_for(KernelIsa::kAvx2) != nullptr);
+  table = ops_for(isa);
+  g_active.store(table, std::memory_order_release);
+  return *table;
+}
+
+KernelIsa dispatched_isa() {
+  return &detail::active_ops() == detail::avx2_ops() ? KernelIsa::kAvx2
+                                                     : KernelIsa::kScalar;
+}
+
+std::string_view isa_name(KernelIsa isa) {
+  return isa == KernelIsa::kAvx2 ? "avx2" : "scalar";
+}
+
+bool set_dispatch_for_testing(KernelIsa isa) {
+  const KernelOps* table = ops_for(isa);
+  if (table == nullptr) return false;
+  g_active.store(table, std::memory_order_release);
+  return true;
+}
+
+// --- public entry points (forward through the active table) -----------------
+
 float dot(const float* a, const float* b, std::size_t n) {
-  float acc[kLanes] = {};
-  const std::size_t main = n - n % kLanes;
-  std::size_t i = 0;
-  for (; i < main; i += kLanes) {
-    for (std::size_t l = 0; l < kLanes; ++l) {
-      acc[l] += a[i + l] * b[i + l];
-    }
-  }
-  for (; i < n; ++i) acc[i - main] += a[i] * b[i];
-  return combine(acc);
+  return detail::active_ops().dot(a, b, n);
 }
 
 float l2_sq(const float* a, const float* b, std::size_t n) {
-  float acc[kLanes] = {};
-  const std::size_t main = n - n % kLanes;
-  std::size_t i = 0;
-  for (; i < main; i += kLanes) {
-    for (std::size_t l = 0; l < kLanes; ++l) {
-      const float d = a[i + l] - b[i + l];
-      acc[l] += d * d;
-    }
-  }
-  for (; i < n; ++i) {
-    const float d = a[i] - b[i];
-    acc[i - main] += d * d;
-  }
-  return combine(acc);
+  return detail::active_ops().l2_sq(a, b, n);
 }
 
 float dot_fp16(const util::fp16_t* a, const float* b, std::size_t n) {
-  const float* table = fp16_table();
-  float acc[kLanes] = {};
-  const std::size_t main = n - n % kLanes;
-  std::size_t i = 0;
-  for (; i < main; i += kLanes) {
-    for (std::size_t l = 0; l < kLanes; ++l) {
-      acc[l] += table[a[i + l]] * b[i + l];
-    }
-  }
-  for (; i < n; ++i) acc[i - main] += table[a[i]] * b[i];
-  return combine(acc);
+  return detail::active_ops().dot_fp16(a, b, n);
 }
 
 float dot_u8(const std::uint8_t* codes, const float* w, std::size_t n) {
-  float acc[kLanes] = {};
-  const std::size_t main = n - n % kLanes;
-  std::size_t i = 0;
-  for (; i < main; i += kLanes) {
-    for (std::size_t l = 0; l < kLanes; ++l) {
-      acc[l] += static_cast<float>(codes[i + l]) * w[i + l];
-    }
-  }
-  for (; i < n; ++i) acc[i - main] += static_cast<float>(codes[i]) * w[i];
-  return combine(acc);
+  return detail::active_ops().dot_u8(codes, w, n);
 }
 
 float pq_lookup(const std::uint8_t* codes, const float* tables,
                 std::size_t m, std::size_t ksub) {
-  float acc[kLanes] = {};
-  const std::size_t main = m - m % kLanes;
-  std::size_t j = 0;
-  for (; j < main; j += kLanes) {
-    for (std::size_t l = 0; l < kLanes; ++l) {
-      acc[l] += tables[(j + l) * ksub + codes[j + l]];
-    }
-  }
-  for (; j < m; ++j) acc[j - main] += tables[j * ksub + codes[j]];
-  return combine(acc);
+  return detail::active_ops().pq_lookup(codes, tables, m, ksub);
+}
+
+void dot_tile(const float* row, const float* const* qs, std::size_t qn,
+              std::size_t n, float* out) {
+  detail::active_ops().dot_tile(row, qs, qn, n, out);
+}
+
+void dot_fp16_tile(const util::fp16_t* row, const float* const* qs,
+                   std::size_t qn, std::size_t n, float* out) {
+  detail::active_ops().dot_fp16_tile(row, qs, qn, n, out);
+}
+
+void dot_u8_tile(const std::uint8_t* codes, const float* const* ws,
+                 std::size_t qn, std::size_t n, float* out) {
+  detail::active_ops().dot_u8_tile(codes, ws, qn, n, out);
+}
+
+void pq_lookup_tile(const std::uint8_t* codes, const float* const* tables,
+                    std::size_t qn, std::size_t m, std::size_t ksub,
+                    float* out) {
+  detail::active_ops().pq_lookup_tile(codes, tables, qn, m, ksub, out);
 }
 
 }  // namespace kernels

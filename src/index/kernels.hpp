@@ -10,13 +10,32 @@
 //   ((l0+l1) + (l2+l3)) + ((l4+l5) + (l6+l7))
 //
 // That blocked order is the ONLY summation order on every build
-// configuration.  kernels.cpp is always compiled with -ffp-contract=off
-// so enabling vector ISA flags (-DMCQA_KERNEL_SIMD=ON) merely lets the
-// compiler map the 8 independent lanes onto SIMD registers; it cannot
-// fuse multiply-adds or reassociate, so scores stay bit-identical
-// across -march flags, thread counts and runs.
+// configuration.  The kernel translation units are always compiled
+// with -ffp-contract=off, so vector ISA flags merely let the compiler
+// map the 8 independent lanes onto SIMD registers; they cannot fuse
+// multiply-adds or reassociate, and scores stay bit-identical across
+// ISAs, thread counts and runs.
+//
+// Two layers sit on that contract:
+//
+//  * Tiled multi-query variants (`*_tile`): score one row against a
+//    block of up to kTileQ queries in a single pass, loading /
+//    fp16-widening / SQ8-decoding / ADC-indexing the row ONCE per tile
+//    instead of once per query.  Each query's accumulator sees exactly
+//    the per-element operation sequence of the single-query kernel, so
+//    tiling can change throughput but never a score bit (property-
+//    tested in tiled_scan_test).
+//
+//  * Runtime ISA dispatch: the same loop bodies are compiled twice —
+//    a baseline scalar TU and an AVX2 TU (-mavx2) — and a function-
+//    pointer table (KernelOps) picks one at startup via cpuid.
+//    MCQA_KERNEL_ISA=scalar|avx2 overrides the choice for testing;
+//    unavailable requests fail soft to scalar.  Because both TUs share
+//    one -ffp-contract=off source, every entry point is bit-identical
+//    across the two tables.
 
 #include <cstddef>
+#include <string_view>
 #include <vector>
 
 #include "util/fp16.hpp"
@@ -30,6 +49,10 @@ namespace kernels {
 /// Lane count of the blocked accumulation (fixed by the determinism
 /// contract; chosen to fill one AVX2 register of floats).
 inline constexpr std::size_t kLanes = 8;
+
+/// Maximum query-tile width of the `*_tile` kernels.  Callers pass
+/// qn <= kTileQ per call; ragged final tiles (qn < kTileQ) are fine.
+inline constexpr std::size_t kTileQ = 8;
 
 /// Blocked inner product over two float rows.
 float dot(const float* a, const float* b, std::size_t n);
@@ -55,6 +78,81 @@ float dot_u8(const std::uint8_t* codes, const float* w, std::size_t n);
 float pq_lookup(const std::uint8_t* codes, const float* tables,
                 std::size_t m, std::size_t ksub);
 
+// --- tiled multi-query variants ---------------------------------------------
+//
+// Each scores ONE row against qn (<= kTileQ) queries in a single pass,
+// writing out[q] for q in [0, qn).  Guarantee: out[q] is bit-identical
+// to the corresponding single-query kernel on (row, query q) — the
+// per-query accumulator lanes see the same elements in the same order;
+// only the row-side loads/decodes are shared across the tile.
+
+/// out[q] = dot(row, qs[q], n).
+void dot_tile(const float* row, const float* const* qs, std::size_t qn,
+              std::size_t n, float* out);
+
+/// out[q] = dot_fp16(row, qs[q], n) — the row is table-widened once.
+void dot_fp16_tile(const util::fp16_t* row, const float* const* qs,
+                   std::size_t qn, std::size_t n, float* out);
+
+/// out[q] = dot_u8(codes, ws[q], n) — the codes are widened once.
+void dot_u8_tile(const std::uint8_t* codes, const float* const* ws,
+                 std::size_t qn, std::size_t n, float* out);
+
+/// out[q] = pq_lookup(codes, tables[q], m, ksub) — code bytes and table
+/// offsets are computed once per tile.
+void pq_lookup_tile(const std::uint8_t* codes, const float* const* tables,
+                    std::size_t qn, std::size_t m, std::size_t ksub,
+                    float* out);
+
+// --- runtime ISA dispatch ---------------------------------------------------
+
+enum class KernelIsa { kScalar, kAvx2 };
+
+/// One resolved kernel table: the free functions above forward through
+/// the active one.  Exposed so tests/benches can drive a specific ISA
+/// directly (ops_for) and compare tables bit-for-bit.
+struct KernelOps {
+  float (*dot)(const float*, const float*, std::size_t);
+  float (*l2_sq)(const float*, const float*, std::size_t);
+  float (*dot_fp16)(const util::fp16_t*, const float*, std::size_t);
+  float (*dot_u8)(const std::uint8_t*, const float*, std::size_t);
+  float (*pq_lookup)(const std::uint8_t*, const float*, std::size_t,
+                     std::size_t);
+  void (*dot_tile)(const float*, const float* const*, std::size_t,
+                   std::size_t, float*);
+  void (*dot_fp16_tile)(const util::fp16_t*, const float* const*,
+                        std::size_t, std::size_t, float*);
+  void (*dot_u8_tile)(const std::uint8_t*, const float* const*, std::size_t,
+                      std::size_t, float*);
+  void (*pq_lookup_tile)(const std::uint8_t*, const float* const*,
+                         std::size_t, std::size_t, std::size_t, float*);
+};
+
+/// Table for `isa`, or nullptr when it is unusable here (compiler had
+/// no -mavx2, or the CPU lacks the feature).  kScalar never fails.
+const KernelOps* ops_for(KernelIsa isa);
+
+/// The ISA the free functions currently forward to.  Resolved once on
+/// first kernel call: MCQA_KERNEL_ISA=scalar|avx2 if set (unusable or
+/// unknown values fail soft), else the best cpuid-supported table.
+KernelIsa dispatched_isa();
+
+/// "scalar" / "avx2".
+std::string_view isa_name(KernelIsa isa);
+
+/// Pure resolution rule (unit-testable): what dispatched_isa() would
+/// pick given an MCQA_KERNEL_ISA value (nullptr = unset) and whether
+/// the AVX2 table is usable.
+KernelIsa resolve_isa(const char* override_name, bool avx2_usable);
+
+/// True when this CPU reports AVX2 support.
+bool cpu_supports_avx2();
+
+/// Swap the active table (tests/benches comparing ISAs in-process).
+/// Returns false — leaving dispatch unchanged — when `isa` is
+/// unusable.  Not safe to call concurrently with running kernels.
+bool set_dispatch_for_testing(KernelIsa isa);
+
 }  // namespace kernels
 
 /// Bounded-heap top-k selector: keeps the best k results by
@@ -62,6 +160,12 @@ float pq_lookup(const std::uint8_t* codes, const float* tables,
 /// the full candidate set.  Replaces sort-everything-then-trim on the
 /// search hot paths; `take_sorted()` yields exactly the order the old
 /// full sort produced.
+///
+/// The kept set — and therefore take_sorted() — is a pure function of
+/// the (row, score) multiset pushed: the comparator is a total order,
+/// so push order cannot change the outcome.  The tiled scan paths rely
+/// on this to regroup row visits across a query tile without
+/// perturbing any query's results (tested in tiled_scan_test).
 class TopK {
  public:
   explicit TopK(std::size_t k) : k_(k) {}

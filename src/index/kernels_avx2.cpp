@@ -1,0 +1,25 @@
+// AVX2 kernel table: the same -ffp-contract=off loop bodies as the
+// scalar TU, compiled with -mavx2 so the 8 independent lanes map onto
+// 256-bit registers.  Selected at runtime only when cpuid reports AVX2
+// (kernels.cpp).  When the compiler cannot target AVX2 the body
+// compiles away and avx2_ops() reports the table unavailable.
+
+#include "index/kernels_detail.hpp"
+
+#if defined(__AVX2__)
+#define MCQA_KERNEL_IMPL_NAMESPACE avx2_impl
+#include "index/kernels_impl.inc"
+#undef MCQA_KERNEL_IMPL_NAMESPACE
+#endif
+
+namespace mcqa::index::kernels::detail {
+
+const KernelOps* avx2_ops() {
+#if defined(__AVX2__)
+  return &avx2_impl::ops();
+#else
+  return nullptr;
+#endif
+}
+
+}  // namespace mcqa::index::kernels::detail

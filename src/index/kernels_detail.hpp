@@ -1,0 +1,27 @@
+#pragma once
+// Internal seams between the kernel dispatch layer (kernels.cpp) and
+// the per-ISA translation units (kernels_scalar.cpp, kernels_avx2.cpp).
+// Not part of the public API.
+
+#include "index/kernels.hpp"
+#include "index/vector_index.hpp"  // complete SearchResult for TopK's inline bodies
+
+namespace mcqa::index::kernels::detail {
+
+/// Dequantization table: fp16 bit pattern -> float, identical to
+/// util::fp16_to_float for every one of the 65536 inputs.  Defined in
+/// kernels.cpp so both ISA tables share one 256 KB table.
+const float* fp16_table();
+
+/// The baseline table (always available).
+const KernelOps& scalar_ops();
+
+/// The AVX2 table, or nullptr when its TU was compiled without AVX2
+/// codegen (compiler lacked -mavx2).  Runtime cpuid gating happens in
+/// ops_for(), not here.
+const KernelOps* avx2_ops();
+
+/// The resolved dispatch table the public free functions forward to.
+const KernelOps& active_ops();
+
+}  // namespace mcqa::index::kernels::detail

@@ -1,0 +1,16 @@
+// Baseline kernel table.  Compiled with -ffp-contract=off -O3 and NO
+// vector ISA flags (src/index/CMakeLists.txt): whatever the default
+// target provides is the "scalar" reference every other table must
+// match bit-for-bit.
+
+#include "index/kernels_detail.hpp"
+
+#define MCQA_KERNEL_IMPL_NAMESPACE scalar_impl
+#include "index/kernels_impl.inc"
+#undef MCQA_KERNEL_IMPL_NAMESPACE
+
+namespace mcqa::index::kernels::detail {
+
+const KernelOps& scalar_ops() { return scalar_impl::ops(); }
+
+}  // namespace mcqa::index::kernels::detail

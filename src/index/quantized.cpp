@@ -29,6 +29,48 @@ std::vector<float>& float_scratch() {
   return scratch;
 }
 
+/// Tiled exact rerank over a query tile: drains each member's approx
+/// candidate TopK, regroups the union by row, and scores each row ONCE
+/// per querying member via dot_fp16_tile.  Bit-identical to the
+/// per-query rerank loop: the tile kernel reproduces dot_fp16 exactly
+/// and TopK's kept set is push-order invariant, so regrouping rows
+/// across the tile cannot change any member's results.  Writes
+/// out[out_base + qi] for qi in [0, qn).
+void rerank_tile(const Fp16Rows& rows, std::size_t dim,
+                 const float* const* qs, std::size_t qn,
+                 std::vector<TopK>& approx, std::size_t kk,
+                 std::vector<std::vector<SearchResult>>& out,
+                 std::size_t out_base) {
+  std::vector<std::pair<std::size_t, std::size_t>> pairs;  // (row, member)
+  for (std::size_t qi = 0; qi < qn; ++qi) {
+    for (const auto& cand : approx[qi].take_sorted()) {
+      pairs.emplace_back(cand.row, qi);
+    }
+  }
+  std::sort(pairs.begin(), pairs.end());
+  std::vector<TopK> exact(qn, TopK(kk));
+  const float* sub_qs[kernels::kTileQ];
+  std::size_t sub_member[kernels::kTileQ];
+  float scores[kernels::kTileQ];
+  std::size_t i = 0;
+  while (i < pairs.size()) {
+    const std::size_t row = pairs[i].first;
+    std::size_t sn = 0;  // <= qn: a row appears once per member's set
+    for (; i < pairs.size() && pairs[i].first == row; ++i) {
+      sub_qs[sn] = qs[pairs[i].second];
+      sub_member[sn] = pairs[i].second;
+      ++sn;
+    }
+    kernels::dot_fp16_tile(rows.row(row), sub_qs, sn, dim, scores);
+    for (std::size_t s = 0; s < sn; ++s) {
+      exact[sub_member[s]].push(row, scores[s]);
+    }
+  }
+  for (std::size_t qi = 0; qi < qn; ++qi) {
+    out[out_base + qi] = exact[qi].take_sorted();
+  }
+}
+
 }  // namespace
 
 // --- Sq8Index ----------------------------------------------------------------
@@ -134,6 +176,51 @@ std::vector<SearchResult> Sq8Index::search(const embed::Vector& query,
                kernels::dot_fp16(rows_.row(cand.row), query.data(), dim_));
   }
   return exact.take_sorted();
+}
+
+void Sq8Index::search_block(
+    const std::vector<embed::Vector>& queries, std::size_t begin,
+    std::size_t end, std::size_t k,
+    std::vector<std::vector<SearchResult>>& out) const {
+  if (!built_) {
+    throw std::logic_error("Sq8Index::search called before build()");
+  }
+  const std::size_t n = size();
+  if (n == 0) {
+    for (std::size_t i = begin; i < end; ++i) out[i] = {};
+    return;
+  }
+  constexpr std::size_t kQ = kernels::kTileQ;
+  const std::size_t count =
+      candidate_count(k, config_.oversample, config_.min_candidates, n);
+  std::vector<float> w(kQ * dim_);
+  std::vector<TopK> approx(kQ, TopK(0));
+  const float* ws[kQ];
+  const float* qs[kQ];
+  float bias[kQ];
+  float scores[kQ];
+  for (std::size_t t = begin; t < end; t += kQ) {
+    const std::size_t qn = std::min(kQ, end - t);
+    for (std::size_t qi = 0; qi < qn; ++qi) {
+      const embed::Vector& q = queries[t + qi];
+      qs[qi] = q.data();
+      float* wq = w.data() + qi * dim_;
+      for (std::size_t d = 0; d < dim_; ++d) wq[d] = scale_[d] * q[d];
+      ws[qi] = wq;
+      bias[qi] = kernels::dot(min_.data(), q.data(), dim_);
+      approx[qi].reset(std::min(count, n));
+    }
+    // One pass over the codes: each row is decoded once per tile, and
+    // every member's score is bias + dot_u8 exactly as in the
+    // per-query approx_candidates scan.
+    for (std::size_t row = 0; row < n; ++row) {
+      kernels::dot_u8_tile(codes_.row(row), ws, qn, dim_, scores);
+      for (std::size_t qi = 0; qi < qn; ++qi) {
+        approx[qi].push(row, bias[qi] + scores[qi]);
+      }
+    }
+    rerank_tile(rows_, dim_, qs, qn, approx, std::min(k, n), out, t);
+  }
 }
 
 // --- IvfPqIndex --------------------------------------------------------------
@@ -360,6 +447,94 @@ std::vector<SearchResult> IvfPqIndex::search(const embed::Vector& query,
                kernels::dot_fp16(rows_.row(cand.row), query.data(), dim_));
   }
   return exact.take_sorted();
+}
+
+void IvfPqIndex::search_block(
+    const std::vector<embed::Vector>& queries, std::size_t begin,
+    std::size_t end, std::size_t k,
+    std::vector<std::vector<SearchResult>>& out) const {
+  if (!built_) {
+    throw std::logic_error("IvfPqIndex::search called before build()");
+  }
+  const std::size_t n = size();
+  if (n == 0 || centroids_.size() == 0) {
+    for (std::size_t i = begin; i < end; ++i) out[i] = {};
+    return;
+  }
+  constexpr std::size_t kQ = kernels::kTileQ;
+  const std::size_t dsub = dim_ / m_;
+  const std::size_t ncells = centroids_.size();
+  const std::size_t nprobe = std::min(config_.nprobe, ncells);
+  const std::size_t count =
+      candidate_count(k, config_.oversample, config_.min_candidates, n);
+  std::vector<float> tabs(kQ * m_ * ksub_);
+  std::vector<TopK> cell_top(kQ, TopK(0));
+  std::vector<TopK> approx(kQ, TopK(0));
+  std::vector<std::pair<std::size_t, std::size_t>> probes;  // (cell, member)
+  const float* qs[kQ];
+  const float* tabp[kQ];
+  float scores[kQ];
+  for (std::size_t t = begin; t < end; t += kQ) {
+    const std::size_t qn = std::min(kQ, end - t);
+    for (std::size_t qi = 0; qi < qn; ++qi) {
+      qs[qi] = queries[t + qi].data();
+      cell_top[qi].reset(nprobe);
+      approx[qi].reset(std::min(count, n));
+    }
+
+    // Rank cells: each centroid row is loaded once per tile.
+    for (std::size_t c = 0; c < ncells; ++c) {
+      kernels::dot_tile(centroids_.row(c), qs, qn, dim_, scores);
+      for (std::size_t qi = 0; qi < qn; ++qi) {
+        cell_top[qi].push(c, scores[qi]);
+      }
+    }
+
+    // Per-member ADC tables (identical math to the per-query path).
+    for (std::size_t qi = 0; qi < qn; ++qi) {
+      float* tab = tabs.data() + qi * m_ * ksub_;
+      for (std::size_t j = 0; j < m_; ++j) {
+        for (std::size_t c = 0; c < ksub_; ++c) {
+          tab[j * ksub_ + c] = kernels::dot(
+              qs[qi] + j * dsub, codebooks_.row(j * ksub_ + c), dsub);
+        }
+      }
+      tabp[qi] = tab;
+    }
+
+    // Scan each cell probed by ANY member once, scoring only the
+    // sub-tile of members that probe it: every member scores exactly
+    // the rows of its own probed cells, so candidate sets match the
+    // per-query path (TopK makes the visiting order irrelevant).
+    probes.clear();
+    for (std::size_t qi = 0; qi < qn; ++qi) {
+      for (const auto& cell : cell_top[qi].take_sorted()) {
+        probes.emplace_back(cell.row, qi);
+      }
+    }
+    std::sort(probes.begin(), probes.end());
+    const float* sub_tabs[kQ];
+    std::size_t sub_member[kQ];
+    std::size_t i = 0;
+    while (i < probes.size()) {
+      const std::size_t cell = probes[i].first;
+      std::size_t sn = 0;  // <= qn: nprobe distinct cells per member
+      for (; i < probes.size() && probes[i].first == cell; ++i) {
+        sub_tabs[sn] = tabp[probes[i].second];
+        sub_member[sn] = probes[i].second;
+        ++sn;
+      }
+      for (const std::uint32_t row : lists_[cell]) {
+        kernels::pq_lookup_tile(codes_.row(row), sub_tabs, sn, m_, ksub_,
+                                scores);
+        for (std::size_t s = 0; s < sn; ++s) {
+          approx[sub_member[s]].push(row, scores[s]);
+        }
+      }
+    }
+
+    rerank_tile(rows_, dim_, qs, qn, approx, std::min(k, n), out, t);
+  }
 }
 
 }  // namespace mcqa::index

@@ -58,6 +58,12 @@ class Sq8Index final : public VectorIndex {
   void build(parallel::ThreadPool& pool) override;
   std::vector<SearchResult> search(const embed::Vector& query,
                                    std::size_t k) const override;
+  /// Tiled: codes are widened once per kTileQ queries on the approx
+  /// scan, and the rerank scores each candidate row once per querying
+  /// tile member (bit-identical — see DESIGN.md §18).
+  void search_block(const std::vector<embed::Vector>& queries,
+                    std::size_t begin, std::size_t end, std::size_t k,
+                    std::vector<std::vector<SearchResult>>& out) const override;
 
   std::string save() const override;
   static Sq8Index load(std::string_view blob);
@@ -155,6 +161,13 @@ class IvfPqIndex final : public VectorIndex {
 
   std::vector<SearchResult> search(const embed::Vector& query,
                                    std::size_t k) const override;
+  /// Tiled: centroid ranking and list scans share row loads across the
+  /// tile; each query still scores exactly the rows of its own probed
+  /// cells (per-cell sub-tiles), so candidate sets — and therefore the
+  /// reranked results — match the per-query path bit-for-bit.
+  void search_block(const std::vector<embed::Vector>& queries,
+                    std::size_t begin, std::size_t end, std::size_t k,
+                    std::vector<std::vector<SearchResult>>& out) const override;
 
   std::string save() const override;
   static IvfPqIndex load(std::string_view blob);

@@ -105,10 +105,30 @@ class VectorIndex {
   virtual std::vector<SearchResult> search(const embed::Vector& query,
                                            std::size_t k) const = 0;
 
-  /// Batched search: queries fan out across `pool` workers, each query
-  /// runs with its own scratch, and results land in query order.
-  /// Result i is identical (rows and scores) to `search(queries[i], k)`
-  /// regardless of the pool's thread count.
+  /// Score queries [begin, end) on the calling thread, writing
+  /// out[begin..end) — the sequential unit the batched paths are built
+  /// from.  Contract: out[i] is identical (rows and scores) to
+  /// search(queries[i], k).  The base runs the per-query search();
+  /// Flat/SQ8/IVF-PQ override it with Q x R tiled scans (kTileQ
+  /// queries share each row load — kernels.hpp) whose per-query
+  /// results the tile kernels keep bit-identical.
+  virtual void search_block(const std::vector<embed::Vector>& queries,
+                            std::size_t begin, std::size_t end,
+                            std::size_t k,
+                            std::vector<std::vector<SearchResult>>& out) const;
+
+  /// Tiled batch search on the calling thread (no pool): one
+  /// search_block over the whole batch.  Result i is bit-identical to
+  /// search(queries[i], k).
+  std::vector<std::vector<SearchResult>> search_tiled(
+      const std::vector<embed::Vector>& queries, std::size_t k) const;
+
+  /// Batched search: whole query tiles fan out across `pool` workers
+  /// in deterministic tile-aligned blocks (each task owns a contiguous
+  /// query range and writes its own result slots), each with its own
+  /// scratch, and results land in query order.  Result i is identical
+  /// (rows and scores) to `search(queries[i], k)` regardless of the
+  /// pool's thread count.
   std::vector<std::vector<SearchResult>> search_batch(
       const std::vector<embed::Vector>& queries, std::size_t k,
       parallel::ThreadPool& pool) const;
@@ -161,6 +181,10 @@ class FlatIndex final : public VectorIndex {
   void add_batch(const std::vector<embed::Vector>& vs) override;
   std::vector<SearchResult> search(const embed::Vector& query,
                                    std::size_t k) const override;
+  /// Tiled: each fp16 row is table-widened once per kTileQ queries.
+  void search_block(const std::vector<embed::Vector>& queries,
+                    std::size_t begin, std::size_t end, std::size_t k,
+                    std::vector<std::vector<SearchResult>>& out) const override;
 
   std::string save() const override;
   static FlatIndex load(std::string_view blob);

@@ -581,24 +581,45 @@ std::vector<QueryResult> QueryEngine::serve(
   // Writes land in disjoint result slots, so output is independent of
   // the drain order and the pool width.
   const auto execute = [&](const BatchExec& batch) {
+    // Group the batch's retrieval members by condition: each group then
+    // queries its sharded store as ONE tiled batch, so shard rows are
+    // decoded once per kTileQ-query tile instead of once per member.
+    // Bit-identical to per-member query() calls (tile-kernel contract),
+    // and group order is condition enum order — deterministic.
+    std::array<std::vector<std::size_t>, rag::kConditionCount> groups;
     for (const std::size_t i : batch.ok_members) {
       const QueryRequest& req = requests[i];
       if (req.record >= records.size()) {
         throw std::out_of_range("QueryEngine::serve: record index");
       }
-      const qgen::McqRecord& record = records[req.record];
       const ShardedStore* store = router_.store_for(req.condition);
       if (req.condition == rag::Condition::kBaseline || store == nullptr ||
           store->rows() == 0) {
         // Mirrors RagPipeline::prepare's baseline/empty-store path.
-        results[i].task = record.to_task();
+        results[i].task = records[req.record].to_task();
         continue;
       }
-      const std::vector<index::Hit> hits =
-          store->query(rag_->query_for(record, req.condition),
-                       rag_->config().top_k_for(req.condition));
-      results[i].task =
-          rag_->prepare_from_hits(record, req.condition, spec_, hits);
+      groups[static_cast<std::size_t>(req.condition)].push_back(i);
+    }
+    for (int c = 0; c < rag::kConditionCount; ++c) {
+      const std::vector<std::size_t>& members =
+          groups[static_cast<std::size_t>(c)];
+      if (members.empty()) continue;
+      const auto condition = static_cast<rag::Condition>(c);
+      const ShardedStore* store = router_.store_for(condition);
+      std::vector<std::string> texts;
+      texts.reserve(members.size());
+      for (const std::size_t i : members) {
+        texts.push_back(
+            rag_->query_for(records[requests[i].record], condition));
+      }
+      const auto hits = store->query_batch(
+          texts, rag_->config().top_k_for(condition));
+      for (std::size_t j = 0; j < members.size(); ++j) {
+        const std::size_t i = members[j];
+        results[i].task = rag_->prepare_from_hits(
+            records[requests[i].record], condition, spec_, hits[j]);
+      }
     }
   };
 

@@ -77,6 +77,65 @@ std::vector<index::Hit> StoreSnapshot::query_vector(const embed::Vector& v,
   return hits;
 }
 
+std::vector<std::vector<index::Hit>> StoreSnapshot::query_batch(
+    const std::vector<std::string>& texts, std::size_t k) const {
+  std::vector<embed::Vector> vs;
+  vs.reserve(texts.size());
+  for (const auto& text : texts) vs.push_back(embedder_->embed(text));
+  return query_vectors(vs, k);
+}
+
+std::vector<std::vector<index::Hit>> StoreSnapshot::query_vectors(
+    const std::vector<embed::Vector>& vs, std::size_t k) const {
+  // Same per-segment fetch depth and merge as query_vector; the only
+  // change is that each segment scans the whole batch through its
+  // tiled path, sharing row decodes across kTileQ queries.  Per-query
+  // segment results are bit-identical to search(v, fetch) — the
+  // tile-kernel contract — so the filtered merge is too.
+  const std::size_t fetch = k + dead_count_;
+  struct Cand {
+    std::size_t ordinal;
+    float score;
+    const Segment* segment;
+    std::size_t local;
+  };
+  std::vector<const Segment*> segments;
+  if (base_ != nullptr) segments.push_back(base_.get());
+  for (const auto& seg : deltas_) segments.push_back(seg.get());
+
+  std::vector<std::vector<std::vector<index::SearchResult>>> per_segment;
+  per_segment.reserve(segments.size());
+  for (const Segment* seg : segments) {
+    per_segment.push_back(seg->index->search_tiled(vs, fetch));
+  }
+
+  std::vector<std::vector<index::Hit>> out(vs.size());
+  std::vector<Cand> merged;
+  for (std::size_t i = 0; i < vs.size(); ++i) {
+    merged.clear();
+    for (std::size_t s = 0; s < segments.size(); ++s) {
+      const Segment& seg = *segments[s];
+      for (const index::SearchResult& r : per_segment[s][i]) {
+        const std::size_t ordinal = seg.first_ordinal + r.row;
+        if (dead_ != nullptr && (*dead_)[ordinal] != 0) continue;
+        merged.push_back(Cand{ordinal, r.score, &seg, r.row});
+      }
+    }
+    std::sort(merged.begin(), merged.end(),
+              [](const Cand& a, const Cand& b) {
+                if (a.score != b.score) return a.score > b.score;
+                return a.ordinal < b.ordinal;
+              });
+    if (merged.size() > k) merged.resize(k);
+    out[i].reserve(merged.size());
+    for (const Cand& c : merged) {
+      out[i].push_back(index::Hit{c.segment->ids[c.local],
+                                  c.segment->texts[c.local], c.score});
+    }
+  }
+  return out;
+}
+
 std::vector<std::pair<std::string, std::string>> StoreSnapshot::live_rows()
     const {
   std::vector<std::pair<std::string, std::string>> out;

@@ -94,6 +94,15 @@ class StoreSnapshot {
   std::vector<index::Hit> query_vector(const embed::Vector& v,
                                        std::size_t k) const;
 
+  /// Tiled batch variant: every segment scans the whole batch in
+  /// kTileQ query tiles (search_tiled) before the per-query dead-row
+  /// filter + merge.  Entry i is bit-identical to query(texts[i], k) /
+  /// query_vector(vs[i], k).
+  std::vector<std::vector<index::Hit>> query_batch(
+      const std::vector<std::string>& texts, std::size_t k) const;
+  std::vector<std::vector<index::Hit>> query_vectors(
+      const std::vector<embed::Vector>& vs, std::size_t k) const;
+
   /// Live (id, text) pairs in ordinal order — exactly the rows a
   /// from-scratch rebuild of this epoch would index, in order.
   std::vector<std::pair<std::string, std::string>> live_rows() const;

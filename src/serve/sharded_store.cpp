@@ -67,6 +67,21 @@ std::vector<index::Hit> ShardedStore::query(std::string_view text,
   return query_vector(base_->embedder().embed(text), k);
 }
 
+namespace {
+
+/// Exact merge: the comparator FlatIndex::search applies globally.
+void sort_and_trim_merged(std::vector<index::SearchResult>& merged,
+                          std::size_t k) {
+  std::sort(merged.begin(), merged.end(),
+            [](const index::SearchResult& a, const index::SearchResult& b) {
+              if (a.score != b.score) return a.score > b.score;
+              return a.row < b.row;
+            });
+  if (merged.size() > k) merged.resize(k);
+}
+
+}  // namespace
+
 std::vector<index::Hit> ShardedStore::query_vector(const embed::Vector& v,
                                                    std::size_t k) const {
   // Gather each shard's exact top-k with rows mapped back to global ids.
@@ -78,13 +93,7 @@ std::vector<index::Hit> ShardedStore::query_vector(const embed::Vector& v,
           index::SearchResult{shard.global_rows[r.row], r.score});
     }
   }
-  // Exact merge: the comparator FlatIndex::search applies globally.
-  std::sort(merged.begin(), merged.end(),
-            [](const index::SearchResult& a, const index::SearchResult& b) {
-              if (a.score != b.score) return a.score > b.score;
-              return a.row < b.row;
-            });
-  if (merged.size() > k) merged.resize(k);
+  sort_and_trim_merged(merged, k);
 
   std::vector<index::Hit> hits;
   hits.reserve(merged.size());
@@ -93,6 +102,47 @@ std::vector<index::Hit> ShardedStore::query_vector(const embed::Vector& v,
                               r.score});
   }
   return hits;
+}
+
+std::vector<std::vector<index::Hit>> ShardedStore::query_batch(
+    const std::vector<std::string>& texts, std::size_t k) const {
+  std::vector<embed::Vector> vs;
+  vs.reserve(texts.size());
+  for (const auto& text : texts) vs.push_back(base_->embedder().embed(text));
+  return query_vectors(vs, k);
+}
+
+std::vector<std::vector<index::Hit>> ShardedStore::query_vectors(
+    const std::vector<embed::Vector>& vs, std::size_t k) const {
+  // Scatter: every shard scans the whole batch through its tiled path
+  // (per-shard results are bit-identical to per-query search — the
+  // tile-kernel contract), then each query merges exactly as in
+  // query_vector.
+  std::vector<std::vector<std::vector<index::SearchResult>>> per_shard;
+  per_shard.reserve(shards_.size());
+  for (const Shard& shard : shards_) {
+    per_shard.push_back(shard.index->search_tiled(vs, k));
+  }
+
+  std::vector<std::vector<index::Hit>> out(vs.size());
+  std::vector<index::SearchResult> merged;
+  for (std::size_t i = 0; i < vs.size(); ++i) {
+    merged.clear();
+    merged.reserve(shards_.size() * k);
+    for (std::size_t s = 0; s < shards_.size(); ++s) {
+      for (const auto& r : per_shard[s][i]) {
+        merged.push_back(
+            index::SearchResult{shards_[s].global_rows[r.row], r.score});
+      }
+    }
+    sort_and_trim_merged(merged, k);
+    out[i].reserve(merged.size());
+    for (const auto& r : merged) {
+      out[i].push_back(index::Hit{base_->id_of(r.row), base_->text_of(r.row),
+                                  r.score});
+    }
+  }
+  return out;
 }
 
 QueryRouter::QueryRouter(const rag::RetrievalStores& stores,
@@ -142,6 +192,16 @@ std::vector<index::Hit> QueryRouter::query(rag::Condition condition,
                                            std::size_t k) const {
   const ShardedStore* store = store_for(condition);
   return store == nullptr ? std::vector<index::Hit>{} : store->query(text, k);
+}
+
+std::vector<std::vector<index::Hit>> QueryRouter::query_batch(
+    rag::Condition condition, const std::vector<std::string>& texts,
+    std::size_t k) const {
+  const ShardedStore* store = store_for(condition);
+  if (store == nullptr) {
+    return std::vector<std::vector<index::Hit>>(texts.size());
+  }
+  return store->query_batch(texts, k);
 }
 
 }  // namespace mcqa::serve

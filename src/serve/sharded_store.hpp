@@ -57,6 +57,14 @@ class ShardedStore {
   std::vector<index::Hit> query_vector(const embed::Vector& v,
                                        std::size_t k) const;
 
+  /// Tiled scatter-gather: each shard scans the whole batch in kTileQ
+  /// query tiles (search_tiled), then results merge per query.  Entry
+  /// i is bit-identical to query(texts[i], k) / query_vector(vs[i], k).
+  std::vector<std::vector<index::Hit>> query_batch(
+      const std::vector<std::string>& texts, std::size_t k) const;
+  std::vector<std::vector<index::Hit>> query_vectors(
+      const std::vector<embed::Vector>& vs, std::size_t k) const;
+
   std::size_t shard_count() const { return shards_.size(); }
   std::size_t shard_size(std::size_t shard) const {
     return shards_.at(shard).global_rows.size();
@@ -104,6 +112,13 @@ class QueryRouter {
   /// store_for(condition) is null.
   std::vector<index::Hit> query(rag::Condition condition,
                                 std::string_view text, std::size_t k) const;
+
+  /// Tiled batch variant: entry i is bit-identical to
+  /// query(condition, texts[i], k).  All-empty when the condition has
+  /// no store.
+  std::vector<std::vector<index::Hit>> query_batch(
+      rag::Condition condition, const std::vector<std::string>& texts,
+      std::size_t k) const;
 
  private:
   std::size_t shard_count_;

@@ -35,6 +35,7 @@
 #include "core/provenance.hpp"
 #include "eval/judge.hpp"
 #include "eval/report.hpp"
+#include "index/kernels.hpp"
 #include "serve/engine.hpp"
 #include "util/strings.hpp"
 
@@ -91,8 +92,29 @@ int usage() {
       "[--prune-eval 1] [--json 1]\n"
       "                inventory + per-document coverage of a checkpoint\n"
       "                directory (default $MCQA_CHECKPOINT_DIR); --prune\n"
-      "                sweeps blobs unreachable from the current manifest\n");
+      "                sweeps blobs unreachable from the current manifest\n"
+      "  mcqa --version\n");
   return 2;
+}
+
+int cmd_version() {
+  using index::kernels::KernelIsa;
+  std::printf("mcqa (Automated MCQA Benchmarking at Scale reproduction)\n");
+  std::printf("kernel isa:     %.*s%s\n",
+              static_cast<int>(
+                  index::kernels::isa_name(index::kernels::dispatched_isa())
+                      .size()),
+              index::kernels::isa_name(index::kernels::dispatched_isa())
+                  .data(),
+              std::getenv("MCQA_KERNEL_ISA") != nullptr
+                  ? " (MCQA_KERNEL_ISA override)"
+                  : "");
+  std::printf("kernel tile q:  %zu\n", index::kernels::kTileQ);
+  std::printf("avx2 table:     %s\n",
+              index::kernels::ops_for(KernelIsa::kAvx2) != nullptr
+                  ? "compiled+usable"
+                  : "unavailable (scalar only)");
+  return 0;
 }
 
 std::optional<rag::Condition> condition_from_flag(const std::string& name) {
@@ -591,5 +613,8 @@ int main(int argc, char** argv) {
   if (args.command == "serve") return cmd_serve(args);
   if (args.command == "train") return cmd_train(args);
   if (args.command == "cache") return cmd_cache(args);
+  if (args.command == "--version" || args.command == "version") {
+    return cmd_version();
+  }
   return usage();
 }
